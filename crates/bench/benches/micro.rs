@@ -1,0 +1,184 @@
+//! Micro-benchmarks supporting the paper's latency claims: sub-second `Ie`
+//! retrieval (the "Average time to obtain Ie" column of Fig. 5), cheap
+//! example chasing, and cheap isomorphism checks (what makes the
+//! "think-time precomputation" strategy of Sec. VI viable).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use muse_chase::{chase, chase_one, isomorphic};
+use muse_cliogen::{desired_grouping, GroupingStrategy};
+use muse_mapping::Grouping;
+use muse_scenarios::all_scenarios;
+use muse_wizard::example::{build_example, ClassSpace, ExampleRequest};
+use muse_wizard::{Designer, MuseD, MuseG, OracleDesigner, ScenarioChoice};
+
+/// Chase throughput: the full Mondial mapping set over a small instance.
+fn bench_chase(c: &mut Criterion) {
+    let scenarios = all_scenarios();
+    let mondial = scenarios.iter().find(|s| s.name == "Mondial").unwrap();
+    let instance = mondial.instance(0.02, 7);
+    let mappings = muse_bench::unambiguous_mappings(mondial);
+    c.bench_function("chase/mondial-0.02", |b| {
+        b.iter(|| {
+            chase(&mondial.source_schema, &mondial.target_schema, &instance, &mappings).unwrap()
+        })
+    });
+}
+
+/// `QIe` retrieval latency on the paper-sized (10 MB) TPC-H instance: the
+/// dominant cost of a Muse-G probe. The paper reports sub-second times.
+fn bench_qie_retrieval(c: &mut Criterion) {
+    let scenarios = all_scenarios();
+    let tpch = scenarios.iter().find(|s| s.name == "TPCH").unwrap();
+    let instance = tpch.instance(tpch.default_scale, 7);
+    let m = &muse_bench::unambiguous_mappings(tpch)[1]; // customer mapping
+    let space = ClassSpace::new(m, &tpch.source_schema, &tpch.source_constraints).unwrap();
+    // Probe the last attribute: agree on everything else.
+    let probed = space.len() - 1;
+    let all = muse_nr::constraints::fdset::all_attrs(space.len());
+    let agree = space.closure(all & !muse_nr::constraints::fdset::attrs([probed]));
+    let req = ExampleRequest { copies: 2, agree, differ: vec![probed], distinct: vec![], real_budget: None };
+    c.bench_function("qie/tpch-customer-probe", |b| {
+        b.iter(|| build_example(m, &space, &req, &tpch.source_schema, Some(&instance)).unwrap())
+    });
+}
+
+/// A full Muse-G probe question (example + two chases) on the CompDB/OrgDB
+/// running example.
+fn bench_probe_question(c: &mut Criterion) {
+    let scenarios = all_scenarios();
+    let dblp = scenarios.iter().find(|s| s.name == "DBLP").unwrap();
+    let instance = dblp.instance(0.05, 7);
+    let museg =
+        MuseG::new(&dblp.source_schema, &dblp.target_schema, &dblp.source_constraints)
+            .with_instance(&instance);
+    let m = muse_bench::unambiguous_mappings(dblp)[0].clone();
+    let filled = m.filled_target_sets(&dblp.target_schema).unwrap();
+    let sk = filled.iter().next().unwrap().clone();
+    let desired =
+        desired_grouping(&m, &sk, GroupingStrategy::G3, &dblp.source_schema, &dblp.target_schema)
+            .unwrap();
+    c.bench_function("museg/design-one-grouping-dblp", |b| {
+        b.iter_batched(
+            || {
+                let mut oracle = OracleDesigner::new(&dblp.source_schema, &dblp.target_schema);
+                oracle.intend_grouping(m.name.clone(), sk.clone(), desired.clone());
+                oracle
+            },
+            |mut oracle| museg.design_grouping(&m, &sk, &mut oracle).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Isomorphism checking between probe scenarios — what the designer's
+/// answer-matching (and the oracle) pays per question.
+fn bench_isomorphism(c: &mut Criterion) {
+    let scenarios = all_scenarios();
+    let mondial = scenarios.iter().find(|s| s.name == "Mondial").unwrap();
+    let instance = mondial.instance(0.02, 7);
+    let ms = muse_bench::unambiguous_mappings(mondial);
+    let m = ms.iter().find(|m| !m.filled_target_sets(&mondial.target_schema).unwrap().is_empty()).unwrap();
+    let j1 = chase_one(&mondial.source_schema, &mondial.target_schema, &instance, m).unwrap();
+    // Same mapping with one grouping emptied: a different target.
+    let mut m2 = m.clone();
+    let sk = m2.filled_target_sets(&mondial.target_schema).unwrap().iter().next().unwrap().clone();
+    m2.set_grouping(sk, Grouping::new(vec![]));
+    let j2 = chase_one(&mondial.source_schema, &mondial.target_schema, &instance, &m2).unwrap();
+    c.bench_function("hom/isomorphic-mondial-targets", |b| {
+        b.iter(|| isomorphic(&j1, &j2))
+    });
+}
+
+/// Muse-D question construction on the TPC-H ambiguous mapping.
+fn bench_mused_question(c: &mut Criterion) {
+    let scenarios = all_scenarios();
+    let tpch = scenarios.iter().find(|s| s.name == "TPCH").unwrap();
+    let instance = tpch.instance(0.1, 7);
+    let ms = tpch.mappings().unwrap();
+    let ma = ms.iter().find(|m| m.is_ambiguous()).unwrap();
+    let mused = MuseD::new(&tpch.source_schema, &tpch.target_schema, &tpch.source_constraints)
+        .with_instance(&instance);
+    c.bench_function("mused/question-tpch-lineitem", |b| {
+        b.iter(|| mused.question(ma).unwrap())
+    });
+}
+
+/// Ablation support: key-aware probing vs the basic algorithm, measured as
+/// end-to-end wizard latency (questions also drop — see the ablations bin).
+fn bench_key_ablation(c: &mut Criterion) {
+    let scenarios = all_scenarios();
+    let amalgam = scenarios.iter().find(|s| s.name == "Amalgam").unwrap();
+    let instance = amalgam.instance(0.05, 7);
+    let m = muse_bench::unambiguous_mappings(amalgam)[0].clone();
+    let filled = m.filled_target_sets(&amalgam.target_schema).unwrap();
+    let sk = filled.iter().next().unwrap().clone();
+    let desired = desired_grouping(
+        &m,
+        &sk,
+        GroupingStrategy::G1,
+        &amalgam.source_schema,
+        &amalgam.target_schema,
+    )
+    .unwrap();
+    let no_keys = muse_nr::Constraints::none();
+
+    let mut group = c.benchmark_group("museg/key-ablation");
+    group.measurement_time(Duration::from_secs(8));
+    for (label, cons) in
+        [("with-keys", &amalgam.source_constraints), ("without-keys", &no_keys)]
+    {
+        let museg = MuseG::new(&amalgam.source_schema, &amalgam.target_schema, cons)
+            .with_instance(&instance);
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut oracle =
+                        OracleDesigner::new(&amalgam.source_schema, &amalgam.target_schema);
+                    oracle.intend_grouping(m.name.clone(), sk.clone(), desired.clone());
+                    oracle
+                },
+                |mut oracle| museg.design_grouping(&m, &sk, &mut oracle).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Sanity: a designer that always answers "Second" must terminate quickly
+/// too (empty grouping) — guards against pathological probe loops.
+fn bench_all_second_designer(c: &mut Criterion) {
+    struct AlwaysSecond;
+    impl Designer for AlwaysSecond {
+        fn pick_scenario(&mut self, _q: &muse_wizard::GroupingQuestion) -> ScenarioChoice {
+            ScenarioChoice::Second
+        }
+        fn fill_choices(&mut self, _q: &muse_wizard::DisambiguationQuestion) -> Vec<Vec<usize>> {
+            unreachable!()
+        }
+    }
+    let scenarios = all_scenarios();
+    let dblp = scenarios.iter().find(|s| s.name == "DBLP").unwrap();
+    let m = muse_bench::unambiguous_mappings(dblp)[0].clone();
+    let filled = m.filled_target_sets(&dblp.target_schema).unwrap();
+    let sk = filled.iter().next().unwrap().clone();
+    let museg = MuseG::new(&dblp.source_schema, &dblp.target_schema, &dblp.source_constraints);
+    c.bench_function("museg/all-second-synthetic", |b| {
+        b.iter(|| museg.design_grouping(&m, &sk, &mut AlwaysSecond).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_chase,
+    bench_qie_retrieval,
+    bench_probe_question,
+    bench_isomorphism,
+    bench_mused_question,
+    bench_key_ablation,
+    bench_all_second_designer
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates the scenario characteristics table of Sec. VI:
+//! per scenario — size of I, target sets with grouping, number of
+//! mappings, number of ambiguous mappings.
+//!
+//! Usage: `cargo run -p muse-bench --bin table_scenarios`
+//! (`MUSE_SCALE`/`MUSE_SEED` env vars adjust instance generation).
+
+use muse_bench::{env_scale, env_seed, scenario_table};
+
+/// Paper values for side-by-side comparison.
+const PAPER: [(&str, &str, usize, usize, usize); 4] = [
+    ("Mondial", "1MB", 8, 26, 7),
+    ("DBLP", "2.6MB", 6, 4, 0),
+    ("TPCH", "10MB", 4, 5, 1),
+    ("Amalgam", "2MB", 2, 14, 0),
+];
+
+fn main() {
+    let scale = env_scale();
+    let rows = scenario_table(scale, env_seed());
+    println!("Scenario characteristics (Sec. VI), scale factor {scale}");
+    println!(
+        "{:<10} {:>9} {:>9} | {:>12} {:>6} | {:>9} {:>6} | {:>10} {:>6}",
+        "Mapping", "Size of I", "(paper)", "Sets w/ grp", "(ppr)", "#Mappings", "(ppr)", "#Ambiguous", "(ppr)"
+    );
+    for row in rows {
+        let paper = PAPER.iter().find(|p| p.0 == row.name).expect("known scenario");
+        println!(
+            "{:<10} {:>8.2}MB {:>9} | {:>12} {:>6} | {:>9} {:>6} | {:>10} {:>6}",
+            row.name,
+            row.instance_mb,
+            paper.1,
+            row.target_sets_with_grouping,
+            paper.2,
+            row.mappings,
+            paper.3,
+            row.ambiguous,
+            paper.4,
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! The *same effect* relation of Def. 3.1 and its instance-level variants.
+//!
+//! Two mappings `m1`, `m2` have the same effect when `Sol({m1}, I) =
+//! Sol({m2}, I)` for every source instance `I`; equivalently (via \[13\])
+//! when their universal solutions are homomorphically equivalent on every
+//! `I`. The functions here decide the relation *on a given instance* — the
+//! form Muse-G uses both for its carefully crafted examples (isomorphism of
+//! the two scenarios) and in tests of Thm. 3.2 (homomorphic equivalence on
+//! arbitrary valid instances).
+
+use muse_mapping::Mapping;
+use muse_nr::{Instance, Schema};
+
+use crate::engine::chase_one;
+use crate::error::ChaseError;
+use crate::hom::{homomorphically_equivalent, isomorphic};
+
+/// Do `m1` and `m2` produce homomorphically equivalent universal solutions
+/// on `instance`? (The instance-level projection of Def. 3.1.)
+pub fn same_effect_on(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    instance: &Instance,
+    m1: &Mapping,
+    m2: &Mapping,
+) -> Result<bool, ChaseError> {
+    let j1 = chase_one(source_schema, target_schema, instance, m1)?;
+    let j2 = chase_one(source_schema, target_schema, instance, m2)?;
+    Ok(homomorphically_equivalent(&j1, &j2))
+}
+
+/// Do `m1` and `m2` produce *isomorphic* results on `instance`? This is the
+/// stronger test Muse-G's probe examples are engineered around: the two
+/// candidate scenarios chase to non-isomorphic targets, so the designer's
+/// pick is unambiguous.
+pub fn isomorphic_results_on(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    instance: &Instance,
+    m1: &Mapping,
+    m2: &Mapping,
+) -> Result<bool, ChaseError> {
+    let j1 = chase_one(source_schema, target_schema, instance, m1)?;
+    let j2 = chase_one(source_schema, target_schema, instance, m2)?;
+    Ok(isomorphic(&j1, &j2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_mapping::{parse_one, Grouping, PathRef};
+    use muse_nr::{Field, InstanceBuilder, SetPath, Ty, Value};
+
+    fn compdb() -> Schema {
+        Schema::new(
+            "CompDB",
+            vec![Field::new(
+                "Companies",
+                Ty::set_of(vec![
+                    Field::new("cid", Ty::Int),
+                    Field::new("cname", Ty::Str),
+                    Field::new("location", Ty::Str),
+                ]),
+            )],
+        )
+        .unwrap()
+    }
+
+    fn orgdb() -> Schema {
+        Schema::new(
+            "OrgDB",
+            vec![Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+                ]),
+            )],
+        )
+        .unwrap()
+    }
+
+    fn m_grouped_by(attrs: &[&str]) -> Mapping {
+        let mut m = parse_one(
+            "m1: for c in CompDB.Companies
+                 exists o in OrgDB.Orgs
+                 where c.cname = o.oname
+                 group o.Projects by ()",
+        )
+        .unwrap();
+        let args = attrs.iter().map(|a| PathRef::new(0, *a)).collect();
+        m.set_grouping(SetPath::parse("Orgs.Projects"), Grouping::new(args));
+        m
+    }
+
+    fn companies(rows: &[(i64, &str, &str)]) -> Instance {
+        let s = compdb();
+        let mut b = InstanceBuilder::new(&s);
+        for (cid, cname, loc) in rows {
+            b.push_top("Companies", vec![Value::int(*cid), Value::str(*cname), Value::str(*loc)]);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn key_grouping_has_same_effect_as_superset_grouping() {
+        // cid is unique here; grouping by cid vs cid+cname: same effect
+        // (Thm. 3.2 on a key-satisfying instance).
+        let i = companies(&[(1, "IBM", "NY"), (2, "IBM", "NY"), (3, "SBC", "SF")]);
+        let m1 = m_grouped_by(&["cid"]);
+        let m2 = m_grouped_by(&["cid", "cname", "location"]);
+        assert!(same_effect_on(&compdb(), &orgdb(), &i, &m1, &m2).unwrap());
+        assert!(isomorphic_results_on(&compdb(), &orgdb(), &i, &m1, &m2).unwrap());
+    }
+
+    #[test]
+    fn different_groupings_differ_on_differentiating_instance() {
+        // Two companies agreeing on cname/location but not cid: grouping by
+        // cid splits projects, grouping by cname does not — exactly the
+        // probe instance of Fig. 3(a).
+        let i = companies(&[(11, "IBM", "NY"), (12, "IBM", "NY")]);
+        let by_cid = m_grouped_by(&["cid"]);
+        let by_cname = m_grouped_by(&["cname"]);
+        assert!(!isomorphic_results_on(&compdb(), &orgdb(), &i, &by_cid, &by_cname).unwrap());
+    }
+
+    #[test]
+    fn groupings_agree_on_non_differentiating_instance() {
+        // All attribute values pairwise distinct: every grouping produces
+        // one singleton set per company — indistinguishable (this is why
+        // Muse-G must sometimes fall back to synthetic examples).
+        let i = companies(&[(1, "IBM", "NY"), (2, "SBC", "SF")]);
+        let by_cid = m_grouped_by(&["cid"]);
+        let by_cname = m_grouped_by(&["cname"]);
+        assert!(isomorphic_results_on(&compdb(), &orgdb(), &i, &by_cid, &by_cname).unwrap());
+    }
+
+    #[test]
+    fn same_mapping_trivially_same_effect() {
+        let i = companies(&[(1, "IBM", "NY")]);
+        let m = m_grouped_by(&["cname"]);
+        assert!(same_effect_on(&compdb(), &orgdb(), &i, &m, &m).unwrap());
+    }
+}

@@ -1,0 +1,584 @@
+//! The chase proper: evaluate each mapping's `for` clause, instantiate its
+//! `exists` clause, group nested sets through their Skolem functions, and
+//! union the results (set semantics).
+
+use std::collections::BTreeMap;
+
+use muse_mapping::{Mapping, PathRef, WhereClause};
+use muse_nr::{Instance, Schema, SetPath, Tuple, Value};
+use muse_query::evaluate_all;
+
+use crate::error::ChaseError;
+
+/// Chase `source` with all of `mappings`, producing the canonical universal
+/// solution. Mappings must be unambiguous, validated and carry grouping
+/// functions for every nested target set they fill.
+///
+/// ```
+/// use muse_nr::{text::parse_schema, InstanceBuilder, Value};
+///
+/// let (src, _) = parse_schema("schema S\n A: set of { x: string }").unwrap();
+/// let (tgt, _) = parse_schema("schema T\n B: set of { y: string }").unwrap();
+/// let m = muse_mapping::parse_one("m: for a in S.A exists b in T.B where a.x = b.y").unwrap();
+/// let mut builder = InstanceBuilder::new(&src);
+/// builder.push_top("A", vec![Value::str("hello")]);
+/// let source = builder.finish().unwrap();
+///
+/// let solution = muse_chase::chase(&src, &tgt, &source, &[m]).unwrap();
+/// assert_eq!(solution.total_tuples(), 1);
+/// ```
+pub fn chase(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+    mappings: &[Mapping],
+) -> Result<Instance, ChaseError> {
+    let mut target = Instance::new(target_schema);
+    for m in mappings {
+        chase_into(source_schema, target_schema, source, m, &mut target)?;
+    }
+    Ok(target)
+}
+
+/// Chase with a single mapping.
+pub fn chase_one(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+    mapping: &Mapping,
+) -> Result<Instance, ChaseError> {
+    chase(source_schema, target_schema, source, std::slice::from_ref(mapping))
+}
+
+/// Tiny union-find over target `(var, attr)` projections.
+struct Classes {
+    ids: BTreeMap<(usize, String), usize>,
+    parent: Vec<usize>,
+}
+
+impl Classes {
+    fn new() -> Self {
+        Classes { ids: BTreeMap::new(), parent: Vec::new() }
+    }
+
+    fn id(&mut self, r: &PathRef) -> usize {
+        if let Some(&i) = self.ids.get(&(r.var, r.attr.clone())) {
+            return i;
+        }
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.ids.insert((r.var, r.attr.clone()), i);
+        i
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: &PathRef, b: &PathRef) {
+        let (ia, ib) = (self.id(a), self.id(b));
+        let (ra, rb) = (self.find(ia), self.find(ib));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    fn root_of(&mut self, r: &PathRef) -> usize {
+        let i = self.id(r);
+        self.find(i)
+    }
+}
+
+/// Pre-resolved plan for instantiating one target variable's tuples.
+struct TVarPlan {
+    /// Per field: how to produce the value.
+    fields: Vec<FieldPlan>,
+    /// Where produced tuples go: `Root(label)` or the set-field of a parent
+    /// variable.
+    container: Container,
+}
+
+enum FieldPlan {
+    /// Atomic field: the equivalence-class id (value computed per binding).
+    Atomic { class: usize },
+    /// Set field: index into the per-binding set-id table.
+    Set { slot: usize },
+}
+
+enum Container {
+    Root(String),
+    ParentField { slot: usize },
+}
+
+/// A nested set the mapping fills: its path and grouping-argument refs.
+struct SetSlot {
+    path: SetPath,
+    args: Vec<PathRef>,
+}
+
+fn chase_into(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+    m: &Mapping,
+    target: &mut Instance,
+) -> Result<(), ChaseError> {
+    if m.is_ambiguous() {
+        return Err(ChaseError::Ambiguous(m.name.clone()));
+    }
+    m.validate(source_schema, target_schema)?;
+
+    // --- Equivalence classes over target attributes -----------------------
+    let mut classes = Classes::new();
+    for (a, b) in &m.target_eqs {
+        classes.union(a, b);
+    }
+    // Make sure every target atomic attribute has a class.
+    for (tv_idx, tv) in m.target_vars.iter().enumerate() {
+        for attr in target_schema.attributes(&tv.set)? {
+            classes.id(&PathRef::new(tv_idx, attr));
+        }
+    }
+    // Class assignments from the where clause (first assignment wins; the
+    // validator guarantees one plain assignment per target attribute).
+    let mut assignment: BTreeMap<usize, PathRef> = BTreeMap::new();
+    for w in &m.wheres {
+        if let WhereClause::Eq { source: s, target: t } = w {
+            let root = classes.root_of(t);
+            assignment.entry(root).or_insert_with(|| s.clone());
+        }
+    }
+    // Deterministic null tags per class: the lexicographically least member.
+    let mut class_tag: BTreeMap<usize, String> = BTreeMap::new();
+    let member_keys: Vec<((usize, String), usize)> =
+        classes.ids.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    for (key, id) in member_keys {
+        let root = classes.find(id);
+        let name = format!("{}:{}.{}", m.name, m.target_vars[key.0].name, key.1);
+        let entry = class_tag.entry(root).or_insert_with(|| name.clone());
+        if name < *entry {
+            *entry = name;
+        }
+    }
+
+    // --- Set slots (nested target sets with their grouping functions) -----
+    let mut slots: Vec<SetSlot> = Vec::new();
+    let mut slot_of: BTreeMap<SetPath, usize> = BTreeMap::new();
+    for (set, g) in &m.groupings {
+        slot_of.insert(set.clone(), slots.len());
+        slots.push(SetSlot { path: set.clone(), args: g.args.clone() });
+    }
+
+    // --- Per-target-variable plans ----------------------------------------
+    let mut plans: Vec<TVarPlan> = Vec::with_capacity(m.target_vars.len());
+    for (tv_idx, tv) in m.target_vars.iter().enumerate() {
+        let rcd = target_schema.element_record(&tv.set)?;
+        let fields = rcd.rcd_fields().expect("element record");
+        let mut fplans = Vec::with_capacity(fields.len());
+        for f in fields {
+            if f.ty.is_set() {
+                let child = tv.set.child(&f.label);
+                let slot = *slot_of
+                    .get(&child)
+                    .ok_or_else(|| muse_mapping::MappingError::MissingGrouping(child.clone()))?;
+                fplans.push(FieldPlan::Set { slot });
+            } else {
+                let class = classes.root_of(&PathRef::new(tv_idx, f.label.clone()));
+                fplans.push(FieldPlan::Atomic { class });
+            }
+        }
+        let container = match &tv.parent {
+            None => Container::Root(tv.set.label().to_owned()),
+            Some((p, field)) => {
+                let child = m.target_vars[*p].set.child(field);
+                let slot = *slot_of
+                    .get(&child)
+                    .ok_or_else(|| muse_mapping::MappingError::MissingGrouping(child.clone()))?;
+                Container::ParentField { slot }
+            }
+        };
+        plans.push(TVarPlan { fields: fplans, container });
+    }
+
+    // Precompute source attribute indices for fast projection.
+    let src_attr_idx = |r: &PathRef| -> Result<usize, ChaseError> {
+        let set = &m.source_vars[r.var].set;
+        Ok(source_schema.attr_index(set, &r.attr)?)
+    };
+    let mut slot_arg_idx: Vec<Vec<(usize, usize)>> = Vec::with_capacity(slots.len());
+    for s in &slots {
+        let mut v = Vec::with_capacity(s.args.len());
+        for a in &s.args {
+            v.push((a.var, src_attr_idx(a)?));
+        }
+        slot_arg_idx.push(v);
+    }
+    let mut assignment_idx: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+    for (class, r) in &assignment {
+        assignment_idx.insert(*class, (r.var, src_attr_idx(r)?));
+    }
+
+    // --- Enumerate bindings and fire ---------------------------------------
+    let bindings = evaluate_all(source_schema, source, &m.source_query())?;
+    for binding in &bindings {
+        fire(m, target, &slots, &slot_arg_idx, &assignment_idx, &class_tag, &plans, binding)?;
+    }
+    Ok(())
+}
+
+/// Project a source value, importing source nulls into the target store.
+fn project(
+    m: &Mapping,
+    target: &mut Instance,
+    binding: &[Tuple],
+    var: usize,
+    idx: usize,
+) -> Result<Value, ChaseError> {
+    match &binding[var][idx] {
+        v @ Value::Atom(_) => Ok(v.clone()),
+        Value::Null(n) => {
+            // Source labeled null: re-Skolemize in the target store by its
+            // printable identity.
+            let tag = format!("src-null#{}", n.index());
+            let id = target.store_mut().null_id(tag, Vec::new());
+            Ok(Value::Null(id))
+        }
+        other => Err(ChaseError::NonAtomicSourceValue {
+            mapping: m.name.clone(),
+            what: format!("{other:?}"),
+        }),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fire(
+    m: &Mapping,
+    target: &mut Instance,
+    slots: &[SetSlot],
+    slot_arg_idx: &[Vec<(usize, usize)>],
+    assignment_idx: &BTreeMap<usize, (usize, usize)>,
+    class_tag: &BTreeMap<usize, String>,
+    plans: &[TVarPlan],
+    binding: &[Tuple],
+) -> Result<(), ChaseError> {
+    // SetIDs for every filled nested set, per this binding.
+    let mut set_ids = Vec::with_capacity(slots.len());
+    for (slot, s) in slots.iter().enumerate() {
+        let mut args = Vec::with_capacity(slot_arg_idx[slot].len());
+        for &(var, idx) in &slot_arg_idx[slot] {
+            args.push(project(m, target, binding, var, idx)?);
+        }
+        set_ids.push(target.group(s.path.clone(), args));
+    }
+
+    // The binding key that Skolemizes unassigned nulls: all atomic values of
+    // the whole binding, flattened in variable order.
+    let mut binding_key: Option<Vec<Value>> = None;
+
+    // Class values, computed lazily per binding.
+    let mut class_values: BTreeMap<usize, Value> = BTreeMap::new();
+
+    for plan in plans {
+        let mut tuple = Vec::with_capacity(plan.fields.len());
+        for f in &plan.fields {
+            match f {
+                FieldPlan::Set { slot } => tuple.push(Value::Set(set_ids[*slot])),
+                FieldPlan::Atomic { class } => {
+                    if let Some(v) = class_values.get(class) {
+                        tuple.push(v.clone());
+                        continue;
+                    }
+                    let v = if let Some(&(var, idx)) = assignment_idx.get(class) {
+                        project(m, target, binding, var, idx)?
+                    } else {
+                        let key = binding_key.get_or_insert_with(|| {
+                            binding
+                                .iter()
+                                .flat_map(|t| t.iter())
+                                .filter(|v| matches!(v, Value::Atom(_)))
+                                .cloned()
+                                .collect()
+                        });
+                        let tag = class_tag.get(class).cloned().unwrap_or_else(|| {
+                            format!("{}:class{}", m.name, class)
+                        });
+                        Value::Null(target.store_mut().null_id(tag, key.clone()))
+                    };
+                    class_values.insert(*class, v.clone());
+                    tuple.push(v);
+                }
+            }
+        }
+        match &plan.container {
+            Container::Root(label) => {
+                let id = target
+                    .root_id(label)
+                    .expect("target roots exist for every top-level set");
+                target.insert(id, tuple);
+            }
+            Container::ParentField { slot } => {
+                target.insert(set_ids[*slot], tuple);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_mapping::parse;
+    use muse_nr::{display, Field, InstanceBuilder, Ty};
+
+    fn compdb() -> Schema {
+        Schema::new(
+            "CompDB",
+            vec![
+                Field::new(
+                    "Companies",
+                    Ty::set_of(vec![
+                        Field::new("cid", Ty::Int),
+                        Field::new("cname", Ty::Str),
+                        Field::new("location", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Projects",
+                    Ty::set_of(vec![
+                        Field::new("pid", Ty::Str),
+                        Field::new("pname", Ty::Str),
+                        Field::new("cid", Ty::Int),
+                        Field::new("manager", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                        Field::new("contact", Ty::Str),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn orgdb() -> Schema {
+        Schema::new(
+            "OrgDB",
+            vec![
+                Field::new(
+                    "Orgs",
+                    Ty::set_of(vec![
+                        Field::new("oname", Ty::Str),
+                        Field::new(
+                            "Projects",
+                            Ty::set_of(vec![
+                                Field::new("pname", Ty::Str),
+                                Field::new("manager", Ty::Str),
+                            ]),
+                        ),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// The three mappings of Fig. 1 (m2 with the default all-attribute
+    /// grouping, as in the figure).
+    fn fig1_mappings() -> Vec<Mapping> {
+        let mut ms = parse(
+            "
+            m1: for c in CompDB.Companies
+                exists o in OrgDB.Orgs
+                where c.cname = o.oname
+                group o.Projects by (c.cid, c.cname, c.location)
+
+            m2: for c in CompDB.Companies, p in CompDB.Projects, e in CompDB.Employees
+                satisfy p.cid = c.cid and e.eid = p.manager
+                exists o in OrgDB.Orgs, p1 in o.Projects, e1 in OrgDB.Employees
+                satisfy p1.manager = e1.eid
+                where c.cname = o.oname and e.eid = e1.eid and e.ename = e1.ename
+                  and p.pname = p1.pname
+
+            m3: for e in CompDB.Employees
+                exists e1 in OrgDB.Employees
+                where e.eid = e1.eid and e.ename = e1.ename
+            ",
+        )
+        .unwrap();
+        for m in &mut ms {
+            m.ensure_default_groupings(&orgdb(), &compdb()).unwrap();
+        }
+        ms
+    }
+
+    fn fig2_source(schema: &Schema) -> Instance {
+        let mut b = InstanceBuilder::new(schema);
+        b.push_top("Companies", vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")]);
+        b.push_top("Companies", vec![Value::int(112), Value::str("SBC"), Value::str("NY")]);
+        b.push_top(
+            "Projects",
+            vec![Value::str("p1"), Value::str("DBSearch"), Value::int(111), Value::str("e14")],
+        );
+        b.push_top(
+            "Projects",
+            vec![Value::str("p2"), Value::str("WebSearch"), Value::int(111), Value::str("e15")],
+        );
+        b.push_top("Employees", vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")]);
+        b.push_top("Employees", vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")]);
+        b.push_top("Employees", vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn fig2_chase_reproduces_the_paper() {
+        let (s, t) = (compdb(), orgdb());
+        let src = fig2_source(&s);
+        let result = chase(&s, &t, &src, &fig1_mappings()).unwrap();
+        result.validate(&t).unwrap();
+
+        // Four Org tuples: two from m1 (IBM, SBC with 3-ary SetIDs) and two
+        // from m2 (IBM with 10-ary SetIDs, one per project binding).
+        let orgs = result.root_id("Orgs").unwrap();
+        assert_eq!(result.set_len(orgs), 4);
+
+        // Employees: e14, e15 (from m2 and m3, deduplicated) + e16 (m3 only).
+        let emps = result.root_id("Employees").unwrap();
+        assert_eq!(result.set_len(emps), 3);
+
+        // Project sets: two empty (m1's groups) and two singletons (m2's).
+        let proj_sets = result.set_ids_of(&SetPath::parse("Orgs.Projects"));
+        assert_eq!(proj_sets.len(), 4);
+        let mut sizes: Vec<usize> = proj_sets.iter().map(|&id| result.set_len(id)).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![0, 0, 1, 1]);
+
+        // Spot-check rendered form against Fig. 2.
+        let text = display::render(&t, &result);
+        assert!(text.contains("Projects=SKProjects(111,IBM,Almaden)"), "got:\n{text}");
+        assert!(text.contains("Projects=SKProjects(112,SBC,NY)"), "got:\n{text}");
+        assert!(text.contains("(pname=DBSearch, manager=e14)"), "got:\n{text}");
+        assert!(text.contains("(pname=WebSearch, manager=e15)"), "got:\n{text}");
+        assert!(text.contains("(eid=e16, ename=Brown)"), "got:\n{text}");
+    }
+
+    #[test]
+    fn chase_is_idempotent() {
+        let (s, t) = (compdb(), orgdb());
+        let src = fig2_source(&s);
+        let ms = fig1_mappings();
+        let once = chase(&s, &t, &src, &ms).unwrap();
+        // Chasing with Σ twice (i.e. Σ ∪ Σ) adds nothing.
+        let doubled: Vec<Mapping> = ms.iter().chain(&ms).cloned().collect();
+        let twice = chase(&s, &t, &src, &doubled).unwrap();
+        assert_eq!(once.total_tuples(), twice.total_tuples());
+        assert_eq!(
+            display::render(&t, &once),
+            display::render(&t, &twice)
+        );
+    }
+
+    #[test]
+    fn unassigned_target_attribute_becomes_labeled_null() {
+        // Target Org has an `address` element with no correspondence: the
+        // chase must produce labeled nulls N1, N2 (Sec. II).
+        let s = compdb();
+        let t = Schema::new(
+            "OrgDB",
+            vec![Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new("address", Ty::Str),
+                ]),
+            )],
+        )
+        .unwrap();
+        let m = muse_mapping::parse_one(
+            "m1: for c in CompDB.Companies exists o in OrgDB.Orgs where c.cname = o.oname",
+        )
+        .unwrap();
+        let src = fig2_source(&s);
+        let out = chase(&s, &t, &src, &[m]).unwrap();
+        let orgs = out.root_id("Orgs").unwrap();
+        let tuples: Vec<_> = out.tuples(orgs).collect();
+        assert_eq!(tuples.len(), 2);
+        // Both addresses are nulls, and they are *different* nulls.
+        let nulls: Vec<_> = tuples
+            .iter()
+            .map(|tp| match &tp[1] {
+                Value::Null(n) => *n,
+                other => panic!("expected null, got {other:?}"),
+            })
+            .collect();
+        assert_ne!(nulls[0], nulls[1]);
+    }
+
+    #[test]
+    fn ambiguous_mapping_is_rejected() {
+        let s = compdb();
+        let t = Schema::new(
+            "T",
+            vec![Field::new(
+                "Projects",
+                Ty::set_of(vec![Field::new("pname", Ty::Str), Field::new("supervisor", Ty::Str)]),
+            )],
+        )
+        .unwrap();
+        let m = muse_mapping::parse_one(
+            "ma: for p in S.Projects, e1 in S.Employees, e2 in S.Employees
+                 satisfy e1.eid = p.manager and e2.eid = p.manager
+                 exists p1 in T.Projects
+                 where p.pname = p1.pname
+                   and (e1.ename = p1.supervisor or e2.ename = p1.supervisor)",
+        )
+        .unwrap();
+        let src = fig2_source(&s);
+        assert!(matches!(chase(&s, &t, &src, &[m]), Err(ChaseError::Ambiguous(_))));
+    }
+
+    #[test]
+    fn grouping_decides_set_identity() {
+        // Group projects by cname only: both IBM projects share one set.
+        let (s, t) = (compdb(), orgdb());
+        let src = fig2_source(&s);
+        let m = muse_mapping::parse_one(
+            "m2: for c in CompDB.Companies, p in CompDB.Projects, e in CompDB.Employees
+                 satisfy p.cid = c.cid and e.eid = p.manager
+                 exists o in OrgDB.Orgs, p1 in o.Projects, e1 in OrgDB.Employees
+                 satisfy p1.manager = e1.eid
+                 where c.cname = o.oname and e.eid = e1.eid and e.ename = e1.ename
+                   and p.pname = p1.pname
+                 group o.Projects by (c.cname)",
+        )
+        .unwrap();
+        let out = chase(&s, &t, &src, &[m]).unwrap();
+        let proj_sets = out.set_ids_of(&SetPath::parse("Orgs.Projects"));
+        assert_eq!(proj_sets.len(), 1);
+        assert_eq!(out.set_len(proj_sets[0]), 2);
+        let orgs = out.root_id("Orgs").unwrap();
+        assert_eq!(out.set_len(orgs), 1); // one Org tuple: (IBM, SK(IBM))
+    }
+
+    #[test]
+    fn empty_source_chases_to_empty_target() {
+        let (s, t) = (compdb(), orgdb());
+        let src = Instance::new(&s);
+        let out = chase(&s, &t, &src, &fig1_mappings()).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Chase errors.
+
+use std::fmt;
+
+use muse_mapping::MappingError;
+use muse_nr::NrError;
+use muse_query::QueryError;
+
+/// Errors raised by the chase engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaseError {
+    /// The mapping is ambiguous (contains `or`-groups); disambiguate with
+    /// Muse-D (or select an interpretation) before chasing.
+    Ambiguous(String),
+    /// Underlying mapping problem (validation, missing grouping, …).
+    Mapping(MappingError),
+    /// Underlying query problem while evaluating the `for` clause.
+    Query(QueryError),
+    /// Underlying instance problem.
+    Nr(NrError),
+    /// A grouping argument or correspondence projected a non-atomic source
+    /// value (set references cannot flow into atomic target positions).
+    NonAtomicSourceValue { mapping: String, what: String },
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::Ambiguous(m) => {
+                write!(f, "mapping `{m}` is ambiguous; select an interpretation before chasing")
+            }
+            ChaseError::Mapping(e) => write!(f, "mapping error: {e}"),
+            ChaseError::Query(e) => write!(f, "query error: {e}"),
+            ChaseError::Nr(e) => write!(f, "instance error: {e}"),
+            ChaseError::NonAtomicSourceValue { mapping, what } => {
+                write!(f, "mapping `{mapping}`: {what} projects a non-atomic source value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+impl From<MappingError> for ChaseError {
+    fn from(e: MappingError) -> Self {
+        ChaseError::Mapping(e)
+    }
+}
+
+impl From<QueryError> for ChaseError {
+    fn from(e: QueryError) -> Self {
+        ChaseError::Query(e)
+    }
+}
+
+impl From<NrError> for ChaseError {
+    fn from(e: NrError) -> Self {
+        ChaseError::Nr(e)
+    }
+}

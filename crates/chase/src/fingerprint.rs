@@ -1,0 +1,201 @@
+//! Isomorphism-invariant fingerprints of instances.
+//!
+//! A fingerprint abstracts exactly what a one-to-one homomorphism may
+//! rename — SetIDs and labeled nulls — and keeps everything it must
+//! preserve: constants, tuple structure, set paths and (recursively) nested
+//! contents. Two isomorphic instances therefore always have equal
+//! fingerprints, so a fingerprint mismatch decides non-isomorphism without
+//! any search. [`crate::isomorphic`] uses this as its fast path; the
+//! designer-facing wizards compare candidate scenarios thousands of times
+//! per session, almost all of them negative.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use muse_nr::{Instance, SetId, Value};
+
+/// An isomorphism-invariant fingerprint: `iso(a, b) ⇒ fingerprint(a) ==
+/// fingerprint(b)` (the converse does not hold — equal fingerprints still
+/// require the full search).
+pub fn fingerprint(inst: &Instance) -> u64 {
+    let mut memo: BTreeMap<SetId, u64> = BTreeMap::new();
+    // Top-level sets are anchored by label, so fold them in label order.
+    let mut h = DefaultHasher::new();
+    for (label, id) in inst.roots() {
+        label.hash(&mut h);
+        set_fingerprint(inst, id, &mut memo).hash(&mut h);
+    }
+    // Sets unreachable from the roots still participate (rare, but keeps
+    // the invariant exact): fold their path + content hashes as a sorted
+    // multiset.
+    let mut rest: Vec<u64> = inst
+        .set_ids()
+        .map(|id| {
+            let mut hh = DefaultHasher::new();
+            inst.store().set_term(id).set.to_string().hash(&mut hh);
+            set_fingerprint(inst, id, &mut memo).hash(&mut hh);
+            hh.finish()
+        })
+        .collect();
+    rest.sort_unstable();
+    rest.hash(&mut h);
+    h.finish()
+}
+
+fn set_fingerprint(inst: &Instance, id: SetId, memo: &mut BTreeMap<SetId, u64>) -> u64 {
+    if let Some(&v) = memo.get(&id) {
+        return v;
+    }
+    // Nesting follows the schema tree, so recursion terminates; insert a
+    // sentinel anyway to make accidental cycles finite rather than fatal.
+    memo.insert(id, 0);
+    let mut tuple_hashes: Vec<u64> = inst
+        .tuples(id)
+        .map(|t| {
+            let mut h = DefaultHasher::new();
+            for v in t {
+                value_fingerprint(inst, v, memo).hash(&mut h);
+            }
+            h.finish()
+        })
+        .collect();
+    // Sets are unordered: hash the sorted multiset.
+    tuple_hashes.sort_unstable();
+    let mut h = DefaultHasher::new();
+    tuple_hashes.hash(&mut h);
+    let out = h.finish();
+    memo.insert(id, out);
+    out
+}
+
+fn value_fingerprint(inst: &Instance, v: &Value, memo: &mut BTreeMap<SetId, u64>) -> u64 {
+    let mut h = DefaultHasher::new();
+    match v {
+        Value::Atom(a) => {
+            0u8.hash(&mut h);
+            a.hash(&mut h);
+        }
+        Value::Null(_) => {
+            // All nulls are interchangeable under renaming. (This loses the
+            // null-sharing pattern, which is why equal fingerprints still
+            // need the search.)
+            1u8.hash(&mut h);
+        }
+        Value::Set(id) => {
+            2u8.hash(&mut h);
+            inst.store().set_term(*id).set.to_string().hash(&mut h);
+            set_fingerprint(inst, *id, memo).hash(&mut h);
+        }
+        Value::Choice(label, inner) => {
+            3u8.hash(&mut h);
+            label.hash(&mut h);
+            value_fingerprint(inst, inner, memo).hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_nr::{Field, InstanceBuilder, Schema, Ty};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "T",
+            vec![Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+                ]),
+            )],
+        )
+        .unwrap()
+    }
+
+    fn org_instance(group_arg: i64, groups: &[(&str, &[&str])]) -> Instance {
+        let s = schema();
+        let mut b = InstanceBuilder::new(&s);
+        for (i, (oname, projects)) in groups.iter().enumerate() {
+            let id = b.group("Orgs.Projects", vec![Value::int(group_arg + i as i64)]);
+            for p in *projects {
+                b.push(id, vec![Value::str(*p)]);
+            }
+            b.push_top("Orgs", vec![Value::str(*oname), Value::Set(id)]);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn invariant_under_setid_renaming() {
+        let a = org_instance(0, &[("IBM", &["DB", "Web"]), ("SBC", &["WiFi"])]);
+        let b = org_instance(1000, &[("IBM", &["DB", "Web"]), ("SBC", &["WiFi"])]);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn invariant_under_insertion_order() {
+        let a = org_instance(0, &[("IBM", &["DB", "Web"]), ("SBC", &["WiFi"])]);
+        let b = org_instance(0, &[("SBC", &["WiFi"]), ("IBM", &["Web", "DB"])]);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn distinguishes_grouping_shapes() {
+        // One set with two projects vs two singleton sets.
+        let a = org_instance(0, &[("IBM", &["DB", "Web"])]);
+        let b = org_instance(0, &[("IBM", &["DB"]), ("IBM", &["Web"])]);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn distinguishes_constants() {
+        let a = org_instance(0, &[("IBM", &["DB"])]);
+        let b = org_instance(0, &[("IBM", &["Web"])]);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn nulls_are_interchangeable() {
+        let s = schema();
+        let make = |tag: &str| {
+            let mut b = InstanceBuilder::new(&s);
+            let g = b.group("Orgs.Projects", vec![]);
+            let mut inst = b.finish_unchecked();
+            let n = inst.store_mut().null_id(tag, vec![]);
+            let orgs = inst.root_id("Orgs").unwrap();
+            inst.insert(orgs, vec![Value::Null(n), Value::Set(g)]);
+            inst
+        };
+        assert_eq!(fingerprint(&make("n1")), fingerprint(&make("some-other-null")));
+    }
+
+    #[test]
+    fn agrees_with_isomorphism_on_random_shapes() {
+        // iso(a, b) ⇒ fingerprint equal, across a grid of small instances.
+        let shapes: Vec<Vec<(&str, &[&str])>> = vec![
+            vec![],
+            vec![("IBM", &[] as &[&str])],
+            vec![("IBM", &["DB"] as &[&str])],
+            vec![("IBM", &["DB", "Web"] as &[&str])],
+            vec![("IBM", &["DB"] as &[&str]), ("SBC", &["DB"] as &[&str])],
+            vec![("IBM", &["DB"] as &[&str]), ("IBM", &["DB"] as &[&str])],
+        ];
+        for (i, ga) in shapes.iter().enumerate() {
+            for (j, gb) in shapes.iter().enumerate() {
+                let a = org_instance(0, ga);
+                let b = org_instance(100, gb);
+                let iso = crate::isomorphic(&a, &b);
+                let fp = fingerprint(&a) == fingerprint(&b);
+                if iso {
+                    assert!(fp, "iso but fingerprints differ ({i}, {j})");
+                }
+                if !fp {
+                    assert!(!iso, "fingerprints equal claim broken ({i}, {j})");
+                }
+            }
+        }
+    }
+}

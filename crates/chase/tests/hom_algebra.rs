@@ -1,0 +1,148 @@
+//! Algebraic properties of homomorphisms and isomorphism over random
+//! instances: reflexivity, symmetry of isomorphism, hom into supersets,
+//! and behaviour on `Choice` values.
+
+use muse_chase::{find_homomorphism, find_injective_homomorphism, isomorphic};
+use muse_nr::{Field, Instance, InstanceBuilder, Schema, Ty, Value};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(
+        "T",
+        vec![Field::new(
+            "Orgs",
+            Ty::set_of(vec![
+                Field::new("oname", Ty::Str),
+                Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Int)])),
+            ]),
+        )],
+    )
+    .unwrap()
+}
+
+/// Random nested instances: up to 4 groups with up to 4 int members each.
+fn instances() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    prop::collection::vec((0u8..4, prop::collection::vec(0u8..5, 0..4)), 0..4)
+}
+
+fn build(groups: &[(u8, Vec<u8>)]) -> Instance {
+    let s = schema();
+    let mut b = InstanceBuilder::new(&s);
+    for (i, (name, members)) in groups.iter().enumerate() {
+        let id = b.group("Orgs.Projects", vec![Value::int(i as i64)]);
+        for m in members {
+            b.push(id, vec![Value::int(*m as i64)]);
+        }
+        b.push_top("Orgs", vec![Value::str(format!("org{name}")), Value::Set(id)]);
+    }
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn isomorphism_is_reflexive(g in instances()) {
+        let a = build(&g);
+        prop_assert!(isomorphic(&a, &a));
+        prop_assert!(find_homomorphism(&a, &a).is_some());
+        prop_assert!(find_injective_homomorphism(&a, &a).is_some());
+    }
+
+    #[test]
+    fn instances_map_into_their_supersets(g in instances(), extra in instances()) {
+        let a = build(&g);
+        let mut both = g.clone();
+        both.extend(extra);
+        let b = build(&both);
+        prop_assert!(find_homomorphism(&a, &b).is_some());
+    }
+
+    #[test]
+    fn isomorphism_is_symmetric(g in instances(), h in instances()) {
+        let a = build(&g);
+        let b = build(&h);
+        prop_assert_eq!(isomorphic(&a, &b), isomorphic(&b, &a));
+    }
+
+    #[test]
+    fn homomorphisms_compose(g in instances(), extra1 in instances(), extra2 in instances()) {
+        // a ⊆ b ⊆ c: homs exist along the chain and transitively.
+        let a = build(&g);
+        let mut gb = g.clone();
+        gb.extend(extra1);
+        let b = build(&gb);
+        let mut gc = gb.clone();
+        gc.extend(extra2);
+        let c = build(&gc);
+        prop_assert!(find_homomorphism(&a, &b).is_some());
+        prop_assert!(find_homomorphism(&b, &c).is_some());
+        prop_assert!(find_homomorphism(&a, &c).is_some());
+    }
+}
+
+#[test]
+fn choice_values_must_match_label_and_inner() {
+    let schema = Schema::new(
+        "S",
+        vec![Field::new(
+            "A",
+            Ty::set_of(vec![Field::new(
+                "c",
+                Ty::Choice(vec![Field::new("l", Ty::Int), Field::new("r", Ty::Str)]),
+            )]),
+        )],
+    )
+    .unwrap();
+    let make = |v: Value| {
+        let mut i = Instance::new(&schema);
+        let root = i.root_id("A").unwrap();
+        i.insert(root, vec![v]);
+        i
+    };
+    let left1 = make(Value::Choice("l".into(), Box::new(Value::int(1))));
+    let left1b = make(Value::Choice("l".into(), Box::new(Value::int(1))));
+    let left2 = make(Value::Choice("l".into(), Box::new(Value::int(2))));
+    let right = make(Value::Choice("r".into(), Box::new(Value::str("1"))));
+
+    assert!(isomorphic(&left1, &left1b));
+    assert!(find_homomorphism(&left1, &left2).is_none(), "different inner constants");
+    assert!(find_homomorphism(&left1, &right).is_none(), "different labels");
+}
+
+#[test]
+fn many_twin_sets_match_quickly() {
+    // Regression test: two instances with ~30 pairs of content-identical
+    // ("twin") sets used to blow up the old enumerate-all-set-assignments
+    // search exponentially. The forced-propagation search must decide both
+    // directions in well under a second.
+    use std::time::Instant;
+    let s = Schema::new(
+        "W",
+        vec![Field::new(
+            "Root",
+            Ty::set_of(vec![
+                Field::new("k", Ty::Int),
+                Field::new("Kids", Ty::set_of(vec![Field::new("x", Ty::Int)])),
+            ]),
+        )],
+    )
+    .unwrap();
+    let make = |flip: bool| {
+        let mut b = InstanceBuilder::new(&s);
+        for i in 0..30i64 {
+            // Twin sets: identical contents, distinguished only by their
+            // grouping arguments and owning tuples.
+            let id = b.group("Root.Kids", vec![Value::int(if flip { 1000 + i } else { i })]);
+            b.push(id, vec![Value::int(7)]);
+            b.push_top("Root", vec![Value::int(i), Value::Set(id)]);
+        }
+        b.finish().unwrap()
+    };
+    let a = make(false);
+    let b = make(true);
+    let t0 = Instant::now();
+    assert!(isomorphic(&a, &b));
+    assert!(find_homomorphism(&a, &b).is_some());
+    assert!(t0.elapsed() < std::time::Duration::from_secs(2), "took {:?}", t0.elapsed());
+}

@@ -1,0 +1,229 @@
+//! The interactive demos: the paper's running example (Figs. 1–3) and the
+//! ambiguous mapping of Fig. 4, with the user playing designer.
+
+use std::io::{stdin, stdout};
+
+use muse_chase::chase;
+use muse_mapping::parse;
+use muse_nr::{display, Constraints, Field, InstanceBuilder, Schema, SetPath, Ty, Value};
+use muse_wizard::{InteractiveDesigner, MuseD, MuseG};
+
+fn compdb() -> Schema {
+    Schema::new(
+        "CompDB",
+        vec![
+            Field::new(
+                "Companies",
+                Ty::set_of(vec![
+                    Field::new("cid", Ty::Int),
+                    Field::new("cname", Ty::Str),
+                    Field::new("location", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Projects",
+                Ty::set_of(vec![
+                    Field::new("pid", Ty::Str),
+                    Field::new("pname", Ty::Str),
+                    Field::new("cid", Ty::Int),
+                    Field::new("manager", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                    Field::new("contact", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .expect("demo schema")
+}
+
+fn orgdb() -> Schema {
+    Schema::new(
+        "OrgDB",
+        vec![
+            Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new(
+                        "Projects",
+                        Ty::set_of(vec![
+                            Field::new("pname", Ty::Str),
+                            Field::new("manager", Ty::Str),
+                        ]),
+                    ),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .expect("demo schema")
+}
+
+fn fig2_source(src: &Schema) -> muse_nr::Instance {
+    let mut b = InstanceBuilder::new(src);
+    b.push_top("Companies", vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")]);
+    b.push_top("Companies", vec![Value::int(112), Value::str("SBC"), Value::str("NY")]);
+    b.push_top(
+        "Projects",
+        vec![Value::str("p1"), Value::str("DBSearch"), Value::int(111), Value::str("e14")],
+    );
+    b.push_top(
+        "Projects",
+        vec![Value::str("p2"), Value::str("WebSearch"), Value::int(111), Value::str("e15")],
+    );
+    b.push_top("Employees", vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")]);
+    b.push_top("Employees", vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")]);
+    b.push_top("Employees", vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")]);
+    b.finish().expect("demo instance")
+}
+
+/// Figs. 1–3: design the grouping function of `m2` interactively.
+pub fn run_demo() -> i32 {
+    let (src, tgt) = (compdb(), orgdb());
+    let mut mappings = parse(
+        "
+        m2: for c in CompDB.Companies, p in CompDB.Projects, e in CompDB.Employees
+            satisfy p.cid = c.cid and e.eid = p.manager
+            exists o in OrgDB.Orgs, p1 in o.Projects, e1 in OrgDB.Employees
+            satisfy p1.manager = e1.eid
+            where c.cname = o.oname and e.eid = e1.eid and e.ename = e1.ename
+              and p.pname = p1.pname
+        ",
+    )
+    .expect("demo mapping");
+    mappings[0].ensure_default_groupings(&tgt, &src).expect("groupings");
+    let m2 = mappings.remove(0);
+    let source = fig2_source(&src);
+
+    println!("You are designing the grouping function for OrgDB's nested Projects");
+    println!("set in the mapping m2 (the paper's running example). Your familiar");
+    println!("source database:");
+    println!("{}", display::render(&src, &source));
+    println!("Answer each question by picking the target instance that matches");
+    println!("how YOU want projects grouped (e.g. one project list per company name).");
+    crate::pause("Press enter to start. ");
+
+    let cons = Constraints::none();
+    let museg = MuseG::new(&src, &tgt, &cons).with_instance(&source);
+    let stdin = stdin();
+    let mut designer =
+        InteractiveDesigner::new(stdin.lock(), stdout(), src.clone(), tgt.clone());
+    match museg.design_grouping(&m2, &SetPath::parse("Orgs.Projects"), &mut designer) {
+        Ok(outcome) => {
+            let args: Vec<String> =
+                outcome.grouping.iter().map(|r| m2.source_ref_name(r)).collect();
+            println!("\nYour grouping function: SKProjs({})", args.join(", "));
+            println!(
+                "({} questions; {} real and {} synthetic examples)",
+                outcome.questions, outcome.real_examples, outcome.synthetic_examples
+            );
+            let mut designed = m2.clone();
+            designed.set_grouping(
+                SetPath::parse("Orgs.Projects"),
+                muse_mapping::Grouping::new(outcome.grouping),
+            );
+            let j = chase(&src, &tgt, &source, std::slice::from_ref(&designed))
+                .expect("chase of designed mapping");
+            println!("\nYour database under the designed mapping:");
+            println!("{}", display::render(&tgt, &j));
+            0
+        }
+        Err(e) => {
+            eprintln!("wizard failed: {e}");
+            1
+        }
+    }
+}
+
+/// Fig. 4: disambiguate `ma` interactively.
+pub fn run_disambiguate() -> i32 {
+    let src = Schema::new(
+        "CompDB",
+        vec![
+            Field::new(
+                "Projects",
+                Ty::set_of(vec![
+                    Field::new("pid", Ty::Str),
+                    Field::new("pname", Ty::Str),
+                    Field::new("manager", Ty::Str),
+                    Field::new("tech-lead", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                    Field::new("contact", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .expect("demo schema");
+    let tgt = Schema::new(
+        "OrgDB",
+        vec![Field::new(
+            "Projects",
+            Ty::set_of(vec![
+                Field::new("pname", Ty::Str),
+                Field::new("supervisor", Ty::Str),
+                Field::new("email", Ty::Str),
+            ]),
+        )],
+    )
+    .expect("demo schema");
+    let ma = parse(
+        "ma: for p in CompDB.Projects, e1 in CompDB.Employees, e2 in CompDB.Employees
+             satisfy e1.eid = p.manager and e2.eid = p.tech-lead
+             exists p1 in OrgDB.Projects
+             where p.pname = p1.pname
+               and (e1.ename = p1.supervisor or e2.ename = p1.supervisor)
+               and (e1.contact = p1.email or e2.contact = p1.email)",
+    )
+    .expect("demo mapping")
+    .remove(0);
+
+    let mut b = InstanceBuilder::new(&src);
+    b.push_top(
+        "Projects",
+        vec![Value::str("P1"), Value::str("DB"), Value::str("e4"), Value::str("e5")],
+    );
+    b.push_top("Employees", vec![Value::str("e4"), Value::str("Jon"), Value::str("jon@ibm")]);
+    b.push_top("Employees", vec![Value::str("e5"), Value::str("Anna"), Value::str("anna@ibm")]);
+    let real = b.finish().expect("demo instance");
+
+    println!("The generated mapping is ambiguous: a project's supervisor (and");
+    println!("email) can come from its manager or from its tech lead. Fill in the");
+    println!("blanks the way the target should look.\n");
+
+    let cons = Constraints::none();
+    let mused = MuseD::new(&src, &tgt, &cons).with_instance(&real);
+    let stdin = stdin();
+    let mut designer =
+        InteractiveDesigner::new(stdin.lock(), stdout(), src.clone(), tgt.clone());
+    match mused.disambiguate(&ma, &mut designer) {
+        Ok(outcome) => {
+            println!("\nSelected interpretation(s):");
+            for m in &outcome.selected {
+                println!("{}", muse_mapping::print(m));
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("wizard failed: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! `muse` — the mapping design wizard as an interactive CLI.
+//!
+//! ```text
+//! muse demo                          the paper's Figs. 1-3, you play designer
+//! muse disambiguate                  Fig. 4's ambiguous mapping, interactively
+//! muse scenario <name> [options]     run the full wizard on an evaluation
+//!                                    scenario (Mondial|DBLP|TPCH|Amalgam)
+//! muse design --source <file> --target <file> --corr <file>
+//!                                    the wizard on your own schemas (see
+//!                                    examples/schemas/)
+//!     --strategy g1|g2|g3            oracle designer instead of you (default: interactive)
+//!     --scale <f>                    instance scale factor (default 0.1)
+//!     --seed <n>                     generator seed (default 1)
+//! ```
+
+use std::io::{stdin, stdout, Write};
+
+mod demo;
+mod design;
+mod scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("demo") => demo::run_demo(),
+        Some("disambiguate") => demo::run_disambiguate(),
+        Some("scenario") => scenario::run(&args[1..]),
+        Some("design") => design::run(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n");
+            usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() {
+    println!("muse — Mapping Understanding and deSign by Example (ICDE 2008)");
+    println!();
+    println!("USAGE:");
+    println!("  muse demo                      design SKProjs for the paper's running example");
+    println!("  muse disambiguate              resolve the ambiguous mapping of Fig. 4");
+    println!("  muse scenario <name> [opts]    full wizard on Mondial|DBLP|TPCH|Amalgam");
+    println!("  muse design --source S --target T --corr C [--data DIR] [--out F]");
+    println!("                                 full wizard on your own schema files");
+    println!("      --strategy g1|g2|g3        answer with an oracle instead of interactively");
+    println!("      --scale <f>                instance scale (default 0.1)");
+    println!("      --seed <n>                 generator seed (default 1)");
+}
+
+/// Shared stdin/stdout prompt helper.
+pub(crate) fn pause(msg: &str) {
+    print!("{msg}");
+    let _ = stdout().flush();
+    let mut s = String::new();
+    let _ = stdin().read_line(&mut s);
+}

@@ -1,0 +1,163 @@
+//! `muse scenario <name>`: run the full wizard (Sec. V) over one of the
+//! evaluation scenarios, interactively or with a strategy oracle.
+
+use std::io::{stdin, stdout};
+
+use muse_cliogen::{desired_grouping, GroupingStrategy};
+use muse_mapping::ambiguity::{or_groups, select_multi};
+use muse_scenarios::Scenario;
+use muse_wizard::{InteractiveDesigner, OracleDesigner, Session};
+
+struct Options {
+    name: String,
+    strategy: Option<GroupingStrategy>,
+    scale: f64,
+    seed: u64,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        name: args.first().cloned().ok_or("missing scenario name")?,
+        strategy: None,
+        scale: 0.1,
+        seed: 1,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--strategy" => {
+                let v = args.get(i + 1).ok_or("--strategy needs a value")?;
+                opts.strategy = Some(match v.to_ascii_lowercase().as_str() {
+                    "g1" => GroupingStrategy::G1,
+                    "g2" => GroupingStrategy::G2,
+                    "g3" => GroupingStrategy::G3,
+                    other => return Err(format!("unknown strategy `{other}`")),
+                });
+                i += 2;
+            }
+            "--scale" => {
+                opts.scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--scale needs a number")?;
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+pub fn run(args: &[String]) -> i32 {
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let scenarios = muse_scenarios::all_scenarios();
+    let Some(scenario) =
+        scenarios.iter().find(|s| s.name.eq_ignore_ascii_case(&opts.name))
+    else {
+        eprintln!(
+            "unknown scenario `{}` (try Mondial, DBLP, TPCH, Amalgam)",
+            opts.name
+        );
+        return 2;
+    };
+
+    println!(
+        "Generating the {} instance (scale {}) and candidate mappings…",
+        scenario.name, opts.scale
+    );
+    let instance = scenario.instance(scenario.default_scale * opts.scale, opts.seed);
+    let mappings = match scenario.mappings() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("mapping generation failed: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "Instance: {} tuples ({:.2} MB). {} candidate mappings, {} ambiguous.\n",
+        instance.total_tuples(),
+        instance.approx_bytes() as f64 / 1_000_000.0,
+        mappings.len(),
+        mappings.iter().filter(|m| m.is_ambiguous()).count()
+    );
+
+    let session = Session::new(
+        &scenario.source_schema,
+        &scenario.target_schema,
+        &scenario.source_constraints,
+    )
+    .with_instance(&instance);
+
+    let report = match opts.strategy {
+        Some(strategy) => {
+            let mut oracle = oracle_for(scenario, &mappings, strategy);
+            session.run(&mappings, &mut oracle)
+        }
+        None => {
+            let stdin = stdin();
+            let mut designer = InteractiveDesigner::new(
+                stdin.lock(),
+                stdout(),
+                scenario.source_schema.clone(),
+                scenario.target_schema.clone(),
+            );
+            session.run(&mappings, &mut designer)
+        }
+    };
+    match report {
+        Ok(report) => {
+            println!("\n{}", muse_wizard::render_report(&report));
+            0
+        }
+        Err(e) => {
+            eprintln!("wizard failed: {e}");
+            1
+        }
+    }
+}
+
+/// An oracle who wants `strategy` groupings and the first interpretation of
+/// every ambiguity.
+fn oracle_for<'a>(
+    scenario: &'a Scenario,
+    mappings: &[muse_mapping::Mapping],
+    strategy: GroupingStrategy,
+) -> OracleDesigner<'a> {
+    let mut oracle = OracleDesigner::new(&scenario.source_schema, &scenario.target_schema);
+    for m in mappings {
+        let resolved = if m.is_ambiguous() {
+            let picks = vec![vec![0usize]; or_groups(m).len()];
+            oracle.intended_choices.insert(m.name.clone(), picks.clone());
+            select_multi(m, &picks).expect("selection")
+        } else {
+            vec![m.clone()]
+        };
+        for sel in resolved {
+            for sk in sel.filled_target_sets(&scenario.target_schema).expect("filled") {
+                let desired = desired_grouping(
+                    &sel,
+                    &sk,
+                    strategy,
+                    &scenario.source_schema,
+                    &scenario.target_schema,
+                )
+                .expect("strategy grouping");
+                oracle.intend_grouping(sel.name.clone(), sk, desired);
+            }
+        }
+    }
+    oracle
+}

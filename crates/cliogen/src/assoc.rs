@@ -1,0 +1,232 @@
+//! Logical associations: the building blocks of Clio-style generation.
+//!
+//! For every nested set of a schema, its *primary path* binds one variable
+//! per set on the chain from the root down to it (`o in Orgs, p in
+//! o.Projects`). Chasing the primary path with the schema's referential
+//! constraints adds the variables (and join equalities) for everything the
+//! path's tuples reference — producing the schema's logical associations
+//! (called logical relations in \[2\]).
+
+use std::collections::BTreeMap;
+
+use muse_mapping::closure::close_binding;
+use muse_mapping::{MappingError, MappingVar, PathRef};
+use muse_nr::{Constraints, Schema, SetPath};
+
+/// One logical association.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Association {
+    /// The nested set whose primary path seeded the association.
+    pub primary: SetPath,
+    /// Variables (primary-chain first, then constraint witnesses).
+    pub vars: Vec<MappingVar>,
+    /// Join equalities among the variables.
+    pub eqs: Vec<(PathRef, PathRef)>,
+}
+
+impl Association {
+    /// Multiset of the variable set paths (used for the subsumption order).
+    pub fn signature(&self) -> BTreeMap<SetPath, usize> {
+        let mut m = BTreeMap::new();
+        for v in &self.vars {
+            *m.entry(v.set.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// `self ⊆ other` on the variable multisets: every set path of `self`
+    /// occurs at least as often in `other`.
+    pub fn is_sub_association_of(&self, other: &Association) -> bool {
+        let o = other.signature();
+        self.signature()
+            .into_iter()
+            .all(|(p, n)| o.get(&p).copied().unwrap_or(0) >= n)
+    }
+
+    /// Indices of the variables ranging over `set`.
+    pub fn vars_over(&self, set: &SetPath) -> Vec<usize> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| &v.set == set)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The logical associations of a schema: one per nested set, in BFS order.
+pub fn associations(schema: &Schema, cons: &Constraints) -> Result<Vec<Association>, MappingError> {
+    let mut out = Vec::new();
+    for path in schema.set_paths_bfs() {
+        let mut vars = Vec::new();
+        let mut eqs = Vec::new();
+        // Primary chain: one variable per prefix of the path.
+        let segments = path.segments().to_vec();
+        let mut parent: Option<usize> = None;
+        for depth in 1..=segments.len() {
+            let prefix = SetPath::new(segments[..depth].iter().cloned());
+            let name = format!("v{}", vars.len());
+            let var = match parent {
+                None => MappingVar { name, set: prefix, parent: None },
+                Some(p) => MappingVar {
+                    name,
+                    set: prefix,
+                    parent: Some((p, segments[depth - 1].clone())),
+                },
+            };
+            vars.push(var);
+            parent = Some(vars.len() - 1);
+        }
+        close_binding(&mut vars, &mut eqs, schema, cons)?;
+        out.push(Association { primary: path, vars, eqs });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_nr::{Field, ForeignKey, Ty};
+
+    fn compdb() -> (Schema, Constraints) {
+        let schema = Schema::new(
+            "CompDB",
+            vec![
+                Field::new(
+                    "Companies",
+                    Ty::set_of(vec![Field::new("cid", Ty::Int), Field::new("cname", Ty::Str)]),
+                ),
+                Field::new(
+                    "Projects",
+                    Ty::set_of(vec![
+                        Field::new("pname", Ty::Str),
+                        Field::new("cid", Ty::Int),
+                        Field::new("manager", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                ),
+            ],
+        )
+        .unwrap();
+        let cons = Constraints {
+            keys: vec![],
+            fds: vec![],
+            fks: vec![
+                ForeignKey::new(
+                    SetPath::parse("Projects"),
+                    vec!["cid"],
+                    SetPath::parse("Companies"),
+                    vec!["cid"],
+                ),
+                ForeignKey::new(
+                    SetPath::parse("Projects"),
+                    vec!["manager"],
+                    SetPath::parse("Employees"),
+                    vec!["eid"],
+                ),
+            ],
+        };
+        (schema, cons)
+    }
+
+    #[test]
+    fn flat_associations_follow_fks() {
+        let (s, c) = compdb();
+        let assocs = associations(&s, &c).unwrap();
+        assert_eq!(assocs.len(), 3);
+        let by_primary: BTreeMap<String, &Association> =
+            assocs.iter().map(|a| (a.primary.to_string(), a)).collect();
+        // Companies and Employees stand alone.
+        assert_eq!(by_primary["Companies"].vars.len(), 1);
+        assert_eq!(by_primary["Employees"].vars.len(), 1);
+        // Projects pulls in its company and its manager.
+        let p = by_primary["Projects"];
+        assert_eq!(p.vars.len(), 3);
+        assert_eq!(p.eqs.len(), 2);
+        assert_eq!(p.vars_over(&SetPath::parse("Companies")).len(), 1);
+        assert_eq!(p.vars_over(&SetPath::parse("Employees")).len(), 1);
+    }
+
+    #[test]
+    fn two_fks_to_one_set_give_two_witnesses() {
+        // Fig. 4(a): Projects has manager AND tech-lead referencing
+        // Employees — the association has two Employee variables, the seed
+        // of the ambiguity Muse-D untangles.
+        let schema = Schema::new(
+            "S",
+            vec![
+                Field::new(
+                    "Projects",
+                    Ty::set_of(vec![
+                        Field::new("pname", Ty::Str),
+                        Field::new("manager", Ty::Str),
+                        Field::new("tech-lead", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                ),
+            ],
+        )
+        .unwrap();
+        let cons = Constraints {
+            keys: vec![],
+            fds: vec![],
+            fks: vec![
+                ForeignKey::new(
+                    SetPath::parse("Projects"),
+                    vec!["manager"],
+                    SetPath::parse("Employees"),
+                    vec!["eid"],
+                ),
+                ForeignKey::new(
+                    SetPath::parse("Projects"),
+                    vec!["tech-lead"],
+                    SetPath::parse("Employees"),
+                    vec!["eid"],
+                ),
+            ],
+        };
+        let assocs = associations(&schema, &cons).unwrap();
+        let p = assocs.iter().find(|a| a.primary == SetPath::parse("Projects")).unwrap();
+        assert_eq!(p.vars_over(&SetPath::parse("Employees")).len(), 2);
+    }
+
+    #[test]
+    fn nested_primary_paths_chain_variables() {
+        let schema = Schema::new(
+            "T",
+            vec![Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+                ]),
+            )],
+        )
+        .unwrap();
+        let assocs = associations(&schema, &Constraints::none()).unwrap();
+        assert_eq!(assocs.len(), 2);
+        let nested = assocs
+            .iter()
+            .find(|a| a.primary == SetPath::parse("Orgs.Projects"))
+            .unwrap();
+        assert_eq!(nested.vars.len(), 2);
+        assert_eq!(nested.vars[1].parent, Some((0, "Projects".to_string())));
+    }
+
+    #[test]
+    fn sub_association_order() {
+        let (s, c) = compdb();
+        let assocs = associations(&s, &c).unwrap();
+        let comp = assocs.iter().find(|a| a.primary == SetPath::parse("Companies")).unwrap();
+        let proj = assocs.iter().find(|a| a.primary == SetPath::parse("Projects")).unwrap();
+        assert!(comp.is_sub_association_of(proj));
+        assert!(!proj.is_sub_association_of(comp));
+        assert!(comp.is_sub_association_of(comp));
+    }
+}

@@ -1,0 +1,122 @@
+//! Attribute-to-attribute correspondences (the "arrows" of Fig. 1).
+
+use muse_nr::{Schema, SetPath};
+
+use muse_mapping::MappingError;
+
+/// The address of an atomic schema element: a nested set plus one of its
+/// attributes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrAddr {
+    /// The nested set.
+    pub set: SetPath,
+    /// The atomic attribute.
+    pub attr: String,
+}
+
+impl AttrAddr {
+    /// Build an address from a dotted string: the last segment is the
+    /// attribute, the rest the set path (e.g. `"Orgs.Projects.pname"`).
+    pub fn parse(s: &str) -> Self {
+        let mut segs: Vec<&str> = s.split('.').collect();
+        let attr = segs.pop().unwrap_or("").to_owned();
+        AttrAddr { set: SetPath::new(segs), attr }
+    }
+
+    /// Does this address exist in `schema` (as an atomic element)?
+    pub fn validate(&self, schema: &Schema) -> Result<(), MappingError> {
+        schema
+            .atomic_attr_index(&self.set, &self.attr)
+            .map_err(|_| MappingError::UnknownAttr {
+                var: self.set.to_string(),
+                attr: self.attr.clone(),
+            })?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for AttrAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.set, self.attr)
+    }
+}
+
+/// One correspondence: a source element feeds a target element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Correspondence {
+    /// Source element.
+    pub source: AttrAddr,
+    /// Target element.
+    pub target: AttrAddr,
+}
+
+impl Correspondence {
+    /// Build from two dotted addresses.
+    pub fn new(source: &str, target: &str) -> Self {
+        Correspondence { source: AttrAddr::parse(source), target: AttrAddr::parse(target) }
+    }
+
+    /// Validate both endpoints.
+    pub fn validate(&self, source: &Schema, target: &Schema) -> Result<(), MappingError> {
+        self.source.validate(source)?;
+        self.target.validate(target)?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Correspondence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.source, self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_nr::{Field, Ty};
+
+    #[test]
+    fn parse_addresses() {
+        let a = AttrAddr::parse("Orgs.Projects.pname");
+        assert_eq!(a.set, SetPath::parse("Orgs.Projects"));
+        assert_eq!(a.attr, "pname");
+        assert_eq!(a.to_string(), "Orgs.Projects.pname");
+
+        let b = AttrAddr::parse("Companies.cname");
+        assert_eq!(b.set, SetPath::parse("Companies"));
+        assert_eq!(b.attr, "cname");
+    }
+
+    #[test]
+    fn validate_against_schema() {
+        let s = Schema::new(
+            "S",
+            vec![Field::new(
+                "Companies",
+                Ty::set_of(vec![Field::new("cname", Ty::Str)]),
+            )],
+        )
+        .unwrap();
+        assert!(AttrAddr::parse("Companies.cname").validate(&s).is_ok());
+        assert!(AttrAddr::parse("Companies.nope").validate(&s).is_err());
+        assert!(AttrAddr::parse("Nope.cname").validate(&s).is_err());
+    }
+
+    #[test]
+    fn correspondence_display_and_validate() {
+        let s = Schema::new(
+            "S",
+            vec![Field::new("A", Ty::set_of(vec![Field::new("x", Ty::Str)]))],
+        )
+        .unwrap();
+        let t = Schema::new(
+            "T",
+            vec![Field::new("B", Ty::set_of(vec![Field::new("y", Ty::Str)]))],
+        )
+        .unwrap();
+        let c = Correspondence::new("A.x", "B.y");
+        assert_eq!(c.to_string(), "A.x -> B.y");
+        c.validate(&s, &t).unwrap();
+        assert!(Correspondence::new("A.z", "B.y").validate(&s, &t).is_err());
+    }
+}

@@ -1,0 +1,454 @@
+//! Candidate-mapping generation from association pairs.
+
+use std::collections::BTreeMap;
+
+use muse_mapping::{Mapping, MappingError, PathRef, WhereClause};
+use muse_nr::{Constraints, Schema};
+
+use crate::assoc::{associations, Association};
+use crate::correspondence::Correspondence;
+
+/// Everything the generator needs about a mapping scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSpec<'a> {
+    /// Source schema.
+    pub source_schema: &'a Schema,
+    /// Source keys / FDs / referential constraints.
+    pub source_constraints: &'a Constraints,
+    /// Target schema.
+    pub target_schema: &'a Schema,
+    /// Target constraints.
+    pub target_constraints: &'a Constraints,
+    /// The designer's correspondences.
+    pub correspondences: &'a [Correspondence],
+}
+
+/// Generate the candidate mappings of a scenario (see crate docs for the
+/// pipeline). Mappings are named `m1, m2, …` in deterministic order (target
+/// association BFS order, then source association order), each carries the
+/// default all-attribute grouping functions, and mappings are ambiguous
+/// (`or`-groups) whenever several source variables can feed one target
+/// attribute.
+pub fn generate(spec: &ScenarioSpec<'_>) -> Result<Vec<Mapping>, MappingError> {
+    for c in spec.correspondences {
+        c.validate(spec.source_schema, spec.target_schema)?;
+    }
+    let src_assocs = associations(spec.source_schema, spec.source_constraints)?;
+    let tgt_assocs = associations(spec.target_schema, spec.target_constraints)?;
+
+    // Coverage per pair.
+    struct Pair<'x> {
+        a: &'x Association,
+        b: &'x Association,
+        cov: Vec<usize>,
+    }
+    let mut pairs: Vec<Pair<'_>> = Vec::new();
+    for b in &tgt_assocs {
+        for a in &src_assocs {
+            let cov: Vec<usize> = spec
+                .correspondences
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| {
+                    !a.vars_over(&c.source.set).is_empty() && !b.vars_over(&c.target.set).is_empty()
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if !cov.is_empty() {
+                pairs.push(Pair { a, b, cov });
+            }
+        }
+    }
+
+    // Prune candidates that add nothing, the way Clio does:
+    //
+    // (a) *implication*: (A,B) is implied by (A',B') when A' ⊆ A (it fires
+    //     whenever (A,B) would), B ⊆ B' (its consequences include (A,B)'s)
+    //     and it carries at least the same correspondences;
+    // (b) *minimality*: among pairs covering exactly the same
+    //     correspondences, a pair with smaller associations on both sides
+    //     asserts less and wins (no unjustified existentials).
+    let total_vars = |p: &Pair<'_>| p.a.vars.len() + p.b.vars.len();
+    // Pass (b): minimality.
+    let minimal: Vec<bool> = pairs
+        .iter()
+        .map(|p| {
+            !pairs.iter().any(|q| {
+                q.cov == p.cov
+                    && q.a.is_sub_association_of(p.a)
+                    && q.b.is_sub_association_of(p.b)
+                    && total_vars(q) < total_vars(p)
+            })
+        })
+        .collect();
+    // Pass (a): implication, among minimal pairs only.
+    let keep: Vec<bool> = pairs
+        .iter()
+        .zip(&minimal)
+        .map(|(p, &min)| {
+            min && !pairs.iter().zip(&minimal).any(|(q, &qmin)| {
+                qmin && q.cov.len() > p.cov.len()
+                    && p.cov.iter().all(|c| q.cov.contains(c))
+                    && q.a.is_sub_association_of(p.a)
+                    && p.b.is_sub_association_of(q.b)
+            })
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for (p, keep) in pairs.iter().zip(keep) {
+        if !keep {
+            continue;
+        }
+        let name = format!("m{}", out.len() + 1);
+        out.push(build_mapping(spec, name, p.a, p.b, &p.cov)?);
+    }
+    Ok(out)
+}
+
+fn build_mapping(
+    spec: &ScenarioSpec<'_>,
+    name: String,
+    a: &Association,
+    b: &Association,
+    cov: &[usize],
+) -> Result<Mapping, MappingError> {
+    let mut m = Mapping::new(name);
+    m.source_vars = a.vars.clone();
+    m.source_eqs = a.eqs.clone();
+    m.target_vars = b.vars.clone();
+    m.target_eqs = b.eqs.clone();
+
+    // Rename variables for readability: source s0…, target t0….
+    for (i, v) in m.source_vars.iter_mut().enumerate() {
+        v.name = format!("s{i}");
+    }
+    for (i, v) in m.target_vars.iter_mut().enumerate() {
+        v.name = format!("t{i}");
+    }
+
+    // Accumulate alternatives per target attribute, in first-seen order.
+    let mut order: Vec<(usize, String)> = Vec::new();
+    let mut alts: BTreeMap<(usize, String), Vec<PathRef>> = BTreeMap::new();
+    for &ci in cov {
+        let corr = &spec.correspondences[ci];
+        let tvar = b.vars_over(&corr.target.set)[0];
+        let key = (tvar, corr.target.attr.clone());
+        if !alts.contains_key(&key) {
+            order.push(key.clone());
+        }
+        let entry = alts.entry(key).or_default();
+        for svar in a.vars_over(&corr.source.set) {
+            let r = PathRef::new(svar, corr.source.attr.clone());
+            if !entry.contains(&r) {
+                entry.push(r);
+            }
+        }
+    }
+    for key in order {
+        let target = PathRef::new(key.0, key.1.clone());
+        let alternatives = alts.remove(&key).expect("inserted above");
+        if alternatives.len() == 1 {
+            m.wheres.push(WhereClause::Eq {
+                source: alternatives.into_iter().next().unwrap(),
+                target,
+            });
+        } else {
+            m.wheres.push(WhereClause::OrGroup { target, alternatives });
+        }
+    }
+
+    m.ensure_default_groupings(spec.target_schema, spec.source_schema)?;
+    m.validate(spec.source_schema, spec.target_schema)?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_nr::{Field, ForeignKey, SetPath, Ty};
+
+    fn compdb() -> (Schema, Constraints) {
+        let schema = Schema::new(
+            "CompDB",
+            vec![
+                Field::new(
+                    "Companies",
+                    Ty::set_of(vec![
+                        Field::new("cid", Ty::Int),
+                        Field::new("cname", Ty::Str),
+                        Field::new("location", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Projects",
+                    Ty::set_of(vec![
+                        Field::new("pid", Ty::Str),
+                        Field::new("pname", Ty::Str),
+                        Field::new("cid", Ty::Int),
+                        Field::new("manager", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                        Field::new("contact", Ty::Str),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap();
+        let cons = Constraints {
+            keys: vec![],
+            fds: vec![],
+            fks: vec![
+                ForeignKey::new(
+                    SetPath::parse("Projects"),
+                    vec!["cid"],
+                    SetPath::parse("Companies"),
+                    vec!["cid"],
+                ),
+                ForeignKey::new(
+                    SetPath::parse("Projects"),
+                    vec!["manager"],
+                    SetPath::parse("Employees"),
+                    vec!["eid"],
+                ),
+            ],
+        };
+        (schema, cons)
+    }
+
+    fn orgdb() -> (Schema, Constraints) {
+        let schema = Schema::new(
+            "OrgDB",
+            vec![
+                Field::new(
+                    "Orgs",
+                    Ty::set_of(vec![
+                        Field::new("oname", Ty::Str),
+                        Field::new(
+                            "Projects",
+                            Ty::set_of(vec![
+                                Field::new("pname", Ty::Str),
+                                Field::new("manager", Ty::Str),
+                            ]),
+                        ),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap();
+        let cons = Constraints {
+            keys: vec![],
+            fds: vec![],
+            fks: vec![ForeignKey::new(
+                SetPath::parse("Orgs.Projects"),
+                vec!["manager"],
+                SetPath::parse("Employees"),
+                vec!["eid"],
+            )],
+        };
+        (schema, cons)
+    }
+
+    #[test]
+    fn fig1_scenario_generates_three_mappings() {
+        let (s, sc) = compdb();
+        let (t, tc) = orgdb();
+        let corrs = vec![
+            Correspondence::new("Companies.cname", "Orgs.oname"),
+            Correspondence::new("Projects.pname", "Orgs.Projects.pname"),
+            Correspondence::new("Employees.eid", "Employees.eid"),
+            Correspondence::new("Employees.ename", "Employees.ename"),
+        ];
+        let spec = ScenarioSpec {
+            source_schema: &s,
+            source_constraints: &sc,
+            target_schema: &t,
+            target_constraints: &tc,
+            correspondences: &corrs,
+        };
+        let ms = generate(&spec).unwrap();
+        assert_eq!(ms.len(), 3, "expected m1, m2, m3 as in Fig. 1");
+        // One mapping covers only cname→oname (m1-like), one covers all
+        // four (m2-like), one covers eid/ename (m3-like).
+        let sizes: Vec<usize> = ms.iter().map(|m| m.wheres.len()).collect();
+        assert!(sizes.contains(&1));
+        assert!(sizes.contains(&4));
+        assert!(sizes.contains(&2));
+        assert!(ms.iter().all(|m| !m.is_ambiguous()));
+        // The m2-like mapping has the target satisfy clause from the target
+        // constraint (p1.manager = e1.eid).
+        let m2 = ms.iter().find(|m| m.wheres.len() == 4).unwrap();
+        assert_eq!(m2.target_eqs.len(), 1);
+        assert_eq!(m2.source_vars.len(), 3);
+        assert_eq!(m2.target_vars.len(), 3);
+        // Default grouping: all 10 source attributes.
+        let g = m2.grouping(&SetPath::parse("Orgs.Projects")).unwrap();
+        assert_eq!(g.args.len(), 10);
+    }
+
+    #[test]
+    fn fig4_scenario_generates_ambiguous_mapping() {
+        let source = Schema::new(
+            "CompDB",
+            vec![
+                Field::new(
+                    "Projects",
+                    Ty::set_of(vec![
+                        Field::new("pid", Ty::Str),
+                        Field::new("pname", Ty::Str),
+                        Field::new("manager", Ty::Str),
+                        Field::new("tech-lead", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                        Field::new("contact", Ty::Str),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap();
+        let source_cons = Constraints {
+            keys: vec![],
+            fds: vec![],
+            fks: vec![
+                ForeignKey::new(
+                    SetPath::parse("Projects"),
+                    vec!["manager"],
+                    SetPath::parse("Employees"),
+                    vec!["eid"],
+                ),
+                ForeignKey::new(
+                    SetPath::parse("Projects"),
+                    vec!["tech-lead"],
+                    SetPath::parse("Employees"),
+                    vec!["eid"],
+                ),
+            ],
+        };
+        let target = Schema::new(
+            "OrgDB",
+            vec![Field::new(
+                "Projects",
+                Ty::set_of(vec![
+                    Field::new("pname", Ty::Str),
+                    Field::new("supervisor", Ty::Str),
+                    Field::new("email", Ty::Str),
+                ]),
+            )],
+        )
+        .unwrap();
+        let corrs = vec![
+            Correspondence::new("Projects.pname", "Projects.pname"),
+            Correspondence::new("Employees.ename", "Projects.supervisor"),
+            Correspondence::new("Employees.contact", "Projects.email"),
+        ];
+        let spec = ScenarioSpec {
+            source_schema: &source,
+            source_constraints: &source_cons,
+            target_schema: &target,
+            target_constraints: &Constraints::none(),
+            correspondences: &corrs,
+        };
+        let ms = generate(&spec).unwrap();
+        // One mapping, ambiguous for supervisor and email, 2 alternatives
+        // each — exactly `ma` of Fig. 4(a) with 4 interpretations.
+        let ambiguous: Vec<&Mapping> = ms.iter().filter(|m| m.is_ambiguous()).collect();
+        assert_eq!(ambiguous.len(), 1);
+        let ma = ambiguous[0];
+        assert_eq!(muse_mapping::ambiguity::alternatives_count(ma), 4);
+        let groups = muse_mapping::ambiguity::or_groups(ma);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|(_, alts)| alts.len() == 2));
+    }
+
+    #[test]
+    fn shallow_pairs_are_pruned_by_implication() {
+        // DBLP-shaped: one source chain maps into a 2-level target chain.
+        // The pair (article, Journals) is implied by (article, Articles
+        // chain) — same source, deeper target, strictly more coverage — and
+        // must be pruned (rule (a)); only the deepest pair per source
+        // association survives.
+        let source = Schema::new(
+            "S",
+            vec![Field::new(
+                "article",
+                Ty::set_of(vec![
+                    Field::new("journal", Ty::Str),
+                    Field::new("title", Ty::Str),
+                ]),
+            )],
+        )
+        .unwrap();
+        let target = Schema::new(
+            "T",
+            vec![Field::new(
+                "Journals",
+                Ty::set_of(vec![
+                    Field::new("jname", Ty::Str),
+                    Field::new("Articles", Ty::set_of(vec![Field::new("title", Ty::Str)])),
+                ]),
+            )],
+        )
+        .unwrap();
+        let corrs = vec![
+            Correspondence::new("article.journal", "Journals.jname"),
+            Correspondence::new("article.title", "Journals.Articles.title"),
+        ];
+        let spec = ScenarioSpec {
+            source_schema: &source,
+            source_constraints: &Constraints::none(),
+            target_schema: &target,
+            target_constraints: &Constraints::none(),
+            correspondences: &corrs,
+        };
+        let ms = generate(&spec).unwrap();
+        assert_eq!(ms.len(), 1, "{:?}", ms.iter().map(|m| &m.name).collect::<Vec<_>>());
+        assert_eq!(ms[0].target_vars.len(), 2, "the deep pair survives");
+        assert_eq!(ms[0].wheres.len(), 2);
+    }
+
+    #[test]
+    fn correspondence_validation_failure_propagates() {
+        let (s, sc) = compdb();
+        let (t, tc) = orgdb();
+        let corrs = vec![Correspondence::new("Companies.nope", "Orgs.oname")];
+        let spec = ScenarioSpec {
+            source_schema: &s,
+            source_constraints: &sc,
+            target_schema: &t,
+            target_constraints: &tc,
+            correspondences: &corrs,
+        };
+        assert!(generate(&spec).is_err());
+    }
+
+    #[test]
+    fn no_correspondences_no_mappings() {
+        let (s, sc) = compdb();
+        let (t, tc) = orgdb();
+        let spec = ScenarioSpec {
+            source_schema: &s,
+            source_constraints: &sc,
+            target_schema: &t,
+            target_constraints: &tc,
+            correspondences: &[],
+        };
+        assert!(generate(&spec).unwrap().is_empty());
+    }
+}

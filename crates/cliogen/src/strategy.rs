@@ -1,0 +1,244 @@
+//! The three families of intended grouping semantics used in the paper's
+//! evaluation (Sec. VI): `G1`, `G2` and `G3`. In the experiments, the
+//! "designer" has one of these in mind for every nested target set and
+//! answers Muse-G's questions accordingly.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use muse_mapping::poss::poss;
+use muse_mapping::{Mapping, MappingError, PathRef, WhereClause};
+use muse_nr::{Schema, SetPath};
+
+/// A family of intended grouping functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupingStrategy {
+    /// Group by *all* possible attributes (the Clio default; the largest
+    /// number of groups).
+    G1,
+    /// Group by the source atoms exported to records on the path from the
+    /// target root down to (but excluding) the set itself — e.g.
+    /// `SKProjs(c.cname)` in Fig. 1.
+    G2,
+    /// Group by all atoms of `poss(m, SK)` exported to the target schema
+    /// anywhere — e.g. `SKProjs(c.cname, p.pname, p.manager, e.eid,
+    /// e.ename)` in Fig. 1.
+    G3,
+}
+
+impl std::fmt::Display for GroupingStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupingStrategy::G1 => write!(f, "G1"),
+            GroupingStrategy::G2 => write!(f, "G2"),
+            GroupingStrategy::G3 => write!(f, "G3"),
+        }
+    }
+}
+
+/// The grouping function a designer following `strategy` has in mind for
+/// the nested target set `sk` of (unambiguous) mapping `m`, as a subset of
+/// `poss(m, sk)` in poss order.
+///
+/// "Exported" is closed under the mapping's source `satisfy` equalities: if
+/// `p.manager = e.eid` and `e.eid` is exported, then `p.manager` counts as
+/// exported too (this reproduces the paper's `G3` example exactly).
+pub fn desired_grouping(
+    m: &Mapping,
+    sk: &SetPath,
+    strategy: GroupingStrategy,
+    source_schema: &Schema,
+    target_schema: &Schema,
+) -> Result<Vec<PathRef>, MappingError> {
+    let all = poss(m, sk, source_schema, target_schema)?;
+    if strategy == GroupingStrategy::G1 {
+        return Ok(all);
+    }
+
+    // Equivalence classes over source refs induced by the satisfy clause.
+    let mut class: BTreeMap<(usize, String), usize> = BTreeMap::new();
+    let mut parent: Vec<usize> = Vec::new();
+    #[allow(clippy::ptr_arg)]
+    let id_of = |r: &PathRef, parent: &mut Vec<usize>, class: &mut BTreeMap<(usize, String), usize>| {
+        *class.entry((r.var, r.attr.clone())).or_insert_with(|| {
+            parent.push(parent.len());
+            parent.len() - 1
+        })
+    };
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for (a, b) in &m.source_eqs {
+        let ia = id_of(a, &mut parent, &mut class);
+        let ib = id_of(b, &mut parent, &mut class);
+        let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+
+    // Base exported refs, per strategy.
+    let mut exported_classes: BTreeSet<usize> = BTreeSet::new();
+    for w in &m.wheres {
+        let WhereClause::Eq { source: s, target: t } = w else {
+            continue; // strategies are defined on unambiguous mappings
+        };
+        let counts = match strategy {
+            GroupingStrategy::G3 => true,
+            GroupingStrategy::G2 => {
+                let tv_set = &m.target_vars[t.var].set;
+                tv_set.is_prefix_of(sk) && tv_set != sk
+            }
+            GroupingStrategy::G1 => unreachable!("handled above"),
+        };
+        if counts {
+            let i = id_of(s, &mut parent, &mut class);
+            let r = find(&mut parent, i);
+            exported_classes.insert(r);
+        }
+    }
+
+    Ok(all
+        .into_iter()
+        .filter(|r| {
+            let i = id_of(r, &mut parent, &mut class);
+            let root = find(&mut parent, i);
+            exported_classes.contains(&root)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_mapping::parse_one;
+
+    /// `m2` of Fig. 1 (schema-free construction is fine here; strategies
+    /// only read the mapping structure and the poss order, so we supply the
+    /// real CompDB/OrgDB schemas).
+    fn m2() -> (Mapping, Schema, Schema) {
+        use muse_nr::{Field, Ty};
+        let src = Schema::new(
+            "CompDB",
+            vec![
+                Field::new(
+                    "Companies",
+                    Ty::set_of(vec![
+                        Field::new("cid", Ty::Int),
+                        Field::new("cname", Ty::Str),
+                        Field::new("location", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Projects",
+                    Ty::set_of(vec![
+                        Field::new("pid", Ty::Str),
+                        Field::new("pname", Ty::Str),
+                        Field::new("cid", Ty::Int),
+                        Field::new("manager", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                        Field::new("contact", Ty::Str),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap();
+        let tgt = Schema::new(
+            "OrgDB",
+            vec![
+                Field::new(
+                    "Orgs",
+                    Ty::set_of(vec![
+                        Field::new("oname", Ty::Str),
+                        Field::new(
+                            "Projects",
+                            Ty::set_of(vec![
+                                Field::new("pname", Ty::Str),
+                                Field::new("manager", Ty::Str),
+                            ]),
+                        ),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap();
+        let mut m = parse_one(
+            "m2: for c in CompDB.Companies, p in CompDB.Projects, e in CompDB.Employees
+                 satisfy p.cid = c.cid and e.eid = p.manager
+                 exists o in OrgDB.Orgs, p1 in o.Projects, e1 in OrgDB.Employees
+                 satisfy p1.manager = e1.eid
+                 where c.cname = o.oname and e.eid = e1.eid and e.ename = e1.ename
+                   and p.pname = p1.pname",
+        )
+        .unwrap();
+        m.ensure_default_groupings(&tgt, &src).unwrap();
+        (m, src, tgt)
+    }
+
+    fn names(m: &Mapping, refs: &[PathRef]) -> Vec<String> {
+        refs.iter().map(|r| m.source_ref_name(r)).collect()
+    }
+
+    #[test]
+    fn g1_is_all_of_poss() {
+        let (m, s, t) = m2();
+        let g = desired_grouping(&m, &SetPath::parse("Orgs.Projects"), GroupingStrategy::G1, &s, &t)
+            .unwrap();
+        assert_eq!(g.len(), 10);
+    }
+
+    #[test]
+    fn g2_is_the_paper_example() {
+        let (m, s, t) = m2();
+        let g = desired_grouping(&m, &SetPath::parse("Orgs.Projects"), GroupingStrategy::G2, &s, &t)
+            .unwrap();
+        // "under G2, the grouping function for Projects is SKProjs(c.cname)"
+        assert_eq!(names(&m, &g), vec!["c.cname"]);
+    }
+
+    #[test]
+    fn g3_is_the_paper_example() {
+        let (m, s, t) = m2();
+        let g = desired_grouping(&m, &SetPath::parse("Orgs.Projects"), GroupingStrategy::G3, &s, &t)
+            .unwrap();
+        // "under G3 … SKProjs(c.cname, p.pname, p.manager, e.eid, e.ename)"
+        assert_eq!(
+            names(&m, &g),
+            vec!["c.cname", "p.pname", "p.manager", "e.eid", "e.ename"]
+        );
+    }
+
+    #[test]
+    fn strategies_are_subsets_of_poss_in_poss_order() {
+        let (m, s, t) = m2();
+        let sk = SetPath::parse("Orgs.Projects");
+        let all = muse_mapping::poss::poss(&m, &sk, &s, &t).unwrap();
+        for strat in [GroupingStrategy::G1, GroupingStrategy::G2, GroupingStrategy::G3] {
+            let g = desired_grouping(&m, &sk, strat, &s, &t).unwrap();
+            let mut last = None;
+            for r in &g {
+                let pos = all.iter().position(|x| x == r).expect("subset of poss");
+                if let Some(l) = last {
+                    assert!(pos > l, "order preserved");
+                }
+                last = Some(pos);
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Ambiguous mappings: `or`-groups, their interpretations and selections
+//! (Sec. IV), plus a post-hoc detector that folds structurally identical
+//! unambiguous mappings back into one ambiguous `or`-form (the "detecting
+//! ambiguities" direction the paper leaves to mapping-generation tools).
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Mapping, PathRef, WhereClause};
+use crate::error::MappingError;
+
+/// The `or`-groups of a mapping, in `where`-clause order: each entry is the
+/// contested target attribute and its alternatives.
+pub fn or_groups(m: &Mapping) -> Vec<(&PathRef, &[PathRef])> {
+    m.wheres
+        .iter()
+        .filter_map(|w| match w {
+            WhereClause::OrGroup { target, alternatives } => {
+                Some((target, alternatives.as_slice()))
+            }
+            WhereClause::Eq { .. } => None,
+        })
+        .collect()
+}
+
+/// How many unambiguous mappings `m` encodes: the product of the or-group
+/// sizes (1 when `m` is unambiguous).
+pub fn alternatives_count(m: &Mapping) -> usize {
+    or_groups(m).iter().map(|(_, alts)| alts.len().max(1)).product()
+}
+
+/// Resolve `m` to a single interpretation: `choices[i]` selects the
+/// alternative for the i-th or-group (in `where`-clause order). The result
+/// is unambiguous.
+pub fn select(m: &Mapping, choices: &[usize]) -> Result<Mapping, MappingError> {
+    let groups = or_groups(m).len();
+    if groups == 0 {
+        return Err(MappingError::NotAmbiguous(m.name.clone()));
+    }
+    if choices.len() != groups {
+        return Err(MappingError::BadChoice { group: choices.len(), choice: 0 });
+    }
+    let mut out = m.clone();
+    let mut g = 0usize;
+    for w in &mut out.wheres {
+        if let WhereClause::OrGroup { target, alternatives } = w {
+            let pick = choices[g];
+            let alt = alternatives
+                .get(pick)
+                .ok_or(MappingError::BadChoice { group: g, choice: pick })?
+                .clone();
+            *w = WhereClause::Eq { source: alt, target: target.clone() };
+            g += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Resolve `m` to a *set* of interpretations: the designer may select more
+/// than one value per choice (Sec. IV "More options"); the result is the
+/// cartesian product of the selected alternatives, one unambiguous mapping
+/// per combination, named `m#k`.
+pub fn select_multi(m: &Mapping, choices: &[Vec<usize>]) -> Result<Vec<Mapping>, MappingError> {
+    let groups = or_groups(m).len();
+    if groups == 0 {
+        return Err(MappingError::NotAmbiguous(m.name.clone()));
+    }
+    if choices.len() != groups || choices.iter().any(Vec::is_empty) {
+        return Err(MappingError::BadChoice { group: choices.len(), choice: 0 });
+    }
+    let mut combos: Vec<Vec<usize>> = vec![Vec::new()];
+    for group in choices {
+        let mut next = Vec::with_capacity(combos.len() * group.len());
+        for c in &combos {
+            for &pick in group {
+                let mut c2 = c.clone();
+                c2.push(pick);
+                next.push(c2);
+            }
+        }
+        combos = next;
+    }
+    combos
+        .into_iter()
+        .enumerate()
+        .map(|(k, combo)| {
+            let mut sel = select(m, &combo)?;
+            sel.name = format!("{}#{}", m.name, k + 1);
+            Ok(sel)
+        })
+        .collect()
+}
+
+/// All interpretations of `m`, in lexicographic choice order, named `m#k`.
+/// Returns `vec![m.clone()]` when `m` is unambiguous.
+pub fn interpretations(m: &Mapping) -> Vec<Mapping> {
+    let groups = or_groups(m);
+    if groups.is_empty() {
+        return vec![m.clone()];
+    }
+    let sizes: Vec<usize> = groups.iter().map(|(_, alts)| alts.len()).collect();
+    let all: Vec<Vec<usize>> = sizes.iter().map(|&s| (0..s).collect()).collect();
+    select_multi(m, &all).expect("sizes are in range")
+}
+
+/// Post-hoc ambiguity detection: if every mapping in `ms` is unambiguous and
+/// they differ *only* in which source attribute their plain `where`
+/// equalities assign to each target attribute, fold them into a single
+/// ambiguous mapping whose contested attributes carry `or`-groups. Returns
+/// `None` when the mappings are not structurally compatible.
+pub fn merge_alternatives(ms: &[Mapping]) -> Option<Mapping> {
+    let first = ms.first()?;
+    if ms.iter().any(Mapping::is_ambiguous) {
+        return None;
+    }
+    // Structural skeleton must agree.
+    for m in &ms[1..] {
+        if m.source_vars != first.source_vars
+            || m.source_eqs != first.source_eqs
+            || m.target_vars != first.target_vars
+            || m.target_eqs != first.target_eqs
+            || m.groupings != first.groupings
+        {
+            return None;
+        }
+    }
+    // Same assigned target attributes, in the same order.
+    let targets: Vec<&PathRef> = first.wheres.iter().map(WhereClause::target).collect();
+    for m in &ms[1..] {
+        let t: Vec<&PathRef> = m.wheres.iter().map(WhereClause::target).collect();
+        if t != targets {
+            return None;
+        }
+    }
+    // Collect per-target alternatives, de-duplicated but order-preserving.
+    let mut alternatives: BTreeMap<usize, Vec<PathRef>> = BTreeMap::new();
+    for m in ms {
+        for (i, w) in m.wheres.iter().enumerate() {
+            let WhereClause::Eq { source, .. } = w else { return None };
+            let entry = alternatives.entry(i).or_default();
+            if !entry.contains(source) {
+                entry.push(source.clone());
+            }
+        }
+    }
+    let mut out = first.clone();
+    out.wheres = targets
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let alts = alternatives.remove(&i).unwrap_or_default();
+            if alts.len() == 1 {
+                WhereClause::Eq { source: alts.into_iter().next().unwrap(), target: (*t).clone() }
+            } else {
+                WhereClause::OrGroup { target: (*t).clone(), alternatives: alts }
+            }
+        })
+        .collect();
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_nr::SetPath;
+
+    /// The ambiguous mapping `ma` of Fig. 4(a): supervisor and email each
+    /// have two alternatives (manager vs tech-lead).
+    pub(crate) fn ma() -> Mapping {
+        let mut m = Mapping::new("ma");
+        let p = m.source_var("p", SetPath::parse("Projects"));
+        let e1 = m.source_var("e1", SetPath::parse("Employees"));
+        let e2 = m.source_var("e2", SetPath::parse("Employees"));
+        m.source_eq(PathRef::new(e1, "eid"), PathRef::new(p, "manager"));
+        m.source_eq(PathRef::new(e2, "eid"), PathRef::new(p, "tech-lead"));
+        let p1 = m.target_var("p1", SetPath::parse("Projects"));
+        m.where_eq(PathRef::new(p, "pname"), PathRef::new(p1, "pname"));
+        m.or_group(
+            PathRef::new(p1, "supervisor"),
+            vec![PathRef::new(e1, "ename"), PathRef::new(e2, "ename")],
+        );
+        m.or_group(
+            PathRef::new(p1, "email"),
+            vec![PathRef::new(e1, "contact"), PathRef::new(e2, "contact")],
+        );
+        m
+    }
+
+    #[test]
+    fn counting() {
+        let m = ma();
+        assert!(m.is_ambiguous());
+        assert_eq!(or_groups(&m).len(), 2);
+        assert_eq!(alternatives_count(&m), 4);
+    }
+
+    #[test]
+    fn unambiguous_mapping_counts_one() {
+        let mut m = Mapping::new("m");
+        let p = m.source_var("p", SetPath::parse("Projects"));
+        let p1 = m.target_var("p1", SetPath::parse("Projects"));
+        m.where_eq(PathRef::new(p, "pname"), PathRef::new(p1, "pname"));
+        assert_eq!(alternatives_count(&m), 1);
+        assert_eq!(interpretations(&m).len(), 1);
+        assert!(matches!(select(&m, &[]), Err(MappingError::NotAmbiguous(_))));
+    }
+
+    #[test]
+    fn select_resolves_groups_in_order() {
+        let m = ma();
+        // Anna (tech-lead's name) for supervisor, jon@ibm (manager) for email
+        // — the designer's pick in Fig. 4(b).
+        let sel = select(&m, &[1, 0]).unwrap();
+        assert!(!sel.is_ambiguous());
+        let eqs: Vec<(String, String)> = sel
+            .wheres
+            .iter()
+            .map(|w| match w {
+                WhereClause::Eq { source, target } => {
+                    (sel.source_ref_name(source), sel.target_ref_name(target))
+                }
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(eqs.contains(&("e2.ename".into(), "p1.supervisor".into())));
+        assert!(eqs.contains(&("e1.contact".into(), "p1.email".into())));
+    }
+
+    #[test]
+    fn select_rejects_bad_choices() {
+        let m = ma();
+        assert!(matches!(select(&m, &[0]), Err(MappingError::BadChoice { .. })));
+        assert!(matches!(select(&m, &[0, 7]), Err(MappingError::BadChoice { .. })));
+    }
+
+    #[test]
+    fn interpretations_enumerate_the_product() {
+        let m = ma();
+        let all = interpretations(&m);
+        assert_eq!(all.len(), 4);
+        assert!(all.iter().all(|i| !i.is_ambiguous()));
+        // All interpretations are pairwise distinct.
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.wheres, b.wheres);
+            }
+        }
+    }
+
+    #[test]
+    fn select_multi_cartesian() {
+        let m = ma();
+        // Both supervisors, one email: 2 × 1 mappings.
+        let out = select_multi(&m, &[vec![0, 1], vec![0]]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(select_multi(&m, &[vec![], vec![0]]).is_err());
+    }
+
+    #[test]
+    fn merge_alternatives_round_trips() {
+        let m = ma();
+        let all = interpretations(&m);
+        let merged = merge_alternatives(&all).expect("compatible alternatives");
+        assert!(merged.is_ambiguous());
+        assert_eq!(alternatives_count(&merged), 4);
+        // The merged groups carry the original alternatives.
+        let groups = or_groups(&merged);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].1.len(), 2);
+    }
+
+    #[test]
+    fn merge_rejects_incompatible() {
+        let m = ma();
+        let mut all = interpretations(&m);
+        // Tamper with one mapping's structure.
+        all[0].source_eqs.pop();
+        assert!(merge_alternatives(&all).is_none());
+        assert!(merge_alternatives(&[]).is_none());
+        // Ambiguous inputs are rejected.
+        assert!(merge_alternatives(&[ma()]).is_none());
+    }
+}

@@ -1,0 +1,545 @@
+//! Mapping AST: variables, clauses, grouping functions.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use muse_nr::{Schema, SetPath};
+use muse_query::{Operand, Query};
+
+use crate::error::MappingError;
+
+/// A mapping variable: binds tuples of a nested set. Source variables live
+/// in the `for` clause, target variables in the `exists` clause; the two
+/// index spaces are independent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingVar {
+    /// Display name (`c`, `p1`, …).
+    pub name: String,
+    /// The set the variable ranges over.
+    pub set: SetPath,
+    /// Nested binding `v in parent.field`: (parent index, field label).
+    pub parent: Option<(usize, String)>,
+}
+
+/// A projection `var.attr` (variable index + attribute label). Whether the
+/// index refers to the source or the target variable space is determined by
+/// context (source refs in `for`/`satisfy`-source/grouping arguments, target
+/// refs in `exists`/`satisfy`-target; `where` clauses pair one of each).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathRef {
+    /// Variable index within its space.
+    pub var: usize,
+    /// Attribute label.
+    pub attr: String,
+}
+
+impl PathRef {
+    /// Construct a projection reference.
+    pub fn new(var: usize, attr: impl Into<String>) -> Self {
+        PathRef { var, attr: attr.into() }
+    }
+}
+
+/// A `where`-clause entry: either a plain correspondence or an ambiguous
+/// `or`-group of alternatives for one target attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhereClause {
+    /// `source.attr = target.attr`.
+    Eq {
+        /// Source-side projection.
+        source: PathRef,
+        /// Target-side projection.
+        target: PathRef,
+    },
+    /// `(s1.A1 = t.A or … or sn.An = t.A)` — the mapping is *ambiguous for*
+    /// `t.A` with `alternatives.len()` alternatives (Sec. IV).
+    OrGroup {
+        /// The contested target attribute.
+        target: PathRef,
+        /// The competing source projections (n ≥ 2).
+        alternatives: Vec<PathRef>,
+    },
+}
+
+impl WhereClause {
+    /// The target attribute this clause assigns.
+    pub fn target(&self) -> &PathRef {
+        match self {
+            WhereClause::Eq { target, .. } | WhereClause::OrGroup { target, .. } => target,
+        }
+    }
+}
+
+/// A grouping (Skolem) function for one nested target set: the SetID is
+/// `SK<set>(args…)` where the arguments are source attribute projections.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Grouping {
+    /// Source projections the set is grouped by (may be empty: one global
+    /// group).
+    pub args: Vec<PathRef>,
+}
+
+impl Grouping {
+    /// Construct from argument references.
+    pub fn new(args: Vec<PathRef>) -> Self {
+        Grouping { args }
+    }
+}
+
+/// One mapping of a schema mapping `(S, T, Σ)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// Name, e.g. `m2`.
+    pub name: String,
+    /// `for` clause.
+    pub source_vars: Vec<MappingVar>,
+    /// Source `satisfy` equalities (both sides in source space).
+    pub source_eqs: Vec<(PathRef, PathRef)>,
+    /// `exists` clause.
+    pub target_vars: Vec<MappingVar>,
+    /// Target `satisfy` equalities (both sides in target space).
+    pub target_eqs: Vec<(PathRef, PathRef)>,
+    /// `where` clause entries.
+    pub wheres: Vec<WhereClause>,
+    /// Grouping function per nested target set the mapping fills.
+    pub groupings: BTreeMap<SetPath, Grouping>,
+}
+
+impl Mapping {
+    /// Empty mapping with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Mapping {
+            name: name.into(),
+            source_vars: Vec::new(),
+            source_eqs: Vec::new(),
+            target_vars: Vec::new(),
+            target_eqs: Vec::new(),
+            wheres: Vec::new(),
+            groupings: BTreeMap::new(),
+        }
+    }
+
+    /// Add a top-level source variable; returns its index.
+    pub fn source_var(&mut self, name: impl Into<String>, set: SetPath) -> usize {
+        self.source_vars.push(MappingVar { name: name.into(), set, parent: None });
+        self.source_vars.len() - 1
+    }
+
+    /// Add a nested source variable `name in parent.field`; returns its index.
+    pub fn source_child_var(
+        &mut self,
+        name: impl Into<String>,
+        parent: usize,
+        field: impl Into<String>,
+    ) -> usize {
+        let field = field.into();
+        let set = self.source_vars[parent].set.child(&field);
+        self.source_vars.push(MappingVar { name: name.into(), set, parent: Some((parent, field)) });
+        self.source_vars.len() - 1
+    }
+
+    /// Add a top-level target variable; returns its index.
+    pub fn target_var(&mut self, name: impl Into<String>, set: SetPath) -> usize {
+        self.target_vars.push(MappingVar { name: name.into(), set, parent: None });
+        self.target_vars.len() - 1
+    }
+
+    /// Add a nested target variable `name in parent.field`; returns its index.
+    pub fn target_child_var(
+        &mut self,
+        name: impl Into<String>,
+        parent: usize,
+        field: impl Into<String>,
+    ) -> usize {
+        let field = field.into();
+        let set = self.target_vars[parent].set.child(&field);
+        self.target_vars.push(MappingVar { name: name.into(), set, parent: Some((parent, field)) });
+        self.target_vars.len() - 1
+    }
+
+    /// Add a source `satisfy` equality.
+    pub fn source_eq(&mut self, a: PathRef, b: PathRef) {
+        self.source_eqs.push((a, b));
+    }
+
+    /// Add a target `satisfy` equality.
+    pub fn target_eq(&mut self, a: PathRef, b: PathRef) {
+        self.target_eqs.push((a, b));
+    }
+
+    /// Add a plain `where` correspondence.
+    pub fn where_eq(&mut self, source: PathRef, target: PathRef) {
+        self.wheres.push(WhereClause::Eq { source, target });
+    }
+
+    /// Add an ambiguous `or`-group for a target attribute.
+    pub fn or_group(&mut self, target: PathRef, alternatives: Vec<PathRef>) {
+        self.wheres.push(WhereClause::OrGroup { target, alternatives });
+    }
+
+    /// Set (replace) the grouping function for a nested target set.
+    pub fn set_grouping(&mut self, set: SetPath, grouping: Grouping) {
+        self.groupings.insert(set, grouping);
+    }
+
+    /// The grouping function for a set, if declared.
+    pub fn grouping(&self, set: &SetPath) -> Option<&Grouping> {
+        self.groupings.get(set)
+    }
+
+    /// True iff the mapping contains at least one `or`-group.
+    pub fn is_ambiguous(&self) -> bool {
+        self.wheres.iter().any(|w| matches!(w, WhereClause::OrGroup { .. }))
+    }
+
+    /// The nested target sets this mapping must provide SetIDs for: every
+    /// set-typed field of every target variable's element record. Top-level
+    /// sets never appear (they have fixed SetIDs and no grouping function).
+    pub fn filled_target_sets(&self, target_schema: &Schema) -> Result<BTreeSet<SetPath>, MappingError> {
+        let mut out = BTreeSet::new();
+        for tv in &self.target_vars {
+            let rcd = target_schema
+                .element_record(&tv.set)
+                .map_err(|_| MappingError::UnknownSet(tv.set.to_string()))?;
+            for label in rcd.set_labels() {
+                out.insert(tv.set.child(label));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fill in the default grouping function (all source attributes — the
+    /// Clio default, called `G1` in Sec. VI) for every filled nested target
+    /// set that lacks one.
+    pub fn ensure_default_groupings(&mut self, target_schema: &Schema, source_schema: &Schema) -> Result<(), MappingError> {
+        let filled = self.filled_target_sets(target_schema)?;
+        let all_args = crate::poss::all_source_refs(self, source_schema)?;
+        for set in filled {
+            self.groupings
+                .entry(set)
+                .or_insert_with(|| Grouping::new(all_args.clone()));
+        }
+        Ok(())
+    }
+
+    /// Compile the `for` clause (+ source `satisfy` equalities) into a
+    /// conjunctive query over the source schema.
+    pub fn source_query(&self) -> Query {
+        let mut q = Query::new();
+        for v in &self.source_vars {
+            match &v.parent {
+                None => {
+                    q.var(v.name.clone(), v.set.clone());
+                }
+                Some((p, field)) => {
+                    q.child_var(v.name.clone(), *p, field.clone());
+                }
+            }
+        }
+        for (a, b) in &self.source_eqs {
+            q.add_eq(Operand::proj(a.var, a.attr.clone()), Operand::proj(b.var, b.attr.clone()));
+        }
+        q
+    }
+
+    /// Render a source reference as `c.cname` using variable names.
+    pub fn source_ref_name(&self, r: &PathRef) -> String {
+        let v = self.source_vars.get(r.var).map(|v| v.name.as_str()).unwrap_or("?");
+        format!("{v}.{}", r.attr)
+    }
+
+    /// Render a target reference as `o.oname` using variable names.
+    pub fn target_ref_name(&self, r: &PathRef) -> String {
+        let v = self.target_vars.get(r.var).map(|v| v.name.as_str()).unwrap_or("?");
+        format!("{v}.{}", r.attr)
+    }
+
+    /// Validate against the pair of schemas:
+    ///
+    /// * every variable's set resolves, parents precede children and the
+    ///   child path matches `parent.field`;
+    /// * every projection names an existing atomic attribute;
+    /// * no two plain `where` equalities assign the same target attribute
+    ///   (that situation must be an `or`-group — it is an ambiguity);
+    /// * every grouping argument is a valid source projection, and
+    ///   groupings are declared exactly for sets the mapping fills.
+    pub fn validate(&self, source: &Schema, target: &Schema) -> Result<(), MappingError> {
+        validate_vars(&self.source_vars, source)?;
+        validate_vars(&self.target_vars, target)?;
+        let src_ref = |r: &PathRef| validate_ref(r, &self.source_vars, source);
+        let tgt_ref = |r: &PathRef| validate_ref(r, &self.target_vars, target);
+        for (a, b) in &self.source_eqs {
+            src_ref(a)?;
+            src_ref(b)?;
+        }
+        for (a, b) in &self.target_eqs {
+            tgt_ref(a)?;
+            tgt_ref(b)?;
+        }
+        let mut assigned: BTreeSet<(usize, &str)> = BTreeSet::new();
+        for w in &self.wheres {
+            match w {
+                WhereClause::Eq { source: s, target: t } => {
+                    src_ref(s)?;
+                    tgt_ref(t)?;
+                    if !assigned.insert((t.var, t.attr.as_str())) {
+                        return Err(MappingError::ConflictingAssignment {
+                            target: self.target_ref_name(t),
+                        });
+                    }
+                }
+                WhereClause::OrGroup { target: t, alternatives } => {
+                    tgt_ref(t)?;
+                    for a in alternatives {
+                        src_ref(a)?;
+                    }
+                    if !assigned.insert((t.var, t.attr.as_str())) {
+                        return Err(MappingError::ConflictingAssignment {
+                            target: self.target_ref_name(t),
+                        });
+                    }
+                }
+            }
+        }
+        let filled = self.filled_target_sets(target)?;
+        for (set, g) in &self.groupings {
+            if !filled.contains(set) {
+                return Err(MappingError::UselessGrouping(set.clone()));
+            }
+            for arg in &g.args {
+                if validate_ref(arg, &self.source_vars, source).is_err() {
+                    return Err(MappingError::BadGroupingArg {
+                        set: set.clone(),
+                        arg: self.source_ref_name(arg),
+                    });
+                }
+            }
+        }
+        for set in &filled {
+            if !self.groupings.contains_key(set) {
+                return Err(MappingError::MissingGrouping(set.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn validate_vars(vars: &[MappingVar], schema: &Schema) -> Result<(), MappingError> {
+    for (i, v) in vars.iter().enumerate() {
+        if schema.resolve_set(&v.set).is_err() {
+            return Err(MappingError::UnknownSet(v.set.to_string()));
+        }
+        if let Some((p, field)) = &v.parent {
+            if *p >= i || vars[*p].set.child(field) != v.set {
+                return Err(MappingError::BadParent { var: v.name.clone() });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_ref(r: &PathRef, vars: &[MappingVar], schema: &Schema) -> Result<(), MappingError> {
+    let v = vars.get(r.var).ok_or(MappingError::UnknownVar(r.var))?;
+    // Projections must name *atomic* fields; set-valued fields carry
+    // SetIDs, which only grouping functions may produce.
+    schema
+        .atomic_attr_index(&v.set, &r.attr)
+        .map_err(|_| MappingError::UnknownAttr { var: v.name.clone(), attr: r.attr.clone() })?;
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod fixtures {
+    use super::*;
+    use muse_nr::{Field, Ty};
+
+    /// The CompDB source schema of Fig. 1.
+    pub fn compdb() -> Schema {
+        Schema::new(
+            "CompDB",
+            vec![
+                Field::new(
+                    "Companies",
+                    Ty::set_of(vec![
+                        Field::new("cid", Ty::Int),
+                        Field::new("cname", Ty::Str),
+                        Field::new("location", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Projects",
+                    Ty::set_of(vec![
+                        Field::new("pid", Ty::Str),
+                        Field::new("pname", Ty::Str),
+                        Field::new("cid", Ty::Int),
+                        Field::new("manager", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                        Field::new("contact", Ty::Str),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// The OrgDB target schema of Fig. 1.
+    pub fn orgdb() -> Schema {
+        Schema::new(
+            "OrgDB",
+            vec![
+                Field::new(
+                    "Orgs",
+                    Ty::set_of(vec![
+                        Field::new("oname", Ty::Str),
+                        Field::new(
+                            "Projects",
+                            Ty::set_of(vec![
+                                Field::new("pname", Ty::Str),
+                                Field::new("manager", Ty::Str),
+                            ]),
+                        ),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// The mapping `m2` of Fig. 1, with the default (all-attribute) grouping.
+    pub fn m2() -> Mapping {
+        let mut m = Mapping::new("m2");
+        let c = m.source_var("c", SetPath::parse("Companies"));
+        let p = m.source_var("p", SetPath::parse("Projects"));
+        let e = m.source_var("e", SetPath::parse("Employees"));
+        m.source_eq(PathRef::new(p, "cid"), PathRef::new(c, "cid"));
+        m.source_eq(PathRef::new(e, "eid"), PathRef::new(p, "manager"));
+        let o = m.target_var("o", SetPath::parse("Orgs"));
+        let p1 = m.target_child_var("p1", o, "Projects");
+        let e1 = m.target_var("e1", SetPath::parse("Employees"));
+        m.target_eq(PathRef::new(p1, "manager"), PathRef::new(e1, "eid"));
+        m.where_eq(PathRef::new(c, "cname"), PathRef::new(o, "oname"));
+        m.where_eq(PathRef::new(e, "eid"), PathRef::new(e1, "eid"));
+        m.where_eq(PathRef::new(e, "ename"), PathRef::new(e1, "ename"));
+        m.where_eq(PathRef::new(p, "pname"), PathRef::new(p1, "pname"));
+        m.ensure_default_groupings(&orgdb(), &compdb()).unwrap();
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fixtures::*;
+    use super::*;
+
+    #[test]
+    fn m2_validates() {
+        let m = m2();
+        m.validate(&compdb(), &orgdb()).unwrap();
+        assert!(!m.is_ambiguous());
+    }
+
+    #[test]
+    fn filled_sets_and_default_grouping() {
+        let m = m2();
+        let filled = m.filled_target_sets(&orgdb()).unwrap();
+        assert_eq!(filled.len(), 1);
+        assert!(filled.contains(&SetPath::parse("Orgs.Projects")));
+        // Default grouping is all ten source attributes (Sec. III intro).
+        let g = m.grouping(&SetPath::parse("Orgs.Projects")).unwrap();
+        assert_eq!(g.args.len(), 10);
+    }
+
+    #[test]
+    fn missing_grouping_rejected() {
+        let mut m = m2();
+        m.groupings.clear();
+        assert!(matches!(
+            m.validate(&compdb(), &orgdb()),
+            Err(MappingError::MissingGrouping(_))
+        ));
+    }
+
+    #[test]
+    fn useless_grouping_rejected() {
+        let mut m = m2();
+        m.set_grouping(SetPath::parse("Nowhere"), Grouping::default());
+        assert!(matches!(
+            m.validate(&compdb(), &orgdb()),
+            Err(MappingError::UselessGrouping(_))
+        ));
+    }
+
+    #[test]
+    fn conflicting_assignment_rejected() {
+        let mut m = m2();
+        // Second plain assignment to o.oname.
+        m.where_eq(PathRef::new(0, "location"), PathRef::new(0, "oname"));
+        assert!(matches!(
+            m.validate(&compdb(), &orgdb()),
+            Err(MappingError::ConflictingAssignment { .. })
+        ));
+    }
+
+    #[test]
+    fn or_group_is_ambiguous_and_validates() {
+        let mut m = m2();
+        // Replace the oname assignment with an or-group.
+        m.wheres.remove(0);
+        m.or_group(
+            PathRef::new(0, "oname"),
+            vec![PathRef::new(0, "cname"), PathRef::new(0, "location")],
+        );
+        m.validate(&compdb(), &orgdb()).unwrap();
+        assert!(m.is_ambiguous());
+    }
+
+    #[test]
+    fn bad_refs_rejected() {
+        let mut m = m2();
+        m.where_eq(PathRef::new(0, "nope"), PathRef::new(1, "pname"));
+        assert!(matches!(
+            m.validate(&compdb(), &orgdb()),
+            Err(MappingError::UnknownAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn set_valued_refs_rejected() {
+        // `o.Projects` is a set-valued field: only grouping functions may
+        // produce SetIDs, so projecting it in a clause is an error.
+        let mut m = m2();
+        m.target_eq(PathRef::new(0, "Projects"), PathRef::new(0, "Projects"));
+        assert!(matches!(
+            m.validate(&compdb(), &orgdb()),
+            Err(MappingError::UnknownAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn source_query_compiles() {
+        let m = m2();
+        let q = m.source_query();
+        assert_eq!(q.vars.len(), 3);
+        assert_eq!(q.eqs.len(), 2);
+        q.validate(&compdb()).unwrap();
+    }
+
+    #[test]
+    fn ref_names() {
+        let m = m2();
+        assert_eq!(m.source_ref_name(&PathRef::new(0, "cname")), "c.cname");
+        assert_eq!(m.target_ref_name(&PathRef::new(1, "pname")), "p1.pname");
+    }
+}

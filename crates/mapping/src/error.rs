@@ -1,0 +1,77 @@
+//! Errors for mapping construction, validation and parsing.
+
+use std::fmt;
+
+use muse_nr::SetPath;
+
+/// Errors raised while building, validating, parsing or transforming
+/// mappings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// A variable index is out of range.
+    UnknownVar(usize),
+    /// A named variable was not found (parser).
+    UnknownVarName(String),
+    /// A set path does not exist in the relevant schema.
+    UnknownSet(String),
+    /// An attribute does not exist on a variable's set.
+    UnknownAttr { var: String, attr: String },
+    /// A parent variable reference is malformed.
+    BadParent { var: String },
+    /// Two plain `where` equalities assign the same target attribute — this
+    /// must be expressed as an `or`-group instead (it is exactly an
+    /// ambiguity in the paper's sense).
+    ConflictingAssignment { target: String },
+    /// A nested target set the mapping must fill has no grouping function.
+    MissingGrouping(SetPath),
+    /// A grouping was declared for a set the mapping does not fill.
+    UselessGrouping(SetPath),
+    /// A grouping argument is not an attribute of a source variable.
+    BadGroupingArg { set: SetPath, arg: String },
+    /// Closure under referential constraints did not terminate (cyclic
+    /// constraint set beyond the iteration budget).
+    CyclicConstraints,
+    /// The mapping is not ambiguous but an ambiguity operation was requested.
+    NotAmbiguous(String),
+    /// An interpretation selection index is out of range.
+    BadChoice { group: usize, choice: usize },
+    /// Concrete-syntax parse error with a line number.
+    Parse { line: usize, msg: String },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::UnknownVar(i) => write!(f, "unknown variable #{i}"),
+            MappingError::UnknownVarName(n) => write!(f, "unknown variable `{n}`"),
+            MappingError::UnknownSet(p) => write!(f, "unknown set `{p}`"),
+            MappingError::UnknownAttr { var, attr } => {
+                write!(f, "variable `{var}` has no attribute `{attr}`")
+            }
+            MappingError::BadParent { var } => write!(f, "bad parent binding for `{var}`"),
+            MappingError::ConflictingAssignment { target } => write!(
+                f,
+                "target `{target}` is assigned by more than one plain equality; use an or-group"
+            ),
+            MappingError::MissingGrouping(p) => {
+                write!(f, "nested target set `{p}` has no grouping function")
+            }
+            MappingError::UselessGrouping(p) => {
+                write!(f, "grouping declared for `{p}` which the mapping does not fill")
+            }
+            MappingError::BadGroupingArg { set, arg } => {
+                write!(f, "grouping for `{set}` has invalid argument `{arg}`")
+            }
+            MappingError::CyclicConstraints => {
+                write!(f, "closure under referential constraints did not terminate")
+            }
+            MappingError::NotAmbiguous(n) => write!(f, "mapping `{n}` is not ambiguous"),
+            MappingError::BadChoice { group, choice } => {
+                write!(f, "choice {choice} out of range for or-group {group}")
+            }
+            MappingError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}

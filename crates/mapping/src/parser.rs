@@ -1,0 +1,615 @@
+//! Parser for the paper's concrete mapping syntax.
+//!
+//! ```text
+//! m2: for c in CompDB.Companies, p in CompDB.Projects, e in CompDB.Employees
+//!     satisfy p.cid = c.cid and e.eid = p.manager
+//!     exists o in OrgDB.Orgs, p1 in o.Projects, e1 in OrgDB.Employees
+//!     satisfy p1.manager = e1.eid
+//!     where c.cname = o.oname
+//!       and (e1.ename = p1.supervisor or e2.ename = p1.supervisor)
+//!     group o.Projects by (c.cid, c.cname)
+//! ```
+//!
+//! Notes on the grammar:
+//!
+//! * A binding qualifier `X.Y` whose first segment names an
+//!   already-declared variable is a nested binding (`p1 in o.Projects`);
+//!   otherwise the first segment is an (optional) schema qualifier and is
+//!   dropped when more than one segment is present.
+//! * `where` equalities may be written in either direction; the parser
+//!   normalizes them to source = target.
+//! * A parenthesized `or`-disjunction `(s1.A1 = t.A or s2.A2 = t.A)` is an
+//!   ambiguity group; the shared side must be the same target attribute in
+//!   every disjunct.
+//! * `group o.Projects by (c.cid, c.cname)` attaches a grouping function;
+//!   `by ()` is the empty (single-group) function. Mappings without a
+//!   `group` declaration can be completed with
+//!   [`Mapping::ensure_default_groupings`].
+//! * Comments run from `--` or `#` to end of line.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Grouping, Mapping, PathRef};
+use crate::error::MappingError;
+use muse_nr::SetPath;
+
+/// Parse a sequence of mappings.
+pub fn parse(text: &str) -> Result<Vec<Mapping>, MappingError> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    while !p.at_end() {
+        out.push(p.mapping()?);
+    }
+    Ok(out)
+}
+
+/// Parse exactly one mapping.
+///
+/// ```
+/// let m = muse_mapping::parse_one(
+///     "m1: for c in CompDB.Companies
+///          exists o in OrgDB.Orgs
+///          where c.cname = o.oname
+///          group o.Projects by (c.cname)",
+/// )
+/// .unwrap();
+/// assert_eq!(m.name, "m1");
+/// assert_eq!(m.source_vars.len(), 1);
+/// assert!(!m.is_ambiguous());
+/// ```
+pub fn parse_one(text: &str) -> Result<Mapping, MappingError> {
+    let ms = parse(text)?;
+    match ms.len() {
+        1 => Ok(ms.into_iter().next().unwrap()),
+        n => Err(MappingError::Parse { line: 0, msg: format!("expected one mapping, found {n}") }),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Colon,
+    Comma,
+    Dot,
+    Eq,
+    LParen,
+    RParen,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(text: &str) -> Result<Vec<Spanned>, MappingError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                    }
+                } else {
+                    return Err(MappingError::Parse { line, msg: "stray `-`".into() });
+                }
+            }
+            ':' => {
+                out.push(Spanned { tok: Tok::Colon, line });
+                chars.next();
+            }
+            ',' => {
+                out.push(Spanned { tok: Tok::Comma, line });
+                chars.next();
+            }
+            '.' => {
+                out.push(Spanned { tok: Tok::Dot, line });
+                chars.next();
+            }
+            '=' => {
+                out.push(Spanned { tok: Tok::Eq, line });
+                chars.next();
+            }
+            '(' => {
+                out.push(Spanned { tok: Tok::LParen, line });
+                chars.next();
+            }
+            ')' => {
+                out.push(Spanned { tok: Tok::RParen, line });
+                chars.next();
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '-' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned { tok: Tok::Ident(s), line });
+            }
+            other => {
+                return Err(MappingError::Parse { line, msg: format!("unexpected `{other}`") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+/// A parsed `var.attr` reference, before space resolution.
+struct RawRef {
+    var: String,
+    attr: String,
+    line: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map_or(0, |t| t.line)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, MappingError> {
+        Err(MappingError::Parse { line: self.line(), msg: msg.into() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), MappingError> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {tok:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, MappingError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected identifier, found {other:?}"))
+            }
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), MappingError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => self.err(format!("expected `{kw}`, found {other:?}")),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn mapping(&mut self) -> Result<Mapping, MappingError> {
+        let name = self.ident()?;
+        self.expect(Tok::Colon)?;
+        let mut m = Mapping::new(name);
+        let mut src_names: BTreeMap<String, usize> = BTreeMap::new();
+        let mut tgt_names: BTreeMap<String, usize> = BTreeMap::new();
+
+        self.keyword("for")?;
+        self.bindings(&mut m, &mut src_names, true)?;
+        if self.at_keyword("satisfy") {
+            self.pos += 1;
+            for (a, b) in self.conjunction()? {
+                let ra = resolve(&src_names, &a)?;
+                let rb = resolve(&src_names, &b)?;
+                m.source_eq(ra, rb);
+            }
+        }
+        self.keyword("exists")?;
+        self.bindings(&mut m, &mut tgt_names, false)?;
+        if self.at_keyword("satisfy") {
+            self.pos += 1;
+            for (a, b) in self.conjunction()? {
+                let ra = resolve(&tgt_names, &a)?;
+                let rb = resolve(&tgt_names, &b)?;
+                m.target_eq(ra, rb);
+            }
+        }
+        if self.at_keyword("where") {
+            self.pos += 1;
+            self.where_clause(&mut m, &src_names, &tgt_names)?;
+        }
+        while self.at_keyword("group") {
+            self.pos += 1;
+            self.group_decl(&mut m, &tgt_names)?;
+        }
+        Ok(m)
+    }
+
+    fn bindings(
+        &mut self,
+        m: &mut Mapping,
+        names: &mut BTreeMap<String, usize>,
+        source: bool,
+    ) -> Result<(), MappingError> {
+        loop {
+            let var = self.ident()?;
+            self.keyword("in")?;
+            let mut segments = vec![self.ident()?];
+            while self.peek() == Some(&Tok::Dot) {
+                self.pos += 1;
+                segments.push(self.ident()?);
+            }
+            if names.contains_key(&var) {
+                return self.err(format!("duplicate variable `{var}`"));
+            }
+            let idx = if let Some(&parent) = names.get(&segments[0]) {
+                // Nested binding `v in parent.field`.
+                if segments.len() != 2 {
+                    return self.err(format!(
+                        "nested binding for `{var}` must be `parent.field`"
+                    ));
+                }
+                let field = segments[1].clone();
+                if source {
+                    m.source_child_var(var.clone(), parent, field)
+                } else {
+                    m.target_child_var(var.clone(), parent, field)
+                }
+            } else {
+                // Top-level binding, with optional schema qualifier.
+                let path_segs = if segments.len() >= 2 { &segments[1..] } else { &segments[..] };
+                let path = SetPath::new(path_segs.iter().cloned());
+                if source {
+                    m.source_var(var.clone(), path)
+                } else {
+                    m.target_var(var.clone(), path)
+                }
+            };
+            names.insert(var, idx);
+            if self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn raw_ref(&mut self) -> Result<RawRef, MappingError> {
+        let line = self.line();
+        let var = self.ident()?;
+        self.expect(Tok::Dot)?;
+        let attr = self.ident()?;
+        Ok(RawRef { var, attr, line })
+    }
+
+    fn equality(&mut self) -> Result<(RawRef, RawRef), MappingError> {
+        let a = self.raw_ref()?;
+        self.expect(Tok::Eq)?;
+        let b = self.raw_ref()?;
+        Ok((a, b))
+    }
+
+    fn conjunction(&mut self) -> Result<Vec<(RawRef, RawRef)>, MappingError> {
+        let mut out = vec![self.equality()?];
+        while self.at_keyword("and") {
+            self.pos += 1;
+            out.push(self.equality()?);
+        }
+        Ok(out)
+    }
+
+    fn where_clause(
+        &mut self,
+        m: &mut Mapping,
+        src: &BTreeMap<String, usize>,
+        tgt: &BTreeMap<String, usize>,
+    ) -> Result<(), MappingError> {
+        loop {
+            if self.peek() == Some(&Tok::LParen) {
+                self.pos += 1;
+                let mut disjuncts = vec![self.equality()?];
+                while self.at_keyword("or") {
+                    self.pos += 1;
+                    disjuncts.push(self.equality()?);
+                }
+                self.expect(Tok::RParen)?;
+                let mut target: Option<PathRef> = None;
+                let mut alternatives = Vec::new();
+                for (a, b) in disjuncts {
+                    let (s, t) = classify(src, tgt, a, b)?;
+                    match &target {
+                        None => target = Some(t),
+                        Some(prev) if *prev == t => {}
+                        Some(_) => {
+                            return self.err(
+                                "all disjuncts of an or-group must share one target attribute",
+                            )
+                        }
+                    }
+                    alternatives.push(s);
+                }
+                m.or_group(target.expect("at least one disjunct"), alternatives);
+            } else {
+                let (a, b) = self.equality()?;
+                let (s, t) = classify(src, tgt, a, b)?;
+                m.where_eq(s, t);
+            }
+            if self.at_keyword("and") {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn group_decl(
+        &mut self,
+        m: &mut Mapping,
+        tgt: &BTreeMap<String, usize>,
+    ) -> Result<(), MappingError> {
+        let r = self.raw_ref()?; // e.g. `o.Projects`
+        let Some(&owner) = tgt.get(&r.var) else {
+            return Err(MappingError::Parse {
+                line: r.line,
+                msg: format!("`{}` is not a target variable", r.var),
+            });
+        };
+        let set = m.target_vars[owner].set.child(&r.attr);
+        self.keyword("by")?;
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                let rr = self.raw_ref()?;
+                // Grouping arguments are source projections. Resolution uses
+                // the caller's source-variable names via the mapping itself.
+                let idx = m
+                    .source_vars
+                    .iter()
+                    .position(|v| v.name == rr.var)
+                    .ok_or(MappingError::UnknownVarName(rr.var.clone()))?;
+                args.push(PathRef::new(idx, rr.attr));
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        m.set_grouping(set, Grouping::new(args));
+        Ok(())
+    }
+}
+
+fn resolve(names: &BTreeMap<String, usize>, r: &RawRef) -> Result<PathRef, MappingError> {
+    let idx = names.get(&r.var).ok_or_else(|| MappingError::UnknownVarName(r.var.clone()))?;
+    Ok(PathRef::new(*idx, r.attr.clone()))
+}
+
+/// Classify a `where` equality's sides into (source, target), accepting
+/// either writing direction.
+fn classify(
+    src: &BTreeMap<String, usize>,
+    tgt: &BTreeMap<String, usize>,
+    a: RawRef,
+    b: RawRef,
+) -> Result<(PathRef, PathRef), MappingError> {
+    let side = |r: &RawRef| (src.get(&r.var).copied(), tgt.get(&r.var).copied());
+    match (side(&a), side(&b)) {
+        ((Some(sa), _), (_, Some(tb))) => {
+            Ok((PathRef::new(sa, a.attr), PathRef::new(tb, b.attr)))
+        }
+        ((_, Some(ta)), (Some(sb), _)) => {
+            Ok((PathRef::new(sb, b.attr), PathRef::new(ta, a.attr)))
+        }
+        _ => Err(MappingError::Parse {
+            line: a.line,
+            msg: format!(
+                "`{}.{} = {}.{}` must relate one source and one target attribute",
+                a.var, a.attr, b.var, b.attr
+            ),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::fixtures::{compdb, orgdb};
+    use crate::ast::WhereClause;
+
+    const M2: &str = "
+        m2: for c in CompDB.Companies, p in CompDB.Projects, e in CompDB.Employees
+            satisfy p.cid = c.cid and e.eid = p.manager
+            exists o in OrgDB.Orgs, p1 in o.Projects, e1 in OrgDB.Employees
+            satisfy p1.manager = e1.eid
+            where c.cname = o.oname and e.eid = e1.eid and e.ename = e1.ename
+              and p.pname = p1.pname
+            group o.Projects by (c.cid, c.cname, c.location)
+    ";
+
+    #[test]
+    fn parses_m2() {
+        let m = parse_one(M2).unwrap();
+        assert_eq!(m.name, "m2");
+        assert_eq!(m.source_vars.len(), 3);
+        assert_eq!(m.source_eqs.len(), 2);
+        assert_eq!(m.target_vars.len(), 3);
+        assert_eq!(m.target_eqs.len(), 1);
+        assert_eq!(m.wheres.len(), 4);
+        let g = m.grouping(&SetPath::parse("Orgs.Projects")).unwrap();
+        assert_eq!(g.args.len(), 3);
+        m.validate(&compdb(), &orgdb()).unwrap();
+    }
+
+    #[test]
+    fn parses_fig1_m1_and_m3_together() {
+        let text = "
+            m1: for c in CompDB.Companies
+                exists o in OrgDB.Orgs
+                where c.cname = o.oname
+                group o.Projects by (c.cid, c.cname, c.location)
+
+            m3: for e in CompDB.Employees
+                exists e1 in OrgDB.Employees
+                where e.eid = e1.eid and e.ename = e1.ename
+        ";
+        let ms = parse(text).unwrap();
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].name, "m1");
+        assert_eq!(ms[1].name, "m3");
+        ms[0].validate(&compdb(), &orgdb()).unwrap();
+        ms[1].validate(&compdb(), &orgdb()).unwrap();
+    }
+
+    #[test]
+    fn parses_ambiguous_ma() {
+        // Fig. 4(a), with hyphenated attribute `tech-lead`.
+        let text = "
+            ma: for p in CompDB.Projects, e1 in CompDB.Employees, e2 in CompDB.Employees
+                satisfy e1.eid = p.manager and e2.eid = p.tech-lead
+                exists p1 in OrgDB.Projects
+                where p.pname = p1.pname
+                  and (e1.ename = p1.supervisor or e2.ename = p1.supervisor)
+                  and (e1.contact = p1.email or e2.contact = p1.email)
+        ";
+        let m = parse_one(text).unwrap();
+        assert!(m.is_ambiguous());
+        assert_eq!(crate::ambiguity::alternatives_count(&m), 4);
+    }
+
+    #[test]
+    fn where_direction_is_normalized() {
+        let a = parse_one(
+            "m: for c in S.Companies exists o in T.Orgs where c.cname = o.oname",
+        )
+        .unwrap();
+        let b = parse_one(
+            "m: for c in S.Companies exists o in T.Orgs where o.oname = c.cname",
+        )
+        .unwrap();
+        assert_eq!(a.wheres, b.wheres);
+        match &a.wheres[0] {
+            WhereClause::Eq { source, target } => {
+                assert_eq!(a.source_ref_name(source), "c.cname");
+                assert_eq!(a.target_ref_name(target), "o.oname");
+            }
+            _ => panic!("expected plain equality"),
+        }
+    }
+
+    #[test]
+    fn empty_grouping_allowed() {
+        let m = parse_one(
+            "m: for c in S.Companies exists o in T.Orgs where c.cname = o.oname
+             group o.Projects by ()",
+        )
+        .unwrap();
+        let g = m.grouping(&SetPath::parse("Orgs.Projects")).unwrap();
+        assert!(g.args.is_empty());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let m = parse_one(
+            "# leading comment
+             m: for c in S.Companies -- trailing comment
+                exists o in T.Orgs
+                where c.cname = o.oname",
+        )
+        .unwrap();
+        assert_eq!(m.name, "m");
+    }
+
+    #[test]
+    fn parse_errors_carry_lines() {
+        let err = parse("m: for c in\nexists o in T.Orgs").unwrap_err();
+        match err {
+            MappingError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_space_equality_rejected() {
+        let err = parse_one(
+            "m: for c in S.Companies, d in S.Companies exists o in T.Orgs where c.cname = d.cname",
+        )
+        .unwrap_err();
+        assert!(matches!(err, MappingError::Parse { .. }));
+    }
+
+    #[test]
+    fn or_group_with_differing_targets_rejected() {
+        let err = parse_one(
+            "m: for c in S.Companies exists o in T.Orgs
+             where (c.cname = o.oname or c.location = o.oaddr)",
+        );
+        // Different target attributes in the disjuncts: rejected.
+        assert!(matches!(err, Err(MappingError::Parse { .. })) || {
+            // (oname vs oaddr differ, so this must be an error)
+            false
+        });
+    }
+
+    #[test]
+    fn duplicate_variable_rejected() {
+        let err =
+            parse_one("m: for c in S.Companies, c in S.Projects exists o in T.Orgs").unwrap_err();
+        assert!(matches!(err, MappingError::Parse { .. }));
+    }
+
+    #[test]
+    fn unknown_variable_in_predicate_rejected() {
+        let err = parse_one(
+            "m: for c in S.Companies exists o in T.Orgs where z.cname = o.oname",
+        )
+        .unwrap_err();
+        assert!(matches!(err, MappingError::Parse { .. }));
+    }
+}

@@ -1,0 +1,82 @@
+//! `poss(m, SK)` — the possible grouping arguments of a nested target set.
+//!
+//! Per Sec. III-A (Step 2): the existence of a target tuple carrying the set
+//! `SK` depends on the whole `for` clause of the mapping, so the candidate
+//! grouping arguments are *all* atomic attributes of *all* source variables,
+//! in variable-then-attribute order. (The paper's running example then
+//! simplifies to `{cid, cname, location}` for exposition; we always return
+//! the full set, as their implementation does.)
+
+use muse_nr::{Schema, SetPath};
+
+use crate::ast::{Mapping, PathRef};
+use crate::error::MappingError;
+
+/// All atomic attribute projections of all source variables of `m`, in
+/// declaration order.
+pub fn all_source_refs(m: &Mapping, source_schema: &Schema) -> Result<Vec<PathRef>, MappingError> {
+    let mut out = Vec::new();
+    for (i, v) in m.source_vars.iter().enumerate() {
+        let attrs = source_schema
+            .attributes(&v.set)
+            .map_err(|_| MappingError::UnknownSet(v.set.to_string()))?;
+        out.extend(attrs.into_iter().map(|a| PathRef::new(i, a)));
+    }
+    Ok(out)
+}
+
+/// `poss(m, SK)` for the nested target set `sk` of mapping `m`.
+///
+/// Returns an error if `m` does not fill `sk` (no grouping function to
+/// design there).
+pub fn poss(
+    m: &Mapping,
+    sk: &SetPath,
+    source_schema: &Schema,
+    target_schema: &Schema,
+) -> Result<Vec<PathRef>, MappingError> {
+    let filled = m.filled_target_sets(target_schema)?;
+    if !filled.contains(sk) {
+        return Err(MappingError::UselessGrouping(sk.clone()));
+    }
+    all_source_refs(m, source_schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::fixtures::{compdb, m2, orgdb};
+
+    #[test]
+    fn poss_of_m2_is_all_ten_attributes() {
+        let m = m2();
+        let p = poss(&m, &SetPath::parse("Orgs.Projects"), &compdb(), &orgdb()).unwrap();
+        assert_eq!(p.len(), 10); // 3 (Comp) + 4 (Proj) + 3 (Emp)
+        assert_eq!(p[0], PathRef::new(0, "cid"));
+        assert_eq!(p[3], PathRef::new(1, "pid"));
+        assert_eq!(p[9], PathRef::new(2, "contact"));
+    }
+
+    #[test]
+    fn poss_of_unfilled_set_errors() {
+        let m = m2();
+        assert!(matches!(
+            poss(&m, &SetPath::parse("Employees"), &compdb(), &orgdb()),
+            Err(MappingError::UselessGrouping(_))
+        ));
+    }
+
+    #[test]
+    fn order_is_variable_then_attribute() {
+        let m = m2();
+        let refs = all_source_refs(&m, &compdb()).unwrap();
+        let names: Vec<String> = refs.iter().map(|r| m.source_ref_name(r)).collect();
+        assert_eq!(
+            names,
+            vec![
+                "c.cid", "c.cname", "c.location", "p.pid", "p.pname", "p.cid", "p.manager",
+                "e.eid", "e.ename", "e.contact"
+            ]
+        );
+    }
+}

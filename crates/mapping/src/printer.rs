@@ -1,0 +1,144 @@
+//! Pretty-printer: renders mappings back in the paper's concrete syntax.
+//! `parse(print(m))` reconstructs an equal mapping.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Mapping, MappingVar, PathRef, WhereClause};
+
+/// Print one mapping in concrete syntax (no schema qualifiers).
+pub fn print(m: &Mapping) -> String {
+    let mut out = String::new();
+    write!(out, "{}: for ", m.name).unwrap();
+    out.push_str(&bindings(&m.source_vars));
+    if !m.source_eqs.is_empty() {
+        out.push_str("\n  satisfy ");
+        out.push_str(&eqs(m, &m.source_eqs, Space::Source));
+    }
+    out.push_str("\n  exists ");
+    out.push_str(&bindings(&m.target_vars));
+    if !m.target_eqs.is_empty() {
+        out.push_str("\n  satisfy ");
+        out.push_str(&eqs(m, &m.target_eqs, Space::Target));
+    }
+    if !m.wheres.is_empty() {
+        out.push_str("\n  where ");
+        let parts: Vec<String> = m
+            .wheres
+            .iter()
+            .map(|w| match w {
+                WhereClause::Eq { source, target } => {
+                    format!("{} = {}", m.source_ref_name(source), m.target_ref_name(target))
+                }
+                WhereClause::OrGroup { target, alternatives } => {
+                    let t = m.target_ref_name(target);
+                    let ds: Vec<String> = alternatives
+                        .iter()
+                        .map(|a| format!("{} = {}", m.source_ref_name(a), t))
+                        .collect();
+                    format!("({})", ds.join(" or "))
+                }
+            })
+            .collect();
+        out.push_str(&parts.join("\n    and "));
+    }
+    for (set, g) in &m.groupings {
+        // Find a target variable over the parent set to name the declaration.
+        let parent = set.parent().expect("groupings are on nested sets");
+        let owner = m
+            .target_vars
+            .iter()
+            .find(|v| v.set == parent)
+            .map(|v| v.name.as_str())
+            .unwrap_or("?");
+        let args: Vec<String> = g.args.iter().map(|r| m.source_ref_name(r)).collect();
+        write!(out, "\n  group {owner}.{} by ({})", set.label(), args.join(", ")).unwrap();
+    }
+    out.push('\n');
+    out
+}
+
+/// Print a whole `Σ`, blank-line separated.
+pub fn print_all(ms: &[Mapping]) -> String {
+    ms.iter().map(print).collect::<Vec<_>>().join("\n")
+}
+
+enum Space {
+    Source,
+    Target,
+}
+
+fn bindings(vars: &[MappingVar]) -> String {
+    let parts: Vec<String> = vars
+        .iter()
+        .map(|v| match &v.parent {
+            None => format!("{} in {}", v.name, v.set),
+            Some((p, field)) => format!("{} in {}.{}", v.name, vars[*p].name, field),
+        })
+        .collect();
+    parts.join(", ")
+}
+
+fn eqs(m: &Mapping, pairs: &[(PathRef, PathRef)], space: Space) -> String {
+    let name = |r: &PathRef| match space {
+        Space::Source => m.source_ref_name(r),
+        Space::Target => m.target_ref_name(r),
+    };
+    let parts: Vec<String> = pairs.iter().map(|(a, b)| format!("{} = {}", name(a), name(b))).collect();
+    parts.join(" and ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::fixtures::m2;
+    use crate::parser::{parse, parse_one};
+
+    #[test]
+    fn m2_round_trips() {
+        let m = m2();
+        let text = print(&m);
+        let back = parse_one(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn ambiguous_round_trips() {
+        let text = "
+            ma: for p in Projects, e1 in Employees, e2 in Employees
+                satisfy e1.eid = p.manager and e2.eid = p.tech-lead
+                exists p1 in Projects
+                where p.pname = p1.pname
+                  and (e1.ename = p1.supervisor or e2.ename = p1.supervisor)
+        ";
+        let m = parse_one(text).unwrap();
+        let back = parse_one(&print(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn nested_binding_round_trips() {
+        let text = "
+            m: for a in DB.Articles
+               exists j in Out.Journals, x in j.Papers
+               where a.title = x.title
+               group j.Papers by (a.journal)
+        ";
+        let m = parse_one(text).unwrap();
+        let printed = print(&m);
+        assert!(printed.contains("x in j.Papers"), "got: {printed}");
+        assert!(printed.contains("group j.Papers by (a.journal)"), "got: {printed}");
+        assert_eq!(parse_one(&printed).unwrap(), m);
+    }
+
+    #[test]
+    fn print_all_concatenates() {
+        let text = "
+            m1: for c in S.Companies exists o in T.Orgs where c.cname = o.oname
+            m2: for e in S.Employees exists f in T.Employees where e.eid = f.eid
+        ";
+        let ms = parse(text).unwrap();
+        let all = print_all(&ms);
+        let back = parse(&all).unwrap();
+        assert_eq!(back, ms);
+    }
+}

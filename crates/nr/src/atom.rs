@@ -1,0 +1,116 @@
+//! Atomic values: the leaves of the nested relational model.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An atomic (scalar) value of type `String` or `Int`.
+///
+/// Strings are reference-counted so tuples can be cloned cheaply during the
+/// chase and during example construction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Atom {
+    /// An integer constant.
+    Int(i64),
+    /// A string constant.
+    Str(Arc<str>),
+}
+
+impl Atom {
+    /// Build a string atom.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Atom::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer atom.
+    pub fn int(i: i64) -> Self {
+        Atom::Int(i)
+    }
+
+    /// True if this atom is a string.
+    pub fn is_str(&self) -> bool {
+        matches!(self, Atom::Str(_))
+    }
+
+    /// View the string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Atom::Str(s) => Some(s),
+            Atom::Int(_) => None,
+        }
+    }
+
+    /// View the integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Atom::Int(i) => Some(*i),
+            Atom::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Int(i) => write!(f, "{i}"),
+            Atom::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Atom {
+    fn from(i: i64) -> Self {
+        Atom::Int(i)
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(s: &str) -> Self {
+        Atom::str(s)
+    }
+}
+
+impl From<String> for Atom {
+    fn from(s: String) -> Self {
+        Atom::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = Atom::str("IBM");
+        assert!(a.is_str());
+        assert_eq!(a.as_str(), Some("IBM"));
+        assert_eq!(a.as_int(), None);
+        let b = Atom::int(42);
+        assert!(!b.is_str());
+        assert_eq!(b.as_int(), Some(42));
+        assert_eq!(b.as_str(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Atom::str("x").to_string(), "x");
+        assert_eq!(Atom::int(-7).to_string(), "-7");
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut v = vec![Atom::str("b"), Atom::int(2), Atom::str("a"), Atom::int(1)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Atom::int(1), Atom::int(2), Atom::str("a"), Atom::str("b")]
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Atom::from(3i64), Atom::int(3));
+        assert_eq!(Atom::from("hi"), Atom::str("hi"));
+        assert_eq!(Atom::from(String::from("hi")), Atom::str("hi"));
+    }
+}

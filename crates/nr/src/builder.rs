@@ -1,0 +1,115 @@
+//! Ergonomic construction of instances for tests, examples and generators.
+
+use crate::error::NrError;
+use crate::instance::{Instance, Tuple, Value};
+use crate::schema::{Schema, SetPath};
+use crate::term::SetId;
+
+/// A builder that accumulates tuples into an [`Instance`] and validates the
+/// result against the schema on [`InstanceBuilder::finish`].
+#[derive(Debug)]
+pub struct InstanceBuilder<'s> {
+    schema: &'s Schema,
+    inst: Instance,
+}
+
+impl<'s> InstanceBuilder<'s> {
+    /// Start building an instance of `schema`.
+    pub fn new(schema: &'s Schema) -> Self {
+        InstanceBuilder { schema, inst: Instance::new(schema) }
+    }
+
+    /// Append a tuple to a top-level set, by label.
+    pub fn push_top(&mut self, root: &str, tuple: Tuple) -> &mut Self {
+        let id = self
+            .inst
+            .root_id(root)
+            .unwrap_or_else(|| panic!("no top-level set `{root}` in schema `{}`", self.schema.name));
+        self.inst.insert(id, tuple);
+        self
+    }
+
+    /// Intern a nested set grouped by `args` (creating it empty if new).
+    pub fn group(&mut self, path: &str, args: Vec<Value>) -> SetId {
+        self.inst.group(SetPath::parse(path), args)
+    }
+
+    /// Append a tuple to the set identified by `id`.
+    pub fn push(&mut self, id: SetId, tuple: Tuple) -> &mut Self {
+        self.inst.insert(id, tuple);
+        self
+    }
+
+    /// Read access to the instance under construction.
+    pub fn instance(&self) -> &Instance {
+        &self.inst
+    }
+
+    /// Validate against the schema and return the instance.
+    pub fn finish(self) -> Result<Instance, NrError> {
+        self.inst.validate(self.schema)?;
+        Ok(self.inst)
+    }
+
+    /// Return the instance without validating (for deliberately invalid
+    /// test fixtures).
+    pub fn finish_unchecked(self) -> Instance {
+        self.inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Field, Ty};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "S",
+            vec![Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+                ]),
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_nested() {
+        let s = schema();
+        let mut b = InstanceBuilder::new(&s);
+        let projs = b.group("Orgs.Projects", vec![Value::str("IBM")]);
+        b.push(projs, vec![Value::str("DB")]);
+        b.push_top("Orgs", vec![Value::str("IBM"), Value::Set(projs)]);
+        let inst = b.finish().unwrap();
+        assert_eq!(inst.total_tuples(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no top-level set")]
+    fn unknown_root_panics() {
+        let s = schema();
+        let mut b = InstanceBuilder::new(&s);
+        b.push_top("Nope", vec![]);
+    }
+
+    #[test]
+    fn finish_validates() {
+        let s = schema();
+        let mut b = InstanceBuilder::new(&s);
+        b.push_top("Orgs", vec![Value::str("IBM")]); // missing Projects field
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn finish_unchecked_skips_validation() {
+        let s = schema();
+        let mut b = InstanceBuilder::new(&s);
+        b.push_top("Orgs", vec![Value::str("IBM")]);
+        let inst = b.finish_unchecked();
+        assert_eq!(inst.total_tuples(), 1);
+    }
+}

@@ -1,0 +1,398 @@
+//! Schema constraints: keys, functional dependencies and referential
+//! constraints, plus instance validation and a reusable FD engine.
+//!
+//! A *key* of a nested set `N` is a minimal set of attributes of `N` that
+//! functionally determines all attributes of `N`. Keys and FDs are enforced
+//! across all occurrences of a set path (the relational reading, which is
+//! what the paper's source schemas use). A *referential constraint* (like
+//! `f1`, `f2` in Fig. 1) requires every `from` tuple's attribute projection
+//! to appear among the `to` tuples.
+
+use std::collections::BTreeSet;
+
+use crate::error::NrError;
+use crate::instance::{Instance, Value};
+use crate::schema::{Schema, SetPath};
+
+pub mod fdset;
+
+/// A key constraint on a nested set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Key {
+    /// The constrained set.
+    pub set: SetPath,
+    /// The key attributes.
+    pub attrs: Vec<String>,
+}
+
+impl Key {
+    /// Construct a key.
+    pub fn new(set: SetPath, attrs: Vec<&str>) -> Self {
+        Key { set, attrs: attrs.into_iter().map(str::to_owned).collect() }
+    }
+}
+
+/// A functional dependency `lhs → rhs` on a nested set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fd {
+    /// The constrained set.
+    pub set: SetPath,
+    /// Determinant attributes.
+    pub lhs: Vec<String>,
+    /// Determined attributes.
+    pub rhs: Vec<String>,
+}
+
+impl Fd {
+    /// Construct an FD.
+    pub fn new(set: SetPath, lhs: Vec<&str>, rhs: Vec<&str>) -> Self {
+        Fd {
+            set,
+            lhs: lhs.into_iter().map(str::to_owned).collect(),
+            rhs: rhs.into_iter().map(str::to_owned).collect(),
+        }
+    }
+}
+
+/// A referential (inclusion) constraint between two nested sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing set.
+    pub from: SetPath,
+    /// Referencing attributes (positionally matched with `to_attrs`).
+    pub from_attrs: Vec<String>,
+    /// Referenced set.
+    pub to: SetPath,
+    /// Referenced attributes.
+    pub to_attrs: Vec<String>,
+}
+
+impl ForeignKey {
+    /// Construct a referential constraint.
+    pub fn new(from: SetPath, from_attrs: Vec<&str>, to: SetPath, to_attrs: Vec<&str>) -> Self {
+        assert_eq!(from_attrs.len(), to_attrs.len(), "FK attribute lists must align");
+        ForeignKey {
+            from,
+            from_attrs: from_attrs.into_iter().map(str::to_owned).collect(),
+            to,
+            to_attrs: to_attrs.into_iter().map(str::to_owned).collect(),
+        }
+    }
+}
+
+/// All declared constraints of a schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Constraints {
+    /// Declared keys.
+    pub keys: Vec<Key>,
+    /// Declared functional dependencies (beyond keys).
+    pub fds: Vec<Fd>,
+    /// Declared referential constraints.
+    pub fks: Vec<ForeignKey>,
+}
+
+impl Constraints {
+    /// No constraints.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Keys declared on a given set.
+    pub fn keys_of(&self, set: &SetPath) -> Vec<&Key> {
+        self.keys.iter().filter(|k| &k.set == set).collect()
+    }
+
+    /// FDs declared on a given set (not counting keys).
+    pub fn fds_of(&self, set: &SetPath) -> Vec<&Fd> {
+        self.fds.iter().filter(|f| &f.set == set).collect()
+    }
+
+    /// Referential constraints leaving a given set.
+    pub fn fks_from(&self, set: &SetPath) -> Vec<&ForeignKey> {
+        self.fks.iter().filter(|f| &f.from == set).collect()
+    }
+
+    /// All FDs on a set, with each key expanded to `key → all attributes`.
+    pub fn all_fds_of(&self, schema: &Schema, set: &SetPath) -> Result<Vec<Fd>, NrError> {
+        let attrs = schema.attributes(set)?;
+        let mut out: Vec<Fd> = self.fds_of(set).into_iter().cloned().collect();
+        for k in self.keys_of(set) {
+            out.push(Fd {
+                set: set.clone(),
+                lhs: k.attrs.clone(),
+                rhs: attrs.clone(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Check that all constraints mention only attributes that exist.
+    pub fn validate_against_schema(&self, schema: &Schema) -> Result<(), NrError> {
+        let check = |set: &SetPath, attrs: &[String]| -> Result<(), NrError> {
+            let known = schema.attributes(set)?;
+            for a in attrs {
+                if !known.contains(a) {
+                    return Err(NrError::BadConstraint { set: set.clone(), attr: a.clone() });
+                }
+            }
+            Ok(())
+        };
+        for k in &self.keys {
+            check(&k.set, &k.attrs)?;
+        }
+        for f in &self.fds {
+            check(&f.set, &f.lhs)?;
+            check(&f.set, &f.rhs)?;
+        }
+        for fk in &self.fks {
+            check(&fk.from, &fk.from_attrs)?;
+            check(&fk.to, &fk.to_attrs)?;
+        }
+        Ok(())
+    }
+
+    /// Validate an instance against every declared constraint.
+    pub fn validate_instance(&self, schema: &Schema, inst: &Instance) -> Result<(), NrError> {
+        for key in &self.keys {
+            let attrs = schema.attributes(&key.set)?;
+            if !fd_holds(schema, inst, &key.set, &key.attrs, &attrs)? {
+                return Err(NrError::KeyViolation { set: key.set.clone(), key: key.attrs.clone() });
+            }
+        }
+        for fd in &self.fds {
+            if !fd_holds(schema, inst, &fd.set, &fd.lhs, &fd.rhs)? {
+                return Err(NrError::FdViolation { set: fd.set.clone(), lhs: fd.lhs.clone() });
+            }
+        }
+        for fk in &self.fks {
+            if !fk_holds(schema, inst, fk)? {
+                return Err(NrError::ReferentialViolation {
+                    from: fk.from.clone(),
+                    to: fk.to.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn project(
+    schema: &Schema,
+    set: &SetPath,
+    tuple: &[Value],
+    attrs: &[String],
+) -> Result<Vec<Value>, NrError> {
+    attrs
+        .iter()
+        .map(|a| {
+            let idx = schema.attr_index(set, a)?;
+            Ok(tuple[idx].clone())
+        })
+        .collect()
+}
+
+/// Does `lhs → rhs` hold across all tuples of `set` in `inst`?
+pub fn fd_holds(
+    schema: &Schema,
+    inst: &Instance,
+    set: &SetPath,
+    lhs: &[String],
+    rhs: &[String],
+) -> Result<bool, NrError> {
+    let mut seen: std::collections::BTreeMap<Vec<Value>, Vec<Value>> = Default::default();
+    for (_, t) in inst.tuples_of_path(set) {
+        let l = project(schema, set, t, lhs)?;
+        let r = project(schema, set, t, rhs)?;
+        if let Some(prev) = seen.get(&l) {
+            if prev != &r {
+                return Ok(false);
+            }
+        } else {
+            seen.insert(l, r);
+        }
+    }
+    Ok(true)
+}
+
+fn fk_holds(schema: &Schema, inst: &Instance, fk: &ForeignKey) -> Result<bool, NrError> {
+    let mut targets: BTreeSet<Vec<Value>> = BTreeSet::new();
+    for (_, t) in inst.tuples_of_path(&fk.to) {
+        targets.insert(project(schema, &fk.to, t, &fk.to_attrs)?);
+    }
+    for (_, t) in inst.tuples_of_path(&fk.from) {
+        let proj = project(schema, &fk.from, t, &fk.from_attrs)?;
+        if !targets.contains(&proj) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Field, Ty};
+
+    fn compdb() -> (Schema, Constraints) {
+        let schema = Schema::new(
+            "CompDB",
+            vec![
+                Field::new(
+                    "Companies",
+                    Ty::set_of(vec![
+                        Field::new("cid", Ty::Int),
+                        Field::new("cname", Ty::Str),
+                        Field::new("location", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Projects",
+                    Ty::set_of(vec![
+                        Field::new("pid", Ty::Str),
+                        Field::new("pname", Ty::Str),
+                        Field::new("cid", Ty::Int),
+                        Field::new("manager", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                        Field::new("contact", Ty::Str),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap();
+        let companies = SetPath::parse("Companies");
+        let projects = SetPath::parse("Projects");
+        let employees = SetPath::parse("Employees");
+        let constraints = Constraints {
+            keys: vec![Key::new(companies.clone(), vec!["cid"])],
+            fds: vec![],
+            fks: vec![
+                ForeignKey::new(projects.clone(), vec!["cid"], companies, vec!["cid"]),
+                ForeignKey::new(projects, vec!["manager"], employees, vec!["eid"]),
+            ],
+        };
+        (schema, constraints)
+    }
+
+    fn fig2_instance(schema: &Schema) -> Instance {
+        let mut i = Instance::new(schema);
+        let comps = i.root_id("Companies").unwrap();
+        i.insert(comps, vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")]);
+        i.insert(comps, vec![Value::int(112), Value::str("SBC"), Value::str("NY")]);
+        let projs = i.root_id("Projects").unwrap();
+        i.insert(
+            projs,
+            vec![Value::str("p1"), Value::str("DBSearch"), Value::int(111), Value::str("e14")],
+        );
+        i.insert(
+            projs,
+            vec![Value::str("p2"), Value::str("WebSearch"), Value::int(111), Value::str("e15")],
+        );
+        let emps = i.root_id("Employees").unwrap();
+        i.insert(emps, vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")]);
+        i.insert(emps, vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")]);
+        i.insert(emps, vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")]);
+        i
+    }
+
+    #[test]
+    fn fig2_instance_satisfies_all_constraints() {
+        let (schema, cons) = compdb();
+        cons.validate_against_schema(&schema).unwrap();
+        let inst = fig2_instance(&schema);
+        inst.validate(&schema).unwrap();
+        cons.validate_instance(&schema, &inst).unwrap();
+    }
+
+    #[test]
+    fn key_violation_detected() {
+        let (schema, cons) = compdb();
+        let mut inst = fig2_instance(&schema);
+        let comps = inst.root_id("Companies").unwrap();
+        // Same cid, different name: violates key(cid).
+        inst.insert(comps, vec![Value::int(111), Value::str("Other"), Value::str("SF")]);
+        assert!(matches!(
+            cons.validate_instance(&schema, &inst),
+            Err(NrError::KeyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn fk_violation_detected() {
+        let (schema, cons) = compdb();
+        let mut inst = fig2_instance(&schema);
+        let projs = inst.root_id("Projects").unwrap();
+        // cid 999 references no company.
+        inst.insert(
+            projs,
+            vec![Value::str("p9"), Value::str("Ghost"), Value::int(999), Value::str("e14")],
+        );
+        assert!(matches!(
+            cons.validate_instance(&schema, &inst),
+            Err(NrError::ReferentialViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn fd_validation() {
+        let (schema, _) = compdb();
+        let inst = fig2_instance(&schema);
+        let comps = SetPath::parse("Companies");
+        // cname -> location holds on this instance (IBM->Almaden, SBC->NY).
+        assert!(fd_holds(
+            &schema,
+            &inst,
+            &comps,
+            &["cname".into()],
+            &["location".into()]
+        )
+        .unwrap());
+        // location -> cid holds here too (each location unique).
+        assert!(fd_holds(&schema, &inst, &comps, &["location".into()], &["cid".into()]).unwrap());
+    }
+
+    #[test]
+    fn fd_violation_detected_via_constraints() {
+        let (schema, _) = compdb();
+        let mut inst = fig2_instance(&schema);
+        let comps = inst.root_id("Companies").unwrap();
+        inst.insert(comps, vec![Value::int(113), Value::str("IBM"), Value::str("SF")]);
+        let cons = Constraints {
+            keys: vec![],
+            fds: vec![Fd::new(SetPath::parse("Companies"), vec!["cname"], vec!["location"])],
+            fks: vec![],
+        };
+        assert!(matches!(
+            cons.validate_instance(&schema, &inst),
+            Err(NrError::FdViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_constraint_attr_rejected() {
+        let (schema, _) = compdb();
+        let cons = Constraints {
+            keys: vec![Key::new(SetPath::parse("Companies"), vec!["nope"])],
+            fds: vec![],
+            fks: vec![],
+        };
+        assert!(matches!(
+            cons.validate_against_schema(&schema),
+            Err(NrError::BadConstraint { .. })
+        ));
+    }
+
+    #[test]
+    fn all_fds_expand_keys() {
+        let (schema, cons) = compdb();
+        let fds = cons.all_fds_of(&schema, &SetPath::parse("Companies")).unwrap();
+        assert_eq!(fds.len(), 1);
+        assert_eq!(fds[0].lhs, vec!["cid"]);
+        assert_eq!(fds[0].rhs, vec!["cid", "cname", "location"]);
+    }
+}

@@ -1,0 +1,246 @@
+//! A small functional-dependency engine over bit-indexed attributes.
+//!
+//! Muse-G reasons about FDs over `poss(m, SK)` — a set of attribute
+//! *references* spanning several source sets (e.g. `c.cid`, `p.pname`,
+//! `e.eid`). This module works over abstract attribute indices `0..n`
+//! (n ≤ 128) so it can serve both plain schema attributes and such reference
+//! sets. It provides attribute-set closure, candidate-key enumeration, and
+//! the *single-keyed* test used by Muse-G's key-aware probing (Sec. III-B
+//! and the FD generalization of Sec. III-C).
+
+/// A set of attributes, as a bitmask over indices `0..n`.
+pub type AttrSet = u128;
+
+/// Build an [`AttrSet`] from indices.
+pub fn attrs<I: IntoIterator<Item = usize>>(ix: I) -> AttrSet {
+    ix.into_iter().fold(0, |m, i| m | (1u128 << i))
+}
+
+/// All `n` attributes.
+pub fn all_attrs(n: usize) -> AttrSet {
+    if n == 0 {
+        0
+    } else if n >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    }
+}
+
+/// Iterate the indices contained in an [`AttrSet`].
+pub fn iter_attrs(set: AttrSet) -> impl Iterator<Item = usize> {
+    (0..128).filter(move |i| set & (1u128 << i) != 0)
+}
+
+/// A set of FDs over `n` bit-indexed attributes.
+#[derive(Debug, Clone, Default)]
+pub struct FdSet {
+    n: usize,
+    fds: Vec<(AttrSet, AttrSet)>,
+}
+
+impl FdSet {
+    /// Empty FD set over `n` attributes. Panics if `n > 128` — `poss(m, SK)`
+    /// never approaches that in practice (the paper's largest average is
+    /// 26.7).
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 128, "FdSet supports at most 128 attributes");
+        FdSet { n, fds: Vec::new() }
+    }
+
+    /// Number of attributes in scope.
+    pub fn arity(&self) -> usize {
+        self.n
+    }
+
+    /// The declared FDs.
+    pub fn fds(&self) -> &[(AttrSet, AttrSet)] {
+        &self.fds
+    }
+
+    /// Add `lhs → rhs`.
+    pub fn add(&mut self, lhs: AttrSet, rhs: AttrSet) {
+        self.fds.push((lhs & all_attrs(self.n), rhs & all_attrs(self.n)));
+    }
+
+    /// Add a key: `key → all attributes`.
+    pub fn add_key(&mut self, key: AttrSet) {
+        self.add(key, all_attrs(self.n));
+    }
+
+    /// Attribute-set closure under the FDs (fixed point).
+    pub fn closure(&self, start: AttrSet) -> AttrSet {
+        let mut cur = start & all_attrs(self.n);
+        loop {
+            let mut next = cur;
+            for &(lhs, rhs) in &self.fds {
+                if lhs & cur == lhs {
+                    next |= rhs;
+                }
+            }
+            if next == cur {
+                return cur;
+            }
+            cur = next;
+        }
+    }
+
+    /// Does `lhs → rhs` follow from the declared FDs?
+    pub fn implies(&self, lhs: AttrSet, rhs: AttrSet) -> bool {
+        self.closure(lhs) & rhs == rhs & all_attrs(self.n)
+    }
+
+    /// Is `set` a superkey (its closure covers everything)?
+    pub fn is_superkey(&self, set: AttrSet) -> bool {
+        self.closure(set) == all_attrs(self.n)
+    }
+
+    /// All candidate keys: minimal attribute sets whose closure is the full
+    /// attribute set. Uses the Lucchesi–Osborn algorithm (polynomial delay):
+    /// start from one minimized key, and for every found key `K` and FD
+    /// `X → Y`, the superkey `X ∪ (K ∖ Y)` minimizes to a new key unless it
+    /// already contains a found one. A safety cap bounds pathological FD
+    /// sets (real schemas have a handful of keys).
+    pub fn candidate_keys(&self) -> Vec<AttrSet> {
+        const MAX_KEYS: usize = 64;
+        let all = all_attrs(self.n);
+        if self.n == 0 {
+            return vec![0];
+        }
+        let minimize = |start: AttrSet| -> AttrSet {
+            let mut k = start;
+            for i in (0..self.n).rev() {
+                let bit = attrs([i]);
+                if k & bit != 0 && self.closure(k & !bit) == all {
+                    k &= !bit;
+                }
+            }
+            k
+        };
+        let mut keys = vec![minimize(all)];
+        let mut queue = vec![keys[0]];
+        while let Some(k) = queue.pop() {
+            for &(x, y) in &self.fds {
+                let s = x | (k & !y);
+                // (subset test, not membership: kk ⊆ s)
+                #[allow(clippy::manual_contains)]
+                if keys.iter().any(|&kk| kk & s == kk) {
+                    continue; // contains a found key: yields nothing new
+                }
+                let m = minimize(s);
+                if !keys.contains(&m) {
+                    keys.push(m);
+                    queue.push(m);
+                    if keys.len() >= MAX_KEYS {
+                        keys.sort_unstable();
+                        return keys;
+                    }
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The *single-keyed* test (Sec. III-C): true iff there is exactly one
+    /// candidate key. With no FDs at all, the unique key is the full
+    /// attribute set, which the paper treats as the "no keys" base case.
+    pub fn is_single_keyed(&self) -> bool {
+        self.candidate_keys().len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_basic() {
+        // 0->1, 1->2 over 4 attrs.
+        let mut f = FdSet::new(4);
+        f.add(attrs([0]), attrs([1]));
+        f.add(attrs([1]), attrs([2]));
+        assert_eq!(f.closure(attrs([0])), attrs([0, 1, 2]));
+        assert_eq!(f.closure(attrs([3])), attrs([3]));
+        assert!(f.implies(attrs([0]), attrs([2])));
+        assert!(!f.implies(attrs([0]), attrs([3])));
+    }
+
+    #[test]
+    fn candidate_keys_single_key() {
+        // cid is a key of {cid, cname, location}.
+        let mut f = FdSet::new(3);
+        f.add_key(attrs([0]));
+        assert_eq!(f.candidate_keys(), vec![attrs([0])]);
+        assert!(f.is_single_keyed());
+        assert!(f.is_superkey(attrs([0, 2])));
+    }
+
+    #[test]
+    fn candidate_keys_multiple() {
+        // Both cid and cname are keys.
+        let mut f = FdSet::new(3);
+        f.add_key(attrs([0]));
+        f.add_key(attrs([1]));
+        let keys = f.candidate_keys();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&attrs([0])));
+        assert!(keys.contains(&attrs([1])));
+        assert!(!f.is_single_keyed());
+    }
+
+    #[test]
+    fn no_fds_full_set_is_the_only_key() {
+        let f = FdSet::new(3);
+        assert_eq!(f.candidate_keys(), vec![attrs([0, 1, 2])]);
+        assert!(f.is_single_keyed());
+    }
+
+    #[test]
+    fn composite_and_derived_keys() {
+        // AB -> C, C -> A over {A,B,C}: keys are AB and BC.
+        let mut f = FdSet::new(3);
+        f.add(attrs([0, 1]), attrs([2]));
+        f.add(attrs([2]), attrs([0]));
+        let keys = f.candidate_keys();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&attrs([0, 1])));
+        assert!(keys.contains(&attrs([1, 2])));
+    }
+
+    #[test]
+    fn minimality_no_key_contains_another() {
+        // A -> B, B -> A, so A and B are each keys with C essential? No:
+        // nothing determines C, so C is essential. Keys: AC and BC.
+        let mut f = FdSet::new(3);
+        f.add(attrs([0]), attrs([1]));
+        f.add(attrs([1]), attrs([0]));
+        let keys = f.candidate_keys();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&attrs([0, 2])));
+        assert!(keys.contains(&attrs([1, 2])));
+        for a in &keys {
+            for b in &keys {
+                if a != b {
+                    assert_ne!(a & b, *a, "key {a:b} contained in {b:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_arity() {
+        let f = FdSet::new(0);
+        assert_eq!(f.candidate_keys(), vec![0]);
+        assert_eq!(f.closure(0), 0);
+    }
+
+    #[test]
+    fn attr_helpers() {
+        assert_eq!(all_attrs(3), 0b111);
+        assert_eq!(attrs([0, 2]), 0b101);
+        assert_eq!(iter_attrs(0b101).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(all_attrs(0), 0);
+        assert_eq!(all_attrs(128), u128::MAX);
+    }
+}

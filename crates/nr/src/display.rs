@@ -1,0 +1,132 @@
+//! Deterministic, human-readable rendering of instances, in the nested style
+//! of the paper's Fig. 2 (tuples indented under their set, nested sets shown
+//! by their SetID with contents indented below).
+
+use std::fmt::Write as _;
+
+use crate::instance::{Instance, Value};
+use crate::schema::{Schema, SetPath};
+use crate::term::SetId;
+
+/// Render an entire instance as an indented tree. Output is deterministic
+/// (sets and tuples are iterated in their ordered containers), which makes it
+/// suitable for golden tests.
+pub fn render(schema: &Schema, inst: &Instance) -> String {
+    let mut out = String::new();
+    for (label, id) in inst.roots() {
+        let path = SetPath::new([label]);
+        writeln!(out, "{label}:").unwrap();
+        render_set(schema, inst, &path, id, 1, &mut out);
+    }
+    out
+}
+
+/// Render a single set (with nested contents) as an indented tree.
+pub fn render_set_tree(schema: &Schema, inst: &Instance, id: SetId) -> String {
+    let path = inst.store().set_term(id).set.clone();
+    let mut out = String::new();
+    writeln!(out, "{}:", inst.store().render_set(id)).unwrap();
+    render_set(schema, inst, &path, id, 1, &mut out);
+    out
+}
+
+fn render_set(
+    schema: &Schema,
+    inst: &Instance,
+    path: &SetPath,
+    id: SetId,
+    depth: usize,
+    out: &mut String,
+) {
+    let indent = "  ".repeat(depth);
+    let fields = schema
+        .element_record(path)
+        .ok()
+        .and_then(|r| r.rcd_fields())
+        .map(|fs| fs.to_vec())
+        .unwrap_or_default();
+    if inst.set_len(id) == 0 {
+        writeln!(out, "{indent}(empty)").unwrap();
+        return;
+    }
+    for tuple in inst.tuples(id) {
+        let mut parts = Vec::with_capacity(tuple.len());
+        for (i, v) in tuple.iter().enumerate() {
+            let label = fields.get(i).map(|f| f.label.as_str()).unwrap_or("?");
+            match v {
+                Value::Set(sid) => {
+                    parts.push(format!("{label}={}", inst.store().render_set(*sid)))
+                }
+                other => parts.push(format!("{label}={}", inst.store().render_value(other))),
+            }
+        }
+        writeln!(out, "{indent}({})", parts.join(", ")).unwrap();
+        // Expand nested sets beneath the tuple.
+        for (i, v) in tuple.iter().enumerate() {
+            if let Value::Set(sid) = v {
+                let label = fields.get(i).map(|f| f.label.as_str()).unwrap_or("?");
+                let child = path.child(label);
+                writeln!(out, "{indent}  {}:", inst.store().render_set(*sid)).unwrap();
+                render_set(schema, inst, &child, *sid, depth + 2, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Field, Ty};
+
+    #[test]
+    fn renders_nested_tree() {
+        let schema = Schema::new(
+            "OrgDB",
+            vec![Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+                ]),
+            )],
+        )
+        .unwrap();
+        let mut inst = Instance::new(&schema);
+        let orgs = inst.root_id("Orgs").unwrap();
+        let projs = inst.group(SetPath::parse("Orgs.Projects"), vec![Value::str("IBM")]);
+        inst.insert(orgs, vec![Value::str("IBM"), Value::Set(projs)]);
+        inst.insert(projs, vec![Value::str("DBSearch")]);
+
+        let text = render(&schema, &inst);
+        assert!(text.contains("Orgs:"), "got: {text}");
+        assert!(text.contains("oname=IBM"), "got: {text}");
+        assert!(text.contains("Projects=SKProjects(IBM)"), "got: {text}");
+        assert!(text.contains("pname=DBSearch"), "got: {text}");
+    }
+
+    #[test]
+    fn renders_empty_sets() {
+        let schema = Schema::new(
+            "S",
+            vec![Field::new("A", Ty::set_of(vec![Field::new("x", Ty::Int)]))],
+        )
+        .unwrap();
+        let inst = Instance::new(&schema);
+        let text = render(&schema, &inst);
+        assert!(text.contains("(empty)"));
+    }
+
+    #[test]
+    fn render_single_set_tree() {
+        let schema = Schema::new(
+            "S",
+            vec![Field::new("A", Ty::set_of(vec![Field::new("x", Ty::Int)]))],
+        )
+        .unwrap();
+        let mut inst = Instance::new(&schema);
+        let a = inst.root_id("A").unwrap();
+        inst.insert(a, vec![Value::int(7)]);
+        let text = render_set_tree(&schema, &inst, a);
+        assert!(text.contains("(x=7)"));
+    }
+}

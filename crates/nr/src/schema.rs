@@ -1,0 +1,329 @@
+//! Schemas and set paths.
+//!
+//! Following the paper we model a schema as a single root record whose
+//! elements are (typically) all of type `SetOf`. Every nested set type is
+//! addressed by a [`SetPath`]: the sequence of field labels navigated from
+//! the root record down to the set, descending implicitly through set
+//! elements. E.g. in `OrgDB`, `Orgs.Projects` addresses the `Projects` set
+//! nested inside each `Org` record of the top-level `Orgs` set.
+
+use std::fmt;
+
+use crate::error::NrError;
+use crate::types::{Field, Ty};
+
+/// The address of a nested set type within a schema: field labels from the
+/// root record to the set, one per set level.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetPath(Vec<String>);
+
+impl SetPath {
+    /// Build a path from label segments.
+    pub fn new<I, S>(segments: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        SetPath(segments.into_iter().map(Into::into).collect())
+    }
+
+    /// Parse a dotted path such as `"Orgs.Projects"`.
+    pub fn parse(s: &str) -> Self {
+        SetPath(s.split('.').map(str::to_owned).collect())
+    }
+
+    /// The label segments.
+    pub fn segments(&self) -> &[String] {
+        &self.0
+    }
+
+    /// The final segment — the set's own label.
+    pub fn label(&self) -> &str {
+        self.0.last().map(String::as_str).unwrap_or("")
+    }
+
+    /// Nesting depth (1 for top-level sets).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The enclosing set's path, or `None` for top-level sets.
+    pub fn parent(&self) -> Option<SetPath> {
+        if self.0.len() <= 1 {
+            None
+        } else {
+            Some(SetPath(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// Extend this path by one child set label.
+    pub fn child(&self, label: impl Into<String>) -> SetPath {
+        let mut v = self.0.clone();
+        v.push(label.into());
+        SetPath(v)
+    }
+
+    /// True when this path is an ancestor of (or equal to) `other`.
+    pub fn is_prefix_of(&self, other: &SetPath) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+}
+
+impl fmt::Display for SetPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0.join("."))
+    }
+}
+
+/// A named schema: a root record whose fields are the top-level elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Schema name, e.g. `CompDB`.
+    pub name: String,
+    root: Ty,
+}
+
+impl Schema {
+    /// Build a schema from its root record fields. Label uniqueness is
+    /// enforced at every record level and every set element must itself be a
+    /// record (the paper's NR shape).
+    pub fn new(name: impl Into<String>, root_fields: Vec<Field>) -> Result<Self, NrError> {
+        let root = Ty::Rcd(root_fields);
+        check_labels(&root)?;
+        Ok(Schema { name: name.into(), root })
+    }
+
+    /// The root record type.
+    pub fn root(&self) -> &Ty {
+        &self.root
+    }
+
+    /// Resolve a set path to its `SetOf` type.
+    pub fn resolve_set(&self, path: &SetPath) -> Result<&Ty, NrError> {
+        let mut current = &self.root;
+        for seg in path.segments() {
+            // Descend through a set into its element record implicitly.
+            if let Ty::Set(el) = current {
+                current = el;
+            }
+            let field = current
+                .field(seg)
+                .ok_or_else(|| NrError::UnknownPath(path.to_string()))?;
+            current = &field.ty;
+        }
+        if current.is_set() {
+            Ok(current)
+        } else {
+            Err(NrError::NotASet(path.to_string()))
+        }
+    }
+
+    /// The element record type of the set at `path`.
+    pub fn element_record(&self, path: &SetPath) -> Result<&Ty, NrError> {
+        let set = self.resolve_set(path)?;
+        let el = set.set_element().expect("resolve_set returned a set");
+        match el {
+            Ty::Rcd(_) => Ok(el),
+            _ => Err(NrError::NotASet(path.to_string())),
+        }
+    }
+
+    /// Atomic attribute labels of the set at `path`.
+    pub fn attributes(&self, path: &SetPath) -> Result<Vec<String>, NrError> {
+        Ok(self
+            .element_record(path)?
+            .atomic_labels()
+            .into_iter()
+            .map(str::to_owned)
+            .collect())
+    }
+
+    /// Index of `attr` within the element record's field list.
+    pub fn attr_index(&self, path: &SetPath, attr: &str) -> Result<usize, NrError> {
+        self.element_record(path)?
+            .field_index(attr)
+            .ok_or_else(|| NrError::UnknownField { path: path.to_string(), field: attr.into() })
+    }
+
+    /// Like [`Schema::attr_index`], but additionally requires the field to
+    /// be atomic — the only kind of field mappings, queries and
+    /// correspondences may project.
+    pub fn atomic_attr_index(&self, path: &SetPath, attr: &str) -> Result<usize, NrError> {
+        let idx = self.attr_index(path, attr)?;
+        let rcd = self.element_record(path)?;
+        let field = &rcd.rcd_fields().expect("element record")[idx];
+        if field.ty.is_atomic() {
+            Ok(idx)
+        } else {
+            Err(NrError::TypeMismatch { path: path.to_string(), field: attr.into() })
+        }
+    }
+
+    /// Paths of the sets nested directly inside the set at `path`.
+    pub fn child_sets(&self, path: &SetPath) -> Result<Vec<SetPath>, NrError> {
+        Ok(self
+            .element_record(path)?
+            .set_labels()
+            .into_iter()
+            .map(|l| path.child(l))
+            .collect())
+    }
+
+    /// Paths of the top-level sets (set-typed root fields).
+    pub fn top_level_sets(&self) -> Vec<SetPath> {
+        self.root
+            .set_labels()
+            .into_iter()
+            .map(|l| SetPath::new([l]))
+            .collect()
+    }
+
+    /// All set paths in breadth-first order from the root — the traversal
+    /// order Muse-G uses to sequence grouping-function design (Sec. III-A,
+    /// Step 1).
+    pub fn set_paths_bfs(&self) -> Vec<SetPath> {
+        let mut out = Vec::new();
+        let mut frontier = self.top_level_sets();
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for p in frontier {
+                if let Ok(children) = self.child_sets(&p) {
+                    next.extend(children);
+                }
+                out.push(p);
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    /// Does the schema contain the given set path?
+    pub fn has_set(&self, path: &SetPath) -> bool {
+        self.resolve_set(path).is_ok()
+    }
+
+    /// True when every set in the schema obeys the strict set/record
+    /// alternation assumed in the paper's exposition.
+    pub fn is_strictly_alternating(&self) -> bool {
+        self.root.rcd_fields().is_some_and(|fs| {
+            fs.iter().all(|f| f.ty.is_strictly_alternating() || f.ty.is_atomic())
+        })
+    }
+}
+
+fn check_labels(ty: &Ty) -> Result<(), NrError> {
+    match ty {
+        Ty::Rcd(fs) | Ty::Choice(fs) => {
+            for (i, f) in fs.iter().enumerate() {
+                if fs[..i].iter().any(|g| g.label == f.label) {
+                    return Err(NrError::DuplicateLabel(f.label.clone()));
+                }
+                check_labels(&f.ty)?;
+            }
+            Ok(())
+        }
+        Ty::Set(el) => match el.as_ref() {
+            Ty::Rcd(_) => check_labels(el),
+            other => {
+                // Set elements must be records in our NR shape.
+                let _ = other;
+                Err(NrError::NotASet("set element must be a record".into()))
+            }
+        },
+        Ty::Str | Ty::Int => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The OrgDB target schema of Fig. 1.
+    pub(crate) fn orgdb() -> Schema {
+        Schema::new(
+            "OrgDB",
+            vec![
+                Field::new(
+                    "Orgs",
+                    Ty::set_of(vec![
+                        Field::new("oname", Ty::Str),
+                        Field::new(
+                            "Projects",
+                            Ty::set_of(vec![
+                                Field::new("pname", Ty::Str),
+                                Field::new("manager", Ty::Str),
+                            ]),
+                        ),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn resolve_and_attributes() {
+        let s = orgdb();
+        let projects = SetPath::parse("Orgs.Projects");
+        assert!(s.resolve_set(&projects).is_ok());
+        assert_eq!(s.attributes(&projects).unwrap(), vec!["pname", "manager"]);
+        assert_eq!(s.attributes(&SetPath::parse("Orgs")).unwrap(), vec!["oname"]);
+    }
+
+    #[test]
+    fn unknown_paths_error() {
+        let s = orgdb();
+        assert!(matches!(
+            s.resolve_set(&SetPath::parse("Nope")),
+            Err(NrError::UnknownPath(_))
+        ));
+        assert!(matches!(
+            s.resolve_set(&SetPath::parse("Orgs.Nope")),
+            Err(NrError::UnknownPath(_))
+        ));
+    }
+
+    #[test]
+    fn bfs_order_is_levelwise() {
+        let s = orgdb();
+        let order = s.set_paths_bfs();
+        let names: Vec<String> = order.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, vec!["Orgs", "Employees", "Orgs.Projects"]);
+    }
+
+    #[test]
+    fn parent_child_prefix() {
+        let p = SetPath::parse("Orgs.Projects");
+        assert_eq!(p.parent(), Some(SetPath::parse("Orgs")));
+        assert_eq!(SetPath::parse("Orgs").parent(), None);
+        assert!(SetPath::parse("Orgs").is_prefix_of(&p));
+        assert!(!p.is_prefix_of(&SetPath::parse("Orgs")));
+        assert_eq!(SetPath::parse("Orgs").child("Projects"), p);
+        assert_eq!(p.label(), "Projects");
+        assert_eq!(p.depth(), 2);
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let r = Schema::new(
+            "S",
+            vec![
+                Field::new("A", Ty::set_of(vec![Field::new("x", Ty::Int)])),
+                Field::new("A", Ty::set_of(vec![Field::new("y", Ty::Int)])),
+            ],
+        );
+        assert!(matches!(r, Err(NrError::DuplicateLabel(_))));
+    }
+
+    #[test]
+    fn strictly_alternating_check() {
+        assert!(orgdb().is_strictly_alternating());
+    }
+}

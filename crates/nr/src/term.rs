@@ -1,0 +1,223 @@
+//! Interned Skolem terms: SetIDs and labeled nulls.
+//!
+//! In the NR model, a value of type `SetOf τ` is represented by a *SetID*
+//! with an associated set of element values. Mappings compute SetIDs with
+//! grouping (Skolem) functions such as `SKProjs(c.cid, c.cname)`; labeled
+//! nulls such as `N1` stand for unknown atomic values. Both are represented
+//! here as interned terms so that the chase is deterministic (re-running it
+//! is a no-op) and homomorphisms can map term to term.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::instance::Value;
+use crate::schema::SetPath;
+
+/// Identifier of a set value (a nested set occurrence) within one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetId(pub(crate) u32);
+
+impl SetId {
+    /// The raw index (stable within a single [`TermStore`]).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a labeled null within one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NullId(pub(crate) u32);
+
+impl NullId {
+    /// The raw index (stable within a single [`TermStore`]).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The Skolem term behind a [`SetId`]: `SK<set>(args…)`.
+///
+/// Top-level sets use an empty argument list; so does a nested set grouped by
+/// the empty grouping function `SK()` (one global group). Different set
+/// paths always denote different terms, matching the paper's convention that
+/// every nested set in the target schema has a different SetID name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Term {
+    /// The set type this SetID instantiates.
+    pub set: SetPath,
+    /// Grouping-function arguments (source values).
+    pub args: Vec<Value>,
+}
+
+/// The term behind a labeled null: a Skolemized unknown `N_tag(args…)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NullTerm {
+    /// Human-readable provenance tag (e.g. `m1.o.address`).
+    pub tag: String,
+    /// Values the null is a function of (the source binding).
+    pub args: Vec<Value>,
+}
+
+/// Interner for SetIDs and labeled nulls. Each [`crate::Instance`] owns one.
+#[derive(Debug, Clone, Default)]
+pub struct TermStore {
+    sets: Vec<Term>,
+    set_index: HashMap<Term, SetId>,
+    nulls: Vec<NullTerm>,
+    null_index: HashMap<NullTerm, NullId>,
+    fresh: u64,
+}
+
+impl TermStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a set term, returning its id (existing or new).
+    pub fn set_id(&mut self, set: SetPath, args: Vec<Value>) -> SetId {
+        let term = Term { set, args };
+        if let Some(&id) = self.set_index.get(&term) {
+            return id;
+        }
+        let id = SetId(self.sets.len() as u32);
+        self.sets.push(term.clone());
+        self.set_index.insert(term, id);
+        id
+    }
+
+    /// Intern a labeled null, returning its id (existing or new).
+    pub fn null_id(&mut self, tag: impl Into<String>, args: Vec<Value>) -> NullId {
+        let term = NullTerm { tag: tag.into(), args };
+        if let Some(&id) = self.null_index.get(&term) {
+            return id;
+        }
+        let id = NullId(self.nulls.len() as u32);
+        self.nulls.push(term.clone());
+        self.null_index.insert(term, id);
+        id
+    }
+
+    /// A brand-new null, distinct from all others in this store.
+    pub fn fresh_null(&mut self) -> NullId {
+        self.fresh += 1;
+        let n = self.fresh;
+        self.null_id(format!("_fresh{n}"), Vec::new())
+    }
+
+    /// Look up the term of a set id.
+    pub fn set_term(&self, id: SetId) -> &Term {
+        &self.sets[id.index()]
+    }
+
+    /// Look up the term of a null id.
+    pub fn null_term(&self, id: NullId) -> &NullTerm {
+        &self.nulls[id.index()]
+    }
+
+    /// Number of interned set terms.
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Number of interned nulls.
+    pub fn null_count(&self) -> usize {
+        self.nulls.len()
+    }
+
+    /// All set ids whose term instantiates the given set path.
+    pub fn set_ids_of(&self, path: &SetPath) -> Vec<SetId> {
+        (0..self.sets.len() as u32)
+            .map(SetId)
+            .filter(|id| &self.set_term(*id).set == path)
+            .collect()
+    }
+
+    /// Render a set id as `SKProjects(arg,…)` like the paper does, with
+    /// nested ids rendered recursively.
+    pub fn render_set(&self, id: SetId) -> String {
+        let t = self.set_term(id);
+        if t.args.is_empty() && t.set.depth() == 1 {
+            // Top-level sets are just their name.
+            return t.set.to_string();
+        }
+        format!("SK{}({})", t.set.label(), self.render_args(&t.args))
+    }
+
+    /// Render a null id as `N_tag(arg,…)`.
+    pub fn render_null(&self, id: NullId) -> String {
+        let t = self.null_term(id);
+        if t.args.is_empty() {
+            format!("N[{}]", t.tag)
+        } else {
+            format!("N[{}]({})", t.tag, self.render_args(&t.args))
+        }
+    }
+
+    fn render_args(&self, args: &[Value]) -> String {
+        let parts: Vec<String> = args.iter().map(|v| self.render_value(v)).collect();
+        parts.join(",")
+    }
+
+    /// Render an arbitrary value using this store for ids.
+    pub fn render_value(&self, v: &Value) -> String {
+        match v {
+            Value::Atom(a) => a.to_string(),
+            Value::Null(n) => self.render_null(*n),
+            Value::Set(s) => self.render_set(*s),
+            Value::Choice(l, inner) => format!("{l}:{}", self.render_value(inner)),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SK{}/{}", self.set.label(), self.args.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+
+    #[test]
+    fn interning_dedups() {
+        let mut st = TermStore::new();
+        let p = SetPath::parse("Orgs.Projects");
+        let a = st.set_id(p.clone(), vec![Value::Atom(Atom::int(1))]);
+        let b = st.set_id(p.clone(), vec![Value::Atom(Atom::int(1))]);
+        let c = st.set_id(p.clone(), vec![Value::Atom(Atom::int(2))]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(st.set_count(), 2);
+        assert_eq!(st.set_ids_of(&p), vec![a, c]);
+    }
+
+    #[test]
+    fn nulls_intern_and_fresh_are_distinct() {
+        let mut st = TermStore::new();
+        let n1 = st.null_id("m1.o.address", vec![Value::Atom(Atom::str("IBM"))]);
+        let n2 = st.null_id("m1.o.address", vec![Value::Atom(Atom::str("IBM"))]);
+        let n3 = st.null_id("m1.o.address", vec![Value::Atom(Atom::str("SBC"))]);
+        assert_eq!(n1, n2);
+        assert_ne!(n1, n3);
+        let f1 = st.fresh_null();
+        let f2 = st.fresh_null();
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn rendering() {
+        let mut st = TermStore::new();
+        let top = st.set_id(SetPath::parse("Orgs"), vec![]);
+        assert_eq!(st.render_set(top), "Orgs");
+        let nested = st.set_id(
+            SetPath::parse("Orgs.Projects"),
+            vec![Value::Atom(Atom::int(111)), Value::Atom(Atom::str("IBM"))],
+        );
+        assert_eq!(st.render_set(nested), "SKProjects(111,IBM)");
+        let n = st.null_id("addr", vec![]);
+        assert_eq!(st.render_null(n), "N[addr]");
+    }
+}

@@ -1,0 +1,237 @@
+//! Loading and saving instances as TSV files — one file per top-level set,
+//! named `<SetLabel>.tsv`, with a header row naming the attributes. This is
+//! how the CLI lets a designer bring their own "familiar source instance".
+//!
+//! The format covers *flat* sets (atomic fields only), which is what all
+//! relational sources look like; nested sets must be built through the API.
+//! `\N` denotes a labeled null.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use crate::atom::Atom;
+use crate::error::NrError;
+use crate::instance::{Instance, Value};
+use crate::schema::Schema;
+use crate::types::Ty;
+
+/// Load `dir/<SetLabel>.tsv` for every top-level set of `schema`. Missing
+/// files yield empty sets; unknown columns or non-flat sets are errors.
+pub fn load_dir(schema: &Schema, dir: &Path) -> Result<Instance, std::io::Error> {
+    let mut inst = Instance::new(schema);
+    for path in schema.top_level_sets() {
+        let file = dir.join(format!("{}.tsv", path.label()));
+        if !file.exists() {
+            continue;
+        }
+        let text = fs::read_to_string(&file)?;
+        load_set(schema, &mut inst, path.label(), &text).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{}: {e}", file.display()))
+        })?;
+    }
+    Ok(inst)
+}
+
+/// Load one set's rows from TSV text (header row first).
+pub fn load_set(
+    schema: &Schema,
+    inst: &mut Instance,
+    set_label: &str,
+    text: &str,
+) -> Result<(), NrError> {
+    let set_path = crate::schema::SetPath::new([set_label]);
+    let rcd = schema.element_record(&set_path)?;
+    let fields = rcd.rcd_fields().expect("element record");
+    if fields.iter().any(|f| !f.ty.is_atomic()) {
+        return Err(NrError::NotASet(format!(
+            "{set_label} has nested sets; TSV supports flat sets only"
+        )));
+    }
+    let root =
+        inst.root_id(set_label).ok_or_else(|| NrError::UnknownPath(set_label.to_owned()))?;
+
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header: Vec<&str> = match lines.next() {
+        Some(h) => h.split('\t').map(str::trim).collect(),
+        None => return Ok(()),
+    };
+    // Map each schema field to its column.
+    let mut col_of = Vec::with_capacity(fields.len());
+    for f in fields {
+        let col = header.iter().position(|h| *h == f.label).ok_or_else(|| {
+            NrError::UnknownField { path: set_label.to_owned(), field: f.label.clone() }
+        })?;
+        col_of.push(col);
+    }
+
+    for (line_no, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split('\t').map(str::trim).collect();
+        let mut tuple = Vec::with_capacity(fields.len());
+        for (f, &col) in fields.iter().zip(&col_of) {
+            let cell = cells.get(col).copied().unwrap_or("");
+            let value = if cell == "\\N" {
+                Value::Null(inst.store_mut().fresh_null())
+            } else {
+                match f.ty {
+                    Ty::Int => Value::int(cell.parse::<i64>().map_err(|_| {
+                        NrError::TypeMismatch {
+                            path: format!("{set_label} row {}", line_no + 2),
+                            field: f.label.clone(),
+                        }
+                    })?),
+                    _ => Value::str(cell),
+                }
+            };
+            tuple.push(value);
+        }
+        inst.insert(root, tuple);
+    }
+    Ok(())
+}
+
+/// Render one flat top-level set as TSV text (header row first).
+pub fn save_set(schema: &Schema, inst: &Instance, set_label: &str) -> Result<String, NrError> {
+    let set_path = crate::schema::SetPath::new([set_label]);
+    let rcd = schema.element_record(&set_path)?;
+    let fields = rcd.rcd_fields().expect("element record");
+    if fields.iter().any(|f| !f.ty.is_atomic()) {
+        return Err(NrError::NotASet(format!(
+            "{set_label} has nested sets; TSV supports flat sets only"
+        )));
+    }
+    let root =
+        inst.root_id(set_label).ok_or_else(|| NrError::UnknownPath(set_label.to_owned()))?;
+    let mut out = String::new();
+    let header: Vec<&str> = fields.iter().map(|f| f.label.as_str()).collect();
+    writeln!(out, "{}", header.join("\t")).unwrap();
+    for tuple in inst.tuples(root) {
+        let cells: Vec<String> = tuple
+            .iter()
+            .map(|v| match v {
+                Value::Atom(Atom::Str(s)) => s.to_string(),
+                Value::Atom(Atom::Int(i)) => i.to_string(),
+                Value::Null(_) => "\\N".to_owned(),
+                other => inst.store().render_value(other),
+            })
+            .collect();
+        writeln!(out, "{}", cells.join("\t")).unwrap();
+    }
+    Ok(out)
+}
+
+/// Save every flat top-level set of `inst` into `dir` (created on demand).
+/// Non-flat sets are skipped.
+pub fn save_dir(schema: &Schema, inst: &Instance, dir: &Path) -> Result<(), std::io::Error> {
+    fs::create_dir_all(dir)?;
+    for path in schema.top_level_sets() {
+        match save_set(schema, inst, path.label()) {
+            Ok(text) => fs::write(dir.join(format!("{}.tsv", path.label())), text)?,
+            Err(NrError::NotASet(_)) => continue,
+            Err(e) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Field;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "S",
+            vec![Field::new(
+                "Companies",
+                Ty::set_of(vec![
+                    Field::new("cid", Ty::Int),
+                    Field::new("cname", Ty::Str),
+                ]),
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn load_and_save_round_trip() {
+        let s = schema();
+        let mut inst = Instance::new(&s);
+        load_set(&s, &mut inst, "Companies", "cid\tcname\n1\tIBM\n2\tSBC\n").unwrap();
+        assert_eq!(inst.total_tuples(), 2);
+        inst.validate(&s).unwrap();
+        let text = save_set(&s, &inst, "Companies").unwrap();
+        let mut inst2 = Instance::new(&s);
+        load_set(&s, &mut inst2, "Companies", &text).unwrap();
+        assert_eq!(inst2.total_tuples(), 2);
+        assert_eq!(save_set(&s, &inst2, "Companies").unwrap(), text);
+    }
+
+    #[test]
+    fn header_order_may_differ_from_schema() {
+        let s = schema();
+        let mut inst = Instance::new(&s);
+        load_set(&s, &mut inst, "Companies", "cname\tcid\nIBM\t1\n").unwrap();
+        let root = inst.root_id("Companies").unwrap();
+        let t = inst.tuples(root).next().unwrap();
+        assert_eq!(t[0], Value::int(1));
+        assert_eq!(t[1], Value::str("IBM"));
+    }
+
+    #[test]
+    fn nulls_load_as_labeled_nulls() {
+        let s = schema();
+        let mut inst = Instance::new(&s);
+        load_set(&s, &mut inst, "Companies", "cid\tcname\n1\t\\N\n").unwrap();
+        let root = inst.root_id("Companies").unwrap();
+        let t = inst.tuples(root).next().unwrap();
+        assert!(matches!(t[1], Value::Null(_)));
+    }
+
+    #[test]
+    fn bad_int_is_reported() {
+        let s = schema();
+        let mut inst = Instance::new(&s);
+        let err = load_set(&s, &mut inst, "Companies", "cid\tcname\nxyz\tIBM\n").unwrap_err();
+        assert!(matches!(err, NrError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn missing_column_is_reported() {
+        let s = schema();
+        let mut inst = Instance::new(&s);
+        let err = load_set(&s, &mut inst, "Companies", "cid\n1\n").unwrap_err();
+        assert!(matches!(err, NrError::UnknownField { .. }));
+    }
+
+    #[test]
+    fn nested_sets_rejected() {
+        let s = Schema::new(
+            "S",
+            vec![Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new("Kids", Ty::set_of(vec![Field::new("x", Ty::Int)])),
+                ]),
+            )],
+        )
+        .unwrap();
+        let mut inst = Instance::new(&s);
+        assert!(load_set(&s, &mut inst, "Orgs", "oname\nX\n").is_err());
+    }
+
+    #[test]
+    fn dir_round_trip() {
+        let s = schema();
+        let mut inst = Instance::new(&s);
+        load_set(&s, &mut inst, "Companies", "cid\tcname\n7\tAcme\n").unwrap();
+        let dir = std::env::temp_dir().join(format!("muse-tsv-test-{}", std::process::id()));
+        save_dir(&s, &inst, &dir).unwrap();
+        let loaded = load_dir(&s, &dir).unwrap();
+        assert_eq!(loaded.total_tuples(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

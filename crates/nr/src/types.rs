@@ -1,0 +1,222 @@
+//! The NR type grammar:
+//! `τ ::= String | Int | SetOf τ | Rcd[l1:τ1,…,ln:τn] | Choice[l1:τ1,…,ln:τn]`.
+
+use std::fmt;
+
+/// A labeled component of a record or choice type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// The element label.
+    pub label: String,
+    /// The element type.
+    pub ty: Ty,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(label: impl Into<String>, ty: Ty) -> Self {
+        Field { label: label.into(), ty }
+    }
+}
+
+/// A type in the nested relational model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// Atomic string type.
+    Str,
+    /// Atomic integer type.
+    Int,
+    /// An unordered, repeatable collection of `τ` values. Each value of this
+    /// type is identified by a *SetID* and carries a (possibly empty) set of
+    /// element values.
+    Set(Box<Ty>),
+    /// A record: a set of label/value pairs, one per field.
+    Rcd(Vec<Field>),
+    /// A choice: exactly one of the labeled alternatives is present.
+    Choice(Vec<Field>),
+}
+
+impl Ty {
+    /// A set of records — the common shape `Set of Rcd[...]`.
+    pub fn set_of(fields: Vec<Field>) -> Ty {
+        Ty::Set(Box::new(Ty::Rcd(fields)))
+    }
+
+    /// True for the atomic types `String` and `Int`.
+    pub fn is_atomic(&self) -> bool {
+        matches!(self, Ty::Str | Ty::Int)
+    }
+
+    /// True for `SetOf` types.
+    pub fn is_set(&self) -> bool {
+        matches!(self, Ty::Set(_))
+    }
+
+    /// The element type of a set, if this is a set.
+    pub fn set_element(&self) -> Option<&Ty> {
+        match self {
+            Ty::Set(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The fields of a record, if this is a record.
+    pub fn rcd_fields(&self) -> Option<&[Field]> {
+        match self {
+            Ty::Rcd(fs) => Some(fs),
+            _ => None,
+        }
+    }
+
+    /// Look up a field by label in a record or choice type.
+    pub fn field(&self, label: &str) -> Option<&Field> {
+        match self {
+            Ty::Rcd(fs) | Ty::Choice(fs) => fs.iter().find(|f| f.label == label),
+            _ => None,
+        }
+    }
+
+    /// Position of a field by label in a record or choice type.
+    pub fn field_index(&self, label: &str) -> Option<usize> {
+        match self {
+            Ty::Rcd(fs) | Ty::Choice(fs) => fs.iter().position(|f| f.label == label),
+            _ => None,
+        }
+    }
+
+    /// Labels of atomic fields in a record type, in declaration order.
+    ///
+    /// This is the notion of "attributes" of a nested set used throughout
+    /// the paper: the scalar elements of the set's element record.
+    pub fn atomic_labels(&self) -> Vec<&str> {
+        match self {
+            Ty::Rcd(fs) => fs
+                .iter()
+                .filter(|f| f.ty.is_atomic())
+                .map(|f| f.label.as_str())
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Labels of set-typed fields in a record type, in declaration order.
+    pub fn set_labels(&self) -> Vec<&str> {
+        match self {
+            Ty::Rcd(fs) => fs
+                .iter()
+                .filter(|f| f.ty.is_set())
+                .map(|f| f.label.as_str())
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Checks the *strict alternation* property assumed in the paper's
+    /// exposition: every set's element is a record, and records contain only
+    /// atomic or set fields (no record-in-record, no choice).
+    pub fn is_strictly_alternating(&self) -> bool {
+        fn rcd_ok(ty: &Ty) -> bool {
+            match ty {
+                Ty::Rcd(fs) => fs.iter().all(|f| match &f.ty {
+                    Ty::Str | Ty::Int => true,
+                    Ty::Set(el) => rcd_ok(el),
+                    _ => false,
+                }),
+                _ => false,
+            }
+        }
+        match self {
+            Ty::Set(el) => rcd_ok(el),
+            Ty::Rcd(_) => rcd_ok(self),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Str => write!(f, "String"),
+            Ty::Int => write!(f, "Int"),
+            Ty::Set(t) => write!(f, "SetOf {t}"),
+            Ty::Rcd(fs) => {
+                write!(f, "Rcd[")?;
+                for (i, fld) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}: {}", fld.label, fld.ty)?;
+                }
+                write!(f, "]")
+            }
+            Ty::Choice(fs) => {
+                write!(f, "Choice[")?;
+                for (i, fld) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}: {}", fld.label, fld.ty)?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp_rcd() -> Ty {
+        Ty::Rcd(vec![
+            Field::new("cid", Ty::Int),
+            Field::new("cname", Ty::Str),
+            Field::new("location", Ty::Str),
+        ])
+    }
+
+    #[test]
+    fn field_lookup() {
+        let t = comp_rcd();
+        assert_eq!(t.field("cname").map(|f| &f.ty), Some(&Ty::Str));
+        assert_eq!(t.field_index("location"), Some(2));
+        assert!(t.field("nope").is_none());
+    }
+
+    #[test]
+    fn atomic_and_set_labels() {
+        let org = Ty::Rcd(vec![
+            Field::new("oname", Ty::Str),
+            Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+        ]);
+        assert_eq!(org.atomic_labels(), vec!["oname"]);
+        assert_eq!(org.set_labels(), vec!["Projects"]);
+    }
+
+    #[test]
+    fn strict_alternation() {
+        let ok = Ty::set_of(vec![
+            Field::new("a", Ty::Int),
+            Field::new("Kids", Ty::set_of(vec![Field::new("b", Ty::Str)])),
+        ]);
+        assert!(ok.is_strictly_alternating());
+
+        let nested_rcd = Ty::set_of(vec![Field::new(
+            "inner",
+            Ty::Rcd(vec![Field::new("x", Ty::Int)]),
+        )]);
+        assert!(!nested_rcd.is_strictly_alternating());
+
+        let choice = Ty::set_of(vec![Field::new(
+            "c",
+            Ty::Choice(vec![Field::new("x", Ty::Int)]),
+        )]);
+        assert!(!choice.is_strictly_alternating());
+    }
+
+    #[test]
+    fn display_round() {
+        let t = Ty::set_of(vec![Field::new("x", Ty::Int)]);
+        assert_eq!(t.to_string(), "SetOf Rcd[x: Int]");
+    }
+}

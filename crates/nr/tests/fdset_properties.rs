@@ -1,0 +1,90 @@
+//! Property tests of the FD engine: the Lucchesi–Osborn candidate-key
+//! enumeration is cross-checked against brute force on small attribute
+//! spaces, and closure satisfies its algebraic laws.
+
+use muse_nr::constraints::fdset::{all_attrs, attrs, iter_attrs, AttrSet, FdSet};
+use proptest::prelude::*;
+
+/// A random FD set over `n ≤ 6` attributes.
+fn fd_sets() -> impl Strategy<Value = FdSet> {
+    (2usize..=6)
+        .prop_flat_map(|n| {
+            let fd = (0u64..(1 << n) as u64, 0u64..(1 << n) as u64);
+            (Just(n), prop::collection::vec(fd, 0..6))
+        })
+        .prop_map(|(n, fds)| {
+            let mut set = FdSet::new(n);
+            for (lhs, rhs) in fds {
+                set.add(lhs as AttrSet, rhs as AttrSet);
+            }
+            set
+        })
+}
+
+/// Brute-force candidate keys: all subset-minimal superkeys.
+fn brute_force_keys(f: &FdSet) -> Vec<AttrSet> {
+    let n = f.arity();
+    let all = all_attrs(n);
+    let mut superkeys: Vec<AttrSet> = (0..(1u128 << n)).filter(|&s| f.closure(s) == all).collect();
+    superkeys.sort_unstable();
+    let mut keys: Vec<AttrSet> = Vec::new();
+    for s in superkeys {
+        // (subset test, not membership)
+        #[allow(clippy::manual_contains)]
+        if !keys.iter().any(|&k| k & s == k) {
+            keys.push(s);
+        }
+    }
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn candidate_keys_match_brute_force(f in fd_sets()) {
+        let mut fast = f.candidate_keys();
+        fast.sort_unstable();
+        let mut slow = brute_force_keys(&f);
+        slow.sort_unstable();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn closure_is_monotone_idempotent_extensive(f in fd_sets(), start in 0u64..64) {
+        let start = (start as AttrSet) & all_attrs(f.arity());
+        let c = f.closure(start);
+        // Extensive: X ⊆ closure(X).
+        prop_assert_eq!(c & start, start);
+        // Idempotent.
+        prop_assert_eq!(f.closure(c), c);
+        // Monotone: closure of a subset is contained in closure.
+        for i in iter_attrs(start) {
+            let sub = start & !attrs([i]);
+            let csub = f.closure(sub);
+            prop_assert_eq!(csub & c, csub, "closure must be monotone");
+        }
+    }
+
+    #[test]
+    fn keys_are_superkeys_and_minimal(f in fd_sets()) {
+        let all = all_attrs(f.arity());
+        for k in f.candidate_keys() {
+            prop_assert_eq!(f.closure(k), all, "keys are superkeys");
+            for i in iter_attrs(k) {
+                prop_assert_ne!(
+                    f.closure(k & !attrs([i])),
+                    all,
+                    "keys are minimal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn implies_agrees_with_closure(f in fd_sets(), lhs in 0u64..64, rhs in 0u64..64) {
+        let lhs = (lhs as AttrSet) & all_attrs(f.arity());
+        let rhs = (rhs as AttrSet) & all_attrs(f.arity());
+        prop_assert_eq!(f.implies(lhs, rhs), f.closure(lhs) & rhs == rhs);
+    }
+}

@@ -1,0 +1,197 @@
+//! Query AST: record variables over nested sets, with equality and
+//! inequality predicates over attribute projections and constants.
+
+use muse_nr::{Schema, SetPath, Value};
+
+use crate::error::QueryError;
+
+/// A query variable: binds to one tuple of a nested set. Top-level variables
+/// range over every occurrence of their set path; child variables range over
+/// the set referenced by a parent tuple's set-typed field (e.g.
+/// `p1 in o.Projects`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QVar {
+    /// Display name (e.g. `c`, `p`, `e1`).
+    pub name: String,
+    /// The set the variable ranges over.
+    pub set: SetPath,
+    /// For nested bindings: (index of parent variable, set field label).
+    pub parent: Option<(usize, String)>,
+}
+
+/// One side of a predicate: a projection `var.attr` or a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// Projection of a bound variable on an atomic attribute.
+    Proj {
+        /// Index into [`Query::vars`].
+        var: usize,
+        /// Attribute label.
+        attr: String,
+    },
+    /// A constant value.
+    Const(Value),
+}
+
+impl Operand {
+    /// Shorthand for a projection operand.
+    pub fn proj(var: usize, attr: impl Into<String>) -> Operand {
+        Operand::Proj { var, attr: attr.into() }
+    }
+
+    /// The variable index, if this is a projection.
+    pub fn var(&self) -> Option<usize> {
+        match self {
+            Operand::Proj { var, .. } => Some(*var),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+/// A conjunctive query with equalities and inequalities.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Query {
+    /// The variables, in declaration order. Parents must precede children.
+    pub vars: Vec<QVar>,
+    /// Equality predicates.
+    pub eqs: Vec<(Operand, Operand)>,
+    /// Inequality predicates.
+    pub neqs: Vec<(Operand, Operand)>,
+}
+
+impl Query {
+    /// Empty query.
+    pub fn new() -> Self {
+        Query::default()
+    }
+
+    /// Add a top-level variable ranging over `set`; returns its index.
+    pub fn var(&mut self, name: impl Into<String>, set: SetPath) -> usize {
+        self.vars.push(QVar { name: name.into(), set, parent: None });
+        self.vars.len() - 1
+    }
+
+    /// Add a child variable ranging over `parent.field`; returns its index.
+    /// The set path is derived from the parent's path.
+    pub fn child_var(
+        &mut self,
+        name: impl Into<String>,
+        parent: usize,
+        field: impl Into<String>,
+    ) -> usize {
+        let field = field.into();
+        let set = self.vars[parent].set.child(&field);
+        self.vars.push(QVar { name: name.into(), set, parent: Some((parent, field)) });
+        self.vars.len() - 1
+    }
+
+    /// Add the predicate `a = b`.
+    pub fn add_eq(&mut self, a: Operand, b: Operand) {
+        self.eqs.push((a, b));
+    }
+
+    /// Add the predicate `a ≠ b`.
+    pub fn add_neq(&mut self, a: Operand, b: Operand) {
+        self.neqs.push((a, b));
+    }
+
+    /// Validate the query against a schema: set paths resolve, attributes
+    /// exist, parent references are sane.
+    pub fn validate(&self, schema: &Schema) -> Result<(), QueryError> {
+        for (i, v) in self.vars.iter().enumerate() {
+            if schema.resolve_set(&v.set).is_err() {
+                return Err(QueryError::UnknownSet(v.set.to_string()));
+            }
+            if let Some((p, field)) = &v.parent {
+                if *p >= i {
+                    return Err(QueryError::BadParent { var: v.name.clone() });
+                }
+                let parent_set = &self.vars[*p].set;
+                let child = parent_set.child(field);
+                if child != v.set || schema.resolve_set(&child).is_err() {
+                    return Err(QueryError::BadParentField {
+                        var: v.name.clone(),
+                        field: field.clone(),
+                    });
+                }
+            }
+        }
+        let check_op = |op: &Operand| -> Result<(), QueryError> {
+            if let Operand::Proj { var, attr } = op {
+                let v = self.vars.get(*var).ok_or(QueryError::UnknownVar(*var))?;
+                // Predicates compare atomic values only.
+                if schema.atomic_attr_index(&v.set, attr).is_err() {
+                    return Err(QueryError::UnknownAttr { var: v.name.clone(), attr: attr.clone() });
+                }
+            }
+            Ok(())
+        };
+        for (a, b) in self.eqs.iter().chain(&self.neqs) {
+            check_op(a)?;
+            check_op(b)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_nr::{Field, Ty};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "S",
+            vec![
+                Field::new(
+                    "Orgs",
+                    Ty::set_of(vec![
+                        Field::new("oname", Ty::Str),
+                        Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+                    ]),
+                ),
+                Field::new("Emps", Ty::set_of(vec![Field::new("eid", Ty::Int)])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let s = schema();
+        let mut q = Query::new();
+        let o = q.var("o", SetPath::parse("Orgs"));
+        let p = q.child_var("p", o, "Projects");
+        let e = q.var("e", SetPath::parse("Emps"));
+        q.add_eq(Operand::proj(p, "pname"), Operand::Const(Value::str("DB")));
+        q.add_neq(Operand::proj(e, "eid"), Operand::Const(Value::int(0)));
+        q.validate(&s).unwrap();
+    }
+
+    #[test]
+    fn validation_errors() {
+        let s = schema();
+
+        let mut q = Query::new();
+        q.var("x", SetPath::parse("Nope"));
+        assert!(matches!(q.validate(&s), Err(QueryError::UnknownSet(_))));
+
+        let mut q = Query::new();
+        let o = q.var("o", SetPath::parse("Orgs"));
+        q.add_eq(Operand::proj(o, "bad"), Operand::Const(Value::int(1)));
+        assert!(matches!(q.validate(&s), Err(QueryError::UnknownAttr { .. })));
+
+        let mut q = Query::new();
+        let o = q.var("o", SetPath::parse("Orgs"));
+        q.add_eq(Operand::proj(o + 5, "oname"), Operand::Const(Value::int(1)));
+        assert!(matches!(q.validate(&s), Err(QueryError::UnknownVar(_))));
+    }
+
+    #[test]
+    fn child_var_derives_path() {
+        let mut q = Query::new();
+        let o = q.var("o", SetPath::parse("Orgs"));
+        let p = q.child_var("p", o, "Projects");
+        assert_eq!(q.vars[p].set, SetPath::parse("Orgs.Projects"));
+    }
+}

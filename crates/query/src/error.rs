@@ -1,0 +1,36 @@
+//! Query errors.
+
+use std::fmt;
+
+/// Errors raised while validating or evaluating a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A variable's set path does not exist in the schema.
+    UnknownSet(String),
+    /// An operand refers to an attribute the variable's set does not have.
+    UnknownAttr { var: String, attr: String },
+    /// A child variable's parent field is not a set-typed field.
+    BadParentField { var: String, field: String },
+    /// A parent index is out of range or refers to a later variable.
+    BadParent { var: String },
+    /// An operand refers to an unknown variable index.
+    UnknownVar(usize),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownSet(p) => write!(f, "unknown set `{p}` in query"),
+            QueryError::UnknownAttr { var, attr } => {
+                write!(f, "variable `{var}` has no attribute `{attr}`")
+            }
+            QueryError::BadParentField { var, field } => {
+                write!(f, "parent field `{field}` of variable `{var}` is not a set")
+            }
+            QueryError::BadParent { var } => write!(f, "bad parent reference for variable `{var}`"),
+            QueryError::UnknownVar(i) => write!(f, "operand refers to unknown variable #{i}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,622 @@
+//! Backtracking evaluation of conjunctive queries with lazy hash indexes.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use muse_nr::{Instance, Schema, SetPath, Tuple, Value};
+
+use crate::ast::{Operand, QVar, Query};
+use crate::error::QueryError;
+use crate::explain::{Access, Explanation, Step};
+
+/// One result row: a tuple per query variable, in variable order.
+pub type Binding = Vec<Tuple>;
+
+/// Evaluate `query` over `inst`, returning at most `limit` bindings (all of
+/// them when `limit` is `None`). Bindings are returned in a deterministic
+/// order (the ordered containers of [`Instance`] drive iteration).
+pub fn evaluate(
+    schema: &Schema,
+    inst: &Instance,
+    query: &Query,
+    limit: Option<usize>,
+) -> Result<Vec<Binding>, QueryError> {
+    evaluate_deadline(schema, inst, query, limit, None).map(|(rows, _)| rows)
+}
+
+/// Like [`evaluate`], with an optional wall-clock deadline. Returns the
+/// bindings found so far plus a flag telling whether the search was cut
+/// short — Muse uses this to fall back to a synthetic example "if a real
+/// example was not found after a fixed amount of time" (Sec. VI).
+pub fn evaluate_deadline(
+    schema: &Schema,
+    inst: &Instance,
+    query: &Query,
+    limit: Option<usize>,
+    deadline: Option<Instant>,
+) -> Result<(Vec<Binding>, bool), QueryError> {
+    query.validate(schema)?;
+    if query.vars.is_empty() {
+        // The empty conjunction has exactly one (empty) binding.
+        return Ok((vec![Vec::new()], false));
+    }
+    let plan = Plan::build(schema, query)?;
+    let mut out = Vec::new();
+    let mut search = Search {
+        inst,
+        plan: &plan,
+        query,
+        stack: Vec::with_capacity(query.vars.len()),
+        index_cache: HashMap::new(),
+        out: &mut out,
+        limit,
+        deadline,
+        steps: 0,
+        timed_out: false,
+    };
+    search.descend(0);
+    let timed_out = search.timed_out;
+    Ok((out, timed_out))
+}
+
+/// Evaluate with no limit.
+pub fn evaluate_all(
+    schema: &Schema,
+    inst: &Instance,
+    query: &Query,
+) -> Result<Vec<Binding>, QueryError> {
+    evaluate(schema, inst, query, None)
+}
+
+/// A predicate operand compiled to positional form.
+#[derive(Debug, Clone)]
+enum Op {
+    Proj { var: usize, idx: usize },
+    Const(Value),
+}
+
+impl Op {
+    fn compile(schema: &Schema, vars: &[QVar], op: &Operand) -> Result<Op, QueryError> {
+        Ok(match op {
+            Operand::Const(v) => Op::Const(v.clone()),
+            Operand::Proj { var, attr } => {
+                let qv = vars.get(*var).ok_or(QueryError::UnknownVar(*var))?;
+                let idx = schema
+                    .attr_index(&qv.set, attr)
+                    .map_err(|_| QueryError::UnknownAttr { var: qv.name.clone(), attr: attr.clone() })?;
+                Op::Proj { var: *var, idx }
+            }
+        })
+    }
+
+    fn max_var(&self) -> Option<usize> {
+        match self {
+            Op::Proj { var, .. } => Some(*var),
+            Op::Const(_) => None,
+        }
+    }
+}
+
+struct Plan {
+    /// Variable indices in binding order (parents before children).
+    order: Vec<usize>,
+    /// var index -> position in `order`.
+    pos_of: Vec<usize>,
+    /// Predicates (eq, then neq flag) that become checkable at each position.
+    checks_at: Vec<Vec<(Op, Op, bool)>>,
+    /// For each position (top-level vars only): a usable index lookup — the
+    /// attribute index on the new variable and the already-bound other side.
+    lookup_at: Vec<Option<(usize, Op)>>,
+    /// Field index of the parent's set-typed field, per variable.
+    parent_field_idx: Vec<Option<(usize, usize)>>,
+}
+
+impl Plan {
+    fn build(schema: &Schema, query: &Query) -> Result<Plan, QueryError> {
+        let n = query.vars.len();
+        let eqs: Vec<(Op, Op)> = query
+            .eqs
+            .iter()
+            .map(|(a, b)| Ok((Op::compile(schema, &query.vars, a)?, Op::compile(schema, &query.vars, b)?)))
+            .collect::<Result<_, QueryError>>()?;
+        let neqs: Vec<(Op, Op)> = query
+            .neqs
+            .iter()
+            .map(|(a, b)| Ok((Op::compile(schema, &query.vars, a)?, Op::compile(schema, &query.vars, b)?)))
+            .collect::<Result<_, QueryError>>()?;
+
+        // Greedy ordering: repeatedly pick the eligible variable (parent
+        // already placed) with the best score: constants and joins with
+        // already-placed variables make a variable cheap to bind.
+        let mut placed = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        while order.len() < n {
+            let mut best: Option<(i64, usize)> = None;
+            for v in 0..n {
+                if placed[v] {
+                    continue;
+                }
+                if let Some((p, _)) = &query.vars[v].parent {
+                    if !placed[*p] {
+                        continue;
+                    }
+                }
+                let mut score: i64 = 0;
+                for (a, b) in &eqs {
+                    score += connectivity_score(v, &placed, a, b);
+                }
+                if query.vars[v].parent.is_some() {
+                    score += 3; // bound to a single parent set: very cheap
+                }
+                // Prefer earlier declaration on ties (deterministic plans).
+                let rank = (score, -(v as i64));
+                if best.is_none_or(|(bs, bv)| rank > (bs, -(bv as i64))) {
+                    best = Some((score, v));
+                }
+            }
+            let (_, v) = best.expect("parents precede children (validated)");
+            placed[v] = true;
+            order.push(v);
+        }
+
+        let mut pos_of = vec![0usize; n];
+        for (pos, &v) in order.iter().enumerate() {
+            pos_of[v] = pos;
+        }
+
+        // Assign each predicate to the earliest position where it is fully
+        // bound.
+        let mut checks_at: Vec<Vec<(Op, Op, bool)>> = (0..n).map(|_| Vec::new()).collect();
+        let ready_pos = |a: &Op, b: &Op| -> usize {
+            let pa = a.max_var().map_or(0, |v| pos_of[v]);
+            let pb = b.max_var().map_or(0, |v| pos_of[v]);
+            pa.max(pb)
+        };
+        for (a, b) in &eqs {
+            let p = ready_pos(a, b);
+            checks_at[p].push((a.clone(), b.clone(), false));
+        }
+        for (a, b) in &neqs {
+            let p = ready_pos(a, b);
+            checks_at[p].push((a.clone(), b.clone(), true));
+        }
+
+        // Index-lookup opportunities: for a top-level variable at position p,
+        // find an equality `newvar.attr = other` where `other` is bound
+        // before p.
+        let mut lookup_at: Vec<Option<(usize, Op)>> = vec![None; n];
+        for (pos, &v) in order.iter().enumerate() {
+            if query.vars[v].parent.is_some() {
+                continue;
+            }
+            for (a, b, is_neq) in &checks_at[pos] {
+                if *is_neq {
+                    continue;
+                }
+                for (this, other) in [(a, b), (b, a)] {
+                    if let Op::Proj { var, idx } = this {
+                        if *var == v && other.max_var().is_none_or(|o| pos_of[o] < pos) {
+                            lookup_at[pos] = Some((*idx, other.clone()));
+                        }
+                    }
+                }
+                if lookup_at[pos].is_some() {
+                    break;
+                }
+            }
+        }
+
+        // Resolve parent field indices.
+        let mut parent_field_idx = vec![None; n];
+        for (v, qv) in query.vars.iter().enumerate() {
+            if let Some((p, field)) = &qv.parent {
+                let parent_rcd = schema
+                    .element_record(&query.vars[*p].set)
+                    .map_err(|_| QueryError::UnknownSet(query.vars[*p].set.to_string()))?;
+                let idx = parent_rcd.field_index(field).ok_or_else(|| QueryError::BadParentField {
+                    var: qv.name.clone(),
+                    field: field.clone(),
+                })?;
+                parent_field_idx[v] = Some((*p, idx));
+            }
+        }
+
+        Ok(Plan { order, pos_of, checks_at, lookup_at, parent_field_idx })
+    }
+}
+
+/// Build the plan and summarize it for [`crate::explain::explain`].
+pub(crate) fn plan_summary(schema: &Schema, query: &Query) -> Result<Explanation, QueryError> {
+    let plan = Plan::build(schema, query)?;
+    let mut steps = Vec::with_capacity(plan.order.len());
+    for (pos, &v) in plan.order.iter().enumerate() {
+        let qv = &query.vars[v];
+        let access = if let Some((pvar, _)) = plan.parent_field_idx[v] {
+            Access::Parent {
+                of: query.vars[pvar].name.clone(),
+                field: qv.parent.as_ref().expect("child var has a parent").1.clone(),
+            }
+        } else if let Some((attr_idx, _)) = &plan.lookup_at[pos] {
+            let rcd = schema
+                .element_record(&qv.set)
+                .map_err(|_| QueryError::UnknownSet(qv.set.to_string()))?;
+            let label = rcd
+                .rcd_fields()
+                .and_then(|fs| fs.get(*attr_idx))
+                .map(|f| f.label.clone())
+                .unwrap_or_default();
+            Access::IndexLookup { attr: label }
+        } else {
+            Access::FullScan
+        };
+        steps.push(Step {
+            var: qv.name.clone(),
+            set: qv.set.to_string(),
+            access,
+            checks: plan.checks_at[pos].len(),
+        });
+    }
+    Ok(Explanation { steps })
+}
+
+fn connectivity_score(v: usize, placed: &[bool], a: &Op, b: &Op) -> i64 {
+    let involves = |op: &Op| op.max_var() == Some(v);
+    let other_bound = |op: &Op| match op.max_var() {
+        None => true,
+        Some(o) => placed[o],
+    };
+    if involves(a) && other_bound(b) || involves(b) && other_bound(a) {
+        2
+    } else {
+        0
+    }
+}
+
+type AttrIndex<'a> = HashMap<Value, Vec<&'a Tuple>>;
+
+struct Search<'a, 'q, 'o> {
+    inst: &'a Instance,
+    plan: &'q Plan,
+    query: &'q Query,
+    /// Bound tuples, indexed by *variable index* (entries for unbound
+    /// variables are placeholders until their position is reached).
+    stack: Vec<&'a Tuple>,
+    index_cache: HashMap<(SetPath, usize), AttrIndex<'a>>,
+    out: &'o mut Vec<Binding>,
+    limit: Option<usize>,
+    deadline: Option<Instant>,
+    steps: u32,
+    timed_out: bool,
+}
+
+impl<'a, 'q, 'o> Search<'a, 'q, 'o> {
+    fn done(&mut self) -> bool {
+        if self.timed_out {
+            return true;
+        }
+        if self.limit.is_some_and(|l| self.out.len() >= l) {
+            return true;
+        }
+        // Check the deadline every 1024 search steps; a per-step syscall
+        // would dominate the join itself.
+        self.steps = self.steps.wrapping_add(1);
+        if self.steps.is_multiple_of(1024) {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.timed_out = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn eval_op(&self, op: &Op) -> Value {
+        match op {
+            Op::Const(v) => v.clone(),
+            Op::Proj { var, idx } => {
+                let pos = self.plan.pos_of[*var];
+                self.stack[pos].get(*idx).cloned().expect("validated arity")
+            }
+        }
+    }
+
+    fn checks_pass(&self, pos: usize) -> bool {
+        self.plan.checks_at[pos].iter().all(|(a, b, is_neq)| {
+            let va = self.eval_op(a);
+            let vb = self.eval_op(b);
+            if *is_neq {
+                va != vb
+            } else {
+                va == vb
+            }
+        })
+    }
+
+    fn descend(&mut self, pos: usize) {
+        if self.done() {
+            return;
+        }
+        if pos == self.plan.order.len() {
+            // Emit in *variable* order, not binding order.
+            let mut row: Vec<Tuple> = vec![Vec::new(); self.query.vars.len()];
+            for (p, &v) in self.plan.order.iter().enumerate() {
+                row[v] = self.stack[p].clone();
+            }
+            self.out.push(row);
+            return;
+        }
+        let v = self.plan.order[pos];
+        let qv = &self.query.vars[v];
+
+        if let Some((pvar, fidx)) = self.plan.parent_field_idx[v] {
+            // Child variable: tuples of the parent's referenced set.
+            let ppos = self.plan.pos_of[pvar];
+            let parent_tuple = self.stack[ppos];
+            if let Some(Value::Set(sid)) = parent_tuple.get(fidx) {
+                let tuples: Vec<&'a Tuple> = self.inst.tuples(*sid).collect();
+                for t in tuples {
+                    self.try_tuple(pos, t);
+                    if self.done() {
+                        return;
+                    }
+                }
+            }
+            return;
+        }
+
+        if let Some((attr_idx, other)) = &self.plan.lookup_at[pos] {
+            // Hash-index lookup on (set path, attribute).
+            let needle = self.eval_op(other);
+            let key = (qv.set.clone(), *attr_idx);
+            if !self.index_cache.contains_key(&key) {
+                let mut index: AttrIndex<'a> = HashMap::new();
+                for (_, t) in self.inst.tuples_of_path(&qv.set) {
+                    if let Some(val) = t.get(*attr_idx) {
+                        index.entry(val.clone()).or_default().push(t);
+                    }
+                }
+                self.index_cache.insert(key.clone(), index);
+            }
+            let matches: Vec<&'a Tuple> = self
+                .index_cache
+                .get(&key)
+                .and_then(|ix| ix.get(&needle)).cloned()
+                .unwrap_or_default();
+            for t in matches {
+                self.try_tuple(pos, t);
+                if self.done() {
+                    return;
+                }
+            }
+            return;
+        }
+
+        // Full scan over every occurrence of the set path.
+        let tuples: Vec<&'a Tuple> = self.inst.tuples_of_path(&qv.set).map(|(_, t)| t).collect();
+        for t in tuples {
+            self.try_tuple(pos, t);
+            if self.done() {
+                return;
+            }
+        }
+    }
+
+    fn try_tuple(&mut self, pos: usize, t: &'a Tuple) {
+        self.stack.push(t);
+        if self.checks_pass(pos) {
+            self.descend(pos + 1);
+        }
+        self.stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Operand;
+    use muse_nr::{Field, InstanceBuilder, Ty};
+
+    fn compdb() -> Schema {
+        Schema::new(
+            "CompDB",
+            vec![
+                Field::new(
+                    "Companies",
+                    Ty::set_of(vec![
+                        Field::new("cid", Ty::Int),
+                        Field::new("cname", Ty::Str),
+                        Field::new("location", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Projects",
+                    Ty::set_of(vec![
+                        Field::new("pname", Ty::Str),
+                        Field::new("cid", Ty::Int),
+                        Field::new("manager", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn fig2(schema: &Schema) -> Instance {
+        let mut b = InstanceBuilder::new(schema);
+        b.push_top("Companies", vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")]);
+        b.push_top("Companies", vec![Value::int(112), Value::str("SBC"), Value::str("NY")]);
+        b.push_top("Projects", vec![Value::str("DBSearch"), Value::int(111), Value::str("e14")]);
+        b.push_top("Projects", vec![Value::str("WebSearch"), Value::int(111), Value::str("e15")]);
+        b.push_top("Employees", vec![Value::str("e14"), Value::str("Smith")]);
+        b.push_top("Employees", vec![Value::str("e15"), Value::str("Anna")]);
+        b.push_top("Employees", vec![Value::str("e16"), Value::str("Brown")]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn single_atom_scan() {
+        let s = compdb();
+        let i = fig2(&s);
+        let mut q = Query::new();
+        q.var("c", SetPath::parse("Companies"));
+        let rows = evaluate_all(&s, &i, &q).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn join_companies_projects_employees() {
+        let s = compdb();
+        let i = fig2(&s);
+        let mut q = Query::new();
+        let c = q.var("c", SetPath::parse("Companies"));
+        let p = q.var("p", SetPath::parse("Projects"));
+        let e = q.var("e", SetPath::parse("Employees"));
+        q.add_eq(Operand::proj(p, "cid"), Operand::proj(c, "cid"));
+        q.add_eq(Operand::proj(e, "eid"), Operand::proj(p, "manager"));
+        let rows = evaluate_all(&s, &i, &q).unwrap();
+        // Both projects belong to IBM; managers e14 and e15.
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.len(), 3);
+            assert_eq!(row[c][1], Value::str("IBM"));
+        }
+    }
+
+    #[test]
+    fn constants_filter() {
+        let s = compdb();
+        let i = fig2(&s);
+        let mut q = Query::new();
+        let c = q.var("c", SetPath::parse("Companies"));
+        q.add_eq(Operand::proj(c, "cname"), Operand::Const(Value::str("SBC")));
+        let rows = evaluate_all(&s, &i, &q).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0][0], Value::int(112));
+    }
+
+    #[test]
+    fn inequalities() {
+        let s = compdb();
+        let i = fig2(&s);
+        // Pairs of distinct companies.
+        let mut q = Query::new();
+        let c1 = q.var("c1", SetPath::parse("Companies"));
+        let c2 = q.var("c2", SetPath::parse("Companies"));
+        q.add_neq(Operand::proj(c1, "cid"), Operand::proj(c2, "cid"));
+        let rows = evaluate_all(&s, &i, &q).unwrap();
+        assert_eq!(rows.len(), 2); // (111,112) and (112,111)
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let s = compdb();
+        let i = fig2(&s);
+        let mut q = Query::new();
+        q.var("e", SetPath::parse("Employees"));
+        let rows = evaluate(&s, &i, &q, Some(2)).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn empty_result_when_unsatisfiable() {
+        let s = compdb();
+        let i = fig2(&s);
+        let mut q = Query::new();
+        let c = q.var("c", SetPath::parse("Companies"));
+        q.add_eq(Operand::proj(c, "cname"), Operand::Const(Value::str("Acme")));
+        assert!(evaluate_all(&s, &i, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_query_has_one_binding() {
+        let s = compdb();
+        let i = fig2(&s);
+        let q = Query::new();
+        assert_eq!(evaluate_all(&s, &i, &q).unwrap(), vec![Vec::<Tuple>::new()]);
+    }
+
+    #[test]
+    fn nested_child_variables() {
+        let schema = Schema::new(
+            "OrgDB",
+            vec![Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+                ]),
+            )],
+        )
+        .unwrap();
+        let mut b = InstanceBuilder::new(&schema);
+        let pi = b.group("Orgs.Projects", vec![Value::str("IBM")]);
+        b.push(pi, vec![Value::str("DB")]);
+        b.push(pi, vec![Value::str("Web")]);
+        let ps = b.group("Orgs.Projects", vec![Value::str("SBC")]);
+        b.push(ps, vec![Value::str("WiFi")]);
+        b.push_top("Orgs", vec![Value::str("IBM"), Value::Set(pi)]);
+        b.push_top("Orgs", vec![Value::str("SBC"), Value::Set(ps)]);
+        let inst = b.finish().unwrap();
+
+        let mut q = Query::new();
+        let o = q.var("o", SetPath::parse("Orgs"));
+        let p = q.child_var("p", o, "Projects");
+        q.add_eq(Operand::proj(o, "oname"), Operand::Const(Value::str("IBM")));
+        let rows = evaluate_all(&schema, &inst, &q).unwrap();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r[o][0], Value::str("IBM"));
+            assert!(r[p][0] == Value::str("DB") || r[p][0] == Value::str("Web"));
+        }
+    }
+
+    #[test]
+    fn self_join_same_variable_order_is_deterministic() {
+        let s = compdb();
+        let i = fig2(&s);
+        let mut q = Query::new();
+        let c1 = q.var("c1", SetPath::parse("Companies"));
+        let c2 = q.var("c2", SetPath::parse("Companies"));
+        q.add_eq(Operand::proj(c1, "cname"), Operand::proj(c2, "cname"));
+        let a = evaluate_all(&s, &i, &q).unwrap();
+        let b = evaluate_all(&s, &i, &q).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2); // each company matches itself
+    }
+
+    #[test]
+    fn index_lookup_used_for_large_joins() {
+        // A join over a larger instance; correctness is what we assert, the
+        // lazy index is what makes it fast.
+        let s = compdb();
+        let mut b = InstanceBuilder::new(&s);
+        for i in 0..500 {
+            b.push_top(
+                "Companies",
+                vec![Value::int(i), Value::str(format!("c{i}")), Value::str("X")],
+            );
+            b.push_top(
+                "Projects",
+                vec![Value::str(format!("p{i}")), Value::int(i), Value::str(format!("e{i}"))],
+            );
+            b.push_top(
+                "Employees",
+                vec![Value::str(format!("e{i}")), Value::str(format!("n{i}"))],
+            );
+        }
+        let inst = b.finish().unwrap();
+        let mut q = Query::new();
+        let c = q.var("c", SetPath::parse("Companies"));
+        let p = q.var("p", SetPath::parse("Projects"));
+        let e = q.var("e", SetPath::parse("Employees"));
+        q.add_eq(Operand::proj(p, "cid"), Operand::proj(c, "cid"));
+        q.add_eq(Operand::proj(e, "eid"), Operand::proj(p, "manager"));
+        let rows = evaluate_all(&s, &inst, &q).unwrap();
+        assert_eq!(rows.len(), 500);
+    }
+}

@@ -1,0 +1,162 @@
+//! EXPLAIN for the query evaluator: which variable order the planner chose
+//! and how each variable's candidates are produced (parent navigation, hash
+//! index lookup, or full scan). Useful when a `QIe` retrieval is slower
+//! than expected — the paper's Sec. VI attributes Muse-G's latency almost
+//! entirely to these queries.
+
+use std::fmt;
+
+use muse_nr::Schema;
+
+use crate::ast::Query;
+use crate::error::QueryError;
+use crate::eval::plan_summary;
+
+/// How one variable's candidate tuples are produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Access {
+    /// Tuples of the set referenced by the parent tuple's field.
+    Parent {
+        /// The parent variable's name.
+        of: String,
+        /// The navigated field.
+        field: String,
+    },
+    /// Hash-index lookup on one attribute against an already-bound value.
+    IndexLookup {
+        /// The indexed attribute.
+        attr: String,
+    },
+    /// Scan of every occurrence of the set path.
+    FullScan,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::Parent { of, field } => write!(f, "navigate {of}.{field}"),
+            Access::IndexLookup { attr } => write!(f, "index lookup on {attr}"),
+            Access::FullScan => write!(f, "full scan"),
+        }
+    }
+}
+
+/// One step of the plan: a variable binding.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The variable's name.
+    pub var: String,
+    /// The set it ranges over.
+    pub set: String,
+    /// How its candidates are produced.
+    pub access: Access,
+    /// Number of predicates checked at this step.
+    pub checks: usize,
+}
+
+/// The explanation: binding steps in execution order.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Steps, in the order the evaluator binds variables.
+    pub steps: Vec<Step>,
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(
+                f,
+                "{:>2}. {} in {}  [{}; {} check{}]",
+                i + 1,
+                s.var,
+                s.set,
+                s.access,
+                s.checks,
+                if s.checks == 1 { "" } else { "s" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Explain how `query` would be evaluated against `schema`.
+pub fn explain(schema: &Schema, query: &Query) -> Result<Explanation, QueryError> {
+    query.validate(schema)?;
+    plan_summary(schema, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Operand;
+    use muse_nr::{Field, SetPath, Ty, Value};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "S",
+            vec![
+                Field::new(
+                    "Companies",
+                    Ty::set_of(vec![Field::new("cid", Ty::Int), Field::new("cname", Ty::Str)]),
+                ),
+                Field::new(
+                    "Projects",
+                    Ty::set_of(vec![
+                        Field::new("pname", Ty::Str),
+                        Field::new("cid", Ty::Int),
+                        Field::new("Tasks", Ty::set_of(vec![Field::new("t", Ty::Str)])),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn join_uses_an_index() {
+        let s = schema();
+        let mut q = Query::new();
+        let c = q.var("c", SetPath::parse("Companies"));
+        let p = q.var("p", SetPath::parse("Projects"));
+        q.add_eq(Operand::proj(p, "cid"), Operand::proj(c, "cid"));
+        let ex = explain(&s, &q).unwrap();
+        assert_eq!(ex.steps.len(), 2);
+        // The first variable is a scan; the second is an index lookup.
+        assert_eq!(ex.steps[0].access, Access::FullScan);
+        assert!(matches!(&ex.steps[1].access, Access::IndexLookup { attr } if attr == "cid"));
+        let text = ex.to_string();
+        assert!(text.contains("index lookup on cid"), "{text}");
+    }
+
+    #[test]
+    fn child_variables_navigate_their_parent() {
+        let s = schema();
+        let mut q = Query::new();
+        let p = q.var("p", SetPath::parse("Projects"));
+        q.child_var("t", p, "Tasks");
+        let ex = explain(&s, &q).unwrap();
+        assert!(matches!(
+            &ex.steps[1].access,
+            Access::Parent { of, field } if of == "p" && field == "Tasks"
+        ));
+    }
+
+    #[test]
+    fn constant_filters_become_index_lookups() {
+        let s = schema();
+        let mut q = Query::new();
+        let c = q.var("c", SetPath::parse("Companies"));
+        q.add_eq(Operand::proj(c, "cname"), Operand::Const(Value::str("IBM")));
+        let ex = explain(&s, &q).unwrap();
+        assert!(matches!(&ex.steps[0].access, Access::IndexLookup { attr } if attr == "cname"));
+        assert_eq!(ex.steps[0].checks, 1);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let s = schema();
+        let mut q = Query::new();
+        q.var("x", SetPath::parse("Nope"));
+        assert!(explain(&s, &q).is_err());
+    }
+}

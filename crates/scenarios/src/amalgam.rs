@@ -1,0 +1,257 @@
+//! The Amalgam scenario: the bibliography integration benchmark.
+//!
+//! Source: a schema modeled on Amalgam's first (relational) schema — one
+//! relation per publication kind (article, book, tech report, …), each with
+//! the usual bibliographic attributes and an author reference, plus the
+//! author relation itself. Target: a nested schema modeled on Amalgam's
+//! third schema — authors with their publications, and venues with their
+//! items. Two nested target sets, fourteen unambiguous mappings (one per
+//! publication kind, the two venue chains, and the author relation itself),
+//! matching the paper's Sec. VI row.
+
+use muse_cliogen::Correspondence;
+use muse_nr::{Constraints, Field, ForeignKey, Instance, Key, Schema, SetPath, Ty, Value};
+
+use crate::gen::{scaled, Gen};
+use crate::Scenario;
+
+fn set(fields: Vec<Field>) -> Ty {
+    Ty::set_of(fields)
+}
+
+fn f(label: &str, ty: Ty) -> Field {
+    Field::new(label, ty)
+}
+
+/// Publication kinds: (relation, venue-ish attribute).
+const PUB_RELS: [(&str, &str); 11] = [
+    ("rarticle", "journal"),
+    ("rbook", "publisher"),
+    ("rtechreport", "institution"),
+    ("rinproceedings", "booktitle"),
+    ("rincollection", "bookname"),
+    ("rmanual", "organization"),
+    ("rmisc", "howpublished"),
+    ("rmastersthesis", "school"),
+    ("rphdthesis", "school"),
+    ("rproceedings", "organizer"),
+    ("runpublished", "archive"),
+];
+
+fn source_schema() -> Schema {
+    let mut roots = vec![f(
+        "author",
+        set(vec![
+            f("aid", Ty::Str),
+            f("name", Ty::Str),
+            f("affiliation", Ty::Str),
+        ]),
+    )];
+    for (rel, venue) in PUB_RELS {
+        roots.push(f(
+            rel,
+            set(vec![
+                f("id", Ty::Str),
+                f("author", Ty::Str),
+                f("title", Ty::Str),
+                f("year", Ty::Int),
+                f("month", Ty::Str),
+                f(venue, Ty::Str),
+                f("volume", Ty::Int),
+                f("number", Ty::Int),
+                f("pages", Ty::Str),
+                f("note", Ty::Str),
+                f("annote", Ty::Str),
+            ]),
+        ));
+    }
+    Schema::new("AmalgamS1", roots).expect("valid Amalgam source schema")
+}
+
+fn source_constraints() -> Constraints {
+    let author = SetPath::parse("author");
+    let mut keys = vec![Key::new(author.clone(), vec!["aid"])];
+    let mut fks = Vec::new();
+    for (rel, _) in PUB_RELS {
+        let p = SetPath::parse(rel);
+        keys.push(Key::new(p.clone(), vec!["id"]));
+        fks.push(ForeignKey::new(p, vec!["author"], author.clone(), vec!["aid"]));
+    }
+    Constraints { keys, fds: vec![], fks }
+}
+
+fn target_schema() -> Schema {
+    Schema::new(
+        "AmalgamS3",
+        vec![
+            f(
+                "Authors",
+                set(vec![
+                    f("aid", Ty::Str),
+                    f("name", Ty::Str),
+                    f("affiliation", Ty::Str),
+                    f(
+                        "Publications",
+                        set(vec![
+                            f("pid", Ty::Str),
+                            f("title", Ty::Str),
+                            f("year", Ty::Int),
+                            f("venue", Ty::Str),
+                        ]),
+                    ),
+                ]),
+            ),
+            f(
+                "Venues",
+                set(vec![
+                    f("vname", Ty::Str),
+                    f(
+                        "Items",
+                        set(vec![f("title", Ty::Str), f("year", Ty::Int)]),
+                    ),
+                ]),
+            ),
+        ],
+    )
+    .expect("valid Amalgam target schema")
+}
+
+fn correspondences() -> Vec<Correspondence> {
+    let mut out = vec![
+        Correspondence::new("author.aid", "Authors.aid"),
+        Correspondence::new("author.name", "Authors.name"),
+        Correspondence::new("author.affiliation", "Authors.affiliation"),
+    ];
+    for (rel, venue) in PUB_RELS {
+        out.push(Correspondence::new(&format!("{rel}.id"), "Authors.Publications.pid"));
+        out.push(Correspondence::new(&format!("{rel}.title"), "Authors.Publications.title"));
+        out.push(Correspondence::new(&format!("{rel}.year"), "Authors.Publications.year"));
+        out.push(Correspondence::new(&format!("{rel}.{venue}"), "Authors.Publications.venue"));
+    }
+    // Only the journal and conference chains feed the Venues hierarchy.
+    out.push(Correspondence::new("rarticle.journal", "Venues.vname"));
+    out.push(Correspondence::new("rarticle.title", "Venues.Items.title"));
+    out.push(Correspondence::new("rarticle.year", "Venues.Items.year"));
+    out.push(Correspondence::new("rinproceedings.booktitle", "Venues.vname"));
+    out.push(Correspondence::new("rinproceedings.title", "Venues.Items.title"));
+    out.push(Correspondence::new("rinproceedings.year", "Venues.Items.year"));
+    out
+}
+
+fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
+    let mut g = Gen::new(seed);
+    let mut inst = Instance::new(schema);
+
+    // Author names are drawn from a pool smaller than the author count, so
+    // names repeat while aids stay unique — heavy value sharing is what
+    // gives Amalgam the highest "% real Ie" in Fig. 5.
+    let n_authors = scaled(1_800, scale, 4);
+    let name_pool: Vec<String> =
+        (0..scaled(700, scale, 2)).map(|i| format!("A. Uthor {i}")).collect();
+    let affiliation_pool: Vec<String> =
+        (0..scaled(60, scale, 2)).map(|i| format!("University {i}")).collect();
+    let months =
+        ["jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec"];
+
+    let authors = inst.root_id("author").unwrap();
+    let mut aids = Vec::with_capacity(n_authors);
+    for i in 0..n_authors {
+        let aid = format!("au{i}");
+        let name = Value::str(g.pick(&name_pool));
+        let aff = Value::str(g.pick(&affiliation_pool));
+        inst.insert(authors, vec![Value::str(&aid), name.clone(), aff.clone()]);
+        aids.push(aid);
+        if g.chance(0.3) {
+            let twin = format!("au{i}b");
+            inst.insert(authors, vec![Value::str(&twin), name, aff]);
+            aids.push(twin);
+        }
+    }
+
+    for (rel, _) in PUB_RELS {
+        let root = inst.root_id(rel).unwrap();
+        let venue_pool: Vec<String> =
+            (0..scaled(40, scale, 2)).map(|i| format!("{rel}-venue{i}")).collect();
+        for i in 0..scaled(1_100, scale, 3) {
+            // Amalgam integrates overlapping bibliographies: the same entry
+            // frequently appears under several ids (the duplicate rate is
+            // what gives Amalgam the highest "% real" in Fig. 5).
+            let row = vec![
+                Value::str(g.pick(&aids)),
+                Value::str(format!("{rel} title {i}")),
+                Value::int(1970 + g.range(0, 36)),
+                Value::str(*g.pick(&months)),
+                Value::str(g.pick(&venue_pool)),
+                Value::int(g.range(1, 30)),
+                Value::int(g.range(1, 10)),
+                g.shared("pg-", 120),
+                g.shared("note-", 25),
+                g.shared("annote-", 25),
+            ];
+            let mut tuple = vec![Value::str(format!("{rel}{i}"))];
+            tuple.extend(row.iter().cloned());
+            inst.insert(root, tuple);
+            if g.chance(0.35) {
+                // Three of the integrated sources contain verbatim
+                // duplicates; the others annotate their copies, so the twin
+                // differs in `annote`.
+                let full = matches!(rel, "rarticle" | "rinproceedings" | "rmisc");
+                let mut twin = vec![Value::str(format!("{rel}{i}dup"))];
+                if full {
+                    twin.extend(row.iter().cloned());
+                } else {
+                    twin.extend(row[..row.len() - 1].iter().cloned());
+                    twin.push(g.shared("annote-x", 25));
+                }
+                inst.insert(root, twin);
+            }
+        }
+    }
+
+    inst
+}
+
+/// The Amalgam scenario.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "Amalgam",
+        source_schema: source_schema(),
+        source_constraints: source_constraints(),
+        target_schema: target_schema(),
+        target_constraints: Constraints::none(),
+        correspondences: correspondences(),
+        default_scale: 1.0,
+        generator: generate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_matches_the_paper() {
+        let s = scenario();
+        // Authors.Publications and Venues.Items: 2 grouped sets.
+        assert_eq!(s.target_sets_with_grouping(), 2);
+        let ms = s.mappings().unwrap();
+        assert_eq!(ms.len(), 14, "{:?}", ms.iter().map(|m| &m.name).collect::<Vec<_>>());
+        assert!(ms.iter().all(|m| !m.is_ambiguous()));
+    }
+
+    #[test]
+    fn instance_has_paper_size_at_default_scale() {
+        let s = scenario();
+        let inst = s.instance_default(1);
+        let mb = inst.approx_bytes() as f64 / 1_000_000.0;
+        assert!((1.0..4.0).contains(&mb), "got {mb} MB");
+    }
+
+    #[test]
+    fn generated_instance_satisfies_constraints() {
+        let s = scenario();
+        let inst = s.instance(0.05, 3);
+        inst.validate(&s.source_schema).unwrap();
+        s.source_constraints.validate_instance(&s.source_schema, &inst).unwrap();
+    }
+}

@@ -1,0 +1,622 @@
+//! The Mondial scenario: relational geographical source → nested target.
+//!
+//! Modeled on the Mondial database (relational distribution → DTD-style
+//! nesting). The source has the country/province/city chain, per-country
+//! fact tables (languages, religions, ethnic groups, mountains, rivers,
+//! lakes, seas, islands, deserts, airports, economy, politics,
+//! encompasses), organizations with memberships, and six *border* relations
+//! that reference `country` **twice** (land borders plus rivers / lakes /
+//! seas / mountains / deserts shared between two countries). The double
+//! references make seven of the generated mappings ambiguous — six with
+//! five binary `or`-groups and one with four — encoding
+//! 6·32 + 16 = 208 interpretations, the paper's Sec. VI profile.
+
+use muse_cliogen::Correspondence;
+use muse_nr::{Constraints, Field, ForeignKey, Instance, Key, Schema, SetPath, Ty, Value};
+
+use crate::gen::{scaled, Gen};
+use crate::Scenario;
+
+fn set(fields: Vec<Field>) -> Ty {
+    Ty::set_of(fields)
+}
+
+fn f(label: &str, ty: Ty) -> Field {
+    Field::new(label, ty)
+}
+
+/// The six relations that hold facts shared *between* two countries:
+/// (relation, payload attribute, nested target set).
+const BORDER_RELS: [(&str, &str, &str); 6] = [
+    ("borders", "blength", "Neighbors"),
+    ("riverborder", "river", "SharedRivers"),
+    ("lakeborder", "lake", "SharedLakes"),
+    ("seaborder", "sea", "SharedSeas"),
+    ("mountainborder", "mountain", "SharedMountains"),
+    ("desertborder", "desert", "SharedDeserts"),
+];
+
+/// Per-country fact relations feeding top-level target sets:
+/// (relation, name attr, measure attr, target set).
+const FACT_RELS: [(&str, &str, &str, &str); 9] = [
+    ("language", "lname", "percentage", "Languages"),
+    ("religion", "rname", "percentage", "Religions"),
+    ("ethnicgroup", "gname", "percentage", "EthnicGroups"),
+    ("mountain", "mname", "height", "Mountains"),
+    ("river", "rivname", "rlength", "Rivers"),
+    ("lake", "lakname", "larea", "Lakes"),
+    ("sea", "seaname", "depth", "Seas"),
+    ("island", "iname", "iarea", "Islands"),
+    ("desert", "dname", "darea", "Deserts"),
+];
+
+fn source_schema() -> Schema {
+    let mut roots = vec![
+        f(
+            "country",
+            set(vec![
+                f("code", Ty::Str),
+                f("name", Ty::Str),
+                f("capital", Ty::Str),
+                f("population", Ty::Int),
+                f("area", Ty::Int),
+                f("continent", Ty::Str),
+            ]),
+        ),
+        f(
+            "province",
+            set(vec![
+                f("pname", Ty::Str),
+                f("country", Ty::Str),
+                f("capital", Ty::Str),
+                f("population", Ty::Int),
+                f("area", Ty::Int),
+            ]),
+        ),
+        f(
+            "city",
+            set(vec![
+                f("cname", Ty::Str),
+                f("province", Ty::Str),
+                f("population", Ty::Int),
+                f("longitude", Ty::Int),
+                f("latitude", Ty::Int),
+            ]),
+        ),
+        f(
+            "organization",
+            set(vec![
+                f("abbr", Ty::Str),
+                f("oname", Ty::Str),
+                f("established", Ty::Int),
+                f("country", Ty::Str),
+            ]),
+        ),
+        f(
+            "ismember",
+            set(vec![
+                f("country", Ty::Str),
+                f("organization", Ty::Str),
+                f("mtype", Ty::Str),
+            ]),
+        ),
+        f(
+            "airport",
+            set(vec![
+                f("iata", Ty::Str),
+                f("aname", Ty::Str),
+                f("country", Ty::Str),
+                f("elevation", Ty::Int),
+            ]),
+        ),
+        f(
+            "economy",
+            set(vec![
+                f("country", Ty::Str),
+                f("gdp", Ty::Int),
+                f("inflation", Ty::Int),
+            ]),
+        ),
+        f(
+            "politics",
+            set(vec![
+                f("country", Ty::Str),
+                f("government", Ty::Str),
+                f("independence", Ty::Int),
+            ]),
+        ),
+        f(
+            "encompasses",
+            set(vec![
+                f("country", Ty::Str),
+                f("continent", Ty::Str),
+                f("percentage", Ty::Int),
+            ]),
+        ),
+    ];
+    for (rel, payload, _) in BORDER_RELS {
+        let payload_ty = if rel == "borders" { Ty::Int } else { Ty::Str };
+        roots.push(f(
+            rel,
+            set(vec![
+                f("country1", Ty::Str),
+                f("country2", Ty::Str),
+                f(payload, payload_ty),
+            ]),
+        ));
+    }
+    for (rel, name_attr, measure, _) in FACT_RELS {
+        roots.push(f(
+            rel,
+            set(vec![
+                f("country", Ty::Str),
+                f(name_attr, Ty::Str),
+                f(measure, Ty::Int),
+            ]),
+        ));
+    }
+    Schema::new("MondialRel", roots).expect("valid Mondial source schema")
+}
+
+fn source_constraints() -> Constraints {
+    let country = SetPath::parse("country");
+    let mut keys = vec![
+        Key::new(country.clone(), vec!["code"]),
+        Key::new(SetPath::parse("province"), vec!["pname"]),
+        Key::new(SetPath::parse("city"), vec!["cname"]),
+        Key::new(SetPath::parse("organization"), vec!["abbr"]),
+        Key::new(SetPath::parse("ismember"), vec!["country", "organization"]),
+        Key::new(SetPath::parse("airport"), vec!["iata"]),
+        Key::new(SetPath::parse("economy"), vec!["country"]),
+        Key::new(SetPath::parse("politics"), vec!["country"]),
+        Key::new(SetPath::parse("encompasses"), vec!["country", "continent"]),
+    ];
+    let mut fks = vec![
+        ForeignKey::new(SetPath::parse("province"), vec!["country"], country.clone(), vec!["code"]),
+        ForeignKey::new(
+            SetPath::parse("city"),
+            vec!["province"],
+            SetPath::parse("province"),
+            vec!["pname"],
+        ),
+        ForeignKey::new(
+            SetPath::parse("organization"),
+            vec!["country"],
+            country.clone(),
+            vec!["code"],
+        ),
+        ForeignKey::new(SetPath::parse("ismember"), vec!["country"], country.clone(), vec!["code"]),
+        ForeignKey::new(
+            SetPath::parse("ismember"),
+            vec!["organization"],
+            SetPath::parse("organization"),
+            vec!["abbr"],
+        ),
+        ForeignKey::new(SetPath::parse("airport"), vec!["country"], country.clone(), vec!["code"]),
+        ForeignKey::new(SetPath::parse("economy"), vec!["country"], country.clone(), vec!["code"]),
+        ForeignKey::new(SetPath::parse("politics"), vec!["country"], country.clone(), vec!["code"]),
+        ForeignKey::new(
+            SetPath::parse("encompasses"),
+            vec!["country"],
+            country.clone(),
+            vec!["code"],
+        ),
+    ];
+    for (rel, _, _) in BORDER_RELS {
+        let p = SetPath::parse(rel);
+        keys.push(Key::new(p.clone(), vec!["country1", "country2"]));
+        fks.push(ForeignKey::new(p.clone(), vec!["country1"], country.clone(), vec!["code"]));
+        fks.push(ForeignKey::new(p, vec!["country2"], country.clone(), vec!["code"]));
+    }
+    for (rel, name_attr, _, _) in FACT_RELS {
+        let p = SetPath::parse(rel);
+        keys.push(Key::new(p.clone(), vec!["country", name_attr]));
+        fks.push(ForeignKey::new(p, vec!["country"], country.clone(), vec!["code"]));
+    }
+    Constraints { keys, fds: vec![], fks }
+}
+
+fn target_schema() -> Schema {
+    let mut country_fields = vec![
+        f("code", Ty::Str),
+        f("name", Ty::Str),
+        f("capital", Ty::Str),
+        f("population", Ty::Int),
+        f("continent", Ty::Str),
+        f(
+            "Provinces",
+            set(vec![
+                f("name", Ty::Str),
+                f("capital", Ty::Str),
+                f("population", Ty::Int),
+                f(
+                    "Cities",
+                    set(vec![
+                        f("name", Ty::Str),
+                        f("population", Ty::Int),
+                        f("longitude", Ty::Int),
+                        f("latitude", Ty::Int),
+                    ]),
+                ),
+            ]),
+        ),
+    ];
+    for (rel, payload, label) in BORDER_RELS {
+        let payload_ty = if rel == "borders" { Ty::Int } else { Ty::Str };
+        country_fields.push(f(label, set(vec![f("country", Ty::Str), f(payload, payload_ty)])));
+    }
+    let mut roots = vec![
+        f("Countries", set(country_fields)),
+        f(
+            "Organizations",
+            set(vec![
+                f("abbr", Ty::Str),
+                f("name", Ty::Str),
+                f("established", Ty::Int),
+                f("homecountry", Ty::Str),
+                f("homecode", Ty::Str),
+            ]),
+        ),
+        f(
+            "Memberships",
+            set(vec![
+                f("country", Ty::Str),
+                f("code", Ty::Str),
+                f("capital", Ty::Str),
+                f("population", Ty::Int),
+                f("org", Ty::Str),
+                f("mtype", Ty::Str),
+            ]),
+        ),
+        f(
+            "Airports",
+            set(vec![
+                f("iata", Ty::Str),
+                f("name", Ty::Str),
+                f("country", Ty::Str),
+                f("elevation", Ty::Int),
+            ]),
+        ),
+        f(
+            "Economies",
+            set(vec![f("country", Ty::Str), f("gdp", Ty::Int), f("inflation", Ty::Int)]),
+        ),
+        f(
+            "Politics",
+            set(vec![
+                f("country", Ty::Str),
+                f("government", Ty::Str),
+                f("independence", Ty::Int),
+            ]),
+        ),
+        f(
+            "Encompasses",
+            set(vec![
+                f("country", Ty::Str),
+                f("continent", Ty::Str),
+                f("percentage", Ty::Int),
+            ]),
+        ),
+    ];
+    for (_, _, measure, label) in FACT_RELS {
+        roots.push(f(
+            label,
+            set(vec![f("name", Ty::Str), f(measure, Ty::Int), f("country", Ty::Str)]),
+        ));
+    }
+    Schema::new("MondialXml", roots).expect("valid Mondial target schema")
+}
+
+fn correspondences() -> Vec<Correspondence> {
+    let mut out = vec![
+        // Countries and the province/city chain.
+        Correspondence::new("country.code", "Countries.code"),
+        Correspondence::new("country.name", "Countries.name"),
+        Correspondence::new("country.capital", "Countries.capital"),
+        Correspondence::new("country.population", "Countries.population"),
+        Correspondence::new("country.continent", "Countries.continent"),
+        Correspondence::new("province.pname", "Countries.Provinces.name"),
+        Correspondence::new("province.capital", "Countries.Provinces.capital"),
+        Correspondence::new("province.population", "Countries.Provinces.population"),
+        Correspondence::new("city.cname", "Countries.Provinces.Cities.name"),
+        Correspondence::new("city.population", "Countries.Provinces.Cities.population"),
+        Correspondence::new("city.longitude", "Countries.Provinces.Cities.longitude"),
+        Correspondence::new("city.latitude", "Countries.Provinces.Cities.latitude"),
+        // Organizations and memberships.
+        Correspondence::new("organization.abbr", "Organizations.abbr"),
+        Correspondence::new("organization.oname", "Organizations.name"),
+        Correspondence::new("organization.established", "Organizations.established"),
+        Correspondence::new("country.name", "Organizations.homecountry"),
+        Correspondence::new("country.code", "Organizations.homecode"),
+        Correspondence::new("country.name", "Memberships.country"),
+        Correspondence::new("country.code", "Memberships.code"),
+        Correspondence::new("country.capital", "Memberships.capital"),
+        Correspondence::new("country.population", "Memberships.population"),
+        Correspondence::new("ismember.organization", "Memberships.org"),
+        Correspondence::new("ismember.mtype", "Memberships.mtype"),
+        // Flat per-country tables.
+        Correspondence::new("airport.iata", "Airports.iata"),
+        Correspondence::new("airport.aname", "Airports.name"),
+        Correspondence::new("airport.country", "Airports.country"),
+        Correspondence::new("airport.elevation", "Airports.elevation"),
+        Correspondence::new("economy.country", "Economies.country"),
+        Correspondence::new("economy.gdp", "Economies.gdp"),
+        Correspondence::new("economy.inflation", "Economies.inflation"),
+        Correspondence::new("politics.country", "Politics.country"),
+        Correspondence::new("politics.government", "Politics.government"),
+        Correspondence::new("politics.independence", "Politics.independence"),
+        Correspondence::new("encompasses.country", "Encompasses.country"),
+        Correspondence::new("encompasses.continent", "Encompasses.continent"),
+        Correspondence::new("encompasses.percentage", "Encompasses.percentage"),
+    ];
+    for (rel, payload, label) in BORDER_RELS {
+        // The "other" country of the pair comes from the relation's own
+        // second column; which of the two joined country tuples supplies
+        // the Countries-level attributes is the ambiguity Muse-D untangles.
+        out.push(Correspondence::new(
+            &format!("{rel}.country2"),
+            &format!("Countries.{label}.country"),
+        ));
+        out.push(Correspondence::new(
+            &format!("{rel}.{payload}"),
+            &format!("Countries.{label}.{payload}"),
+        ));
+    }
+    for (rel, name_attr, measure, label) in FACT_RELS {
+        out.push(Correspondence::new(&format!("{rel}.{name_attr}"), &format!("{label}.name")));
+        out.push(Correspondence::new(&format!("{rel}.{measure}"), &format!("{label}.{measure}")));
+        out.push(Correspondence::new(&format!("{rel}.country"), &format!("{label}.country")));
+    }
+    out
+}
+
+fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
+    let mut g = Gen::new(seed);
+    let mut inst = Instance::new(schema);
+
+    let n_countries = scaled(220, scale, 4);
+    let continents = ["Europe", "Asia", "Africa", "America", "Oceania"];
+    let capital_pool: Vec<String> = (0..scaled(50, scale, 3)).map(|i| format!("Cap{i}")).collect();
+    let governments = ["republic", "monarchy", "federation"];
+
+    // Mondial is full of redundancy (shared capitals, bucketed figures,
+    // historical code variants for one territory): ~30% of countries get a
+    // "twin" that differs only in its code. These twins are what make real
+    // differentiating examples findable ~40% of the time (Fig. 5).
+    let countries = inst.root_id("country").unwrap();
+    let mut codes = Vec::with_capacity(n_countries);
+    for i in 0..n_countries {
+        let code = format!("C{i:03}");
+        let row = [Value::str(format!("Country{i}")),
+            Value::str(g.pick(&capital_pool)),
+            g.bucketed(1_000_000, 12),
+            g.bucketed(10_000, 10),
+            Value::str(*g.pick(&continents))];
+        let mut tuple = vec![Value::str(&code)];
+        tuple.extend(row.iter().cloned());
+        inst.insert(countries, tuple);
+        codes.push(code);
+        if g.chance(0.3) {
+            let twin = format!("C{i:03}b");
+            let mut t = vec![Value::str(&twin)];
+            t.extend(row.iter().cloned());
+            inst.insert(countries, t);
+            codes.push(twin);
+        }
+    }
+
+    // Provinces and cities (unique names; shared capitals, bucketed sizes).
+    let provinces = inst.root_id("province").unwrap();
+    let cities = inst.root_id("city").unwrap();
+    let mut pnames = Vec::new();
+    for (i, code) in codes.iter().enumerate() {
+        for j in 0..g.range(3, 9) {
+            let pname = format!("Prov{i}x{j}");
+            let row = [Value::str(code),
+                Value::str(g.pick(&capital_pool)),
+                g.bucketed(500_000, 10),
+                g.bucketed(5_000, 8)];
+            let mut tuple = vec![Value::str(&pname)];
+            tuple.extend(row.iter().cloned());
+            inst.insert(provinces, tuple);
+            pnames.push(pname);
+            if g.chance(0.35) {
+                let twin = format!("Prov{i}x{j}b");
+                let mut t = vec![Value::str(&twin)];
+                t.extend(row.iter().cloned());
+                inst.insert(provinces, t);
+                pnames.push(twin);
+            }
+        }
+    }
+    for (k, pname) in pnames.iter().enumerate() {
+        for j in 0..g.range(2, 5) {
+            let row = [Value::str(pname),
+                g.bucketed(100_000, 15),
+                Value::int(g.range(-18, 19) * 10),
+                Value::int(g.range(-9, 10) * 10)];
+            let mut tuple = vec![Value::str(format!("City{k}x{j}"))];
+            tuple.extend(row.iter().cloned());
+            inst.insert(cities, tuple);
+            if g.chance(0.3) {
+                let mut t = vec![Value::str(format!("City{k}x{j}b"))];
+                t.extend(row.iter().cloned());
+                inst.insert(cities, t);
+            }
+        }
+    }
+
+    // Organizations and memberships.
+    let orgs = inst.root_id("organization").unwrap();
+    let members = inst.root_id("ismember").unwrap();
+    let n_orgs = scaled(80, scale, 2);
+    let mtypes = ["member", "observer", "associate"];
+    for i in 0..n_orgs {
+        let abbr = format!("ORG{i}");
+        inst.insert(
+            orgs,
+            vec![
+                Value::str(&abbr),
+                Value::str(format!("Organization{i}")),
+                Value::int(1900 + g.range(0, 12) * 10),
+                Value::str(g.pick(&codes)),
+            ],
+        );
+        let mut used = std::collections::BTreeSet::new();
+        for _ in 0..g.range(5, 18) {
+            let c = g.pick(&codes).clone();
+            if used.insert(c.clone()) {
+                inst.insert(
+                    members,
+                    vec![Value::str(&c), Value::str(&abbr), Value::str(*g.pick(&mtypes))],
+                );
+            }
+        }
+    }
+
+    // Airports, economy, politics, encompasses.
+    let airports = inst.root_id("airport").unwrap();
+    for i in 0..scaled(400, scale, 2) {
+        inst.insert(
+            airports,
+            vec![
+                Value::str(format!("A{i:03}")),
+                Value::str(format!("Airport{i}")),
+                Value::str(g.pick(&codes)),
+                g.bucketed(100, 12),
+            ],
+        );
+    }
+    let economies = inst.root_id("economy").unwrap();
+    let politics = inst.root_id("politics").unwrap();
+    let encompasses = inst.root_id("encompasses").unwrap();
+    for code in &codes {
+        inst.insert(
+            economies,
+            vec![Value::str(code), g.bucketed(1_000, 20), g.bucketed(1, 10)],
+        );
+        inst.insert(
+            politics,
+            vec![
+                Value::str(code),
+                Value::str(*g.pick(&governments)),
+                Value::int(1800 + g.range(0, 20) * 10),
+            ],
+        );
+        inst.insert(
+            encompasses,
+            vec![Value::str(code), Value::str(*g.pick(&continents)), g.bucketed(25, 4)],
+        );
+    }
+
+    // Border relations: unique (country1, country2) pairs per relation.
+    for (rel, _, _) in BORDER_RELS {
+        let root = inst.root_id(rel).unwrap();
+        let n = scaled(500, scale, 3);
+        let mut used = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            let a = g.pick(&codes).clone();
+            let b = g.pick(&codes).clone();
+            if a == b || !used.insert((a.clone(), b.clone())) {
+                continue;
+            }
+            let payload = if rel == "borders" {
+                g.bucketed(50, 20)
+            } else {
+                // Shared geography names come from small pools so that real
+                // differentiating examples exist.
+                g.shared(&format!("{rel}-geo"), 25)
+            };
+            inst.insert(root, vec![Value::str(&a), Value::str(&b), payload.clone()]);
+            if g.chance(0.3) {
+                let b2 = g.pick(&codes).clone();
+                if b2 != a && used.insert((a.clone(), b2.clone())) {
+                    inst.insert(root, vec![Value::str(&a), Value::str(&b2), payload]);
+                }
+            }
+        }
+    }
+
+    // Per-country fact relations: names from small pools, measures bucketed.
+    for (rel, _, _, _) in FACT_RELS {
+        let root = inst.root_id(rel).unwrap();
+        for code in &codes {
+            let mut used = std::collections::BTreeSet::new();
+            for _ in 0..g.range(1, 5) {
+                let name = g.shared(&format!("{rel}-n"), 18);
+                let key = match &name {
+                    Value::Atom(a) => a.to_string(),
+                    _ => unreachable!(),
+                };
+                if !used.insert(key) {
+                    continue;
+                }
+                inst.insert(root, vec![Value::str(code), name, g.bucketed(10, 10)]);
+            }
+        }
+    }
+
+    inst
+}
+
+/// The Mondial scenario.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "Mondial",
+        source_schema: source_schema(),
+        source_constraints: source_constraints(),
+        target_schema: target_schema(),
+        target_constraints: Constraints::none(),
+        correspondences: correspondences(),
+        default_scale: 2.0,
+        generator: generate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_mapping::ambiguity::alternatives_count;
+
+    #[test]
+    fn profile_matches_the_paper() {
+        let s = scenario();
+        // 8 nested target sets with grouping functions.
+        assert_eq!(s.target_sets_with_grouping(), 8);
+        let ms = s.mappings().unwrap();
+        let ambiguous: Vec<_> = ms.iter().filter(|m| m.is_ambiguous()).collect();
+        let alts: usize = ambiguous.iter().map(|m| alternatives_count(m)).sum();
+        // Paper: 26 mappings, 7 ambiguous, encoding 208 alternatives.
+        assert_eq!(ms.len(), 26, "mappings: {:?}", ms.iter().map(|m| &m.name).collect::<Vec<_>>());
+        assert_eq!(ambiguous.len(), 7);
+        assert_eq!(alts, 208);
+    }
+
+    #[test]
+    fn the_countries_mapping_exists() {
+        let s = scenario();
+        let ms = s.mappings().unwrap();
+        assert!(ms.iter().any(|m| {
+            m.source_vars.len() == 1
+                && m.source_vars[0].set == SetPath::parse("country")
+                && m.target_vars.len() == 1
+                && m.target_vars[0].set == SetPath::parse("Countries")
+        }));
+    }
+
+    #[test]
+    fn instance_has_paper_size_at_default_scale() {
+        let s = scenario();
+        let inst = s.instance_default(1);
+        let mb = inst.approx_bytes() as f64 / 1_000_000.0;
+        assert!((0.5..2.0).contains(&mb), "got {mb} MB");
+    }
+
+    #[test]
+    fn generated_instance_satisfies_constraints() {
+        let s = scenario();
+        let inst = s.instance(0.05, 3);
+        inst.validate(&s.source_schema).unwrap();
+        s.source_constraints.validate_instance(&s.source_schema, &inst).unwrap();
+    }
+}

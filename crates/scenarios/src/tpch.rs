@@ -1,0 +1,522 @@
+//! The TPC-H scenario: the relational TPC-H schema → a nested version.
+//!
+//! Source: the eight TPC-H relations with their standard keys and foreign
+//! keys. Target: our nested reorganization (as the paper's authors created
+//! one): nations containing customers containing orders containing line
+//! items, plus suppliers per nation — four nested sets with grouping
+//! functions. The line-item mapping joins through *both* the customer side
+//! (orders → customer → nation) and the supplier side (partsupp → supplier
+//! → nation), so the containing nation's name and key can come from either
+//! party; together with two derived line-item elements that each received
+//! two arrows (key date, status), the line-item mapping carries four binary
+//! `or`-groups encoding 16 interpretations — the paper's Sec. VI row
+//! (5 mappings, 1 ambiguous, 16 alternatives).
+//!
+//! The synthetic generator mimics `dbgen`'s value profile: keys, addresses,
+//! prices and comments are dense and (near-)unique, which is why real
+//! differentiating examples are almost never found on TPC-H (the 0–12%
+//! column of Fig. 5).
+
+use muse_cliogen::Correspondence;
+use muse_nr::{Constraints, Field, ForeignKey, Instance, Key, Schema, SetPath, Ty, Value};
+
+use crate::gen::{scaled, Gen};
+use crate::Scenario;
+
+fn set(fields: Vec<Field>) -> Ty {
+    Ty::set_of(fields)
+}
+
+fn f(label: &str, ty: Ty) -> Field {
+    Field::new(label, ty)
+}
+
+fn source_schema() -> Schema {
+    Schema::new(
+        "TpchRel",
+        vec![
+            f(
+                "region",
+                set(vec![
+                    f("r_regionkey", Ty::Int),
+                    f("r_name", Ty::Str),
+                    f("r_comment", Ty::Str),
+                ]),
+            ),
+            f(
+                "nation",
+                set(vec![
+                    f("n_nationkey", Ty::Int),
+                    f("n_name", Ty::Str),
+                    f("n_regionkey", Ty::Int),
+                    f("n_comment", Ty::Str),
+                ]),
+            ),
+            f(
+                "supplier",
+                set(vec![
+                    f("s_suppkey", Ty::Int),
+                    f("s_name", Ty::Str),
+                    f("s_address", Ty::Str),
+                    f("s_nationkey", Ty::Int),
+                    f("s_phone", Ty::Str),
+                    f("s_acctbal", Ty::Int),
+                    f("s_comment", Ty::Str),
+                ]),
+            ),
+            f(
+                "customer",
+                set(vec![
+                    f("c_custkey", Ty::Int),
+                    f("c_name", Ty::Str),
+                    f("c_address", Ty::Str),
+                    f("c_nationkey", Ty::Int),
+                    f("c_phone", Ty::Str),
+                    f("c_acctbal", Ty::Int),
+                    f("c_mktsegment", Ty::Str),
+                    f("c_comment", Ty::Str),
+                ]),
+            ),
+            f(
+                "part",
+                set(vec![
+                    f("p_partkey", Ty::Int),
+                    f("p_name", Ty::Str),
+                    f("p_mfgr", Ty::Str),
+                    f("p_brand", Ty::Str),
+                    f("p_type", Ty::Str),
+                    f("p_size", Ty::Int),
+                    f("p_container", Ty::Str),
+                    f("p_retailprice", Ty::Int),
+                    f("p_comment", Ty::Str),
+                ]),
+            ),
+            f(
+                "partsupp",
+                set(vec![
+                    f("ps_partkey", Ty::Int),
+                    f("ps_suppkey", Ty::Int),
+                    f("ps_availqty", Ty::Int),
+                    f("ps_supplycost", Ty::Int),
+                    f("ps_comment", Ty::Str),
+                ]),
+            ),
+            f(
+                "orders",
+                set(vec![
+                    f("o_orderkey", Ty::Int),
+                    f("o_custkey", Ty::Int),
+                    f("o_orderstatus", Ty::Str),
+                    f("o_totalprice", Ty::Int),
+                    f("o_orderdate", Ty::Str),
+                    f("o_orderpriority", Ty::Str),
+                    f("o_clerk", Ty::Str),
+                    f("o_shippriority", Ty::Int),
+                    f("o_comment", Ty::Str),
+                ]),
+            ),
+            f(
+                "lineitem",
+                set(vec![
+                    f("l_orderkey", Ty::Int),
+                    f("l_partkey", Ty::Int),
+                    f("l_suppkey", Ty::Int),
+                    f("l_linenumber", Ty::Int),
+                    f("l_quantity", Ty::Int),
+                    f("l_extendedprice", Ty::Int),
+                    f("l_discount", Ty::Int),
+                    f("l_tax", Ty::Int),
+                    f("l_returnflag", Ty::Str),
+                    f("l_linestatus", Ty::Str),
+                    f("l_shipdate", Ty::Str),
+                    f("l_commitdate", Ty::Str),
+                    f("l_receiptdate", Ty::Str),
+                    f("l_shipinstruct", Ty::Str),
+                    f("l_shipmode", Ty::Str),
+                    f("l_comment", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .expect("valid TPC-H source schema")
+}
+
+fn source_constraints() -> Constraints {
+    Constraints {
+        keys: vec![
+            Key::new(SetPath::parse("region"), vec!["r_regionkey"]),
+            Key::new(SetPath::parse("nation"), vec!["n_nationkey"]),
+            Key::new(SetPath::parse("supplier"), vec!["s_suppkey"]),
+            Key::new(SetPath::parse("customer"), vec!["c_custkey"]),
+            Key::new(SetPath::parse("part"), vec!["p_partkey"]),
+            Key::new(SetPath::parse("partsupp"), vec!["ps_partkey", "ps_suppkey"]),
+            Key::new(SetPath::parse("orders"), vec!["o_orderkey"]),
+            Key::new(SetPath::parse("lineitem"), vec!["l_orderkey", "l_linenumber"]),
+        ],
+        fds: vec![],
+        fks: vec![
+            ForeignKey::new(
+                SetPath::parse("nation"),
+                vec!["n_regionkey"],
+                SetPath::parse("region"),
+                vec!["r_regionkey"],
+            ),
+            ForeignKey::new(
+                SetPath::parse("supplier"),
+                vec!["s_nationkey"],
+                SetPath::parse("nation"),
+                vec!["n_nationkey"],
+            ),
+            ForeignKey::new(
+                SetPath::parse("customer"),
+                vec!["c_nationkey"],
+                SetPath::parse("nation"),
+                vec!["n_nationkey"],
+            ),
+            ForeignKey::new(
+                SetPath::parse("partsupp"),
+                vec!["ps_partkey"],
+                SetPath::parse("part"),
+                vec!["p_partkey"],
+            ),
+            ForeignKey::new(
+                SetPath::parse("partsupp"),
+                vec!["ps_suppkey"],
+                SetPath::parse("supplier"),
+                vec!["s_suppkey"],
+            ),
+            ForeignKey::new(
+                SetPath::parse("orders"),
+                vec!["o_custkey"],
+                SetPath::parse("customer"),
+                vec!["c_custkey"],
+            ),
+            ForeignKey::new(
+                SetPath::parse("lineitem"),
+                vec!["l_orderkey"],
+                SetPath::parse("orders"),
+                vec!["o_orderkey"],
+            ),
+            ForeignKey::new(
+                SetPath::parse("lineitem"),
+                vec!["l_partkey", "l_suppkey"],
+                SetPath::parse("partsupp"),
+                vec!["ps_partkey", "ps_suppkey"],
+            ),
+        ],
+    }
+}
+
+fn target_schema() -> Schema {
+    Schema::new(
+        "TpchNested",
+        vec![f(
+            "Nations",
+            set(vec![
+                f("nationkey", Ty::Int),
+                f("name", Ty::Str),
+                f(
+                    "Customers",
+                    set(vec![
+                        f("custkey", Ty::Int),
+                        f("name", Ty::Str),
+                        f("address", Ty::Str),
+                        f("phone", Ty::Str),
+                        f("acctbal", Ty::Int),
+                        f("mktsegment", Ty::Str),
+                        f(
+                            "Orders",
+                            set(vec![
+                                f("orderkey", Ty::Int),
+                                f("orderdate", Ty::Str),
+                                f("totalprice", Ty::Int),
+                                f("status", Ty::Str),
+                                f("priority", Ty::Str),
+                                f(
+                                    "Lineitems",
+                                    set(vec![
+                                        f("linenumber", Ty::Int),
+                                        f("quantity", Ty::Int),
+                                        f("extendedprice", Ty::Int),
+                                        f("shipmode", Ty::Str),
+                                        f("keydate", Ty::Str),
+                                        f("status", Ty::Str),
+                                        f("surcharge", Ty::Int),
+                                    ]),
+                                ),
+                            ]),
+                        ),
+                    ]),
+                ),
+                f(
+                    "Suppliers",
+                    set(vec![
+                        f("suppkey", Ty::Int),
+                        f("name", Ty::Str),
+                        f("address", Ty::Str),
+                        f("phone", Ty::Str),
+                        f("acctbal", Ty::Int),
+                    ]),
+                ),
+            ]),
+        )],
+    )
+    .expect("valid nested TPC-H target schema")
+}
+
+fn correspondences() -> Vec<Correspondence> {
+    vec![
+        Correspondence::new("nation.n_nationkey", "Nations.nationkey"),
+        Correspondence::new("nation.n_name", "Nations.name"),
+        Correspondence::new("customer.c_custkey", "Nations.Customers.custkey"),
+        Correspondence::new("supplier.s_suppkey", "Nations.Suppliers.suppkey"),
+        Correspondence::new("orders.o_orderkey", "Nations.Customers.Orders.orderkey"),
+        Correspondence::new("customer.c_name", "Nations.Customers.name"),
+        Correspondence::new("customer.c_address", "Nations.Customers.address"),
+        Correspondence::new("customer.c_phone", "Nations.Customers.phone"),
+        Correspondence::new("customer.c_acctbal", "Nations.Customers.acctbal"),
+        Correspondence::new("customer.c_mktsegment", "Nations.Customers.mktsegment"),
+        Correspondence::new("supplier.s_name", "Nations.Suppliers.name"),
+        Correspondence::new("supplier.s_address", "Nations.Suppliers.address"),
+        Correspondence::new("supplier.s_phone", "Nations.Suppliers.phone"),
+        Correspondence::new("supplier.s_acctbal", "Nations.Suppliers.acctbal"),
+        Correspondence::new("orders.o_orderdate", "Nations.Customers.Orders.orderdate"),
+        Correspondence::new("orders.o_totalprice", "Nations.Customers.Orders.totalprice"),
+        Correspondence::new("orders.o_orderstatus", "Nations.Customers.Orders.status"),
+        // Unambiguous line-item attributes.
+        Correspondence::new("orders.o_orderpriority", "Nations.Customers.Orders.priority"),
+        Correspondence::new("lineitem.l_linenumber", "Nations.Customers.Orders.Lineitems.linenumber"),
+        Correspondence::new("lineitem.l_quantity", "Nations.Customers.Orders.Lineitems.quantity"),
+        Correspondence::new(
+            "lineitem.l_extendedprice",
+            "Nations.Customers.Orders.Lineitems.extendedprice",
+        ),
+        // The ambiguous block: the designer drew *two* arrows into each of
+        // the four derived line-item elements (which date is the key date,
+        // which flag is the status, which rate is the surcharge, which
+        // instruction is the handling) — 2^4 = 16 interpretations, all
+        // inside the single line-item mapping.
+        Correspondence::new("lineitem.l_shipdate", "Nations.Customers.Orders.Lineitems.keydate"),
+        Correspondence::new("lineitem.l_receiptdate", "Nations.Customers.Orders.Lineitems.keydate"),
+        Correspondence::new("lineitem.l_returnflag", "Nations.Customers.Orders.Lineitems.status"),
+        Correspondence::new("lineitem.l_linestatus", "Nations.Customers.Orders.Lineitems.status"),
+        Correspondence::new("lineitem.l_discount", "Nations.Customers.Orders.Lineitems.surcharge"),
+        Correspondence::new("lineitem.l_shipmode", "Nations.Customers.Orders.Lineitems.shipmode"),
+    ]
+}
+
+fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
+    let mut g = Gen::new(seed);
+    let mut inst = Instance::new(schema);
+
+    let regions = inst.root_id("region").unwrap();
+    let region_names = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+    for (i, name) in region_names.iter().enumerate() {
+        inst.insert(
+            regions,
+            vec![Value::int(i as i64), Value::str(*name), Value::str(format!("rc{i}"))],
+        );
+    }
+
+    let nations = inst.root_id("nation").unwrap();
+    let n_nations = 25;
+    for i in 0..n_nations {
+        inst.insert(
+            nations,
+            vec![
+                Value::int(i),
+                Value::str(format!("NATION{i:02}")),
+                Value::int(i % region_names.len() as i64),
+                Value::str(format!("nc{i}")),
+            ],
+        );
+    }
+
+    let suppliers = inst.root_id("supplier").unwrap();
+    let n_supp = scaled(200, scale, 2) as i64;
+    for i in 0..n_supp {
+        inst.insert(
+            suppliers,
+            vec![
+                Value::int(i),
+                Value::str(format!("Supplier#{i:09}")),
+                Value::str(format!("sa {i} main st")),
+                Value::int(i % n_nations),
+                Value::str(format!("27-{i:07}")),
+                Value::int(1000 + i * 7 % 90000),
+                Value::str(format!("sc{i}")),
+            ],
+        );
+    }
+
+    let customers = inst.root_id("customer").unwrap();
+    let segments = ["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"];
+    let n_cust = scaled(1_200, scale, 3) as i64;
+    for i in 0..n_cust {
+        inst.insert(
+            customers,
+            vec![
+                Value::int(i),
+                Value::str(format!("Customer#{i:09}")),
+                Value::str(format!("ca {i} oak ave")),
+                Value::int(i % n_nations),
+                Value::str(format!("13-{i:07}")),
+                Value::int(500 + i * 13 % 99000),
+                Value::str(segments[(i as usize) % segments.len()]),
+                Value::str(format!("cc{i}")),
+            ],
+        );
+    }
+
+    let parts = inst.root_id("part").unwrap();
+    let containers = ["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG"];
+    let types = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+    let n_part = scaled(1_600, scale, 2) as i64;
+    for i in 0..n_part {
+        inst.insert(
+            parts,
+            vec![
+                Value::int(i),
+                Value::str(format!("part {i} azure")),
+                Value::str(format!("Manufacturer#{}", i % 5)),
+                Value::str(format!("Brand#{}", i % 25)),
+                Value::str(types[(i as usize) % types.len()]),
+                Value::int(1 + i % 50),
+                Value::str(containers[(i as usize) % containers.len()]),
+                Value::int(900 + i % 1100),
+                Value::str(format!("pc{i}")),
+            ],
+        );
+    }
+
+    let partsupps = inst.root_id("partsupp").unwrap();
+    let mut ps_pairs: Vec<(i64, i64)> = Vec::new();
+    for p in 0..n_part {
+        for k in 0..4 {
+            let s = (p + k * 7) % n_supp.max(1);
+            ps_pairs.push((p, s));
+            inst.insert(
+                partsupps,
+                vec![
+                    Value::int(p),
+                    Value::int(s),
+                    Value::int(1 + (p + k) % 9999),
+                    Value::int(100 + (p * 3 + k) % 900),
+                    Value::str(format!("psc{p}x{k}")),
+                ],
+            );
+        }
+    }
+
+    let orders = inst.root_id("orders").unwrap();
+    let lineitems = inst.root_id("lineitem").unwrap();
+    let priorities = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+    let modes = ["TRUCK", "MAIL", "SHIP", "AIR", "RAIL", "FOB", "REG AIR"];
+    let instructs = ["DELIVER IN PERSON", "COLLECT COD", "TAKE BACK RETURN", "NONE"];
+    let n_orders = scaled(8_000, scale, 3) as i64;
+    for o in 0..n_orders {
+        let date = format!("199{}-{:02}-{:02}", o % 8, 1 + o % 12, 1 + o % 28);
+        inst.insert(
+            orders,
+            vec![
+                Value::int(o),
+                Value::int(o % n_cust),
+                Value::str(if o % 2 == 0 { "O" } else { "F" }),
+                Value::int(1000 + (o * 37) % 400000),
+                Value::str(&date),
+                Value::str(priorities[(o as usize) % priorities.len()]),
+                Value::str(format!("Clerk#{:09}", o % 1000)),
+                Value::int(0),
+                Value::str(format!("oc{o}")),
+            ],
+        );
+        for ln in 0..(1 + (g.range(0, 5))) {
+            let (p, s) = ps_pairs[((o * 11 + ln * 3) as usize) % ps_pairs.len()];
+            inst.insert(
+                lineitems,
+                vec![
+                    Value::int(o),
+                    Value::int(p),
+                    Value::int(s),
+                    Value::int(ln),
+                    Value::int(1 + (o + ln) % 50),
+                    Value::int(1000 + (o * 91 + ln * 17) % 90000),
+                    Value::int((o + ln) % 11),
+                    Value::int((o + 2 * ln) % 9),
+                    Value::str(if (o + ln) % 4 == 0 { "R" } else { "N" }),
+                    Value::str(if o % 2 == 0 { "O" } else { "F" }),
+                    Value::str(&date),
+                    Value::str(format!("199{}-{:02}-15", o % 8, 1 + (o + 1) % 12)),
+                    Value::str(format!("199{}-{:02}-20", o % 8, 1 + (o + 1) % 12)),
+                    Value::str(instructs[((o + ln) as usize) % instructs.len()]),
+                    Value::str(modes[((o + ln) as usize) % modes.len()]),
+                    Value::str(format!("lc{o}x{ln}")),
+                ],
+            );
+        }
+    }
+
+    inst
+}
+
+/// The TPC-H scenario.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "TPCH",
+        source_schema: source_schema(),
+        source_constraints: source_constraints(),
+        target_schema: target_schema(),
+        target_constraints: Constraints::none(),
+        correspondences: correspondences(),
+        default_scale: 2.2,
+        generator: generate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_mapping::ambiguity::alternatives_count;
+
+    #[test]
+    fn profile_matches_the_paper() {
+        let s = scenario();
+        // Customers, Orders, Lineitems, Suppliers: 4 grouped sets.
+        assert_eq!(s.target_sets_with_grouping(), 4);
+        let ms = s.mappings().unwrap();
+        assert_eq!(ms.len(), 5, "{:?}", ms.iter().map(|m| &m.name).collect::<Vec<_>>());
+        let ambiguous: Vec<_> = ms.iter().filter(|m| m.is_ambiguous()).collect();
+        assert_eq!(ambiguous.len(), 1);
+        assert_eq!(alternatives_count(ambiguous[0]), 16);
+    }
+
+    #[test]
+    fn lineitem_mapping_joins_both_sides() {
+        let s = scenario();
+        let ms = s.mappings().unwrap();
+        let li = ms.iter().find(|m| m.is_ambiguous()).unwrap();
+        // The closed for-clause spans lineitem + both FK chains:
+        // 10 variables (lineitem, orders, customer, nation, region,
+        // partsupp, part, supplier, nation, region).
+        assert_eq!(li.source_vars.len(), 10);
+        // poss(m, SK) on this mapping is the paper-scale 68 references.
+        let poss = muse_mapping::poss::all_source_refs(li, &s.source_schema).unwrap();
+        assert_eq!(poss.len(), 68);
+    }
+
+    #[test]
+    fn instance_has_paper_size_at_default_scale() {
+        let s = scenario();
+        let inst = s.instance_default(1);
+        let mb = inst.approx_bytes() as f64 / 1_000_000.0;
+        assert!((6.0..16.0).contains(&mb), "got {mb} MB");
+    }
+
+    #[test]
+    fn generated_instance_satisfies_constraints() {
+        let s = scenario();
+        let inst = s.instance(0.02, 3);
+        inst.validate(&s.source_schema).unwrap();
+        s.source_constraints.validate_instance(&s.source_schema, &inst).unwrap();
+    }
+}

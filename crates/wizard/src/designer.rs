@@ -1,0 +1,163 @@
+//! The designer: who answers Muse's questions.
+//!
+//! In a live tool this is a human; in the paper's evaluation (Sec. VI) the
+//! authors played designer *with a specific intention in mind* — a grouping
+//! function per nested set (strategies G1/G2/G3) and an interpretation per
+//! ambiguous mapping. [`OracleDesigner`] reproduces that behaviour: it
+//! answers each grouping question by chasing the shown example with its
+//! intended mapping and picking the isomorphic scenario, exactly the
+//! decision procedure the paper attributes to the designer.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use muse_chase::{chase_one, isomorphic};
+use muse_mapping::Grouping;
+use muse_nr::{Schema, SetPath};
+
+use crate::museg::GroupingQuestion;
+use crate::mused::joins::JoinQuestion;
+use crate::mused::DisambiguationQuestion;
+
+/// Which of the two target scenarios "looks correct".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioChoice {
+    /// Scenario 1: the probed attribute *is* part of the grouping.
+    First,
+    /// Scenario 2: the probed attribute is *not* part of the grouping.
+    Second,
+}
+
+/// Inner vs outer interpretation of a join (Sec. IV "More options").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinChoice {
+    /// Only joined tuples are exchanged.
+    Inner,
+    /// Dangling tuples are exchanged too (a companion mapping is added).
+    Outer,
+}
+
+/// Answers Muse's questions.
+pub trait Designer {
+    /// Muse-G: pick the correct-looking scenario for a probe.
+    fn pick_scenario(&mut self, q: &GroupingQuestion) -> ScenarioChoice;
+
+    /// Muse-D: per choice list, the selected alternative indices (usually a
+    /// single index; several select multiple interpretations).
+    fn fill_choices(&mut self, q: &DisambiguationQuestion) -> Vec<Vec<usize>>;
+
+    /// Inner/outer join choice; defaults to inner.
+    fn pick_join(&mut self, _q: &JoinQuestion) -> JoinChoice {
+        JoinChoice::Inner
+    }
+}
+
+/// A designer with explicit intentions, used by tests and the evaluation
+/// harness. Grouping intentions are keyed by `(mapping name, set path)`;
+/// disambiguation intentions by mapping name.
+pub struct OracleDesigner<'a> {
+    source_schema: &'a Schema,
+    target_schema: &'a Schema,
+    /// Intended grouping function per (mapping, nested set).
+    pub intended_groupings: BTreeMap<(String, SetPath), Vec<muse_mapping::PathRef>>,
+    /// Intended alternative indices per ambiguous mapping.
+    pub intended_choices: BTreeMap<String, Vec<Vec<usize>>>,
+    /// Mappings for which the designer wants the outer-join interpretation.
+    pub intended_outer: BTreeSet<String>,
+}
+
+impl<'a> OracleDesigner<'a> {
+    /// A blank oracle over the two schemas; fill the intention maps before
+    /// running a wizard.
+    pub fn new(source_schema: &'a Schema, target_schema: &'a Schema) -> Self {
+        OracleDesigner {
+            source_schema,
+            target_schema,
+            intended_groupings: BTreeMap::new(),
+            intended_choices: BTreeMap::new(),
+            intended_outer: BTreeSet::new(),
+        }
+    }
+
+    /// Record an intended grouping.
+    pub fn intend_grouping(
+        &mut self,
+        mapping: impl Into<String>,
+        sk: SetPath,
+        refs: Vec<muse_mapping::PathRef>,
+    ) {
+        self.intended_groupings.insert((mapping.into(), sk), refs);
+    }
+}
+
+impl Designer for OracleDesigner<'_> {
+    fn pick_scenario(&mut self, q: &GroupingQuestion) -> ScenarioChoice {
+        let z = self
+            .intended_groupings
+            .get(&(q.mapping.clone(), q.sk.clone()))
+            .unwrap_or_else(|| panic!("oracle has no intention for {}/{}", q.mapping, q.sk));
+        // "Which target instance looks correct?" — the one the intended
+        // mapping produces on this example.
+        let mut intended = q.d1.clone();
+        intended.set_grouping(q.sk.clone(), Grouping::new(z.clone()));
+        let j = chase_one(self.source_schema, self.target_schema, &q.example.instance, &intended)
+            .expect("oracle chase");
+        if isomorphic(&j, &q.scenario1) {
+            ScenarioChoice::First
+        } else if isomorphic(&j, &q.scenario2) {
+            ScenarioChoice::Second
+        } else {
+            panic!(
+                "example does not differentiate the oracle's intention for {}/{} (probed {})",
+                q.mapping, q.sk, q.probed_name
+            );
+        }
+    }
+
+    fn fill_choices(&mut self, q: &DisambiguationQuestion) -> Vec<Vec<usize>> {
+        self.intended_choices
+            .get(&q.mapping)
+            .cloned()
+            .unwrap_or_else(|| panic!("oracle has no interpretation intention for {}", q.mapping))
+    }
+
+    fn pick_join(&mut self, q: &JoinQuestion) -> JoinChoice {
+        if self.intended_outer.contains(&q.mapping) {
+            JoinChoice::Outer
+        } else {
+            JoinChoice::Inner
+        }
+    }
+}
+
+/// A designer replaying a fixed script of answers (useful for demos and
+/// deterministic tests of the question *sequence*).
+#[derive(Debug, Default)]
+pub struct ScriptedDesigner {
+    /// Queued scenario answers.
+    pub scenarios: VecDeque<ScenarioChoice>,
+    /// Queued disambiguation answers.
+    pub choices: VecDeque<Vec<Vec<usize>>>,
+    /// Queued join answers.
+    pub joins: VecDeque<JoinChoice>,
+}
+
+impl ScriptedDesigner {
+    /// A script of Muse-G answers.
+    pub fn with_scenarios(answers: impl IntoIterator<Item = ScenarioChoice>) -> Self {
+        ScriptedDesigner { scenarios: answers.into_iter().collect(), ..Default::default() }
+    }
+}
+
+impl Designer for ScriptedDesigner {
+    fn pick_scenario(&mut self, _q: &GroupingQuestion) -> ScenarioChoice {
+        self.scenarios.pop_front().expect("script exhausted (pick_scenario)")
+    }
+
+    fn fill_choices(&mut self, _q: &DisambiguationQuestion) -> Vec<Vec<usize>> {
+        self.choices.pop_front().expect("script exhausted (fill_choices)")
+    }
+
+    fn pick_join(&mut self, _q: &JoinQuestion) -> JoinChoice {
+        self.joins.pop_front().unwrap_or(JoinChoice::Inner)
+    }
+}

@@ -1,0 +1,223 @@
+//! An interactive [`Designer`] that renders each question and reads the
+//! designer's answers from any `BufRead` — stdin in the CLI, a cursor in
+//! tests. This is the wizard experience the paper describes: the designer
+//! works with data, never with mapping specifications.
+
+use std::io::{BufRead, Write};
+
+use muse_nr::Schema;
+
+use crate::designer::{Designer, JoinChoice, ScenarioChoice};
+use crate::museg::GroupingQuestion;
+use crate::mused::joins::JoinQuestion;
+use crate::mused::DisambiguationQuestion;
+
+/// Prompts on `out`, reads answers from `input`.
+pub struct InteractiveDesigner<R, W> {
+    input: R,
+    out: W,
+    source_schema: Schema,
+    target_schema: Schema,
+}
+
+impl<R: BufRead, W: Write> InteractiveDesigner<R, W> {
+    /// Build an interactive designer over the two schemas.
+    pub fn new(input: R, out: W, source_schema: Schema, target_schema: Schema) -> Self {
+        InteractiveDesigner { input, out, source_schema, target_schema }
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        // EOF or errors fall through to an empty line, which re-prompts
+        // once and then defaults (scenario 2 / first choice / inner).
+        let _ = self.input.read_line(&mut line);
+        line.trim().to_owned()
+    }
+
+    /// Read a number within `1..=max`, re-prompting once before defaulting.
+    fn read_index(&mut self, max: usize, default: usize) -> usize {
+        for _ in 0..2 {
+            let line = self.read_line();
+            if let Ok(n) = line.parse::<usize>() {
+                if (1..=max).contains(&n) {
+                    return n;
+                }
+            }
+            let _ = writeln!(self.out, "Please answer 1-{max}.");
+        }
+        default
+    }
+}
+
+impl<R: BufRead, W: Write> Designer for InteractiveDesigner<R, W> {
+    fn pick_scenario(&mut self, q: &GroupingQuestion) -> ScenarioChoice {
+        let _ = writeln!(self.out, "{}", q.render(&self.source_schema, &self.target_schema));
+        let _ = write!(self.out, "Which target instance looks correct? [1/2] ");
+        let _ = self.out.flush();
+        match self.read_index(2, 2) {
+            1 => ScenarioChoice::First,
+            _ => ScenarioChoice::Second,
+        }
+    }
+
+    fn fill_choices(&mut self, q: &DisambiguationQuestion) -> Vec<Vec<usize>> {
+        let _ = writeln!(self.out, "{}", q.render(&self.source_schema, &self.target_schema));
+        let mut picks = Vec::with_capacity(q.choices.len());
+        for c in &q.choices {
+            let _ = writeln!(self.out, "Fill in {}:", c.target_display);
+            for (i, v) in c.values.iter().enumerate() {
+                let _ = writeln!(
+                    self.out,
+                    "  [{}] {}",
+                    i + 1,
+                    q.example.instance.store().render_value(v)
+                );
+            }
+            let _ = write!(self.out, "Your choice [1-{}]: ", c.values.len());
+            let _ = self.out.flush();
+            let n = self.read_index(c.values.len(), 1);
+            picks.push(vec![n - 1]);
+        }
+        picks
+    }
+
+    fn pick_join(&mut self, q: &JoinQuestion) -> JoinChoice {
+        let _ = writeln!(
+            self.out,
+            "[Muse-D] mapping {}: should `{}` tuples that join with nothing still be exchanged?",
+            q.mapping, q.dangling_var
+        );
+        let _ = writeln!(self.out, "Example source (note the dangling tuple):");
+        let _ = writeln!(self.out, "{}", muse_nr::display::render(&self.source_schema, &q.example));
+        let _ = writeln!(self.out, "Scenario 1 (inner — dangling tuple dropped):");
+        let _ = writeln!(
+            self.out,
+            "{}",
+            muse_nr::display::render(&self.target_schema, &q.scenario_inner)
+        );
+        let _ = writeln!(self.out, "Scenario 2 (outer — dangling tuple exchanged):");
+        let _ = writeln!(
+            self.out,
+            "{}",
+            muse_nr::display::render(&self.target_schema, &q.scenario_outer)
+        );
+        let _ = write!(self.out, "Which looks correct? [1/2] ");
+        let _ = self.out.flush();
+        match self.read_index(2, 1) {
+            2 => JoinChoice::Outer,
+            _ => JoinChoice::Inner,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::museg::MuseG;
+    use crate::mused::MuseD;
+    use muse_mapping::{parse_one, PathRef};
+    use muse_nr::{Constraints, Field, SetPath, Ty};
+    use std::io::Cursor;
+
+    fn schemas() -> (Schema, Schema) {
+        let src = Schema::new(
+            "S",
+            vec![Field::new(
+                "Companies",
+                Ty::set_of(vec![
+                    Field::new("cid", Ty::Int),
+                    Field::new("cname", Ty::Str),
+                    Field::new("location", Ty::Str),
+                ]),
+            )],
+        )
+        .unwrap();
+        let tgt = Schema::new(
+            "T",
+            vec![Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+                ]),
+            )],
+        )
+        .unwrap();
+        (src, tgt)
+    }
+
+    #[test]
+    fn interactive_museg_reads_answers() {
+        let (src, tgt) = schemas();
+        let cons = Constraints::none();
+        let m = parse_one(
+            "m1: for c in S.Companies exists o in T.Orgs where c.cname = o.oname
+             group o.Projects by ()",
+        )
+        .unwrap();
+        let g = MuseG::new(&src, &tgt, &cons);
+        // Answers: cid -> 2 (no), cname -> 1 (yes), location -> 2 (no).
+        let input = Cursor::new("2\n1\n2\n");
+        let mut out = Vec::new();
+        let mut designer =
+            InteractiveDesigner::new(input, &mut out, src.clone(), tgt.clone());
+        let outcome =
+            g.design_grouping(&m, &SetPath::parse("Orgs.Projects"), &mut designer).unwrap();
+        assert_eq!(outcome.grouping, vec![PathRef::new(0, "cname")]);
+        let transcript = String::from_utf8(out).unwrap();
+        assert!(transcript.contains("Which target instance looks correct?"));
+        assert!(transcript.contains("probing c.cid"));
+    }
+
+    #[test]
+    fn interactive_mused_reads_choices() {
+        let src = Schema::new(
+            "S",
+            vec![Field::new(
+                "R",
+                Ty::set_of(vec![
+                    Field::new("k", Ty::Int),
+                    Field::new("x", Ty::Int),
+                    Field::new("y", Ty::Int),
+                ]),
+            )],
+        )
+        .unwrap();
+        let tgt = Schema::new(
+            "T",
+            vec![Field::new("Out", Ty::set_of(vec![Field::new("v", Ty::Int)]))],
+        )
+        .unwrap();
+        let ma = parse_one("ma: for r in S.R exists o in T.Out where (r.x = o.v or r.y = o.v)")
+            .unwrap();
+        let cons = Constraints::none();
+        let d = MuseD::new(&src, &tgt, &cons);
+        let input = Cursor::new("2\n");
+        let mut out = Vec::new();
+        let mut designer = InteractiveDesigner::new(input, &mut out, src.clone(), tgt.clone());
+        let result = d.disambiguate(&ma, &mut designer).unwrap();
+        assert_eq!(result.selected.len(), 1);
+        // Choice index 2 selects the second alternative (r.y).
+        let printed = muse_mapping::print(&result.selected[0]);
+        assert!(printed.contains("r.y = o.v"), "{printed}");
+    }
+
+    #[test]
+    fn malformed_input_falls_back_to_default() {
+        let (src, tgt) = schemas();
+        let cons = Constraints::none();
+        let m = parse_one(
+            "m1: for c in S.Companies exists o in T.Orgs where c.cname = o.oname
+             group o.Projects by ()",
+        )
+        .unwrap();
+        let g = MuseG::new(&src, &tgt, &cons);
+        // Garbage everywhere: every probe defaults to Scenario 2.
+        let input = Cursor::new("nope\nstill nope\nx\ny\nz\nw\n");
+        let mut out = Vec::new();
+        let mut designer = InteractiveDesigner::new(input, &mut out, src.clone(), tgt.clone());
+        let outcome =
+            g.design_grouping(&m, &SetPath::parse("Orgs.Projects"), &mut designer).unwrap();
+        assert!(outcome.grouping.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! **Muse-D** — the disambiguation wizard (Sec. IV).
+//!
+//! An ambiguous mapping encodes up to `∏ |or-group|` unambiguous mappings.
+//! Rather than showing one target instance per interpretation (Yan et
+//! al.'s approach, overwhelming already at a handful of groups), Muse-D
+//! builds **one** example source instance in which all alternatives carry
+//! distinct values, chases its *unambiguous part* into a single partial
+//! target, and attaches a small **choice list** to each contested target
+//! attribute. Filling in the choices selects the intended interpretation —
+//! the number of decisions equals the number of ambiguous attributes, not
+//! the number of interpretations.
+
+pub mod joins;
+
+use std::time::Duration;
+
+use muse_chase::chase;
+use muse_mapping::ambiguity::{alternatives_count, or_groups, select_multi};
+use muse_mapping::{Mapping, PathRef, WhereClause};
+use muse_nr::{Constraints, Instance, Schema, Value};
+
+use crate::designer::Designer;
+use crate::error::WizardError;
+use crate::example::{build_example, ClassSpace, Example, ExampleRequest};
+
+/// The disambiguation wizard, configured once per scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct MuseD<'a> {
+    /// Source schema.
+    pub source_schema: &'a Schema,
+    /// Target schema.
+    pub target_schema: &'a Schema,
+    /// Source constraints (used when compiling `QIe`).
+    pub source_constraints: &'a Constraints,
+    /// The designer's source instance, when available.
+    pub real_instance: Option<&'a Instance>,
+    /// Time budget for the real-example search (Sec. VI).
+    pub real_example_budget: Option<Duration>,
+}
+
+/// One choice list: the possible values for one ambiguous target attribute.
+#[derive(Debug, Clone)]
+pub struct ChoiceList {
+    /// Display name, e.g. `p1.supervisor`.
+    pub target_display: String,
+    /// The contested target attribute.
+    pub target: PathRef,
+    /// The competing source projections.
+    pub alternatives: Vec<PathRef>,
+    /// The value each alternative takes on the example (aligned with
+    /// `alternatives`).
+    pub values: Vec<Value>,
+}
+
+/// The single question Muse-D asks per ambiguous mapping.
+#[derive(Debug, Clone)]
+pub struct DisambiguationQuestion {
+    /// The ambiguous mapping's name.
+    pub mapping: String,
+    /// The example source instance.
+    pub example: Example,
+    /// Chase of the example with the unambiguous part of the mapping
+    /// (ambiguous attributes show as labeled nulls — the "blanks").
+    pub partial_target: Instance,
+    /// One choice list per `or`-group, in `where`-clause order.
+    pub choices: Vec<ChoiceList>,
+}
+
+/// Result and statistics of one disambiguation.
+#[derive(Debug, Clone)]
+pub struct DisambiguationOutcome {
+    /// The selected unambiguous mapping(s) — several when the designer
+    /// picked multiple values in some choice.
+    pub selected: Vec<Mapping>,
+    /// Number of interpretations the ambiguous mapping encoded.
+    pub alternatives_encoded: usize,
+    /// Number of choice lists shown (= number of ambiguous attributes).
+    pub num_choices: usize,
+    /// Tuples in the example source instance.
+    pub example_tuples: usize,
+    /// Whether the example came from the real source instance.
+    pub real: bool,
+    /// Time to construct/retrieve the example.
+    pub example_time: Duration,
+}
+
+impl<'a> MuseD<'a> {
+    /// A wizard with no real instance.
+    pub fn new(
+        source_schema: &'a Schema,
+        target_schema: &'a Schema,
+        source_constraints: &'a Constraints,
+    ) -> Self {
+        MuseD {
+            source_schema,
+            target_schema,
+            source_constraints,
+            real_instance: None,
+            real_example_budget: Some(Duration::from_millis(750)),
+        }
+    }
+
+    /// Use a real source instance for example retrieval.
+    pub fn with_instance(mut self, inst: &'a Instance) -> Self {
+        self.real_instance = Some(inst);
+        self
+    }
+
+    /// Build the question for an ambiguous mapping without consulting a
+    /// designer (used by interactive front-ends and the benchmarks).
+    pub fn question(&self, m: &Mapping) -> Result<DisambiguationQuestion, WizardError> {
+        let groups = or_groups(m);
+        if groups.is_empty() {
+            return Err(WizardError::NotAmbiguous(m.name.clone()));
+        }
+        let space = ClassSpace::new(m, self.source_schema, self.source_constraints)?;
+
+        // All alternative values must be pairwise distinguishable — the
+        // inequalities `en1 ≠ en2`, `cn1 ≠ cn2` of Sec. IV-A. Alternatives
+        // that the satisfy clause makes equal can never be distinguished and
+        // are left equal (their interpretations coincide anyway).
+        let mut distinct = Vec::new();
+        for (_, alts) in &groups {
+            for i in 0..alts.len() {
+                for j in i + 1..alts.len() {
+                    let (Some(a), Some(b)) = (space.index_of(&alts[i]), space.index_of(&alts[j]))
+                    else {
+                        continue;
+                    };
+                    if space.rep(a) != space.rep(b) {
+                        distinct.push((a, b));
+                    }
+                }
+            }
+        }
+        let req = ExampleRequest {
+            copies: 1,
+            agree: 0,
+            differ: vec![],
+            distinct,
+            real_budget: self.real_example_budget,
+        };
+        let example = build_example(m, &space, &req, self.source_schema, self.real_instance)?;
+
+        // Partial target: chase with the or-groups dropped — the contested
+        // attributes become labeled nulls ("blanks to fill in").
+        let mut common = m.clone();
+        common.wheres.retain(|w| matches!(w, WhereClause::Eq { .. }));
+        let partial_target =
+            chase(self.source_schema, self.target_schema, &example.instance, &[common])?;
+
+        // Choice lists: the value each alternative takes on the example.
+        let mut choices = Vec::with_capacity(groups.len());
+        for (target, alts) in &groups {
+            let mut values = Vec::with_capacity(alts.len());
+            for alt in *alts {
+                let set = &m.source_vars[alt.var].set;
+                let attrs_of = self
+                    .source_schema
+                    .attributes(set)
+                    .map_err(WizardError::Nr)?;
+                let pos = attrs_of
+                    .iter()
+                    .position(|a| a == &alt.attr)
+                    .ok_or_else(|| WizardError::BadAnswer(format!("unknown attr {}", alt.attr)))?;
+                values.push(example.rows[0][alt.var][pos].clone());
+            }
+            choices.push(ChoiceList {
+                target_display: m.target_ref_name(target),
+                target: (*target).clone(),
+                alternatives: alts.to_vec(),
+                values,
+            });
+        }
+
+        Ok(DisambiguationQuestion {
+            mapping: m.name.clone(),
+            example,
+            partial_target,
+            choices,
+        })
+    }
+
+    /// Disambiguate `m` by asking the designer to fill in the choices.
+    pub fn disambiguate(
+        &self,
+        m: &Mapping,
+        designer: &mut dyn Designer,
+    ) -> Result<DisambiguationOutcome, WizardError> {
+        let q = self.question(m)?;
+        let picks = designer.fill_choices(&q);
+        if picks.len() != q.choices.len() {
+            return Err(WizardError::BadAnswer(format!(
+                "expected {} choice selections, got {}",
+                q.choices.len(),
+                picks.len()
+            )));
+        }
+        for (g, p) in picks.iter().enumerate() {
+            if p.is_empty() {
+                return Err(WizardError::BadAnswer(format!("choice {g} left empty")));
+            }
+            for &i in p {
+                if i >= q.choices[g].values.len() {
+                    return Err(WizardError::BadAnswer(format!(
+                        "choice {g} has no alternative #{i}"
+                    )));
+                }
+            }
+        }
+        let selected = select_multi(m, &picks)?;
+        Ok(DisambiguationOutcome {
+            alternatives_encoded: alternatives_count(m),
+            num_choices: q.choices.len(),
+            example_tuples: q.example.instance.total_tuples(),
+            real: q.example.real,
+            example_time: q.example.elapsed,
+            selected,
+        })
+    }
+}
+
+impl DisambiguationQuestion {
+    /// Render the question the way Fig. 4(b) does: example source, partial
+    /// target, and the choice lists.
+    pub fn render(&self, source_schema: &Schema, target_schema: &Schema) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(out, "[Muse-D] mapping {} ({} example):", self.mapping, if self.example.real { "real" } else { "synthetic" }).unwrap();
+        out.push_str("Example source:\n");
+        out.push_str(&muse_nr::display::render(source_schema, &self.example.instance));
+        out.push_str("Partial target instance:\n");
+        out.push_str(&muse_nr::display::render(target_schema, &self.partial_target));
+        out.push_str("Choices:\n");
+        for c in &self.choices {
+            let vals: Vec<String> = c
+                .values
+                .iter()
+                .map(|v| self.example.instance.store().render_value(v))
+                .collect();
+            writeln!(out, "  {} ∈ {{ {} }}", c.target_display, vals.join(" | ")).unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests;

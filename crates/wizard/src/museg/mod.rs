@@ -1,0 +1,429 @@
+//! **Muse-G** — the grouping design wizard (Sec. III).
+//!
+//! For a mapping `m` and a nested target set `SK`, Muse-G infers the
+//! designer's intended grouping function as a subset of `poss(m, SK)`. It
+//! probes one attribute at a time: a two-copy example is constructed in
+//! which the probed attribute differs and every still-relevant attribute
+//! agrees, then the designer is shown the two chased targets — "probed
+//! attribute in the grouping" (two groups) vs "not in" (one group) — and
+//! picks the one that looks correct.
+//!
+//! Keys and FDs cut questions two ways (Sec. III-B / Thm. 3.2): attributes
+//! determined by already-chosen ones are skipped outright, and with a
+//! single candidate key over `poss` the key is probed first, so choosing it
+//! ends the design immediately. With multiple candidate keys, one question
+//! decides whether the designer groups by a key at all (grouping by any key
+//! has the same effect); otherwise the non-key attributes are probed.
+
+pub mod incremental;
+pub mod instance_only;
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use muse_chase::chase_one;
+use muse_mapping::{Grouping, Mapping, PathRef};
+use muse_nr::constraints::fdset::{all_attrs, attrs, iter_attrs, AttrSet};
+use muse_nr::{Constraints, Instance, Schema, SetPath};
+
+use crate::designer::{Designer, ScenarioChoice};
+use crate::error::WizardError;
+use crate::example::{build_example, ClassSpace, Example, ExampleRequest};
+
+/// The grouping design wizard, configured once per scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct MuseG<'a> {
+    /// Source schema.
+    pub source_schema: &'a Schema,
+    /// Target schema.
+    pub target_schema: &'a Schema,
+    /// Source keys / FDs / referential constraints.
+    pub source_constraints: &'a Constraints,
+    /// The designer's familiar source instance, when available: probes draw
+    /// real examples from it via `QIe` and fall back to synthetic ones.
+    pub real_instance: Option<&'a Instance>,
+    /// Sec. III-C "designing grouping functions only for the instance I":
+    /// skip attributes whose inclusion is inconsequential on the real
+    /// instance (single-valued across the mapping's bindings).
+    pub instance_only: bool,
+    /// Time budget per probe for searching the real instance before falling
+    /// back to a synthetic example (Sec. VI). `None` searches exhaustively.
+    pub real_example_budget: Option<Duration>,
+}
+
+/// One probe shown to the designer.
+#[derive(Debug, Clone)]
+pub struct GroupingQuestion {
+    /// Name of the mapping being designed.
+    pub mapping: String,
+    /// The nested target set whose grouping is being designed.
+    pub sk: SetPath,
+    /// The probed attribute.
+    pub probed: PathRef,
+    /// Its display name, e.g. `c.cid`.
+    pub probed_name: String,
+    /// The example source instance (real or synthetic).
+    pub example: Example,
+    /// Mapping with `SK(chosen ∪ {probed})`.
+    pub d1: Mapping,
+    /// Mapping with `SK(chosen)`.
+    pub d2: Mapping,
+    /// Chase of the example with `d1` (probed attribute included).
+    pub scenario1: Instance,
+    /// Chase of the example with `d2` (probed attribute omitted).
+    pub scenario2: Instance,
+}
+
+/// Statistics and result of designing one grouping function.
+#[derive(Debug, Clone)]
+pub struct GroupingOutcome {
+    /// The designed set.
+    pub sk: SetPath,
+    /// The inferred grouping (canonical: no attribute implied by the rest),
+    /// in `poss` order. Guaranteed to have the *same effect* as whatever
+    /// grouping the designer had in mind (Thm. 3.2).
+    pub grouping: Vec<PathRef>,
+    /// `|poss(m, SK)|`.
+    pub poss_size: usize,
+    /// Questions actually asked.
+    pub questions: usize,
+    /// Attributes skipped because keys/FDs made them inconsequential.
+    pub skipped_implied: usize,
+    /// Attributes skipped by the instance-only analysis (Sec. III-C).
+    pub skipped_inconsequential: usize,
+    /// Probes answered with a real example from the source instance.
+    pub real_examples: usize,
+    /// Probes that fell back to a synthetic example.
+    pub synthetic_examples: usize,
+    /// Probes whose real-instance search hit the time budget.
+    pub real_search_timeouts: usize,
+    /// Total time spent constructing/retrieving examples.
+    pub example_time: Duration,
+    /// True when the multi-key one-question shortcut concluded the design
+    /// (assumes the designer does not group by a proper key fragment — see
+    /// DESIGN.md).
+    pub multi_key_assumption: bool,
+}
+
+impl<'a> MuseG<'a> {
+    /// A wizard with no real instance and no instance-only pruning.
+    pub fn new(
+        source_schema: &'a Schema,
+        target_schema: &'a Schema,
+        source_constraints: &'a Constraints,
+    ) -> Self {
+        MuseG {
+            source_schema,
+            target_schema,
+            source_constraints,
+            real_instance: None,
+            instance_only: false,
+            real_example_budget: Some(Duration::from_millis(750)),
+        }
+    }
+
+    /// Use a real source instance for example retrieval.
+    pub fn with_instance(mut self, inst: &'a Instance) -> Self {
+        self.real_instance = Some(inst);
+        self
+    }
+
+    /// Design the grouping function of `sk` in `m` by interrogating
+    /// `designer`. `m` itself is not modified; the result carries the
+    /// inferred grouping.
+    pub fn design_grouping(
+        &self,
+        m: &Mapping,
+        sk: &SetPath,
+        designer: &mut dyn Designer,
+    ) -> Result<GroupingOutcome, WizardError> {
+        if m.is_ambiguous() {
+            return Err(WizardError::Mapping(muse_mapping::MappingError::ConflictingAssignment {
+                target: format!("{} is ambiguous; run Muse-D first", m.name),
+            }));
+        }
+        let space = ClassSpace::new(m, self.source_schema, self.source_constraints)?;
+        let n = space.len();
+        let mut outcome = GroupingOutcome {
+            sk: sk.clone(),
+            grouping: Vec::new(),
+            poss_size: n,
+            questions: 0,
+            skipped_implied: 0,
+            skipped_inconsequential: 0,
+            real_examples: 0,
+            synthetic_examples: 0,
+            real_search_timeouts: 0,
+            example_time: Duration::ZERO,
+            multi_key_assumption: false,
+        };
+        if n == 0 {
+            return Ok(outcome);
+        }
+
+        // Instance-only pruning (Sec. III-C).
+        let inconsequential: AttrSet = if self.instance_only {
+            if let Some(real) = self.real_instance {
+                instance_only::inconsequential_attrs(m, &space, self.source_schema, real)?
+            } else {
+                0
+            }
+        } else {
+            0
+        };
+        outcome.skipped_inconsequential = iter_attrs(inconsequential).count();
+
+        // Probe one attribute per equality class: two references the
+        // `satisfy` clause equates always carry the same value, so grouping
+        // by either has the same effect. Members beyond the representative
+        // are skipped (they count as implied).
+        let reps: Vec<usize> = (0..n).filter(|&i| space.rep(i) == i).collect();
+        outcome.skipped_implied += n - reps.len();
+
+        // Candidate keys, canonicalized to class representatives: keys that
+        // differ only in which class member they name are the same key.
+        let keys = canonical_keys(&space);
+        if keys.len() == 1 {
+            // Single-keyed (Cor. 3.3): probe the key first, then the rest.
+            let key = keys[0];
+            let mut order: Vec<usize> = reps.iter().copied().filter(|i| key & attrs([*i]) != 0).collect();
+            order.extend(reps.iter().copied().filter(|i| key & attrs([*i]) == 0));
+            let chosen = self.probe_loop(m, sk, &space, order, 0, inconsequential, designer, &mut outcome)?;
+            outcome.grouping = refs_of(&space, chosen);
+        } else {
+            // Multiple candidate keys: one question decides whether the
+            // designer groups by a key at all (grouping by one key has the
+            // same effect as grouping by any superset, so any key works).
+            let union_keys: AttrSet = keys.iter().fold(0, |a, k| a | k);
+            let non_key = all_attrs(n) & !union_keys;
+            let agree = space.closure(non_key);
+            if agree & union_keys != 0 {
+                return Err(WizardError::UnsupportedGrouping(format!(
+                    "non-key attributes of {} functionally determine key attributes",
+                    m.name
+                )));
+            }
+            let differ: Vec<usize> = iter_attrs(union_keys).collect();
+            let req = ExampleRequest {
+                copies: 2,
+                agree,
+                differ,
+                distinct: vec![],
+                real_budget: self.real_example_budget,
+            };
+            let first_key = keys[0];
+            let q = self.make_question(m, sk, &space, &req, first_key, 0, iter_attrs(first_key).next().unwrap())?;
+            record_example(&mut outcome, &q.example);
+            outcome.questions += 1;
+            match designer.pick_scenario(&q) {
+                ScenarioChoice::First => {
+                    // Groups by a key: conclude with the first candidate key
+                    // (same effect as any other key or superset).
+                    outcome.multi_key_assumption = true;
+                    outcome.grouping = refs_of(&space, first_key);
+                }
+                ScenarioChoice::Second => {
+                    // Groups by non-key attributes only: probe them.
+                    let order: Vec<usize> =
+                        reps.iter().copied().filter(|i| non_key & attrs([*i]) != 0).collect();
+                    let chosen = self.probe_loop(m, sk, &space, order, 0, inconsequential, designer, &mut outcome)?;
+                    outcome.grouping = refs_of(&space, chosen);
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Design every grouping function of `m`, in the breadth-first target
+    /// order of Sec. III-A Step 1, updating `m` in place (so deeper sets are
+    /// designed with the shallower ones already fixed).
+    pub fn design_all_groupings(
+        &self,
+        m: &mut Mapping,
+        designer: &mut dyn Designer,
+    ) -> Result<Vec<GroupingOutcome>, WizardError> {
+        let filled = m.filled_target_sets(self.target_schema)?;
+        let mut outcomes = Vec::new();
+        for sk in self.target_schema.set_paths_bfs() {
+            if !filled.contains(&sk) {
+                continue;
+            }
+            let outcome = self.design_grouping(m, &sk, designer)?;
+            m.set_grouping(sk.clone(), Grouping::new(outcome.grouping.clone()));
+            outcomes.push(outcome);
+        }
+        Ok(outcomes)
+    }
+
+    /// The shared probe loop: ask about each attribute of `order` in turn,
+    /// starting from the pre-chosen set `chosen0` (attributes that are kept
+    /// without probing — used by incremental group-less refinement).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_loop(
+        &self,
+        m: &Mapping,
+        sk: &SetPath,
+        space: &ClassSpace,
+        order: Vec<usize>,
+        chosen0: AttrSet,
+        inconsequential: AttrSet,
+        designer: &mut dyn Designer,
+        outcome: &mut GroupingOutcome,
+    ) -> Result<AttrSet, WizardError> {
+        let mut chosen: AttrSet = chosen0;
+        let mut rejected_reps: AttrSet = 0;
+        let mut pending: VecDeque<usize> = order.into();
+        let mut deferrals = 0usize;
+        while let Some(a) = pending.pop_front() {
+            let a_bit = attrs([a]);
+            if inconsequential & a_bit != 0 {
+                continue; // counted once in the outcome already
+            }
+            if space.closure(chosen) & a_bit != 0 {
+                // Thm. 3.2 (generalized to FDs): `a` is determined by the
+                // chosen attributes; including it cannot change the effect.
+                outcome.skipped_implied += 1;
+                continue;
+            }
+            if rejected_reps & attrs([space.rep(a)]) != 0 {
+                // Same equality class as a rejected attribute: grouping by
+                // it would have the very same (rejected) effect.
+                outcome.skipped_implied += 1;
+                continue;
+            }
+            let agree_base = chosen | attrs(pending.iter().copied());
+            let agree = space.closure(agree_base);
+            if agree & a_bit != 0 {
+                // Cannot probe yet: `a` is determined by attributes that are
+                // still pending. Defer it; a later order usually unblocks.
+                deferrals += 1;
+                if deferrals > pending.len() + 1 {
+                    return Err(WizardError::UnsupportedGrouping(format!(
+                        "attribute {} of {} cannot be probed with key-valid examples",
+                        space.poss[a].attr, m.name
+                    )));
+                }
+                pending.push_back(a);
+                continue;
+            }
+            deferrals = 0;
+            let req = ExampleRequest {
+                copies: 2,
+                agree,
+                differ: vec![a],
+                distinct: vec![],
+                real_budget: self.real_example_budget,
+            };
+            let q = self.make_question(m, sk, space, &req, chosen | a_bit, chosen, a)?;
+            record_example(outcome, &q.example);
+            outcome.questions += 1;
+            match designer.pick_scenario(&q) {
+                ScenarioChoice::First => chosen |= a_bit,
+                ScenarioChoice::Second => rejected_reps |= attrs([space.rep(a)]),
+            }
+            // Early conclusion: everything left is implied by the chosen set.
+            if space.closure(chosen) == all_attrs(space.len()) {
+                outcome.skipped_implied += pending.len();
+                pending.clear();
+            }
+        }
+        Ok(chosen)
+    }
+
+    /// Build a probe question: construct the example and chase it under the
+    /// two candidate groupings.
+    #[allow(clippy::too_many_arguments)]
+    fn make_question(
+        &self,
+        m: &Mapping,
+        sk: &SetPath,
+        space: &ClassSpace,
+        req: &ExampleRequest,
+        with_set: AttrSet,
+        without_set: AttrSet,
+        probed: usize,
+    ) -> Result<GroupingQuestion, WizardError> {
+        let example = build_example(m, space, req, self.source_schema, self.real_instance)?;
+        let mut d1 = m.clone();
+        d1.set_grouping(sk.clone(), Grouping::new(refs_of(space, with_set)));
+        let mut d2 = m.clone();
+        d2.set_grouping(sk.clone(), Grouping::new(refs_of(space, without_set)));
+        let scenario1 = chase_one(self.source_schema, self.target_schema, &example.instance, &d1)?;
+        let scenario2 = chase_one(self.source_schema, self.target_schema, &example.instance, &d2)?;
+        let probed_ref = space.poss[probed].clone();
+        Ok(GroupingQuestion {
+            mapping: m.name.clone(),
+            sk: sk.clone(),
+            probed_name: m.source_ref_name(&probed_ref),
+            probed: probed_ref,
+            example,
+            d1,
+            d2,
+            scenario1,
+            scenario2,
+        })
+    }
+}
+
+/// Candidate keys of the poss FD engine, canonicalized to equality-class
+/// representatives and de-duplicated: `{c.cid}` and `{p.cid}` are the same
+/// key when the satisfy clause equates them.
+pub(crate) fn canonical_keys(space: &ClassSpace) -> Vec<AttrSet> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for key in space.fdset.candidate_keys() {
+        let canon: AttrSet = iter_attrs(key).map(|i| attrs([space.rep(i)])).fold(0, |a, b| a | b);
+        if seen.insert(canon) {
+            out.push(canon);
+        }
+    }
+    out
+}
+
+/// Convert a poss-index set into references, in poss order.
+pub(crate) fn refs_of(space: &ClassSpace, set: AttrSet) -> Vec<PathRef> {
+    iter_attrs(set)
+        .filter(|&i| i < space.len())
+        .map(|i| space.poss[i].clone())
+        .collect()
+}
+
+fn record_example(outcome: &mut GroupingOutcome, ex: &Example) {
+    if ex.real {
+        outcome.real_examples += 1;
+    } else {
+        outcome.synthetic_examples += 1;
+    }
+    if ex.timed_out {
+        outcome.real_search_timeouts += 1;
+    }
+    outcome.example_time += ex.elapsed;
+}
+
+impl GroupingQuestion {
+    /// Render the question the way Fig. 3 does: the example source and the
+    /// two candidate targets.
+    pub fn render(&self, source_schema: &Schema, target_schema: &Schema) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "[Muse-G] mapping {}, designing SK{}, probing {} ({} example):",
+            self.mapping,
+            self.sk.label(),
+            self.probed_name,
+            if self.example.real { "real" } else { "synthetic" }
+        )
+        .unwrap();
+        out.push_str("Example source:\n");
+        out.push_str(&muse_nr::display::render(source_schema, &self.example.instance));
+        out.push_str("Scenario 1 (grouped by it):\n");
+        out.push_str(&muse_nr::display::render(target_schema, &self.scenario1));
+        out.push_str("Scenario 2 (not grouped by it):\n");
+        out.push_str(&muse_nr::display::render(target_schema, &self.scenario2));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,478 @@
+//! End-to-end tests of Muse-G against the paper's running example (Figs.
+//! 1–3) and the key-aware behaviour of Sec. III-B.
+
+use super::*;
+use crate::designer::{OracleDesigner, ScriptedDesigner};
+use muse_mapping::parse_one;
+use muse_nr::{Field, InstanceBuilder, Key, Ty, Value};
+
+fn compdb() -> Schema {
+    Schema::new(
+        "CompDB",
+        vec![
+            Field::new(
+                "Companies",
+                Ty::set_of(vec![
+                    Field::new("cid", Ty::Int),
+                    Field::new("cname", Ty::Str),
+                    Field::new("location", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Projects",
+                Ty::set_of(vec![
+                    Field::new("pid", Ty::Str),
+                    Field::new("pname", Ty::Str),
+                    Field::new("cid", Ty::Int),
+                    Field::new("manager", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                    Field::new("contact", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+fn orgdb() -> Schema {
+    Schema::new(
+        "OrgDB",
+        vec![
+            Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new(
+                        "Projects",
+                        Ty::set_of(vec![
+                            Field::new("pname", Ty::Str),
+                            Field::new("manager", Ty::Str),
+                        ]),
+                    ),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+fn m2() -> Mapping {
+    let mut m = parse_one(
+        "m2: for c in CompDB.Companies, p in CompDB.Projects, e in CompDB.Employees
+             satisfy p.cid = c.cid and e.eid = p.manager
+             exists o in OrgDB.Orgs, p1 in o.Projects, e1 in OrgDB.Employees
+             satisfy p1.manager = e1.eid
+             where c.cname = o.oname and e.eid = e1.eid and e.ename = e1.ename
+               and p.pname = p1.pname",
+    )
+    .unwrap();
+    m.ensure_default_groupings(&orgdb(), &compdb()).unwrap();
+    m
+}
+
+fn keyed() -> Constraints {
+    Constraints {
+        keys: vec![
+            Key::new(SetPath::parse("Companies"), vec!["cid"]),
+            Key::new(SetPath::parse("Projects"), vec!["pid"]),
+            Key::new(SetPath::parse("Employees"), vec!["eid"]),
+        ],
+        fds: vec![],
+        fks: vec![],
+    }
+}
+
+fn sk() -> SetPath {
+    SetPath::parse("Orgs.Projects")
+}
+
+#[test]
+fn fig3_walkthrough_without_keys_recovers_skprojs_cname() {
+    // The designer has SKProjs(cname) in mind; no key constraints, so every
+    // equality class is probed (8 classes out of 10 references: c.cid~p.cid
+    // and p.manager~e.eid merge).
+    let (src, tgt) = (compdb(), orgdb());
+    let cons = Constraints::none();
+    let g = MuseG::new(&src, &tgt, &cons);
+    let m = m2();
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intend_grouping("m2", sk(), vec![PathRef::new(0, "cname")]);
+    let out = g.design_grouping(&m, &sk(), &mut oracle).unwrap();
+    assert_eq!(out.grouping, vec![PathRef::new(0, "cname")]);
+    assert_eq!(out.poss_size, 10);
+    assert_eq!(out.questions, 8, "one question per equality class");
+    assert_eq!(out.skipped_implied, 2, "the two merged duplicates");
+}
+
+#[test]
+fn single_key_with_g1_intent_concludes_in_one_question() {
+    // With keys, poss(m2, SKProjs) is single-keyed by p.pid. A designer who
+    // wants to group by everything (G1) answers one question: pid is chosen
+    // and Thm. 3.2 closes the rest.
+    let (src, tgt) = (compdb(), orgdb());
+    let cons = keyed();
+    let g = MuseG::new(&src, &tgt, &cons);
+    let m = m2();
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    let all_refs: Vec<PathRef> =
+        muse_mapping::poss::all_source_refs(&m, &src).unwrap();
+    oracle.intend_grouping("m2", sk(), all_refs);
+    let out = g.design_grouping(&m, &sk(), &mut oracle).unwrap();
+    assert_eq!(out.questions, 1);
+    assert_eq!(out.grouping, vec![PathRef::new(1, "pid")]);
+    // SK(pid) has the same effect as SK(all attributes) — Thm. 3.2.
+}
+
+#[test]
+fn single_key_with_cname_intent_asks_class_many_questions() {
+    let (src, tgt) = (compdb(), orgdb());
+    let cons = keyed();
+    let g = MuseG::new(&src, &tgt, &cons);
+    let m = m2();
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intend_grouping("m2", sk(), vec![PathRef::new(0, "cname")]);
+    let out = g.design_grouping(&m, &sk(), &mut oracle).unwrap();
+    assert_eq!(out.grouping, vec![PathRef::new(0, "cname")]);
+    // The key (pid) is probed first and rejected, then the remaining seven
+    // class representatives.
+    assert_eq!(out.questions, 8);
+    assert!(out.questions <= out.poss_size, "Cor. 3.3");
+}
+
+#[test]
+fn scripted_fig3_sequence_matches_paper_choices() {
+    // Fig. 3: probing cid, cname, location when the designer has
+    // SKProjs(cname) in mind produces answers 2, 1, 2 on the Companies
+    // attributes. We script exactly the paper's answers on the no-keys
+    // wizard restricted view and check the inferred grouping.
+    let (src, tgt) = (compdb(), orgdb());
+    let cons = Constraints::none();
+    let g = MuseG::new(&src, &tgt, &cons);
+    let m = m2();
+    // Poss-rep order: c.cid, c.cname, c.location, p.pid, p.pname,
+    // p.manager, e.ename, e.contact.
+    let mut scripted = ScriptedDesigner::with_scenarios([
+        ScenarioChoice::Second, // cid
+        ScenarioChoice::First,  // cname  (Scenario 1 in Fig. 3(b))
+        ScenarioChoice::Second, // location (Scenario 2 in Fig. 3(c))
+        ScenarioChoice::Second, // p.pid
+        ScenarioChoice::Second, // p.pname
+        ScenarioChoice::Second, // p.manager
+        ScenarioChoice::Second, // e.ename
+        ScenarioChoice::Second, // e.contact
+    ]);
+    let out = g.design_grouping(&m, &sk(), &mut scripted).unwrap();
+    assert_eq!(out.grouping, vec![PathRef::new(0, "cname")]);
+}
+
+#[test]
+fn probe_examples_have_at_most_two_tuples_per_relation() {
+    // "The size of the source example is twice the number of x ∈ X clauses"
+    // — at most two tuples per nested set.
+    struct CheckingDesigner<'a> {
+        inner: OracleDesigner<'a>,
+        src: Schema,
+    }
+    impl crate::designer::Designer for CheckingDesigner<'_> {
+        fn pick_scenario(&mut self, q: &GroupingQuestion) -> ScenarioChoice {
+            for id in q.example.instance.set_ids() {
+                assert!(
+                    q.example.instance.set_len(id) <= 2,
+                    "example set exceeds two tuples"
+                );
+            }
+            q.example.instance.validate(&self.src).unwrap();
+            self.inner.pick_scenario(q)
+        }
+        fn fill_choices(&mut self, q: &crate::mused::DisambiguationQuestion) -> Vec<Vec<usize>> {
+            self.inner.fill_choices(q)
+        }
+    }
+    let (src, tgt) = (compdb(), orgdb());
+    let cons = Constraints::none();
+    let g = MuseG::new(&src, &tgt, &cons);
+    let m = m2();
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intend_grouping("m2", sk(), vec![PathRef::new(0, "cname"), PathRef::new(2, "eid")]);
+    let mut checking = CheckingDesigner { inner: oracle, src: src.clone() };
+    let out = g.design_grouping(&m, &sk(), &mut checking).unwrap();
+    // e.eid's class representative is p.manager — the outcome is stated
+    // canonically but has the same effect.
+    assert_eq!(
+        out.grouping,
+        vec![PathRef::new(0, "cname"), PathRef::new(1, "manager")]
+    );
+}
+
+#[test]
+fn probe_examples_respect_keys() {
+    struct KeyCheckingDesigner<'a> {
+        inner: OracleDesigner<'a>,
+        src: Schema,
+        cons: Constraints,
+    }
+    impl crate::designer::Designer for KeyCheckingDesigner<'_> {
+        fn pick_scenario(&mut self, q: &GroupingQuestion) -> ScenarioChoice {
+            self.cons
+                .validate_instance(&self.src, &q.example.instance)
+                .expect("probe example must satisfy the source keys");
+            self.inner.pick_scenario(q)
+        }
+        fn fill_choices(&mut self, q: &crate::mused::DisambiguationQuestion) -> Vec<Vec<usize>> {
+            self.inner.fill_choices(q)
+        }
+    }
+    let (src, tgt) = (compdb(), orgdb());
+    let cons = keyed();
+    let g = MuseG::new(&src, &tgt, &cons);
+    let m = m2();
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intend_grouping("m2", sk(), vec![PathRef::new(0, "cname"), PathRef::new(0, "location")]);
+    let mut checking = KeyCheckingDesigner { inner: oracle, src: src.clone(), cons: cons.clone() };
+    let out = g.design_grouping(&m, &sk(), &mut checking).unwrap();
+    assert_eq!(
+        out.grouping,
+        vec![PathRef::new(0, "cname"), PathRef::new(0, "location")]
+    );
+}
+
+#[test]
+fn real_instance_is_used_when_it_differentiates() {
+    let (src, tgt) = (compdb(), orgdb());
+    let cons = Constraints::none();
+    // Fig. 3's source: two IBMs in NY with different cids, one SBC, with
+    // enough shared values that several probes find real examples.
+    let mut b = InstanceBuilder::new(&src);
+    b.push_top("Companies", vec![Value::int(11), Value::str("IBM"), Value::str("NY")]);
+    b.push_top("Companies", vec![Value::int(12), Value::str("IBM"), Value::str("NY")]);
+    b.push_top("Companies", vec![Value::int(14), Value::str("SBC"), Value::str("NY")]);
+    b.push_top("Projects", vec![Value::str("P1"), Value::str("DB"), Value::int(11), Value::str("e4")]);
+    b.push_top("Projects", vec![Value::str("P2"), Value::str("Web"), Value::int(12), Value::str("e5")]);
+    b.push_top("Projects", vec![Value::str("P4"), Value::str("WiFi"), Value::int(14), Value::str("e6")]);
+    b.push_top("Employees", vec![Value::str("e4"), Value::str("Jon"), Value::str("x234")]);
+    b.push_top("Employees", vec![Value::str("e5"), Value::str("Anna"), Value::str("x888")]);
+    b.push_top("Employees", vec![Value::str("e6"), Value::str("Kat"), Value::str("x331")]);
+    let real = b.finish().unwrap();
+
+    let g = MuseG::new(&src, &tgt, &cons).with_instance(&real);
+    let m = m2();
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intend_grouping("m2", sk(), vec![PathRef::new(0, "cname")]);
+    let out = g.design_grouping(&m, &sk(), &mut oracle).unwrap();
+    assert_eq!(out.grouping, vec![PathRef::new(0, "cname")]);
+    assert!(out.real_examples >= 1, "the cid probe has a real example (rows 11/12)");
+    assert!(out.synthetic_examples >= 1, "other probes must fall back");
+    assert_eq!(out.real_examples + out.synthetic_examples, out.questions);
+}
+
+#[test]
+fn design_all_groupings_updates_mapping_in_bfs_order() {
+    let (src, tgt) = (compdb(), orgdb());
+    let cons = keyed();
+    let g = MuseG::new(&src, &tgt, &cons);
+    let mut m = m2();
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intend_grouping("m2", sk(), vec![PathRef::new(0, "cname")]);
+    let outcomes = g.design_all_groupings(&mut m, &mut oracle).unwrap();
+    assert_eq!(outcomes.len(), 1, "m2 fills only Orgs.Projects");
+    assert_eq!(
+        m.grouping(&sk()).unwrap().args,
+        vec![PathRef::new(0, "cname")]
+    );
+    m.validate(&src, &tgt).unwrap();
+}
+
+#[test]
+fn inferred_grouping_has_same_effect_as_intent() {
+    // The wizard's central guarantee: whatever consistent intention the
+    // oracle holds, the inferred grouping has the same effect on a real
+    // instance (here: chase both and compare).
+    use muse_chase::{chase_one, homomorphically_equivalent};
+    let (src, tgt) = (compdb(), orgdb());
+    let cons = keyed();
+    let g = MuseG::new(&src, &tgt, &cons);
+    let m = m2();
+
+    let intents: Vec<Vec<PathRef>> = vec![
+        vec![],
+        vec![PathRef::new(0, "cname")],
+        vec![PathRef::new(0, "cname"), PathRef::new(0, "location")],
+        vec![PathRef::new(1, "pid")],
+        vec![PathRef::new(2, "ename"), PathRef::new(2, "contact")],
+        muse_mapping::poss::all_source_refs(&m, &src).unwrap(),
+    ];
+    // A check instance with shared values so groupings actually differ.
+    let mut b = InstanceBuilder::new(&src);
+    for (cid, cname, loc) in [(1, "IBM", "NY"), (2, "IBM", "SF"), (3, "SBC", "NY")] {
+        b.push_top("Companies", vec![Value::int(cid), Value::str(cname), Value::str(loc)]);
+    }
+    for (pid, pname, cid, mgr) in
+        [("p1", "DB", 1, "e1"), ("p2", "DB", 2, "e1"), ("p3", "Web", 3, "e2")]
+    {
+        b.push_top(
+            "Projects",
+            vec![Value::str(pid), Value::str(pname), Value::int(cid), Value::str(mgr)],
+        );
+    }
+    b.push_top("Employees", vec![Value::str("e1"), Value::str("Jon"), Value::str("x1")]);
+    b.push_top("Employees", vec![Value::str("e2"), Value::str("Jon"), Value::str("x2")]);
+    let check = b.finish().unwrap();
+
+    for intent in intents {
+        let mut oracle = OracleDesigner::new(&src, &tgt);
+        oracle.intend_grouping("m2", sk(), intent.clone());
+        let out = g.design_grouping(&m, &sk(), &mut oracle).unwrap();
+        let mut intended = m.clone();
+        intended.set_grouping(sk(), Grouping::new(intent.clone()));
+        let mut inferred = m.clone();
+        inferred.set_grouping(sk(), Grouping::new(out.grouping.clone()));
+        let j1 = chase_one(&src, &tgt, &check, &intended).unwrap();
+        let j2 = chase_one(&src, &tgt, &check, &inferred).unwrap();
+        assert!(
+            homomorphically_equivalent(&j1, &j2),
+            "inferred {:?} differs from intent {:?}",
+            out.grouping,
+            intent
+        );
+    }
+}
+
+#[test]
+fn multi_key_designer_groups_by_key_one_question() {
+    // Companies has two keys (cid and cname are each unique). A designer
+    // grouping by cname (a key) is done after a single question.
+    let src = Schema::new(
+        "S",
+        vec![Field::new(
+            "Companies",
+            Ty::set_of(vec![
+                Field::new("cid", Ty::Int),
+                Field::new("cname", Ty::Str),
+                Field::new("location", Ty::Str),
+            ]),
+        )],
+    )
+    .unwrap();
+    let tgt = Schema::new(
+        "T",
+        vec![Field::new(
+            "Orgs",
+            Ty::set_of(vec![
+                Field::new("oname", Ty::Str),
+                Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+            ]),
+        )],
+    )
+    .unwrap();
+    let cons = Constraints {
+        keys: vec![
+            Key::new(SetPath::parse("Companies"), vec!["cid"]),
+            Key::new(SetPath::parse("Companies"), vec!["cname"]),
+        ],
+        fds: vec![],
+        fks: vec![],
+    };
+    let m = parse_one(
+        "m1: for c in S.Companies exists o in T.Orgs where c.cname = o.oname
+         group o.Projects by ()",
+    )
+    .unwrap();
+    let g = MuseG::new(&src, &tgt, &cons);
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    let sk = SetPath::parse("Orgs.Projects");
+    oracle.intend_grouping("m1", sk.clone(), vec![PathRef::new(0, "cname")]);
+    let out = g.design_grouping(&m, &sk, &mut oracle).unwrap();
+    assert_eq!(out.questions, 1);
+    assert!(out.multi_key_assumption);
+    // The concluded grouping is *a* key — same effect as cname on every
+    // valid instance (both are keys).
+    assert_eq!(out.grouping, vec![PathRef::new(0, "cid")]);
+
+    // And a designer grouping by the non-key attribute alone.
+    let mut oracle2 = OracleDesigner::new(&src, &tgt);
+    oracle2.intend_grouping("m1", sk.clone(), vec![PathRef::new(0, "location")]);
+    let out2 = g.design_grouping(&m, &sk, &mut oracle2).unwrap();
+    assert_eq!(out2.grouping, vec![PathRef::new(0, "location")]);
+    assert_eq!(out2.questions, 2, "key question + one non-key probe");
+}
+
+#[test]
+fn instance_only_skips_constant_attributes() {
+    let (src, tgt) = (compdb(), orgdb());
+    let cons = Constraints::none();
+    // Every company is in NY: location can never affect grouping on I.
+    let mut b = InstanceBuilder::new(&src);
+    b.push_top("Companies", vec![Value::int(1), Value::str("IBM"), Value::str("NY")]);
+    b.push_top("Companies", vec![Value::int(2), Value::str("SBC"), Value::str("NY")]);
+    b.push_top("Projects", vec![Value::str("p1"), Value::str("DB"), Value::int(1), Value::str("e1")]);
+    b.push_top("Projects", vec![Value::str("p2"), Value::str("Web"), Value::int(2), Value::str("e2")]);
+    b.push_top("Employees", vec![Value::str("e1"), Value::str("Jon"), Value::str("x1")]);
+    b.push_top("Employees", vec![Value::str("e2"), Value::str("Ann"), Value::str("x2")]);
+    let real = b.finish().unwrap();
+
+    let mut g = MuseG::new(&src, &tgt, &cons).with_instance(&real);
+    g.instance_only = true;
+    let m = m2();
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intend_grouping("m2", sk(), vec![PathRef::new(0, "cname")]);
+    let out = g.design_grouping(&m, &sk(), &mut oracle).unwrap();
+    assert!(out.skipped_inconsequential >= 1, "location is constant on I");
+    assert!(out.questions < 8, "fewer probes than the instance-free run");
+    assert!(out.grouping.contains(&PathRef::new(0, "cname")));
+}
+
+#[test]
+fn empty_poss_mapping_designs_trivially() {
+    let src = Schema::new(
+        "S",
+        vec![Field::new("A", Ty::set_of(vec![Field::new("x", Ty::Int)]))],
+    )
+    .unwrap();
+    let tgt = Schema::new(
+        "T",
+        vec![Field::new(
+            "B",
+            Ty::set_of(vec![
+                Field::new("y", Ty::Int),
+                Field::new("Kids", Ty::set_of(vec![Field::new("z", Ty::Int)])),
+            ]),
+        )],
+    )
+    .unwrap();
+    let m = parse_one(
+        "m: for a in S.A exists b in T.B where a.x = b.y group b.Kids by ()",
+    )
+    .unwrap();
+    let cons = Constraints::none();
+    let g = MuseG::new(&src, &tgt, &cons);
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intend_grouping("m", SetPath::parse("B.Kids"), vec![PathRef::new(0, "x")]);
+    let out = g.design_grouping(&m, &SetPath::parse("B.Kids"), &mut oracle).unwrap();
+    assert_eq!(out.questions, 1);
+    assert_eq!(out.grouping, vec![PathRef::new(0, "x")]);
+}
+
+#[test]
+fn ambiguous_mapping_is_rejected_by_museg() {
+    let (src, tgt) = (compdb(), orgdb());
+    let cons = Constraints::none();
+    let g = MuseG::new(&src, &tgt, &cons);
+    let mut m = m2();
+    m.wheres.remove(0);
+    m.or_group(
+        PathRef::new(0, "oname"),
+        vec![PathRef::new(0, "cname"), PathRef::new(0, "location")],
+    );
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    assert!(g.design_grouping(&m, &sk(), &mut oracle).is_err());
+}

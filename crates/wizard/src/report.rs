@@ -1,0 +1,108 @@
+//! Human-readable rendering of a finished wizard session — what the CLI
+//! prints when the designer is done.
+
+use std::fmt::Write as _;
+
+use crate::session::SessionReport;
+
+/// Render a summary of the session: per-phase statistics and the final
+/// mappings in concrete syntax.
+pub fn render(report: &SessionReport) -> String {
+    let mut out = String::new();
+    writeln!(out, "Session summary").unwrap();
+    writeln!(out, "===============").unwrap();
+    writeln!(out, "final mappings:        {}", report.mappings.len()).unwrap();
+    if !report.disambiguations.is_empty() {
+        let alts: usize = report.disambiguations.iter().map(|d| d.alternatives_encoded).sum();
+        let real = report.disambiguations.iter().filter(|d| d.real).count();
+        writeln!(
+            out,
+            "Muse-D:                {} questions resolved {} interpretations ({} real examples)",
+            report.disambiguations.len(),
+            alts,
+            real
+        )
+        .unwrap();
+    }
+    if report.join_questions > 0 {
+        writeln!(
+            out,
+            "join choices:          {} asked, {} outer companions added",
+            report.join_questions, report.companions_added
+        )
+        .unwrap();
+    }
+    if !report.groupings.is_empty() {
+        let questions: usize = report.groupings.iter().map(|(_, g)| g.questions).sum();
+        let real: usize = report.groupings.iter().map(|(_, g)| g.real_examples).sum();
+        let synth: usize = report.groupings.iter().map(|(_, g)| g.synthetic_examples).sum();
+        let skipped: usize = report.groupings.iter().map(|(_, g)| g.skipped_implied).sum();
+        writeln!(
+            out,
+            "Muse-G:                {} grouping functions, {} questions ({} skipped via keys/FDs)",
+            report.groupings.len(),
+            questions,
+            skipped
+        )
+        .unwrap();
+        let pct = if real + synth > 0 { 100 * real / (real + synth) } else { 0 };
+        writeln!(out, "examples:              {real} real / {synth} synthetic ({pct}% real)")
+            .unwrap();
+    }
+    writeln!(out, "total questions:       {}", report.total_questions()).unwrap();
+    writeln!(out, "example time:          {:?}", report.total_example_time()).unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "Designed mappings").unwrap();
+    writeln!(out, "-----------------").unwrap();
+    out.push_str(&muse_mapping::printer::print_all(&report.mappings));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designer::OracleDesigner;
+    use crate::session::Session;
+    use muse_mapping::{parse, PathRef};
+    use muse_nr::{Constraints, Field, Schema, SetPath, Ty};
+
+    #[test]
+    fn renders_a_complete_summary() {
+        let src = Schema::new(
+            "S",
+            vec![Field::new(
+                "Companies",
+                Ty::set_of(vec![
+                    Field::new("cid", Ty::Int),
+                    Field::new("cname", Ty::Str),
+                ]),
+            )],
+        )
+        .unwrap();
+        let tgt = Schema::new(
+            "T",
+            vec![Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new("Projects", Ty::set_of(vec![Field::new("p", Ty::Str)])),
+                ]),
+            )],
+        )
+        .unwrap();
+        let ms = parse(
+            "m: for c in S.Companies exists o in T.Orgs where c.cname = o.oname
+             group o.Projects by ()",
+        )
+        .unwrap();
+        let cons = Constraints::none();
+        let mut oracle = OracleDesigner::new(&src, &tgt);
+        oracle.intend_grouping("m", SetPath::parse("Orgs.Projects"), vec![PathRef::new(0, "cname")]);
+        let report = Session::new(&src, &tgt, &cons).run(&ms, &mut oracle).unwrap();
+        let text = render(&report);
+        assert!(text.contains("final mappings:        1"), "{text}");
+        assert!(text.contains("Muse-G:"), "{text}");
+        assert!(text.contains("group o.Projects by (c.cname)"), "{text}");
+        assert!(text.contains("total questions:"), "{text}");
+    }
+}

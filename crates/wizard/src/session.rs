@@ -1,0 +1,287 @@
+//! The full Muse wizard (Sec. V): Muse-D then Muse-G.
+//!
+//! Starting from the (possibly ambiguous) mappings a Clio-style tool
+//! generated, the session first disambiguates every ambiguous mapping with
+//! Muse-D, then walks the designer through the grouping design of every
+//! resulting mapping with Muse-G, and reports the final mappings plus the
+//! per-phase statistics the paper's Sec. VI tables are built from.
+
+use std::time::Duration;
+
+use muse_mapping::{Grouping, Mapping};
+use muse_nr::{Constraints, Instance, Schema};
+
+use muse_mapping::WhereClause;
+
+use crate::designer::Designer;
+use crate::error::WizardError;
+use crate::museg::{GroupingOutcome, MuseG};
+use crate::mused::joins::outer_companion;
+use crate::mused::{DisambiguationOutcome, MuseD};
+
+/// A full wizard session over one mapping scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Session<'a> {
+    /// Source schema.
+    pub source_schema: &'a Schema,
+    /// Target schema.
+    pub target_schema: &'a Schema,
+    /// Source constraints.
+    pub source_constraints: &'a Constraints,
+    /// The designer's source instance, when available.
+    pub real_instance: Option<&'a Instance>,
+    /// Enable Sec. III-C instance-only pruning in Muse-G.
+    pub instance_only: bool,
+    /// Offer the inner/outer join choice (Sec. IV "More options") for every
+    /// source variable that feeds target elements on its own and is not
+    /// already covered by another mapping in Σ.
+    pub offer_join_options: bool,
+}
+
+/// What a session produced.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The final, unambiguous mappings with designed grouping functions.
+    pub mappings: Vec<Mapping>,
+    /// Muse-D statistics, one per ambiguous input mapping.
+    pub disambiguations: Vec<DisambiguationOutcome>,
+    /// Muse-G statistics, one per (mapping, nested set) designed.
+    pub groupings: Vec<(String, GroupingOutcome)>,
+    /// Inner/outer questions asked and the companions the designer added.
+    pub join_questions: usize,
+    /// Companion mappings added by outer choices (also in `mappings`).
+    pub companions_added: usize,
+}
+
+impl SessionReport {
+    /// Total questions asked across both wizards (each disambiguation is
+    /// one question).
+    pub fn total_questions(&self) -> usize {
+        self.disambiguations.len()
+            + self.join_questions
+            + self.groupings.iter().map(|(_, g)| g.questions).sum::<usize>()
+    }
+
+    /// Total time spent constructing/retrieving examples.
+    pub fn total_example_time(&self) -> Duration {
+        self.disambiguations.iter().map(|d| d.example_time).sum::<Duration>()
+            + self.groupings.iter().map(|(_, g)| g.example_time).sum::<Duration>()
+    }
+}
+
+impl<'a> Session<'a> {
+    /// A session without a real instance.
+    pub fn new(
+        source_schema: &'a Schema,
+        target_schema: &'a Schema,
+        source_constraints: &'a Constraints,
+    ) -> Self {
+        Session {
+            source_schema,
+            target_schema,
+            source_constraints,
+            real_instance: None,
+            instance_only: false,
+            offer_join_options: false,
+        }
+    }
+
+    /// Use a real source instance.
+    pub fn with_instance(mut self, inst: &'a Instance) -> Self {
+        self.real_instance = Some(inst);
+        self
+    }
+
+    /// Run the wizard over `mappings` (e.g. the output of
+    /// `muse_cliogen::generate`), interrogating `designer`.
+    pub fn run(
+        &self,
+        mappings: &[Mapping],
+        designer: &mut dyn Designer,
+    ) -> Result<SessionReport, WizardError> {
+        let mut mused = MuseD::new(
+            self.source_schema,
+            self.target_schema,
+            self.source_constraints,
+        );
+        mused.real_instance = self.real_instance;
+        let mut museg = MuseG::new(
+            self.source_schema,
+            self.target_schema,
+            self.source_constraints,
+        );
+        museg.real_instance = self.real_instance;
+        museg.instance_only = self.instance_only;
+
+        // Phase 1: Muse-D on every ambiguous mapping.
+        let mut unambiguous: Vec<Mapping> = Vec::new();
+        let mut disambiguations = Vec::new();
+        for m in mappings {
+            if m.is_ambiguous() {
+                let out = mused.disambiguate(m, designer)?;
+                unambiguous.extend(out.selected.iter().cloned());
+                disambiguations.push(out);
+            } else {
+                unambiguous.push(m.clone());
+            }
+        }
+
+        // Phase 1.5 (optional): inner/outer join choices. For every source
+        // variable whose tuples feed target elements on their own, and whose
+        // standalone exchange is not already a mapping of Σ (like m3 in
+        // Fig. 1), ask whether dangling tuples should be exchanged too.
+        let mut join_questions = 0usize;
+        let mut companions: Vec<Mapping> = Vec::new();
+        if self.offer_join_options {
+            let snapshot = unambiguous.clone();
+            for m in &snapshot {
+                for v in 0..m.source_vars.len() {
+                    let Ok(companion) = outer_companion(m, v) else { continue };
+                    if covered_by_sigma(&companion, &snapshot) {
+                        continue;
+                    }
+                    join_questions += 1;
+                    if let Some(mut c) = mused.design_join(m, v, designer)? {
+                        c.name = format!("{}~outer{}", m.name, companions.len() + 1);
+                        companions.push(c);
+                    }
+                }
+            }
+            unambiguous.extend(companions.iter().cloned());
+        }
+
+        // Phase 2: Muse-G on every grouping function of every mapping.
+        let mut groupings = Vec::new();
+        for m in &mut unambiguous {
+            let outcomes = museg.design_all_groupings(m, designer)?;
+            for o in outcomes {
+                m.set_grouping(o.sk.clone(), Grouping::new(o.grouping.clone()));
+                groupings.push((m.name.clone(), o));
+            }
+        }
+
+        Ok(SessionReport {
+            mappings: unambiguous,
+            disambiguations,
+            groupings,
+            join_questions,
+            companions_added: companions.len(),
+        })
+    }
+}
+
+/// Does some mapping of Σ already exchange what `companion` would? True
+/// when a single-variable mapping over the same source set asserts at least
+/// the companion's correspondences (like `m3` covering the outer option of
+/// `m2` in Fig. 1).
+fn covered_by_sigma(companion: &Mapping, sigma: &[Mapping]) -> bool {
+    let triples = |m: &Mapping| -> Option<std::collections::BTreeSet<(String, String, String)>> {
+        if m.source_vars.len() != 1 {
+            return None;
+        }
+        Some(
+            m.wheres
+                .iter()
+                .filter_map(|w| match w {
+                    WhereClause::Eq { source, target } => Some((
+                        source.attr.clone(),
+                        m.target_vars[target.var].set.to_string(),
+                        target.attr.clone(),
+                    )),
+                    WhereClause::OrGroup { .. } => None,
+                })
+                .collect(),
+        )
+    };
+    let Some(needed) = triples(companion) else { return true };
+    sigma.iter().any(|m| {
+        m.source_vars.len() == 1
+            && m.source_vars[0].set == companion.source_vars[0].set
+            && triples(m).is_some_and(|have| needed.is_subset(&have))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designer::OracleDesigner;
+    use muse_mapping::{parse, PathRef};
+    use muse_nr::{Field, SetPath, Ty};
+
+    fn schemas() -> (Schema, Schema) {
+        let src = Schema::new(
+            "S",
+            vec![
+                Field::new(
+                    "Projects",
+                    Ty::set_of(vec![
+                        Field::new("pname", Ty::Str),
+                        Field::new("manager", Ty::Str),
+                        Field::new("tech-lead", Ty::Str),
+                    ]),
+                ),
+                Field::new(
+                    "Employees",
+                    Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                ),
+            ],
+        )
+        .unwrap();
+        let tgt = Schema::new(
+            "T",
+            vec![Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("lead", Ty::Str),
+                    Field::new(
+                        "Projects",
+                        Ty::set_of(vec![Field::new("pname", Ty::Str)]),
+                    ),
+                ]),
+            )],
+        )
+        .unwrap();
+        (src, tgt)
+    }
+
+    #[test]
+    fn full_session_disambiguates_then_designs_groupings() {
+        let (src, tgt) = schemas();
+        let cons = Constraints::none();
+        let mut ms = parse(
+            "ma: for p in S.Projects, e1 in S.Employees, e2 in S.Employees
+                 satisfy e1.eid = p.manager and e2.eid = p.tech-lead
+                 exists o in T.Orgs, q in o.Projects
+                 where p.pname = q.pname
+                   and (e1.ename = o.lead or e2.ename = o.lead)
+                 group o.Projects by ()",
+        )
+        .unwrap();
+        for m in &mut ms {
+            m.ensure_default_groupings(&tgt, &src).unwrap();
+        }
+
+        let mut oracle = OracleDesigner::new(&src, &tgt);
+        oracle.intended_choices.insert("ma".into(), vec![vec![1]]); // tech-lead
+        // After selection the mapping is named ma#1; intend grouping by the
+        // chosen lead's name.
+        oracle.intend_grouping(
+            "ma#1",
+            SetPath::parse("Orgs.Projects"),
+            vec![PathRef::new(2, "ename")],
+        );
+
+        let session = Session::new(&src, &tgt, &cons);
+        let report = session.run(&ms, &mut oracle).unwrap();
+
+        assert_eq!(report.mappings.len(), 1);
+        assert_eq!(report.disambiguations.len(), 1);
+        assert!(!report.mappings[0].is_ambiguous());
+        let g = report.mappings[0].grouping(&SetPath::parse("Orgs.Projects")).unwrap();
+        // e2.ename's class representative may be itself (no satisfy eq ties
+        // it to another reference).
+        assert_eq!(g.args, vec![PathRef::new(2, "ename")]);
+        assert!(report.total_questions() >= 2);
+        report.mappings[0].validate(&src, &tgt).unwrap();
+    }
+}

@@ -1,0 +1,132 @@
+//! Sec. III-A Step 1: grouping functions are designed in breadth-first
+//! target order, and "when designing SKGrants, Muse-G will make use of the
+//! grouping function already designed for SKProjs" — the deeper set's probe
+//! scenarios are chased with the shallower set's *designed* grouping, not
+//! the default one.
+
+use muse_mapping::{parse_one, PathRef};
+use muse_nr::{Constraints, Field, Schema, SetPath, Ty};
+use muse_wizard::{Designer, GroupingQuestion, MuseG, OracleDesigner, ScenarioChoice};
+
+fn source() -> Schema {
+    Schema::new(
+        "S",
+        vec![Field::new(
+            "rows",
+            Ty::set_of(vec![
+                Field::new("company", Ty::Str),
+                Field::new("project", Ty::Str),
+                Field::new("grant", Ty::Str),
+            ]),
+        )],
+    )
+    .unwrap()
+}
+
+fn target() -> Schema {
+    Schema::new(
+        "T",
+        vec![Field::new(
+            "Orgs",
+            Ty::set_of(vec![
+                Field::new("company", Ty::Str),
+                Field::new(
+                    "Projects",
+                    Ty::set_of(vec![
+                        Field::new("project", Ty::Str),
+                        Field::new("Grants", Ty::set_of(vec![Field::new("grant", Ty::Str)])),
+                    ]),
+                ),
+            ]),
+        )],
+    )
+    .unwrap()
+}
+
+#[test]
+fn deeper_sets_are_designed_after_and_with_shallower_results() {
+    let (s, t) = (source(), target());
+    let mut m = parse_one(
+        "m: for r in S.rows
+            exists o in T.Orgs, p in o.Projects, g in p.Grants
+            where r.company = o.company and r.project = p.project and r.grant = g.grant",
+    )
+    .unwrap();
+    m.ensure_default_groupings(&t, &s).unwrap();
+
+    // A recording designer that notes, for each question, which set was
+    // probed and what grouping the *other* set had in the shown mapping.
+    struct Recording<'a> {
+        oracle: OracleDesigner<'a>,
+        order: Vec<SetPath>,
+        projects_args_during_grants: Vec<Vec<PathRef>>,
+    }
+    impl Designer for Recording<'_> {
+        fn pick_scenario(&mut self, q: &GroupingQuestion) -> ScenarioChoice {
+            self.order.push(q.sk.clone());
+            if q.sk == SetPath::parse("Orgs.Projects.Grants") {
+                let projects = q
+                    .d1
+                    .grouping(&SetPath::parse("Orgs.Projects"))
+                    .expect("Projects grouping present")
+                    .args
+                    .clone();
+                self.projects_args_during_grants.push(projects);
+            }
+            self.oracle.pick_scenario(q)
+        }
+        fn fill_choices(
+            &mut self,
+            _q: &muse_wizard::DisambiguationQuestion,
+        ) -> Vec<Vec<usize>> {
+            unreachable!()
+        }
+    }
+
+    let cons = Constraints::none();
+    let museg = MuseG::new(&s, &t, &cons);
+    let mut oracle = OracleDesigner::new(&s, &t);
+    // Projects grouped by company; Grants by company+project.
+    oracle.intend_grouping(
+        "m",
+        SetPath::parse("Orgs.Projects"),
+        vec![PathRef::new(0, "company")],
+    );
+    oracle.intend_grouping(
+        "m",
+        SetPath::parse("Orgs.Projects.Grants"),
+        vec![PathRef::new(0, "company"), PathRef::new(0, "project")],
+    );
+    let mut designer =
+        Recording { oracle, order: Vec::new(), projects_args_during_grants: Vec::new() };
+
+    let outcomes = museg.design_all_groupings(&mut m, &mut designer).unwrap();
+    assert_eq!(outcomes.len(), 2);
+
+    // BFS order: every Projects question precedes every Grants question.
+    let first_grants = designer
+        .order
+        .iter()
+        .position(|p| p == &SetPath::parse("Orgs.Projects.Grants"))
+        .expect("grants probed");
+    assert!(designer.order[..first_grants]
+        .iter()
+        .all(|p| p == &SetPath::parse("Orgs.Projects")));
+
+    // While designing Grants, the shown mappings already carry the designed
+    // Projects grouping (company), not the 3-attribute default.
+    assert!(!designer.projects_args_during_grants.is_empty());
+    for args in &designer.projects_args_during_grants {
+        assert_eq!(args, &vec![PathRef::new(0, "company")]);
+    }
+
+    // And both inferences are correct.
+    assert_eq!(
+        m.grouping(&SetPath::parse("Orgs.Projects")).unwrap().args,
+        vec![PathRef::new(0, "company")]
+    );
+    assert_eq!(
+        m.grouping(&SetPath::parse("Orgs.Projects.Grants")).unwrap().args,
+        vec![PathRef::new(0, "company"), PathRef::new(0, "project")]
+    );
+}

@@ -1,0 +1,121 @@
+//! Limits and error paths of the wizards: the 128-attribute FD-engine cap,
+//! real-search timeout accounting, and the join-option edge cases.
+
+use std::time::Duration;
+
+use muse_mapping::{parse_one, Mapping, PathRef};
+use muse_nr::{Constraints, Field, InstanceBuilder, Schema, SetPath, Ty, Value};
+use muse_wizard::mused::joins::outer_companion;
+use muse_wizard::{MuseG, OracleDesigner, WizardError};
+
+#[test]
+fn too_many_attributes_is_a_typed_error() {
+    // A source relation with 130 attributes blows the 128-bit FD engine.
+    let fields: Vec<Field> =
+        (0..130).map(|i| Field::new(format!("a{i}"), Ty::Int)).collect();
+    let src = Schema::new("S", vec![Field::new("R", Ty::set_of(fields))]).unwrap();
+    let tgt = Schema::new(
+        "T",
+        vec![Field::new(
+            "Out",
+            Ty::set_of(vec![
+                Field::new("v", Ty::Int),
+                Field::new("Kids", Ty::set_of(vec![Field::new("w", Ty::Int)])),
+            ]),
+        )],
+    )
+    .unwrap();
+    let m = parse_one(
+        "m: for r in S.R exists o in T.Out, c in o.Kids
+            where r.a0 = o.v and r.a1 = c.w
+            group o.Kids by ()",
+    )
+    .unwrap();
+    let cons = Constraints::none();
+    let g = MuseG::new(&src, &tgt, &cons);
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intend_grouping("m", SetPath::parse("Out.Kids"), vec![]);
+    let err = g.design_grouping(&m, &SetPath::parse("Out.Kids"), &mut oracle).unwrap_err();
+    assert!(matches!(err, WizardError::TooManyAttributes(130)));
+}
+
+#[test]
+fn real_search_timeouts_are_counted() {
+    // A tight budget with an instance big enough that unsatisfiable probes
+    // hit the deadline: the wizard still succeeds (synthetic fallback) and
+    // reports the timeouts.
+    let src = Schema::new(
+        "S",
+        vec![Field::new(
+            "R",
+            Ty::set_of(vec![
+                Field::new("x", Ty::Int),
+                Field::new("y", Ty::Int),
+                Field::new("z", Ty::Int),
+            ]),
+        )],
+    )
+    .unwrap();
+    let tgt = Schema::new(
+        "T",
+        vec![Field::new(
+            "Out",
+            Ty::set_of(vec![
+                Field::new("v", Ty::Int),
+                Field::new("Kids", Ty::set_of(vec![Field::new("w", Ty::Int)])),
+            ]),
+        )],
+    )
+    .unwrap();
+    let m = parse_one(
+        "m: for r in S.R exists o in T.Out, c in o.Kids
+            where r.x = o.v and r.y = c.w
+            group o.Kids by ()",
+    )
+    .unwrap();
+    // All values unique: differentiating pairs never exist, so every probe
+    // search is an exhaustive proof of emptiness.
+    let mut b = InstanceBuilder::new(&src);
+    for i in 0..60_000 {
+        b.push_top("R", vec![Value::int(3 * i), Value::int(3 * i + 1), Value::int(3 * i + 2)]);
+    }
+    let real = b.finish().unwrap();
+
+    let cons = Constraints::none();
+    let mut g = MuseG::new(&src, &tgt, &cons).with_instance(&real);
+    g.real_example_budget = Some(Duration::from_nanos(1));
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intend_grouping("m", SetPath::parse("Out.Kids"), vec![PathRef::new(0, "x")]);
+    let out = g.design_grouping(&m, &SetPath::parse("Out.Kids"), &mut oracle).unwrap();
+    assert_eq!(out.grouping, vec![PathRef::new(0, "x")]);
+    assert_eq!(out.real_examples, 0);
+    assert!(out.real_search_timeouts >= 1, "tight budget must trip at least once");
+}
+
+#[test]
+fn outer_companion_rejects_nested_and_unknown_variables() {
+    let m: Mapping = parse_one(
+        "m: for d in S.Depts, s in d.Staff
+            exists p in T.People
+            where s.sname = p.name",
+    )
+    .unwrap();
+    // Unknown index.
+    assert!(matches!(outer_companion(&m, 9), Err(WizardError::BadAnswer(_))));
+    // Nested variable.
+    assert!(matches!(outer_companion(&m, 1), Err(WizardError::BadAnswer(_))));
+}
+
+#[test]
+fn outer_companion_requires_sole_contribution() {
+    // p1's pname comes from p, its tag from e: neither variable feeds a
+    // target element alone, so no companion exists for e.
+    let m: Mapping = parse_one(
+        "m: for p in S.Projects, e in S.Employees
+            satisfy e.eid = p.manager
+            exists p1 in T.Projects
+            where p.pname = p1.pname and e.ename = p1.tag",
+    )
+    .unwrap();
+    assert!(matches!(outer_companion(&m, 1), Err(WizardError::BadAnswer(_))));
+}

@@ -1,0 +1,188 @@
+//! The Session's optional inner/outer phase (Sec. V): the wizard offers the
+//! outer choice only where it adds something (not when Σ already exchanges
+//! the set standalone, as `m3` does for `m2` in Fig. 1), and outer answers
+//! add companion mappings that then get their own grouping design.
+
+use muse_mapping::{parse, PathRef};
+use muse_nr::{Constraints, Field, Schema, SetPath, Ty};
+use muse_wizard::{Designer, JoinChoice, OracleDesigner, Session};
+
+fn schemas() -> (Schema, Schema) {
+    let src = Schema::new(
+        "S",
+        vec![
+            Field::new(
+                "Projects",
+                Ty::set_of(vec![
+                    Field::new("pname", Ty::Str),
+                    Field::new("manager", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+            ),
+        ],
+    )
+    .unwrap();
+    let tgt = Schema::new(
+        "T",
+        vec![
+            Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+            ),
+        ],
+    )
+    .unwrap();
+    (src, tgt)
+}
+
+const JOIN_MAPPING: &str = "
+    m: for p in S.Projects, e in S.Employees
+       satisfy e.eid = p.manager
+       exists p1 in T.Projects, f in T.Employees
+       where p.pname = p1.pname and e.eid = f.eid and e.ename = f.ename
+";
+
+/// An oracle that also answers join questions with a fixed choice.
+struct JoinOracle<'a> {
+    inner: OracleDesigner<'a>,
+    choice: JoinChoice,
+}
+
+impl Designer for JoinOracle<'_> {
+    fn pick_scenario(
+        &mut self,
+        q: &muse_wizard::GroupingQuestion,
+    ) -> muse_wizard::ScenarioChoice {
+        self.inner.pick_scenario(q)
+    }
+    fn fill_choices(&mut self, q: &muse_wizard::DisambiguationQuestion) -> Vec<Vec<usize>> {
+        self.inner.fill_choices(q)
+    }
+    fn pick_join(&mut self, _q: &muse_wizard::mused::joins::JoinQuestion) -> JoinChoice {
+        self.choice
+    }
+}
+
+#[test]
+fn outer_choice_adds_a_companion() {
+    let (src, tgt) = schemas();
+    let cons = Constraints::none();
+    let ms = parse(JOIN_MAPPING).unwrap();
+    let mut session = Session::new(&src, &tgt, &cons);
+    session.offer_join_options = true;
+    let mut designer =
+        JoinOracle { inner: OracleDesigner::new(&src, &tgt), choice: JoinChoice::Outer };
+    let report = session.run(&ms, &mut designer).unwrap();
+    // Both p (sole source of p1.pname) and e (sole source of f) qualify.
+    assert_eq!(report.join_questions, 2);
+    assert_eq!(report.companions_added, 2);
+    assert_eq!(report.mappings.len(), 3);
+    let emp_companion = report
+        .mappings
+        .iter()
+        .find(|m| m.source_vars.len() == 1 && m.source_vars[0].set == SetPath::parse("Employees"))
+        .expect("employee companion");
+    emp_companion.validate(&src, &tgt).unwrap();
+}
+
+#[test]
+fn inner_choice_adds_nothing() {
+    let (src, tgt) = schemas();
+    let cons = Constraints::none();
+    let ms = parse(JOIN_MAPPING).unwrap();
+    let mut session = Session::new(&src, &tgt, &cons);
+    session.offer_join_options = true;
+    let mut designer =
+        JoinOracle { inner: OracleDesigner::new(&src, &tgt), choice: JoinChoice::Inner };
+    let report = session.run(&ms, &mut designer).unwrap();
+    assert_eq!(report.join_questions, 2);
+    assert_eq!(report.companions_added, 0);
+    assert_eq!(report.mappings.len(), 1);
+}
+
+#[test]
+fn covered_variables_are_not_asked_about() {
+    // Σ already contains the m3-style standalone employee mapping, so the
+    // outer question for `e` is redundant and must not be asked.
+    let (src, tgt) = schemas();
+    let cons = Constraints::none();
+    let text = format!(
+        "{JOIN_MAPPING}
+         m3: for e in S.Employees
+             exists f in T.Employees
+             where e.eid = f.eid and e.ename = f.ename"
+    );
+    let ms = parse(&text).unwrap();
+    let mut session = Session::new(&src, &tgt, &cons);
+    session.offer_join_options = true;
+    let mut designer =
+        JoinOracle { inner: OracleDesigner::new(&src, &tgt), choice: JoinChoice::Outer };
+    let report = session.run(&ms, &mut designer).unwrap();
+    // The employee question is covered by m3; only the project one remains.
+    assert_eq!(report.join_questions, 1, "m3 already covers e's outer option");
+    assert_eq!(report.companions_added, 1);
+    assert_eq!(report.mappings.len(), 3);
+}
+
+#[test]
+fn join_phase_is_off_by_default() {
+    let (src, tgt) = schemas();
+    let cons = Constraints::none();
+    let ms = parse(JOIN_MAPPING).unwrap();
+    let session = Session::new(&src, &tgt, &cons);
+    let mut designer =
+        JoinOracle { inner: OracleDesigner::new(&src, &tgt), choice: JoinChoice::Outer };
+    let report = session.run(&ms, &mut designer).unwrap();
+    assert_eq!(report.join_questions, 0);
+    assert_eq!(report.mappings.len(), 1);
+}
+
+#[test]
+fn companions_get_grouping_design_too() {
+    // If the target schema nests a set under Employees, the companion added
+    // by the outer choice flows into phase 2 and gets its grouping designed.
+    let src = schemas().0;
+    let tgt = Schema::new(
+        "T",
+        vec![
+            Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                    Field::new("Badges", Ty::set_of(vec![Field::new("b", Ty::Str)])),
+                ]),
+            ),
+        ],
+    )
+    .unwrap();
+    let mut ms = parse(JOIN_MAPPING).unwrap();
+    for m in &mut ms {
+        m.ensure_default_groupings(&tgt, &src).unwrap();
+    }
+    let cons = Constraints::none();
+    let mut session = Session::new(&src, &tgt, &cons);
+    session.offer_join_options = true;
+    let mut inner_oracle = OracleDesigner::new(&src, &tgt);
+    // Grouping intentions for the original mapping and the companion.
+    inner_oracle.intend_grouping(
+        "m",
+        SetPath::parse("Employees.Badges"),
+        vec![PathRef::new(1, "eid")],
+    );
+    // Companion 1 is the Projects one (fills nothing); companion 2 is the
+    // Employees one, which fills Badges.
+    inner_oracle.intend_grouping("m~outer2", SetPath::parse("Employees.Badges"), vec![]);
+    let mut designer = JoinOracle { inner: inner_oracle, choice: JoinChoice::Outer };
+    let report = session.run(&ms, &mut designer).unwrap();
+    assert_eq!(report.companions_added, 2);
+    // Both the original and the employee companion had Badges designed.
+    let designed: Vec<&String> = report.groupings.iter().map(|(n, _)| n).collect();
+    assert!(designed.iter().any(|n| *n == "m"));
+    assert!(designed.iter().any(|n| *n == "m~outer2"));
+}

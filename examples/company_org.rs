@@ -1,0 +1,181 @@
+//! The paper's running example, end to end: Fig. 1 (the CompDB → OrgDB
+//! scenario), Fig. 2 (the chase of {m1, m2, m3}), and Fig. 3 (Muse-G
+//! probing cid, cname, location when the designer has SKProjs(cname) in
+//! mind).
+//!
+//! Run with: `cargo run --example company_org`
+
+use muse_suite::chase::chase;
+use muse_suite::mapping::{parse, PathRef};
+use muse_suite::nr::{display, Constraints, Field, InstanceBuilder, Schema, SetPath, Ty, Value};
+use muse_suite::wizard::{MuseG, OracleDesigner};
+
+fn compdb() -> Schema {
+    Schema::new(
+        "CompDB",
+        vec![
+            Field::new(
+                "Companies",
+                Ty::set_of(vec![
+                    Field::new("cid", Ty::Int),
+                    Field::new("cname", Ty::Str),
+                    Field::new("location", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Projects",
+                Ty::set_of(vec![
+                    Field::new("pid", Ty::Str),
+                    Field::new("pname", Ty::Str),
+                    Field::new("cid", Ty::Int),
+                    Field::new("manager", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                    Field::new("contact", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+fn orgdb() -> Schema {
+    Schema::new(
+        "OrgDB",
+        vec![
+            Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new(
+                        "Projects",
+                        Ty::set_of(vec![
+                            Field::new("pname", Ty::Str),
+                            Field::new("manager", Ty::Str),
+                        ]),
+                    ),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+fn main() {
+    let (src, tgt) = (compdb(), orgdb());
+
+    // Fig. 1: the three mappings (m2 with Clio's default all-attribute
+    // grouping function).
+    let mut mappings = parse(
+        "
+        m1: for c in CompDB.Companies
+            exists o in OrgDB.Orgs
+            where c.cname = o.oname
+            group o.Projects by (c.cid, c.cname, c.location)
+
+        m2: for c in CompDB.Companies, p in CompDB.Projects, e in CompDB.Employees
+            satisfy p.cid = c.cid and e.eid = p.manager
+            exists o in OrgDB.Orgs, p1 in o.Projects, e1 in OrgDB.Employees
+            satisfy p1.manager = e1.eid
+            where c.cname = o.oname and e.eid = e1.eid and e.ename = e1.ename
+              and p.pname = p1.pname
+
+        m3: for e in CompDB.Employees
+            exists e1 in OrgDB.Employees
+            where e.eid = e1.eid and e.ename = e1.ename
+        ",
+    )
+    .unwrap();
+    for m in &mut mappings {
+        m.ensure_default_groupings(&tgt, &src).unwrap();
+    }
+
+    // The Fig. 2 source instance.
+    let mut b = InstanceBuilder::new(&src);
+    b.push_top("Companies", vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")]);
+    b.push_top("Companies", vec![Value::int(112), Value::str("SBC"), Value::str("NY")]);
+    b.push_top(
+        "Projects",
+        vec![Value::str("p1"), Value::str("DBSearch"), Value::int(111), Value::str("e14")],
+    );
+    b.push_top(
+        "Projects",
+        vec![Value::str("p2"), Value::str("WebSearch"), Value::int(111), Value::str("e15")],
+    );
+    b.push_top("Employees", vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")]);
+    b.push_top("Employees", vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")]);
+    b.push_top("Employees", vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")]);
+    let source = b.finish().unwrap();
+
+    println!("=== Fig. 2: chasing the source with {{m1, m2, m3}} ===\n");
+    let solution = chase(&src, &tgt, &source, &mappings).unwrap();
+    println!("{}", display::render(&tgt, &solution));
+
+    // Fig. 3: Muse-G designs SKProjs for m2; the designer has
+    // SKProjs(cname) in mind. A verbose designer prints each question the
+    // way the figure shows them, then defers to the oracle.
+    println!("=== Fig. 3: Muse-G probes for m2 (designer wants SKProjs(cname)) ===\n");
+    struct Narrating<'a> {
+        oracle: OracleDesigner<'a>,
+        src: Schema,
+        tgt: Schema,
+    }
+    impl muse_suite::wizard::Designer for Narrating<'_> {
+        fn pick_scenario(
+            &mut self,
+            q: &muse_suite::wizard::GroupingQuestion,
+        ) -> muse_suite::wizard::ScenarioChoice {
+            println!("{}", q.render(&self.src, &self.tgt));
+            let choice = self.oracle.pick_scenario(q);
+            println!(
+                "Designer picks Scenario {}.\n",
+                match choice {
+                    muse_suite::wizard::ScenarioChoice::First => 1,
+                    muse_suite::wizard::ScenarioChoice::Second => 2,
+                }
+            );
+            choice
+        }
+        fn fill_choices(
+            &mut self,
+            _q: &muse_suite::wizard::DisambiguationQuestion,
+        ) -> Vec<Vec<usize>> {
+            unreachable!("no ambiguous mappings here")
+        }
+    }
+
+    let cons = Constraints::none();
+    let museg = MuseG::new(&src, &tgt, &cons).with_instance(&source);
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    let sk = SetPath::parse("Orgs.Projects");
+    oracle.intend_grouping("m2", sk.clone(), vec![PathRef::new(0, "cname")]);
+    let mut designer = Narrating { oracle, src: src.clone(), tgt: tgt.clone() };
+
+    let outcome = museg.design_grouping(&mappings[1], &sk, &mut designer).unwrap();
+    println!("=== Result ===");
+    println!(
+        "Inferred grouping: SKProjs({})",
+        outcome
+            .grouping
+            .iter()
+            .map(|r| mappings[1].source_ref_name(r))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "{} questions over poss of size {}; {} real / {} synthetic examples.",
+        outcome.questions, outcome.poss_size, outcome.real_examples, outcome.synthetic_examples
+    );
+}

@@ -1,0 +1,136 @@
+//! Fig. 4: Muse-D disambiguates the mapping `ma`, where a project's
+//! supervisor (and email) can come from the manager or from the tech lead.
+//!
+//! Run with: `cargo run --example disambiguation`
+
+use muse_suite::chase::chase_one;
+use muse_suite::mapping::parse_one;
+use muse_suite::nr::{display, Constraints, Field, InstanceBuilder, Schema, Ty, Value};
+use muse_suite::wizard::{Designer, MuseD, ScriptedDesigner};
+
+fn main() {
+    // Fig. 4(a): the source and target schemas.
+    let src = Schema::new(
+        "CompDB",
+        vec![
+            Field::new(
+                "Projects",
+                Ty::set_of(vec![
+                    Field::new("pid", Ty::Str),
+                    Field::new("pname", Ty::Str),
+                    Field::new("manager", Ty::Str),
+                    Field::new("tech-lead", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                    Field::new("contact", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .unwrap();
+    let tgt = Schema::new(
+        "OrgDB",
+        vec![Field::new(
+            "Projects",
+            Ty::set_of(vec![
+                Field::new("pname", Ty::Str),
+                Field::new("supervisor", Ty::Str),
+                Field::new("email", Ty::Str),
+            ]),
+        )],
+    )
+    .unwrap();
+
+    // The ambiguous mapping, with its two or-groups.
+    let ma = parse_one(
+        "ma: for p in CompDB.Projects, e1 in CompDB.Employees, e2 in CompDB.Employees
+             satisfy e1.eid = p.manager and e2.eid = p.tech-lead
+             exists p1 in OrgDB.Projects
+             where p.pname = p1.pname
+               and (e1.ename = p1.supervisor or e2.ename = p1.supervisor)
+               and (e1.contact = p1.email or e2.contact = p1.email)",
+    )
+    .unwrap();
+    ma.validate(&src, &tgt).unwrap();
+    println!(
+        "`ma` is ambiguous: {} or-groups encoding {} interpretations.\n",
+        muse_suite::mapping::ambiguity::or_groups(&ma).len(),
+        muse_suite::mapping::ambiguity::alternatives_count(&ma),
+    );
+
+    // The Fig. 4(b) source instance.
+    let mut b = InstanceBuilder::new(&src);
+    b.push_top(
+        "Projects",
+        vec![Value::str("P1"), Value::str("DB"), Value::str("e4"), Value::str("e5")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e4"), Value::str("Jon"), Value::str("jon@ibm")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e5"), Value::str("Anna"), Value::str("anna@ibm")],
+    );
+    let real = b.finish().unwrap();
+
+    let cons = Constraints::none();
+    let mused = MuseD::new(&src, &tgt, &cons).with_instance(&real);
+
+    // Show the single compact question (Fig. 4(b)).
+    let q = mused.question(&ma).unwrap();
+    println!("{}", q.render(&src, &tgt));
+
+    // The designer picks Anna for supervisor and jon@ibm for email.
+    let mut designer = ScriptedDesigner::default();
+    designer.choices.push_back(vec![vec![1], vec![0]]);
+    let outcome = mused.disambiguate(&ma, &mut designer).unwrap();
+    let selected = &outcome.selected[0];
+    println!("Selected interpretation:\n{}", muse_suite::mapping::print(selected));
+
+    // And what it exchanges.
+    let target = chase_one(&src, &tgt, &real, selected).unwrap();
+    println!("Chase of the source under the selected mapping:");
+    println!("{}", display::render(&tgt, &target));
+
+    // The inner/outer option (Sec. IV "More options"): should employees
+    // that appear in no project still be exchanged? That question applies
+    // to mappings where one variable's tuples feed target elements on
+    // their own, e.g. this employee-migrating join.
+    let tgt2 = Schema::new(
+        "OrgDB2",
+        vec![
+            Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+            ),
+        ],
+    )
+    .unwrap();
+    let join = parse_one(
+        "mj: for p in CompDB.Projects, e in CompDB.Employees
+             satisfy e.eid = p.manager
+             exists p1 in OrgDB2.Projects, f in OrgDB2.Employees
+             where p.pname = p1.pname and e.eid = f.eid and e.ename = f.ename",
+    )
+    .unwrap();
+    join.validate(&src, &tgt2).unwrap();
+    let mused2 = MuseD::new(&src, &tgt2, &cons);
+    let mut outer = ScriptedDesigner::default();
+    outer.joins.push_back(muse_suite::wizard::JoinChoice::Outer);
+    let companion = mused2.design_join(&join, 1, &mut outer).unwrap();
+    match companion {
+        Some(c) => println!(
+            "Designer chose the outer interpretation; Muse adds the companion:\n{}",
+            muse_suite::mapping::print(&c)
+        ),
+        None => println!("Designer kept the inner interpretation."),
+    }
+    let _: &mut dyn Designer = &mut outer;
+}

@@ -1,0 +1,95 @@
+//! Incremental Muse-G (Sec. III-C): a designer returns to a finished
+//! mapping and refines its grouping function without restarting the wizard
+//! — "group more" merges nested sets, "group less" splits them.
+//!
+//! Run with: `cargo run --example incremental`
+
+use muse_suite::chase::chase_one;
+use muse_suite::mapping::{parse_one, Grouping, PathRef};
+use muse_suite::nr::{display, Constraints, Field, InstanceBuilder, Schema, SetPath, Ty, Value};
+use muse_suite::wizard::museg::incremental::{group_less, group_more};
+use muse_suite::wizard::{MuseG, OracleDesigner};
+
+fn main() {
+    let src = Schema::new(
+        "S",
+        vec![Field::new(
+            "Companies",
+            Ty::set_of(vec![
+                Field::new("cid", Ty::Int),
+                Field::new("cname", Ty::Str),
+                Field::new("location", Ty::Str),
+            ]),
+        )],
+    )
+    .unwrap();
+    let tgt = Schema::new(
+        "T",
+        vec![Field::new(
+            "Orgs",
+            Ty::set_of(vec![
+                Field::new("oname", Ty::Str),
+                Field::new("Branches", Ty::set_of(vec![Field::new("site", Ty::Str)])),
+            ]),
+        )],
+    )
+    .unwrap();
+
+    // The mapping as designed last week: branches grouped per (cname,
+    // location) — one branch list per company per city.
+    let mut m = parse_one(
+        "m: for c in S.Companies
+            exists o in T.Orgs, b in o.Branches
+            where c.cname = o.oname and c.location = b.site
+            group o.Branches by (c.cname, c.location)",
+    )
+    .unwrap();
+    m.validate(&src, &tgt).unwrap();
+
+    let mut bld = InstanceBuilder::new(&src);
+    for (cid, cname, loc) in
+        [(1, "IBM", "Almaden"), (2, "IBM", "NY"), (3, "SBC", "SF"), (4, "SBC", "SF")]
+    {
+        bld.push_top("Companies", vec![Value::int(cid), Value::str(cname), Value::str(loc)]);
+    }
+    let inst = bld.finish().unwrap();
+
+    let sk = SetPath::parse("Orgs.Branches");
+    println!("Current design: group Branches by (cname, location):\n");
+    let j = chase_one(&src, &tgt, &inst, &m).unwrap();
+    println!("{}", display::render(&tgt, &j));
+
+    // "Group more": the designer now wants one branch list per company —
+    // merge the per-location sets. Only the two current arguments are
+    // probed; cid is never asked about.
+    let cons = Constraints::none();
+    let wizard = MuseG::new(&src, &tgt, &cons).with_instance(&inst);
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intend_grouping("m", sk.clone(), vec![PathRef::new(0, "cname")]);
+    let refined = group_more(&wizard, &m, &sk, &mut oracle).unwrap();
+    println!(
+        "Group more ({} questions, current args only) -> SKBranches({})",
+        refined.questions,
+        refined.grouping.iter().map(|r| m.source_ref_name(r)).collect::<Vec<_>>().join(", ")
+    );
+    m.set_grouping(sk.clone(), Grouping::new(refined.grouping));
+    let j = chase_one(&src, &tgt, &inst, &m).unwrap();
+    println!("\n{}", display::render(&tgt, &j));
+
+    // "Group less": later still, split again by cid.
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intend_grouping(
+        "m",
+        sk.clone(),
+        vec![PathRef::new(0, "cid"), PathRef::new(0, "cname")],
+    );
+    let refined = group_less(&wizard, &m, &sk, &mut oracle).unwrap();
+    println!(
+        "Group less ({} questions, remaining attributes only) -> SKBranches({})",
+        refined.questions,
+        refined.grouping.iter().map(|r| m.source_ref_name(r)).collect::<Vec<_>>().join(", ")
+    );
+    m.set_grouping(sk, Grouping::new(refined.grouping));
+    let j = chase_one(&src, &tgt, &inst, &m).unwrap();
+    println!("\n{}", display::render(&tgt, &j));
+}

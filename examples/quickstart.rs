@@ -1,0 +1,90 @@
+//! Quickstart: define two schemas, write a mapping in the paper's concrete
+//! syntax, chase a source instance, and print the universal solution.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use muse_suite::chase::chase;
+use muse_suite::mapping::parse;
+use muse_suite::nr::{display, Field, InstanceBuilder, Schema, Ty, Value};
+
+fn main() {
+    // Source: a flat company database.
+    let compdb = Schema::new(
+        "CompDB",
+        vec![
+            Field::new(
+                "Companies",
+                Ty::set_of(vec![
+                    Field::new("cid", Ty::Int),
+                    Field::new("cname", Ty::Str),
+                    Field::new("location", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .expect("valid source schema");
+
+    // Target: organizations with nested project sets, plus employees.
+    let orgdb = Schema::new(
+        "OrgDB",
+        vec![
+            Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .expect("valid target schema");
+
+    // Mappings in the paper's syntax: companies become orgs (projects
+    // grouped by company name), employees migrate unchanged.
+    let mappings = parse(
+        "
+        m1: for c in CompDB.Companies
+            exists o in OrgDB.Orgs
+            where c.cname = o.oname
+            group o.Projects by (c.cname)
+
+        m2: for e in CompDB.Employees
+            exists e1 in OrgDB.Employees
+            where e.eid = e1.eid and e.ename = e1.ename
+        ",
+    )
+    .expect("mappings parse");
+    for m in &mappings {
+        m.validate(&compdb, &orgdb).expect("mappings validate");
+    }
+
+    // A small source instance.
+    let mut b = InstanceBuilder::new(&compdb);
+    b.push_top("Companies", vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")]);
+    b.push_top("Companies", vec![Value::int(112), Value::str("IBM"), Value::str("NY")]);
+    b.push_top("Companies", vec![Value::int(113), Value::str("SBC"), Value::str("SF")]);
+    b.push_top("Employees", vec![Value::str("e14"), Value::str("Smith")]);
+    let source = b.finish().expect("valid instance");
+
+    println!("Source instance:");
+    println!("{}", display::render(&compdb, &source));
+
+    // Chase: the canonical universal solution.
+    let target = chase(&compdb, &orgdb, &source, &mappings).expect("chase succeeds");
+    println!("Universal solution (note both IBMs share one Projects set):");
+    println!("{}", display::render(&orgdb, &target));
+}

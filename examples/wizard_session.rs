@@ -1,0 +1,109 @@
+//! A full wizard session (Sec. V) on the Mondial scenario: generate the
+//! candidate mappings Clio-style, disambiguate all seven ambiguous mappings
+//! with Muse-D, then design every grouping function with Muse-G — with an
+//! oracle designer who wants the `G2` grouping semantics and the first
+//! interpretation everywhere.
+//!
+//! Run with: `cargo run --release --example wizard_session`
+//! (set `MUSE_SCALE=0.1` via the environment for a faster run).
+
+use muse_suite::cliogen::{desired_grouping, GroupingStrategy};
+use muse_suite::mapping::ambiguity::or_groups;
+use muse_suite::wizard::{OracleDesigner, Session};
+
+fn main() {
+    let scale: f64 = std::env::var("MUSE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let scenarios = muse_suite::scenarios::all_scenarios();
+    let mondial = scenarios.iter().find(|s| s.name == "Mondial").unwrap();
+
+    println!("Generating the Mondial instance (scale {scale}) and mappings…");
+    let instance = mondial.instance(mondial.default_scale * scale, 1);
+    println!(
+        "Instance: {} tuples, {:.2} MB",
+        instance.total_tuples(),
+        instance.approx_bytes() as f64 / 1_000_000.0
+    );
+    let mappings = mondial.mappings().unwrap();
+    let ambiguous = mappings.iter().filter(|m| m.is_ambiguous()).count();
+    println!("{} candidate mappings, {ambiguous} ambiguous.\n", mappings.len());
+
+    // The oracle designer: first interpretation for every ambiguity, G2
+    // grouping semantics for every nested set.
+    let mut oracle = OracleDesigner::new(&mondial.source_schema, &mondial.target_schema);
+    for m in &mappings {
+        if m.is_ambiguous() {
+            let picks = vec![vec![0usize]; or_groups(m).len()];
+            oracle.intended_choices.insert(m.name.clone(), picks.clone());
+            // After selection the mapping keeps a derived name `m#k`.
+            let selected = muse_suite::mapping::ambiguity::select_multi(m, &picks).unwrap();
+            for sel in selected {
+                intend_groupings(&mut oracle, mondial, &sel);
+            }
+        } else {
+            intend_groupings(&mut oracle, mondial, m);
+        }
+    }
+
+    let session = Session::new(
+        &mondial.source_schema,
+        &mondial.target_schema,
+        &mondial.source_constraints,
+    )
+    .with_instance(&instance);
+    let report = session.run(&mappings, &mut oracle).expect("session completes");
+
+    println!("Session finished:");
+    println!("  {} final mappings", report.mappings.len());
+    println!(
+        "  {} Muse-D questions ({} encoded interpretations resolved)",
+        report.disambiguations.len(),
+        report
+            .disambiguations
+            .iter()
+            .map(|d| d.alternatives_encoded)
+            .sum::<usize>()
+    );
+    println!(
+        "  {} grouping functions designed with {} Muse-G questions",
+        report.groupings.len(),
+        report.groupings.iter().map(|(_, g)| g.questions).sum::<usize>()
+    );
+    let real: usize = report.groupings.iter().map(|(_, g)| g.real_examples).sum();
+    let synth: usize = report.groupings.iter().map(|(_, g)| g.synthetic_examples).sum();
+    println!(
+        "  examples: {real} real, {synth} synthetic ({:.0}% real), total example time {:?}",
+        100.0 * real as f64 / (real + synth).max(1) as f64,
+        report.total_example_time()
+    );
+    println!("  total questions: {}", report.total_questions());
+
+    // Show one finished mapping.
+    let sample = report
+        .mappings
+        .iter()
+        .find(|m| !m.groupings.is_empty())
+        .expect("some mapping has groupings");
+    println!("\nA finished mapping:\n{}", muse_suite::mapping::print(sample));
+}
+
+fn intend_groupings(
+    oracle: &mut OracleDesigner<'_>,
+    scenario: &muse_suite::scenarios::Scenario,
+    m: &muse_suite::mapping::Mapping,
+) {
+    let filled = m.filled_target_sets(&scenario.target_schema).unwrap();
+    for sk in filled {
+        let desired = desired_grouping(
+            m,
+            &sk,
+            GroupingStrategy::G2,
+            &scenario.source_schema,
+            &scenario.target_schema,
+        )
+        .unwrap();
+        oracle.intend_grouping(m.name.clone(), sk, desired);
+    }
+}

@@ -1,0 +1,270 @@
+//! Integration tests pinning the paper's worked figures (Figs. 1–4)
+//! through the public facade, end to end across crates.
+
+use muse_suite::chase::{chase, chase_one, homomorphically_equivalent, isomorphic};
+use muse_suite::mapping::{parse, parse_one, PathRef};
+use muse_suite::nr::{display, Constraints, Field, InstanceBuilder, Schema, SetPath, Ty, Value};
+use muse_suite::wizard::{MuseD, MuseG, OracleDesigner, ScriptedDesigner};
+
+fn compdb() -> Schema {
+    Schema::new(
+        "CompDB",
+        vec![
+            Field::new(
+                "Companies",
+                Ty::set_of(vec![
+                    Field::new("cid", Ty::Int),
+                    Field::new("cname", Ty::Str),
+                    Field::new("location", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Projects",
+                Ty::set_of(vec![
+                    Field::new("pid", Ty::Str),
+                    Field::new("pname", Ty::Str),
+                    Field::new("cid", Ty::Int),
+                    Field::new("manager", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                    Field::new("contact", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+fn orgdb() -> Schema {
+    Schema::new(
+        "OrgDB",
+        vec![
+            Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new(
+                        "Projects",
+                        Ty::set_of(vec![
+                            Field::new("pname", Ty::Str),
+                            Field::new("manager", Ty::Str),
+                        ]),
+                    ),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+fn fig1_mappings(src: &Schema, tgt: &Schema) -> Vec<muse_suite::mapping::Mapping> {
+    let mut ms = parse(
+        "
+        m1: for c in CompDB.Companies
+            exists o in OrgDB.Orgs
+            where c.cname = o.oname
+            group o.Projects by (c.cid, c.cname, c.location)
+        m2: for c in CompDB.Companies, p in CompDB.Projects, e in CompDB.Employees
+            satisfy p.cid = c.cid and e.eid = p.manager
+            exists o in OrgDB.Orgs, p1 in o.Projects, e1 in OrgDB.Employees
+            satisfy p1.manager = e1.eid
+            where c.cname = o.oname and e.eid = e1.eid and e.ename = e1.ename
+              and p.pname = p1.pname
+        m3: for e in CompDB.Employees
+            exists e1 in OrgDB.Employees
+            where e.eid = e1.eid and e.ename = e1.ename
+        ",
+    )
+    .unwrap();
+    for m in &mut ms {
+        m.ensure_default_groupings(tgt, src).unwrap();
+        m.validate(src, tgt).unwrap();
+    }
+    ms
+}
+
+fn fig2_source(src: &Schema) -> muse_suite::nr::Instance {
+    let mut b = InstanceBuilder::new(src);
+    b.push_top("Companies", vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")]);
+    b.push_top("Companies", vec![Value::int(112), Value::str("SBC"), Value::str("NY")]);
+    b.push_top(
+        "Projects",
+        vec![Value::str("p1"), Value::str("DBSearch"), Value::int(111), Value::str("e14")],
+    );
+    b.push_top(
+        "Projects",
+        vec![Value::str("p2"), Value::str("WebSearch"), Value::int(111), Value::str("e15")],
+    );
+    b.push_top("Employees", vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")]);
+    b.push_top("Employees", vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")]);
+    b.push_top("Employees", vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")]);
+    b.finish().unwrap()
+}
+
+/// Fig. 2: the solution shape — 4 Org tuples, 3 Employees, 4 Projects sets
+/// of sizes {0, 0, 1, 1}, rendered with the SetIDs the paper shows.
+#[test]
+fn fig2_solution_shape() {
+    let (src, tgt) = (compdb(), orgdb());
+    let j = chase(&src, &tgt, &fig2_source(&src), &fig1_mappings(&src, &tgt)).unwrap();
+    j.validate(&tgt).unwrap();
+    let text = display::render(&tgt, &j);
+    for needle in [
+        "Projects=SKProjects(111,IBM,Almaden)",
+        "Projects=SKProjects(112,SBC,NY)",
+        "(pname=DBSearch, manager=e14)",
+        "(pname=WebSearch, manager=e15)",
+        "(eid=e16, ename=Brown)",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}
+
+/// The chase result is a universal solution: it maps homomorphically into a
+/// hand-built alternative solution with extra tuples and merged groups.
+#[test]
+fn fig2_solution_is_universal() {
+    let (src, tgt) = (compdb(), orgdb());
+    let j = chase(&src, &tgt, &fig2_source(&src), &fig1_mappings(&src, &tgt)).unwrap();
+
+    // A fatter solution: one IBM org holding both projects, plus junk.
+    let mut b = InstanceBuilder::new(&tgt);
+    let ibm = b.group("Orgs.Projects", vec![Value::str("IBM")]);
+    b.push(ibm, vec![Value::str("DBSearch"), Value::str("e14")]);
+    b.push(ibm, vec![Value::str("WebSearch"), Value::str("e15")]);
+    let sbc = b.group("Orgs.Projects", vec![Value::str("SBC")]);
+    let junk = b.group("Orgs.Projects", vec![Value::str("junk")]);
+    b.push(junk, vec![Value::str("Extra"), Value::str("e99")]);
+    b.push_top("Orgs", vec![Value::str("IBM"), Value::Set(ibm)]);
+    b.push_top("Orgs", vec![Value::str("SBC"), Value::Set(sbc)]);
+    b.push_top("Orgs", vec![Value::str("Junk"), Value::Set(junk)]);
+    for (eid, en) in [("e14", "Smith"), ("e15", "Anna"), ("e16", "Brown"), ("e99", "X")] {
+        b.push_top("Employees", vec![Value::str(eid), Value::str(en)]);
+    }
+    let fat = b.finish().unwrap();
+
+    assert!(muse_suite::chase::find_homomorphism(&j, &fat).is_some());
+    // But not the other way (the fat solution has junk).
+    assert!(muse_suite::chase::find_homomorphism(&fat, &j).is_none());
+}
+
+/// Fig. 3: with SKProjs(cname) in mind and the scripted answers 2/1/2 on
+/// the Companies attributes, Muse-G recovers exactly SKProjs(cname); the
+/// inferred mapping has the same effect as the intended one.
+#[test]
+fn fig3_museg_infers_cname() {
+    let (src, tgt) = (compdb(), orgdb());
+    let ms = fig1_mappings(&src, &tgt);
+    let cons = Constraints::none();
+    let real = fig2_source(&src);
+    let museg = MuseG::new(&src, &tgt, &cons).with_instance(&real);
+    let sk = SetPath::parse("Orgs.Projects");
+
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intend_grouping("m2", sk.clone(), vec![PathRef::new(0, "cname")]);
+    let out = museg.design_grouping(&ms[1], &sk, &mut oracle).unwrap();
+    assert_eq!(out.grouping, vec![PathRef::new(0, "cname")]);
+
+    // Same effect as the intention, checked by chasing the real source.
+    let mut intended = ms[1].clone();
+    intended.set_grouping(sk.clone(), muse_suite::mapping::Grouping::new(vec![PathRef::new(0, "cname")]));
+    let mut inferred = ms[1].clone();
+    inferred.set_grouping(sk, muse_suite::mapping::Grouping::new(out.grouping));
+    let i = fig2_source(&src);
+    let a = chase_one(&src, &tgt, &i, &intended).unwrap();
+    let b = chase_one(&src, &tgt, &i, &inferred).unwrap();
+    assert!(homomorphically_equivalent(&a, &b));
+    assert!(isomorphic(&a, &b));
+}
+
+/// Fig. 4: Muse-D's one-question disambiguation with real data.
+#[test]
+fn fig4_mused_selection() {
+    let src = Schema::new(
+        "CompDB",
+        vec![
+            Field::new(
+                "Projects",
+                Ty::set_of(vec![
+                    Field::new("pid", Ty::Str),
+                    Field::new("pname", Ty::Str),
+                    Field::new("manager", Ty::Str),
+                    Field::new("tech-lead", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                    Field::new("contact", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .unwrap();
+    let tgt = Schema::new(
+        "OrgDB",
+        vec![Field::new(
+            "Projects",
+            Ty::set_of(vec![
+                Field::new("pname", Ty::Str),
+                Field::new("supervisor", Ty::Str),
+                Field::new("email", Ty::Str),
+            ]),
+        )],
+    )
+    .unwrap();
+    let ma = parse_one(
+        "ma: for p in CompDB.Projects, e1 in CompDB.Employees, e2 in CompDB.Employees
+             satisfy e1.eid = p.manager and e2.eid = p.tech-lead
+             exists p1 in OrgDB.Projects
+             where p.pname = p1.pname
+               and (e1.ename = p1.supervisor or e2.ename = p1.supervisor)
+               and (e1.contact = p1.email or e2.contact = p1.email)",
+    )
+    .unwrap();
+
+    let mut b = InstanceBuilder::new(&src);
+    b.push_top(
+        "Projects",
+        vec![Value::str("P1"), Value::str("DB"), Value::str("e4"), Value::str("e5")],
+    );
+    b.push_top("Employees", vec![Value::str("e4"), Value::str("Jon"), Value::str("jon@ibm")]);
+    b.push_top("Employees", vec![Value::str("e5"), Value::str("Anna"), Value::str("anna@ibm")]);
+    let real = b.finish().unwrap();
+
+    let cons = Constraints::none();
+    let mused = MuseD::new(&src, &tgt, &cons).with_instance(&real);
+    let q = mused.question(&ma).unwrap();
+    assert!(q.example.real);
+    assert_eq!(q.example.instance.total_tuples(), 3);
+    assert_eq!(q.choices.len(), 2);
+    // The choice values are the real ones from Fig. 4(b).
+    assert_eq!(q.choices[0].values, vec![Value::str("Jon"), Value::str("Anna")]);
+    assert_eq!(q.choices[1].values, vec![Value::str("jon@ibm"), Value::str("anna@ibm")]);
+
+    // Picking Anna + jon@ibm selects the paper's interpretation, and its
+    // chase fills the blanks consistently.
+    let mut scripted = ScriptedDesigner::default();
+    scripted.choices.push_back(vec![vec![1], vec![0]]);
+    let out = mused.disambiguate(&ma, &mut scripted).unwrap();
+    let j = chase_one(&src, &tgt, &real, &out.selected[0]).unwrap();
+    let projs = j.root_id("Projects").unwrap();
+    let t: Vec<_> = j.tuples(projs).collect();
+    assert_eq!(t.len(), 1);
+    assert_eq!(t[0][1], Value::str("Anna"));
+    assert_eq!(t[0][2], Value::str("jon@ibm"));
+}

@@ -1,0 +1,263 @@
+//! Property-based tests of the core guarantees, across crates:
+//!
+//! * the chase is idempotent and produces universal solutions,
+//! * Thm. 3.2 (grouping by a key ≡ grouping by any superset) holds on
+//!   arbitrary key-valid instances,
+//! * Muse-G always infers a grouping with the *same effect* as whatever
+//!   grouping the oracle designer had in mind, asking at most |poss|
+//!   questions (Cor. 3.3),
+//! * Muse-D selection round-trips through the chase,
+//! * probe examples are always small and constraint-valid.
+
+use proptest::prelude::*;
+
+use muse_suite::chase::{chase, chase_one, find_homomorphism, homomorphically_equivalent};
+use muse_suite::mapping::{parse_one, Grouping, Mapping, PathRef};
+use muse_suite::nr::{Constraints, Field, Instance, InstanceBuilder, Key, Schema, SetPath, Ty, Value};
+use muse_suite::wizard::{Designer, MuseG, OracleDesigner};
+
+/// Source: one relation `R(k, x, y, z)` with key `k`; values of x/y/z come
+/// from tiny domains so groupings genuinely collide.
+fn source() -> Schema {
+    Schema::new(
+        "S",
+        vec![Field::new(
+            "R",
+            Ty::set_of(vec![
+                Field::new("k", Ty::Int),
+                Field::new("x", Ty::Int),
+                Field::new("y", Ty::Int),
+                Field::new("z", Ty::Int),
+            ]),
+        )],
+    )
+    .unwrap()
+}
+
+/// Target: `Out(v, Kids(w))`.
+fn target() -> Schema {
+    Schema::new(
+        "T",
+        vec![Field::new(
+            "Out",
+            Ty::set_of(vec![
+                Field::new("v", Ty::Int),
+                Field::new("Kids", Ty::set_of(vec![Field::new("w", Ty::Int)])),
+            ]),
+        )],
+    )
+    .unwrap()
+}
+
+fn mapping() -> Mapping {
+    parse_one(
+        "m: for r in S.R
+            exists o in T.Out, c in o.Kids
+            where r.x = o.v and r.y = c.w
+            group o.Kids by ()",
+    )
+    .unwrap()
+}
+
+fn keyed() -> Constraints {
+    Constraints { keys: vec![Key::new(SetPath::parse("R"), vec!["k"])], fds: vec![], fks: vec![] }
+}
+
+/// Rows with unique keys and low-entropy payload.
+fn rows() -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
+    prop::collection::vec((0..4i64, 0..4i64, 0..3i64), 0..8)
+}
+
+fn instance_of(rows: &[(i64, i64, i64)]) -> Instance {
+    let s = source();
+    let mut b = InstanceBuilder::new(&s);
+    for (i, (x, y, z)) in rows.iter().enumerate() {
+        b.push_top("R", vec![Value::int(i as i64), Value::int(*x), Value::int(*y), Value::int(*z)]);
+    }
+    b.finish().unwrap()
+}
+
+fn with_grouping(attrs: &[&str]) -> Mapping {
+    let mut m = mapping();
+    let args = attrs.iter().map(|a| PathRef::new(0, *a)).collect();
+    m.set_grouping(SetPath::parse("Out.Kids"), Grouping::new(args));
+    m
+}
+
+/// Subsets of {k, x, y, z} as grouping intentions.
+fn grouping_subset() -> impl Strategy<Value = Vec<&'static str>> {
+    prop::collection::vec(prop::sample::select(vec!["k", "x", "y", "z"]), 0..4).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chasing with Σ ∪ Σ adds nothing (idempotence of the canonical
+    /// universal solution).
+    #[test]
+    fn chase_is_idempotent(rows in rows(), g in grouping_subset()) {
+        let (s, t) = (source(), target());
+        let i = instance_of(&rows);
+        let m = with_grouping(&g);
+        let once = chase_one(&s, &t, &i, &m).unwrap();
+        let twice = chase(&s, &t, &i, &[m.clone(), m]).unwrap();
+        prop_assert_eq!(once.total_tuples(), twice.total_tuples());
+        prop_assert!(homomorphically_equivalent(&once, &twice));
+    }
+
+    /// The chase result maps homomorphically into the chase of any superset
+    /// instance (monotonicity / universality flavor).
+    #[test]
+    fn chase_is_monotone(rows in rows(), extra in rows(), g in grouping_subset()) {
+        let (s, t) = (source(), target());
+        let m = with_grouping(&g);
+        let small = instance_of(&rows);
+        let mut all = rows.clone();
+        all.extend(extra);
+        let big = instance_of(&all);
+        let j_small = chase_one(&s, &t, &small, &m).unwrap();
+        let j_big = chase_one(&s, &t, &big, &m).unwrap();
+        prop_assert!(find_homomorphism(&j_small, &j_big).is_some());
+    }
+
+    /// Thm. 3.2: when K is a key of poss, SK(K) has the same effect as
+    /// SK(K ∪ W) on every key-valid instance.
+    #[test]
+    fn theorem_3_2_key_superset(rows in rows(), w in grouping_subset()) {
+        let (s, t) = (source(), target());
+        let i = instance_of(&rows); // keys are unique by construction
+        let m_key = with_grouping(&["k"]);
+        let mut with_w = vec!["k"];
+        with_w.extend(w);
+        with_w.sort_unstable();
+        with_w.dedup();
+        let m_sup = with_grouping(&with_w);
+        let a = chase_one(&s, &t, &i, &m_key).unwrap();
+        let b = chase_one(&s, &t, &i, &m_sup).unwrap();
+        prop_assert!(homomorphically_equivalent(&a, &b), "SK(k) vs SK({with_w:?})");
+    }
+
+    /// The wizard's central guarantee: for any intended grouping and any
+    /// key-valid real instance, the inferred grouping has the same effect
+    /// as the intention on that instance, with at most |poss| questions.
+    #[test]
+    fn museg_infers_same_effect_grouping(rows in rows(), intent in grouping_subset()) {
+        let (s, t) = (source(), target());
+        let i = instance_of(&rows);
+        let cons = keyed();
+        let m = mapping();
+        let sk = SetPath::parse("Out.Kids");
+        let desired: Vec<PathRef> = intent.iter().map(|a| PathRef::new(0, *a)).collect();
+
+        let museg = MuseG::new(&s, &t, &cons).with_instance(&i);
+        let mut oracle = OracleDesigner::new(&s, &t);
+        oracle.intend_grouping("m", sk.clone(), desired.clone());
+        let out = museg.design_grouping(&m, &sk, &mut oracle).unwrap();
+        prop_assert!(out.questions <= out.poss_size, "Cor. 3.3");
+
+        let mut intended = m.clone();
+        intended.set_grouping(sk.clone(), Grouping::new(desired));
+        let mut inferred = m.clone();
+        inferred.set_grouping(sk, Grouping::new(out.grouping));
+        let a = chase_one(&s, &t, &i, &intended).unwrap();
+        let b = chase_one(&s, &t, &i, &inferred).unwrap();
+        prop_assert!(homomorphically_equivalent(&a, &b));
+    }
+
+    /// Probe examples always satisfy the source constraints and contain at
+    /// most two tuples per relation.
+    #[test]
+    fn probe_examples_are_small_and_valid(rows in rows(), intent in grouping_subset()) {
+        struct Checking<'a> {
+            inner: OracleDesigner<'a>,
+            schema: Schema,
+            cons: Constraints,
+        }
+        impl Designer for Checking<'_> {
+            fn pick_scenario(
+                &mut self,
+                q: &muse_suite::wizard::GroupingQuestion,
+            ) -> muse_suite::wizard::ScenarioChoice {
+                q.example.instance.validate(&self.schema).unwrap();
+                self.cons.validate_instance(&self.schema, &q.example.instance).unwrap();
+                for id in q.example.instance.set_ids() {
+                    assert!(q.example.instance.set_len(id) <= 2);
+                }
+                self.inner.pick_scenario(q)
+            }
+            fn fill_choices(
+                &mut self,
+                _q: &muse_suite::wizard::DisambiguationQuestion,
+            ) -> Vec<Vec<usize>> {
+                unreachable!()
+            }
+        }
+        let (s, t) = (source(), target());
+        let i = instance_of(&rows);
+        let cons = keyed();
+        let m = mapping();
+        let sk = SetPath::parse("Out.Kids");
+        let desired: Vec<PathRef> = intent.iter().map(|a| PathRef::new(0, *a)).collect();
+        let museg = MuseG::new(&s, &t, &cons).with_instance(&i);
+        let mut oracle = OracleDesigner::new(&s, &t);
+        oracle.intend_grouping("m", sk.clone(), desired);
+        let mut checking = Checking { inner: oracle, schema: s.clone(), cons: cons.clone() };
+        museg.design_grouping(&m, &sk, &mut checking).unwrap();
+    }
+}
+
+/// Muse-D: for every interpretation of an ambiguous mapping, selecting its
+/// choice indices recovers a mapping with the same chase result.
+#[test]
+fn mused_selection_round_trips_over_random_instances() {
+    use muse_suite::mapping::ambiguity::interpretations;
+    use muse_suite::wizard::{MuseD, ScriptedDesigner};
+
+    let src = Schema::new(
+        "S",
+        vec![Field::new(
+            "R",
+            Ty::set_of(vec![
+                Field::new("k", Ty::Int),
+                Field::new("x", Ty::Int),
+                Field::new("y", Ty::Int),
+            ]),
+        )],
+    )
+    .unwrap();
+    let tgt = Schema::new(
+        "T",
+        vec![Field::new(
+            "Out",
+            Ty::set_of(vec![Field::new("v", Ty::Int)]),
+        )],
+    )
+    .unwrap();
+    let ma = parse_one(
+        "ma: for r in S.R
+             exists o in T.Out
+             where (r.x = o.v or r.y = o.v)",
+    )
+    .unwrap();
+    let cons = Constraints::none();
+    let mused = MuseD::new(&src, &tgt, &cons);
+
+    // A check instance where x and y genuinely differ.
+    let mut b = InstanceBuilder::new(&src);
+    b.push_top("R", vec![Value::int(0), Value::int(1), Value::int(2)]);
+    b.push_top("R", vec![Value::int(1), Value::int(3), Value::int(3)]);
+    let check = b.finish().unwrap();
+
+    for (k, intended) in interpretations(&ma).iter().enumerate() {
+        let mut scripted = ScriptedDesigner::default();
+        scripted.choices.push_back(vec![vec![k]]);
+        let out = mused.disambiguate(&ma, &mut scripted).unwrap();
+        let a = chase_one(&src, &tgt, &check, intended).unwrap();
+        let b = chase_one(&src, &tgt, &check, &out.selected[0]).unwrap();
+        assert!(homomorphically_equivalent(&a, &b), "interpretation {k}");
+    }
+}

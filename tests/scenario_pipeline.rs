@@ -1,0 +1,87 @@
+//! End-to-end pipeline per evaluation scenario: generate an instance,
+//! generate candidate mappings Clio-style, run the full wizard session
+//! (Muse-D then Muse-G), and check that the finished mappings chase the
+//! instance into a valid target.
+
+use muse_suite::chase::chase;
+use muse_suite::cliogen::{desired_grouping, GroupingStrategy};
+use muse_suite::mapping::ambiguity::{or_groups, select_multi};
+use muse_suite::wizard::{OracleDesigner, Session};
+
+fn run_scenario(name: &str, scale: f64) {
+    let scenarios = muse_suite::scenarios::all_scenarios();
+    let scenario = scenarios.iter().find(|s| s.name == name).unwrap();
+    let instance = scenario.instance(scale, 11);
+    let mappings = scenario.mappings().unwrap();
+
+    // Oracle: first interpretation everywhere, G3 grouping semantics.
+    let mut oracle = OracleDesigner::new(&scenario.source_schema, &scenario.target_schema);
+    let mut resolved = Vec::new();
+    for m in &mappings {
+        if m.is_ambiguous() {
+            let picks = vec![vec![0usize]; or_groups(m).len()];
+            oracle.intended_choices.insert(m.name.clone(), picks.clone());
+            resolved.extend(select_multi(m, &picks).unwrap());
+        } else {
+            resolved.push(m.clone());
+        }
+    }
+    for m in &resolved {
+        for sk in m.filled_target_sets(&scenario.target_schema).unwrap() {
+            let desired = desired_grouping(
+                m,
+                &sk,
+                GroupingStrategy::G3,
+                &scenario.source_schema,
+                &scenario.target_schema,
+            )
+            .unwrap();
+            oracle.intend_grouping(m.name.clone(), sk, desired);
+        }
+    }
+
+    let session = Session::new(
+        &scenario.source_schema,
+        &scenario.target_schema,
+        &scenario.source_constraints,
+    )
+    .with_instance(&instance);
+    let report = session.run(&mappings, &mut oracle).unwrap();
+
+    // Every final mapping validates and the whole Σ chases cleanly.
+    for m in &report.mappings {
+        m.validate(&scenario.source_schema, &scenario.target_schema)
+            .unwrap_or_else(|e| panic!("{name}/{}: {e}", m.name));
+        assert!(!m.is_ambiguous());
+    }
+    let target = chase(
+        &scenario.source_schema,
+        &scenario.target_schema,
+        &instance,
+        &report.mappings,
+    )
+    .unwrap();
+    target.validate(&scenario.target_schema).unwrap();
+    assert!(!target.is_empty(), "{name}: chase produced data");
+    assert!(report.total_questions() > 0, "{name}: the wizard asked questions");
+}
+
+#[test]
+fn mondial_pipeline() {
+    run_scenario("Mondial", 0.04);
+}
+
+#[test]
+fn dblp_pipeline() {
+    run_scenario("DBLP", 0.02);
+}
+
+#[test]
+fn tpch_pipeline() {
+    run_scenario("TPCH", 0.02);
+}
+
+#[test]
+fn amalgam_pipeline() {
+    run_scenario("Amalgam", 0.03);
+}
