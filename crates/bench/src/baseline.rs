@@ -1,0 +1,233 @@
+//! `BENCH_baseline.json`: the machine-readable bench baseline.
+//!
+//! Every binary in `src/bin/` accepts `--json`. Besides printing its human
+//! table it then re-runs its measurements with metrics enabled and merges
+//! the results, keyed by binary name, into `BENCH_baseline.json` in the
+//! current directory:
+//!
+//! ```json
+//! {
+//!   "fig5_museg": {
+//!     "scale": 1.0,
+//!     "seed": 1,
+//!     "scenarios": {
+//!       "Mondial": {
+//!         "strategies": { "G1": { "avg_questions": 2.6, ... }, ... },
+//!         "metrics": { "counters": { "query.evals": 123, ... },
+//!                      "timers": { "query.eval_time": { "count": 123, "nanos": 456 } } }
+//!       }
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! Sections written by the other binaries are preserved, so running all four
+//! with `--json` accumulates the complete baseline. Compare two checkouts by
+//! diffing the files or loading them with [`muse_obs::Json::parse`].
+
+use std::path::{Path, PathBuf};
+
+use muse_cliogen::GroupingStrategy;
+use muse_obs::{Json, Metrics};
+
+use crate::{ablation_avg_questions, fig5_cell_with, mused_row_with, scenario_row, Fig5Row};
+
+/// File the sections are merged into (in the current directory).
+pub const FILE: &str = "BENCH_baseline.json";
+
+/// Did the binary's caller pass `--json`?
+pub fn wants_json() -> bool {
+    std::env::args().skip(1).any(|a| a == "--json")
+}
+
+/// Build `section` and merge it into [`FILE`], reporting where it went.
+/// Exits non-zero when the file cannot be written.
+pub fn emit(bench: &str, section: Json) {
+    match update_section_in(Path::new("."), bench, section) {
+        Ok(path) => eprintln!("wrote section `{bench}` to {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write {FILE}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Merge `section` under the key `bench` into `dir/BENCH_baseline.json`,
+/// preserving every other binary's section. A missing or unparseable file
+/// starts fresh.
+pub fn update_section_in(dir: &Path, bench: &str, section: Json) -> std::io::Result<PathBuf> {
+    let path = dir.join(FILE);
+    let mut root = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .unwrap_or(Json::Obj(Vec::new()));
+    if !matches!(root, Json::Obj(_)) {
+        root = Json::Obj(Vec::new());
+    }
+    if let Json::Obj(fields) = &mut root {
+        match fields.iter_mut().find(|(k, _)| k == bench) {
+            Some(slot) => slot.1 = section,
+            None => fields.push((bench.to_string(), section)),
+        }
+    }
+    std::fs::write(&path, root.render_pretty() + "\n")?;
+    Ok(path)
+}
+
+fn section(scale: f64, seed: u64, scenarios: Vec<(String, Json)>) -> Json {
+    Json::obj(vec![
+        ("scale", Json::Num(scale)),
+        ("seed", Json::Int(seed as i64)),
+        ("scenarios", Json::Obj(scenarios)),
+    ])
+}
+
+/// The `table_scenarios` section: per-scenario characteristics plus the
+/// time spent generating instance and mappings.
+pub fn scenarios_section(scale: f64, seed: u64) -> Json {
+    let mut scenarios = Vec::new();
+    for s in muse_scenarios::all_scenarios() {
+        let metrics = Metrics::enabled();
+        let row = metrics
+            .timer("bench.row_time")
+            .time(|| scenario_row(&s, scale, seed));
+        scenarios.push((
+            row.name.to_string(),
+            Json::obj(vec![
+                ("instance_mb", Json::Num(row.instance_mb)),
+                (
+                    "target_sets_with_grouping",
+                    Json::Int(row.target_sets_with_grouping as i64),
+                ),
+                ("mappings", Json::Int(row.mappings as i64)),
+                ("ambiguous", Json::Int(row.ambiguous as i64)),
+                ("metrics", metrics.snapshot().to_json()),
+            ]),
+        ));
+    }
+    section(scale, seed, scenarios)
+}
+
+fn fig5_json(cell: &Fig5Row) -> Json {
+    Json::obj(vec![
+        ("avg_poss", Json::Num(cell.avg_poss)),
+        ("avg_questions", Json::Num(cell.avg_questions)),
+        ("real_fraction", Json::Num(cell.real_fraction)),
+        (
+            "avg_example_time_s",
+            Json::Num(cell.avg_example_time.as_secs_f64()),
+        ),
+        (
+            "grouping_functions",
+            Json::Int(cell.grouping_functions as i64),
+        ),
+    ])
+}
+
+/// The `fig5_museg` section: per scenario, the three strategy cells plus
+/// the wizard/query/chase counters accumulated across all of them.
+pub fn fig5_section(scale: f64, seed: u64) -> Json {
+    let mut scenarios = Vec::new();
+    for s in muse_scenarios::all_scenarios() {
+        let metrics = Metrics::enabled();
+        let mut strategies = Vec::new();
+        for strategy in [
+            GroupingStrategy::G1,
+            GroupingStrategy::G2,
+            GroupingStrategy::G3,
+        ] {
+            let cell = metrics
+                .timer("bench.cell_time")
+                .time(|| fig5_cell_with(&s, strategy, scale, seed, &metrics));
+            strategies.push((strategy.to_string(), fig5_json(&cell)));
+        }
+        scenarios.push((
+            s.name.to_string(),
+            Json::obj(vec![
+                ("strategies", Json::Obj(strategies)),
+                ("metrics", metrics.snapshot().to_json()),
+            ]),
+        ));
+    }
+    section(scale, seed, scenarios)
+}
+
+/// The `table_mused` section. Scenarios without ambiguous mappings map to
+/// `null`, mirroring the table's "no ambiguous mappings" lines.
+pub fn mused_section(scale: f64, seed: u64) -> Json {
+    let mut scenarios = Vec::new();
+    for s in muse_scenarios::all_scenarios() {
+        let metrics = Metrics::enabled();
+        let row = metrics
+            .timer("bench.row_time")
+            .time(|| mused_row_with(&s, scale, seed, &metrics));
+        let body = match row {
+            Some(row) => Json::obj(vec![
+                (
+                    "alternatives_encoded",
+                    Json::Int(row.alternatives_encoded as i64),
+                ),
+                ("questions", Json::Int(row.questions as i64)),
+                ("example_tuples_min", Json::Int(row.example_tuples.0 as i64)),
+                ("example_tuples_max", Json::Int(row.example_tuples.1 as i64)),
+                (
+                    "ambiguous_values_min",
+                    Json::Int(row.ambiguous_values.0 as i64),
+                ),
+                (
+                    "ambiguous_values_max",
+                    Json::Int(row.ambiguous_values.1 as i64),
+                ),
+                ("real_examples", Json::Int(row.real_examples as i64)),
+                ("metrics", metrics.snapshot().to_json()),
+            ]),
+            None => Json::Null,
+        };
+        scenarios.push((s.name.to_string(), body));
+    }
+    section(scale, seed, scenarios)
+}
+
+/// The `ablations` section: key-aware question savings, G2 real-example
+/// availability, and the Muse-D decisions-vs-instances counts.
+pub fn ablations_section(scale: f64, seed: u64) -> Json {
+    let mut scenarios = Vec::new();
+    for s in muse_scenarios::all_scenarios() {
+        let metrics = Metrics::enabled();
+        let mut key_aware = Vec::new();
+        for strategy in [GroupingStrategy::G1, GroupingStrategy::G3] {
+            let with_keys = ablation_avg_questions(&s, strategy, true, &metrics);
+            let without = ablation_avg_questions(&s, strategy, false, &metrics);
+            key_aware.push((
+                strategy.to_string(),
+                Json::obj(vec![
+                    ("avg_questions_with_keys", Json::Num(with_keys)),
+                    ("avg_questions_without_keys", Json::Num(without)),
+                ]),
+            ));
+        }
+        let g2 = fig5_cell_with(&s, GroupingStrategy::G2, scale, seed, &metrics);
+        let ms = s.mappings().expect("scenario mappings generate");
+        let mut decisions = 0usize;
+        let mut instances = 0usize;
+        for m in ms.iter().filter(|m| m.is_ambiguous()) {
+            decisions += muse_mapping::ambiguity::or_groups(m).len();
+            instances += muse_mapping::ambiguity::alternatives_count(m);
+        }
+        scenarios.push((
+            s.name.to_string(),
+            Json::obj(vec![
+                ("key_aware_questions", Json::Obj(key_aware)),
+                ("real_fraction_g2", Json::Num(g2.real_fraction)),
+                (
+                    "avg_example_time_g2_s",
+                    Json::Num(g2.avg_example_time.as_secs_f64()),
+                ),
+                ("mused_decisions", Json::Int(decisions as i64)),
+                ("mused_alternative_instances", Json::Int(instances as i64)),
+                ("metrics", metrics.snapshot().to_json()),
+            ]),
+        ));
+    }
+    section(scale, seed, scenarios)
+}

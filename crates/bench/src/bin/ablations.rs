@@ -8,15 +8,14 @@
 //!    decisions Muse-D asks for vs the number of target instances Yan et
 //!    al.'s approach would display.
 //!
-//! Usage: `cargo run --release -p muse-bench --bin ablations`
-//! (use `MUSE_SCALE=0.1` for a quick run).
+//! Usage: `cargo run --release -p muse-bench --bin ablations [-- --json]`
+//! (use `MUSE_SCALE=0.1` for a quick run; `--json` also merges the results
+//! into `BENCH_baseline.json`).
 
-use muse_bench::{env_scale, env_seed, fig5_cell, mused_row, unambiguous_mappings};
-use muse_cliogen::{desired_grouping, GroupingStrategy};
+use muse_bench::{ablation_avg_questions, baseline, env_scale, env_seed, fig5_cell, mused_row};
+use muse_cliogen::GroupingStrategy;
 use muse_mapping::ambiguity::or_groups;
-use muse_nr::Constraints;
-use muse_scenarios::Scenario;
-use muse_wizard::{MuseG, OracleDesigner};
+use muse_obs::Metrics;
 
 fn main() {
     let scale = env_scale();
@@ -30,8 +29,10 @@ fn main() {
     );
     for scenario in muse_scenarios::all_scenarios() {
         for strategy in [GroupingStrategy::G1, GroupingStrategy::G3] {
-            let with_keys = avg_questions(&scenario, strategy, true);
-            let without = avg_questions(&scenario, strategy, false);
+            let with_keys =
+                ablation_avg_questions(&scenario, strategy, true, Metrics::disabled_ref());
+            let without =
+                ablation_avg_questions(&scenario, strategy, false, Metrics::disabled_ref());
             println!(
                 "{:<9} {:<5} | {:>12.1} {:>12.1} {:>8.0}%",
                 scenario.name,
@@ -78,40 +79,8 @@ fn main() {
             muse_bench::range_str(row.example_tuples),
         );
     }
-}
 
-/// Average questions per grouping function, with or without the schemas'
-/// key/FD constraints (the latter is the basic Sec. III-A algorithm). No
-/// instance is attached: question counts do not depend on it.
-fn avg_questions(scenario: &Scenario, strategy: GroupingStrategy, with_keys: bool) -> f64 {
-    let no_keys =
-        Constraints { keys: vec![], fds: vec![], fks: scenario.source_constraints.fks.clone() };
-    let cons = if with_keys { &scenario.source_constraints } else { &no_keys };
-    let museg = MuseG::new(&scenario.source_schema, &scenario.target_schema, cons);
-    let mut total = 0usize;
-    let mut designed = 0usize;
-    for mut m in unambiguous_mappings(scenario) {
-        let filled = m.filled_target_sets(&scenario.target_schema).expect("filled");
-        if filled.is_empty() {
-            continue;
-        }
-        let mut oracle = OracleDesigner::new(&scenario.source_schema, &scenario.target_schema);
-        for sk in &filled {
-            let desired = desired_grouping(
-                &m,
-                sk,
-                strategy,
-                &scenario.source_schema,
-                &scenario.target_schema,
-            )
-            .expect("strategy grouping");
-            oracle.intend_grouping(m.name.clone(), sk.clone(), desired);
-        }
-        let outcomes = museg.design_all_groupings(&mut m, &mut oracle).expect("design");
-        for o in outcomes {
-            total += o.questions;
-            designed += 1;
-        }
+    if baseline::wants_json() {
+        baseline::emit("ablations", baseline::ablations_section(scale, seed));
     }
-    total as f64 / designed.max(1) as f64
 }

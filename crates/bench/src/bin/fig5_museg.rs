@@ -3,11 +3,12 @@
 //! % of probes answered with a real example, and the average time to obtain
 //! the example.
 //!
-//! Usage: `cargo run --release -p muse-bench --bin fig5_museg`
+//! Usage: `cargo run --release -p muse-bench --bin fig5_museg [-- --json]`
 //! (`MUSE_SCALE`/`MUSE_SEED` adjust instance generation; the paper sizes
-//! correspond to scale 1.0 — use e.g. `MUSE_SCALE=0.1` for a quick run).
+//! correspond to scale 1.0 — use e.g. `MUSE_SCALE=0.1` for a quick run;
+//! `--json` also merges the results into `BENCH_baseline.json`).
 
-use muse_bench::{env_scale, env_seed, fig5_cell};
+use muse_bench::{baseline, env_scale, env_seed, fig5_cell};
 use muse_cliogen::GroupingStrategy;
 
 /// Fig. 5 paper values: (scenario, strategy) -> (avg questions, % real,
@@ -33,12 +34,22 @@ fn main() {
     println!("Fig. 5 — Muse-G over all scenarios, scale factor {scale}");
     println!(
         "{:<9} {:<5} {:>9} | {:>7} {:>7} | {:>7} {:>7} | {:>10} {:>9}",
-        "Scenario", "Strat", "avg poss", "avg #q", "(paper)", "% real", "(paper)", "avg t(Ie)", "(paper)"
+        "Scenario",
+        "Strat",
+        "avg poss",
+        "avg #q",
+        "(paper)",
+        "% real",
+        "(paper)",
+        "avg t(Ie)",
+        "(paper)"
     );
     for scenario in muse_scenarios::all_scenarios() {
-        for strategy in
-            [GroupingStrategy::G1, GroupingStrategy::G2, GroupingStrategy::G3]
-        {
+        for strategy in [
+            GroupingStrategy::G1,
+            GroupingStrategy::G2,
+            GroupingStrategy::G3,
+        ] {
             let cell = fig5_cell(&scenario, strategy, scale, seed);
             let paper = PAPER
                 .iter()
@@ -62,4 +73,7 @@ fn main() {
     println!("Paper avg poss: Mondial 13.1, DBLP 11, TPCH 26.7, Amalgam 14.1.");
     println!("Shape checks: G1/G3 << poss when keys exist; G2 ~ poss; TPC-H finds");
     println!("(almost) no real examples; retrieval is sub-second.");
+    if baseline::wants_json() {
+        baseline::emit("fig5_museg", baseline::fig5_section(scale, seed));
+    }
 }

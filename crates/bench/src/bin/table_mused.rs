@@ -2,9 +2,10 @@
 //! mappings — alternatives encoded, number of questions, example sizes, and
 //! ambiguous values per target instance.
 //!
-//! Usage: `cargo run -p muse-bench --bin table_mused`
+//! Usage: `cargo run -p muse-bench --bin table_mused [-- --json]`
+//! (`--json` also merges the results into `BENCH_baseline.json`).
 
-use muse_bench::{env_scale, env_seed, mused_row, range_str};
+use muse_bench::{baseline, env_scale, env_seed, mused_row, range_str};
 
 /// Paper values: (scenario, alternatives, questions, Ie tuples, # values).
 const PAPER: [(&str, usize, usize, &str, &str); 2] =
@@ -16,16 +17,35 @@ fn main() {
     println!("Muse-D table (Sec. VI), scale factor {scale}");
     println!(
         "{:<9} {:>6} {:>7} | {:>4} {:>6} | {:>9} {:>7} | {:>8} {:>7} | {:>6}",
-        "Scenario", "#alts", "(paper)", "#q", "(ppr)", "Ie tuples", "(paper)", "#choices", "(paper)", "real"
+        "Scenario",
+        "#alts",
+        "(paper)",
+        "#q",
+        "(ppr)",
+        "Ie tuples",
+        "(paper)",
+        "#choices",
+        "(paper)",
+        "real"
     );
     for scenario in muse_scenarios::all_scenarios() {
         let Some(row) = mused_row(&scenario, scale, seed) else {
-            println!("{:<9} (no ambiguous mappings — as in the paper)", scenario.name);
+            println!(
+                "{:<9} (no ambiguous mappings — as in the paper)",
+                scenario.name
+            );
             continue;
         };
         let paper = PAPER.iter().find(|p| p.0 == row.scenario);
         let (p_alts, p_q, p_tuples, p_vals) = paper
-            .map(|p| (p.1.to_string(), p.2.to_string(), p.3.to_string(), p.4.to_string()))
+            .map(|p| {
+                (
+                    p.1.to_string(),
+                    p.2.to_string(),
+                    p.3.to_string(),
+                    p.4.to_string(),
+                )
+            })
             .unwrap_or_default();
         println!(
             "{:<9} {:>6} {:>7} | {:>4} {:>6} | {:>9} {:>7} | {:>8} {:>7} | {:>4}/{}",
@@ -44,4 +64,7 @@ fn main() {
     }
     println!();
     println!("(The paper reports real examples were found for all Muse-D questions.)");
+    if baseline::wants_json() {
+        baseline::emit("table_mused", baseline::mused_section(scale, seed));
+    }
 }

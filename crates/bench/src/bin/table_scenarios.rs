@@ -2,10 +2,11 @@
 //! per scenario — size of I, target sets with grouping, number of
 //! mappings, number of ambiguous mappings.
 //!
-//! Usage: `cargo run -p muse-bench --bin table_scenarios`
-//! (`MUSE_SCALE`/`MUSE_SEED` env vars adjust instance generation).
+//! Usage: `cargo run -p muse-bench --bin table_scenarios [-- --json]`
+//! (`MUSE_SCALE`/`MUSE_SEED` env vars adjust instance generation; `--json`
+//! also merges the results into `BENCH_baseline.json`).
 
-use muse_bench::{env_scale, env_seed, scenario_table};
+use muse_bench::{baseline, env_scale, env_seed, scenario_table};
 
 /// Paper values for side-by-side comparison.
 const PAPER: [(&str, &str, usize, usize, usize); 4] = [
@@ -17,14 +18,26 @@ const PAPER: [(&str, &str, usize, usize, usize); 4] = [
 
 fn main() {
     let scale = env_scale();
-    let rows = scenario_table(scale, env_seed());
+    let seed = env_seed();
+    let rows = scenario_table(scale, seed);
     println!("Scenario characteristics (Sec. VI), scale factor {scale}");
     println!(
         "{:<10} {:>9} {:>9} | {:>12} {:>6} | {:>9} {:>6} | {:>10} {:>6}",
-        "Mapping", "Size of I", "(paper)", "Sets w/ grp", "(ppr)", "#Mappings", "(ppr)", "#Ambiguous", "(ppr)"
+        "Mapping",
+        "Size of I",
+        "(paper)",
+        "Sets w/ grp",
+        "(ppr)",
+        "#Mappings",
+        "(ppr)",
+        "#Ambiguous",
+        "(ppr)"
     );
     for row in rows {
-        let paper = PAPER.iter().find(|p| p.0 == row.name).expect("known scenario");
+        let paper = PAPER
+            .iter()
+            .find(|p| p.0 == row.name)
+            .expect("known scenario");
         println!(
             "{:<10} {:>8.2}MB {:>9} | {:>12} {:>6} | {:>9} {:>6} | {:>10} {:>6}",
             row.name,
@@ -37,5 +50,8 @@ fn main() {
             row.ambiguous,
             paper.4,
         );
+    }
+    if baseline::wants_json() {
+        baseline::emit("table_scenarios", baseline::scenarios_section(scale, seed));
     }
 }

@@ -7,14 +7,22 @@
 //! Environment knobs for the binaries:
 //! * `MUSE_SCALE` — instance scale factor (default 1.0 = the paper's sizes).
 //! * `MUSE_SEED` — generator seed (default 1).
+//!
+//! Every binary also accepts `--json`: besides the human-readable table it
+//! writes its machine-readable section (per-scenario results plus the
+//! `query.*`/`chase.*`/`iso.*`/`wizard.*` counters and timings recorded
+//! while producing them) into `BENCH_baseline.json` — see [`baseline`].
 
 use std::time::Duration;
 
 use muse_cliogen::{desired_grouping, GroupingStrategy};
 use muse_mapping::ambiguity::{alternatives_count, or_groups};
 use muse_mapping::Mapping;
+use muse_obs::Metrics;
 use muse_scenarios::Scenario;
 use muse_wizard::{MuseD, MuseG, OracleDesigner};
+
+pub mod baseline;
 
 /// One row of the scenario characteristics table (Sec. VI).
 #[derive(Debug, Clone)]
@@ -31,21 +39,24 @@ pub struct ScenarioRow {
     pub ambiguous: usize,
 }
 
+/// One scenario's characteristics row.
+pub fn scenario_row(s: &Scenario, scale: f64, seed: u64) -> ScenarioRow {
+    let inst = s.instance(s.default_scale * scale, seed);
+    let ms = s.mappings().expect("scenario mappings generate");
+    ScenarioRow {
+        name: s.name,
+        instance_mb: inst.approx_bytes() as f64 / 1_000_000.0,
+        target_sets_with_grouping: s.target_sets_with_grouping(),
+        mappings: ms.len(),
+        ambiguous: ms.iter().filter(|m| m.is_ambiguous()).count(),
+    }
+}
+
 /// Compute the scenario characteristics table.
 pub fn scenario_table(scale: f64, seed: u64) -> Vec<ScenarioRow> {
     muse_scenarios::all_scenarios()
         .iter()
-        .map(|s| {
-            let inst = s.instance(s.default_scale * scale, seed);
-            let ms = s.mappings().expect("scenario mappings generate");
-            ScenarioRow {
-                name: s.name,
-                instance_mb: inst.approx_bytes() as f64 / 1_000_000.0,
-                target_sets_with_grouping: s.target_sets_with_grouping(),
-                mappings: ms.len(),
-                ambiguous: ms.iter().filter(|m| m.is_ambiguous()).count(),
-            }
-        })
+        .map(|s| scenario_row(s, scale, seed))
         .collect()
 }
 
@@ -96,13 +107,26 @@ pub fn fig5_cell(
     scale: f64,
     seed: u64,
 ) -> Fig5Row {
+    fig5_cell_with(scenario, strategy, scale, seed, Metrics::disabled_ref())
+}
+
+/// [`fig5_cell`] with the wizard's `query.*`/`chase.*`/`wizard.*` counters
+/// and timers recorded into `metrics`.
+pub fn fig5_cell_with(
+    scenario: &Scenario,
+    strategy: GroupingStrategy,
+    scale: f64,
+    seed: u64,
+    metrics: &Metrics,
+) -> Fig5Row {
     let instance = scenario.instance(scenario.default_scale * scale, seed);
     let museg = MuseG::new(
         &scenario.source_schema,
         &scenario.target_schema,
         &scenario.source_constraints,
     )
-    .with_instance(&instance);
+    .with_instance(&instance)
+    .with_metrics(metrics);
 
     let mut total_poss = 0usize;
     let mut total_questions = 0usize;
@@ -119,8 +143,7 @@ pub fn fig5_cell(
             continue;
         }
         // The oracle has the strategy's grouping in mind for every set.
-        let mut oracle =
-            OracleDesigner::new(&scenario.source_schema, &scenario.target_schema);
+        let mut oracle = OracleDesigner::new(&scenario.source_schema, &scenario.target_schema);
         for sk in &filled {
             let desired = desired_grouping(
                 &m,
@@ -177,6 +200,17 @@ pub struct MuseDRow {
 /// Run Muse-D over every ambiguous mapping of `scenario`. Regenerates one
 /// row of the Sec. VI Muse-D table.
 pub fn mused_row(scenario: &Scenario, scale: f64, seed: u64) -> Option<MuseDRow> {
+    mused_row_with(scenario, scale, seed, Metrics::disabled_ref())
+}
+
+/// [`mused_row`] with the wizard's counters and timers recorded into
+/// `metrics`.
+pub fn mused_row_with(
+    scenario: &Scenario,
+    scale: f64,
+    seed: u64,
+    metrics: &Metrics,
+) -> Option<MuseDRow> {
     let ms = scenario.mappings().expect("scenario mappings generate");
     let ambiguous: Vec<&Mapping> = ms.iter().filter(|m| m.is_ambiguous()).collect();
     if ambiguous.is_empty() {
@@ -188,7 +222,8 @@ pub fn mused_row(scenario: &Scenario, scale: f64, seed: u64) -> Option<MuseDRow>
         &scenario.target_schema,
         &scenario.source_constraints,
     )
-    .with_instance(&instance);
+    .with_instance(&instance)
+    .with_metrics(metrics);
 
     let mut row = MuseDRow {
         scenario: scenario.name,
@@ -199,13 +234,21 @@ pub fn mused_row(scenario: &Scenario, scale: f64, seed: u64) -> Option<MuseDRow>
         real_examples: 0,
     };
     for m in ambiguous {
-        let q = mused.question(m).unwrap_or_else(|e| panic!("{}/{}: {e}", scenario.name, m.name));
+        let q = mused
+            .question(m)
+            .unwrap_or_else(|e| panic!("{}/{}: {e}", scenario.name, m.name));
         row.alternatives_encoded += alternatives_count(m);
         row.questions += 1;
         let tuples = q.example.instance.total_tuples();
-        row.example_tuples = (row.example_tuples.0.min(tuples), row.example_tuples.1.max(tuples));
+        row.example_tuples = (
+            row.example_tuples.0.min(tuples),
+            row.example_tuples.1.max(tuples),
+        );
         let vals = q.choices.len();
-        row.ambiguous_values = (row.ambiguous_values.0.min(vals), row.ambiguous_values.1.max(vals));
+        row.ambiguous_values = (
+            row.ambiguous_values.0.min(vals),
+            row.ambiguous_values.1.max(vals),
+        );
         if q.example.real {
             row.real_examples += 1;
         }
@@ -213,14 +256,74 @@ pub fn mused_row(scenario: &Scenario, scale: f64, seed: u64) -> Option<MuseDRow>
     Some(row)
 }
 
+/// Average questions per grouping function, with or without the schemas'
+/// key/FD constraints (the latter is the basic Sec. III-A algorithm) — the
+/// key-aware-probing ablation. No instance is attached: question counts do
+/// not depend on it.
+pub fn ablation_avg_questions(
+    scenario: &Scenario,
+    strategy: GroupingStrategy,
+    with_keys: bool,
+    metrics: &Metrics,
+) -> f64 {
+    let no_keys = muse_nr::Constraints {
+        keys: vec![],
+        fds: vec![],
+        fks: scenario.source_constraints.fks.clone(),
+    };
+    let cons = if with_keys {
+        &scenario.source_constraints
+    } else {
+        &no_keys
+    };
+    let museg =
+        MuseG::new(&scenario.source_schema, &scenario.target_schema, cons).with_metrics(metrics);
+    let mut total = 0usize;
+    let mut designed = 0usize;
+    for mut m in unambiguous_mappings(scenario) {
+        let filled = m
+            .filled_target_sets(&scenario.target_schema)
+            .expect("filled");
+        if filled.is_empty() {
+            continue;
+        }
+        let mut oracle = OracleDesigner::new(&scenario.source_schema, &scenario.target_schema);
+        for sk in &filled {
+            let desired = desired_grouping(
+                &m,
+                sk,
+                strategy,
+                &scenario.source_schema,
+                &scenario.target_schema,
+            )
+            .expect("strategy grouping");
+            oracle.intend_grouping(m.name.clone(), sk.clone(), desired);
+        }
+        let outcomes = museg
+            .design_all_groupings(&mut m, &mut oracle)
+            .expect("design");
+        for o in outcomes {
+            total += o.questions;
+            designed += 1;
+        }
+    }
+    total as f64 / designed.max(1) as f64
+}
+
 /// Scale factor from `MUSE_SCALE` (default 1.0).
 pub fn env_scale() -> f64 {
-    std::env::var("MUSE_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+    std::env::var("MUSE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Seed from `MUSE_SEED` (default 1).
 pub fn env_seed() -> u64 {
-    std::env::var("MUSE_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+    std::env::var("MUSE_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
 }
 
 /// Render a range like `3-4`, or a single number when min == max.
@@ -239,8 +342,7 @@ mod tests {
     #[test]
     fn scenario_table_matches_paper_counts() {
         let rows = scenario_table(0.05, 1);
-        let by_name: std::collections::BTreeMap<_, _> =
-            rows.iter().map(|r| (r.name, r)).collect();
+        let by_name: std::collections::BTreeMap<_, _> = rows.iter().map(|r| (r.name, r)).collect();
         assert_eq!(by_name["Mondial"].mappings, 26);
         assert_eq!(by_name["Mondial"].ambiguous, 7);
         assert_eq!(by_name["DBLP"].mappings, 4);
@@ -277,8 +379,12 @@ mod tests {
         let cell = fig5_cell(dblp, GroupingStrategy::G1, 0.02, 1);
         // With single keys, G1 concludes after probing the key: far fewer
         // questions than |poss| (paper: 1.5 vs 11).
-        assert!(cell.avg_questions < cell.avg_poss / 2.0,
-            "questions {} vs poss {}", cell.avg_questions, cell.avg_poss);
+        assert!(
+            cell.avg_questions < cell.avg_poss / 2.0,
+            "questions {} vs poss {}",
+            cell.avg_questions,
+            cell.avg_poss
+        );
         assert!(cell.avg_questions <= 3.0);
     }
 

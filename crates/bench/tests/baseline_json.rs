@@ -1,0 +1,97 @@
+//! The `--json` baseline sections must round-trip through the strict
+//! `muse_obs::Json` parser and merge into `BENCH_baseline.json` without
+//! clobbering each other's sections.
+
+use std::path::Path;
+
+use muse_bench::baseline;
+use muse_obs::Json;
+
+#[test]
+fn sections_merge_and_round_trip() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let _ = std::fs::remove_file(dir.join(baseline::FILE));
+
+    let path =
+        baseline::update_section_in(dir, "table_scenarios", baseline::scenarios_section(0.02, 1))
+            .unwrap();
+    baseline::update_section_in(dir, "table_mused", baseline::mused_section(0.02, 1)).unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let root = Json::parse(&text).expect("baseline file parses back");
+
+    // The first binary's section survived the second write.
+    let ts = root.get("table_scenarios").expect("scenarios section");
+    assert_eq!(ts.get("scale").and_then(Json::as_f64), Some(0.02));
+    assert_eq!(ts.get("seed").and_then(Json::as_int), Some(1));
+    let mondial = ts
+        .get("scenarios")
+        .unwrap()
+        .get("Mondial")
+        .expect("Mondial row");
+    assert_eq!(mondial.get("mappings").and_then(Json::as_int), Some(26));
+    assert_eq!(mondial.get("ambiguous").and_then(Json::as_int), Some(7));
+    let timers = mondial
+        .get("metrics")
+        .unwrap()
+        .get("timers")
+        .expect("timers object");
+    assert!(
+        timers.get("bench.row_time").is_some(),
+        "row generation was timed: {}",
+        timers.render()
+    );
+
+    // Muse-D: ambiguity-free scenarios are null rows; Mondial carries the
+    // wizard counters recorded while answering its 7 questions.
+    let tm = root.get("table_mused").expect("mused section");
+    assert_eq!(tm.get("scenarios").unwrap().get("DBLP"), Some(&Json::Null));
+    let mondial = tm
+        .get("scenarios")
+        .unwrap()
+        .get("Mondial")
+        .expect("Mondial row");
+    assert_eq!(mondial.get("questions").and_then(Json::as_int), Some(7));
+    let counters = mondial
+        .get("metrics")
+        .unwrap()
+        .get("counters")
+        .expect("counters");
+    let real = counters
+        .get("wizard.real_examples")
+        .and_then(Json::as_int)
+        .unwrap_or(0);
+    let synthetic = counters
+        .get("wizard.synthetic_examples")
+        .and_then(Json::as_int)
+        .unwrap_or(0);
+    assert_eq!(
+        real + synthetic,
+        7,
+        "one example per question: {}",
+        counters.render()
+    );
+    assert!(
+        counters
+            .get("query.evals")
+            .and_then(Json::as_int)
+            .unwrap_or(0)
+            > 0
+    );
+
+    // Re-emitting a section replaces it in place instead of duplicating it.
+    baseline::update_section_in(dir, "table_mused", Json::obj(vec![("x", Json::Int(1))])).unwrap();
+    let root = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let Json::Obj(fields) = &root else {
+        panic!("root is an object")
+    };
+    assert_eq!(fields.iter().filter(|(k, _)| k == "table_mused").count(), 1);
+    assert_eq!(
+        root.get("table_mused")
+            .unwrap()
+            .get("x")
+            .and_then(Json::as_int),
+        Some(1)
+    );
+    assert!(root.get("table_scenarios").is_some());
+}

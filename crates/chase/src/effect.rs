@@ -97,7 +97,10 @@ mod tests {
         let s = compdb();
         let mut b = InstanceBuilder::new(&s);
         for (cid, cname, loc) in rows {
-            b.push_top("Companies", vec![Value::int(*cid), Value::str(*cname), Value::str(*loc)]);
+            b.push_top(
+                "Companies",
+                vec![Value::int(*cid), Value::str(*cname), Value::str(*loc)],
+            );
         }
         b.finish().unwrap()
     }

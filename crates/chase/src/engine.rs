@@ -1,12 +1,21 @@
 //! The chase proper: evaluate each mapping's `for` clause, instantiate its
 //! `exists` clause, group nested sets through their Skolem functions, and
 //! union the results (set semantics).
+//!
+//! Instrumentation (all behind [`Metrics`], zero-cost when disabled):
+//!
+//! * `chase.mappings` — mappings chased,
+//! * `chase.bindings` — source bindings enumerated across mappings,
+//! * `chase.tuples_emitted` — tuples actually added to the target,
+//! * `chase.dedup_hits` — tuple insertions the target union deduplicated,
+//! * `chase.time` — wall-clock spans per chased mapping.
 
 use std::collections::BTreeMap;
 
 use muse_mapping::{Mapping, PathRef, WhereClause};
 use muse_nr::{Instance, Schema, SetPath, Tuple, Value};
-use muse_query::evaluate_all;
+use muse_obs::{Counter, Metrics};
+use muse_query::evaluate_deadline_with;
 
 use crate::error::ChaseError;
 
@@ -33,9 +42,36 @@ pub fn chase(
     source: &Instance,
     mappings: &[Mapping],
 ) -> Result<Instance, ChaseError> {
+    chase_with(
+        source_schema,
+        target_schema,
+        source,
+        mappings,
+        &Metrics::disabled(),
+    )
+}
+
+/// Like [`chase`], reporting counters and timings through `metrics` (see the
+/// module docs for the emitted keys).
+pub fn chase_with(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+    mappings: &[Mapping],
+    metrics: &Metrics,
+) -> Result<Instance, ChaseError> {
     let mut target = Instance::new(target_schema);
+    let timer = metrics.timer("chase.time");
     for m in mappings {
-        chase_into(source_schema, target_schema, source, m, &mut target)?;
+        let _span = timer.start();
+        chase_into(
+            source_schema,
+            target_schema,
+            source,
+            m,
+            &mut target,
+            metrics,
+        )?;
     }
     Ok(target)
 }
@@ -47,7 +83,29 @@ pub fn chase_one(
     source: &Instance,
     mapping: &Mapping,
 ) -> Result<Instance, ChaseError> {
-    chase(source_schema, target_schema, source, std::slice::from_ref(mapping))
+    chase(
+        source_schema,
+        target_schema,
+        source,
+        std::slice::from_ref(mapping),
+    )
+}
+
+/// Chase with a single mapping, reporting through `metrics`.
+pub fn chase_one_with(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+    mapping: &Mapping,
+    metrics: &Metrics,
+) -> Result<Instance, ChaseError> {
+    chase_with(
+        source_schema,
+        target_schema,
+        source,
+        std::slice::from_ref(mapping),
+        metrics,
+    )
 }
 
 /// Tiny union-find over target `(var, attr)` projections.
@@ -58,7 +116,10 @@ struct Classes {
 
 impl Classes {
     fn new() -> Self {
-        Classes { ids: BTreeMap::new(), parent: Vec::new() }
+        Classes {
+            ids: BTreeMap::new(),
+            parent: Vec::new(),
+        }
     }
 
     fn id(&mut self, r: &PathRef) -> usize {
@@ -126,11 +187,13 @@ fn chase_into(
     source: &Instance,
     m: &Mapping,
     target: &mut Instance,
+    metrics: &Metrics,
 ) -> Result<(), ChaseError> {
     if m.is_ambiguous() {
         return Err(ChaseError::Ambiguous(m.name.clone()));
     }
     m.validate(source_schema, target_schema)?;
+    metrics.incr("chase.mappings");
 
     // --- Equivalence classes over target attributes -----------------------
     let mut classes = Classes::new();
@@ -147,7 +210,11 @@ fn chase_into(
     // validator guarantees one plain assignment per target attribute).
     let mut assignment: BTreeMap<usize, PathRef> = BTreeMap::new();
     for w in &m.wheres {
-        if let WhereClause::Eq { source: s, target: t } = w {
+        if let WhereClause::Eq {
+            source: s,
+            target: t,
+        } = w
+        {
             let root = classes.root_of(t);
             assignment.entry(root).or_insert_with(|| s.clone());
         }
@@ -170,14 +237,22 @@ fn chase_into(
     let mut slot_of: BTreeMap<SetPath, usize> = BTreeMap::new();
     for (set, g) in &m.groupings {
         slot_of.insert(set.clone(), slots.len());
-        slots.push(SetSlot { path: set.clone(), args: g.args.clone() });
+        slots.push(SetSlot {
+            path: set.clone(),
+            args: g.args.clone(),
+        });
     }
 
     // --- Per-target-variable plans ----------------------------------------
     let mut plans: Vec<TVarPlan> = Vec::with_capacity(m.target_vars.len());
     for (tv_idx, tv) in m.target_vars.iter().enumerate() {
         let rcd = target_schema.element_record(&tv.set)?;
-        let fields = rcd.rcd_fields().expect("element record");
+        let fields = rcd
+            .rcd_fields()
+            .ok_or_else(|| ChaseError::NotARecordElement {
+                mapping: m.name.clone(),
+                set: tv.set.to_string(),
+            })?;
         let mut fplans = Vec::with_capacity(fields.len());
         for f in fields {
             if f.ty.is_set() {
@@ -201,7 +276,10 @@ fn chase_into(
                 Container::ParentField { slot }
             }
         };
-        plans.push(TVarPlan { fields: fplans, container });
+        plans.push(TVarPlan {
+            fields: fplans,
+            container,
+        });
     }
 
     // Precompute source attribute indices for fast projection.
@@ -223,11 +301,49 @@ fn chase_into(
     }
 
     // --- Enumerate bindings and fire ---------------------------------------
-    let bindings = evaluate_all(source_schema, source, &m.source_query())?;
+    let (bindings, _) = evaluate_deadline_with(
+        source_schema,
+        source,
+        &m.source_query(),
+        None,
+        None,
+        metrics,
+    )?;
+    metrics.add("chase.bindings", bindings.len() as u64);
+    let emit = Emit {
+        emitted: metrics.counter("chase.tuples_emitted"),
+        dedup_hits: metrics.counter("chase.dedup_hits"),
+    };
     for binding in &bindings {
-        fire(m, target, &slots, &slot_arg_idx, &assignment_idx, &class_tag, &plans, binding)?;
+        fire(
+            m,
+            target,
+            &slots,
+            &slot_arg_idx,
+            &assignment_idx,
+            &class_tag,
+            &plans,
+            binding,
+            &emit,
+        )?;
     }
     Ok(())
+}
+
+/// Emission counters resolved once per mapping, bumped once per tuple.
+struct Emit {
+    emitted: Counter,
+    dedup_hits: Counter,
+}
+
+impl Emit {
+    fn record(&self, inserted: bool) {
+        if inserted {
+            self.emitted.incr();
+        } else {
+            self.dedup_hits.incr();
+        }
+    }
 }
 
 /// Project a source value, importing source nulls into the target store.
@@ -264,6 +380,7 @@ fn fire(
     class_tag: &BTreeMap<usize, String>,
     plans: &[TVarPlan],
     binding: &[Tuple],
+    emit: &Emit,
 ) -> Result<(), ChaseError> {
     // SetIDs for every filled nested set, per this binding.
     let mut set_ids = Vec::with_capacity(slots.len());
@@ -303,9 +420,10 @@ fn fire(
                                 .cloned()
                                 .collect()
                         });
-                        let tag = class_tag.get(class).cloned().unwrap_or_else(|| {
-                            format!("{}:class{}", m.name, class)
-                        });
+                        let tag = class_tag
+                            .get(class)
+                            .cloned()
+                            .unwrap_or_else(|| format!("{}:class{}", m.name, class));
                         Value::Null(target.store_mut().null_id(tag, key.clone()))
                     };
                     class_values.insert(*class, v.clone());
@@ -317,11 +435,14 @@ fn fire(
             Container::Root(label) => {
                 let id = target
                     .root_id(label)
-                    .expect("target roots exist for every top-level set");
-                target.insert(id, tuple);
+                    .ok_or_else(|| ChaseError::MissingTargetRoot {
+                        mapping: m.name.clone(),
+                        root: label.clone(),
+                    })?;
+                emit.record(target.insert(id, tuple));
             }
             Container::ParentField { slot } => {
-                target.insert(set_ids[*slot], tuple);
+                emit.record(target.insert(set_ids[*slot], tuple));
             }
         }
     }
@@ -428,19 +549,44 @@ mod tests {
 
     fn fig2_source(schema: &Schema) -> Instance {
         let mut b = InstanceBuilder::new(schema);
-        b.push_top("Companies", vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")]);
-        b.push_top("Companies", vec![Value::int(112), Value::str("SBC"), Value::str("NY")]);
         b.push_top(
-            "Projects",
-            vec![Value::str("p1"), Value::str("DBSearch"), Value::int(111), Value::str("e14")],
+            "Companies",
+            vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")],
+        );
+        b.push_top(
+            "Companies",
+            vec![Value::int(112), Value::str("SBC"), Value::str("NY")],
         );
         b.push_top(
             "Projects",
-            vec![Value::str("p2"), Value::str("WebSearch"), Value::int(111), Value::str("e15")],
+            vec![
+                Value::str("p1"),
+                Value::str("DBSearch"),
+                Value::int(111),
+                Value::str("e14"),
+            ],
         );
-        b.push_top("Employees", vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")]);
-        b.push_top("Employees", vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")]);
-        b.push_top("Employees", vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")]);
+        b.push_top(
+            "Projects",
+            vec![
+                Value::str("p2"),
+                Value::str("WebSearch"),
+                Value::int(111),
+                Value::str("e15"),
+            ],
+        );
+        b.push_top(
+            "Employees",
+            vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")],
+        );
+        b.push_top(
+            "Employees",
+            vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")],
+        );
+        b.push_top(
+            "Employees",
+            vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")],
+        );
         b.finish().unwrap()
     }
 
@@ -469,10 +615,22 @@ mod tests {
 
         // Spot-check rendered form against Fig. 2.
         let text = display::render(&t, &result);
-        assert!(text.contains("Projects=SKProjects(111,IBM,Almaden)"), "got:\n{text}");
-        assert!(text.contains("Projects=SKProjects(112,SBC,NY)"), "got:\n{text}");
-        assert!(text.contains("(pname=DBSearch, manager=e14)"), "got:\n{text}");
-        assert!(text.contains("(pname=WebSearch, manager=e15)"), "got:\n{text}");
+        assert!(
+            text.contains("Projects=SKProjects(111,IBM,Almaden)"),
+            "got:\n{text}"
+        );
+        assert!(
+            text.contains("Projects=SKProjects(112,SBC,NY)"),
+            "got:\n{text}"
+        );
+        assert!(
+            text.contains("(pname=DBSearch, manager=e14)"),
+            "got:\n{text}"
+        );
+        assert!(
+            text.contains("(pname=WebSearch, manager=e15)"),
+            "got:\n{text}"
+        );
         assert!(text.contains("(eid=e16, ename=Brown)"), "got:\n{text}");
     }
 
@@ -486,10 +644,7 @@ mod tests {
         let doubled: Vec<Mapping> = ms.iter().chain(&ms).cloned().collect();
         let twice = chase(&s, &t, &src, &doubled).unwrap();
         assert_eq!(once.total_tuples(), twice.total_tuples());
-        assert_eq!(
-            display::render(&t, &once),
-            display::render(&t, &twice)
-        );
+        assert_eq!(display::render(&t, &once), display::render(&t, &twice));
     }
 
     #[test]
@@ -520,11 +675,16 @@ mod tests {
         // Both addresses are nulls, and they are *different* nulls.
         let nulls: Vec<_> = tuples
             .iter()
-            .map(|tp| match &tp[1] {
-                Value::Null(n) => *n,
-                other => panic!("expected null, got {other:?}"),
+            .filter_map(|tp| match &tp[1] {
+                Value::Null(n) => Some(*n),
+                _ => None,
             })
             .collect();
+        assert_eq!(
+            nulls.len(),
+            2,
+            "both addresses must be labeled nulls, got {tuples:?}"
+        );
         assert_ne!(nulls[0], nulls[1]);
     }
 
@@ -535,7 +695,10 @@ mod tests {
             "T",
             vec![Field::new(
                 "Projects",
-                Ty::set_of(vec![Field::new("pname", Ty::Str), Field::new("supervisor", Ty::Str)]),
+                Ty::set_of(vec![
+                    Field::new("pname", Ty::Str),
+                    Field::new("supervisor", Ty::Str),
+                ]),
             )],
         )
         .unwrap();
@@ -548,7 +711,10 @@ mod tests {
         )
         .unwrap();
         let src = fig2_source(&s);
-        assert!(matches!(chase(&s, &t, &src, &[m]), Err(ChaseError::Ambiguous(_))));
+        assert!(matches!(
+            chase(&s, &t, &src, &[m]),
+            Err(ChaseError::Ambiguous(_))
+        ));
     }
 
     #[test]

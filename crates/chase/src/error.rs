@@ -21,19 +21,40 @@ pub enum ChaseError {
     /// A grouping argument or correspondence projected a non-atomic source
     /// value (set references cannot flow into atomic target positions).
     NonAtomicSourceValue { mapping: String, what: String },
+    /// A mapping fills a top-level target set the target instance has no
+    /// root container for (schema/instance mismatch).
+    MissingTargetRoot { mapping: String, root: String },
+    /// A target set's element type is not a record, so tuples cannot be
+    /// instantiated into it.
+    NotARecordElement { mapping: String, set: String },
 }
 
 impl fmt::Display for ChaseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ChaseError::Ambiguous(m) => {
-                write!(f, "mapping `{m}` is ambiguous; select an interpretation before chasing")
+                write!(
+                    f,
+                    "mapping `{m}` is ambiguous; select an interpretation before chasing"
+                )
             }
             ChaseError::Mapping(e) => write!(f, "mapping error: {e}"),
             ChaseError::Query(e) => write!(f, "query error: {e}"),
             ChaseError::Nr(e) => write!(f, "instance error: {e}"),
             ChaseError::NonAtomicSourceValue { mapping, what } => {
-                write!(f, "mapping `{mapping}`: {what} projects a non-atomic source value")
+                write!(
+                    f,
+                    "mapping `{mapping}`: {what} projects a non-atomic source value"
+                )
+            }
+            ChaseError::MissingTargetRoot { mapping, root } => {
+                write!(f, "mapping `{mapping}` fills top-level set `{root}` but the target instance has no such root")
+            }
+            ChaseError::NotARecordElement { mapping, set } => {
+                write!(
+                    f,
+                    "mapping `{mapping}`: element type of target set `{set}` is not a record"
+                )
             }
         }
     }

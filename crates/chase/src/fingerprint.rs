@@ -169,7 +169,10 @@ mod tests {
             inst.insert(orgs, vec![Value::Null(n), Value::Set(g)]);
             inst
         };
-        assert_eq!(fingerprint(&make("n1")), fingerprint(&make("some-other-null")));
+        assert_eq!(
+            fingerprint(&make("n1")),
+            fingerprint(&make("some-other-null"))
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use muse_nr::{Instance, NullId, SetId, Tuple, Value};
+use muse_obs::Metrics;
 
 /// A witness homomorphism from instance `a` to instance `b`.
 #[derive(Debug, Clone, Default)]
@@ -44,10 +45,27 @@ pub fn homomorphically_equivalent(a: &Instance, b: &Instance) -> bool {
 /// A fingerprint comparison ([`crate::fingerprint`]) decides the (common)
 /// negative case without any search.
 pub fn isomorphic(a: &Instance, b: &Instance) -> bool {
+    isomorphic_with(a, b, &Metrics::disabled())
+}
+
+/// Like [`isomorphic`], reporting through `metrics`:
+///
+/// * `iso.checks` — isomorphism checks performed,
+/// * `iso.fingerprint_reject` — checks decided negatively by the
+///   fingerprint fast path, with no search,
+/// * `iso.full_search` — checks that needed the full injective-homomorphism
+///   search (both directions),
+/// * `iso.search_time` — wall-clock spans of those full searches.
+pub fn isomorphic_with(a: &Instance, b: &Instance, metrics: &Metrics) -> bool {
+    metrics.incr("iso.checks");
     if crate::fingerprint::fingerprint(a) != crate::fingerprint::fingerprint(b) {
+        metrics.incr("iso.fingerprint_reject");
         return false;
     }
-    find_injective_homomorphism(a, b).is_some() && find_injective_homomorphism(b, a).is_some()
+    metrics.incr("iso.full_search");
+    metrics.timer("iso.search_time").time(|| {
+        find_injective_homomorphism(a, b).is_some() && find_injective_homomorphism(b, a).is_some()
+    })
 }
 
 struct State<'x> {
@@ -89,7 +107,10 @@ fn solve(a: &Instance, b: &Instance, injective: bool) -> Option<Homomorphism> {
         obls.extend(a.tuples(ra).map(|t| (ra, t.clone())));
     }
     if go(&mut st, &mut obls, 0) {
-        Some(Homomorphism { set_map: st.set_map, null_map: st.null_map })
+        Some(Homomorphism {
+            set_map: st.set_map,
+            null_map: st.null_map,
+        })
     } else {
         None
     }
@@ -173,7 +194,10 @@ fn try_match(
     if ta.len() != tb.len() {
         return None;
     }
-    let mut undo = Undo { nulls: Vec::new(), sets: Vec::new() };
+    let mut undo = Undo {
+        nulls: Vec::new(),
+        sets: Vec::new(),
+    };
     for (va, vb) in ta.iter().zip(tb) {
         if !match_value(st, va, vb, &mut undo, obls) {
             rollback(st, undo);

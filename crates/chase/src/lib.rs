@@ -15,12 +15,15 @@
 
 pub mod effect;
 pub mod engine;
-pub mod fingerprint;
 pub mod error;
+pub mod fingerprint;
 pub mod hom;
 
 pub use effect::same_effect_on;
-pub use engine::{chase, chase_one};
+pub use engine::{chase, chase_one, chase_one_with, chase_with};
 pub use error::ChaseError;
 pub use fingerprint::fingerprint;
-pub use hom::{find_homomorphism, find_injective_homomorphism, homomorphically_equivalent, isomorphic};
+pub use hom::{
+    find_homomorphism, find_injective_homomorphism, homomorphically_equivalent, isomorphic,
+    isomorphic_with,
+};

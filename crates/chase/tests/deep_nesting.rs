@@ -45,7 +45,10 @@ fn facts(rows: &[(&str, &str, &str)]) -> Instance {
     let s = source();
     let mut b = InstanceBuilder::new(&s);
     for (a, bb, c) in rows {
-        b.push_top("facts", vec![Value::str(*a), Value::str(*bb), Value::str(*c)]);
+        b.push_top(
+            "facts",
+            vec![Value::str(*a), Value::str(*bb), Value::str(*c)],
+        );
     }
     b.finish().unwrap()
 }
@@ -157,8 +160,8 @@ fn source_nulls_flow_into_the_target_as_nulls() {
         )],
     )
     .unwrap();
-    let m = parse_one("m: for f in S.facts exists o in T.Out where f.a = o.u and f.b = o.v")
-        .unwrap();
+    let m =
+        parse_one("m: for f in S.facts exists o in T.Out where f.a = o.u and f.b = o.v").unwrap();
 
     let mut i = Instance::new(&s);
     let root = i.root_id("facts").unwrap();
@@ -169,7 +172,10 @@ fn source_nulls_flow_into_the_target_as_nulls() {
     let out = j.root_id("Out").unwrap();
     let tup = j.tuples(out).next().unwrap();
     assert_eq!(tup[0], Value::str("x"));
-    assert!(matches!(tup[1], Value::Null(_)), "source null imported as target null");
+    assert!(
+        matches!(tup[1], Value::Null(_)),
+        "source null imported as target null"
+    );
 }
 
 #[test]

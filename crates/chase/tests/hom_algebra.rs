@@ -1,10 +1,11 @@
 //! Algebraic properties of homomorphisms and isomorphism over random
 //! instances: reflexivity, symmetry of isomorphism, hom into supersets,
-//! and behaviour on `Choice` values.
+//! and behaviour on `Choice` values. Driven by the deterministic SplitMix64
+//! generator, so every run checks the same cases.
 
 use muse_chase::{find_homomorphism, find_injective_homomorphism, isomorphic};
 use muse_nr::{Field, Instance, InstanceBuilder, Schema, Ty, Value};
-use proptest::prelude::*;
+use muse_obs::Rng;
 
 fn schema() -> Schema {
     Schema::new(
@@ -20,9 +21,17 @@ fn schema() -> Schema {
     .unwrap()
 }
 
-/// Random nested instances: up to 4 groups with up to 4 int members each.
-fn instances() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
-    prop::collection::vec((0u8..4, prop::collection::vec(0u8..5, 0..4)), 0..4)
+/// A random nested-instance shape: up to 4 groups with up to 4 int members
+/// each.
+fn random_groups(rng: &mut Rng) -> Vec<(u8, Vec<u8>)> {
+    let n = rng.index(4);
+    (0..n)
+        .map(|_| {
+            let name = rng.below(4) as u8;
+            let members = (0..rng.index(4)).map(|_| rng.below(5) as u8).collect();
+            (name, members)
+        })
+        .collect()
 }
 
 fn build(groups: &[(u8, Vec<u8>)]) -> Instance {
@@ -33,51 +42,65 @@ fn build(groups: &[(u8, Vec<u8>)]) -> Instance {
         for m in members {
             b.push(id, vec![Value::int(*m as i64)]);
         }
-        b.push_top("Orgs", vec![Value::str(format!("org{name}")), Value::Set(id)]);
+        b.push_top(
+            "Orgs",
+            vec![Value::str(format!("org{name}")), Value::Set(id)],
+        );
     }
     b.finish().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn isomorphism_is_reflexive(g in instances()) {
-        let a = build(&g);
-        prop_assert!(isomorphic(&a, &a));
-        prop_assert!(find_homomorphism(&a, &a).is_some());
-        prop_assert!(find_injective_homomorphism(&a, &a).is_some());
+#[test]
+fn isomorphism_is_reflexive() {
+    let mut rng = Rng::new(0x4EF1);
+    for case in 0..64 {
+        let a = build(&random_groups(&mut rng));
+        assert!(isomorphic(&a, &a), "case {case}");
+        assert!(find_homomorphism(&a, &a).is_some(), "case {case}");
+        assert!(find_injective_homomorphism(&a, &a).is_some(), "case {case}");
     }
+}
 
-    #[test]
-    fn instances_map_into_their_supersets(g in instances(), extra in instances()) {
+#[test]
+fn instances_map_into_their_supersets() {
+    let mut rng = Rng::new(0x50B5E7);
+    for case in 0..64 {
+        let g = random_groups(&mut rng);
+        let extra = random_groups(&mut rng);
         let a = build(&g);
         let mut both = g.clone();
         both.extend(extra);
         let b = build(&both);
-        prop_assert!(find_homomorphism(&a, &b).is_some());
+        assert!(find_homomorphism(&a, &b).is_some(), "case {case}");
     }
+}
 
-    #[test]
-    fn isomorphism_is_symmetric(g in instances(), h in instances()) {
-        let a = build(&g);
-        let b = build(&h);
-        prop_assert_eq!(isomorphic(&a, &b), isomorphic(&b, &a));
+#[test]
+fn isomorphism_is_symmetric() {
+    let mut rng = Rng::new(0x5133);
+    for case in 0..64 {
+        let a = build(&random_groups(&mut rng));
+        let b = build(&random_groups(&mut rng));
+        assert_eq!(isomorphic(&a, &b), isomorphic(&b, &a), "case {case}");
     }
+}
 
-    #[test]
-    fn homomorphisms_compose(g in instances(), extra1 in instances(), extra2 in instances()) {
+#[test]
+fn homomorphisms_compose() {
+    let mut rng = Rng::new(0xC0_3905E);
+    for case in 0..64 {
         // a ⊆ b ⊆ c: homs exist along the chain and transitively.
+        let g = random_groups(&mut rng);
         let a = build(&g);
         let mut gb = g.clone();
-        gb.extend(extra1);
+        gb.extend(random_groups(&mut rng));
         let b = build(&gb);
         let mut gc = gb.clone();
-        gc.extend(extra2);
+        gc.extend(random_groups(&mut rng));
         let c = build(&gc);
-        prop_assert!(find_homomorphism(&a, &b).is_some());
-        prop_assert!(find_homomorphism(&b, &c).is_some());
-        prop_assert!(find_homomorphism(&a, &c).is_some());
+        assert!(find_homomorphism(&a, &b).is_some(), "case {case}");
+        assert!(find_homomorphism(&b, &c).is_some(), "case {case}");
+        assert!(find_homomorphism(&a, &c).is_some(), "case {case}");
     }
 }
 
@@ -106,8 +129,14 @@ fn choice_values_must_match_label_and_inner() {
     let right = make(Value::Choice("r".into(), Box::new(Value::str("1"))));
 
     assert!(isomorphic(&left1, &left1b));
-    assert!(find_homomorphism(&left1, &left2).is_none(), "different inner constants");
-    assert!(find_homomorphism(&left1, &right).is_none(), "different labels");
+    assert!(
+        find_homomorphism(&left1, &left2).is_none(),
+        "different inner constants"
+    );
+    assert!(
+        find_homomorphism(&left1, &right).is_none(),
+        "different labels"
+    );
 }
 
 #[test]
@@ -133,7 +162,10 @@ fn many_twin_sets_match_quickly() {
         for i in 0..30i64 {
             // Twin sets: identical contents, distinguished only by their
             // grouping arguments and owning tuples.
-            let id = b.group("Root.Kids", vec![Value::int(if flip { 1000 + i } else { i })]);
+            let id = b.group(
+                "Root.Kids",
+                vec![Value::int(if flip { 1000 + i } else { i })],
+            );
             b.push(id, vec![Value::int(7)]);
             b.push_top("Root", vec![Value::int(i), Value::Set(id)]);
         }
@@ -144,5 +176,9 @@ fn many_twin_sets_match_quickly() {
     let t0 = Instant::now();
     assert!(isomorphic(&a, &b));
     assert!(find_homomorphism(&a, &b).is_some());
-    assert!(t0.elapsed() < std::time::Duration::from_secs(2), "took {:?}", t0.elapsed());
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(2),
+        "took {:?}",
+        t0.elapsed()
+    );
 }

@@ -1,0 +1,82 @@
+//! Integration tests of the `iso.*` instrumentation: the fingerprint
+//! fast path and the full search must be counted exactly.
+
+use muse_chase::isomorphic_with;
+use muse_nr::{Field, Instance, InstanceBuilder, Schema, Ty, Value};
+use muse_obs::Metrics;
+
+fn schema() -> Schema {
+    Schema::new(
+        "T",
+        vec![Field::new(
+            "Orgs",
+            Ty::set_of(vec![
+                Field::new("oname", Ty::Str),
+                Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Int)])),
+            ]),
+        )],
+    )
+    .unwrap()
+}
+
+fn build(groups: &[(u8, Vec<u8>)]) -> Instance {
+    let s = schema();
+    let mut b = InstanceBuilder::new(&s);
+    for (i, (name, members)) in groups.iter().enumerate() {
+        let id = b.group("Orgs.Projects", vec![Value::int(i as i64)]);
+        for m in members {
+            b.push(id, vec![Value::int(*m as i64)]);
+        }
+        b.push_top(
+            "Orgs",
+            vec![Value::str(format!("org{name}")), Value::Set(id)],
+        );
+    }
+    b.finish().unwrap()
+}
+
+#[test]
+fn fingerprint_mismatch_counts_as_reject() {
+    // Different tuple counts ⇒ different fingerprints ⇒ no full search.
+    let a = build(&[(1, vec![1, 2])]);
+    let b = build(&[(1, vec![1, 2]), (2, vec![3])]);
+    let metrics = Metrics::enabled();
+    assert!(!isomorphic_with(&a, &b, &metrics));
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("iso.checks"), 1);
+    assert_eq!(snap.counter("iso.fingerprint_reject"), 1);
+    assert_eq!(snap.counter("iso.full_search"), 0);
+    assert_eq!(
+        snap.timer("iso.search_time").count,
+        0,
+        "fast path reads no clock"
+    );
+}
+
+#[test]
+fn matching_fingerprints_fall_through_to_full_search() {
+    let a = build(&[(1, vec![1, 2]), (2, vec![3])]);
+    let b = build(&[(1, vec![1, 2]), (2, vec![3])]);
+    let metrics = Metrics::enabled();
+    assert!(isomorphic_with(&a, &b, &metrics));
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("iso.checks"), 1);
+    assert_eq!(snap.counter("iso.fingerprint_reject"), 0);
+    assert_eq!(snap.counter("iso.full_search"), 1);
+    assert_eq!(snap.timer("iso.search_time").count, 1);
+}
+
+#[test]
+fn mixed_sequence_accumulates_both_paths() {
+    let a = build(&[(1, vec![1])]);
+    let same = build(&[(1, vec![1])]);
+    let bigger = build(&[(1, vec![1]), (2, vec![2, 3])]);
+    let metrics = Metrics::enabled();
+    assert!(isomorphic_with(&a, &same, &metrics));
+    assert!(!isomorphic_with(&a, &bigger, &metrics));
+    assert!(!isomorphic_with(&bigger, &a, &metrics));
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("iso.checks"), 3);
+    assert_eq!(snap.counter("iso.fingerprint_reject"), 2);
+    assert_eq!(snap.counter("iso.full_search"), 1);
+}

@@ -73,19 +73,44 @@ fn orgdb() -> Schema {
 
 fn fig2_source(src: &Schema) -> muse_nr::Instance {
     let mut b = InstanceBuilder::new(src);
-    b.push_top("Companies", vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")]);
-    b.push_top("Companies", vec![Value::int(112), Value::str("SBC"), Value::str("NY")]);
     b.push_top(
-        "Projects",
-        vec![Value::str("p1"), Value::str("DBSearch"), Value::int(111), Value::str("e14")],
+        "Companies",
+        vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")],
+    );
+    b.push_top(
+        "Companies",
+        vec![Value::int(112), Value::str("SBC"), Value::str("NY")],
     );
     b.push_top(
         "Projects",
-        vec![Value::str("p2"), Value::str("WebSearch"), Value::int(111), Value::str("e15")],
+        vec![
+            Value::str("p1"),
+            Value::str("DBSearch"),
+            Value::int(111),
+            Value::str("e14"),
+        ],
     );
-    b.push_top("Employees", vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")]);
-    b.push_top("Employees", vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")]);
-    b.push_top("Employees", vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")]);
+    b.push_top(
+        "Projects",
+        vec![
+            Value::str("p2"),
+            Value::str("WebSearch"),
+            Value::int(111),
+            Value::str("e15"),
+        ],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")],
+    );
     b.finish().expect("demo instance")
 }
 
@@ -103,7 +128,9 @@ pub fn run_demo() -> i32 {
         ",
     )
     .expect("demo mapping");
-    mappings[0].ensure_default_groupings(&tgt, &src).expect("groupings");
+    mappings[0]
+        .ensure_default_groupings(&tgt, &src)
+        .expect("groupings");
     let m2 = mappings.remove(0);
     let source = fig2_source(&src);
 
@@ -118,12 +145,14 @@ pub fn run_demo() -> i32 {
     let cons = Constraints::none();
     let museg = MuseG::new(&src, &tgt, &cons).with_instance(&source);
     let stdin = stdin();
-    let mut designer =
-        InteractiveDesigner::new(stdin.lock(), stdout(), src.clone(), tgt.clone());
+    let mut designer = InteractiveDesigner::new(stdin.lock(), stdout(), src.clone(), tgt.clone());
     match museg.design_grouping(&m2, &SetPath::parse("Orgs.Projects"), &mut designer) {
         Ok(outcome) => {
-            let args: Vec<String> =
-                outcome.grouping.iter().map(|r| m2.source_ref_name(r)).collect();
+            let args: Vec<String> = outcome
+                .grouping
+                .iter()
+                .map(|r| m2.source_ref_name(r))
+                .collect();
             println!("\nYour grouping function: SKProjs({})", args.join(", "));
             println!(
                 "({} questions; {} real and {} synthetic examples)",
@@ -198,10 +227,21 @@ pub fn run_disambiguate() -> i32 {
     let mut b = InstanceBuilder::new(&src);
     b.push_top(
         "Projects",
-        vec![Value::str("P1"), Value::str("DB"), Value::str("e4"), Value::str("e5")],
+        vec![
+            Value::str("P1"),
+            Value::str("DB"),
+            Value::str("e4"),
+            Value::str("e5"),
+        ],
     );
-    b.push_top("Employees", vec![Value::str("e4"), Value::str("Jon"), Value::str("jon@ibm")]);
-    b.push_top("Employees", vec![Value::str("e5"), Value::str("Anna"), Value::str("anna@ibm")]);
+    b.push_top(
+        "Employees",
+        vec![Value::str("e4"), Value::str("Jon"), Value::str("jon@ibm")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e5"), Value::str("Anna"), Value::str("anna@ibm")],
+    );
     let real = b.finish().expect("demo instance");
 
     println!("The generated mapping is ambiguous: a project's supervisor (and");
@@ -211,8 +251,7 @@ pub fn run_disambiguate() -> i32 {
     let cons = Constraints::none();
     let mused = MuseD::new(&src, &tgt, &cons).with_instance(&real);
     let stdin = stdin();
-    let mut designer =
-        InteractiveDesigner::new(stdin.lock(), stdout(), src.clone(), tgt.clone());
+    let mut designer = InteractiveDesigner::new(stdin.lock(), stdout(), src.clone(), tgt.clone());
     match mused.disambiguate(&ma, &mut designer) {
         Ok(outcome) => {
             println!("\nSelected interpretation(s):");

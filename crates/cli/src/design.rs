@@ -20,6 +20,7 @@ use std::path::PathBuf;
 use muse_cliogen::{generate, Correspondence, ScenarioSpec};
 use muse_nr::text::parse_schema;
 use muse_nr::tsv;
+use muse_obs::Metrics;
 use muse_wizard::{InteractiveDesigner, Session};
 
 struct Options {
@@ -28,6 +29,7 @@ struct Options {
     corr: PathBuf,
     data: Option<PathBuf>,
     out: Option<PathBuf>,
+    metrics: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -36,10 +38,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut corr = None;
     let mut data = None;
     let mut out = None;
+    let mut metrics = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
-        let value = args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+        if flag == "--metrics" {
+            metrics = true;
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
         match flag {
             "--source" => source = Some(PathBuf::from(value)),
             "--target" => target = Some(PathBuf::from(value)),
@@ -56,6 +66,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         corr: corr.ok_or("--corr is required")?,
         data,
         out,
+        metrics,
     })
 }
 
@@ -111,7 +122,8 @@ pub fn run(args: &[String]) -> i32 {
             Some(dir) => {
                 let inst = tsv::load_dir(&source_schema, dir)
                     .map_err(|e| format!("loading {}: {e}", dir.display()))?;
-                inst.validate(&source_schema).map_err(|e| format!("instance: {e}"))?;
+                inst.validate(&source_schema)
+                    .map_err(|e| format!("instance: {e}"))?;
                 source_cons
                     .validate_instance(&source_schema, &inst)
                     .map_err(|e| format!("instance violates constraints: {e}"))?;
@@ -121,7 +133,13 @@ pub fn run(args: &[String]) -> i32 {
             None => None,
         };
 
-        let mut session = Session::new(&source_schema, &target_schema, &source_cons);
+        let metrics = if opts.metrics {
+            Metrics::enabled()
+        } else {
+            Metrics::disabled()
+        };
+        let mut session =
+            Session::new(&source_schema, &target_schema, &source_cons).with_metrics(&metrics);
         if let Some(inst) = &instance {
             session = session.with_instance(inst);
         }
@@ -132,13 +150,19 @@ pub fn run(args: &[String]) -> i32 {
             source_schema.clone(),
             target_schema.clone(),
         );
-        let report = session.run(&mappings, &mut designer).map_err(|e| e.to_string())?;
+        let report = session
+            .run(&mappings, &mut designer)
+            .map_err(|e| e.to_string())?;
 
         let text = muse_mapping::printer::print_all(&report.mappings);
         match &opts.out {
             Some(path) => {
                 fs::write(path, &text).map_err(|e| format!("writing {}: {e}", path.display()))?;
-                println!("\nWrote {} mappings to {}.", report.mappings.len(), path.display());
+                println!(
+                    "\nWrote {} mappings to {}.",
+                    report.mappings.len(),
+                    path.display()
+                );
             }
             None => {
                 println!("\nYour designed mappings:\n\n{text}");
@@ -149,6 +173,9 @@ pub fn run(args: &[String]) -> i32 {
             report.total_questions(),
             report.total_example_time()
         );
+        if metrics.is_enabled() {
+            println!("\n=== Metrics ===\n{}", metrics.snapshot().render());
+        }
         Ok(0)
     };
     match run_inner() {

@@ -11,6 +11,7 @@
 //!     --strategy g1|g2|g3            oracle designer instead of you (default: interactive)
 //!     --scale <f>                    instance scale factor (default 0.1)
 //!     --seed <n>                     generator seed (default 1)
+//!     --metrics                      print per-stage counters/timings after the run
 //! ```
 
 use std::io::{stdin, stdout, Write};
@@ -51,6 +52,7 @@ fn usage() {
     println!("      --strategy g1|g2|g3        answer with an oracle instead of interactively");
     println!("      --scale <f>                instance scale (default 0.1)");
     println!("      --seed <n>                 generator seed (default 1)");
+    println!("      --metrics                  print stage counters/timings after the run");
 }
 
 /// Shared stdin/stdout prompt helper.

@@ -5,6 +5,7 @@ use std::io::{stdin, stdout};
 
 use muse_cliogen::{desired_grouping, GroupingStrategy};
 use muse_mapping::ambiguity::{or_groups, select_multi};
+use muse_obs::Metrics;
 use muse_scenarios::Scenario;
 use muse_wizard::{InteractiveDesigner, OracleDesigner, Session};
 
@@ -13,6 +14,7 @@ struct Options {
     strategy: Option<GroupingStrategy>,
     scale: f64,
     seed: u64,
+    metrics: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -21,10 +23,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         strategy: None,
         scale: 0.1,
         seed: 1,
+        metrics: false,
     };
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--metrics" => {
+                opts.metrics = true;
+                i += 1;
+            }
             "--strategy" => {
                 let v = args.get(i + 1).ok_or("--strategy needs a value")?;
                 opts.strategy = Some(match v.to_ascii_lowercase().as_str() {
@@ -64,8 +71,9 @@ pub fn run(args: &[String]) -> i32 {
         }
     };
     let scenarios = muse_scenarios::all_scenarios();
-    let Some(scenario) =
-        scenarios.iter().find(|s| s.name.eq_ignore_ascii_case(&opts.name))
+    let Some(scenario) = scenarios
+        .iter()
+        .find(|s| s.name.eq_ignore_ascii_case(&opts.name))
     else {
         eprintln!(
             "unknown scenario `{}` (try Mondial, DBLP, TPCH, Amalgam)",
@@ -94,12 +102,18 @@ pub fn run(args: &[String]) -> i32 {
         mappings.iter().filter(|m| m.is_ambiguous()).count()
     );
 
+    let metrics = if opts.metrics {
+        Metrics::enabled()
+    } else {
+        Metrics::disabled()
+    };
     let session = Session::new(
         &scenario.source_schema,
         &scenario.target_schema,
         &scenario.source_constraints,
     )
-    .with_instance(&instance);
+    .with_instance(&instance)
+    .with_metrics(&metrics);
 
     let report = match opts.strategy {
         Some(strategy) => {
@@ -120,6 +134,9 @@ pub fn run(args: &[String]) -> i32 {
     match report {
         Ok(report) => {
             println!("\n{}", muse_wizard::render_report(&report));
+            if metrics.is_enabled() {
+                println!("=== Metrics ===\n{}", metrics.snapshot().render());
+            }
             0
         }
         Err(e) => {
@@ -140,13 +157,18 @@ fn oracle_for<'a>(
     for m in mappings {
         let resolved = if m.is_ambiguous() {
             let picks = vec![vec![0usize]; or_groups(m).len()];
-            oracle.intended_choices.insert(m.name.clone(), picks.clone());
+            oracle
+                .intended_choices
+                .insert(m.name.clone(), picks.clone());
             select_multi(m, &picks).expect("selection")
         } else {
             vec![m.clone()]
         };
         for sel in resolved {
-            for sk in sel.filled_target_sets(&scenario.target_schema).expect("filled") {
+            for sk in sel
+                .filled_target_sets(&scenario.target_schema)
+                .expect("filled")
+            {
                 let desired = desired_grouping(
                     &sel,
                     &sk,

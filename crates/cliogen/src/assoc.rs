@@ -67,7 +67,11 @@ pub fn associations(schema: &Schema, cons: &Constraints) -> Result<Vec<Associati
             let prefix = SetPath::new(segments[..depth].iter().cloned());
             let name = format!("v{}", vars.len());
             let var = match parent {
-                None => MappingVar { name, set: prefix, parent: None },
+                None => MappingVar {
+                    name,
+                    set: prefix,
+                    parent: None,
+                },
                 Some(p) => MappingVar {
                     name,
                     set: prefix,
@@ -78,7 +82,11 @@ pub fn associations(schema: &Schema, cons: &Constraints) -> Result<Vec<Associati
             parent = Some(vars.len() - 1);
         }
         close_binding(&mut vars, &mut eqs, schema, cons)?;
-        out.push(Association { primary: path, vars, eqs });
+        out.push(Association {
+            primary: path,
+            vars,
+            eqs,
+        });
     }
     Ok(out)
 }
@@ -94,7 +102,10 @@ mod tests {
             vec![
                 Field::new(
                     "Companies",
-                    Ty::set_of(vec![Field::new("cid", Ty::Int), Field::new("cname", Ty::Str)]),
+                    Ty::set_of(vec![
+                        Field::new("cid", Ty::Int),
+                        Field::new("cname", Ty::Str),
+                    ]),
                 ),
                 Field::new(
                     "Projects",
@@ -106,7 +117,10 @@ mod tests {
                 ),
                 Field::new(
                     "Employees",
-                    Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                    ]),
                 ),
             ],
         )
@@ -168,7 +182,10 @@ mod tests {
                 ),
                 Field::new(
                     "Employees",
-                    Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                    ]),
                 ),
             ],
         )
@@ -192,7 +209,10 @@ mod tests {
             ],
         };
         let assocs = associations(&schema, &cons).unwrap();
-        let p = assocs.iter().find(|a| a.primary == SetPath::parse("Projects")).unwrap();
+        let p = assocs
+            .iter()
+            .find(|a| a.primary == SetPath::parse("Projects"))
+            .unwrap();
         assert_eq!(p.vars_over(&SetPath::parse("Employees")).len(), 2);
     }
 
@@ -223,8 +243,14 @@ mod tests {
     fn sub_association_order() {
         let (s, c) = compdb();
         let assocs = associations(&s, &c).unwrap();
-        let comp = assocs.iter().find(|a| a.primary == SetPath::parse("Companies")).unwrap();
-        let proj = assocs.iter().find(|a| a.primary == SetPath::parse("Projects")).unwrap();
+        let comp = assocs
+            .iter()
+            .find(|a| a.primary == SetPath::parse("Companies"))
+            .unwrap();
+        let proj = assocs
+            .iter()
+            .find(|a| a.primary == SetPath::parse("Projects"))
+            .unwrap();
         assert!(comp.is_sub_association_of(proj));
         assert!(!proj.is_sub_association_of(comp));
         assert!(comp.is_sub_association_of(comp));

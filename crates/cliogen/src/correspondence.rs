@@ -20,7 +20,10 @@ impl AttrAddr {
     pub fn parse(s: &str) -> Self {
         let mut segs: Vec<&str> = s.split('.').collect();
         let attr = segs.pop().unwrap_or("").to_owned();
-        AttrAddr { set: SetPath::new(segs), attr }
+        AttrAddr {
+            set: SetPath::new(segs),
+            attr,
+        }
     }
 
     /// Does this address exist in `schema` (as an atomic element)?
@@ -53,7 +56,10 @@ pub struct Correspondence {
 impl Correspondence {
     /// Build from two dotted addresses.
     pub fn new(source: &str, target: &str) -> Self {
-        Correspondence { source: AttrAddr::parse(source), target: AttrAddr::parse(target) }
+        Correspondence {
+            source: AttrAddr::parse(source),
+            target: AttrAddr::parse(target),
+        }
     }
 
     /// Validate both endpoints.

@@ -154,7 +154,10 @@ fn build_mapping(
                 target,
             });
         } else {
-            m.wheres.push(WhereClause::OrGroup { target, alternatives });
+            m.wheres.push(WhereClause::OrGroup {
+                target,
+                alternatives,
+            });
         }
     }
 
@@ -418,7 +421,12 @@ mod tests {
             correspondences: &corrs,
         };
         let ms = generate(&spec).unwrap();
-        assert_eq!(ms.len(), 1, "{:?}", ms.iter().map(|m| &m.name).collect::<Vec<_>>());
+        assert_eq!(
+            ms.len(),
+            1,
+            "{:?}",
+            ms.iter().map(|m| &m.name).collect::<Vec<_>>()
+        );
         assert_eq!(ms[0].target_vars.len(), 2, "the deep pair survives");
         assert_eq!(ms[0].wheres.len(), 2);
     }

@@ -58,12 +58,13 @@ pub fn desired_grouping(
     let mut class: BTreeMap<(usize, String), usize> = BTreeMap::new();
     let mut parent: Vec<usize> = Vec::new();
     #[allow(clippy::ptr_arg)]
-    let id_of = |r: &PathRef, parent: &mut Vec<usize>, class: &mut BTreeMap<(usize, String), usize>| {
-        *class.entry((r.var, r.attr.clone())).or_insert_with(|| {
-            parent.push(parent.len());
-            parent.len() - 1
-        })
-    };
+    let id_of =
+        |r: &PathRef, parent: &mut Vec<usize>, class: &mut BTreeMap<(usize, String), usize>| {
+            *class.entry((r.var, r.attr.clone())).or_insert_with(|| {
+                parent.push(parent.len());
+                parent.len() - 1
+            })
+        };
     fn find(parent: &mut [usize], mut i: usize) -> usize {
         while parent[i] != i {
             parent[i] = parent[parent[i]];
@@ -83,7 +84,11 @@ pub fn desired_grouping(
     // Base exported refs, per strategy.
     let mut exported_classes: BTreeSet<usize> = BTreeSet::new();
     for w in &m.wheres {
-        let WhereClause::Eq { source: s, target: t } = w else {
+        let WhereClause::Eq {
+            source: s,
+            target: t,
+        } = w
+        else {
             continue; // strategies are defined on unambiguous mappings
         };
         let counts = match strategy {
@@ -198,16 +203,28 @@ mod tests {
     #[test]
     fn g1_is_all_of_poss() {
         let (m, s, t) = m2();
-        let g = desired_grouping(&m, &SetPath::parse("Orgs.Projects"), GroupingStrategy::G1, &s, &t)
-            .unwrap();
+        let g = desired_grouping(
+            &m,
+            &SetPath::parse("Orgs.Projects"),
+            GroupingStrategy::G1,
+            &s,
+            &t,
+        )
+        .unwrap();
         assert_eq!(g.len(), 10);
     }
 
     #[test]
     fn g2_is_the_paper_example() {
         let (m, s, t) = m2();
-        let g = desired_grouping(&m, &SetPath::parse("Orgs.Projects"), GroupingStrategy::G2, &s, &t)
-            .unwrap();
+        let g = desired_grouping(
+            &m,
+            &SetPath::parse("Orgs.Projects"),
+            GroupingStrategy::G2,
+            &s,
+            &t,
+        )
+        .unwrap();
         // "under G2, the grouping function for Projects is SKProjs(c.cname)"
         assert_eq!(names(&m, &g), vec!["c.cname"]);
     }
@@ -215,8 +232,14 @@ mod tests {
     #[test]
     fn g3_is_the_paper_example() {
         let (m, s, t) = m2();
-        let g = desired_grouping(&m, &SetPath::parse("Orgs.Projects"), GroupingStrategy::G3, &s, &t)
-            .unwrap();
+        let g = desired_grouping(
+            &m,
+            &SetPath::parse("Orgs.Projects"),
+            GroupingStrategy::G3,
+            &s,
+            &t,
+        )
+        .unwrap();
         // "under G3 … SKProjs(c.cname, p.pname, p.manager, e.eid, e.ename)"
         assert_eq!(
             names(&m, &g),
@@ -229,7 +252,11 @@ mod tests {
         let (m, s, t) = m2();
         let sk = SetPath::parse("Orgs.Projects");
         let all = muse_mapping::poss::poss(&m, &sk, &s, &t).unwrap();
-        for strat in [GroupingStrategy::G1, GroupingStrategy::G2, GroupingStrategy::G3] {
+        for strat in [
+            GroupingStrategy::G1,
+            GroupingStrategy::G2,
+            GroupingStrategy::G3,
+        ] {
             let g = desired_grouping(&m, &sk, strat, &s, &t).unwrap();
             let mut last = None;
             for r in &g {

@@ -14,9 +14,10 @@ pub fn or_groups(m: &Mapping) -> Vec<(&PathRef, &[PathRef])> {
     m.wheres
         .iter()
         .filter_map(|w| match w {
-            WhereClause::OrGroup { target, alternatives } => {
-                Some((target, alternatives.as_slice()))
-            }
+            WhereClause::OrGroup {
+                target,
+                alternatives,
+            } => Some((target, alternatives.as_slice())),
             WhereClause::Eq { .. } => None,
         })
         .collect()
@@ -25,7 +26,10 @@ pub fn or_groups(m: &Mapping) -> Vec<(&PathRef, &[PathRef])> {
 /// How many unambiguous mappings `m` encodes: the product of the or-group
 /// sizes (1 when `m` is unambiguous).
 pub fn alternatives_count(m: &Mapping) -> usize {
-    or_groups(m).iter().map(|(_, alts)| alts.len().max(1)).product()
+    or_groups(m)
+        .iter()
+        .map(|(_, alts)| alts.len().max(1))
+        .product()
 }
 
 /// Resolve `m` to a single interpretation: `choices[i]` selects the
@@ -37,18 +41,31 @@ pub fn select(m: &Mapping, choices: &[usize]) -> Result<Mapping, MappingError> {
         return Err(MappingError::NotAmbiguous(m.name.clone()));
     }
     if choices.len() != groups {
-        return Err(MappingError::BadChoice { group: choices.len(), choice: 0 });
+        return Err(MappingError::BadChoice {
+            group: choices.len(),
+            choice: 0,
+        });
     }
     let mut out = m.clone();
     let mut g = 0usize;
     for w in &mut out.wheres {
-        if let WhereClause::OrGroup { target, alternatives } = w {
+        if let WhereClause::OrGroup {
+            target,
+            alternatives,
+        } = w
+        {
             let pick = choices[g];
             let alt = alternatives
                 .get(pick)
-                .ok_or(MappingError::BadChoice { group: g, choice: pick })?
+                .ok_or(MappingError::BadChoice {
+                    group: g,
+                    choice: pick,
+                })?
                 .clone();
-            *w = WhereClause::Eq { source: alt, target: target.clone() };
+            *w = WhereClause::Eq {
+                source: alt,
+                target: target.clone(),
+            };
             g += 1;
         }
     }
@@ -65,7 +82,10 @@ pub fn select_multi(m: &Mapping, choices: &[Vec<usize>]) -> Result<Vec<Mapping>,
         return Err(MappingError::NotAmbiguous(m.name.clone()));
     }
     if choices.len() != groups || choices.iter().any(Vec::is_empty) {
-        return Err(MappingError::BadChoice { group: choices.len(), choice: 0 });
+        return Err(MappingError::BadChoice {
+            group: choices.len(),
+            choice: 0,
+        });
     }
     let mut combos: Vec<Vec<usize>> = vec![Vec::new()];
     for group in choices {
@@ -135,7 +155,9 @@ pub fn merge_alternatives(ms: &[Mapping]) -> Option<Mapping> {
     let mut alternatives: BTreeMap<usize, Vec<PathRef>> = BTreeMap::new();
     for m in ms {
         for (i, w) in m.wheres.iter().enumerate() {
-            let WhereClause::Eq { source, .. } = w else { return None };
+            let WhereClause::Eq { source, .. } = w else {
+                return None;
+            };
             let entry = alternatives.entry(i).or_default();
             if !entry.contains(source) {
                 entry.push(source.clone());
@@ -149,9 +171,15 @@ pub fn merge_alternatives(ms: &[Mapping]) -> Option<Mapping> {
         .map(|(i, t)| {
             let alts = alternatives.remove(&i).unwrap_or_default();
             if alts.len() == 1 {
-                WhereClause::Eq { source: alts.into_iter().next().unwrap(), target: (*t).clone() }
+                WhereClause::Eq {
+                    source: alts.into_iter().next().unwrap(),
+                    target: (*t).clone(),
+                }
             } else {
-                WhereClause::OrGroup { target: (*t).clone(), alternatives: alts }
+                WhereClause::OrGroup {
+                    target: (*t).clone(),
+                    alternatives: alts,
+                }
             }
         })
         .collect();
@@ -201,7 +229,10 @@ mod tests {
         m.where_eq(PathRef::new(p, "pname"), PathRef::new(p1, "pname"));
         assert_eq!(alternatives_count(&m), 1);
         assert_eq!(interpretations(&m).len(), 1);
-        assert!(matches!(select(&m, &[]), Err(MappingError::NotAmbiguous(_))));
+        assert!(matches!(
+            select(&m, &[]),
+            Err(MappingError::NotAmbiguous(_))
+        ));
     }
 
     #[test]
@@ -228,8 +259,14 @@ mod tests {
     #[test]
     fn select_rejects_bad_choices() {
         let m = ma();
-        assert!(matches!(select(&m, &[0]), Err(MappingError::BadChoice { .. })));
-        assert!(matches!(select(&m, &[0, 7]), Err(MappingError::BadChoice { .. })));
+        assert!(matches!(
+            select(&m, &[0]),
+            Err(MappingError::BadChoice { .. })
+        ));
+        assert!(matches!(
+            select(&m, &[0, 7]),
+            Err(MappingError::BadChoice { .. })
+        ));
     }
 
     #[test]

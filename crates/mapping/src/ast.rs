@@ -35,7 +35,10 @@ pub struct PathRef {
 impl PathRef {
     /// Construct a projection reference.
     pub fn new(var: usize, attr: impl Into<String>) -> Self {
-        PathRef { var, attr: attr.into() }
+        PathRef {
+            var,
+            attr: attr.into(),
+        }
     }
 }
 
@@ -120,7 +123,11 @@ impl Mapping {
 
     /// Add a top-level source variable; returns its index.
     pub fn source_var(&mut self, name: impl Into<String>, set: SetPath) -> usize {
-        self.source_vars.push(MappingVar { name: name.into(), set, parent: None });
+        self.source_vars.push(MappingVar {
+            name: name.into(),
+            set,
+            parent: None,
+        });
         self.source_vars.len() - 1
     }
 
@@ -133,13 +140,21 @@ impl Mapping {
     ) -> usize {
         let field = field.into();
         let set = self.source_vars[parent].set.child(&field);
-        self.source_vars.push(MappingVar { name: name.into(), set, parent: Some((parent, field)) });
+        self.source_vars.push(MappingVar {
+            name: name.into(),
+            set,
+            parent: Some((parent, field)),
+        });
         self.source_vars.len() - 1
     }
 
     /// Add a top-level target variable; returns its index.
     pub fn target_var(&mut self, name: impl Into<String>, set: SetPath) -> usize {
-        self.target_vars.push(MappingVar { name: name.into(), set, parent: None });
+        self.target_vars.push(MappingVar {
+            name: name.into(),
+            set,
+            parent: None,
+        });
         self.target_vars.len() - 1
     }
 
@@ -152,7 +167,11 @@ impl Mapping {
     ) -> usize {
         let field = field.into();
         let set = self.target_vars[parent].set.child(&field);
-        self.target_vars.push(MappingVar { name: name.into(), set, parent: Some((parent, field)) });
+        self.target_vars.push(MappingVar {
+            name: name.into(),
+            set,
+            parent: Some((parent, field)),
+        });
         self.target_vars.len() - 1
     }
 
@@ -173,7 +192,10 @@ impl Mapping {
 
     /// Add an ambiguous `or`-group for a target attribute.
     pub fn or_group(&mut self, target: PathRef, alternatives: Vec<PathRef>) {
-        self.wheres.push(WhereClause::OrGroup { target, alternatives });
+        self.wheres.push(WhereClause::OrGroup {
+            target,
+            alternatives,
+        });
     }
 
     /// Set (replace) the grouping function for a nested target set.
@@ -188,13 +210,18 @@ impl Mapping {
 
     /// True iff the mapping contains at least one `or`-group.
     pub fn is_ambiguous(&self) -> bool {
-        self.wheres.iter().any(|w| matches!(w, WhereClause::OrGroup { .. }))
+        self.wheres
+            .iter()
+            .any(|w| matches!(w, WhereClause::OrGroup { .. }))
     }
 
     /// The nested target sets this mapping must provide SetIDs for: every
     /// set-typed field of every target variable's element record. Top-level
     /// sets never appear (they have fixed SetIDs and no grouping function).
-    pub fn filled_target_sets(&self, target_schema: &Schema) -> Result<BTreeSet<SetPath>, MappingError> {
+    pub fn filled_target_sets(
+        &self,
+        target_schema: &Schema,
+    ) -> Result<BTreeSet<SetPath>, MappingError> {
         let mut out = BTreeSet::new();
         for tv in &self.target_vars {
             let rcd = target_schema
@@ -210,7 +237,11 @@ impl Mapping {
     /// Fill in the default grouping function (all source attributes — the
     /// Clio default, called `G1` in Sec. VI) for every filled nested target
     /// set that lacks one.
-    pub fn ensure_default_groupings(&mut self, target_schema: &Schema, source_schema: &Schema) -> Result<(), MappingError> {
+    pub fn ensure_default_groupings(
+        &mut self,
+        target_schema: &Schema,
+        source_schema: &Schema,
+    ) -> Result<(), MappingError> {
         let filled = self.filled_target_sets(target_schema)?;
         let all_args = crate::poss::all_source_refs(self, source_schema)?;
         for set in filled {
@@ -236,20 +267,31 @@ impl Mapping {
             }
         }
         for (a, b) in &self.source_eqs {
-            q.add_eq(Operand::proj(a.var, a.attr.clone()), Operand::proj(b.var, b.attr.clone()));
+            q.add_eq(
+                Operand::proj(a.var, a.attr.clone()),
+                Operand::proj(b.var, b.attr.clone()),
+            );
         }
         q
     }
 
     /// Render a source reference as `c.cname` using variable names.
     pub fn source_ref_name(&self, r: &PathRef) -> String {
-        let v = self.source_vars.get(r.var).map(|v| v.name.as_str()).unwrap_or("?");
+        let v = self
+            .source_vars
+            .get(r.var)
+            .map(|v| v.name.as_str())
+            .unwrap_or("?");
         format!("{v}.{}", r.attr)
     }
 
     /// Render a target reference as `o.oname` using variable names.
     pub fn target_ref_name(&self, r: &PathRef) -> String {
-        let v = self.target_vars.get(r.var).map(|v| v.name.as_str()).unwrap_or("?");
+        let v = self
+            .target_vars
+            .get(r.var)
+            .map(|v| v.name.as_str())
+            .unwrap_or("?");
         format!("{v}.{}", r.attr)
     }
 
@@ -278,7 +320,10 @@ impl Mapping {
         let mut assigned: BTreeSet<(usize, &str)> = BTreeSet::new();
         for w in &self.wheres {
             match w {
-                WhereClause::Eq { source: s, target: t } => {
+                WhereClause::Eq {
+                    source: s,
+                    target: t,
+                } => {
                     src_ref(s)?;
                     tgt_ref(t)?;
                     if !assigned.insert((t.var, t.attr.as_str())) {
@@ -287,7 +332,10 @@ impl Mapping {
                         });
                     }
                 }
-                WhereClause::OrGroup { target: t, alternatives } => {
+                WhereClause::OrGroup {
+                    target: t,
+                    alternatives,
+                } => {
                     tgt_ref(t)?;
                     for a in alternatives {
                         src_ref(a)?;
@@ -330,7 +378,9 @@ fn validate_vars(vars: &[MappingVar], schema: &Schema) -> Result<(), MappingErro
         }
         if let Some((p, field)) = &v.parent {
             if *p >= i || vars[*p].set.child(field) != v.set {
-                return Err(MappingError::BadParent { var: v.name.clone() });
+                return Err(MappingError::BadParent {
+                    var: v.name.clone(),
+                });
             }
         }
     }
@@ -343,7 +393,10 @@ fn validate_ref(r: &PathRef, vars: &[MappingVar], schema: &Schema) -> Result<(),
     // SetIDs, which only grouping functions may produce.
     schema
         .atomic_attr_index(&v.set, &r.attr)
-        .map_err(|_| MappingError::UnknownAttr { var: v.name.clone(), attr: r.attr.clone() })?;
+        .map_err(|_| MappingError::UnknownAttr {
+            var: v.name.clone(),
+            attr: r.attr.clone(),
+        })?;
     Ok(())
 }
 

@@ -57,7 +57,10 @@ impl fmt::Display for MappingError {
                 write!(f, "nested target set `{p}` has no grouping function")
             }
             MappingError::UselessGrouping(p) => {
-                write!(f, "grouping declared for `{p}` which the mapping does not fill")
+                write!(
+                    f,
+                    "grouping declared for `{p}` which the mapping does not fill"
+                )
             }
             MappingError::BadGroupingArg { set, arg } => {
                 write!(f, "grouping for `{set}` has invalid argument `{arg}`")

@@ -62,7 +62,10 @@ pub fn parse_one(text: &str) -> Result<Mapping, MappingError> {
     let ms = parse(text)?;
     match ms.len() {
         1 => Ok(ms.into_iter().next().unwrap()),
-        n => Err(MappingError::Parse { line: 0, msg: format!("expected one mapping, found {n}") }),
+        n => Err(MappingError::Parse {
+            line: 0,
+            msg: format!("expected one mapping, found {n}"),
+        }),
     }
 }
 
@@ -114,19 +117,31 @@ fn lex(text: &str) -> Result<Vec<Spanned>, MappingError> {
                         chars.next();
                     }
                 } else {
-                    return Err(MappingError::Parse { line, msg: "stray `-`".into() });
+                    return Err(MappingError::Parse {
+                        line,
+                        msg: "stray `-`".into(),
+                    });
                 }
             }
             ':' => {
-                out.push(Spanned { tok: Tok::Colon, line });
+                out.push(Spanned {
+                    tok: Tok::Colon,
+                    line,
+                });
                 chars.next();
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, line });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    line,
+                });
                 chars.next();
             }
             '.' => {
-                out.push(Spanned { tok: Tok::Dot, line });
+                out.push(Spanned {
+                    tok: Tok::Dot,
+                    line,
+                });
                 chars.next();
             }
             '=' => {
@@ -134,11 +149,17 @@ fn lex(text: &str) -> Result<Vec<Spanned>, MappingError> {
                 chars.next();
             }
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, line });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    line,
+                });
                 chars.next();
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, line });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    line,
+                });
                 chars.next();
             }
             c if c.is_alphanumeric() || c == '_' => {
@@ -151,10 +172,16 @@ fn lex(text: &str) -> Result<Vec<Spanned>, MappingError> {
                         break;
                     }
                 }
-                out.push(Spanned { tok: Tok::Ident(s), line });
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    line,
+                });
             }
             other => {
-                return Err(MappingError::Parse { line, msg: format!("unexpected `{other}`") })
+                return Err(MappingError::Parse {
+                    line,
+                    msg: format!("unexpected `{other}`"),
+                })
             }
         }
     }
@@ -179,11 +206,17 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map_or(0, |t| t.line)
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |t| t.line)
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, MappingError> {
-        Err(MappingError::Parse { line: self.line(), msg: msg.into() })
+        Err(MappingError::Parse {
+            line: self.line(),
+            msg: msg.into(),
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -287,9 +320,7 @@ impl Parser {
             let idx = if let Some(&parent) = names.get(&segments[0]) {
                 // Nested binding `v in parent.field`.
                 if segments.len() != 2 {
-                    return self.err(format!(
-                        "nested binding for `{var}` must be `parent.field`"
-                    ));
+                    return self.err(format!("nested binding for `{var}` must be `parent.field`"));
                 }
                 let field = segments[1].clone();
                 if source {
@@ -299,7 +330,11 @@ impl Parser {
                 }
             } else {
                 // Top-level binding, with optional schema qualifier.
-                let path_segs = if segments.len() >= 2 { &segments[1..] } else { &segments[..] };
+                let path_segs = if segments.len() >= 2 {
+                    &segments[1..]
+                } else {
+                    &segments[..]
+                };
                 let path = SetPath::new(path_segs.iter().cloned());
                 if source {
                     m.source_var(var.clone(), path)
@@ -427,7 +462,9 @@ impl Parser {
 }
 
 fn resolve(names: &BTreeMap<String, usize>, r: &RawRef) -> Result<PathRef, MappingError> {
-    let idx = names.get(&r.var).ok_or_else(|| MappingError::UnknownVarName(r.var.clone()))?;
+    let idx = names
+        .get(&r.var)
+        .ok_or_else(|| MappingError::UnknownVarName(r.var.clone()))?;
     Ok(PathRef::new(*idx, r.attr.clone()))
 }
 
@@ -441,12 +478,8 @@ fn classify(
 ) -> Result<(PathRef, PathRef), MappingError> {
     let side = |r: &RawRef| (src.get(&r.var).copied(), tgt.get(&r.var).copied());
     match (side(&a), side(&b)) {
-        ((Some(sa), _), (_, Some(tb))) => {
-            Ok((PathRef::new(sa, a.attr), PathRef::new(tb, b.attr)))
-        }
-        ((_, Some(ta)), (Some(sb), _)) => {
-            Ok((PathRef::new(sb, b.attr), PathRef::new(ta, a.attr)))
-        }
+        ((Some(sa), _), (_, Some(tb))) => Ok((PathRef::new(sa, a.attr), PathRef::new(tb, b.attr))),
+        ((_, Some(ta)), (Some(sb), _)) => Ok((PathRef::new(sb, b.attr), PathRef::new(ta, a.attr))),
         _ => Err(MappingError::Parse {
             line: a.line,
             msg: format!(
@@ -525,14 +558,10 @@ mod tests {
 
     #[test]
     fn where_direction_is_normalized() {
-        let a = parse_one(
-            "m: for c in S.Companies exists o in T.Orgs where c.cname = o.oname",
-        )
-        .unwrap();
-        let b = parse_one(
-            "m: for c in S.Companies exists o in T.Orgs where o.oname = c.cname",
-        )
-        .unwrap();
+        let a = parse_one("m: for c in S.Companies exists o in T.Orgs where c.cname = o.oname")
+            .unwrap();
+        let b = parse_one("m: for c in S.Companies exists o in T.Orgs where o.oname = c.cname")
+            .unwrap();
         assert_eq!(a.wheres, b.wheres);
         match &a.wheres[0] {
             WhereClause::Eq { source, target } => {
@@ -591,10 +620,12 @@ mod tests {
              where (c.cname = o.oname or c.location = o.oaddr)",
         );
         // Different target attributes in the disjuncts: rejected.
-        assert!(matches!(err, Err(MappingError::Parse { .. })) || {
-            // (oname vs oaddr differ, so this must be an error)
-            false
-        });
+        assert!(
+            matches!(err, Err(MappingError::Parse { .. })) || {
+                // (oname vs oaddr differ, so this must be an error)
+                false
+            }
+        );
     }
 
     #[test]
@@ -606,10 +637,8 @@ mod tests {
 
     #[test]
     fn unknown_variable_in_predicate_rejected() {
-        let err = parse_one(
-            "m: for c in S.Companies exists o in T.Orgs where z.cname = o.oname",
-        )
-        .unwrap_err();
+        let err = parse_one("m: for c in S.Companies exists o in T.Orgs where z.cname = o.oname")
+            .unwrap_err();
         assert!(matches!(err, MappingError::Parse { .. }));
     }
 }

@@ -74,8 +74,16 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "c.cid", "c.cname", "c.location", "p.pid", "p.pname", "p.cid", "p.manager",
-                "e.eid", "e.ename", "e.contact"
+                "c.cid",
+                "c.cname",
+                "c.location",
+                "p.pid",
+                "p.pname",
+                "p.cid",
+                "p.manager",
+                "e.eid",
+                "e.ename",
+                "e.contact"
             ]
         );
     }

@@ -27,9 +27,16 @@ pub fn print(m: &Mapping) -> String {
             .iter()
             .map(|w| match w {
                 WhereClause::Eq { source, target } => {
-                    format!("{} = {}", m.source_ref_name(source), m.target_ref_name(target))
+                    format!(
+                        "{} = {}",
+                        m.source_ref_name(source),
+                        m.target_ref_name(target)
+                    )
                 }
-                WhereClause::OrGroup { target, alternatives } => {
+                WhereClause::OrGroup {
+                    target,
+                    alternatives,
+                } => {
                     let t = m.target_ref_name(target);
                     let ds: Vec<String> = alternatives
                         .iter()
@@ -51,7 +58,13 @@ pub fn print(m: &Mapping) -> String {
             .map(|v| v.name.as_str())
             .unwrap_or("?");
         let args: Vec<String> = g.args.iter().map(|r| m.source_ref_name(r)).collect();
-        write!(out, "\n  group {owner}.{} by ({})", set.label(), args.join(", ")).unwrap();
+        write!(
+            out,
+            "\n  group {owner}.{} by ({})",
+            set.label(),
+            args.join(", ")
+        )
+        .unwrap();
     }
     out.push('\n');
     out
@@ -83,7 +96,10 @@ fn eqs(m: &Mapping, pairs: &[(PathRef, PathRef)], space: Space) -> String {
         Space::Source => m.source_ref_name(r),
         Space::Target => m.target_ref_name(r),
     };
-    let parts: Vec<String> = pairs.iter().map(|(a, b)| format!("{} = {}", name(a), name(b))).collect();
+    let parts: Vec<String> = pairs
+        .iter()
+        .map(|(a, b)| format!("{} = {}", name(a), name(b)))
+        .collect();
     parts.join(" and ")
 }
 
@@ -126,7 +142,10 @@ mod tests {
         let m = parse_one(text).unwrap();
         let printed = print(&m);
         assert!(printed.contains("x in j.Papers"), "got: {printed}");
-        assert!(printed.contains("group j.Papers by (a.journal)"), "got: {printed}");
+        assert!(
+            printed.contains("group j.Papers by (a.journal)"),
+            "got: {printed}"
+        );
         assert_eq!(parse_one(&printed).unwrap(), m);
     }
 

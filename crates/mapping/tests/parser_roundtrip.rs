@@ -1,58 +1,63 @@
-//! Property test: every mapping the AST can express (over a fixed schema
-//! pair) survives `print` → `parse` unchanged.
+//! Randomized test: every mapping the AST can express (over a fixed schema
+//! pair) survives `print` → `parse` unchanged. Driven by the deterministic
+//! SplitMix64 generator, so every run checks the same cases.
 
 use muse_mapping::{parse_one, print, Grouping, Mapping, PathRef};
-use proptest::prelude::*;
+use muse_obs::Rng;
 
-/// Random mappings over CompDB/OrgDB-shaped schemas: a subset of source
-/// variables, random satisfy equalities among int-ish attributes, random
-/// where clauses (plain or 2–3-way or-groups), and a random grouping.
-fn mappings() -> impl Strategy<Value = Mapping> {
-    let wheres = prop::collection::vec((0usize..3, 0usize..2, prop::bool::ANY), 1..4);
-    let grouping = prop::collection::vec(0usize..3, 0..3);
-    (wheres, grouping).prop_map(|(wheres, grouping)| {
-        let mut m = Mapping::new("m");
-        let c = m.source_var("c", muse_nr::SetPath::parse("Companies"));
-        let p = m.source_var("p", muse_nr::SetPath::parse("Projects"));
-        let e = m.source_var("e", muse_nr::SetPath::parse("Employees"));
-        m.source_eq(PathRef::new(p, "cid"), PathRef::new(c, "cid"));
-        m.source_eq(PathRef::new(e, "eid"), PathRef::new(p, "manager"));
-        let o = m.target_var("o", muse_nr::SetPath::parse("Orgs"));
-        let p1 = m.target_child_var("p1", o, "Projects");
-        m.target_eq(PathRef::new(p1, "manager"), PathRef::new(p1, "manager"));
+/// A random mapping over CompDB/OrgDB-shaped schemas: random satisfy
+/// equalities among int-ish attributes, random where clauses (plain or
+/// 2-way or-groups), and a random grouping.
+fn random_mapping(rng: &mut Rng) -> Mapping {
+    let mut m = Mapping::new("m");
+    let c = m.source_var("c", muse_nr::SetPath::parse("Companies"));
+    let p = m.source_var("p", muse_nr::SetPath::parse("Projects"));
+    let e = m.source_var("e", muse_nr::SetPath::parse("Employees"));
+    m.source_eq(PathRef::new(p, "cid"), PathRef::new(c, "cid"));
+    m.source_eq(PathRef::new(e, "eid"), PathRef::new(p, "manager"));
+    let o = m.target_var("o", muse_nr::SetPath::parse("Orgs"));
+    let p1 = m.target_child_var("p1", o, "Projects");
+    m.target_eq(PathRef::new(p1, "manager"), PathRef::new(p1, "manager"));
 
-        let src_attrs = [(c, "cname"), (p, "pname"), (e, "ename")];
-        let tgt_attrs = [(o, "oname"), (p1, "pname")];
-        for (i, (src_i, tgt_i, ambiguous)) in wheres.iter().enumerate() {
-            // Each clause must target a distinct attribute; synthesize one.
-            let target = PathRef::new(tgt_attrs[*tgt_i].0, format!("t{i}"));
-            if *ambiguous {
-                let alts = vec![
-                    PathRef::new(src_attrs[*src_i].0, src_attrs[*src_i].1),
-                    PathRef::new(src_attrs[(*src_i + 1) % 3].0, src_attrs[(*src_i + 1) % 3].1),
-                ];
-                m.or_group(target, alts);
-            } else {
-                m.where_eq(
-                    PathRef::new(src_attrs[*src_i].0, src_attrs[*src_i].1),
-                    target,
-                );
-            }
+    let src_attrs = [(c, "cname"), (p, "pname"), (e, "ename")];
+    let tgt_attrs = [(o, "oname"), (p1, "pname")];
+    let n_wheres = rng.range(1, 4) as usize;
+    for i in 0..n_wheres {
+        let src_i = rng.index(3);
+        let tgt_i = rng.index(2);
+        // Each clause must target a distinct attribute; synthesize one.
+        let target = PathRef::new(tgt_attrs[tgt_i].0, format!("t{i}"));
+        if rng.chance(0.5) {
+            let alts = vec![
+                PathRef::new(src_attrs[src_i].0, src_attrs[src_i].1),
+                PathRef::new(src_attrs[(src_i + 1) % 3].0, src_attrs[(src_i + 1) % 3].1),
+            ];
+            m.or_group(target, alts);
+        } else {
+            m.where_eq(PathRef::new(src_attrs[src_i].0, src_attrs[src_i].1), target);
         }
-        let args: Vec<PathRef> =
-            grouping.iter().map(|&i| PathRef::new(src_attrs[i].0, src_attrs[i].1)).collect();
-        m.set_grouping(muse_nr::SetPath::parse("Orgs.Projects"), Grouping::new(args));
-        m
-    })
+    }
+    let n_group = rng.index(3);
+    let args: Vec<PathRef> = (0..n_group)
+        .map(|_| {
+            let i = rng.index(3);
+            PathRef::new(src_attrs[i].0, src_attrs[i].1)
+        })
+        .collect();
+    m.set_grouping(
+        muse_nr::SetPath::parse("Orgs.Projects"),
+        Grouping::new(args),
+    );
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn print_parse_round_trips(m in mappings()) {
+#[test]
+fn print_parse_round_trips() {
+    let mut rng = Rng::new(0x9A95E);
+    for case in 0..128 {
+        let m = random_mapping(&mut rng);
         let text = print(&m);
-        let back = parse_one(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
-        prop_assert_eq!(back, m);
+        let back = parse_one(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        assert_eq!(back, m, "case {case}:\n{text}");
     }
 }

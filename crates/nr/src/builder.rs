@@ -7,26 +7,47 @@ use crate::term::SetId;
 
 /// A builder that accumulates tuples into an [`Instance`] and validates the
 /// result against the schema on [`InstanceBuilder::finish`].
+///
+/// Mistakes in the chainable `push_top` calls (an unknown root label) are
+/// deferred: the first one is remembered and reported by
+/// [`InstanceBuilder::finish`], so builder chains stay ergonomic without any
+/// panicking path. Use [`InstanceBuilder::try_push_top`] to observe the
+/// error at the call site instead.
 #[derive(Debug)]
 pub struct InstanceBuilder<'s> {
     schema: &'s Schema,
     inst: Instance,
+    deferred: Option<NrError>,
 }
 
 impl<'s> InstanceBuilder<'s> {
     /// Start building an instance of `schema`.
     pub fn new(schema: &'s Schema) -> Self {
-        InstanceBuilder { schema, inst: Instance::new(schema) }
+        InstanceBuilder {
+            schema,
+            inst: Instance::new(schema),
+            deferred: None,
+        }
     }
 
-    /// Append a tuple to a top-level set, by label.
+    /// Append a tuple to a top-level set, by label. An unknown label is
+    /// recorded and surfaced by [`InstanceBuilder::finish`].
     pub fn push_top(&mut self, root: &str, tuple: Tuple) -> &mut Self {
+        if let Err(e) = self.try_push_top(root, tuple) {
+            self.deferred.get_or_insert(e);
+        }
+        self
+    }
+
+    /// Append a tuple to a top-level set, reporting an unknown root label at
+    /// the call site.
+    pub fn try_push_top(&mut self, root: &str, tuple: Tuple) -> Result<(), NrError> {
         let id = self
             .inst
             .root_id(root)
-            .unwrap_or_else(|| panic!("no top-level set `{root}` in schema `{}`", self.schema.name));
+            .ok_or_else(|| NrError::UnknownPath(format!("{}.{root}", self.schema.name)))?;
         self.inst.insert(id, tuple);
-        self
+        Ok(())
     }
 
     /// Intern a nested set grouped by `args` (creating it empty if new).
@@ -45,14 +66,18 @@ impl<'s> InstanceBuilder<'s> {
         &self.inst
     }
 
-    /// Validate against the schema and return the instance.
+    /// Validate against the schema and return the instance. A deferred
+    /// `push_top` error takes precedence over validation failures.
     pub fn finish(self) -> Result<Instance, NrError> {
+        if let Some(e) = self.deferred {
+            return Err(e);
+        }
         self.inst.validate(self.schema)?;
         Ok(self.inst)
     }
 
     /// Return the instance without validating (for deliberately invalid
-    /// test fixtures).
+    /// test fixtures). Deferred `push_top` errors are discarded.
     pub fn finish_unchecked(self) -> Instance {
         self.inst
     }
@@ -89,11 +114,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no top-level set")]
-    fn unknown_root_panics() {
+    fn unknown_root_is_deferred_to_finish() {
         let s = schema();
         let mut b = InstanceBuilder::new(&s);
         b.push_top("Nope", vec![]);
+        match b.finish() {
+            Err(NrError::UnknownPath(p)) => assert_eq!(p, "S.Nope"),
+            other => panic!("expected UnknownPath, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_push_top_reports_at_call_site() {
+        let s = schema();
+        let mut b = InstanceBuilder::new(&s);
+        assert!(matches!(
+            b.try_push_top("Nope", vec![]),
+            Err(NrError::UnknownPath(_))
+        ));
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub struct Key {
 impl Key {
     /// Construct a key.
     pub fn new(set: SetPath, attrs: Vec<&str>) -> Self {
-        Key { set, attrs: attrs.into_iter().map(str::to_owned).collect() }
+        Key {
+            set,
+            attrs: attrs.into_iter().map(str::to_owned).collect(),
+        }
     }
 }
 
@@ -70,7 +73,11 @@ pub struct ForeignKey {
 impl ForeignKey {
     /// Construct a referential constraint.
     pub fn new(from: SetPath, from_attrs: Vec<&str>, to: SetPath, to_attrs: Vec<&str>) -> Self {
-        assert_eq!(from_attrs.len(), to_attrs.len(), "FK attribute lists must align");
+        assert_eq!(
+            from_attrs.len(),
+            to_attrs.len(),
+            "FK attribute lists must align"
+        );
         ForeignKey {
             from,
             from_attrs: from_attrs.into_iter().map(str::to_owned).collect(),
@@ -132,7 +139,10 @@ impl Constraints {
             let known = schema.attributes(set)?;
             for a in attrs {
                 if !known.contains(a) {
-                    return Err(NrError::BadConstraint { set: set.clone(), attr: a.clone() });
+                    return Err(NrError::BadConstraint {
+                        set: set.clone(),
+                        attr: a.clone(),
+                    });
                 }
             }
             Ok(())
@@ -156,12 +166,18 @@ impl Constraints {
         for key in &self.keys {
             let attrs = schema.attributes(&key.set)?;
             if !fd_holds(schema, inst, &key.set, &key.attrs, &attrs)? {
-                return Err(NrError::KeyViolation { set: key.set.clone(), key: key.attrs.clone() });
+                return Err(NrError::KeyViolation {
+                    set: key.set.clone(),
+                    key: key.attrs.clone(),
+                });
             }
         }
         for fd in &self.fds {
             if !fd_holds(schema, inst, &fd.set, &fd.lhs, &fd.rhs)? {
-                return Err(NrError::FdViolation { set: fd.set.clone(), lhs: fd.lhs.clone() });
+                return Err(NrError::FdViolation {
+                    set: fd.set.clone(),
+                    lhs: fd.lhs.clone(),
+                });
             }
         }
         for fk in &self.fks {
@@ -282,21 +298,46 @@ mod tests {
     fn fig2_instance(schema: &Schema) -> Instance {
         let mut i = Instance::new(schema);
         let comps = i.root_id("Companies").unwrap();
-        i.insert(comps, vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")]);
-        i.insert(comps, vec![Value::int(112), Value::str("SBC"), Value::str("NY")]);
+        i.insert(
+            comps,
+            vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")],
+        );
+        i.insert(
+            comps,
+            vec![Value::int(112), Value::str("SBC"), Value::str("NY")],
+        );
         let projs = i.root_id("Projects").unwrap();
         i.insert(
             projs,
-            vec![Value::str("p1"), Value::str("DBSearch"), Value::int(111), Value::str("e14")],
+            vec![
+                Value::str("p1"),
+                Value::str("DBSearch"),
+                Value::int(111),
+                Value::str("e14"),
+            ],
         );
         i.insert(
             projs,
-            vec![Value::str("p2"), Value::str("WebSearch"), Value::int(111), Value::str("e15")],
+            vec![
+                Value::str("p2"),
+                Value::str("WebSearch"),
+                Value::int(111),
+                Value::str("e15"),
+            ],
         );
         let emps = i.root_id("Employees").unwrap();
-        i.insert(emps, vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")]);
-        i.insert(emps, vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")]);
-        i.insert(emps, vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")]);
+        i.insert(
+            emps,
+            vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")],
+        );
+        i.insert(
+            emps,
+            vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")],
+        );
+        i.insert(
+            emps,
+            vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")],
+        );
         i
     }
 
@@ -315,7 +356,10 @@ mod tests {
         let mut inst = fig2_instance(&schema);
         let comps = inst.root_id("Companies").unwrap();
         // Same cid, different name: violates key(cid).
-        inst.insert(comps, vec![Value::int(111), Value::str("Other"), Value::str("SF")]);
+        inst.insert(
+            comps,
+            vec![Value::int(111), Value::str("Other"), Value::str("SF")],
+        );
         assert!(matches!(
             cons.validate_instance(&schema, &inst),
             Err(NrError::KeyViolation { .. })
@@ -330,7 +374,12 @@ mod tests {
         // cid 999 references no company.
         inst.insert(
             projs,
-            vec![Value::str("p9"), Value::str("Ghost"), Value::int(999), Value::str("e14")],
+            vec![
+                Value::str("p9"),
+                Value::str("Ghost"),
+                Value::int(999),
+                Value::str("e14"),
+            ],
         );
         assert!(matches!(
             cons.validate_instance(&schema, &inst),
@@ -353,7 +402,14 @@ mod tests {
         )
         .unwrap());
         // location -> cid holds here too (each location unique).
-        assert!(fd_holds(&schema, &inst, &comps, &["location".into()], &["cid".into()]).unwrap());
+        assert!(fd_holds(
+            &schema,
+            &inst,
+            &comps,
+            &["location".into()],
+            &["cid".into()]
+        )
+        .unwrap());
     }
 
     #[test]
@@ -361,10 +417,17 @@ mod tests {
         let (schema, _) = compdb();
         let mut inst = fig2_instance(&schema);
         let comps = inst.root_id("Companies").unwrap();
-        inst.insert(comps, vec![Value::int(113), Value::str("IBM"), Value::str("SF")]);
+        inst.insert(
+            comps,
+            vec![Value::int(113), Value::str("IBM"), Value::str("SF")],
+        );
         let cons = Constraints {
             keys: vec![],
-            fds: vec![Fd::new(SetPath::parse("Companies"), vec!["cname"], vec!["location"])],
+            fds: vec![Fd::new(
+                SetPath::parse("Companies"),
+                vec!["cname"],
+                vec!["location"],
+            )],
             fks: vec![],
         };
         assert!(matches!(
@@ -390,7 +453,9 @@ mod tests {
     #[test]
     fn all_fds_expand_keys() {
         let (schema, cons) = compdb();
-        let fds = cons.all_fds_of(&schema, &SetPath::parse("Companies")).unwrap();
+        let fds = cons
+            .all_fds_of(&schema, &SetPath::parse("Companies"))
+            .unwrap();
         assert_eq!(fds.len(), 1);
         assert_eq!(fds[0].lhs, vec!["cid"]);
         assert_eq!(fds[0].rhs, vec!["cid", "cname", "location"]);

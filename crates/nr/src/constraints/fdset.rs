@@ -60,7 +60,8 @@ impl FdSet {
 
     /// Add `lhs → rhs`.
     pub fn add(&mut self, lhs: AttrSet, rhs: AttrSet) {
-        self.fds.push((lhs & all_attrs(self.n), rhs & all_attrs(self.n)));
+        self.fds
+            .push((lhs & all_attrs(self.n), rhs & all_attrs(self.n)));
     }
 
     /// Add a key: `key → all attributes`.

@@ -54,9 +54,7 @@ fn render_set(
         for (i, v) in tuple.iter().enumerate() {
             let label = fields.get(i).map(|f| f.label.as_str()).unwrap_or("?");
             match v {
-                Value::Set(sid) => {
-                    parts.push(format!("{label}={}", inst.store().render_set(*sid)))
-                }
+                Value::Set(sid) => parts.push(format!("{label}={}", inst.store().render_set(*sid))),
                 other => parts.push(format!("{label}={}", inst.store().render_value(other))),
             }
         }

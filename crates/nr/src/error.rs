@@ -43,7 +43,11 @@ impl fmt::Display for NrError {
             NrError::UnknownField { path, field } => {
                 write!(f, "record at `{path}` has no field `{field}`")
             }
-            NrError::ArityMismatch { path, expected, got } => {
+            NrError::ArityMismatch {
+                path,
+                expected,
+                got,
+            } => {
                 write!(f, "tuple for `{path}` has arity {got}, expected {expected}")
             }
             NrError::TypeMismatch { path, field } => {
@@ -53,13 +57,20 @@ impl fmt::Display for NrError {
                 write!(f, "key ({}) violated in set `{set}`", key.join(","))
             }
             NrError::FdViolation { set, lhs } => {
-                write!(f, "functional dependency with lhs ({}) violated in `{set}`", lhs.join(","))
+                write!(
+                    f,
+                    "functional dependency with lhs ({}) violated in `{set}`",
+                    lhs.join(",")
+                )
             }
             NrError::ReferentialViolation { from, to } => {
                 write!(f, "referential constraint from `{from}` to `{to}` violated")
             }
             NrError::BadConstraint { set, attr } => {
-                write!(f, "constraint on `{set}` mentions unknown attribute `{attr}`")
+                write!(
+                    f,
+                    "constraint on `{set}` mentions unknown attribute `{attr}`"
+                )
             }
             NrError::UnknownSetId => write!(f, "set id does not belong to this instance"),
             NrError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),

@@ -157,7 +157,8 @@ impl Instance {
         path: &SetPath,
     ) -> impl Iterator<Item = (SetId, &'a Tuple)> + 'a {
         let ids = self.set_ids_of(path);
-        ids.into_iter().flat_map(move |id| self.tuples(id).map(move |t| (id, t)))
+        ids.into_iter()
+            .flat_map(move |id| self.tuples(id).map(move |t| (id, t)))
     }
 
     /// Total number of tuples across all sets.
@@ -212,7 +213,10 @@ impl Instance {
         ty: &Ty,
         value: &Value,
     ) -> Result<(), NrError> {
-        let mismatch = || NrError::TypeMismatch { path: path.to_string(), field: label.into() };
+        let mismatch = || NrError::TypeMismatch {
+            path: path.to_string(),
+            field: label.into(),
+        };
         match (ty, value) {
             (Ty::Str, Value::Atom(Atom::Str(_))) | (Ty::Int, Value::Atom(Atom::Int(_))) => Ok(()),
             (Ty::Str | Ty::Int, Value::Null(_)) => Ok(()),
@@ -249,15 +253,15 @@ mod tests {
                     "Orgs",
                     Ty::set_of(vec![
                         Field::new("oname", Ty::Str),
-                        Field::new(
-                            "Projects",
-                            Ty::set_of(vec![Field::new("pname", Ty::Str)]),
-                        ),
+                        Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
                     ]),
                 ),
                 Field::new(
                     "Employees",
-                    Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                    ]),
                 ),
             ],
         )
@@ -298,7 +302,10 @@ mod tests {
         i.insert(orgs, vec![Value::str("IBM"), Value::Set(projs)]);
         i.insert(projs, vec![Value::str("DBSearch")]);
         i.validate(&s).unwrap();
-        assert_eq!(i.tuples_of_path(&SetPath::parse("Orgs.Projects")).count(), 1);
+        assert_eq!(
+            i.tuples_of_path(&SetPath::parse("Orgs.Projects")).count(),
+            1
+        );
         assert_eq!(i.set_ids_of(&SetPath::parse("Orgs.Projects")), vec![projs]);
     }
 

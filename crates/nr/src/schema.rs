@@ -90,7 +90,10 @@ impl Schema {
     pub fn new(name: impl Into<String>, root_fields: Vec<Field>) -> Result<Self, NrError> {
         let root = Ty::Rcd(root_fields);
         check_labels(&root)?;
-        Ok(Schema { name: name.into(), root })
+        Ok(Schema {
+            name: name.into(),
+            root,
+        })
     }
 
     /// The root record type.
@@ -142,7 +145,10 @@ impl Schema {
     pub fn attr_index(&self, path: &SetPath, attr: &str) -> Result<usize, NrError> {
         self.element_record(path)?
             .field_index(attr)
-            .ok_or_else(|| NrError::UnknownField { path: path.to_string(), field: attr.into() })
+            .ok_or_else(|| NrError::UnknownField {
+                path: path.to_string(),
+                field: attr.into(),
+            })
     }
 
     /// Like [`Schema::attr_index`], but additionally requires the field to
@@ -155,7 +161,10 @@ impl Schema {
         if field.ty.is_atomic() {
             Ok(idx)
         } else {
-            Err(NrError::TypeMismatch { path: path.to_string(), field: attr.into() })
+            Err(NrError::TypeMismatch {
+                path: path.to_string(),
+                field: attr.into(),
+            })
         }
     }
 
@@ -206,7 +215,8 @@ impl Schema {
     /// alternation assumed in the paper's exposition.
     pub fn is_strictly_alternating(&self) -> bool {
         self.root.rcd_fields().is_some_and(|fs| {
-            fs.iter().all(|f| f.ty.is_strictly_alternating() || f.ty.is_atomic())
+            fs.iter()
+                .all(|f| f.ty.is_strictly_alternating() || f.ty.is_atomic())
         })
     }
 }
@@ -274,7 +284,10 @@ mod tests {
         let projects = SetPath::parse("Orgs.Projects");
         assert!(s.resolve_set(&projects).is_ok());
         assert_eq!(s.attributes(&projects).unwrap(), vec!["pname", "manager"]);
-        assert_eq!(s.attributes(&SetPath::parse("Orgs")).unwrap(), vec!["oname"]);
+        assert_eq!(
+            s.attributes(&SetPath::parse("Orgs")).unwrap(),
+            vec!["oname"]
+        );
     }
 
     #[test]

@@ -88,7 +88,10 @@ impl TermStore {
 
     /// Intern a labeled null, returning its id (existing or new).
     pub fn null_id(&mut self, tag: impl Into<String>, args: Vec<Value>) -> NullId {
-        let term = NullTerm { tag: tag.into(), args };
+        let term = NullTerm {
+            tag: tag.into(),
+            args,
+        };
         if let Some(&id) = self.null_index.get(&term) {
             return id;
         }

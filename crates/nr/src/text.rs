@@ -110,7 +110,12 @@ pub fn parse_schema(text: &str) -> Result<(Schema, Constraints), NrError> {
                             attr: "referential attribute lists differ in length".into(),
                         });
                     }
-                    cons.fks.push(ForeignKey { from, from_attrs, to, to_attrs });
+                    cons.fks.push(ForeignKey {
+                        from,
+                        from_attrs,
+                        to,
+                        to_attrs,
+                    });
                 }
             }
             other => {
@@ -140,7 +145,14 @@ pub fn print_schema(schema: &Schema, cons: &Constraints) -> String {
     if !cons.fds.is_empty() {
         writeln!(out, "\nfds").unwrap();
         for f in &cons.fds {
-            writeln!(out, "  {}: {} -> {}", f.set, f.lhs.join(" "), f.rhs.join(" ")).unwrap();
+            writeln!(
+                out,
+                "  {}: {} -> {}",
+                f.set,
+                f.lhs.join(" "),
+                f.rhs.join(" ")
+            )
+            .unwrap();
         }
     }
     if !cons.fks.is_empty() {
@@ -269,7 +281,9 @@ impl Parser {
         if got == w {
             Ok(())
         } else {
-            Err(NrError::UnknownPath(format!("expected `{w}`, found `{got}`")))
+            Err(NrError::UnknownPath(format!(
+                "expected `{w}`, found `{got}`"
+            )))
         }
     }
 
@@ -432,7 +446,10 @@ mod tests {
             keys
               A(nope)
         ";
-        assert!(matches!(parse_schema(bad), Err(NrError::BadConstraint { .. })));
+        assert!(matches!(
+            parse_schema(bad),
+            Err(NrError::BadConstraint { .. })
+        ));
         // Mismatched ref arity.
         let bad_ref = "
             schema S

@@ -27,7 +27,10 @@ pub fn load_dir(schema: &Schema, dir: &Path) -> Result<Instance, std::io::Error>
         }
         let text = fs::read_to_string(&file)?;
         load_set(schema, &mut inst, path.label(), &text).map_err(|e| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{}: {e}", file.display()))
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", file.display()),
+            )
         })?;
     }
     Ok(inst)
@@ -48,8 +51,9 @@ pub fn load_set(
             "{set_label} has nested sets; TSV supports flat sets only"
         )));
     }
-    let root =
-        inst.root_id(set_label).ok_or_else(|| NrError::UnknownPath(set_label.to_owned()))?;
+    let root = inst
+        .root_id(set_label)
+        .ok_or_else(|| NrError::UnknownPath(set_label.to_owned()))?;
 
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
     let header: Vec<&str> = match lines.next() {
@@ -59,9 +63,14 @@ pub fn load_set(
     // Map each schema field to its column.
     let mut col_of = Vec::with_capacity(fields.len());
     for f in fields {
-        let col = header.iter().position(|h| *h == f.label).ok_or_else(|| {
-            NrError::UnknownField { path: set_label.to_owned(), field: f.label.clone() }
-        })?;
+        let col =
+            header
+                .iter()
+                .position(|h| *h == f.label)
+                .ok_or_else(|| NrError::UnknownField {
+                    path: set_label.to_owned(),
+                    field: f.label.clone(),
+                })?;
         col_of.push(col);
     }
 
@@ -74,12 +83,12 @@ pub fn load_set(
                 Value::Null(inst.store_mut().fresh_null())
             } else {
                 match f.ty {
-                    Ty::Int => Value::int(cell.parse::<i64>().map_err(|_| {
-                        NrError::TypeMismatch {
+                    Ty::Int => {
+                        Value::int(cell.parse::<i64>().map_err(|_| NrError::TypeMismatch {
                             path: format!("{set_label} row {}", line_no + 2),
                             field: f.label.clone(),
-                        }
-                    })?),
+                        })?)
+                    }
                     _ => Value::str(cell),
                 }
             };
@@ -100,8 +109,9 @@ pub fn save_set(schema: &Schema, inst: &Instance, set_label: &str) -> Result<Str
             "{set_label} has nested sets; TSV supports flat sets only"
         )));
     }
-    let root =
-        inst.root_id(set_label).ok_or_else(|| NrError::UnknownPath(set_label.to_owned()))?;
+    let root = inst
+        .root_id(set_label)
+        .ok_or_else(|| NrError::UnknownPath(set_label.to_owned()))?;
     let mut out = String::new();
     let header: Vec<&str> = fields.iter().map(|f| f.label.as_str()).collect();
     writeln!(out, "{}", header.join("\t")).unwrap();
@@ -129,7 +139,10 @@ pub fn save_dir(schema: &Schema, inst: &Instance, dir: &Path) -> Result<(), std:
             Ok(text) => fs::write(dir.join(format!("{}.tsv", path.label())), text)?,
             Err(NrError::NotASet(_)) => continue,
             Err(e) => {
-                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    e.to_string(),
+                ))
             }
         }
     }

@@ -15,7 +15,10 @@ pub struct Field {
 impl Field {
     /// Construct a field.
     pub fn new(label: impl Into<String>, ty: Ty) -> Self {
-        Field { label: label.into(), ty }
+        Field {
+            label: label.into(),
+            ty,
+        }
     }
 }
 

@@ -1,24 +1,23 @@
-//! Property tests of the FD engine: the Lucchesi–Osborn candidate-key
+//! Randomized tests of the FD engine: the Lucchesi–Osborn candidate-key
 //! enumeration is cross-checked against brute force on small attribute
-//! spaces, and closure satisfies its algebraic laws.
+//! spaces, and closure satisfies its algebraic laws. Driven by the
+//! deterministic SplitMix64 generator, so every run checks the same cases.
 
 use muse_nr::constraints::fdset::{all_attrs, attrs, iter_attrs, AttrSet, FdSet};
-use proptest::prelude::*;
+use muse_obs::Rng;
 
-/// A random FD set over `n ≤ 6` attributes.
-fn fd_sets() -> impl Strategy<Value = FdSet> {
-    (2usize..=6)
-        .prop_flat_map(|n| {
-            let fd = (0u64..(1 << n) as u64, 0u64..(1 << n) as u64);
-            (Just(n), prop::collection::vec(fd, 0..6))
-        })
-        .prop_map(|(n, fds)| {
-            let mut set = FdSet::new(n);
-            for (lhs, rhs) in fds {
-                set.add(lhs as AttrSet, rhs as AttrSet);
-            }
-            set
-        })
+/// A random FD set over `2 ≤ n ≤ 6` attributes, plus the generator for
+/// follow-up draws.
+fn random_fd_set(rng: &mut Rng) -> FdSet {
+    let n = rng.range(2, 7) as usize;
+    let mut set = FdSet::new(n);
+    let n_fds = rng.index(6);
+    for _ in 0..n_fds {
+        let lhs = rng.below(1 << n) as AttrSet;
+        let rhs = rng.below(1 << n) as AttrSet;
+        set.add(lhs, rhs);
+    }
+    set
 }
 
 /// Brute-force candidate keys: all subset-minimal superkeys.
@@ -38,53 +37,69 @@ fn brute_force_keys(f: &FdSet) -> Vec<AttrSet> {
     keys
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn candidate_keys_match_brute_force(f in fd_sets()) {
+#[test]
+fn candidate_keys_match_brute_force() {
+    let mut rng = Rng::new(0xF0_5E75);
+    for case in 0..256 {
+        let f = random_fd_set(&mut rng);
         let mut fast = f.candidate_keys();
         fast.sort_unstable();
         let mut slow = brute_force_keys(&f);
         slow.sort_unstable();
-        prop_assert_eq!(fast, slow);
+        assert_eq!(fast, slow, "case {case}: {f:?}");
     }
+}
 
-    #[test]
-    fn closure_is_monotone_idempotent_extensive(f in fd_sets(), start in 0u64..64) {
-        let start = (start as AttrSet) & all_attrs(f.arity());
+#[test]
+fn closure_is_monotone_idempotent_extensive() {
+    let mut rng = Rng::new(0xC105);
+    for case in 0..256 {
+        let f = random_fd_set(&mut rng);
+        let start = (rng.below(64) as AttrSet) & all_attrs(f.arity());
         let c = f.closure(start);
         // Extensive: X ⊆ closure(X).
-        prop_assert_eq!(c & start, start);
+        assert_eq!(c & start, start, "case {case}");
         // Idempotent.
-        prop_assert_eq!(f.closure(c), c);
+        assert_eq!(f.closure(c), c, "case {case}");
         // Monotone: closure of a subset is contained in closure.
         for i in iter_attrs(start) {
             let sub = start & !attrs([i]);
             let csub = f.closure(sub);
-            prop_assert_eq!(csub & c, csub, "closure must be monotone");
+            assert_eq!(csub & c, csub, "case {case}: closure must be monotone");
         }
     }
+}
 
-    #[test]
-    fn keys_are_superkeys_and_minimal(f in fd_sets()) {
+#[test]
+fn keys_are_superkeys_and_minimal() {
+    let mut rng = Rng::new(0x5EED_4E15);
+    for case in 0..256 {
+        let f = random_fd_set(&mut rng);
         let all = all_attrs(f.arity());
         for k in f.candidate_keys() {
-            prop_assert_eq!(f.closure(k), all, "keys are superkeys");
+            assert_eq!(f.closure(k), all, "case {case}: keys are superkeys");
             for i in iter_attrs(k) {
-                prop_assert_ne!(
+                assert_ne!(
                     f.closure(k & !attrs([i])),
                     all,
-                    "keys are minimal"
+                    "case {case}: keys are minimal"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn implies_agrees_with_closure(f in fd_sets(), lhs in 0u64..64, rhs in 0u64..64) {
-        let lhs = (lhs as AttrSet) & all_attrs(f.arity());
-        let rhs = (rhs as AttrSet) & all_attrs(f.arity());
-        prop_assert_eq!(f.implies(lhs, rhs), f.closure(lhs) & rhs == rhs);
+#[test]
+fn implies_agrees_with_closure() {
+    let mut rng = Rng::new(0x1A9);
+    for case in 0..256 {
+        let f = random_fd_set(&mut rng);
+        let lhs = (rng.below(64) as AttrSet) & all_attrs(f.arity());
+        let rhs = (rng.below(64) as AttrSet) & all_attrs(f.arity());
+        assert_eq!(
+            f.implies(lhs, rhs),
+            f.closure(lhs) & rhs == rhs,
+            "case {case}"
+        );
     }
 }

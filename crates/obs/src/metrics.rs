@@ -1,0 +1,361 @@
+//! Atomic counters and monotonic span timers behind a cloneable [`Metrics`]
+//! handle.
+//!
+//! Instrumented code resolves a [`Counter`] or [`Timer`] handle once per
+//! operation (outside its hot loop) and then updates it with a single
+//! relaxed atomic op per event. When the parent [`Metrics`] is disabled the
+//! handles are `None` and every update is a dead branch — the no-op mode
+//! compiles down to (practically) nothing.
+//!
+//! Key naming convention: `<stage>.<event>`, e.g. `query.steps`,
+//! `chase.tuples_emitted`, `iso.fingerprint_reject`, `wizard.questions`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    timers: Mutex<BTreeMap<&'static str, Arc<TimerCell>>>,
+}
+
+/// A cloneable metrics handle. Cheap to clone (an `Option<Arc>`); all
+/// clones feed the same registry. [`Metrics::disabled`] is the no-op mode.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<Registry>>,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Metrics {
+    /// A live registry: counters and timers accumulate.
+    pub fn enabled() -> Self {
+        Metrics {
+            inner: Some(Arc::new(Registry::default())),
+        }
+    }
+
+    /// The no-op handle: every instrument resolves to `None`.
+    pub const fn disabled() -> Self {
+        Metrics { inner: None }
+    }
+
+    /// A `'static` no-op handle, for `Copy` configuration structs that hold
+    /// a `&Metrics` and need a default.
+    pub fn disabled_ref() -> &'static Metrics {
+        static DISABLED: Metrics = Metrics::disabled();
+        &DISABLED
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Resolve a counter handle. Call once per operation, not per event.
+    pub fn counter(&self, key: &'static str) -> Counter {
+        Counter(self.inner.as_ref().map(|r| {
+            Arc::clone(
+                r.counters
+                    .lock()
+                    .expect("metrics lock")
+                    .entry(key)
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Resolve a span-timer handle. Call once per operation.
+    pub fn timer(&self, key: &'static str) -> Timer {
+        Timer(self.inner.as_ref().map(|r| {
+            Arc::clone(
+                r.timers
+                    .lock()
+                    .expect("metrics lock")
+                    .entry(key)
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// One-shot counter bump, for cold paths where caching a handle is not
+    /// worth it.
+    pub fn incr(&self, key: &'static str) {
+        self.counter(key).incr();
+    }
+
+    /// One-shot counter add, for cold paths.
+    pub fn add(&self, key: &'static str, n: u64) {
+        self.counter(key).add(n);
+    }
+
+    /// Snapshot every counter and timer.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        if let Some(r) = &self.inner {
+            for (k, v) in r.counters.lock().expect("metrics lock").iter() {
+                snap.counters
+                    .insert((*k).to_owned(), v.load(Ordering::Relaxed));
+            }
+            for (k, v) in r.timers.lock().expect("metrics lock").iter() {
+                snap.timers.insert(
+                    (*k).to_owned(),
+                    TimerStat {
+                        count: v.count.load(Ordering::Relaxed),
+                        nanos: v.nanos.load(Ordering::Relaxed),
+                    },
+                );
+            }
+        }
+        snap
+    }
+
+    /// Reset every counter and timer to zero (the registry keeps its keys).
+    pub fn reset(&self) {
+        if let Some(r) = &self.inner {
+            for v in r.counters.lock().expect("metrics lock").values() {
+                v.store(0, Ordering::Relaxed);
+            }
+            for v in r.timers.lock().expect("metrics lock").values() {
+                v.count.store(0, Ordering::Relaxed);
+                v.nanos.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A resolved counter. `add`/`incr` are single relaxed atomic ops (or dead
+/// branches when disabled).
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Default)]
+struct TimerCell {
+    count: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// A resolved span timer: accumulates `(count, total nanos)`.
+#[derive(Clone, Default)]
+pub struct Timer(Option<Arc<TimerCell>>);
+
+impl Timer {
+    /// Record one completed span.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        if let Some(t) = &self.0 {
+            t.count.fetch_add(1, Ordering::Relaxed);
+            t.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Time a closure. Disabled timers never read the clock.
+    #[inline]
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        match &self.0 {
+            None => f(),
+            Some(_) => {
+                let start = Instant::now();
+                let out = f();
+                self.record(start.elapsed());
+                out
+            }
+        }
+    }
+
+    /// Start a span recorded when the guard drops. Disabled timers never
+    /// read the clock.
+    #[inline]
+    pub fn start(&self) -> Span {
+        Span(self.0.as_ref().map(|t| (Arc::clone(t), Instant::now())))
+    }
+}
+
+/// Guard returned by [`Timer::start`]; records the span on drop.
+pub struct Span(Option<(Arc<TimerCell>, Instant)>);
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((t, start)) = self.0.take() {
+            t.count.fetch_add(1, Ordering::Relaxed);
+            t.nanos
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Accumulated `(count, total nanos)` of one timer key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimerStat {
+    /// Completed spans.
+    pub count: u64,
+    /// Total nanoseconds across spans.
+    pub nanos: u64,
+}
+
+impl TimerStat {
+    /// Total time as a [`Duration`].
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos)
+    }
+}
+
+/// A point-in-time copy of a registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values, by key.
+    pub counters: BTreeMap<String, u64>,
+    /// Timer stats, by key.
+    pub timers: BTreeMap<String, TimerStat>,
+}
+
+impl Snapshot {
+    /// Counter value (0 when absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Timer stat (zeros when absent).
+    pub fn timer(&self, key: &str) -> TimerStat {
+        self.timers.get(key).copied().unwrap_or_default()
+    }
+
+    /// The snapshot as a JSON object:
+    /// `{"counters": {..}, "timers": {"k": {"count": n, "nanos": n}, ..}}`.
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+            .collect();
+        let timers = self
+            .timers
+            .iter()
+            .map(|(k, t)| {
+                (
+                    k.clone(),
+                    Json::obj(vec![
+                        ("count", Json::Int(t.count as i64)),
+                        ("nanos", Json::Int(t.nanos as i64)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("counters".to_owned(), Json::Obj(counters)),
+            ("timers".to_owned(), Json::Obj(timers)),
+        ])
+    }
+
+    /// A compact human-readable rendering, one metric per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            writeln!(out, "{k:<40} {v}").unwrap();
+        }
+        for (k, t) in &self.timers {
+            writeln!(
+                out,
+                "{k:<40} {:>8} spans  {:.6}s",
+                t.count,
+                t.total().as_secs_f64()
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let m = Metrics::disabled();
+        let c = m.counter("x");
+        c.add(5);
+        let t = m.timer("y");
+        t.record(Duration::from_millis(3));
+        assert!(!m.is_enabled());
+        assert_eq!(m.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let m = Metrics::enabled();
+        let c1 = m.counter("hits");
+        let c2 = m.clone().counter("hits");
+        c1.add(2);
+        c2.incr();
+        assert_eq!(m.snapshot().counter("hits"), 3);
+    }
+
+    #[test]
+    fn timers_accumulate_spans() {
+        let m = Metrics::enabled();
+        let t = m.timer("t");
+        t.record(Duration::from_nanos(500));
+        t.time(|| ());
+        {
+            let _g = t.start();
+        }
+        let stat = m.snapshot().timer("t");
+        assert_eq!(stat.count, 3);
+        assert!(stat.nanos >= 500);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_keys() {
+        let m = Metrics::enabled();
+        m.incr("a");
+        m.timer("b").record(Duration::from_nanos(10));
+        m.reset();
+        let s = m.snapshot();
+        assert_eq!(s.counter("a"), 0);
+        assert_eq!(s.timer("b"), TimerStat::default());
+        assert!(s.counters.contains_key("a"));
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let m = Metrics::enabled();
+        m.add("q.steps", 7);
+        let j = m.snapshot().to_json();
+        let text = j.render();
+        assert!(text.contains("\"q.steps\":7"), "{text}");
+    }
+}

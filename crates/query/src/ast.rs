@@ -36,7 +36,10 @@ pub enum Operand {
 impl Operand {
     /// Shorthand for a projection operand.
     pub fn proj(var: usize, attr: impl Into<String>) -> Operand {
-        Operand::Proj { var, attr: attr.into() }
+        Operand::Proj {
+            var,
+            attr: attr.into(),
+        }
     }
 
     /// The variable index, if this is a projection.
@@ -67,7 +70,11 @@ impl Query {
 
     /// Add a top-level variable ranging over `set`; returns its index.
     pub fn var(&mut self, name: impl Into<String>, set: SetPath) -> usize {
-        self.vars.push(QVar { name: name.into(), set, parent: None });
+        self.vars.push(QVar {
+            name: name.into(),
+            set,
+            parent: None,
+        });
         self.vars.len() - 1
     }
 
@@ -81,7 +88,11 @@ impl Query {
     ) -> usize {
         let field = field.into();
         let set = self.vars[parent].set.child(&field);
-        self.vars.push(QVar { name: name.into(), set, parent: Some((parent, field)) });
+        self.vars.push(QVar {
+            name: name.into(),
+            set,
+            parent: Some((parent, field)),
+        });
         self.vars.len() - 1
     }
 
@@ -104,7 +115,9 @@ impl Query {
             }
             if let Some((p, field)) = &v.parent {
                 if *p >= i {
-                    return Err(QueryError::BadParent { var: v.name.clone() });
+                    return Err(QueryError::BadParent {
+                        var: v.name.clone(),
+                    });
                 }
                 let parent_set = &self.vars[*p].set;
                 let child = parent_set.child(field);
@@ -121,7 +134,10 @@ impl Query {
                 let v = self.vars.get(*var).ok_or(QueryError::UnknownVar(*var))?;
                 // Predicates compare atomic values only.
                 if schema.atomic_attr_index(&v.set, attr).is_err() {
-                    return Err(QueryError::UnknownAttr { var: v.name.clone(), attr: attr.clone() });
+                    return Err(QueryError::UnknownAttr {
+                        var: v.name.clone(),
+                        attr: attr.clone(),
+                    });
                 }
             }
             Ok(())
@@ -179,7 +195,10 @@ mod tests {
         let mut q = Query::new();
         let o = q.var("o", SetPath::parse("Orgs"));
         q.add_eq(Operand::proj(o, "bad"), Operand::Const(Value::int(1)));
-        assert!(matches!(q.validate(&s), Err(QueryError::UnknownAttr { .. })));
+        assert!(matches!(
+            q.validate(&s),
+            Err(QueryError::UnknownAttr { .. })
+        ));
 
         let mut q = Query::new();
         let o = q.var("o", SetPath::parse("Orgs"));

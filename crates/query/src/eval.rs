@@ -1,9 +1,19 @@
 //! Backtracking evaluation of conjunctive queries with lazy hash indexes.
+//!
+//! Instrumentation (all behind [`Metrics`], zero-cost when disabled):
+//!
+//! * `query.evals` — evaluation operations started,
+//! * `query.steps` — backtracking search steps,
+//! * `query.index_hits` / `query.index_misses` — lazy hash-index cache
+//!   probes that found / had to build an index,
+//! * `query.timeouts` — evaluations cut short by their deadline,
+//! * `query.eval_time` — wall-clock spans per evaluation.
 
 use std::collections::HashMap;
 use std::time::Instant;
 
 use muse_nr::{Instance, Schema, SetPath, Tuple, Value};
+use muse_obs::{Counter, Metrics};
 
 use crate::ast::{Operand, QVar, Query};
 use crate::error::QueryError;
@@ -35,6 +45,21 @@ pub fn evaluate_deadline(
     limit: Option<usize>,
     deadline: Option<Instant>,
 ) -> Result<(Vec<Binding>, bool), QueryError> {
+    evaluate_deadline_with(schema, inst, query, limit, deadline, &Metrics::disabled())
+}
+
+/// Like [`evaluate_deadline`], reporting counters and timings through
+/// `metrics` (see the module docs for the emitted keys).
+pub fn evaluate_deadline_with(
+    schema: &Schema,
+    inst: &Instance,
+    query: &Query,
+    limit: Option<usize>,
+    deadline: Option<Instant>,
+    metrics: &Metrics,
+) -> Result<(Vec<Binding>, bool), QueryError> {
+    let _span = metrics.timer("query.eval_time").start();
+    metrics.incr("query.evals");
     query.validate(schema)?;
     if query.vars.is_empty() {
         // The empty conjunction has exactly one (empty) binding.
@@ -53,9 +78,23 @@ pub fn evaluate_deadline(
         deadline,
         steps: 0,
         timed_out: false,
+        index_hits: metrics.counter("query.index_hits"),
+        index_misses: metrics.counter("query.index_misses"),
     };
     search.descend(0);
-    let timed_out = search.timed_out;
+    let (steps, raw_timed_out) = (search.steps, search.timed_out);
+    drop(search);
+    metrics.add("query.steps", steps);
+    // Consistency guard: a search that already produced its full `limit` of
+    // bindings is complete for the caller's purposes, even if the deadline
+    // check happened to fire on the same step. (`done()` tests the limit
+    // before the clock, so this should be unreachable — keep the invariant
+    // explicit rather than implied by check ordering.)
+    let limit_reached = limit.is_some_and(|l| out.len() >= l);
+    let timed_out = raw_timed_out && !limit_reached;
+    if timed_out {
+        metrics.incr("query.timeouts");
+    }
     Ok((out, timed_out))
 }
 
@@ -81,9 +120,13 @@ impl Op {
             Operand::Const(v) => Op::Const(v.clone()),
             Operand::Proj { var, attr } => {
                 let qv = vars.get(*var).ok_or(QueryError::UnknownVar(*var))?;
-                let idx = schema
-                    .attr_index(&qv.set, attr)
-                    .map_err(|_| QueryError::UnknownAttr { var: qv.name.clone(), attr: attr.clone() })?;
+                let idx =
+                    schema
+                        .attr_index(&qv.set, attr)
+                        .map_err(|_| QueryError::UnknownAttr {
+                            var: qv.name.clone(),
+                            attr: attr.clone(),
+                        })?;
                 Op::Proj { var: *var, idx }
             }
         })
@@ -117,12 +160,22 @@ impl Plan {
         let eqs: Vec<(Op, Op)> = query
             .eqs
             .iter()
-            .map(|(a, b)| Ok((Op::compile(schema, &query.vars, a)?, Op::compile(schema, &query.vars, b)?)))
+            .map(|(a, b)| {
+                Ok((
+                    Op::compile(schema, &query.vars, a)?,
+                    Op::compile(schema, &query.vars, b)?,
+                ))
+            })
             .collect::<Result<_, QueryError>>()?;
         let neqs: Vec<(Op, Op)> = query
             .neqs
             .iter()
-            .map(|(a, b)| Ok((Op::compile(schema, &query.vars, a)?, Op::compile(schema, &query.vars, b)?)))
+            .map(|(a, b)| {
+                Ok((
+                    Op::compile(schema, &query.vars, a)?,
+                    Op::compile(schema, &query.vars, b)?,
+                ))
+            })
             .collect::<Result<_, QueryError>>()?;
 
         // Greedy ordering: repeatedly pick the eligible variable (parent
@@ -213,15 +266,24 @@ impl Plan {
                 let parent_rcd = schema
                     .element_record(&query.vars[*p].set)
                     .map_err(|_| QueryError::UnknownSet(query.vars[*p].set.to_string()))?;
-                let idx = parent_rcd.field_index(field).ok_or_else(|| QueryError::BadParentField {
-                    var: qv.name.clone(),
-                    field: field.clone(),
-                })?;
+                let idx =
+                    parent_rcd
+                        .field_index(field)
+                        .ok_or_else(|| QueryError::BadParentField {
+                            var: qv.name.clone(),
+                            field: field.clone(),
+                        })?;
                 parent_field_idx[v] = Some((*p, idx));
             }
         }
 
-        Ok(Plan { order, pos_of, checks_at, lookup_at, parent_field_idx })
+        Ok(Plan {
+            order,
+            pos_of,
+            checks_at,
+            lookup_at,
+            parent_field_idx,
+        })
     }
 }
 
@@ -234,7 +296,12 @@ pub(crate) fn plan_summary(schema: &Schema, query: &Query) -> Result<Explanation
         let access = if let Some((pvar, _)) = plan.parent_field_idx[v] {
             Access::Parent {
                 of: query.vars[pvar].name.clone(),
-                field: qv.parent.as_ref().expect("child var has a parent").1.clone(),
+                field: qv
+                    .parent
+                    .as_ref()
+                    .expect("child var has a parent")
+                    .1
+                    .clone(),
             }
         } else if let Some((attr_idx, _)) = &plan.lookup_at[pos] {
             let rcd = schema
@@ -285,8 +352,10 @@ struct Search<'a, 'q, 'o> {
     out: &'o mut Vec<Binding>,
     limit: Option<usize>,
     deadline: Option<Instant>,
-    steps: u32,
+    steps: u64,
     timed_out: bool,
+    index_hits: Counter,
+    index_misses: Counter,
 }
 
 impl<'a, 'q, 'o> Search<'a, 'q, 'o> {
@@ -369,7 +438,10 @@ impl<'a, 'q, 'o> Search<'a, 'q, 'o> {
             // Hash-index lookup on (set path, attribute).
             let needle = self.eval_op(other);
             let key = (qv.set.clone(), *attr_idx);
-            if !self.index_cache.contains_key(&key) {
+            if self.index_cache.contains_key(&key) {
+                self.index_hits.incr();
+            } else {
+                self.index_misses.incr();
                 let mut index: AttrIndex<'a> = HashMap::new();
                 for (_, t) in self.inst.tuples_of_path(&qv.set) {
                     if let Some(val) = t.get(*attr_idx) {
@@ -381,7 +453,8 @@ impl<'a, 'q, 'o> Search<'a, 'q, 'o> {
             let matches: Vec<&'a Tuple> = self
                 .index_cache
                 .get(&key)
-                .and_then(|ix| ix.get(&needle)).cloned()
+                .and_then(|ix| ix.get(&needle))
+                .cloned()
                 .unwrap_or_default();
             for t in matches {
                 self.try_tuple(pos, t);
@@ -439,7 +512,10 @@ mod tests {
                 ),
                 Field::new(
                     "Employees",
-                    Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                    ]),
                 ),
             ],
         )
@@ -448,10 +524,22 @@ mod tests {
 
     fn fig2(schema: &Schema) -> Instance {
         let mut b = InstanceBuilder::new(schema);
-        b.push_top("Companies", vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")]);
-        b.push_top("Companies", vec![Value::int(112), Value::str("SBC"), Value::str("NY")]);
-        b.push_top("Projects", vec![Value::str("DBSearch"), Value::int(111), Value::str("e14")]);
-        b.push_top("Projects", vec![Value::str("WebSearch"), Value::int(111), Value::str("e15")]);
+        b.push_top(
+            "Companies",
+            vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")],
+        );
+        b.push_top(
+            "Companies",
+            vec![Value::int(112), Value::str("SBC"), Value::str("NY")],
+        );
+        b.push_top(
+            "Projects",
+            vec![Value::str("DBSearch"), Value::int(111), Value::str("e14")],
+        );
+        b.push_top(
+            "Projects",
+            vec![Value::str("WebSearch"), Value::int(111), Value::str("e15")],
+        );
         b.push_top("Employees", vec![Value::str("e14"), Value::str("Smith")]);
         b.push_top("Employees", vec![Value::str("e15"), Value::str("Anna")]);
         b.push_top("Employees", vec![Value::str("e16"), Value::str("Brown")]);
@@ -528,7 +616,10 @@ mod tests {
         let i = fig2(&s);
         let mut q = Query::new();
         let c = q.var("c", SetPath::parse("Companies"));
-        q.add_eq(Operand::proj(c, "cname"), Operand::Const(Value::str("Acme")));
+        q.add_eq(
+            Operand::proj(c, "cname"),
+            Operand::Const(Value::str("Acme")),
+        );
         assert!(evaluate_all(&s, &i, &q).unwrap().is_empty());
     }
 
@@ -602,7 +693,11 @@ mod tests {
             );
             b.push_top(
                 "Projects",
-                vec![Value::str(format!("p{i}")), Value::int(i), Value::str(format!("e{i}"))],
+                vec![
+                    Value::str(format!("p{i}")),
+                    Value::int(i),
+                    Value::str(format!("e{i}")),
+                ],
             );
             b.push_top(
                 "Employees",

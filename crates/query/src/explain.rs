@@ -97,7 +97,10 @@ mod tests {
             vec![
                 Field::new(
                     "Companies",
-                    Ty::set_of(vec![Field::new("cid", Ty::Int), Field::new("cname", Ty::Str)]),
+                    Ty::set_of(vec![
+                        Field::new("cid", Ty::Int),
+                        Field::new("cname", Ty::Str),
+                    ]),
                 ),
                 Field::new(
                     "Projects",

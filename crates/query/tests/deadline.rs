@@ -10,8 +10,14 @@ fn schema() -> Schema {
     Schema::new(
         "S",
         vec![
-            Field::new("A", Ty::set_of(vec![Field::new("x", Ty::Int), Field::new("y", Ty::Int)])),
-            Field::new("B", Ty::set_of(vec![Field::new("x", Ty::Int), Field::new("y", Ty::Int)])),
+            Field::new(
+                "A",
+                Ty::set_of(vec![Field::new("x", Ty::Int), Field::new("y", Ty::Int)]),
+            ),
+            Field::new(
+                "B",
+                Ty::set_of(vec![Field::new("x", Ty::Int), Field::new("y", Ty::Int)]),
+            ),
         ],
     )
     .unwrap()
@@ -51,7 +57,10 @@ fn expired_deadline_cuts_the_search_short() {
         evaluate_deadline(&s, &inst, &q, Some(1), Some(Instant::now())).unwrap();
     assert!(rows.is_empty());
     assert!(timed_out);
-    assert!(start.elapsed() < Duration::from_secs(5), "cut short, not exhausted");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "cut short, not exhausted"
+    );
 }
 
 #[test]
@@ -66,6 +75,27 @@ fn generous_deadline_does_not_affect_results() {
     let (rows, timed_out) = evaluate_deadline(&s, &inst, &q, None, deadline).unwrap();
     assert_eq!(rows.len(), 50);
     assert!(!timed_out);
+}
+
+#[test]
+fn reached_limit_beats_expired_deadline() {
+    // Regression: when the row limit is reached, the result set is complete
+    // for the caller's purposes, so an (even already expired) deadline must
+    // not be reported as a timeout. `evaluate_deadline` checks the limit
+    // before the clock and squashes the flag when `limit` was satisfied.
+    let s = schema();
+    let inst = big_instance(&s, 3_000);
+    let mut q = Query::new();
+    let a = q.var("a", SetPath::parse("A"));
+    let b = q.var("b", SetPath::parse("B"));
+    q.add_eq(Operand::proj(a, "x"), Operand::proj(b, "x"));
+    let expired = Some(Instant::now() - Duration::from_secs(1));
+    let (rows, timed_out) = evaluate_deadline(&s, &inst, &q, Some(1), expired).unwrap();
+    assert_eq!(rows.len(), 1, "the limit was reachable");
+    assert!(
+        !timed_out,
+        "a limit-complete result must not report a timeout"
+    );
 }
 
 #[test]

@@ -75,9 +75,18 @@ fn source_constraints() -> Constraints {
     for (rel, _) in PUB_RELS {
         let p = SetPath::parse(rel);
         keys.push(Key::new(p.clone(), vec!["id"]));
-        fks.push(ForeignKey::new(p, vec!["author"], author.clone(), vec!["aid"]));
+        fks.push(ForeignKey::new(
+            p,
+            vec!["author"],
+            author.clone(),
+            vec!["aid"],
+        ));
     }
-    Constraints { keys, fds: vec![], fks }
+    Constraints {
+        keys,
+        fds: vec![],
+        fks,
+    }
 }
 
 fn target_schema() -> Schema {
@@ -105,10 +114,7 @@ fn target_schema() -> Schema {
                 "Venues",
                 set(vec![
                     f("vname", Ty::Str),
-                    f(
-                        "Items",
-                        set(vec![f("title", Ty::Str), f("year", Ty::Int)]),
-                    ),
+                    f("Items", set(vec![f("title", Ty::Str), f("year", Ty::Int)])),
                 ]),
             ),
         ],
@@ -123,18 +129,39 @@ fn correspondences() -> Vec<Correspondence> {
         Correspondence::new("author.affiliation", "Authors.affiliation"),
     ];
     for (rel, venue) in PUB_RELS {
-        out.push(Correspondence::new(&format!("{rel}.id"), "Authors.Publications.pid"));
-        out.push(Correspondence::new(&format!("{rel}.title"), "Authors.Publications.title"));
-        out.push(Correspondence::new(&format!("{rel}.year"), "Authors.Publications.year"));
-        out.push(Correspondence::new(&format!("{rel}.{venue}"), "Authors.Publications.venue"));
+        out.push(Correspondence::new(
+            &format!("{rel}.id"),
+            "Authors.Publications.pid",
+        ));
+        out.push(Correspondence::new(
+            &format!("{rel}.title"),
+            "Authors.Publications.title",
+        ));
+        out.push(Correspondence::new(
+            &format!("{rel}.year"),
+            "Authors.Publications.year",
+        ));
+        out.push(Correspondence::new(
+            &format!("{rel}.{venue}"),
+            "Authors.Publications.venue",
+        ));
     }
     // Only the journal and conference chains feed the Venues hierarchy.
     out.push(Correspondence::new("rarticle.journal", "Venues.vname"));
     out.push(Correspondence::new("rarticle.title", "Venues.Items.title"));
     out.push(Correspondence::new("rarticle.year", "Venues.Items.year"));
-    out.push(Correspondence::new("rinproceedings.booktitle", "Venues.vname"));
-    out.push(Correspondence::new("rinproceedings.title", "Venues.Items.title"));
-    out.push(Correspondence::new("rinproceedings.year", "Venues.Items.year"));
+    out.push(Correspondence::new(
+        "rinproceedings.booktitle",
+        "Venues.vname",
+    ));
+    out.push(Correspondence::new(
+        "rinproceedings.title",
+        "Venues.Items.title",
+    ));
+    out.push(Correspondence::new(
+        "rinproceedings.year",
+        "Venues.Items.year",
+    ));
     out
 }
 
@@ -146,12 +173,15 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
     // names repeat while aids stay unique — heavy value sharing is what
     // gives Amalgam the highest "% real Ie" in Fig. 5.
     let n_authors = scaled(1_800, scale, 4);
-    let name_pool: Vec<String> =
-        (0..scaled(700, scale, 2)).map(|i| format!("A. Uthor {i}")).collect();
-    let affiliation_pool: Vec<String> =
-        (0..scaled(60, scale, 2)).map(|i| format!("University {i}")).collect();
-    let months =
-        ["jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec"];
+    let name_pool: Vec<String> = (0..scaled(700, scale, 2))
+        .map(|i| format!("A. Uthor {i}"))
+        .collect();
+    let affiliation_pool: Vec<String> = (0..scaled(60, scale, 2))
+        .map(|i| format!("University {i}"))
+        .collect();
+    let months = [
+        "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+    ];
 
     let authors = inst.root_id("author").unwrap();
     let mut aids = Vec::with_capacity(n_authors);
@@ -170,8 +200,9 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
 
     for (rel, _) in PUB_RELS {
         let root = inst.root_id(rel).unwrap();
-        let venue_pool: Vec<String> =
-            (0..scaled(40, scale, 2)).map(|i| format!("{rel}-venue{i}")).collect();
+        let venue_pool: Vec<String> = (0..scaled(40, scale, 2))
+            .map(|i| format!("{rel}-venue{i}"))
+            .collect();
         for i in 0..scaled(1_100, scale, 3) {
             // Amalgam integrates overlapping bibliographies: the same entry
             // frequently appears under several ids (the duplicate rate is
@@ -235,7 +266,12 @@ mod tests {
         // Authors.Publications and Venues.Items: 2 grouped sets.
         assert_eq!(s.target_sets_with_grouping(), 2);
         let ms = s.mappings().unwrap();
-        assert_eq!(ms.len(), 14, "{:?}", ms.iter().map(|m| &m.name).collect::<Vec<_>>());
+        assert_eq!(
+            ms.len(),
+            14,
+            "{:?}",
+            ms.iter().map(|m| &m.name).collect::<Vec<_>>()
+        );
         assert!(ms.iter().all(|m| !m.is_ambiguous()));
     }
 
@@ -252,6 +288,8 @@ mod tests {
         let s = scenario();
         let inst = s.instance(0.05, 3);
         inst.validate(&s.source_schema).unwrap();
-        s.source_constraints.validate_instance(&s.source_schema, &inst).unwrap();
+        s.source_constraints
+            .validate_instance(&s.source_schema, &inst)
+            .unwrap();
     }
 }

@@ -133,7 +133,10 @@ fn correspondences() -> Vec<Correspondence> {
         Correspondence::new("article.title", "Journals.Volumes.Articles.title"),
         Correspondence::new("article.year", "Journals.Volumes.Articles.year"),
         Correspondence::new("article.pages", "Journals.Volumes.Articles.pages"),
-        Correspondence::new("article.Authors.name", "Journals.Volumes.Articles.Authors.name"),
+        Correspondence::new(
+            "article.Authors.name",
+            "Journals.Volumes.Articles.Authors.name",
+        ),
         Correspondence::new("inproceedings.booktitle", "Conferences.cname"),
         Correspondence::new("inproceedings.year", "Conferences.Editions.year"),
         Correspondence::new("inproceedings.key", "Conferences.Editions.Papers.dblpkey"),
@@ -150,12 +153,18 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
     let mut g = Gen::new(seed);
     let mut inst = Instance::new(schema);
 
-    let author_pool: Vec<String> =
-        (0..scaled(2_500, scale, 5)).map(|i| format!("Author {i}")).collect();
-    let journals: Vec<String> = (0..scaled(40, scale, 2)).map(|i| format!("Journal{i}")).collect();
-    let confs: Vec<String> = (0..scaled(80, scale, 2)).map(|i| format!("Conf{i}")).collect();
-    let months =
-        ["jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec"];
+    let author_pool: Vec<String> = (0..scaled(2_500, scale, 5))
+        .map(|i| format!("Author {i}"))
+        .collect();
+    let journals: Vec<String> = (0..scaled(40, scale, 2))
+        .map(|i| format!("Journal{i}"))
+        .collect();
+    let confs: Vec<String> = (0..scaled(80, scale, 2))
+        .map(|i| format!("Conf{i}"))
+        .collect();
+    let months = [
+        "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+    ];
 
     // DBLP famously contains duplicate entries under distinct keys; the
     // ~12% twin rate is what lets some probes find real differentiating
@@ -188,8 +197,10 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
             // but not on ee/cdrom — real examples surface on mid-sequence
             // probes rather than on the very first (key) probe.
             let twin_key = format!("journals/a{i}bis");
-            let twin_authors =
-                inst.group(SetPath::parse("article.Authors"), vec![Value::str(&twin_key)]);
+            let twin_authors = inst.group(
+                SetPath::parse("article.Authors"),
+                vec![Value::str(&twin_key)],
+            );
             inst.insert(twin_authors, vec![Value::str(g.pick(&author_pool))]);
             let mut twin = vec![Value::str(&twin_key)];
             twin.extend(row[..row.len() - 2].iter().cloned());
@@ -203,8 +214,10 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
     let inproc = inst.root_id("inproceedings").unwrap();
     for i in 0..scaled(11_000, scale, 4) {
         let key = format!("conf/p{i}");
-        let authors =
-            inst.group(SetPath::parse("inproceedings.Authors"), vec![Value::str(&key)]);
+        let authors = inst.group(
+            SetPath::parse("inproceedings.Authors"),
+            vec![Value::str(&key)],
+        );
         for _ in 0..g.range(1, 5) {
             inst.insert(authors, vec![Value::str(g.pick(&author_pool))]);
         }
@@ -250,7 +263,12 @@ mod tests {
         let s = scenario();
         assert_eq!(s.target_sets_with_grouping(), 6);
         let ms = s.mappings().unwrap();
-        assert_eq!(ms.len(), 4, "{:?}", ms.iter().map(|m| &m.name).collect::<Vec<_>>());
+        assert_eq!(
+            ms.len(),
+            4,
+            "{:?}",
+            ms.iter().map(|m| &m.name).collect::<Vec<_>>()
+        );
         assert!(ms.iter().all(|m| !m.is_ambiguous()));
     }
 

@@ -1,39 +1,39 @@
 //! Seeded value generation helpers shared by the scenario generators.
 
 use muse_nr::Value;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use muse_obs::Rng;
 
 /// A deterministic generator.
 pub struct Gen {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl Gen {
     /// Seeded generator.
     pub fn new(seed: u64) -> Self {
-        Gen { rng: StdRng::seed_from_u64(seed) }
+        Gen {
+            rng: Rng::new(seed),
+        }
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
-        self.rng.gen_range(lo..hi)
+        self.rng.range(lo, hi)
     }
 
     /// Uniform pick from a slice.
     pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
-        let i = self.rng.gen_range(0..xs.len());
-        &xs[i]
+        self.rng.pick(xs)
     }
 
     /// Uniform index below `n`.
     pub fn index(&mut self, n: usize) -> usize {
-        self.rng.gen_range(0..n)
+        self.rng.index(n)
     }
 
     /// Bernoulli.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen_bool(p)
+        self.rng.chance(p)
     }
 
     /// A unique string id `stem` + running number (uniqueness is the
@@ -46,13 +46,13 @@ impl Gen {
     /// Low-diversity columns are what make real differentiating examples
     /// findable (two tuples agreeing everywhere but the probed attribute).
     pub fn shared(&mut self, stem: &str, n_variants: usize) -> Value {
-        let k = self.rng.gen_range(0..n_variants.max(1));
+        let k = self.rng.index(n_variants.max(1));
         Value::str(format!("{stem}{k}"))
     }
 
-    /// A bucketed integer: `bucket_size * k` for `k < n_buckets`.
+    /// A bucketed integer: `bucket_size * k` for `1 <= k <= n_buckets`.
     pub fn bucketed(&mut self, bucket_size: i64, n_buckets: i64) -> Value {
-        Value::int(bucket_size * self.rng.gen_range(1..=n_buckets))
+        Value::int(bucket_size * self.rng.range(1, n_buckets + 1))
     }
 }
 
@@ -95,10 +95,13 @@ mod tests {
         let mut g = Gen::new(2);
         for _ in 0..20 {
             let v = g.bucketed(500, 8);
-            match v {
-                Value::Atom(muse_nr::Atom::Int(i)) => assert_eq!(i % 500, 0),
-                _ => panic!("expected int"),
-            }
+            assert!(
+                matches!(
+                    v,
+                    Value::Atom(muse_nr::Atom::Int(i)) if i % 500 == 0 && (500..=4000).contains(&i)
+                ),
+                "expected a bucketed int in 500..=4000, got {v:?}"
+            );
         }
     }
 }

@@ -83,7 +83,12 @@ impl Scenario {
 
 /// All four scenarios, in the paper's order.
 pub fn all_scenarios() -> Vec<Scenario> {
-    vec![mondial::scenario(), dblp::scenario(), tpch::scenario(), amalgam::scenario()]
+    vec![
+        mondial::scenario(),
+        dblp::scenario(),
+        tpch::scenario(),
+        amalgam::scenario(),
+    ]
 }
 
 #[cfg(test)]
@@ -95,8 +100,12 @@ mod tests {
         for s in all_scenarios() {
             assert!(s.source_schema.is_strictly_alternating(), "{}", s.name);
             assert!(s.target_schema.is_strictly_alternating(), "{}", s.name);
-            s.source_constraints.validate_against_schema(&s.source_schema).unwrap();
-            s.target_constraints.validate_against_schema(&s.target_schema).unwrap();
+            s.source_constraints
+                .validate_against_schema(&s.source_schema)
+                .unwrap();
+            s.target_constraints
+                .validate_against_schema(&s.target_schema)
+                .unwrap();
             for c in &s.correspondences {
                 c.validate(&s.source_schema, &s.target_schema)
                     .unwrap_or_else(|e| panic!("{}: {c}: {e}", s.name));
@@ -134,7 +143,8 @@ mod tests {
     fn small_instances_satisfy_all_constraints() {
         for s in all_scenarios() {
             let inst = s.instance(0.02, 42);
-            inst.validate(&s.source_schema).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            inst.validate(&s.source_schema)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
             s.source_constraints
                 .validate_instance(&s.source_schema, &inst)
                 .unwrap_or_else(|e| panic!("{}: {e}", s.name));

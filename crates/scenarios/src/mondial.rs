@@ -172,7 +172,12 @@ fn source_constraints() -> Constraints {
         Key::new(SetPath::parse("encompasses"), vec!["country", "continent"]),
     ];
     let mut fks = vec![
-        ForeignKey::new(SetPath::parse("province"), vec!["country"], country.clone(), vec!["code"]),
+        ForeignKey::new(
+            SetPath::parse("province"),
+            vec!["country"],
+            country.clone(),
+            vec!["code"],
+        ),
         ForeignKey::new(
             SetPath::parse("city"),
             vec!["province"],
@@ -185,16 +190,36 @@ fn source_constraints() -> Constraints {
             country.clone(),
             vec!["code"],
         ),
-        ForeignKey::new(SetPath::parse("ismember"), vec!["country"], country.clone(), vec!["code"]),
+        ForeignKey::new(
+            SetPath::parse("ismember"),
+            vec!["country"],
+            country.clone(),
+            vec!["code"],
+        ),
         ForeignKey::new(
             SetPath::parse("ismember"),
             vec!["organization"],
             SetPath::parse("organization"),
             vec!["abbr"],
         ),
-        ForeignKey::new(SetPath::parse("airport"), vec!["country"], country.clone(), vec!["code"]),
-        ForeignKey::new(SetPath::parse("economy"), vec!["country"], country.clone(), vec!["code"]),
-        ForeignKey::new(SetPath::parse("politics"), vec!["country"], country.clone(), vec!["code"]),
+        ForeignKey::new(
+            SetPath::parse("airport"),
+            vec!["country"],
+            country.clone(),
+            vec!["code"],
+        ),
+        ForeignKey::new(
+            SetPath::parse("economy"),
+            vec!["country"],
+            country.clone(),
+            vec!["code"],
+        ),
+        ForeignKey::new(
+            SetPath::parse("politics"),
+            vec!["country"],
+            country.clone(),
+            vec!["code"],
+        ),
         ForeignKey::new(
             SetPath::parse("encompasses"),
             vec!["country"],
@@ -205,15 +230,34 @@ fn source_constraints() -> Constraints {
     for (rel, _, _) in BORDER_RELS {
         let p = SetPath::parse(rel);
         keys.push(Key::new(p.clone(), vec!["country1", "country2"]));
-        fks.push(ForeignKey::new(p.clone(), vec!["country1"], country.clone(), vec!["code"]));
-        fks.push(ForeignKey::new(p, vec!["country2"], country.clone(), vec!["code"]));
+        fks.push(ForeignKey::new(
+            p.clone(),
+            vec!["country1"],
+            country.clone(),
+            vec!["code"],
+        ));
+        fks.push(ForeignKey::new(
+            p,
+            vec!["country2"],
+            country.clone(),
+            vec!["code"],
+        ));
     }
     for (rel, name_attr, _, _) in FACT_RELS {
         let p = SetPath::parse(rel);
         keys.push(Key::new(p.clone(), vec!["country", name_attr]));
-        fks.push(ForeignKey::new(p, vec!["country"], country.clone(), vec!["code"]));
+        fks.push(ForeignKey::new(
+            p,
+            vec!["country"],
+            country.clone(),
+            vec!["code"],
+        ));
     }
-    Constraints { keys, fds: vec![], fks }
+    Constraints {
+        keys,
+        fds: vec![],
+        fks,
+    }
 }
 
 fn target_schema() -> Schema {
@@ -243,7 +287,10 @@ fn target_schema() -> Schema {
     ];
     for (rel, payload, label) in BORDER_RELS {
         let payload_ty = if rel == "borders" { Ty::Int } else { Ty::Str };
-        country_fields.push(f(label, set(vec![f("country", Ty::Str), f(payload, payload_ty)])));
+        country_fields.push(f(
+            label,
+            set(vec![f("country", Ty::Str), f(payload, payload_ty)]),
+        ));
     }
     let mut roots = vec![
         f("Countries", set(country_fields)),
@@ -279,7 +326,11 @@ fn target_schema() -> Schema {
         ),
         f(
             "Economies",
-            set(vec![f("country", Ty::Str), f("gdp", Ty::Int), f("inflation", Ty::Int)]),
+            set(vec![
+                f("country", Ty::Str),
+                f("gdp", Ty::Int),
+                f("inflation", Ty::Int),
+            ]),
         ),
         f(
             "Politics",
@@ -301,7 +352,11 @@ fn target_schema() -> Schema {
     for (_, _, measure, label) in FACT_RELS {
         roots.push(f(
             label,
-            set(vec![f("name", Ty::Str), f(measure, Ty::Int), f("country", Ty::Str)]),
+            set(vec![
+                f("name", Ty::Str),
+                f(measure, Ty::Int),
+                f("country", Ty::Str),
+            ]),
         ));
     }
     Schema::new("MondialXml", roots).expect("valid Mondial target schema")
@@ -363,9 +418,18 @@ fn correspondences() -> Vec<Correspondence> {
         ));
     }
     for (rel, name_attr, measure, label) in FACT_RELS {
-        out.push(Correspondence::new(&format!("{rel}.{name_attr}"), &format!("{label}.name")));
-        out.push(Correspondence::new(&format!("{rel}.{measure}"), &format!("{label}.{measure}")));
-        out.push(Correspondence::new(&format!("{rel}.country"), &format!("{label}.country")));
+        out.push(Correspondence::new(
+            &format!("{rel}.{name_attr}"),
+            &format!("{label}.name"),
+        ));
+        out.push(Correspondence::new(
+            &format!("{rel}.{measure}"),
+            &format!("{label}.{measure}"),
+        ));
+        out.push(Correspondence::new(
+            &format!("{rel}.country"),
+            &format!("{label}.country"),
+        ));
     }
     out
 }
@@ -376,7 +440,9 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
 
     let n_countries = scaled(220, scale, 4);
     let continents = ["Europe", "Asia", "Africa", "America", "Oceania"];
-    let capital_pool: Vec<String> = (0..scaled(50, scale, 3)).map(|i| format!("Cap{i}")).collect();
+    let capital_pool: Vec<String> = (0..scaled(50, scale, 3))
+        .map(|i| format!("Cap{i}"))
+        .collect();
     let governments = ["republic", "monarchy", "federation"];
 
     // Mondial is full of redundancy (shared capitals, bucketed figures,
@@ -387,11 +453,13 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
     let mut codes = Vec::with_capacity(n_countries);
     for i in 0..n_countries {
         let code = format!("C{i:03}");
-        let row = [Value::str(format!("Country{i}")),
+        let row = [
+            Value::str(format!("Country{i}")),
             Value::str(g.pick(&capital_pool)),
             g.bucketed(1_000_000, 12),
             g.bucketed(10_000, 10),
-            Value::str(*g.pick(&continents))];
+            Value::str(*g.pick(&continents)),
+        ];
         let mut tuple = vec![Value::str(&code)];
         tuple.extend(row.iter().cloned());
         inst.insert(countries, tuple);
@@ -412,10 +480,12 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
     for (i, code) in codes.iter().enumerate() {
         for j in 0..g.range(3, 9) {
             let pname = format!("Prov{i}x{j}");
-            let row = [Value::str(code),
+            let row = [
+                Value::str(code),
                 Value::str(g.pick(&capital_pool)),
                 g.bucketed(500_000, 10),
-                g.bucketed(5_000, 8)];
+                g.bucketed(5_000, 8),
+            ];
             let mut tuple = vec![Value::str(&pname)];
             tuple.extend(row.iter().cloned());
             inst.insert(provinces, tuple);
@@ -431,10 +501,12 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
     }
     for (k, pname) in pnames.iter().enumerate() {
         for j in 0..g.range(2, 5) {
-            let row = [Value::str(pname),
+            let row = [
+                Value::str(pname),
                 g.bucketed(100_000, 15),
                 Value::int(g.range(-18, 19) * 10),
-                Value::int(g.range(-9, 10) * 10)];
+                Value::int(g.range(-9, 10) * 10),
+            ];
             let mut tuple = vec![Value::str(format!("City{k}x{j}"))];
             tuple.extend(row.iter().cloned());
             inst.insert(cities, tuple);
@@ -468,7 +540,11 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
             if used.insert(c.clone()) {
                 inst.insert(
                     members,
-                    vec![Value::str(&c), Value::str(&abbr), Value::str(*g.pick(&mtypes))],
+                    vec![
+                        Value::str(&c),
+                        Value::str(&abbr),
+                        Value::str(*g.pick(&mtypes)),
+                    ],
                 );
             }
         }
@@ -505,7 +581,11 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
         );
         inst.insert(
             encompasses,
-            vec![Value::str(code), Value::str(*g.pick(&continents)), g.bucketed(25, 4)],
+            vec![
+                Value::str(code),
+                Value::str(*g.pick(&continents)),
+                g.bucketed(25, 4),
+            ],
         );
     }
 
@@ -587,7 +667,12 @@ mod tests {
         let ambiguous: Vec<_> = ms.iter().filter(|m| m.is_ambiguous()).collect();
         let alts: usize = ambiguous.iter().map(|m| alternatives_count(m)).sum();
         // Paper: 26 mappings, 7 ambiguous, encoding 208 alternatives.
-        assert_eq!(ms.len(), 26, "mappings: {:?}", ms.iter().map(|m| &m.name).collect::<Vec<_>>());
+        assert_eq!(
+            ms.len(),
+            26,
+            "mappings: {:?}",
+            ms.iter().map(|m| &m.name).collect::<Vec<_>>()
+        );
         assert_eq!(ambiguous.len(), 7);
         assert_eq!(alts, 208);
     }
@@ -617,6 +702,8 @@ mod tests {
         let s = scenario();
         let inst = s.instance(0.05, 3);
         inst.validate(&s.source_schema).unwrap();
-        s.source_constraints.validate_instance(&s.source_schema, &inst).unwrap();
+        s.source_constraints
+            .validate_instance(&s.source_schema, &inst)
+            .unwrap();
     }
 }

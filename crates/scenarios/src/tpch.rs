@@ -151,7 +151,10 @@ fn source_constraints() -> Constraints {
             Key::new(SetPath::parse("part"), vec!["p_partkey"]),
             Key::new(SetPath::parse("partsupp"), vec!["ps_partkey", "ps_suppkey"]),
             Key::new(SetPath::parse("orders"), vec!["o_orderkey"]),
-            Key::new(SetPath::parse("lineitem"), vec!["l_orderkey", "l_linenumber"]),
+            Key::new(
+                SetPath::parse("lineitem"),
+                vec!["l_orderkey", "l_linenumber"],
+            ),
         ],
         fds: vec![],
         fks: vec![
@@ -284,9 +287,18 @@ fn correspondences() -> Vec<Correspondence> {
         Correspondence::new("orders.o_totalprice", "Nations.Customers.Orders.totalprice"),
         Correspondence::new("orders.o_orderstatus", "Nations.Customers.Orders.status"),
         // Unambiguous line-item attributes.
-        Correspondence::new("orders.o_orderpriority", "Nations.Customers.Orders.priority"),
-        Correspondence::new("lineitem.l_linenumber", "Nations.Customers.Orders.Lineitems.linenumber"),
-        Correspondence::new("lineitem.l_quantity", "Nations.Customers.Orders.Lineitems.quantity"),
+        Correspondence::new(
+            "orders.o_orderpriority",
+            "Nations.Customers.Orders.priority",
+        ),
+        Correspondence::new(
+            "lineitem.l_linenumber",
+            "Nations.Customers.Orders.Lineitems.linenumber",
+        ),
+        Correspondence::new(
+            "lineitem.l_quantity",
+            "Nations.Customers.Orders.Lineitems.quantity",
+        ),
         Correspondence::new(
             "lineitem.l_extendedprice",
             "Nations.Customers.Orders.Lineitems.extendedprice",
@@ -296,12 +308,30 @@ fn correspondences() -> Vec<Correspondence> {
         // which flag is the status, which rate is the surcharge, which
         // instruction is the handling) — 2^4 = 16 interpretations, all
         // inside the single line-item mapping.
-        Correspondence::new("lineitem.l_shipdate", "Nations.Customers.Orders.Lineitems.keydate"),
-        Correspondence::new("lineitem.l_receiptdate", "Nations.Customers.Orders.Lineitems.keydate"),
-        Correspondence::new("lineitem.l_returnflag", "Nations.Customers.Orders.Lineitems.status"),
-        Correspondence::new("lineitem.l_linestatus", "Nations.Customers.Orders.Lineitems.status"),
-        Correspondence::new("lineitem.l_discount", "Nations.Customers.Orders.Lineitems.surcharge"),
-        Correspondence::new("lineitem.l_shipmode", "Nations.Customers.Orders.Lineitems.shipmode"),
+        Correspondence::new(
+            "lineitem.l_shipdate",
+            "Nations.Customers.Orders.Lineitems.keydate",
+        ),
+        Correspondence::new(
+            "lineitem.l_receiptdate",
+            "Nations.Customers.Orders.Lineitems.keydate",
+        ),
+        Correspondence::new(
+            "lineitem.l_returnflag",
+            "Nations.Customers.Orders.Lineitems.status",
+        ),
+        Correspondence::new(
+            "lineitem.l_linestatus",
+            "Nations.Customers.Orders.Lineitems.status",
+        ),
+        Correspondence::new(
+            "lineitem.l_discount",
+            "Nations.Customers.Orders.Lineitems.surcharge",
+        ),
+        Correspondence::new(
+            "lineitem.l_shipmode",
+            "Nations.Customers.Orders.Lineitems.shipmode",
+        ),
     ]
 }
 
@@ -314,7 +344,11 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
     for (i, name) in region_names.iter().enumerate() {
         inst.insert(
             regions,
-            vec![Value::int(i as i64), Value::str(*name), Value::str(format!("rc{i}"))],
+            vec![
+                Value::int(i as i64),
+                Value::str(*name),
+                Value::str(format!("rc{i}")),
+            ],
         );
     }
 
@@ -350,7 +384,13 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
     }
 
     let customers = inst.root_id("customer").unwrap();
-    let segments = ["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"];
+    let segments = [
+        "BUILDING",
+        "AUTOMOBILE",
+        "MACHINERY",
+        "HOUSEHOLD",
+        "FURNITURE",
+    ];
     let n_cust = scaled(1_200, scale, 3) as i64;
     for i in 0..n_cust {
         inst.insert(
@@ -412,7 +452,12 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
     let lineitems = inst.root_id("lineitem").unwrap();
     let priorities = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
     let modes = ["TRUCK", "MAIL", "SHIP", "AIR", "RAIL", "FOB", "REG AIR"];
-    let instructs = ["DELIVER IN PERSON", "COLLECT COD", "TAKE BACK RETURN", "NONE"];
+    let instructs = [
+        "DELIVER IN PERSON",
+        "COLLECT COD",
+        "TAKE BACK RETURN",
+        "NONE",
+    ];
     let n_orders = scaled(8_000, scale, 3) as i64;
     for o in 0..n_orders {
         let date = format!("199{}-{:02}-{:02}", o % 8, 1 + o % 12, 1 + o % 28);
@@ -484,7 +529,12 @@ mod tests {
         // Customers, Orders, Lineitems, Suppliers: 4 grouped sets.
         assert_eq!(s.target_sets_with_grouping(), 4);
         let ms = s.mappings().unwrap();
-        assert_eq!(ms.len(), 5, "{:?}", ms.iter().map(|m| &m.name).collect::<Vec<_>>());
+        assert_eq!(
+            ms.len(),
+            5,
+            "{:?}",
+            ms.iter().map(|m| &m.name).collect::<Vec<_>>()
+        );
         let ambiguous: Vec<_> = ms.iter().filter(|m| m.is_ambiguous()).collect();
         assert_eq!(ambiguous.len(), 1);
         assert_eq!(alternatives_count(ambiguous[0]), 16);
@@ -517,6 +567,8 @@ mod tests {
         let s = scenario();
         let inst = s.instance(0.02, 3);
         inst.validate(&s.source_schema).unwrap();
-        s.source_constraints.validate_instance(&s.source_schema, &inst).unwrap();
+        s.source_constraints
+            .validate_instance(&s.source_schema, &inst)
+            .unwrap();
     }
 }

@@ -14,9 +14,10 @@ use muse_chase::{chase_one, isomorphic};
 use muse_mapping::Grouping;
 use muse_nr::{Schema, SetPath};
 
-use crate::museg::GroupingQuestion;
+use crate::error::WizardError;
 use crate::mused::joins::JoinQuestion;
 use crate::mused::DisambiguationQuestion;
+use crate::museg::GroupingQuestion;
 
 /// Which of the two target scenarios "looks correct".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,18 +37,21 @@ pub enum JoinChoice {
     Outer,
 }
 
-/// Answers Muse's questions.
+/// Answers Muse's questions. Every method may fail with a typed
+/// [`WizardError`] — a designer without an applicable intention or answer
+/// reports it instead of panicking, so library callers (the CLI, the bench
+/// harness, embedding tools) can surface the problem.
 pub trait Designer {
     /// Muse-G: pick the correct-looking scenario for a probe.
-    fn pick_scenario(&mut self, q: &GroupingQuestion) -> ScenarioChoice;
+    fn pick_scenario(&mut self, q: &GroupingQuestion) -> Result<ScenarioChoice, WizardError>;
 
     /// Muse-D: per choice list, the selected alternative indices (usually a
     /// single index; several select multiple interpretations).
-    fn fill_choices(&mut self, q: &DisambiguationQuestion) -> Vec<Vec<usize>>;
+    fn fill_choices(&mut self, q: &DisambiguationQuestion) -> Result<Vec<Vec<usize>>, WizardError>;
 
     /// Inner/outer join choice; defaults to inner.
-    fn pick_join(&mut self, _q: &JoinQuestion) -> JoinChoice {
-        JoinChoice::Inner
+    fn pick_join(&mut self, _q: &JoinQuestion) -> Result<JoinChoice, WizardError> {
+        Ok(JoinChoice::Inner)
     }
 }
 
@@ -90,42 +94,53 @@ impl<'a> OracleDesigner<'a> {
 }
 
 impl Designer for OracleDesigner<'_> {
-    fn pick_scenario(&mut self, q: &GroupingQuestion) -> ScenarioChoice {
+    fn pick_scenario(&mut self, q: &GroupingQuestion) -> Result<ScenarioChoice, WizardError> {
         let z = self
             .intended_groupings
             .get(&(q.mapping.clone(), q.sk.clone()))
-            .unwrap_or_else(|| panic!("oracle has no intention for {}/{}", q.mapping, q.sk));
+            .ok_or_else(|| WizardError::MissingIntention {
+                mapping: q.mapping.clone(),
+                what: q.sk.to_string(),
+            })?;
         // "Which target instance looks correct?" — the one the intended
         // mapping produces on this example.
         let mut intended = q.d1.clone();
         intended.set_grouping(q.sk.clone(), Grouping::new(z.clone()));
-        let j = chase_one(self.source_schema, self.target_schema, &q.example.instance, &intended)
-            .expect("oracle chase");
+        let j = chase_one(
+            self.source_schema,
+            self.target_schema,
+            &q.example.instance,
+            &intended,
+        )?;
         if isomorphic(&j, &q.scenario1) {
-            ScenarioChoice::First
+            Ok(ScenarioChoice::First)
         } else if isomorphic(&j, &q.scenario2) {
-            ScenarioChoice::Second
+            Ok(ScenarioChoice::Second)
         } else {
-            panic!(
-                "example does not differentiate the oracle's intention for {}/{} (probed {})",
-                q.mapping, q.sk, q.probed_name
-            );
+            Err(WizardError::UndifferentiatedExample {
+                mapping: q.mapping.clone(),
+                sk: q.sk.to_string(),
+                probed: q.probed_name.clone(),
+            })
         }
     }
 
-    fn fill_choices(&mut self, q: &DisambiguationQuestion) -> Vec<Vec<usize>> {
+    fn fill_choices(&mut self, q: &DisambiguationQuestion) -> Result<Vec<Vec<usize>>, WizardError> {
         self.intended_choices
             .get(&q.mapping)
             .cloned()
-            .unwrap_or_else(|| panic!("oracle has no interpretation intention for {}", q.mapping))
+            .ok_or_else(|| WizardError::MissingIntention {
+                mapping: q.mapping.clone(),
+                what: "interpretation".to_owned(),
+            })
     }
 
-    fn pick_join(&mut self, q: &JoinQuestion) -> JoinChoice {
-        if self.intended_outer.contains(&q.mapping) {
+    fn pick_join(&mut self, q: &JoinQuestion) -> Result<JoinChoice, WizardError> {
+        Ok(if self.intended_outer.contains(&q.mapping) {
             JoinChoice::Outer
         } else {
             JoinChoice::Inner
-        }
+        })
     }
 }
 
@@ -144,20 +159,30 @@ pub struct ScriptedDesigner {
 impl ScriptedDesigner {
     /// A script of Muse-G answers.
     pub fn with_scenarios(answers: impl IntoIterator<Item = ScenarioChoice>) -> Self {
-        ScriptedDesigner { scenarios: answers.into_iter().collect(), ..Default::default() }
+        ScriptedDesigner {
+            scenarios: answers.into_iter().collect(),
+            ..Default::default()
+        }
     }
 }
 
 impl Designer for ScriptedDesigner {
-    fn pick_scenario(&mut self, _q: &GroupingQuestion) -> ScenarioChoice {
-        self.scenarios.pop_front().expect("script exhausted (pick_scenario)")
+    fn pick_scenario(&mut self, _q: &GroupingQuestion) -> Result<ScenarioChoice, WizardError> {
+        self.scenarios
+            .pop_front()
+            .ok_or_else(|| WizardError::ScriptExhausted("pick_scenario".to_owned()))
     }
 
-    fn fill_choices(&mut self, _q: &DisambiguationQuestion) -> Vec<Vec<usize>> {
-        self.choices.pop_front().expect("script exhausted (fill_choices)")
+    fn fill_choices(
+        &mut self,
+        _q: &DisambiguationQuestion,
+    ) -> Result<Vec<Vec<usize>>, WizardError> {
+        self.choices
+            .pop_front()
+            .ok_or_else(|| WizardError::ScriptExhausted("fill_choices".to_owned()))
     }
 
-    fn pick_join(&mut self, _q: &JoinQuestion) -> JoinChoice {
-        self.joins.pop_front().unwrap_or(JoinChoice::Inner)
+    fn pick_join(&mut self, _q: &JoinQuestion) -> Result<JoinChoice, WizardError> {
+        Ok(self.joins.pop_front().unwrap_or(JoinChoice::Inner))
     }
 }

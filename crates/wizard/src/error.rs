@@ -28,6 +28,18 @@ pub enum WizardError {
     NotAmbiguous(String),
     /// A designer's answer was malformed (e.g. empty choice list).
     BadAnswer(String),
+    /// An oracle designer was asked about a mapping/set it has no recorded
+    /// intention for.
+    MissingIntention { mapping: String, what: String },
+    /// A probe example failed to differentiate the designer's intention:
+    /// the intended chase result matched neither shown scenario.
+    UndifferentiatedExample {
+        mapping: String,
+        sk: String,
+        probed: String,
+    },
+    /// A scripted designer ran out of queued answers.
+    ScriptExhausted(String),
 }
 
 impl fmt::Display for WizardError {
@@ -43,6 +55,16 @@ impl fmt::Display for WizardError {
             WizardError::UnsupportedGrouping(msg) => write!(f, "unsupported grouping: {msg}"),
             WizardError::NotAmbiguous(m) => write!(f, "mapping `{m}` has no or-groups"),
             WizardError::BadAnswer(msg) => write!(f, "bad designer answer: {msg}"),
+            WizardError::MissingIntention { mapping, what } => {
+                write!(f, "oracle has no intention for {mapping}/{what}")
+            }
+            WizardError::UndifferentiatedExample { mapping, sk, probed } => write!(
+                f,
+                "example does not differentiate the oracle's intention for {mapping}/{sk} (probed {probed})"
+            ),
+            WizardError::ScriptExhausted(what) => {
+                write!(f, "script exhausted ({what})")
+            }
         }
     }
 }

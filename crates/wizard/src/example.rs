@@ -23,7 +23,8 @@ use muse_mapping::poss::all_source_refs;
 use muse_mapping::{Mapping, PathRef};
 use muse_nr::constraints::fdset::{attrs, AttrSet, FdSet};
 use muse_nr::{Constraints, Instance, Schema, SetPath, Tuple, Ty, Value};
-use muse_query::{evaluate_deadline, Operand, Query};
+use muse_obs::Metrics;
+use muse_query::{evaluate_deadline_with, Operand, Query};
 
 use crate::error::WizardError;
 
@@ -63,7 +64,8 @@ impl ClassSpace {
         for (i, r) in poss.iter().enumerate() {
             index.insert((r.var, r.attr.clone()), i);
         }
-        let idx_of = |r: &PathRef| -> Option<usize> { index.get(&(r.var, r.attr.clone())).copied() };
+        let idx_of =
+            |r: &PathRef| -> Option<usize> { index.get(&(r.var, r.attr.clone())).copied() };
 
         // Union-find over poss indices, seeded by the satisfy equalities.
         let mut parent: Vec<usize> = (0..n).collect();
@@ -116,7 +118,10 @@ impl ClassSpace {
                     }
                     for (lhs, rhs) in &per_set_fds[&v.set] {
                         let aligned = lhs.iter().all(|a| {
-                            match (idx_of(&PathRef::new(vi, a.clone())), idx_of(&PathRef::new(wi, a.clone()))) {
+                            match (
+                                idx_of(&PathRef::new(vi, a.clone())),
+                                idx_of(&PathRef::new(wi, a.clone())),
+                            ) {
                                 (Some(x), Some(y)) => find(&mut parent, x) == find(&mut parent, y),
                                 _ => false,
                             }
@@ -177,7 +182,12 @@ impl ClassSpace {
             is_int.push(matches!(ty, Some(Ty::Int)));
         }
 
-        Ok(ClassSpace { poss, rep, fdset, is_int })
+        Ok(ClassSpace {
+            poss,
+            rep,
+            fdset,
+            is_int,
+        })
     }
 
     /// Class representative of a poss index.
@@ -253,20 +263,52 @@ pub fn build_example(
     source_schema: &Schema,
     real_instance: Option<&Instance>,
 ) -> Result<Example, WizardError> {
+    build_example_with(
+        m,
+        space,
+        req,
+        source_schema,
+        real_instance,
+        &Metrics::disabled(),
+    )
+}
+
+/// [`build_example`] with the real-instance search (`QIe`) instrumented
+/// through `metrics` (the `query.*` keys).
+pub fn build_example_with(
+    m: &Mapping,
+    space: &ClassSpace,
+    req: &ExampleRequest,
+    source_schema: &Schema,
+    real_instance: Option<&Instance>,
+    metrics: &Metrics,
+) -> Result<Example, WizardError> {
     let start = Instant::now();
     let mut timed_out = false;
     if let Some(real) = real_instance {
         let deadline = req.real_budget.map(|b| start + b);
-        let (rows, cut_short) = query_real(m, space, req, source_schema, real, deadline)?;
+        let (rows, cut_short) = query_real(m, space, req, source_schema, real, deadline, metrics)?;
         timed_out = cut_short;
         if let Some(rows) = rows {
             let instance = materialize(m, source_schema, &rows)?;
-            return Ok(Example { instance, rows, real: true, timed_out: false, elapsed: start.elapsed() });
+            return Ok(Example {
+                instance,
+                rows,
+                real: true,
+                timed_out: false,
+                elapsed: start.elapsed(),
+            });
         }
     }
     let rows = synthetic_rows(m, space, req, source_schema)?;
     let instance = materialize(m, source_schema, &rows)?;
-    Ok(Example { instance, rows, real: false, timed_out, elapsed: start.elapsed() })
+    Ok(Example {
+        instance,
+        rows,
+        real: false,
+        timed_out,
+        elapsed: start.elapsed(),
+    })
 }
 
 /// Synthetic binding rows: one value per (class, copy), agreeing classes
@@ -320,6 +362,7 @@ fn synth_name(attr: &str) -> String {
 }
 
 /// Compile `QIe` and run it against the real source instance.
+#[allow(clippy::too_many_arguments)]
 fn query_real(
     m: &Mapping,
     space: &ClassSpace,
@@ -327,6 +370,7 @@ fn query_real(
     source_schema: &Schema,
     real: &Instance,
     deadline: Option<Instant>,
+    metrics: &Metrics,
 ) -> Result<(Option<Rows>, bool), WizardError> {
     let n = m.source_vars.len();
     let mut q = Query::new();
@@ -385,7 +429,8 @@ fn query_real(
         }
     }
 
-    let (result, timed_out) = evaluate_deadline(source_schema, real, &q, Some(1), deadline)?;
+    let (result, timed_out) =
+        evaluate_deadline_with(source_schema, real, &q, Some(1), deadline, metrics)?;
     let Some(binding) = result.into_iter().next() else {
         return Ok((None, timed_out));
     };
@@ -394,7 +439,9 @@ fn query_real(
     for copy in 0..req.copies {
         let mut per_var = Vec::with_capacity(n);
         for (vi, v) in m.source_vars.iter().enumerate() {
-            let rcd = source_schema.element_record(&v.set).map_err(WizardError::Nr)?;
+            let rcd = source_schema
+                .element_record(&v.set)
+                .map_err(WizardError::Nr)?;
             let fields = rcd.rcd_fields().expect("element record");
             let tuple = &binding[copy * n + vi];
             let vals: Vec<Value> = fields
@@ -424,7 +471,9 @@ pub fn materialize(
         // SetIds of each variable's set-typed fields, per variable.
         let mut field_sets: Vec<BTreeMap<String, muse_nr::SetId>> = Vec::new();
         for (vi, v) in m.source_vars.iter().enumerate() {
-            let rcd = source_schema.element_record(&v.set).map_err(WizardError::Nr)?;
+            let rcd = source_schema
+                .element_record(&v.set)
+                .map_err(WizardError::Nr)?;
             let fields = rcd.rcd_fields().expect("element record").to_vec();
             // SetIDs for this tuple's set fields, keyed by atomic values.
             let mut my_sets = BTreeMap::new();
@@ -521,7 +570,10 @@ mod tests {
                 ),
                 Field::new(
                     "Employees",
-                    Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                    ]),
                 ),
             ],
         )
@@ -589,8 +641,15 @@ mod tests {
         let space = ClassSpace::new(&m, &compdb(), &Constraints::none()).unwrap();
         let c_cid = space.index_of(&PathRef::new(0, "cid")).unwrap();
         let all: AttrSet = muse_nr::constraints::fdset::all_attrs(space.len());
-        let agree = space.closure(all & !attrs([c_cid, space.index_of(&PathRef::new(1, "cid")).unwrap()]));
-        let req = ExampleRequest { copies: 2, agree, differ: vec![c_cid], distinct: vec![], real_budget: None };
+        let agree =
+            space.closure(all & !attrs([c_cid, space.index_of(&PathRef::new(1, "cid")).unwrap()]));
+        let req = ExampleRequest {
+            copies: 2,
+            agree,
+            differ: vec![c_cid],
+            distinct: vec![],
+            real_budget: None,
+        };
         let ex = build_example(&m, &space, &req, &compdb(), None).unwrap();
         assert!(!ex.real);
         ex.instance.validate(&compdb()).unwrap();
@@ -617,7 +676,13 @@ mod tests {
         // Agree on location only (its closure adds nothing).
         let c_loc = space.index_of(&PathRef::new(0, "location")).unwrap();
         let agree = space.closure(attrs([c_loc]));
-        let req = ExampleRequest { copies: 2, agree, differ: vec![c_cname], distinct: vec![], real_budget: None };
+        let req = ExampleRequest {
+            copies: 2,
+            agree,
+            differ: vec![c_cname],
+            distinct: vec![],
+            real_budget: None,
+        };
         let ex = build_example(&m, &space, &req, &compdb(), None).unwrap();
         cons.validate_instance(&compdb(), &ex.instance).unwrap();
     }
@@ -627,24 +692,57 @@ mod tests {
         let mut b = InstanceBuilder::new(&s);
         // Two IBM companies at the same location with different cids (the
         // Fig. 3(a) real example), plus distinct projects/managers.
-        b.push_top("Companies", vec![Value::int(11), Value::str("IBM"), Value::str("NY")]);
-        b.push_top("Companies", vec![Value::int(12), Value::str("IBM"), Value::str("NY")]);
-        b.push_top("Companies", vec![Value::int(14), Value::str("SBC"), Value::str("NY")]);
         b.push_top(
-            "Projects",
-            vec![Value::str("P1"), Value::str("DB"), Value::int(11), Value::str("e4")],
+            "Companies",
+            vec![Value::int(11), Value::str("IBM"), Value::str("NY")],
+        );
+        b.push_top(
+            "Companies",
+            vec![Value::int(12), Value::str("IBM"), Value::str("NY")],
+        );
+        b.push_top(
+            "Companies",
+            vec![Value::int(14), Value::str("SBC"), Value::str("NY")],
         );
         b.push_top(
             "Projects",
-            vec![Value::str("P2"), Value::str("Web"), Value::int(12), Value::str("e5")],
+            vec![
+                Value::str("P1"),
+                Value::str("DB"),
+                Value::int(11),
+                Value::str("e4"),
+            ],
         );
         b.push_top(
             "Projects",
-            vec![Value::str("P4"), Value::str("WiFi"), Value::int(14), Value::str("e6")],
+            vec![
+                Value::str("P2"),
+                Value::str("Web"),
+                Value::int(12),
+                Value::str("e5"),
+            ],
         );
-        b.push_top("Employees", vec![Value::str("e4"), Value::str("Jon"), Value::str("x234")]);
-        b.push_top("Employees", vec![Value::str("e5"), Value::str("Anna"), Value::str("x888")]);
-        b.push_top("Employees", vec![Value::str("e6"), Value::str("Kat"), Value::str("x331")]);
+        b.push_top(
+            "Projects",
+            vec![
+                Value::str("P4"),
+                Value::str("WiFi"),
+                Value::int(14),
+                Value::str("e6"),
+            ],
+        );
+        b.push_top(
+            "Employees",
+            vec![Value::str("e4"), Value::str("Jon"), Value::str("x234")],
+        );
+        b.push_top(
+            "Employees",
+            vec![Value::str("e5"), Value::str("Anna"), Value::str("x888")],
+        );
+        b.push_top(
+            "Employees",
+            vec![Value::str("e6"), Value::str("Kat"), Value::str("x331")],
+        );
         b.finish().unwrap()
     }
 
@@ -658,7 +756,13 @@ mod tests {
         let c_cname = space.index_of(&PathRef::new(0, "cname")).unwrap();
         let c_loc = space.index_of(&PathRef::new(0, "location")).unwrap();
         let agree = space.closure(attrs([c_cname, c_loc]));
-        let req = ExampleRequest { copies: 2, agree, differ: vec![c_cid], distinct: vec![], real_budget: None };
+        let req = ExampleRequest {
+            copies: 2,
+            agree,
+            differ: vec![c_cid],
+            distinct: vec![],
+            real_budget: None,
+        };
         let real = real_instance();
         let ex = build_example(&m, &space, &req, &compdb(), Some(&real)).unwrap();
         assert!(ex.real, "a real example exists in the instance");
@@ -678,7 +782,13 @@ mod tests {
         let c_cid = space.index_of(&PathRef::new(0, "cid")).unwrap();
         let c_cname = space.index_of(&PathRef::new(0, "cname")).unwrap();
         let agree = space.closure(attrs([c_cid]));
-        let req = ExampleRequest { copies: 2, agree, differ: vec![c_cname], distinct: vec![], real_budget: None };
+        let req = ExampleRequest {
+            copies: 2,
+            agree,
+            differ: vec![c_cname],
+            distinct: vec![],
+            real_budget: None,
+        };
         let real = real_instance();
         let ex = build_example(&m, &space, &req, &compdb(), Some(&real)).unwrap();
         assert!(!ex.real);
@@ -689,7 +799,13 @@ mod tests {
     fn single_copy_example_for_mused() {
         let m = m2();
         let space = ClassSpace::new(&m, &compdb(), &Constraints::none()).unwrap();
-        let req = ExampleRequest { copies: 1, agree: 0, differ: vec![], distinct: vec![], real_budget: None };
+        let req = ExampleRequest {
+            copies: 1,
+            agree: 0,
+            differ: vec![],
+            distinct: vec![],
+            real_budget: None,
+        };
         let ex = build_example(&m, &space, &req, &compdb(), None).unwrap();
         // One tuple per relation.
         for root in ["Companies", "Projects", "Employees"] {
@@ -749,6 +865,10 @@ mod tests {
         assert_eq!(ex.instance.set_len(depts), 1, "identical parents merge");
         let staff_sets = ex.instance.set_ids_of(&SetPath::parse("Depts.Staff"));
         assert_eq!(staff_sets.len(), 1);
-        assert_eq!(ex.instance.set_len(staff_sets[0]), 2, "two staff in the shared set");
+        assert_eq!(
+            ex.instance.set_len(staff_sets[0]),
+            2,
+            "two staff in the shared set"
+        );
     }
 }

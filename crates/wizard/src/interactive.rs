@@ -8,9 +8,10 @@ use std::io::{BufRead, Write};
 use muse_nr::Schema;
 
 use crate::designer::{Designer, JoinChoice, ScenarioChoice};
-use crate::museg::GroupingQuestion;
+use crate::error::WizardError;
 use crate::mused::joins::JoinQuestion;
 use crate::mused::DisambiguationQuestion;
+use crate::museg::GroupingQuestion;
 
 /// Prompts on `out`, reads answers from `input`.
 pub struct InteractiveDesigner<R, W> {
@@ -23,7 +24,12 @@ pub struct InteractiveDesigner<R, W> {
 impl<R: BufRead, W: Write> InteractiveDesigner<R, W> {
     /// Build an interactive designer over the two schemas.
     pub fn new(input: R, out: W, source_schema: Schema, target_schema: Schema) -> Self {
-        InteractiveDesigner { input, out, source_schema, target_schema }
+        InteractiveDesigner {
+            input,
+            out,
+            source_schema,
+            target_schema,
+        }
     }
 
     fn read_line(&mut self) -> String {
@@ -50,18 +56,26 @@ impl<R: BufRead, W: Write> InteractiveDesigner<R, W> {
 }
 
 impl<R: BufRead, W: Write> Designer for InteractiveDesigner<R, W> {
-    fn pick_scenario(&mut self, q: &GroupingQuestion) -> ScenarioChoice {
-        let _ = writeln!(self.out, "{}", q.render(&self.source_schema, &self.target_schema));
+    fn pick_scenario(&mut self, q: &GroupingQuestion) -> Result<ScenarioChoice, WizardError> {
+        let _ = writeln!(
+            self.out,
+            "{}",
+            q.render(&self.source_schema, &self.target_schema)
+        );
         let _ = write!(self.out, "Which target instance looks correct? [1/2] ");
         let _ = self.out.flush();
-        match self.read_index(2, 2) {
+        Ok(match self.read_index(2, 2) {
             1 => ScenarioChoice::First,
             _ => ScenarioChoice::Second,
-        }
+        })
     }
 
-    fn fill_choices(&mut self, q: &DisambiguationQuestion) -> Vec<Vec<usize>> {
-        let _ = writeln!(self.out, "{}", q.render(&self.source_schema, &self.target_schema));
+    fn fill_choices(&mut self, q: &DisambiguationQuestion) -> Result<Vec<Vec<usize>>, WizardError> {
+        let _ = writeln!(
+            self.out,
+            "{}",
+            q.render(&self.source_schema, &self.target_schema)
+        );
         let mut picks = Vec::with_capacity(q.choices.len());
         for c in &q.choices {
             let _ = writeln!(self.out, "Fill in {}:", c.target_display);
@@ -78,17 +92,21 @@ impl<R: BufRead, W: Write> Designer for InteractiveDesigner<R, W> {
             let n = self.read_index(c.values.len(), 1);
             picks.push(vec![n - 1]);
         }
-        picks
+        Ok(picks)
     }
 
-    fn pick_join(&mut self, q: &JoinQuestion) -> JoinChoice {
+    fn pick_join(&mut self, q: &JoinQuestion) -> Result<JoinChoice, WizardError> {
         let _ = writeln!(
             self.out,
             "[Muse-D] mapping {}: should `{}` tuples that join with nothing still be exchanged?",
             q.mapping, q.dangling_var
         );
         let _ = writeln!(self.out, "Example source (note the dangling tuple):");
-        let _ = writeln!(self.out, "{}", muse_nr::display::render(&self.source_schema, &q.example));
+        let _ = writeln!(
+            self.out,
+            "{}",
+            muse_nr::display::render(&self.source_schema, &q.example)
+        );
         let _ = writeln!(self.out, "Scenario 1 (inner — dangling tuple dropped):");
         let _ = writeln!(
             self.out,
@@ -103,18 +121,18 @@ impl<R: BufRead, W: Write> Designer for InteractiveDesigner<R, W> {
         );
         let _ = write!(self.out, "Which looks correct? [1/2] ");
         let _ = self.out.flush();
-        match self.read_index(2, 1) {
+        Ok(match self.read_index(2, 1) {
             2 => JoinChoice::Outer,
             _ => JoinChoice::Inner,
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::museg::MuseG;
     use crate::mused::MuseD;
+    use crate::museg::MuseG;
     use muse_mapping::{parse_one, PathRef};
     use muse_nr::{Constraints, Field, SetPath, Ty};
     use std::io::Cursor;
@@ -159,10 +177,10 @@ mod tests {
         // Answers: cid -> 2 (no), cname -> 1 (yes), location -> 2 (no).
         let input = Cursor::new("2\n1\n2\n");
         let mut out = Vec::new();
-        let mut designer =
-            InteractiveDesigner::new(input, &mut out, src.clone(), tgt.clone());
-        let outcome =
-            g.design_grouping(&m, &SetPath::parse("Orgs.Projects"), &mut designer).unwrap();
+        let mut designer = InteractiveDesigner::new(input, &mut out, src.clone(), tgt.clone());
+        let outcome = g
+            .design_grouping(&m, &SetPath::parse("Orgs.Projects"), &mut designer)
+            .unwrap();
         assert_eq!(outcome.grouping, vec![PathRef::new(0, "cname")]);
         let transcript = String::from_utf8(out).unwrap();
         assert!(transcript.contains("Which target instance looks correct?"));
@@ -185,11 +203,14 @@ mod tests {
         .unwrap();
         let tgt = Schema::new(
             "T",
-            vec![Field::new("Out", Ty::set_of(vec![Field::new("v", Ty::Int)]))],
+            vec![Field::new(
+                "Out",
+                Ty::set_of(vec![Field::new("v", Ty::Int)]),
+            )],
         )
         .unwrap();
-        let ma = parse_one("ma: for r in S.R exists o in T.Out where (r.x = o.v or r.y = o.v)")
-            .unwrap();
+        let ma =
+            parse_one("ma: for r in S.R exists o in T.Out where (r.x = o.v or r.y = o.v)").unwrap();
         let cons = Constraints::none();
         let d = MuseD::new(&src, &tgt, &cons);
         let input = Cursor::new("2\n");
@@ -216,8 +237,9 @@ mod tests {
         let input = Cursor::new("nope\nstill nope\nx\ny\nz\nw\n");
         let mut out = Vec::new();
         let mut designer = InteractiveDesigner::new(input, &mut out, src.clone(), tgt.clone());
-        let outcome =
-            g.design_grouping(&m, &SetPath::parse("Orgs.Projects"), &mut designer).unwrap();
+        let outcome = g
+            .design_grouping(&m, &SetPath::parse("Orgs.Projects"), &mut designer)
+            .unwrap();
         assert!(outcome.grouping.is_empty());
     }
 }

@@ -26,15 +26,15 @@ pub mod designer;
 pub mod error;
 pub mod example;
 pub mod interactive;
-pub mod museg;
 pub mod mused;
+pub mod museg;
 pub mod report;
 pub mod session;
 
 pub use designer::{Designer, JoinChoice, OracleDesigner, ScenarioChoice, ScriptedDesigner};
 pub use error::WizardError;
 pub use interactive::InteractiveDesigner;
-pub use museg::{GroupingOutcome, GroupingQuestion, MuseG};
 pub use mused::{DisambiguationOutcome, DisambiguationQuestion, MuseD};
+pub use museg::{GroupingOutcome, GroupingQuestion, MuseG};
 pub use report::render as render_report;
 pub use session::{Session, SessionReport};

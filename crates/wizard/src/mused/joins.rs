@@ -40,7 +40,9 @@ pub struct JoinQuestion {
 /// correspondingly restricted `where` clauses and groupings.
 pub fn outer_companion(m: &Mapping, core_var: usize) -> Result<Mapping, WizardError> {
     if core_var >= m.source_vars.len() {
-        return Err(WizardError::BadAnswer(format!("no source variable #{core_var}")));
+        return Err(WizardError::BadAnswer(format!(
+            "no source variable #{core_var}"
+        )));
     }
     if m.source_vars[core_var].parent.is_some() {
         return Err(WizardError::BadAnswer(
@@ -88,7 +90,11 @@ pub fn outer_companion(m: &Mapping, core_var: usize) -> Result<Mapping, WizardEr
         if keep[ti] {
             new_index[ti] = out.target_vars.len();
             let parent = tv.parent.as_ref().map(|(p, f)| (new_index[*p], f.clone()));
-            out.target_vars.push(MappingVar { name: tv.name.clone(), set: tv.set.clone(), parent });
+            out.target_vars.push(MappingVar {
+                name: tv.name.clone(),
+                set: tv.set.clone(),
+                parent,
+            });
         }
     }
     if out.target_vars.is_empty() {
@@ -206,8 +212,12 @@ impl MuseD<'_> {
             inst
         };
 
-        let scenario_inner =
-            chase(self.source_schema, self.target_schema, &example, std::slice::from_ref(m))?;
+        let scenario_inner = chase(
+            self.source_schema,
+            self.target_schema,
+            &example,
+            std::slice::from_ref(m),
+        )?;
         let scenario_outer = chase(
             self.source_schema,
             self.target_schema,
@@ -222,7 +232,7 @@ impl MuseD<'_> {
             scenario_outer,
             companion,
         };
-        match designer.pick_join(&q) {
+        match designer.pick_join(&q)? {
             JoinChoice::Inner => Ok(None),
             JoinChoice::Outer => Ok(Some(q.companion)),
         }

@@ -14,14 +14,15 @@ pub mod joins;
 
 use std::time::Duration;
 
-use muse_chase::chase;
+use muse_chase::chase_with;
 use muse_mapping::ambiguity::{alternatives_count, or_groups, select_multi};
 use muse_mapping::{Mapping, PathRef, WhereClause};
 use muse_nr::{Constraints, Instance, Schema, Value};
+use muse_obs::Metrics;
 
 use crate::designer::Designer;
 use crate::error::WizardError;
-use crate::example::{build_example, ClassSpace, Example, ExampleRequest};
+use crate::example::{build_example_with, ClassSpace, Example, ExampleRequest};
 
 /// The disambiguation wizard, configured once per scenario.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +37,9 @@ pub struct MuseD<'a> {
     pub real_instance: Option<&'a Instance>,
     /// Time budget for the real-example search (Sec. VI).
     pub real_example_budget: Option<Duration>,
+    /// Instrumentation sink (`wizard.*`, plus the query/chase metrics of the
+    /// question machinery). Defaults to the no-op handle.
+    pub metrics: &'a Metrics,
 }
 
 /// One choice list: the possible values for one ambiguous target attribute.
@@ -97,12 +101,19 @@ impl<'a> MuseD<'a> {
             source_constraints,
             real_instance: None,
             real_example_budget: Some(Duration::from_millis(750)),
+            metrics: Metrics::disabled_ref(),
         }
     }
 
     /// Use a real source instance for example retrieval.
     pub fn with_instance(mut self, inst: &'a Instance) -> Self {
         self.real_instance = Some(inst);
+        self
+    }
+
+    /// Record wizard/query/chase metrics into `metrics`.
+    pub fn with_metrics(mut self, metrics: &'a Metrics) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -140,14 +151,39 @@ impl<'a> MuseD<'a> {
             distinct,
             real_budget: self.real_example_budget,
         };
-        let example = build_example(m, &space, &req, self.source_schema, self.real_instance)?;
+        let example = build_example_with(
+            m,
+            &space,
+            &req,
+            self.source_schema,
+            self.real_instance,
+            self.metrics,
+        )?;
+        if example.real {
+            self.metrics.incr("wizard.real_examples");
+        } else {
+            self.metrics.incr("wizard.synthetic_examples");
+        }
+        if example.timed_out {
+            self.metrics.incr("wizard.real_search_timeouts");
+        }
+        self.metrics
+            .timer("wizard.example_time")
+            .record(example.elapsed);
 
         // Partial target: chase with the or-groups dropped — the contested
         // attributes become labeled nulls ("blanks to fill in").
         let mut common = m.clone();
-        common.wheres.retain(|w| matches!(w, WhereClause::Eq { .. }));
-        let partial_target =
-            chase(self.source_schema, self.target_schema, &example.instance, &[common])?;
+        common
+            .wheres
+            .retain(|w| matches!(w, WhereClause::Eq { .. }));
+        let partial_target = chase_with(
+            self.source_schema,
+            self.target_schema,
+            &example.instance,
+            &[common],
+            self.metrics,
+        )?;
 
         // Choice lists: the value each alternative takes on the example.
         let mut choices = Vec::with_capacity(groups.len());
@@ -188,7 +224,8 @@ impl<'a> MuseD<'a> {
         designer: &mut dyn Designer,
     ) -> Result<DisambiguationOutcome, WizardError> {
         let q = self.question(m)?;
-        let picks = designer.fill_choices(&q);
+        self.metrics.incr("wizard.questions");
+        let picks = designer.fill_choices(&q)?;
         if picks.len() != q.choices.len() {
             return Err(WizardError::BadAnswer(format!(
                 "expected {} choice selections, got {}",
@@ -226,11 +263,27 @@ impl DisambiguationQuestion {
     pub fn render(&self, source_schema: &Schema, target_schema: &Schema) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        writeln!(out, "[Muse-D] mapping {} ({} example):", self.mapping, if self.example.real { "real" } else { "synthetic" }).unwrap();
+        writeln!(
+            out,
+            "[Muse-D] mapping {} ({} example):",
+            self.mapping,
+            if self.example.real {
+                "real"
+            } else {
+                "synthetic"
+            }
+        )
+        .unwrap();
         out.push_str("Example source:\n");
-        out.push_str(&muse_nr::display::render(source_schema, &self.example.instance));
+        out.push_str(&muse_nr::display::render(
+            source_schema,
+            &self.example.instance,
+        ));
         out.push_str("Partial target instance:\n");
-        out.push_str(&muse_nr::display::render(target_schema, &self.partial_target));
+        out.push_str(&muse_nr::display::render(
+            target_schema,
+            &self.partial_target,
+        ));
         out.push_str("Choices:\n");
         for c in &self.choices {
             let vals: Vec<String> = c

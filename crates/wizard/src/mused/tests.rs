@@ -82,7 +82,10 @@ fn question_structure_matches_fig4b() {
     let projs = q.partial_target.root_id("Projects").unwrap();
     let t: Vec<_> = q.partial_target.tuples(projs).collect();
     assert_eq!(t.len(), 1);
-    assert!(matches!(t[0][1], muse_nr::Value::Null(_)), "supervisor blank");
+    assert!(
+        matches!(t[0][1], muse_nr::Value::Null(_)),
+        "supervisor blank"
+    );
     assert!(matches!(t[0][2], muse_nr::Value::Null(_)), "email blank");
 }
 
@@ -95,7 +98,9 @@ fn fig4_selection_yields_the_intended_mapping() {
     let d = MuseD::new(&src, &tgt, &cons);
     let m = ma();
     let mut oracle = OracleDesigner::new(&src, &tgt);
-    oracle.intended_choices.insert("ma".into(), vec![vec![1], vec![0]]);
+    oracle
+        .intended_choices
+        .insert("ma".into(), vec![vec![1], vec![0]]);
     let out = d.disambiguate(&m, &mut oracle).unwrap();
     assert_eq!(out.selected.len(), 1);
     assert_eq!(out.alternatives_encoded, 4);
@@ -136,7 +141,12 @@ fn real_example_used_when_available() {
     let mut b = InstanceBuilder::new(&src);
     b.push_top(
         "Projects",
-        vec![Value::str("P1"), Value::str("DB"), Value::str("e4"), Value::str("e5")],
+        vec![
+            Value::str("P1"),
+            Value::str("DB"),
+            Value::str("e4"),
+            Value::str("e5"),
+        ],
     );
     b.push_top(
         "Employees",
@@ -165,7 +175,12 @@ fn falls_back_to_synthetic_when_real_cannot_differentiate() {
     let mut b = InstanceBuilder::new(&src);
     b.push_top(
         "Projects",
-        vec![Value::str("P1"), Value::str("DB"), Value::str("e4"), Value::str("e4")],
+        vec![
+            Value::str("P1"),
+            Value::str("DB"),
+            Value::str("e4"),
+            Value::str("e4"),
+        ],
     );
     b.push_top(
         "Employees",
@@ -185,10 +200,8 @@ fn unambiguous_mapping_rejected() {
     let (src, tgt) = (source(), target());
     let cons = Constraints::none();
     let d = MuseD::new(&src, &tgt, &cons);
-    let m = parse_one(
-        "m: for p in S.Projects exists p1 in T.Projects where p.pname = p1.pname",
-    )
-    .unwrap();
+    let m = parse_one("m: for p in S.Projects exists p1 in T.Projects where p.pname = p1.pname")
+        .unwrap();
     assert!(matches!(d.question(&m), Err(WizardError::NotAmbiguous(_))));
 }
 
@@ -201,15 +214,24 @@ fn malformed_answers_rejected() {
     // Wrong arity.
     let mut s1 = ScriptedDesigner::default();
     s1.choices.push_back(vec![vec![0]]);
-    assert!(matches!(d.disambiguate(&m, &mut s1), Err(WizardError::BadAnswer(_))));
+    assert!(matches!(
+        d.disambiguate(&m, &mut s1),
+        Err(WizardError::BadAnswer(_))
+    ));
     // Empty choice.
     let mut s2 = ScriptedDesigner::default();
     s2.choices.push_back(vec![vec![], vec![0]]);
-    assert!(matches!(d.disambiguate(&m, &mut s2), Err(WizardError::BadAnswer(_))));
+    assert!(matches!(
+        d.disambiguate(&m, &mut s2),
+        Err(WizardError::BadAnswer(_))
+    ));
     // Out-of-range index.
     let mut s3 = ScriptedDesigner::default();
     s3.choices.push_back(vec![vec![5], vec![0]]);
-    assert!(matches!(d.disambiguate(&m, &mut s3), Err(WizardError::BadAnswer(_))));
+    assert!(matches!(
+        d.disambiguate(&m, &mut s3),
+        Err(WizardError::BadAnswer(_))
+    ));
 }
 
 #[test]
@@ -227,10 +249,21 @@ fn selection_round_trips_through_the_chase() {
     let mut b = InstanceBuilder::new(&src);
     b.push_top(
         "Projects",
-        vec![Value::str("P1"), Value::str("DB"), Value::str("e4"), Value::str("e5")],
+        vec![
+            Value::str("P1"),
+            Value::str("DB"),
+            Value::str("e4"),
+            Value::str("e5"),
+        ],
     );
-    b.push_top("Employees", vec![Value::str("e4"), Value::str("Jon"), Value::str("j@x")]);
-    b.push_top("Employees", vec![Value::str("e5"), Value::str("Ann"), Value::str("a@x")]);
+    b.push_top(
+        "Employees",
+        vec![Value::str("e4"), Value::str("Jon"), Value::str("j@x")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e5"), Value::str("Ann"), Value::str("a@x")],
+    );
     let check = b.finish().unwrap();
 
     for (k, intended) in interpretations(&m).iter().enumerate() {
@@ -263,7 +296,10 @@ fn inner_outer_join_question() {
             ),
             Field::new(
                 "Employees",
-                Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                ]),
             ),
         ],
     )
@@ -271,13 +307,13 @@ fn inner_outer_join_question() {
     let tgt = Schema::new(
         "T",
         vec![
-            Field::new(
-                "Projects",
-                Ty::set_of(vec![Field::new("pname", Ty::Str)]),
-            ),
+            Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
             Field::new(
                 "Employees",
-                Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                ]),
             ),
         ],
     )
@@ -296,7 +332,10 @@ fn inner_outer_join_question() {
     // Outer choice yields the companion (≈ m3 of Fig. 1).
     let mut outer = ScriptedDesigner::default();
     outer.joins.push_back(JoinChoice::Outer);
-    let companion = d.design_join(&m, 1, &mut outer).unwrap().expect("companion");
+    let companion = d
+        .design_join(&m, 1, &mut outer)
+        .unwrap()
+        .expect("companion");
     assert_eq!(companion.source_vars.len(), 1);
     assert_eq!(companion.source_vars[0].set, SetPath::parse("Employees"));
     assert_eq!(companion.target_vars.len(), 1);

@@ -66,7 +66,9 @@ fn refine(
         Direction::More => (current, 0),
         // Probe the complement, current args pre-chosen (they stay).
         Direction::Less => (
-            reps.into_iter().filter(|i| current_set & attrs([*i]) == 0).collect(),
+            reps.into_iter()
+                .filter(|i| current_set & attrs([*i]) == 0)
+                .collect(),
             current_set,
         ),
     };

@@ -70,10 +70,7 @@ mod tests {
     }
 
     fn mapping() -> Mapping {
-        parse_one(
-            "m: for c in S.Companies exists o in T.Orgs where c.cname = o.oname",
-        )
-        .unwrap()
+        parse_one("m: for c in S.Companies exists o in T.Orgs where c.cname = o.oname").unwrap()
     }
 
     #[test]
@@ -81,15 +78,29 @@ mod tests {
         let s = schema();
         let mut b = InstanceBuilder::new(&s);
         // All companies share the location; cids and names vary.
-        b.push_top("Companies", vec![Value::int(1), Value::str("IBM"), Value::str("NY")]);
-        b.push_top("Companies", vec![Value::int(2), Value::str("SBC"), Value::str("NY")]);
+        b.push_top(
+            "Companies",
+            vec![Value::int(1), Value::str("IBM"), Value::str("NY")],
+        );
+        b.push_top(
+            "Companies",
+            vec![Value::int(2), Value::str("SBC"), Value::str("NY")],
+        );
         let inst = b.finish().unwrap();
         let m = mapping();
         let space = ClassSpace::new(&m, &s, &Constraints::none()).unwrap();
         let inc = inconsequential_attrs(&m, &space, &s, &inst).unwrap();
-        let loc = space.index_of(&muse_mapping::PathRef::new(0, "location")).unwrap();
-        let cid = space.index_of(&muse_mapping::PathRef::new(0, "cid")).unwrap();
-        assert_ne!(inc & attrs([loc]), 0, "constant location is inconsequential");
+        let loc = space
+            .index_of(&muse_mapping::PathRef::new(0, "location"))
+            .unwrap();
+        let cid = space
+            .index_of(&muse_mapping::PathRef::new(0, "cid"))
+            .unwrap();
+        assert_ne!(
+            inc & attrs([loc]),
+            0,
+            "constant location is inconsequential"
+        );
         assert_eq!(inc & attrs([cid]), 0, "varying cid is not");
     }
 

@@ -21,14 +21,15 @@ pub mod instance_only;
 use std::collections::VecDeque;
 use std::time::Duration;
 
-use muse_chase::chase_one;
+use muse_chase::chase_one_with;
 use muse_mapping::{Grouping, Mapping, PathRef};
 use muse_nr::constraints::fdset::{all_attrs, attrs, iter_attrs, AttrSet};
 use muse_nr::{Constraints, Instance, Schema, SetPath};
+use muse_obs::Metrics;
 
 use crate::designer::{Designer, ScenarioChoice};
 use crate::error::WizardError;
-use crate::example::{build_example, ClassSpace, Example, ExampleRequest};
+use crate::example::{build_example_with, ClassSpace, Example, ExampleRequest};
 
 /// The grouping design wizard, configured once per scenario.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +50,9 @@ pub struct MuseG<'a> {
     /// Time budget per probe for searching the real instance before falling
     /// back to a synthetic example (Sec. VI). `None` searches exhaustively.
     pub real_example_budget: Option<Duration>,
+    /// Instrumentation sink (`wizard.*`, plus the query/chase/iso metrics of
+    /// the probe machinery). Defaults to the no-op handle.
+    pub metrics: &'a Metrics,
 }
 
 /// One probe shown to the designer.
@@ -119,12 +123,19 @@ impl<'a> MuseG<'a> {
             real_instance: None,
             instance_only: false,
             real_example_budget: Some(Duration::from_millis(750)),
+            metrics: Metrics::disabled_ref(),
         }
     }
 
     /// Use a real source instance for example retrieval.
     pub fn with_instance(mut self, inst: &'a Instance) -> Self {
         self.real_instance = Some(inst);
+        self
+    }
+
+    /// Record wizard/query/chase/iso metrics into `metrics`.
+    pub fn with_metrics(mut self, metrics: &'a Metrics) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -138,9 +149,11 @@ impl<'a> MuseG<'a> {
         designer: &mut dyn Designer,
     ) -> Result<GroupingOutcome, WizardError> {
         if m.is_ambiguous() {
-            return Err(WizardError::Mapping(muse_mapping::MappingError::ConflictingAssignment {
-                target: format!("{} is ambiguous; run Muse-D first", m.name),
-            }));
+            return Err(WizardError::Mapping(
+                muse_mapping::MappingError::ConflictingAssignment {
+                    target: format!("{} is ambiguous; run Muse-D first", m.name),
+                },
+            ));
         }
         let space = ClassSpace::new(m, self.source_schema, self.source_constraints)?;
         let n = space.len();
@@ -186,9 +199,22 @@ impl<'a> MuseG<'a> {
         if keys.len() == 1 {
             // Single-keyed (Cor. 3.3): probe the key first, then the rest.
             let key = keys[0];
-            let mut order: Vec<usize> = reps.iter().copied().filter(|i| key & attrs([*i]) != 0).collect();
+            let mut order: Vec<usize> = reps
+                .iter()
+                .copied()
+                .filter(|i| key & attrs([*i]) != 0)
+                .collect();
             order.extend(reps.iter().copied().filter(|i| key & attrs([*i]) == 0));
-            let chosen = self.probe_loop(m, sk, &space, order, 0, inconsequential, designer, &mut outcome)?;
+            let chosen = self.probe_loop(
+                m,
+                sk,
+                &space,
+                order,
+                0,
+                inconsequential,
+                designer,
+                &mut outcome,
+            )?;
             outcome.grouping = refs_of(&space, chosen);
         } else {
             // Multiple candidate keys: one question decides whether the
@@ -212,10 +238,19 @@ impl<'a> MuseG<'a> {
                 real_budget: self.real_example_budget,
             };
             let first_key = keys[0];
-            let q = self.make_question(m, sk, &space, &req, first_key, 0, iter_attrs(first_key).next().unwrap())?;
-            record_example(&mut outcome, &q.example);
+            let q = self.make_question(
+                m,
+                sk,
+                &space,
+                &req,
+                first_key,
+                0,
+                iter_attrs(first_key).next().unwrap(),
+            )?;
+            self.record_example(&mut outcome, &q.example);
             outcome.questions += 1;
-            match designer.pick_scenario(&q) {
+            self.metrics.incr("wizard.questions");
+            match designer.pick_scenario(&q)? {
                 ScenarioChoice::First => {
                     // Groups by a key: conclude with the first candidate key
                     // (same effect as any other key or superset).
@@ -224,9 +259,21 @@ impl<'a> MuseG<'a> {
                 }
                 ScenarioChoice::Second => {
                     // Groups by non-key attributes only: probe them.
-                    let order: Vec<usize> =
-                        reps.iter().copied().filter(|i| non_key & attrs([*i]) != 0).collect();
-                    let chosen = self.probe_loop(m, sk, &space, order, 0, inconsequential, designer, &mut outcome)?;
+                    let order: Vec<usize> = reps
+                        .iter()
+                        .copied()
+                        .filter(|i| non_key & attrs([*i]) != 0)
+                        .collect();
+                    let chosen = self.probe_loop(
+                        m,
+                        sk,
+                        &space,
+                        order,
+                        0,
+                        inconsequential,
+                        designer,
+                        &mut outcome,
+                    )?;
                     outcome.grouping = refs_of(&space, chosen);
                 }
             }
@@ -315,9 +362,10 @@ impl<'a> MuseG<'a> {
                 real_budget: self.real_example_budget,
             };
             let q = self.make_question(m, sk, space, &req, chosen | a_bit, chosen, a)?;
-            record_example(outcome, &q.example);
+            self.record_example(outcome, &q.example);
             outcome.questions += 1;
-            match designer.pick_scenario(&q) {
+            self.metrics.incr("wizard.questions");
+            match designer.pick_scenario(&q)? {
                 ScenarioChoice::First => chosen |= a_bit,
                 ScenarioChoice::Second => rejected_reps |= attrs([space.rep(a)]),
             }
@@ -343,13 +391,34 @@ impl<'a> MuseG<'a> {
         without_set: AttrSet,
         probed: usize,
     ) -> Result<GroupingQuestion, WizardError> {
-        let example = build_example(m, space, req, self.source_schema, self.real_instance)?;
+        let example = build_example_with(
+            m,
+            space,
+            req,
+            self.source_schema,
+            self.real_instance,
+            self.metrics,
+        )?;
         let mut d1 = m.clone();
         d1.set_grouping(sk.clone(), Grouping::new(refs_of(space, with_set)));
         let mut d2 = m.clone();
         d2.set_grouping(sk.clone(), Grouping::new(refs_of(space, without_set)));
-        let scenario1 = chase_one(self.source_schema, self.target_schema, &example.instance, &d1)?;
-        let scenario2 = chase_one(self.source_schema, self.target_schema, &example.instance, &d2)?;
+        let probe_chase = self.metrics.timer("wizard.probe_chase_time").start();
+        let scenario1 = chase_one_with(
+            self.source_schema,
+            self.target_schema,
+            &example.instance,
+            &d1,
+            self.metrics,
+        )?;
+        let scenario2 = chase_one_with(
+            self.source_schema,
+            self.target_schema,
+            &example.instance,
+            &d2,
+            self.metrics,
+        )?;
+        drop(probe_chase);
         let probed_ref = space.poss[probed].clone();
         Ok(GroupingQuestion {
             mapping: m.name.clone(),
@@ -372,7 +441,9 @@ pub(crate) fn canonical_keys(space: &ClassSpace) -> Vec<AttrSet> {
     let mut seen = std::collections::BTreeSet::new();
     let mut out = Vec::new();
     for key in space.fdset.candidate_keys() {
-        let canon: AttrSet = iter_attrs(key).map(|i| attrs([space.rep(i)])).fold(0, |a, b| a | b);
+        let canon: AttrSet = iter_attrs(key)
+            .map(|i| attrs([space.rep(i)]))
+            .fold(0, |a, b| a | b);
         if seen.insert(canon) {
             out.push(canon);
         }
@@ -388,16 +459,22 @@ pub(crate) fn refs_of(space: &ClassSpace, set: AttrSet) -> Vec<PathRef> {
         .collect()
 }
 
-fn record_example(outcome: &mut GroupingOutcome, ex: &Example) {
-    if ex.real {
-        outcome.real_examples += 1;
-    } else {
-        outcome.synthetic_examples += 1;
+impl MuseG<'_> {
+    fn record_example(&self, outcome: &mut GroupingOutcome, ex: &Example) {
+        if ex.real {
+            outcome.real_examples += 1;
+            self.metrics.incr("wizard.real_examples");
+        } else {
+            outcome.synthetic_examples += 1;
+            self.metrics.incr("wizard.synthetic_examples");
+        }
+        if ex.timed_out {
+            outcome.real_search_timeouts += 1;
+            self.metrics.incr("wizard.real_search_timeouts");
+        }
+        outcome.example_time += ex.elapsed;
+        self.metrics.timer("wizard.example_time").record(ex.elapsed);
     }
-    if ex.timed_out {
-        outcome.real_search_timeouts += 1;
-    }
-    outcome.example_time += ex.elapsed;
 }
 
 impl GroupingQuestion {
@@ -412,11 +489,18 @@ impl GroupingQuestion {
             self.mapping,
             self.sk.label(),
             self.probed_name,
-            if self.example.real { "real" } else { "synthetic" }
+            if self.example.real {
+                "real"
+            } else {
+                "synthetic"
+            }
         )
         .unwrap();
         out.push_str("Example source:\n");
-        out.push_str(&muse_nr::display::render(source_schema, &self.example.instance));
+        out.push_str(&muse_nr::display::render(
+            source_schema,
+            &self.example.instance,
+        ));
         out.push_str("Scenario 1 (grouped by it):\n");
         out.push_str(&muse_nr::display::render(target_schema, &self.scenario1));
         out.push_str("Scenario 2 (not grouped by it):\n");

@@ -59,7 +59,10 @@ fn orgdb() -> Schema {
             ),
             Field::new(
                 "Employees",
-                Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                ]),
             ),
         ],
     )
@@ -124,8 +127,7 @@ fn single_key_with_g1_intent_concludes_in_one_question() {
     let g = MuseG::new(&src, &tgt, &cons);
     let m = m2();
     let mut oracle = OracleDesigner::new(&src, &tgt);
-    let all_refs: Vec<PathRef> =
-        muse_mapping::poss::all_source_refs(&m, &src).unwrap();
+    let all_refs: Vec<PathRef> = muse_mapping::poss::all_source_refs(&m, &src).unwrap();
     oracle.intend_grouping("m2", sk(), all_refs);
     let out = g.design_grouping(&m, &sk(), &mut oracle).unwrap();
     assert_eq!(out.questions, 1);
@@ -184,7 +186,7 @@ fn probe_examples_have_at_most_two_tuples_per_relation() {
         src: Schema,
     }
     impl crate::designer::Designer for CheckingDesigner<'_> {
-        fn pick_scenario(&mut self, q: &GroupingQuestion) -> ScenarioChoice {
+        fn pick_scenario(&mut self, q: &GroupingQuestion) -> Result<ScenarioChoice, WizardError> {
             for id in q.example.instance.set_ids() {
                 assert!(
                     q.example.instance.set_len(id) <= 2,
@@ -194,7 +196,10 @@ fn probe_examples_have_at_most_two_tuples_per_relation() {
             q.example.instance.validate(&self.src).unwrap();
             self.inner.pick_scenario(q)
         }
-        fn fill_choices(&mut self, q: &crate::mused::DisambiguationQuestion) -> Vec<Vec<usize>> {
+        fn fill_choices(
+            &mut self,
+            q: &crate::mused::DisambiguationQuestion,
+        ) -> Result<Vec<Vec<usize>>, WizardError> {
             self.inner.fill_choices(q)
         }
     }
@@ -203,8 +208,15 @@ fn probe_examples_have_at_most_two_tuples_per_relation() {
     let g = MuseG::new(&src, &tgt, &cons);
     let m = m2();
     let mut oracle = OracleDesigner::new(&src, &tgt);
-    oracle.intend_grouping("m2", sk(), vec![PathRef::new(0, "cname"), PathRef::new(2, "eid")]);
-    let mut checking = CheckingDesigner { inner: oracle, src: src.clone() };
+    oracle.intend_grouping(
+        "m2",
+        sk(),
+        vec![PathRef::new(0, "cname"), PathRef::new(2, "eid")],
+    );
+    let mut checking = CheckingDesigner {
+        inner: oracle,
+        src: src.clone(),
+    };
     let out = g.design_grouping(&m, &sk(), &mut checking).unwrap();
     // e.eid's class representative is p.manager — the outcome is stated
     // canonically but has the same effect.
@@ -222,13 +234,16 @@ fn probe_examples_respect_keys() {
         cons: Constraints,
     }
     impl crate::designer::Designer for KeyCheckingDesigner<'_> {
-        fn pick_scenario(&mut self, q: &GroupingQuestion) -> ScenarioChoice {
+        fn pick_scenario(&mut self, q: &GroupingQuestion) -> Result<ScenarioChoice, WizardError> {
             self.cons
                 .validate_instance(&self.src, &q.example.instance)
                 .expect("probe example must satisfy the source keys");
             self.inner.pick_scenario(q)
         }
-        fn fill_choices(&mut self, q: &crate::mused::DisambiguationQuestion) -> Vec<Vec<usize>> {
+        fn fill_choices(
+            &mut self,
+            q: &crate::mused::DisambiguationQuestion,
+        ) -> Result<Vec<Vec<usize>>, WizardError> {
             self.inner.fill_choices(q)
         }
     }
@@ -237,8 +252,16 @@ fn probe_examples_respect_keys() {
     let g = MuseG::new(&src, &tgt, &cons);
     let m = m2();
     let mut oracle = OracleDesigner::new(&src, &tgt);
-    oracle.intend_grouping("m2", sk(), vec![PathRef::new(0, "cname"), PathRef::new(0, "location")]);
-    let mut checking = KeyCheckingDesigner { inner: oracle, src: src.clone(), cons: cons.clone() };
+    oracle.intend_grouping(
+        "m2",
+        sk(),
+        vec![PathRef::new(0, "cname"), PathRef::new(0, "location")],
+    );
+    let mut checking = KeyCheckingDesigner {
+        inner: oracle,
+        src: src.clone(),
+        cons: cons.clone(),
+    };
     let out = g.design_grouping(&m, &sk(), &mut checking).unwrap();
     assert_eq!(
         out.grouping,
@@ -253,15 +276,57 @@ fn real_instance_is_used_when_it_differentiates() {
     // Fig. 3's source: two IBMs in NY with different cids, one SBC, with
     // enough shared values that several probes find real examples.
     let mut b = InstanceBuilder::new(&src);
-    b.push_top("Companies", vec![Value::int(11), Value::str("IBM"), Value::str("NY")]);
-    b.push_top("Companies", vec![Value::int(12), Value::str("IBM"), Value::str("NY")]);
-    b.push_top("Companies", vec![Value::int(14), Value::str("SBC"), Value::str("NY")]);
-    b.push_top("Projects", vec![Value::str("P1"), Value::str("DB"), Value::int(11), Value::str("e4")]);
-    b.push_top("Projects", vec![Value::str("P2"), Value::str("Web"), Value::int(12), Value::str("e5")]);
-    b.push_top("Projects", vec![Value::str("P4"), Value::str("WiFi"), Value::int(14), Value::str("e6")]);
-    b.push_top("Employees", vec![Value::str("e4"), Value::str("Jon"), Value::str("x234")]);
-    b.push_top("Employees", vec![Value::str("e5"), Value::str("Anna"), Value::str("x888")]);
-    b.push_top("Employees", vec![Value::str("e6"), Value::str("Kat"), Value::str("x331")]);
+    b.push_top(
+        "Companies",
+        vec![Value::int(11), Value::str("IBM"), Value::str("NY")],
+    );
+    b.push_top(
+        "Companies",
+        vec![Value::int(12), Value::str("IBM"), Value::str("NY")],
+    );
+    b.push_top(
+        "Companies",
+        vec![Value::int(14), Value::str("SBC"), Value::str("NY")],
+    );
+    b.push_top(
+        "Projects",
+        vec![
+            Value::str("P1"),
+            Value::str("DB"),
+            Value::int(11),
+            Value::str("e4"),
+        ],
+    );
+    b.push_top(
+        "Projects",
+        vec![
+            Value::str("P2"),
+            Value::str("Web"),
+            Value::int(12),
+            Value::str("e5"),
+        ],
+    );
+    b.push_top(
+        "Projects",
+        vec![
+            Value::str("P4"),
+            Value::str("WiFi"),
+            Value::int(14),
+            Value::str("e6"),
+        ],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e4"), Value::str("Jon"), Value::str("x234")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e5"), Value::str("Anna"), Value::str("x888")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e6"), Value::str("Kat"), Value::str("x331")],
+    );
     let real = b.finish().unwrap();
 
     let g = MuseG::new(&src, &tgt, &cons).with_instance(&real);
@@ -270,7 +335,10 @@ fn real_instance_is_used_when_it_differentiates() {
     oracle.intend_grouping("m2", sk(), vec![PathRef::new(0, "cname")]);
     let out = g.design_grouping(&m, &sk(), &mut oracle).unwrap();
     assert_eq!(out.grouping, vec![PathRef::new(0, "cname")]);
-    assert!(out.real_examples >= 1, "the cid probe has a real example (rows 11/12)");
+    assert!(
+        out.real_examples >= 1,
+        "the cid probe has a real example (rows 11/12)"
+    );
     assert!(out.synthetic_examples >= 1, "other probes must fall back");
     assert_eq!(out.real_examples + out.synthetic_examples, out.questions);
 }
@@ -314,18 +382,34 @@ fn inferred_grouping_has_same_effect_as_intent() {
     // A check instance with shared values so groupings actually differ.
     let mut b = InstanceBuilder::new(&src);
     for (cid, cname, loc) in [(1, "IBM", "NY"), (2, "IBM", "SF"), (3, "SBC", "NY")] {
-        b.push_top("Companies", vec![Value::int(cid), Value::str(cname), Value::str(loc)]);
-    }
-    for (pid, pname, cid, mgr) in
-        [("p1", "DB", 1, "e1"), ("p2", "DB", 2, "e1"), ("p3", "Web", 3, "e2")]
-    {
         b.push_top(
-            "Projects",
-            vec![Value::str(pid), Value::str(pname), Value::int(cid), Value::str(mgr)],
+            "Companies",
+            vec![Value::int(cid), Value::str(cname), Value::str(loc)],
         );
     }
-    b.push_top("Employees", vec![Value::str("e1"), Value::str("Jon"), Value::str("x1")]);
-    b.push_top("Employees", vec![Value::str("e2"), Value::str("Jon"), Value::str("x2")]);
+    for (pid, pname, cid, mgr) in [
+        ("p1", "DB", 1, "e1"),
+        ("p2", "DB", 2, "e1"),
+        ("p3", "Web", 3, "e2"),
+    ] {
+        b.push_top(
+            "Projects",
+            vec![
+                Value::str(pid),
+                Value::str(pname),
+                Value::int(cid),
+                Value::str(mgr),
+            ],
+        );
+    }
+    b.push_top(
+        "Employees",
+        vec![Value::str("e1"), Value::str("Jon"), Value::str("x1")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e2"), Value::str("Jon"), Value::str("x2")],
+    );
     let check = b.finish().unwrap();
 
     for intent in intents {
@@ -412,12 +496,40 @@ fn instance_only_skips_constant_attributes() {
     let cons = Constraints::none();
     // Every company is in NY: location can never affect grouping on I.
     let mut b = InstanceBuilder::new(&src);
-    b.push_top("Companies", vec![Value::int(1), Value::str("IBM"), Value::str("NY")]);
-    b.push_top("Companies", vec![Value::int(2), Value::str("SBC"), Value::str("NY")]);
-    b.push_top("Projects", vec![Value::str("p1"), Value::str("DB"), Value::int(1), Value::str("e1")]);
-    b.push_top("Projects", vec![Value::str("p2"), Value::str("Web"), Value::int(2), Value::str("e2")]);
-    b.push_top("Employees", vec![Value::str("e1"), Value::str("Jon"), Value::str("x1")]);
-    b.push_top("Employees", vec![Value::str("e2"), Value::str("Ann"), Value::str("x2")]);
+    b.push_top(
+        "Companies",
+        vec![Value::int(1), Value::str("IBM"), Value::str("NY")],
+    );
+    b.push_top(
+        "Companies",
+        vec![Value::int(2), Value::str("SBC"), Value::str("NY")],
+    );
+    b.push_top(
+        "Projects",
+        vec![
+            Value::str("p1"),
+            Value::str("DB"),
+            Value::int(1),
+            Value::str("e1"),
+        ],
+    );
+    b.push_top(
+        "Projects",
+        vec![
+            Value::str("p2"),
+            Value::str("Web"),
+            Value::int(2),
+            Value::str("e2"),
+        ],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e1"), Value::str("Jon"), Value::str("x1")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e2"), Value::str("Ann"), Value::str("x2")],
+    );
     let real = b.finish().unwrap();
 
     let mut g = MuseG::new(&src, &tgt, &cons).with_instance(&real);
@@ -426,7 +538,10 @@ fn instance_only_skips_constant_attributes() {
     let mut oracle = OracleDesigner::new(&src, &tgt);
     oracle.intend_grouping("m2", sk(), vec![PathRef::new(0, "cname")]);
     let out = g.design_grouping(&m, &sk(), &mut oracle).unwrap();
-    assert!(out.skipped_inconsequential >= 1, "location is constant on I");
+    assert!(
+        out.skipped_inconsequential >= 1,
+        "location is constant on I"
+    );
     assert!(out.questions < 8, "fewer probes than the instance-free run");
     assert!(out.grouping.contains(&PathRef::new(0, "cname")));
 }
@@ -449,15 +564,15 @@ fn empty_poss_mapping_designs_trivially() {
         )],
     )
     .unwrap();
-    let m = parse_one(
-        "m: for a in S.A exists b in T.B where a.x = b.y group b.Kids by ()",
-    )
-    .unwrap();
+    let m =
+        parse_one("m: for a in S.A exists b in T.B where a.x = b.y group b.Kids by ()").unwrap();
     let cons = Constraints::none();
     let g = MuseG::new(&src, &tgt, &cons);
     let mut oracle = OracleDesigner::new(&src, &tgt);
     oracle.intend_grouping("m", SetPath::parse("B.Kids"), vec![PathRef::new(0, "x")]);
-    let out = g.design_grouping(&m, &SetPath::parse("B.Kids"), &mut oracle).unwrap();
+    let out = g
+        .design_grouping(&m, &SetPath::parse("B.Kids"), &mut oracle)
+        .unwrap();
     assert_eq!(out.questions, 1);
     assert_eq!(out.grouping, vec![PathRef::new(0, "x")]);
 }

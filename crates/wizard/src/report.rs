@@ -13,7 +13,11 @@ pub fn render(report: &SessionReport) -> String {
     writeln!(out, "===============").unwrap();
     writeln!(out, "final mappings:        {}", report.mappings.len()).unwrap();
     if !report.disambiguations.is_empty() {
-        let alts: usize = report.disambiguations.iter().map(|d| d.alternatives_encoded).sum();
+        let alts: usize = report
+            .disambiguations
+            .iter()
+            .map(|d| d.alternatives_encoded)
+            .sum();
         let real = report.disambiguations.iter().filter(|d| d.real).count();
         writeln!(
             out,
@@ -35,8 +39,16 @@ pub fn render(report: &SessionReport) -> String {
     if !report.groupings.is_empty() {
         let questions: usize = report.groupings.iter().map(|(_, g)| g.questions).sum();
         let real: usize = report.groupings.iter().map(|(_, g)| g.real_examples).sum();
-        let synth: usize = report.groupings.iter().map(|(_, g)| g.synthetic_examples).sum();
-        let skipped: usize = report.groupings.iter().map(|(_, g)| g.skipped_implied).sum();
+        let synth: usize = report
+            .groupings
+            .iter()
+            .map(|(_, g)| g.synthetic_examples)
+            .sum();
+        let skipped: usize = report
+            .groupings
+            .iter()
+            .map(|(_, g)| g.skipped_implied)
+            .sum();
         writeln!(
             out,
             "Muse-G:                {} grouping functions, {} questions ({} skipped via keys/FDs)",
@@ -45,12 +57,20 @@ pub fn render(report: &SessionReport) -> String {
             skipped
         )
         .unwrap();
-        let pct = if real + synth > 0 { 100 * real / (real + synth) } else { 0 };
-        writeln!(out, "examples:              {real} real / {synth} synthetic ({pct}% real)")
-            .unwrap();
+        let pct = (100 * real).checked_div(real + synth).unwrap_or(0);
+        writeln!(
+            out,
+            "examples:              {real} real / {synth} synthetic ({pct}% real)"
+        )
+        .unwrap();
     }
     writeln!(out, "total questions:       {}", report.total_questions()).unwrap();
-    writeln!(out, "example time:          {:?}", report.total_example_time()).unwrap();
+    writeln!(
+        out,
+        "example time:          {:?}",
+        report.total_example_time()
+    )
+    .unwrap();
     writeln!(out).unwrap();
     writeln!(out, "Designed mappings").unwrap();
     writeln!(out, "-----------------").unwrap();
@@ -97,8 +117,14 @@ mod tests {
         .unwrap();
         let cons = Constraints::none();
         let mut oracle = OracleDesigner::new(&src, &tgt);
-        oracle.intend_grouping("m", SetPath::parse("Orgs.Projects"), vec![PathRef::new(0, "cname")]);
-        let report = Session::new(&src, &tgt, &cons).run(&ms, &mut oracle).unwrap();
+        oracle.intend_grouping(
+            "m",
+            SetPath::parse("Orgs.Projects"),
+            vec![PathRef::new(0, "cname")],
+        );
+        let report = Session::new(&src, &tgt, &cons)
+            .run(&ms, &mut oracle)
+            .unwrap();
         let text = render(&report);
         assert!(text.contains("final mappings:        1"), "{text}");
         assert!(text.contains("Muse-G:"), "{text}");

@@ -10,14 +10,15 @@ use std::time::Duration;
 
 use muse_mapping::{Grouping, Mapping};
 use muse_nr::{Constraints, Instance, Schema};
+use muse_obs::Metrics;
 
 use muse_mapping::WhereClause;
 
 use crate::designer::Designer;
 use crate::error::WizardError;
-use crate::museg::{GroupingOutcome, MuseG};
 use crate::mused::joins::outer_companion;
 use crate::mused::{DisambiguationOutcome, MuseD};
+use crate::museg::{GroupingOutcome, MuseG};
 
 /// A full wizard session over one mapping scenario.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +37,9 @@ pub struct Session<'a> {
     /// source variable that feeds target elements on its own and is not
     /// already covered by another mapping in Σ.
     pub offer_join_options: bool,
+    /// Instrumentation sink, forwarded to both component wizards. Defaults
+    /// to the no-op handle.
+    pub metrics: &'a Metrics,
 }
 
 /// What a session produced.
@@ -59,13 +63,24 @@ impl SessionReport {
     pub fn total_questions(&self) -> usize {
         self.disambiguations.len()
             + self.join_questions
-            + self.groupings.iter().map(|(_, g)| g.questions).sum::<usize>()
+            + self
+                .groupings
+                .iter()
+                .map(|(_, g)| g.questions)
+                .sum::<usize>()
     }
 
     /// Total time spent constructing/retrieving examples.
     pub fn total_example_time(&self) -> Duration {
-        self.disambiguations.iter().map(|d| d.example_time).sum::<Duration>()
-            + self.groupings.iter().map(|(_, g)| g.example_time).sum::<Duration>()
+        self.disambiguations
+            .iter()
+            .map(|d| d.example_time)
+            .sum::<Duration>()
+            + self
+                .groupings
+                .iter()
+                .map(|(_, g)| g.example_time)
+                .sum::<Duration>()
     }
 }
 
@@ -83,12 +98,19 @@ impl<'a> Session<'a> {
             real_instance: None,
             instance_only: false,
             offer_join_options: false,
+            metrics: Metrics::disabled_ref(),
         }
     }
 
     /// Use a real source instance.
     pub fn with_instance(mut self, inst: &'a Instance) -> Self {
         self.real_instance = Some(inst);
+        self
+    }
+
+    /// Record wizard/query/chase/iso metrics into `metrics`.
+    pub fn with_metrics(mut self, metrics: &'a Metrics) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -105,6 +127,7 @@ impl<'a> Session<'a> {
             self.source_constraints,
         );
         mused.real_instance = self.real_instance;
+        mused.metrics = self.metrics;
         let mut museg = MuseG::new(
             self.source_schema,
             self.target_schema,
@@ -112,6 +135,7 @@ impl<'a> Session<'a> {
         );
         museg.real_instance = self.real_instance;
         museg.instance_only = self.instance_only;
+        museg.metrics = self.metrics;
 
         // Phase 1: Muse-D on every ambiguous mapping.
         let mut unambiguous: Vec<Mapping> = Vec::new();
@@ -136,7 +160,9 @@ impl<'a> Session<'a> {
             let snapshot = unambiguous.clone();
             for m in &snapshot {
                 for v in 0..m.source_vars.len() {
-                    let Ok(companion) = outer_companion(m, v) else { continue };
+                    let Ok(companion) = outer_companion(m, v) else {
+                        continue;
+                    };
                     if covered_by_sigma(&companion, &snapshot) {
                         continue;
                     }
@@ -193,7 +219,9 @@ fn covered_by_sigma(companion: &Mapping, sigma: &[Mapping]) -> bool {
                 .collect(),
         )
     };
-    let Some(needed) = triples(companion) else { return true };
+    let Some(needed) = triples(companion) else {
+        return true;
+    };
     sigma.iter().any(|m| {
         m.source_vars.len() == 1
             && m.source_vars[0].set == companion.source_vars[0].set
@@ -222,7 +250,10 @@ mod tests {
                 ),
                 Field::new(
                     "Employees",
-                    Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                    Ty::set_of(vec![
+                        Field::new("eid", Ty::Str),
+                        Field::new("ename", Ty::Str),
+                    ]),
                 ),
             ],
         )
@@ -233,10 +264,7 @@ mod tests {
                 "Orgs",
                 Ty::set_of(vec![
                     Field::new("lead", Ty::Str),
-                    Field::new(
-                        "Projects",
-                        Ty::set_of(vec![Field::new("pname", Ty::Str)]),
-                    ),
+                    Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
                 ]),
             )],
         )
@@ -263,8 +291,8 @@ mod tests {
 
         let mut oracle = OracleDesigner::new(&src, &tgt);
         oracle.intended_choices.insert("ma".into(), vec![vec![1]]); // tech-lead
-        // After selection the mapping is named ma#1; intend grouping by the
-        // chosen lead's name.
+                                                                    // After selection the mapping is named ma#1; intend grouping by the
+                                                                    // chosen lead's name.
         oracle.intend_grouping(
             "ma#1",
             SetPath::parse("Orgs.Projects"),
@@ -277,7 +305,9 @@ mod tests {
         assert_eq!(report.mappings.len(), 1);
         assert_eq!(report.disambiguations.len(), 1);
         assert!(!report.mappings[0].is_ambiguous());
-        let g = report.mappings[0].grouping(&SetPath::parse("Orgs.Projects")).unwrap();
+        let g = report.mappings[0]
+            .grouping(&SetPath::parse("Orgs.Projects"))
+            .unwrap();
         // e2.ename's class representative may be itself (no satisfy eq ties
         // it to another reference).
         assert_eq!(g.args, vec![PathRef::new(2, "ename")]);

@@ -62,15 +62,17 @@ fn deeper_sets_are_designed_after_and_with_shallower_results() {
         projects_args_during_grants: Vec<Vec<PathRef>>,
     }
     impl Designer for Recording<'_> {
-        fn pick_scenario(&mut self, q: &GroupingQuestion) -> ScenarioChoice {
+        fn pick_scenario(
+            &mut self,
+            q: &GroupingQuestion,
+        ) -> Result<ScenarioChoice, muse_wizard::WizardError> {
             self.order.push(q.sk.clone());
             if q.sk == SetPath::parse("Orgs.Projects.Grants") {
-                let projects = q
-                    .d1
-                    .grouping(&SetPath::parse("Orgs.Projects"))
-                    .expect("Projects grouping present")
-                    .args
-                    .clone();
+                let projects =
+                    q.d1.grouping(&SetPath::parse("Orgs.Projects"))
+                        .expect("Projects grouping present")
+                        .args
+                        .clone();
                 self.projects_args_during_grants.push(projects);
             }
             self.oracle.pick_scenario(q)
@@ -78,7 +80,7 @@ fn deeper_sets_are_designed_after_and_with_shallower_results() {
         fn fill_choices(
             &mut self,
             _q: &muse_wizard::DisambiguationQuestion,
-        ) -> Vec<Vec<usize>> {
+        ) -> Result<Vec<Vec<usize>>, muse_wizard::WizardError> {
             unreachable!()
         }
     }
@@ -97,8 +99,11 @@ fn deeper_sets_are_designed_after_and_with_shallower_results() {
         SetPath::parse("Orgs.Projects.Grants"),
         vec![PathRef::new(0, "company"), PathRef::new(0, "project")],
     );
-    let mut designer =
-        Recording { oracle, order: Vec::new(), projects_args_during_grants: Vec::new() };
+    let mut designer = Recording {
+        oracle,
+        order: Vec::new(),
+        projects_args_during_grants: Vec::new(),
+    };
 
     let outcomes = museg.design_all_groupings(&mut m, &mut designer).unwrap();
     assert_eq!(outcomes.len(), 2);
@@ -126,7 +131,9 @@ fn deeper_sets_are_designed_after_and_with_shallower_results() {
         vec![PathRef::new(0, "company")]
     );
     assert_eq!(
-        m.grouping(&SetPath::parse("Orgs.Projects.Grants")).unwrap().args,
+        m.grouping(&SetPath::parse("Orgs.Projects.Grants"))
+            .unwrap()
+            .args,
         vec![PathRef::new(0, "company"), PathRef::new(0, "project")]
     );
 }

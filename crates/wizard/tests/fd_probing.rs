@@ -88,7 +88,7 @@ fn fd_examples_respect_the_dependency() {
         fn pick_scenario(
             &mut self,
             q: &muse_wizard::GroupingQuestion,
-        ) -> muse_wizard::ScenarioChoice {
+        ) -> Result<muse_wizard::ScenarioChoice, muse_wizard::WizardError> {
             self.cons
                 .validate_instance(&self.schema, &q.example.instance)
                 .expect("example satisfies zip -> city and key(id)");
@@ -97,7 +97,7 @@ fn fd_examples_respect_the_dependency() {
         fn fill_choices(
             &mut self,
             _q: &muse_wizard::DisambiguationQuestion,
-        ) -> Vec<Vec<usize>> {
+        ) -> Result<Vec<Vec<usize>>, muse_wizard::WizardError> {
             unreachable!()
         }
     }
@@ -106,11 +106,21 @@ fn fd_examples_respect_the_dependency() {
     let g = MuseG::new(&s, &t, &cons);
     let m = mapping();
     let sk = SetPath::parse("Out.Kids");
-    for intent in [vec![], vec!["city"], vec!["zip"], vec!["city", "note"], vec!["zip", "note"]] {
+    for intent in [
+        vec![],
+        vec!["city"],
+        vec!["zip"],
+        vec!["city", "note"],
+        vec!["zip", "note"],
+    ] {
         let refs: Vec<PathRef> = intent.iter().map(|a| PathRef::new(0, *a)).collect();
         let mut oracle = OracleDesigner::new(&s, &t);
         oracle.intend_grouping("m", sk.clone(), refs.clone());
-        let mut designer = FdChecking { inner: oracle, schema: s.clone(), cons: cons.clone() };
+        let mut designer = FdChecking {
+            inner: oracle,
+            schema: s.clone(),
+            cons: cons.clone(),
+        };
         let out = g.design_grouping(&m, &sk, &mut designer).unwrap();
         // The inferred grouping is either the intent or an equivalent
         // canonical form; spot-check the pure cases.
@@ -163,7 +173,11 @@ fn cyclic_fds_on_non_keys_are_reported_unsupported() {
     // exactly a key is answered in one question.
     let g = MuseG::new(&s, &t, &cons);
     let mut oracle = OracleDesigner::new(&s, &t);
-    oracle.intend_grouping("m", sk.clone(), vec![PathRef::new(0, "a"), PathRef::new(0, "note")]);
+    oracle.intend_grouping(
+        "m",
+        sk.clone(),
+        vec![PathRef::new(0, "a"), PathRef::new(0, "note")],
+    );
     let out = g.design_grouping(&m, &sk, &mut oracle).unwrap();
     assert_eq!(out.questions, 1);
     assert!(out.multi_key_assumption);

@@ -11,8 +11,9 @@ use muse_wizard::{MuseG, OracleDesigner, WizardError};
 #[test]
 fn too_many_attributes_is_a_typed_error() {
     // A source relation with 130 attributes blows the 128-bit FD engine.
-    let fields: Vec<Field> =
-        (0..130).map(|i| Field::new(format!("a{i}"), Ty::Int)).collect();
+    let fields: Vec<Field> = (0..130)
+        .map(|i| Field::new(format!("a{i}"), Ty::Int))
+        .collect();
     let src = Schema::new("S", vec![Field::new("R", Ty::set_of(fields))]).unwrap();
     let tgt = Schema::new(
         "T",
@@ -35,7 +36,9 @@ fn too_many_attributes_is_a_typed_error() {
     let g = MuseG::new(&src, &tgt, &cons);
     let mut oracle = OracleDesigner::new(&src, &tgt);
     oracle.intend_grouping("m", SetPath::parse("Out.Kids"), vec![]);
-    let err = g.design_grouping(&m, &SetPath::parse("Out.Kids"), &mut oracle).unwrap_err();
+    let err = g
+        .design_grouping(&m, &SetPath::parse("Out.Kids"), &mut oracle)
+        .unwrap_err();
     assert!(matches!(err, WizardError::TooManyAttributes(130)));
 }
 
@@ -77,7 +80,14 @@ fn real_search_timeouts_are_counted() {
     // search is an exhaustive proof of emptiness.
     let mut b = InstanceBuilder::new(&src);
     for i in 0..60_000 {
-        b.push_top("R", vec![Value::int(3 * i), Value::int(3 * i + 1), Value::int(3 * i + 2)]);
+        b.push_top(
+            "R",
+            vec![
+                Value::int(3 * i),
+                Value::int(3 * i + 1),
+                Value::int(3 * i + 2),
+            ],
+        );
     }
     let real = b.finish().unwrap();
 
@@ -86,10 +96,15 @@ fn real_search_timeouts_are_counted() {
     g.real_example_budget = Some(Duration::from_nanos(1));
     let mut oracle = OracleDesigner::new(&src, &tgt);
     oracle.intend_grouping("m", SetPath::parse("Out.Kids"), vec![PathRef::new(0, "x")]);
-    let out = g.design_grouping(&m, &SetPath::parse("Out.Kids"), &mut oracle).unwrap();
+    let out = g
+        .design_grouping(&m, &SetPath::parse("Out.Kids"), &mut oracle)
+        .unwrap();
     assert_eq!(out.grouping, vec![PathRef::new(0, "x")]);
     assert_eq!(out.real_examples, 0);
-    assert!(out.real_search_timeouts >= 1, "tight budget must trip at least once");
+    assert!(
+        out.real_search_timeouts >= 1,
+        "tight budget must trip at least once"
+    );
 }
 
 #[test]
@@ -101,9 +116,15 @@ fn outer_companion_rejects_nested_and_unknown_variables() {
     )
     .unwrap();
     // Unknown index.
-    assert!(matches!(outer_companion(&m, 9), Err(WizardError::BadAnswer(_))));
+    assert!(matches!(
+        outer_companion(&m, 9),
+        Err(WizardError::BadAnswer(_))
+    ));
     // Nested variable.
-    assert!(matches!(outer_companion(&m, 1), Err(WizardError::BadAnswer(_))));
+    assert!(matches!(
+        outer_companion(&m, 1),
+        Err(WizardError::BadAnswer(_))
+    ));
 }
 
 #[test]
@@ -117,5 +138,8 @@ fn outer_companion_requires_sole_contribution() {
             where p.pname = p1.pname and e.ename = p1.tag",
     )
     .unwrap();
-    assert!(matches!(outer_companion(&m, 1), Err(WizardError::BadAnswer(_))));
+    assert!(matches!(
+        outer_companion(&m, 1),
+        Err(WizardError::BadAnswer(_))
+    ));
 }

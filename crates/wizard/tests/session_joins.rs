@@ -20,7 +20,10 @@ fn schemas() -> (Schema, Schema) {
             ),
             Field::new(
                 "Employees",
-                Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                ]),
             ),
         ],
     )
@@ -31,7 +34,10 @@ fn schemas() -> (Schema, Schema) {
             Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
             Field::new(
                 "Employees",
-                Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                ]),
             ),
         ],
     )
@@ -56,14 +62,20 @@ impl Designer for JoinOracle<'_> {
     fn pick_scenario(
         &mut self,
         q: &muse_wizard::GroupingQuestion,
-    ) -> muse_wizard::ScenarioChoice {
+    ) -> Result<muse_wizard::ScenarioChoice, muse_wizard::WizardError> {
         self.inner.pick_scenario(q)
     }
-    fn fill_choices(&mut self, q: &muse_wizard::DisambiguationQuestion) -> Vec<Vec<usize>> {
+    fn fill_choices(
+        &mut self,
+        q: &muse_wizard::DisambiguationQuestion,
+    ) -> Result<Vec<Vec<usize>>, muse_wizard::WizardError> {
         self.inner.fill_choices(q)
     }
-    fn pick_join(&mut self, _q: &muse_wizard::mused::joins::JoinQuestion) -> JoinChoice {
-        self.choice
+    fn pick_join(
+        &mut self,
+        _q: &muse_wizard::mused::joins::JoinQuestion,
+    ) -> Result<JoinChoice, muse_wizard::WizardError> {
+        Ok(self.choice)
     }
 }
 
@@ -74,8 +86,10 @@ fn outer_choice_adds_a_companion() {
     let ms = parse(JOIN_MAPPING).unwrap();
     let mut session = Session::new(&src, &tgt, &cons);
     session.offer_join_options = true;
-    let mut designer =
-        JoinOracle { inner: OracleDesigner::new(&src, &tgt), choice: JoinChoice::Outer };
+    let mut designer = JoinOracle {
+        inner: OracleDesigner::new(&src, &tgt),
+        choice: JoinChoice::Outer,
+    };
     let report = session.run(&ms, &mut designer).unwrap();
     // Both p (sole source of p1.pname) and e (sole source of f) qualify.
     assert_eq!(report.join_questions, 2);
@@ -96,8 +110,10 @@ fn inner_choice_adds_nothing() {
     let ms = parse(JOIN_MAPPING).unwrap();
     let mut session = Session::new(&src, &tgt, &cons);
     session.offer_join_options = true;
-    let mut designer =
-        JoinOracle { inner: OracleDesigner::new(&src, &tgt), choice: JoinChoice::Inner };
+    let mut designer = JoinOracle {
+        inner: OracleDesigner::new(&src, &tgt),
+        choice: JoinChoice::Inner,
+    };
     let report = session.run(&ms, &mut designer).unwrap();
     assert_eq!(report.join_questions, 2);
     assert_eq!(report.companions_added, 0);
@@ -119,11 +135,16 @@ fn covered_variables_are_not_asked_about() {
     let ms = parse(&text).unwrap();
     let mut session = Session::new(&src, &tgt, &cons);
     session.offer_join_options = true;
-    let mut designer =
-        JoinOracle { inner: OracleDesigner::new(&src, &tgt), choice: JoinChoice::Outer };
+    let mut designer = JoinOracle {
+        inner: OracleDesigner::new(&src, &tgt),
+        choice: JoinChoice::Outer,
+    };
     let report = session.run(&ms, &mut designer).unwrap();
     // The employee question is covered by m3; only the project one remains.
-    assert_eq!(report.join_questions, 1, "m3 already covers e's outer option");
+    assert_eq!(
+        report.join_questions, 1,
+        "m3 already covers e's outer option"
+    );
     assert_eq!(report.companions_added, 1);
     assert_eq!(report.mappings.len(), 3);
 }
@@ -134,8 +155,10 @@ fn join_phase_is_off_by_default() {
     let cons = Constraints::none();
     let ms = parse(JOIN_MAPPING).unwrap();
     let session = Session::new(&src, &tgt, &cons);
-    let mut designer =
-        JoinOracle { inner: OracleDesigner::new(&src, &tgt), choice: JoinChoice::Outer };
+    let mut designer = JoinOracle {
+        inner: OracleDesigner::new(&src, &tgt),
+        choice: JoinChoice::Outer,
+    };
     let report = session.run(&ms, &mut designer).unwrap();
     assert_eq!(report.join_questions, 0);
     assert_eq!(report.mappings.len(), 1);
@@ -178,7 +201,10 @@ fn companions_get_grouping_design_too() {
     // Companion 1 is the Projects one (fills nothing); companion 2 is the
     // Employees one, which fills Badges.
     inner_oracle.intend_grouping("m~outer2", SetPath::parse("Employees.Badges"), vec![]);
-    let mut designer = JoinOracle { inner: inner_oracle, choice: JoinChoice::Outer };
+    let mut designer = JoinOracle {
+        inner: inner_oracle,
+        choice: JoinChoice::Outer,
+    };
     let report = session.run(&ms, &mut designer).unwrap();
     assert_eq!(report.companions_added, 2);
     // Both the original and the employee companion had Badges designed.

@@ -104,19 +104,44 @@ fn main() {
 
     // The Fig. 2 source instance.
     let mut b = InstanceBuilder::new(&src);
-    b.push_top("Companies", vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")]);
-    b.push_top("Companies", vec![Value::int(112), Value::str("SBC"), Value::str("NY")]);
     b.push_top(
-        "Projects",
-        vec![Value::str("p1"), Value::str("DBSearch"), Value::int(111), Value::str("e14")],
+        "Companies",
+        vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")],
+    );
+    b.push_top(
+        "Companies",
+        vec![Value::int(112), Value::str("SBC"), Value::str("NY")],
     );
     b.push_top(
         "Projects",
-        vec![Value::str("p2"), Value::str("WebSearch"), Value::int(111), Value::str("e15")],
+        vec![
+            Value::str("p1"),
+            Value::str("DBSearch"),
+            Value::int(111),
+            Value::str("e14"),
+        ],
     );
-    b.push_top("Employees", vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")]);
-    b.push_top("Employees", vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")]);
-    b.push_top("Employees", vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")]);
+    b.push_top(
+        "Projects",
+        vec![
+            Value::str("p2"),
+            Value::str("WebSearch"),
+            Value::int(111),
+            Value::str("e15"),
+        ],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")],
+    );
     let source = b.finish().unwrap();
 
     println!("=== Fig. 2: chasing the source with {{m1, m2, m3}} ===\n");
@@ -136,9 +161,9 @@ fn main() {
         fn pick_scenario(
             &mut self,
             q: &muse_suite::wizard::GroupingQuestion,
-        ) -> muse_suite::wizard::ScenarioChoice {
+        ) -> Result<muse_suite::wizard::ScenarioChoice, muse_suite::wizard::WizardError> {
             println!("{}", q.render(&self.src, &self.tgt));
-            let choice = self.oracle.pick_scenario(q);
+            let choice = self.oracle.pick_scenario(q)?;
             println!(
                 "Designer picks Scenario {}.\n",
                 match choice {
@@ -146,12 +171,12 @@ fn main() {
                     muse_suite::wizard::ScenarioChoice::Second => 2,
                 }
             );
-            choice
+            Ok(choice)
         }
         fn fill_choices(
             &mut self,
             _q: &muse_suite::wizard::DisambiguationQuestion,
-        ) -> Vec<Vec<usize>> {
+        ) -> Result<Vec<Vec<usize>>, muse_suite::wizard::WizardError> {
             unreachable!("no ambiguous mappings here")
         }
     }
@@ -161,9 +186,15 @@ fn main() {
     let mut oracle = OracleDesigner::new(&src, &tgt);
     let sk = SetPath::parse("Orgs.Projects");
     oracle.intend_grouping("m2", sk.clone(), vec![PathRef::new(0, "cname")]);
-    let mut designer = Narrating { oracle, src: src.clone(), tgt: tgt.clone() };
+    let mut designer = Narrating {
+        oracle,
+        src: src.clone(),
+        tgt: tgt.clone(),
+    };
 
-    let outcome = museg.design_grouping(&mappings[1], &sk, &mut designer).unwrap();
+    let outcome = museg
+        .design_grouping(&mappings[1], &sk, &mut designer)
+        .unwrap();
     println!("=== Result ===");
     println!(
         "Inferred grouping: SKProjs({})",

@@ -67,7 +67,12 @@ fn main() {
     let mut b = InstanceBuilder::new(&src);
     b.push_top(
         "Projects",
-        vec![Value::str("P1"), Value::str("DB"), Value::str("e4"), Value::str("e5")],
+        vec![
+            Value::str("P1"),
+            Value::str("DB"),
+            Value::str("e4"),
+            Value::str("e5"),
+        ],
     );
     b.push_top(
         "Employees",
@@ -91,7 +96,10 @@ fn main() {
     designer.choices.push_back(vec![vec![1], vec![0]]);
     let outcome = mused.disambiguate(&ma, &mut designer).unwrap();
     let selected = &outcome.selected[0];
-    println!("Selected interpretation:\n{}", muse_suite::mapping::print(selected));
+    println!(
+        "Selected interpretation:\n{}",
+        muse_suite::mapping::print(selected)
+    );
 
     // And what it exchanges.
     let target = chase_one(&src, &tgt, &real, selected).unwrap();
@@ -108,7 +116,10 @@ fn main() {
             Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
             Field::new(
                 "Employees",
-                Ty::set_of(vec![Field::new("eid", Ty::Str), Field::new("ename", Ty::Str)]),
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                ]),
             ),
         ],
     )

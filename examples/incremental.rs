@@ -47,10 +47,16 @@ fn main() {
     m.validate(&src, &tgt).unwrap();
 
     let mut bld = InstanceBuilder::new(&src);
-    for (cid, cname, loc) in
-        [(1, "IBM", "Almaden"), (2, "IBM", "NY"), (3, "SBC", "SF"), (4, "SBC", "SF")]
-    {
-        bld.push_top("Companies", vec![Value::int(cid), Value::str(cname), Value::str(loc)]);
+    for (cid, cname, loc) in [
+        (1, "IBM", "Almaden"),
+        (2, "IBM", "NY"),
+        (3, "SBC", "SF"),
+        (4, "SBC", "SF"),
+    ] {
+        bld.push_top(
+            "Companies",
+            vec![Value::int(cid), Value::str(cname), Value::str(loc)],
+        );
     }
     let inst = bld.finish().unwrap();
 
@@ -70,7 +76,12 @@ fn main() {
     println!(
         "Group more ({} questions, current args only) -> SKBranches({})",
         refined.questions,
-        refined.grouping.iter().map(|r| m.source_ref_name(r)).collect::<Vec<_>>().join(", ")
+        refined
+            .grouping
+            .iter()
+            .map(|r| m.source_ref_name(r))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     m.set_grouping(sk.clone(), Grouping::new(refined.grouping));
     let j = chase_one(&src, &tgt, &inst, &m).unwrap();
@@ -87,7 +98,12 @@ fn main() {
     println!(
         "Group less ({} questions, remaining attributes only) -> SKBranches({})",
         refined.questions,
-        refined.grouping.iter().map(|r| m.source_ref_name(r)).collect::<Vec<_>>().join(", ")
+        refined
+            .grouping
+            .iter()
+            .map(|r| m.source_ref_name(r))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     m.set_grouping(sk, Grouping::new(refined.grouping));
     let j = chase_one(&src, &tgt, &inst, &m).unwrap();

@@ -74,9 +74,18 @@ fn main() {
 
     // A small source instance.
     let mut b = InstanceBuilder::new(&compdb);
-    b.push_top("Companies", vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")]);
-    b.push_top("Companies", vec![Value::int(112), Value::str("IBM"), Value::str("NY")]);
-    b.push_top("Companies", vec![Value::int(113), Value::str("SBC"), Value::str("SF")]);
+    b.push_top(
+        "Companies",
+        vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")],
+    );
+    b.push_top(
+        "Companies",
+        vec![Value::int(112), Value::str("IBM"), Value::str("NY")],
+    );
+    b.push_top(
+        "Companies",
+        vec![Value::int(113), Value::str("SBC"), Value::str("SF")],
+    );
     b.push_top("Employees", vec![Value::str("e14"), Value::str("Smith")]);
     let source = b.finish().expect("valid instance");
 

@@ -28,7 +28,10 @@ fn main() {
     );
     let mappings = mondial.mappings().unwrap();
     let ambiguous = mappings.iter().filter(|m| m.is_ambiguous()).count();
-    println!("{} candidate mappings, {ambiguous} ambiguous.\n", mappings.len());
+    println!(
+        "{} candidate mappings, {ambiguous} ambiguous.\n",
+        mappings.len()
+    );
 
     // The oracle designer: first interpretation for every ambiguity, G2
     // grouping semantics for every nested set.
@@ -36,7 +39,9 @@ fn main() {
     for m in &mappings {
         if m.is_ambiguous() {
             let picks = vec![vec![0usize]; or_groups(m).len()];
-            oracle.intended_choices.insert(m.name.clone(), picks.clone());
+            oracle
+                .intended_choices
+                .insert(m.name.clone(), picks.clone());
             // After selection the mapping keeps a derived name `m#k`.
             let selected = muse_suite::mapping::ambiguity::select_multi(m, &picks).unwrap();
             for sel in selected {
@@ -53,7 +58,9 @@ fn main() {
         &mondial.source_constraints,
     )
     .with_instance(&instance);
-    let report = session.run(&mappings, &mut oracle).expect("session completes");
+    let report = session
+        .run(&mappings, &mut oracle)
+        .expect("session completes");
 
     println!("Session finished:");
     println!("  {} final mappings", report.mappings.len());
@@ -69,10 +76,18 @@ fn main() {
     println!(
         "  {} grouping functions designed with {} Muse-G questions",
         report.groupings.len(),
-        report.groupings.iter().map(|(_, g)| g.questions).sum::<usize>()
+        report
+            .groupings
+            .iter()
+            .map(|(_, g)| g.questions)
+            .sum::<usize>()
     );
     let real: usize = report.groupings.iter().map(|(_, g)| g.real_examples).sum();
-    let synth: usize = report.groupings.iter().map(|(_, g)| g.synthetic_examples).sum();
+    let synth: usize = report
+        .groupings
+        .iter()
+        .map(|(_, g)| g.synthetic_examples)
+        .sum();
     println!(
         "  examples: {real} real, {synth} synthetic ({:.0}% real), total example time {:?}",
         100.0 * real as f64 / (real + synth).max(1) as f64,
@@ -86,7 +101,10 @@ fn main() {
         .iter()
         .find(|m| !m.groupings.is_empty())
         .expect("some mapping has groupings");
-    println!("\nA finished mapping:\n{}", muse_suite::mapping::print(sample));
+    println!(
+        "\nA finished mapping:\n{}",
+        muse_suite::mapping::print(sample)
+    );
 }
 
 fn intend_groupings(

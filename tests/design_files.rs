@@ -4,8 +4,8 @@
 
 use std::path::Path;
 
-use muse_suite::cliogen::{generate, ScenarioSpec};
 use muse_suite::cliogen::Correspondence;
+use muse_suite::cliogen::{generate, ScenarioSpec};
 use muse_suite::mapping::PathRef;
 use muse_suite::nr::text::parse_schema;
 use muse_suite::nr::{tsv, SetPath};
@@ -24,7 +24,8 @@ fn example_schema_files_generate_fig1_mappings() {
         .lines()
         .filter_map(|l| {
             let l = l.split('#').next().unwrap_or("").trim();
-            l.split_once("->").map(|(a, b)| Correspondence::new(a.trim(), b.trim()))
+            l.split_once("->")
+                .map(|(a, b)| Correspondence::new(a.trim(), b.trim()))
         })
         .collect();
     assert_eq!(corrs.len(), 4);

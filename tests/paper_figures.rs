@@ -97,19 +97,44 @@ fn fig1_mappings(src: &Schema, tgt: &Schema) -> Vec<muse_suite::mapping::Mapping
 
 fn fig2_source(src: &Schema) -> muse_suite::nr::Instance {
     let mut b = InstanceBuilder::new(src);
-    b.push_top("Companies", vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")]);
-    b.push_top("Companies", vec![Value::int(112), Value::str("SBC"), Value::str("NY")]);
     b.push_top(
-        "Projects",
-        vec![Value::str("p1"), Value::str("DBSearch"), Value::int(111), Value::str("e14")],
+        "Companies",
+        vec![Value::int(111), Value::str("IBM"), Value::str("Almaden")],
+    );
+    b.push_top(
+        "Companies",
+        vec![Value::int(112), Value::str("SBC"), Value::str("NY")],
     );
     b.push_top(
         "Projects",
-        vec![Value::str("p2"), Value::str("WebSearch"), Value::int(111), Value::str("e15")],
+        vec![
+            Value::str("p1"),
+            Value::str("DBSearch"),
+            Value::int(111),
+            Value::str("e14"),
+        ],
     );
-    b.push_top("Employees", vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")]);
-    b.push_top("Employees", vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")]);
-    b.push_top("Employees", vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")]);
+    b.push_top(
+        "Projects",
+        vec![
+            Value::str("p2"),
+            Value::str("WebSearch"),
+            Value::int(111),
+            Value::str("e15"),
+        ],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e14"), Value::str("Smith"), Value::str("x2292")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e15"), Value::str("Anna"), Value::str("x2283")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e16"), Value::str("Brown"), Value::str("x2567")],
+    );
     b.finish().unwrap()
 }
 
@@ -150,7 +175,12 @@ fn fig2_solution_is_universal() {
     b.push_top("Orgs", vec![Value::str("IBM"), Value::Set(ibm)]);
     b.push_top("Orgs", vec![Value::str("SBC"), Value::Set(sbc)]);
     b.push_top("Orgs", vec![Value::str("Junk"), Value::Set(junk)]);
-    for (eid, en) in [("e14", "Smith"), ("e15", "Anna"), ("e16", "Brown"), ("e99", "X")] {
+    for (eid, en) in [
+        ("e14", "Smith"),
+        ("e15", "Anna"),
+        ("e16", "Brown"),
+        ("e99", "X"),
+    ] {
         b.push_top("Employees", vec![Value::str(eid), Value::str(en)]);
     }
     let fat = b.finish().unwrap();
@@ -179,7 +209,10 @@ fn fig3_museg_infers_cname() {
 
     // Same effect as the intention, checked by chasing the real source.
     let mut intended = ms[1].clone();
-    intended.set_grouping(sk.clone(), muse_suite::mapping::Grouping::new(vec![PathRef::new(0, "cname")]));
+    intended.set_grouping(
+        sk.clone(),
+        muse_suite::mapping::Grouping::new(vec![PathRef::new(0, "cname")]),
+    );
     let mut inferred = ms[1].clone();
     inferred.set_grouping(sk, muse_suite::mapping::Grouping::new(out.grouping));
     let i = fig2_source(&src);
@@ -240,10 +273,21 @@ fn fig4_mused_selection() {
     let mut b = InstanceBuilder::new(&src);
     b.push_top(
         "Projects",
-        vec![Value::str("P1"), Value::str("DB"), Value::str("e4"), Value::str("e5")],
+        vec![
+            Value::str("P1"),
+            Value::str("DB"),
+            Value::str("e4"),
+            Value::str("e5"),
+        ],
     );
-    b.push_top("Employees", vec![Value::str("e4"), Value::str("Jon"), Value::str("jon@ibm")]);
-    b.push_top("Employees", vec![Value::str("e5"), Value::str("Anna"), Value::str("anna@ibm")]);
+    b.push_top(
+        "Employees",
+        vec![Value::str("e4"), Value::str("Jon"), Value::str("jon@ibm")],
+    );
+    b.push_top(
+        "Employees",
+        vec![Value::str("e5"), Value::str("Anna"), Value::str("anna@ibm")],
+    );
     let real = b.finish().unwrap();
 
     let cons = Constraints::none();
@@ -253,8 +297,14 @@ fn fig4_mused_selection() {
     assert_eq!(q.example.instance.total_tuples(), 3);
     assert_eq!(q.choices.len(), 2);
     // The choice values are the real ones from Fig. 4(b).
-    assert_eq!(q.choices[0].values, vec![Value::str("Jon"), Value::str("Anna")]);
-    assert_eq!(q.choices[1].values, vec![Value::str("jon@ibm"), Value::str("anna@ibm")]);
+    assert_eq!(
+        q.choices[0].values,
+        vec![Value::str("Jon"), Value::str("Anna")]
+    );
+    assert_eq!(
+        q.choices[1].values,
+        vec![Value::str("jon@ibm"), Value::str("anna@ibm")]
+    );
 
     // Picking Anna + jon@ibm selects the paper's interpretation, and its
     // chase fills the blanks consistently.

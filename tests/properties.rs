@@ -1,4 +1,4 @@
-//! Property-based tests of the core guarantees, across crates:
+//! Randomized tests of the core guarantees, across crates:
 //!
 //! * the chase is idempotent and produces universal solutions,
 //! * Thm. 3.2 (grouping by a key ≡ grouping by any superset) holds on
@@ -8,12 +8,17 @@
 //!   questions (Cor. 3.3),
 //! * Muse-D selection round-trips through the chase,
 //! * probe examples are always small and constraint-valid.
+//!
+//! Driven by the deterministic SplitMix64 generator, so every run checks
+//! the same cases.
 
-use proptest::prelude::*;
+use muse_obs::Rng;
 
 use muse_suite::chase::{chase, chase_one, find_homomorphism, homomorphically_equivalent};
 use muse_suite::mapping::{parse_one, Grouping, Mapping, PathRef};
-use muse_suite::nr::{Constraints, Field, Instance, InstanceBuilder, Key, Schema, SetPath, Ty, Value};
+use muse_suite::nr::{
+    Constraints, Field, Instance, InstanceBuilder, Key, Schema, SetPath, Ty, Value,
+};
 use muse_suite::wizard::{Designer, MuseG, OracleDesigner};
 
 /// Source: one relation `R(k, x, y, z)` with key `k`; values of x/y/z come
@@ -60,19 +65,33 @@ fn mapping() -> Mapping {
 }
 
 fn keyed() -> Constraints {
-    Constraints { keys: vec![Key::new(SetPath::parse("R"), vec!["k"])], fds: vec![], fks: vec![] }
+    Constraints {
+        keys: vec![Key::new(SetPath::parse("R"), vec!["k"])],
+        fds: vec![],
+        fks: vec![],
+    }
 }
 
-/// Rows with unique keys and low-entropy payload.
-fn rows() -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
-    prop::collection::vec((0..4i64, 0..4i64, 0..3i64), 0..8)
+/// Up to 8 rows with unique keys and low-entropy payload.
+fn random_rows(rng: &mut Rng) -> Vec<(i64, i64, i64)> {
+    (0..rng.index(8))
+        .map(|_| (rng.range(0, 4), rng.range(0, 4), rng.range(0, 3)))
+        .collect()
 }
 
 fn instance_of(rows: &[(i64, i64, i64)]) -> Instance {
     let s = source();
     let mut b = InstanceBuilder::new(&s);
     for (i, (x, y, z)) in rows.iter().enumerate() {
-        b.push_top("R", vec![Value::int(i as i64), Value::int(*x), Value::int(*y), Value::int(*z)]);
+        b.push_top(
+            "R",
+            vec![
+                Value::int(i as i64),
+                Value::int(*x),
+                Value::int(*y),
+                Value::int(*z),
+            ],
+        );
     }
     b.finish().unwrap()
 }
@@ -84,35 +103,43 @@ fn with_grouping(attrs: &[&str]) -> Mapping {
     m
 }
 
-/// Subsets of {k, x, y, z} as grouping intentions.
-fn grouping_subset() -> impl Strategy<Value = Vec<&'static str>> {
-    prop::collection::vec(prop::sample::select(vec!["k", "x", "y", "z"]), 0..4).prop_map(|mut v| {
-        v.sort_unstable();
-        v.dedup();
-        v
-    })
+/// A random subset of {k, x, y, z} as a grouping intention.
+fn random_grouping_subset(rng: &mut Rng) -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = (0..rng.index(4))
+        .map(|_| *rng.pick(&["k", "x", "y", "z"]))
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Chasing with Σ ∪ Σ adds nothing (idempotence of the canonical
-    /// universal solution).
-    #[test]
-    fn chase_is_idempotent(rows in rows(), g in grouping_subset()) {
+/// Chasing with Σ ∪ Σ adds nothing (idempotence of the canonical universal
+/// solution).
+#[test]
+fn chase_is_idempotent() {
+    let mut rng = Rng::new(0x1DE0);
+    for case in 0..64 {
+        let rows = random_rows(&mut rng);
+        let g = random_grouping_subset(&mut rng);
         let (s, t) = (source(), target());
         let i = instance_of(&rows);
         let m = with_grouping(&g);
         let once = chase_one(&s, &t, &i, &m).unwrap();
         let twice = chase(&s, &t, &i, &[m.clone(), m]).unwrap();
-        prop_assert_eq!(once.total_tuples(), twice.total_tuples());
-        prop_assert!(homomorphically_equivalent(&once, &twice));
+        assert_eq!(once.total_tuples(), twice.total_tuples(), "case {case}");
+        assert!(homomorphically_equivalent(&once, &twice), "case {case}");
     }
+}
 
-    /// The chase result maps homomorphically into the chase of any superset
-    /// instance (monotonicity / universality flavor).
-    #[test]
-    fn chase_is_monotone(rows in rows(), extra in rows(), g in grouping_subset()) {
+/// The chase result maps homomorphically into the chase of any superset
+/// instance (monotonicity / universality flavor).
+#[test]
+fn chase_is_monotone() {
+    let mut rng = Rng::new(0x30203);
+    for case in 0..64 {
+        let rows = random_rows(&mut rng);
+        let extra = random_rows(&mut rng);
+        let g = random_grouping_subset(&mut rng);
         let (s, t) = (source(), target());
         let m = with_grouping(&g);
         let small = instance_of(&rows);
@@ -121,13 +148,18 @@ proptest! {
         let big = instance_of(&all);
         let j_small = chase_one(&s, &t, &small, &m).unwrap();
         let j_big = chase_one(&s, &t, &big, &m).unwrap();
-        prop_assert!(find_homomorphism(&j_small, &j_big).is_some());
+        assert!(find_homomorphism(&j_small, &j_big).is_some(), "case {case}");
     }
+}
 
-    /// Thm. 3.2: when K is a key of poss, SK(K) has the same effect as
-    /// SK(K ∪ W) on every key-valid instance.
-    #[test]
-    fn theorem_3_2_key_superset(rows in rows(), w in grouping_subset()) {
+/// Thm. 3.2: when K is a key of poss, SK(K) has the same effect as
+/// SK(K ∪ W) on every key-valid instance.
+#[test]
+fn theorem_3_2_key_superset() {
+    let mut rng = Rng::new(0x3_2);
+    for case in 0..64 {
+        let rows = random_rows(&mut rng);
+        let w = random_grouping_subset(&mut rng);
         let (s, t) = (source(), target());
         let i = instance_of(&rows); // keys are unique by construction
         let m_key = with_grouping(&["k"]);
@@ -138,14 +170,22 @@ proptest! {
         let m_sup = with_grouping(&with_w);
         let a = chase_one(&s, &t, &i, &m_key).unwrap();
         let b = chase_one(&s, &t, &i, &m_sup).unwrap();
-        prop_assert!(homomorphically_equivalent(&a, &b), "SK(k) vs SK({with_w:?})");
+        assert!(
+            homomorphically_equivalent(&a, &b),
+            "case {case}: SK(k) vs SK({with_w:?})"
+        );
     }
+}
 
-    /// The wizard's central guarantee: for any intended grouping and any
-    /// key-valid real instance, the inferred grouping has the same effect
-    /// as the intention on that instance, with at most |poss| questions.
-    #[test]
-    fn museg_infers_same_effect_grouping(rows in rows(), intent in grouping_subset()) {
+/// The wizard's central guarantee: for any intended grouping and any
+/// key-valid real instance, the inferred grouping has the same effect
+/// as the intention on that instance, with at most |poss| questions.
+#[test]
+fn museg_infers_same_effect_grouping() {
+    let mut rng = Rng::new(0x9A4E);
+    for case in 0..64 {
+        let rows = random_rows(&mut rng);
+        let intent = random_grouping_subset(&mut rng);
         let (s, t) = (source(), target());
         let i = instance_of(&rows);
         let cons = keyed();
@@ -157,7 +197,7 @@ proptest! {
         let mut oracle = OracleDesigner::new(&s, &t);
         oracle.intend_grouping("m", sk.clone(), desired.clone());
         let out = museg.design_grouping(&m, &sk, &mut oracle).unwrap();
-        prop_assert!(out.questions <= out.poss_size, "Cor. 3.3");
+        assert!(out.questions <= out.poss_size, "case {case}: Cor. 3.3");
 
         let mut intended = m.clone();
         intended.set_grouping(sk.clone(), Grouping::new(desired));
@@ -165,37 +205,44 @@ proptest! {
         inferred.set_grouping(sk, Grouping::new(out.grouping));
         let a = chase_one(&s, &t, &i, &intended).unwrap();
         let b = chase_one(&s, &t, &i, &inferred).unwrap();
-        prop_assert!(homomorphically_equivalent(&a, &b));
+        assert!(homomorphically_equivalent(&a, &b), "case {case}");
     }
+}
 
-    /// Probe examples always satisfy the source constraints and contain at
-    /// most two tuples per relation.
-    #[test]
-    fn probe_examples_are_small_and_valid(rows in rows(), intent in grouping_subset()) {
-        struct Checking<'a> {
-            inner: OracleDesigner<'a>,
-            schema: Schema,
-            cons: Constraints,
-        }
-        impl Designer for Checking<'_> {
-            fn pick_scenario(
-                &mut self,
-                q: &muse_suite::wizard::GroupingQuestion,
-            ) -> muse_suite::wizard::ScenarioChoice {
-                q.example.instance.validate(&self.schema).unwrap();
-                self.cons.validate_instance(&self.schema, &q.example.instance).unwrap();
-                for id in q.example.instance.set_ids() {
-                    assert!(q.example.instance.set_len(id) <= 2);
-                }
-                self.inner.pick_scenario(q)
+/// Probe examples always satisfy the source constraints and contain at
+/// most two tuples per relation.
+#[test]
+fn probe_examples_are_small_and_valid() {
+    struct Checking<'a> {
+        inner: OracleDesigner<'a>,
+        schema: Schema,
+        cons: Constraints,
+    }
+    impl Designer for Checking<'_> {
+        fn pick_scenario(
+            &mut self,
+            q: &muse_suite::wizard::GroupingQuestion,
+        ) -> Result<muse_suite::wizard::ScenarioChoice, muse_suite::wizard::WizardError> {
+            q.example.instance.validate(&self.schema).unwrap();
+            self.cons
+                .validate_instance(&self.schema, &q.example.instance)
+                .unwrap();
+            for id in q.example.instance.set_ids() {
+                assert!(q.example.instance.set_len(id) <= 2);
             }
-            fn fill_choices(
-                &mut self,
-                _q: &muse_suite::wizard::DisambiguationQuestion,
-            ) -> Vec<Vec<usize>> {
-                unreachable!()
-            }
+            self.inner.pick_scenario(q)
         }
+        fn fill_choices(
+            &mut self,
+            _q: &muse_suite::wizard::DisambiguationQuestion,
+        ) -> Result<Vec<Vec<usize>>, muse_suite::wizard::WizardError> {
+            unreachable!()
+        }
+    }
+    let mut rng = Rng::new(0x9_20BE);
+    for _case in 0..64 {
+        let rows = random_rows(&mut rng);
+        let intent = random_grouping_subset(&mut rng);
         let (s, t) = (source(), target());
         let i = instance_of(&rows);
         let cons = keyed();
@@ -205,7 +252,11 @@ proptest! {
         let museg = MuseG::new(&s, &t, &cons).with_instance(&i);
         let mut oracle = OracleDesigner::new(&s, &t);
         oracle.intend_grouping("m", sk.clone(), desired);
-        let mut checking = Checking { inner: oracle, schema: s.clone(), cons: cons.clone() };
+        let mut checking = Checking {
+            inner: oracle,
+            schema: s.clone(),
+            cons: cons.clone(),
+        };
         museg.design_grouping(&m, &sk, &mut checking).unwrap();
     }
 }

@@ -20,7 +20,9 @@ fn run_scenario(name: &str, scale: f64) {
     for m in &mappings {
         if m.is_ambiguous() {
             let picks = vec![vec![0usize]; or_groups(m).len()];
-            oracle.intended_choices.insert(m.name.clone(), picks.clone());
+            oracle
+                .intended_choices
+                .insert(m.name.clone(), picks.clone());
             resolved.extend(select_multi(m, &picks).unwrap());
         } else {
             resolved.push(m.clone());
@@ -63,7 +65,10 @@ fn run_scenario(name: &str, scale: f64) {
     .unwrap();
     target.validate(&scenario.target_schema).unwrap();
     assert!(!target.is_empty(), "{name}: chase produced data");
-    assert!(report.total_questions() > 0, "{name}: the wizard asked questions");
+    assert!(
+        report.total_questions() > 0,
+        "{name}: the wizard asked questions"
+    );
 }
 
 #[test]
