@@ -29,6 +29,7 @@ use std::path::{Path, PathBuf};
 
 use muse_cliogen::GroupingStrategy;
 use muse_obs::{Json, Metrics};
+use muse_par::scope_map;
 
 use crate::{ablation_avg_questions, fig5_cell_with, mused_row_with, scenario_row, Fig5Row};
 
@@ -38,6 +39,27 @@ pub const FILE: &str = "BENCH_baseline.json";
 /// Did the binary's caller pass `--json`?
 pub fn wants_json() -> bool {
     std::env::args().skip(1).any(|a| a == "--json")
+}
+
+/// The `--threads N` (or `--threads=N`) value passed to the binary, if any.
+pub fn explicit_threads_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut explicit = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            explicit = it.next().and_then(|v| v.parse().ok());
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            explicit = v.parse().ok();
+        }
+    }
+    explicit
+}
+
+/// Effective worker-thread count for a bench binary: `--threads N` beats
+/// `MUSE_THREADS`, which beats the serial default of 1 (`0` = all cores).
+pub fn arg_threads() -> usize {
+    muse_par::resolve_threads(explicit_threads_arg())
 }
 
 /// Build `section` and merge it into [`FILE`], reporting where it went.
@@ -53,8 +75,11 @@ pub fn emit(bench: &str, section: Json) {
 }
 
 /// Merge `section` under the key `bench` into `dir/BENCH_baseline.json`,
-/// preserving every other binary's section. A missing or unparseable file
-/// starts fresh.
+/// preserving every other binary's section. Within the section the incoming
+/// value is *union-merged* ([`merge_json`]): keys only the existing section
+/// has survive, so a partial re-run (e.g. with a different flag set) never
+/// silently drops previously recorded counters. A missing or unparseable
+/// file starts fresh.
 pub fn update_section_in(dir: &Path, bench: &str, section: Json) -> std::io::Result<PathBuf> {
     let path = dir.join(FILE);
     let mut root = std::fs::read_to_string(&path)
@@ -66,7 +91,7 @@ pub fn update_section_in(dir: &Path, bench: &str, section: Json) -> std::io::Res
     }
     if let Json::Obj(fields) = &mut root {
         match fields.iter_mut().find(|(k, _)| k == bench) {
-            Some(slot) => slot.1 = section,
+            Some(slot) => merge_json(&mut slot.1, section),
             None => fields.push((bench.to_string(), section)),
         }
     }
@@ -74,24 +99,52 @@ pub fn update_section_in(dir: &Path, bench: &str, section: Json) -> std::io::Res
     Ok(path)
 }
 
-fn section(scale: f64, seed: u64, scenarios: Vec<(String, Json)>) -> Json {
+/// Recursive union-merge: objects merge key-by-key (keys from either side
+/// survive, insertion order of the existing side is kept), anything else is
+/// replaced by the incoming value.
+pub fn merge_json(existing: &mut Json, incoming: Json) {
+    match (existing, incoming) {
+        (Json::Obj(a), Json::Obj(b)) => {
+            for (k, v) in b {
+                match a.iter_mut().find(|(ak, _)| *ak == k) {
+                    Some(slot) => merge_json(&mut slot.1, v),
+                    None => a.push((k, v)),
+                }
+            }
+        }
+        (slot, incoming) => *slot = incoming,
+    }
+}
+
+fn section(
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    driver: &Metrics,
+    scenarios: Vec<(String, Json)>,
+) -> Json {
     Json::obj(vec![
         ("scale", Json::Num(scale)),
         ("seed", Json::Int(seed as i64)),
+        ("threads", Json::Int(threads as i64)),
+        ("driver", driver.snapshot().to_json()),
         ("scenarios", Json::Obj(scenarios)),
     ])
 }
 
 /// The `table_scenarios` section: per-scenario characteristics plus the
-/// time spent generating instance and mappings.
-pub fn scenarios_section(scale: f64, seed: u64) -> Json {
-    let mut scenarios = Vec::new();
-    for s in muse_scenarios::all_scenarios() {
+/// time spent generating instance and mappings. Scenarios run concurrently
+/// on `threads` workers; each records into its own atomic metrics registry.
+pub fn scenarios_section(scale: f64, seed: u64, threads: usize) -> Json {
+    let driver = Metrics::enabled();
+    let all = muse_scenarios::all_scenarios();
+    let scenarios = scope_map(all.len(), threads, &driver, |i| {
+        let s = &all[i];
         let metrics = Metrics::enabled();
         let row = metrics
             .timer("bench.row_time")
-            .time(|| scenario_row(&s, scale, seed));
-        scenarios.push((
+            .time(|| scenario_row(s, scale, seed));
+        (
             row.name.to_string(),
             Json::obj(vec![
                 ("instance_mb", Json::Num(row.instance_mb)),
@@ -103,9 +156,9 @@ pub fn scenarios_section(scale: f64, seed: u64) -> Json {
                 ("ambiguous", Json::Int(row.ambiguous as i64)),
                 ("metrics", metrics.snapshot().to_json()),
             ]),
-        ));
-    }
-    section(scale, seed, scenarios)
+        )
+    });
+    section(scale, seed, threads, &driver, scenarios)
 }
 
 fn fig5_json(cell: &Fig5Row) -> Json {
@@ -126,9 +179,12 @@ fn fig5_json(cell: &Fig5Row) -> Json {
 
 /// The `fig5_museg` section: per scenario, the three strategy cells plus
 /// the wizard/query/chase counters accumulated across all of them.
-pub fn fig5_section(scale: f64, seed: u64) -> Json {
-    let mut scenarios = Vec::new();
-    for s in muse_scenarios::all_scenarios() {
+/// Scenarios run concurrently on `threads` workers.
+pub fn fig5_section(scale: f64, seed: u64, threads: usize) -> Json {
+    let driver = Metrics::enabled();
+    let all = muse_scenarios::all_scenarios();
+    let scenarios = scope_map(all.len(), threads, &driver, |i| {
+        let s = &all[i];
         let metrics = Metrics::enabled();
         let mut strategies = Vec::new();
         for strategy in [
@@ -138,29 +194,32 @@ pub fn fig5_section(scale: f64, seed: u64) -> Json {
         ] {
             let cell = metrics
                 .timer("bench.cell_time")
-                .time(|| fig5_cell_with(&s, strategy, scale, seed, &metrics));
+                .time(|| fig5_cell_with(s, strategy, scale, seed, &metrics));
             strategies.push((strategy.to_string(), fig5_json(&cell)));
         }
-        scenarios.push((
+        (
             s.name.to_string(),
             Json::obj(vec![
                 ("strategies", Json::Obj(strategies)),
                 ("metrics", metrics.snapshot().to_json()),
             ]),
-        ));
-    }
-    section(scale, seed, scenarios)
+        )
+    });
+    section(scale, seed, threads, &driver, scenarios)
 }
 
 /// The `table_mused` section. Scenarios without ambiguous mappings map to
-/// `null`, mirroring the table's "no ambiguous mappings" lines.
-pub fn mused_section(scale: f64, seed: u64) -> Json {
-    let mut scenarios = Vec::new();
-    for s in muse_scenarios::all_scenarios() {
+/// `null`, mirroring the table's "no ambiguous mappings" lines. Scenarios
+/// run concurrently on `threads` workers.
+pub fn mused_section(scale: f64, seed: u64, threads: usize) -> Json {
+    let driver = Metrics::enabled();
+    let all = muse_scenarios::all_scenarios();
+    let scenarios = scope_map(all.len(), threads, &driver, |i| {
+        let s = &all[i];
         let metrics = Metrics::enabled();
         let row = metrics
             .timer("bench.row_time")
-            .time(|| mused_row_with(&s, scale, seed, &metrics));
+            .time(|| mused_row_with(s, scale, seed, &metrics));
         let body = match row {
             Some(row) => Json::obj(vec![
                 (
@@ -183,21 +242,24 @@ pub fn mused_section(scale: f64, seed: u64) -> Json {
             ]),
             None => Json::Null,
         };
-        scenarios.push((s.name.to_string(), body));
-    }
-    section(scale, seed, scenarios)
+        (s.name.to_string(), body)
+    });
+    section(scale, seed, threads, &driver, scenarios)
 }
 
 /// The `ablations` section: key-aware question savings, G2 real-example
-/// availability, and the Muse-D decisions-vs-instances counts.
-pub fn ablations_section(scale: f64, seed: u64) -> Json {
-    let mut scenarios = Vec::new();
-    for s in muse_scenarios::all_scenarios() {
+/// availability, and the Muse-D decisions-vs-instances counts. Scenarios
+/// run concurrently on `threads` workers.
+pub fn ablations_section(scale: f64, seed: u64, threads: usize) -> Json {
+    let driver = Metrics::enabled();
+    let all = muse_scenarios::all_scenarios();
+    let scenarios = scope_map(all.len(), threads, &driver, |i| {
+        let s = &all[i];
         let metrics = Metrics::enabled();
         let mut key_aware = Vec::new();
         for strategy in [GroupingStrategy::G1, GroupingStrategy::G3] {
-            let with_keys = ablation_avg_questions(&s, strategy, true, &metrics);
-            let without = ablation_avg_questions(&s, strategy, false, &metrics);
+            let with_keys = ablation_avg_questions(s, strategy, true, &metrics);
+            let without = ablation_avg_questions(s, strategy, false, &metrics);
             key_aware.push((
                 strategy.to_string(),
                 Json::obj(vec![
@@ -206,7 +268,7 @@ pub fn ablations_section(scale: f64, seed: u64) -> Json {
                 ]),
             ));
         }
-        let g2 = fig5_cell_with(&s, GroupingStrategy::G2, scale, seed, &metrics);
+        let g2 = fig5_cell_with(s, GroupingStrategy::G2, scale, seed, &metrics);
         let ms = s.mappings().expect("scenario mappings generate");
         let mut decisions = 0usize;
         let mut instances = 0usize;
@@ -214,7 +276,7 @@ pub fn ablations_section(scale: f64, seed: u64) -> Json {
             decisions += muse_mapping::ambiguity::or_groups(m).len();
             instances += muse_mapping::ambiguity::alternatives_count(m);
         }
-        scenarios.push((
+        (
             s.name.to_string(),
             Json::obj(vec![
                 ("key_aware_questions", Json::Obj(key_aware)),
@@ -227,7 +289,7 @@ pub fn ablations_section(scale: f64, seed: u64) -> Json {
                 ("mused_alternative_instances", Json::Int(instances as i64)),
                 ("metrics", metrics.snapshot().to_json()),
             ]),
-        ));
-    }
-    section(scale, seed, scenarios)
+        )
+    });
+    section(scale, seed, threads, &driver, scenarios)
 }

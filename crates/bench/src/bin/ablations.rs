@@ -8,18 +8,21 @@
 //!    decisions Muse-D asks for vs the number of target instances Yan et
 //!    al.'s approach would display.
 //!
-//! Usage: `cargo run --release -p muse-bench --bin ablations [-- --json]`
+//! Usage: `cargo run --release -p muse-bench --bin ablations [-- --json] [--threads N]`
 //! (use `MUSE_SCALE=0.1` for a quick run; `--json` also merges the results
-//! into `BENCH_baseline.json`).
+//! into `BENCH_baseline.json`; `--threads N` or `MUSE_THREADS` runs the
+//! scenarios concurrently).
 
 use muse_bench::{ablation_avg_questions, baseline, env_scale, env_seed, fig5_cell, mused_row};
 use muse_cliogen::GroupingStrategy;
 use muse_mapping::ambiguity::or_groups;
 use muse_obs::Metrics;
+use muse_par::scope_map;
 
 fn main() {
     let scale = env_scale();
     let seed = env_seed();
+    let threads = baseline::arg_threads();
 
     println!("== Ablation 1: key-aware probing (Thm. 3.2) vs basic algorithm ==");
     println!("   (question counts are instance-independent; synthetic examples only)");
@@ -46,8 +49,11 @@ fn main() {
 
     println!();
     println!("== Ablation 2: real-example availability per scenario (strategy G2) ==");
-    for scenario in muse_scenarios::all_scenarios() {
-        let cell = fig5_cell(&scenario, GroupingStrategy::G2, scale, seed);
+    let scenarios = muse_scenarios::all_scenarios();
+    let cells = scope_map(scenarios.len(), threads, &Metrics::disabled(), |i| {
+        fig5_cell(&scenarios[i], GroupingStrategy::G2, scale, seed)
+    });
+    for (scenario, cell) in scenarios.iter().zip(cells) {
         println!(
             "{:<9} {:>5.0}% of probes found a real differentiating example (avg {:.4}s)",
             scenario.name,
@@ -81,6 +87,9 @@ fn main() {
     }
 
     if baseline::wants_json() {
-        baseline::emit("ablations", baseline::ablations_section(scale, seed));
+        baseline::emit(
+            "ablations",
+            baseline::ablations_section(scale, seed, threads),
+        );
     }
 }

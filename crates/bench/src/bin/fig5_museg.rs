@@ -3,13 +3,16 @@
 //! % of probes answered with a real example, and the average time to obtain
 //! the example.
 //!
-//! Usage: `cargo run --release -p muse-bench --bin fig5_museg [-- --json]`
+//! Usage: `cargo run --release -p muse-bench --bin fig5_museg [-- --json] [--threads N]`
 //! (`MUSE_SCALE`/`MUSE_SEED` adjust instance generation; the paper sizes
 //! correspond to scale 1.0 — use e.g. `MUSE_SCALE=0.1` for a quick run;
-//! `--json` also merges the results into `BENCH_baseline.json`).
+//! `--json` also merges the results into `BENCH_baseline.json`;
+//! `--threads N` or `MUSE_THREADS` runs the cells concurrently).
 
 use muse_bench::{baseline, env_scale, env_seed, fig5_cell};
 use muse_cliogen::GroupingStrategy;
+use muse_obs::Metrics;
+use muse_par::scope_map;
 
 /// Fig. 5 paper values: (scenario, strategy) -> (avg questions, % real,
 /// time to obtain Ie in seconds). Avg poss per scenario: 13.1/11/26.7/14.1.
@@ -31,7 +34,8 @@ const PAPER: [(&str, &str, f64, u32, f64); 12] = [
 fn main() {
     let scale = env_scale();
     let seed = env_seed();
-    println!("Fig. 5 — Muse-G over all scenarios, scale factor {scale}");
+    let threads = baseline::arg_threads();
+    println!("Fig. 5 — Muse-G over all scenarios, scale factor {scale}, {threads} thread(s)");
     println!(
         "{:<9} {:<5} {:>9} | {:>7} {:>7} | {:>7} {:>7} | {:>10} {:>9}",
         "Scenario",
@@ -44,13 +48,24 @@ fn main() {
         "avg t(Ie)",
         "(paper)"
     );
-    for scenario in muse_scenarios::all_scenarios() {
-        for strategy in [
-            GroupingStrategy::G1,
-            GroupingStrategy::G2,
-            GroupingStrategy::G3,
-        ] {
-            let cell = fig5_cell(&scenario, strategy, scale, seed);
+    let scenarios = muse_scenarios::all_scenarios();
+    let work: Vec<(usize, GroupingStrategy)> = (0..scenarios.len())
+        .flat_map(|si| {
+            [
+                GroupingStrategy::G1,
+                GroupingStrategy::G2,
+                GroupingStrategy::G3,
+            ]
+            .into_iter()
+            .map(move |g| (si, g))
+        })
+        .collect();
+    let cells = scope_map(work.len(), threads, &Metrics::disabled(), |i| {
+        let (si, strategy) = work[i];
+        fig5_cell(&scenarios[si], strategy, scale, seed)
+    });
+    for ((_, strategy), cell) in work.iter().zip(&cells) {
+        {
             let paper = PAPER
                 .iter()
                 .find(|p| p.0 == cell.scenario && p.1 == strategy.to_string())
@@ -74,6 +89,6 @@ fn main() {
     println!("Shape checks: G1/G3 << poss when keys exist; G2 ~ poss; TPC-H finds");
     println!("(almost) no real examples; retrieval is sub-second.");
     if baseline::wants_json() {
-        baseline::emit("fig5_museg", baseline::fig5_section(scale, seed));
+        baseline::emit("fig5_museg", baseline::fig5_section(scale, seed, threads));
     }
 }

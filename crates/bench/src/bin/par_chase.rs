@@ -1,0 +1,99 @@
+//! Serial vs parallel chase on the largest bench scenario (TPCH).
+//!
+//! Chases the scenario's generated instance with its chase-ready mappings,
+//! once serially and once through `muse_chase::chase_par`, and reports the
+//! wall-clock times, the speedup, and the parallel layer's `par.*`
+//! counters. With `--json` the measurements are merged into
+//! `BENCH_baseline.json` as the `par_chase` section — including
+//! `hw_threads`, the machine's available parallelism, so the recorded
+//! speedup is interpretable (a 1-core container cannot show one).
+//!
+//! Usage: `cargo run --release -p muse-bench --bin par_chase [-- --json] [--threads N]`
+//! (`MUSE_SCALE`/`MUSE_SEED` adjust instance generation; `--threads`
+//! defaults to 4 here, unlike the other binaries' serial default).
+
+use std::time::Instant;
+
+use muse_bench::{baseline, chase_ready_mappings, env_scale, env_seed};
+use muse_chase::{chase, chase_par_with};
+use muse_obs::{Json, Metrics};
+
+/// Timed repetitions per configuration; the minimum is reported.
+const REPS: usize = 3;
+
+fn main() {
+    let scale = env_scale();
+    let seed = env_seed();
+    let threads = muse_par::resolve_threads(baseline::explicit_threads_arg().or(Some(4)));
+    let hw_threads = muse_par::available_parallelism();
+
+    let scenarios = muse_scenarios::all_scenarios();
+    let scenario = scenarios
+        .iter()
+        .find(|s| s.name == "TPCH")
+        .expect("TPCH scenario");
+    let mappings = chase_ready_mappings(scenario);
+    let source = scenario.instance(scenario.default_scale * scale, seed);
+    println!(
+        "Parallel chase — {} at scale {scale} (seed {seed}): {} source tuples, {} mappings",
+        scenario.name,
+        source.total_tuples(),
+        mappings.len()
+    );
+    println!("{threads} worker thread(s), {hw_threads} hardware thread(s)");
+
+    let mut serial_s = f64::INFINITY;
+    let mut tuples = 0;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let out = chase(
+            &scenario.source_schema,
+            &scenario.target_schema,
+            &source,
+            &mappings,
+        )
+        .expect("serial chase");
+        serial_s = serial_s.min(t0.elapsed().as_secs_f64());
+        tuples = out.total_tuples();
+    }
+
+    let metrics = Metrics::enabled();
+    let mut par_s = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let out = chase_par_with(
+            &scenario.source_schema,
+            &scenario.target_schema,
+            &source,
+            &mappings,
+            threads,
+            &metrics,
+        )
+        .expect("parallel chase");
+        par_s = par_s.min(t0.elapsed().as_secs_f64());
+        assert_eq!(out.total_tuples(), tuples, "parallel result diverged");
+    }
+
+    let speedup = serial_s / par_s;
+    println!(
+        "serial {serial_s:.4}s  parallel {par_s:.4}s  speedup {speedup:.2}x  ({tuples} target tuples)"
+    );
+
+    if baseline::wants_json() {
+        baseline::emit(
+            "par_chase",
+            Json::obj(vec![
+                ("scenario", Json::Str(scenario.name.to_string())),
+                ("scale", Json::Num(scale)),
+                ("seed", Json::Int(seed as i64)),
+                ("threads", Json::Int(threads as i64)),
+                ("hw_threads", Json::Int(hw_threads as i64)),
+                ("target_tuples", Json::Int(tuples as i64)),
+                ("serial_s", Json::Num(serial_s)),
+                ("par_s", Json::Num(par_s)),
+                ("speedup", Json::Num(speedup)),
+                ("metrics", metrics.snapshot().to_json()),
+            ]),
+        );
+    }
+}

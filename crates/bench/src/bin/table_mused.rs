@@ -2,10 +2,13 @@
 //! mappings — alternatives encoded, number of questions, example sizes, and
 //! ambiguous values per target instance.
 //!
-//! Usage: `cargo run -p muse-bench --bin table_mused [-- --json]`
-//! (`--json` also merges the results into `BENCH_baseline.json`).
+//! Usage: `cargo run -p muse-bench --bin table_mused [-- --json] [--threads N]`
+//! (`--json` also merges the results into `BENCH_baseline.json`;
+//! `--threads N` or `MUSE_THREADS` runs the scenarios concurrently).
 
 use muse_bench::{baseline, env_scale, env_seed, mused_row, range_str};
+use muse_obs::Metrics;
+use muse_par::scope_map;
 
 /// Paper values: (scenario, alternatives, questions, Ie tuples, # values).
 const PAPER: [(&str, usize, usize, &str, &str); 2] =
@@ -14,7 +17,8 @@ const PAPER: [(&str, usize, usize, &str, &str); 2] =
 fn main() {
     let scale = env_scale();
     let seed = env_seed();
-    println!("Muse-D table (Sec. VI), scale factor {scale}");
+    let threads = baseline::arg_threads();
+    println!("Muse-D table (Sec. VI), scale factor {scale}, {threads} thread(s)");
     println!(
         "{:<9} {:>6} {:>7} | {:>4} {:>6} | {:>9} {:>7} | {:>8} {:>7} | {:>6}",
         "Scenario",
@@ -28,8 +32,12 @@ fn main() {
         "(paper)",
         "real"
     );
-    for scenario in muse_scenarios::all_scenarios() {
-        let Some(row) = mused_row(&scenario, scale, seed) else {
+    let scenarios = muse_scenarios::all_scenarios();
+    let rows = scope_map(scenarios.len(), threads, &Metrics::disabled(), |i| {
+        mused_row(&scenarios[i], scale, seed)
+    });
+    for (scenario, row) in scenarios.iter().zip(rows) {
+        let Some(row) = row else {
             println!(
                 "{:<9} (no ambiguous mappings — as in the paper)",
                 scenario.name
@@ -65,6 +73,6 @@ fn main() {
     println!();
     println!("(The paper reports real examples were found for all Muse-D questions.)");
     if baseline::wants_json() {
-        baseline::emit("table_mused", baseline::mused_section(scale, seed));
+        baseline::emit("table_mused", baseline::mused_section(scale, seed, threads));
     }
 }

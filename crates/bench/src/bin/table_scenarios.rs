@@ -2,11 +2,14 @@
 //! per scenario — size of I, target sets with grouping, number of
 //! mappings, number of ambiguous mappings.
 //!
-//! Usage: `cargo run -p muse-bench --bin table_scenarios [-- --json]`
+//! Usage: `cargo run -p muse-bench --bin table_scenarios [-- --json] [--threads N]`
 //! (`MUSE_SCALE`/`MUSE_SEED` env vars adjust instance generation; `--json`
-//! also merges the results into `BENCH_baseline.json`).
+//! also merges the results into `BENCH_baseline.json`; `--threads N` or
+//! `MUSE_THREADS` runs the scenarios concurrently, `0` = all cores).
 
-use muse_bench::{baseline, env_scale, env_seed, scenario_table};
+use muse_bench::{baseline, env_scale, env_seed, scenario_row};
+use muse_obs::Metrics;
+use muse_par::scope_map;
 
 /// Paper values for side-by-side comparison.
 const PAPER: [(&str, &str, usize, usize, usize); 4] = [
@@ -19,8 +22,12 @@ const PAPER: [(&str, &str, usize, usize, usize); 4] = [
 fn main() {
     let scale = env_scale();
     let seed = env_seed();
-    let rows = scenario_table(scale, seed);
-    println!("Scenario characteristics (Sec. VI), scale factor {scale}");
+    let threads = baseline::arg_threads();
+    let all = muse_scenarios::all_scenarios();
+    let rows = scope_map(all.len(), threads, &Metrics::disabled(), |i| {
+        scenario_row(&all[i], scale, seed)
+    });
+    println!("Scenario characteristics (Sec. VI), scale factor {scale}, {threads} thread(s)");
     println!(
         "{:<10} {:>9} {:>9} | {:>12} {:>6} | {:>9} {:>6} | {:>10} {:>6}",
         "Mapping",
@@ -52,6 +59,9 @@ fn main() {
         );
     }
     if baseline::wants_json() {
-        baseline::emit("table_scenarios", baseline::scenarios_section(scale, seed));
+        baseline::emit(
+            "table_scenarios",
+            baseline::scenarios_section(scale, seed, threads),
+        );
     }
 }

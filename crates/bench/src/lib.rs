@@ -98,6 +98,18 @@ pub fn unambiguous_mappings(scenario: &Scenario) -> Vec<Mapping> {
         .collect()
 }
 
+/// Chase-ready mappings of a scenario: ambiguity resolved to the first
+/// interpretation and missing groupings defaulted, so the chase accepts
+/// them as-is.
+pub fn chase_ready_mappings(scenario: &Scenario) -> Vec<Mapping> {
+    let mut ms = unambiguous_mappings(scenario);
+    for m in &mut ms {
+        m.ensure_default_groupings(&scenario.target_schema, &scenario.source_schema)
+            .expect("default groupings");
+    }
+    ms
+}
+
 /// Run Muse-G over every grouping function of every mapping of `scenario`,
 /// with an oracle designer that has `strategy` in mind, drawing examples
 /// from a generated instance. This regenerates one Fig. 5 row.

@@ -12,10 +12,21 @@ fn sections_merge_and_round_trip() {
     let dir = Path::new(env!("CARGO_TARGET_TMPDIR"));
     let _ = std::fs::remove_file(dir.join(baseline::FILE));
 
-    let path =
-        baseline::update_section_in(dir, "table_scenarios", baseline::scenarios_section(0.02, 1))
-            .unwrap();
-    baseline::update_section_in(dir, "table_mused", baseline::mused_section(0.02, 1)).unwrap();
+    // Resolve the thread count the way the binaries do, so the CI matrix
+    // (MUSE_THREADS=1 / MUSE_THREADS=8) exercises the parallel driver here.
+    let threads = muse_par::resolve_threads(None);
+    let path = baseline::update_section_in(
+        dir,
+        "table_scenarios",
+        baseline::scenarios_section(0.02, 1, threads),
+    )
+    .unwrap();
+    baseline::update_section_in(
+        dir,
+        "table_mused",
+        baseline::mused_section(0.02, 1, threads),
+    )
+    .unwrap();
 
     let text = std::fs::read_to_string(&path).unwrap();
     let root = Json::parse(&text).expect("baseline file parses back");
@@ -79,19 +90,79 @@ fn sections_merge_and_round_trip() {
             > 0
     );
 
-    // Re-emitting a section replaces it in place instead of duplicating it.
+    // Re-emitting a section merges it in place instead of duplicating it.
     baseline::update_section_in(dir, "table_mused", Json::obj(vec![("x", Json::Int(1))])).unwrap();
     let root = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
     let Json::Obj(fields) = &root else {
         panic!("root is an object")
     };
     assert_eq!(fields.iter().filter(|(k, _)| k == "table_mused").count(), 1);
-    assert_eq!(
-        root.get("table_mused")
-            .unwrap()
-            .get("x")
-            .and_then(Json::as_int),
-        Some(1)
+    let tm = root.get("table_mused").unwrap();
+    assert_eq!(tm.get("x").and_then(Json::as_int), Some(1));
+    // Union-merge: the partial re-emit must not drop the section's
+    // previously recorded keys.
+    assert!(
+        tm.get("scenarios").is_some(),
+        "partial section write dropped existing keys: {}",
+        tm.render()
     );
     assert!(root.get("table_scenarios").is_some());
+}
+
+/// Regression test for the section-merge bug: rewriting a section used to
+/// *replace* it wholesale, losing every counter the incoming write did not
+/// itself carry. The merge must be a recursive union — keys from either
+/// side survive, the incoming side wins on leaf conflicts.
+#[test]
+fn section_rewrite_keeps_existing_keys() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("merge_regression");
+    std::fs::create_dir_all(&dir).unwrap();
+    let _ = std::fs::remove_file(dir.join(baseline::FILE));
+
+    let first = Json::obj(vec![
+        ("a", Json::Int(1)),
+        ("b", Json::Int(2)),
+        (
+            "nested",
+            Json::obj(vec![("x", Json::Int(10)), ("y", Json::Int(20))]),
+        ),
+    ]);
+    let second = Json::obj(vec![
+        ("b", Json::Int(5)),
+        ("c", Json::Int(7)),
+        ("nested", Json::obj(vec![("y", Json::Int(99))])),
+    ]);
+    let path = baseline::update_section_in(&dir, "bench", first).unwrap();
+    baseline::update_section_in(&dir, "bench", second).unwrap();
+
+    let root = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let s = root.get("bench").expect("section");
+    // Keys only the first write had survive …
+    assert_eq!(s.get("a").and_then(Json::as_int), Some(1));
+    assert_eq!(
+        s.get("nested").unwrap().get("x").and_then(Json::as_int),
+        Some(10)
+    );
+    // … the second write wins on conflicts …
+    assert_eq!(s.get("b").and_then(Json::as_int), Some(5));
+    assert_eq!(
+        s.get("nested").unwrap().get("y").and_then(Json::as_int),
+        Some(99)
+    );
+    // … and keys only the second write had are present.
+    assert_eq!(s.get("c").and_then(Json::as_int), Some(7));
+}
+
+/// `merge_json` itself: non-object values are replaced, objects union.
+#[test]
+fn merge_json_replaces_leaves_and_unions_objects() {
+    let mut existing = Json::obj(vec![("k", Json::Int(1))]);
+    baseline::merge_json(&mut existing, Json::obj(vec![("k2", Json::Int(2))]));
+    assert_eq!(existing.get("k").and_then(Json::as_int), Some(1));
+    assert_eq!(existing.get("k2").and_then(Json::as_int), Some(2));
+
+    // An object overwritten by a scalar (and vice versa) is replaced.
+    let mut existing = Json::obj(vec![("k", Json::obj(vec![("x", Json::Int(1))]))]);
+    baseline::merge_json(&mut existing, Json::obj(vec![("k", Json::Int(3))]));
+    assert_eq!(existing.get("k").and_then(Json::as_int), Some(3));
 }

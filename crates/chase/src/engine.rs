@@ -8,14 +8,39 @@
 //! * `chase.bindings` — source bindings enumerated across mappings,
 //! * `chase.tuples_emitted` — tuples actually added to the target,
 //! * `chase.dedup_hits` — tuple insertions the target union deduplicated,
-//! * `chase.time` — wall-clock spans per chased mapping.
+//! * `chase.time` — wall-clock spans per chased mapping (serial path),
+//! * `chase.par_time` — wall-clock spans per parallel chase call.
+//!
+//! # Parallel chase
+//!
+//! [`chase_par`] partitions the work of one chase call across a scoped
+//! worker pool ([`muse_par::scope_map`]) and still produces *exactly* the
+//! serial result — same SetIDs, same labeled nulls, same rendering:
+//!
+//! 1. every mapping is prepared (classes, plans, slots) and its source
+//!    bindings enumerated, in parallel across mappings;
+//! 2. each mapping's bindings are cut into contiguous chunks, forming a
+//!    mapping-major list of *units* that concatenates back to the serial
+//!    firing order;
+//! 3. each unit fires into its own private [`Instance`] with its own
+//!    [`muse_nr::TermStore`] — per-worker SetID/null allocation ranges, so
+//!    workers never share a lock or an id counter;
+//! 4. the partial instances are merged serially *in unit order*,
+//!    re-interning each partial store's terms in ascending local-id order.
+//!
+//! Step 4 is what makes the result byte-identical to the serial chase: a
+//! partial store's local-id order is its first-use order, and unit order is
+//! serial binding order, so re-interning walks terms in exactly the order
+//! the serial chase first created them.
 
 use std::collections::BTreeMap;
+use std::ops::Range;
 
 use muse_mapping::{Mapping, PathRef, WhereClause};
-use muse_nr::{Instance, Schema, SetPath, Tuple, Value};
+use muse_nr::{Instance, NullId, Schema, SetId, SetPath, Tuple, Value};
 use muse_obs::{Counter, Metrics};
-use muse_query::evaluate_deadline_with;
+use muse_par::{chunks, scope_map};
+use muse_query::{evaluate_deadline_with, Binding};
 
 use crate::error::ChaseError;
 
@@ -108,6 +133,148 @@ pub fn chase_one_with(
     )
 }
 
+/// Like [`chase`], but with the work partitioned across `threads` scoped
+/// worker threads. Produces exactly the serial result (see the module docs
+/// for the partitioning and merge scheme). `threads <= 1` falls back to the
+/// serial [`chase_with`] path.
+pub fn chase_par(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+    mappings: &[Mapping],
+    threads: usize,
+) -> Result<Instance, ChaseError> {
+    chase_par_with(
+        source_schema,
+        target_schema,
+        source,
+        mappings,
+        threads,
+        &Metrics::disabled(),
+    )
+}
+
+/// Like [`chase_par`], reporting through `metrics`: the serial-chase keys
+/// plus `chase.par_time` and the pool's `par.*` keys.
+pub fn chase_par_with(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+    mappings: &[Mapping],
+    threads: usize,
+    metrics: &Metrics,
+) -> Result<Instance, ChaseError> {
+    if threads <= 1 {
+        return chase_with(source_schema, target_schema, source, mappings, metrics);
+    }
+    let timer = metrics.timer("chase.par_time");
+    let _span = timer.start();
+
+    // Phase 1: prepare every mapping and enumerate its bindings, in
+    // parallel across mappings.
+    let prepared = scope_map(mappings.len(), threads, metrics, |i| {
+        let m = &mappings[i];
+        let p = prepare(source_schema, target_schema, m, metrics)?;
+        let (bindings, _) = evaluate_deadline_with(
+            source_schema,
+            source,
+            &m.source_query(),
+            None,
+            None,
+            metrics,
+        )?;
+        Ok::<_, ChaseError>((p, bindings))
+    });
+    let mut preps: Vec<(Prepared<'_>, Vec<Binding>)> = Vec::with_capacity(mappings.len());
+    for r in prepared {
+        let (p, bindings) = r?;
+        metrics.add("chase.bindings", bindings.len() as u64);
+        preps.push((p, bindings));
+    }
+
+    // Phase 2: cut each mapping's bindings into contiguous chunks. The
+    // mapping-major unit list concatenates back to the serial firing order.
+    let mut units: Vec<(usize, Range<usize>)> = Vec::new();
+    for (mi, (_, bindings)) in preps.iter().enumerate() {
+        for r in chunks(bindings.len(), threads) {
+            units.push((mi, r));
+        }
+    }
+
+    // Phase 3: fire each unit into a private instance with a private term
+    // store (disjoint id ranges — no shared locks). Workers record only
+    // within-unit dedup hits; emission is counted at merge time so the
+    // totals match the serial chase exactly.
+    let dedup_hits = metrics.counter("chase.dedup_hits");
+    let partials = scope_map(units.len(), threads, metrics, |u| {
+        let (mi, range) = &units[u];
+        let (p, bindings) = &preps[*mi];
+        let mut partial = Instance::new(target_schema);
+        let emit = Emit {
+            emitted: Counter::default(),
+            dedup_hits: dedup_hits.clone(),
+        };
+        for binding in &bindings[range.clone()] {
+            fire(p, &mut partial, binding, &emit)?;
+        }
+        Ok::<_, ChaseError>(partial)
+    });
+
+    // Phase 4: serial merge in unit order reproduces the serial interning
+    // order, so ids (and renderings) come out identical to `chase`.
+    let mut target = Instance::new(target_schema);
+    let emit = Emit {
+        emitted: metrics.counter("chase.tuples_emitted"),
+        dedup_hits,
+    };
+    for partial in partials {
+        merge_into(&mut target, &partial?, &emit);
+    }
+    Ok(target)
+}
+
+/// Re-intern one partial instance into `target`. Walking the partial
+/// store's ids in ascending order replays its first-use order; called in
+/// unit order this reproduces the global serial interning order.
+fn merge_into(target: &mut Instance, partial: &Instance, emit: &Emit) {
+    let store = partial.store();
+    let mut null_map: Vec<NullId> = Vec::with_capacity(store.null_count());
+    for nid in store.all_null_ids() {
+        let t = store.null_term(nid).clone();
+        let args = remap_values(&t.args, &null_map, &[]);
+        null_map.push(target.store_mut().null_id(t.tag, args));
+    }
+    let mut set_map: Vec<SetId> = Vec::with_capacity(store.set_count());
+    for sid in store.all_set_ids() {
+        let t = store.set_term(sid).clone();
+        let args = remap_values(&t.args, &null_map, &set_map);
+        set_map.push(target.group(t.set, args));
+    }
+    for sid in partial.set_ids() {
+        let into = set_map[sid.index()];
+        for tuple in partial.tuples(sid) {
+            emit.record(target.insert(into, remap_values(tuple, &null_map, &set_map)));
+        }
+    }
+}
+
+fn remap_values(vs: &[Value], null_map: &[NullId], set_map: &[SetId]) -> Vec<Value> {
+    vs.iter()
+        .map(|v| remap_value(v, null_map, set_map))
+        .collect()
+}
+
+fn remap_value(v: &Value, null_map: &[NullId], set_map: &[SetId]) -> Value {
+    match v {
+        Value::Atom(_) => v.clone(),
+        Value::Null(n) => Value::Null(null_map[n.index()]),
+        Value::Set(s) => Value::Set(set_map[s.index()]),
+        Value::Choice(l, inner) => {
+            Value::Choice(l.clone(), Box::new(remap_value(inner, null_map, set_map)))
+        }
+    }
+}
+
 /// Tiny union-find over target `(var, attr)` projections.
 struct Classes {
     ids: BTreeMap<(usize, String), usize>,
@@ -178,7 +345,21 @@ enum Container {
 /// A nested set the mapping fills: its path and grouping-argument refs.
 struct SetSlot {
     path: SetPath,
-    args: Vec<PathRef>,
+}
+
+/// Everything [`fire`] needs about one mapping, resolved once per chase
+/// call. Borrowed pieces only — cheap to build, safe to share across
+/// worker threads.
+struct Prepared<'m> {
+    m: &'m Mapping,
+    slots: Vec<SetSlot>,
+    /// Per slot: `(source var, attr index)` of each grouping argument.
+    slot_arg_idx: Vec<Vec<(usize, usize)>>,
+    /// Per equivalence class: the `(source var, attr index)` assigned to it.
+    assignment_idx: BTreeMap<usize, (usize, usize)>,
+    /// Per equivalence class: deterministic labeled-null tag.
+    class_tag: BTreeMap<usize, String>,
+    plans: Vec<TVarPlan>,
 }
 
 fn chase_into(
@@ -189,6 +370,34 @@ fn chase_into(
     target: &mut Instance,
     metrics: &Metrics,
 ) -> Result<(), ChaseError> {
+    let p = prepare(source_schema, target_schema, m, metrics)?;
+    let (bindings, _) = evaluate_deadline_with(
+        source_schema,
+        source,
+        &m.source_query(),
+        None,
+        None,
+        metrics,
+    )?;
+    metrics.add("chase.bindings", bindings.len() as u64);
+    let emit = Emit {
+        emitted: metrics.counter("chase.tuples_emitted"),
+        dedup_hits: metrics.counter("chase.dedup_hits"),
+    };
+    for binding in &bindings {
+        fire(&p, target, binding, &emit)?;
+    }
+    Ok(())
+}
+
+/// Validate `m` and resolve its firing plan (equivalence classes, null
+/// tags, set slots, per-target-variable field plans, projection indices).
+fn prepare<'m>(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    m: &'m Mapping,
+    metrics: &Metrics,
+) -> Result<Prepared<'m>, ChaseError> {
     if m.is_ambiguous() {
         return Err(ChaseError::Ambiguous(m.name.clone()));
     }
@@ -234,13 +443,12 @@ fn chase_into(
 
     // --- Set slots (nested target sets with their grouping functions) -----
     let mut slots: Vec<SetSlot> = Vec::new();
+    let mut slot_args: Vec<Vec<PathRef>> = Vec::new();
     let mut slot_of: BTreeMap<SetPath, usize> = BTreeMap::new();
     for (set, g) in &m.groupings {
         slot_of.insert(set.clone(), slots.len());
-        slots.push(SetSlot {
-            path: set.clone(),
-            args: g.args.clone(),
-        });
+        slots.push(SetSlot { path: set.clone() });
+        slot_args.push(g.args.clone());
     }
 
     // --- Per-target-variable plans ----------------------------------------
@@ -288,9 +496,9 @@ fn chase_into(
         Ok(source_schema.attr_index(set, &r.attr)?)
     };
     let mut slot_arg_idx: Vec<Vec<(usize, usize)>> = Vec::with_capacity(slots.len());
-    for s in &slots {
-        let mut v = Vec::with_capacity(s.args.len());
-        for a in &s.args {
+    for args in &slot_args {
+        let mut v = Vec::with_capacity(args.len());
+        for a in args {
             v.push((a.var, src_attr_idx(a)?));
         }
         slot_arg_idx.push(v);
@@ -300,34 +508,14 @@ fn chase_into(
         assignment_idx.insert(*class, (r.var, src_attr_idx(r)?));
     }
 
-    // --- Enumerate bindings and fire ---------------------------------------
-    let (bindings, _) = evaluate_deadline_with(
-        source_schema,
-        source,
-        &m.source_query(),
-        None,
-        None,
-        metrics,
-    )?;
-    metrics.add("chase.bindings", bindings.len() as u64);
-    let emit = Emit {
-        emitted: metrics.counter("chase.tuples_emitted"),
-        dedup_hits: metrics.counter("chase.dedup_hits"),
-    };
-    for binding in &bindings {
-        fire(
-            m,
-            target,
-            &slots,
-            &slot_arg_idx,
-            &assignment_idx,
-            &class_tag,
-            &plans,
-            binding,
-            &emit,
-        )?;
-    }
-    Ok(())
+    Ok(Prepared {
+        m,
+        slots,
+        slot_arg_idx,
+        assignment_idx,
+        class_tag,
+        plans,
+    })
 }
 
 /// Emission counters resolved once per mapping, bumped once per tuple.
@@ -370,18 +558,22 @@ fn project(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Instantiate one source binding's `exists` clause into `target`.
 fn fire(
-    m: &Mapping,
+    p: &Prepared<'_>,
     target: &mut Instance,
-    slots: &[SetSlot],
-    slot_arg_idx: &[Vec<(usize, usize)>],
-    assignment_idx: &BTreeMap<usize, (usize, usize)>,
-    class_tag: &BTreeMap<usize, String>,
-    plans: &[TVarPlan],
     binding: &[Tuple],
     emit: &Emit,
 ) -> Result<(), ChaseError> {
+    let Prepared {
+        m,
+        slots,
+        slot_arg_idx,
+        assignment_idx,
+        class_tag,
+        plans,
+    } = p;
+
     // SetIDs for every filled nested set, per this binding.
     let mut set_ids = Vec::with_capacity(slots.len());
     for (slot, s) in slots.iter().enumerate() {

@@ -20,7 +20,7 @@ pub mod fingerprint;
 pub mod hom;
 
 pub use effect::same_effect_on;
-pub use engine::{chase, chase_one, chase_one_with, chase_with};
+pub use engine::{chase, chase_one, chase_one_with, chase_par, chase_par_with, chase_with};
 pub use error::ChaseError;
 pub use fingerprint::fingerprint;
 pub use hom::{

@@ -1,0 +1,168 @@
+//! Serial-vs-parallel differential harness for the chase.
+//!
+//! For every bundled scenario and a spread of generator seeds, the parallel
+//! chase must agree with the serial chase at several thread counts. Two
+//! levels of agreement are checked:
+//!
+//! * **Isomorphism** (the formal requirement): the instances are equal up
+//!   to a renaming of SetIDs and labeled nulls, via the injective
+//!   homomorphism search of `muse_chase::hom`.
+//! * **Render equality** (what the merge actually guarantees): because the
+//!   merge re-interns partial stores in unit order, the parallel result is
+//!   not merely isomorphic but *identical* — same ids, same rendering.
+
+use muse_chase::{chase, chase_par, isomorphic};
+use muse_mapping::{ambiguity, Mapping};
+use muse_nr::display;
+use muse_scenarios::{all_scenarios, Scenario};
+
+/// Scale factor over each scenario's default size: keeps the full
+/// scenarios × seeds × thread-counts matrix fast while still producing
+/// instances with hundreds of tuples.
+const SCALE: f64 = 0.02;
+
+/// Smaller scale for the isomorphism matrix: the injective homomorphism
+/// search is superlinear in instance size, and the render-equality test
+/// already covers [`SCALE`]-sized instances with a stricter check.
+const ISO_SCALE: f64 = 0.005;
+
+/// The injective homomorphism search recurses once per target tuple, which
+/// overflows the default 2 MiB test-thread stack on chased scenario
+/// instances. Run deep-recursion test bodies on a roomier stack.
+fn with_big_stack(f: impl FnOnce() + Send + 'static) {
+    std::thread::Builder::new()
+        .stack_size(256 * 1024 * 1024)
+        .spawn(f)
+        .expect("spawn big-stack thread")
+        .join()
+        .expect("test body panicked");
+}
+
+/// Chase-ready mappings: ambiguous mappings resolved to their first
+/// interpretation, missing groupings defaulted.
+fn ready_mappings(s: &Scenario) -> Vec<Mapping> {
+    s.mappings()
+        .expect("scenario mappings generate")
+        .iter()
+        .map(|m| {
+            let mut m = if m.is_ambiguous() {
+                let picks = vec![0usize; ambiguity::or_groups(m).len()];
+                ambiguity::select(m, &picks).expect("first interpretation")
+            } else {
+                m.clone()
+            };
+            m.ensure_default_groupings(&s.target_schema, &s.source_schema)
+                .expect("default groupings");
+            m
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_chase_is_isomorphic_to_serial() {
+    with_big_stack(|| {
+        for s in all_scenarios() {
+            let mappings = ready_mappings(&s);
+            for seed in 0..8u64 {
+                let source = s.instance(s.default_scale * ISO_SCALE, seed);
+                let serial = chase(&s.source_schema, &s.target_schema, &source, &mappings)
+                    .unwrap_or_else(|e| panic!("{} seed {seed}: serial chase: {e}", s.name));
+                assert!(
+                    !serial.is_empty(),
+                    "{} seed {seed}: differential test chased an empty instance",
+                    s.name
+                );
+                for threads in [1, 2, 8] {
+                    let par = chase_par(
+                        &s.source_schema,
+                        &s.target_schema,
+                        &source,
+                        &mappings,
+                        threads,
+                    )
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{} seed {seed} threads {threads}: parallel chase: {e}",
+                            s.name
+                        )
+                    });
+                    assert!(
+                        isomorphic(&serial, &par),
+                        "{} seed {seed} threads {threads}: parallel result not isomorphic to serial",
+                        s.name
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn parallel_chase_renders_identically_to_serial() {
+    for s in all_scenarios() {
+        let mappings = ready_mappings(&s);
+        for seed in 0..3u64 {
+            let source = s.instance(s.default_scale * SCALE, seed);
+            let serial = chase(&s.source_schema, &s.target_schema, &source, &mappings).unwrap();
+            let expected = display::render(&s.target_schema, &serial);
+            for threads in [2, 8] {
+                let par = chase_par(
+                    &s.source_schema,
+                    &s.target_schema,
+                    &source,
+                    &mappings,
+                    threads,
+                )
+                .unwrap();
+                let got = display::render(&s.target_schema, &par);
+                assert_eq!(
+                    got, expected,
+                    "{} seed {seed} threads {threads}: parallel render differs from serial",
+                    s.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_chase_counts_match_serial() {
+    use muse_obs::Metrics;
+
+    let s = &all_scenarios()[0];
+    let mappings = ready_mappings(s);
+    let source = s.instance(s.default_scale * SCALE, 1);
+
+    let serial_m = Metrics::enabled();
+    let serial = muse_chase::chase_with(
+        &s.source_schema,
+        &s.target_schema,
+        &source,
+        &mappings,
+        &serial_m,
+    )
+    .unwrap();
+    let par_m = Metrics::enabled();
+    let par = muse_chase::chase_par_with(
+        &s.source_schema,
+        &s.target_schema,
+        &source,
+        &mappings,
+        4,
+        &par_m,
+    )
+    .unwrap();
+
+    assert_eq!(serial.total_tuples(), par.total_tuples());
+    let (sm, pm) = (serial_m.snapshot(), par_m.snapshot());
+    for key in [
+        "chase.mappings",
+        "chase.bindings",
+        "chase.tuples_emitted",
+        "chase.dedup_hits",
+    ] {
+        assert_eq!(sm.counter(key), pm.counter(key), "counter {key} diverged");
+    }
+    assert!(pm.counter("par.rounds") >= 1, "parallel path not exercised");
+    assert!(pm.timers.contains_key("chase.par_time"));
+}

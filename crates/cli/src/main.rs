@@ -4,13 +4,16 @@
 //! muse demo                          the paper's Figs. 1-3, you play designer
 //! muse disambiguate                  Fig. 4's ambiguous mapping, interactively
 //! muse scenario <name> [options]     run the full wizard on an evaluation
-//!                                    scenario (Mondial|DBLP|TPCH|Amalgam)
+//!                                    scenario (Mondial|DBLP|TPCH|Amalgam, or
+//!                                    `all` with --strategy for every one)
 //! muse design --source <file> --target <file> --corr <file>
 //!                                    the wizard on your own schemas (see
 //!                                    examples/schemas/)
 //!     --strategy g1|g2|g3            oracle designer instead of you (default: interactive)
 //!     --scale <f>                    instance scale factor (default 0.1)
 //!     --seed <n>                     generator seed (default 1)
+//!     --threads <n>                  worker threads for `scenario all`
+//!                                    (default MUSE_THREADS or 1; 0 = all cores)
 //!     --metrics                      print per-stage counters/timings after the run
 //! ```
 
@@ -47,11 +50,14 @@ fn usage() {
     println!("  muse demo                      design SKProjs for the paper's running example");
     println!("  muse disambiguate              resolve the ambiguous mapping of Fig. 4");
     println!("  muse scenario <name> [opts]    full wizard on Mondial|DBLP|TPCH|Amalgam");
+    println!("                                 (`all` + --strategy runs every scenario)");
     println!("  muse design --source S --target T --corr C [--data DIR] [--out F]");
     println!("                                 full wizard on your own schema files");
     println!("      --strategy g1|g2|g3        answer with an oracle instead of interactively");
     println!("      --scale <f>                instance scale (default 0.1)");
     println!("      --seed <n>                 generator seed (default 1)");
+    println!("      --threads <n>              workers for `scenario all` (0 = all cores,");
+    println!("                                 default MUSE_THREADS or 1)");
     println!("      --metrics                  print stage counters/timings after the run");
 }
 

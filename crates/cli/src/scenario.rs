@@ -1,11 +1,16 @@
 //! `muse scenario <name>`: run the full wizard (Sec. V) over one of the
-//! evaluation scenarios, interactively or with a strategy oracle.
+//! evaluation scenarios, interactively or with a strategy oracle. The
+//! pseudo-scenario `all` runs every scenario, concurrently when
+//! `--threads`/`MUSE_THREADS` allows (oracle mode only — interactive
+//! sessions cannot share a terminal).
 
+use std::fmt::Write as _;
 use std::io::{stdin, stdout};
 
 use muse_cliogen::{desired_grouping, GroupingStrategy};
 use muse_mapping::ambiguity::{or_groups, select_multi};
 use muse_obs::Metrics;
+use muse_par::scope_map;
 use muse_scenarios::Scenario;
 use muse_wizard::{InteractiveDesigner, OracleDesigner, Session};
 
@@ -15,6 +20,7 @@ struct Options {
     scale: f64,
     seed: u64,
     metrics: bool,
+    threads: Option<usize>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -24,6 +30,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         scale: 0.1,
         seed: 1,
         metrics: false,
+        threads: None,
     };
     let mut i = 1;
     while i < args.len() {
@@ -56,6 +63,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or("--seed needs a number")?;
                 i += 2;
             }
+            "--threads" => {
+                opts.threads = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--threads needs a number")?,
+                );
+                i += 2;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -71,17 +86,117 @@ pub fn run(args: &[String]) -> i32 {
         }
     };
     let scenarios = muse_scenarios::all_scenarios();
+
+    if opts.name.eq_ignore_ascii_case("all") {
+        let Some(strategy) = opts.strategy else {
+            eprintln!(
+                "`muse scenario all` needs --strategy g1|g2|g3: \
+                 interactive sessions cannot run concurrently"
+            );
+            return 2;
+        };
+        let threads = muse_par::resolve_threads(opts.threads);
+        println!(
+            "Running all {} scenarios with strategy oracle on {} thread(s)…\n",
+            scenarios.len(),
+            threads
+        );
+        // Each session buffers its transcript; outputs print in scenario
+        // order whatever the completion order was.
+        let outputs = scope_map(scenarios.len(), threads, &Metrics::disabled(), |i| {
+            run_oracle(&scenarios[i], strategy, &opts)
+        });
+        let mut code = 0;
+        for out in outputs {
+            match out {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    code = 1;
+                }
+            }
+        }
+        return code;
+    }
+
     let Some(scenario) = scenarios
         .iter()
         .find(|s| s.name.eq_ignore_ascii_case(&opts.name))
     else {
         eprintln!(
-            "unknown scenario `{}` (try Mondial, DBLP, TPCH, Amalgam)",
+            "unknown scenario `{}` (try Mondial, DBLP, TPCH, Amalgam, all)",
             opts.name
         );
         return 2;
     };
 
+    match opts.strategy {
+        Some(strategy) => match run_oracle(scenario, strategy, &opts) {
+            Ok(text) => {
+                print!("{text}");
+                0
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                1
+            }
+        },
+        None => run_interactive(scenario, &opts),
+    }
+}
+
+/// One oracle-driven session, its whole transcript buffered so concurrent
+/// sessions do not interleave on stdout.
+fn run_oracle(
+    scenario: &Scenario,
+    strategy: GroupingStrategy,
+    opts: &Options,
+) -> Result<String, String> {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Generating the {} instance (scale {}) and candidate mappings…",
+        scenario.name, opts.scale
+    )
+    .unwrap();
+    let instance = scenario.instance(scenario.default_scale * opts.scale, opts.seed);
+    let mappings = scenario
+        .mappings()
+        .map_err(|e| format!("{}: mapping generation failed: {e}", scenario.name))?;
+    writeln!(
+        out,
+        "Instance: {} tuples ({:.2} MB). {} candidate mappings, {} ambiguous.\n",
+        instance.total_tuples(),
+        instance.approx_bytes() as f64 / 1_000_000.0,
+        mappings.len(),
+        mappings.iter().filter(|m| m.is_ambiguous()).count()
+    )
+    .unwrap();
+
+    let metrics = if opts.metrics {
+        Metrics::enabled()
+    } else {
+        Metrics::disabled()
+    };
+    let session = Session::new(
+        &scenario.source_schema,
+        &scenario.target_schema,
+        &scenario.source_constraints,
+    )
+    .with_instance(&instance)
+    .with_metrics(&metrics);
+    let mut oracle = oracle_for(scenario, &mappings, strategy);
+    let report = session
+        .run(&mappings, &mut oracle)
+        .map_err(|e| format!("{}: wizard failed: {e}", scenario.name))?;
+    writeln!(out, "\n{}", muse_wizard::render_report(&report)).unwrap();
+    if metrics.is_enabled() {
+        writeln!(out, "=== Metrics ===\n{}", metrics.snapshot().render()).unwrap();
+    }
+    Ok(out)
+}
+
+fn run_interactive(scenario: &Scenario, opts: &Options) -> i32 {
     println!(
         "Generating the {} instance (scale {}) and candidate mappings…",
         scenario.name, opts.scale
@@ -115,23 +230,14 @@ pub fn run(args: &[String]) -> i32 {
     .with_instance(&instance)
     .with_metrics(&metrics);
 
-    let report = match opts.strategy {
-        Some(strategy) => {
-            let mut oracle = oracle_for(scenario, &mappings, strategy);
-            session.run(&mappings, &mut oracle)
-        }
-        None => {
-            let stdin = stdin();
-            let mut designer = InteractiveDesigner::new(
-                stdin.lock(),
-                stdout(),
-                scenario.source_schema.clone(),
-                scenario.target_schema.clone(),
-            );
-            session.run(&mappings, &mut designer)
-        }
-    };
-    match report {
+    let stdin = stdin();
+    let mut designer = InteractiveDesigner::new(
+        stdin.lock(),
+        stdout(),
+        scenario.source_schema.clone(),
+        scenario.target_schema.clone(),
+    );
+    match session.run(&mappings, &mut designer) {
         Ok(report) => {
             println!("\n{}", muse_wizard::render_report(&report));
             if metrics.is_enabled() {

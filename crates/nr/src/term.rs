@@ -128,6 +128,16 @@ impl TermStore {
         self.nulls.len()
     }
 
+    /// All interned set ids, in interning (ascending id) order.
+    pub fn all_set_ids(&self) -> impl Iterator<Item = SetId> {
+        (0..self.sets.len() as u32).map(SetId)
+    }
+
+    /// All interned null ids, in interning (ascending id) order.
+    pub fn all_null_ids(&self) -> impl Iterator<Item = NullId> {
+        (0..self.nulls.len() as u32).map(NullId)
+    }
+
     /// All set ids whose term instantiates the given set path.
     pub fn set_ids_of(&self, path: &SetPath) -> Vec<SetId> {
         (0..self.sets.len() as u32)

@@ -1,0 +1,163 @@
+//! The scoped worker pool: an index-ordered parallel map.
+//!
+//! [`scope_map`] runs `f(0), f(1), …, f(n-1)` over a pool of scoped
+//! threads that pull item indices from a shared atomic cursor (the
+//! cheapest possible form of work stealing — every idle worker "steals"
+//! the next unclaimed index). Results land in per-item slots, so the
+//! returned vector is ordered by *input index*, not completion order:
+//! callers get deterministic output no matter how the scheduler
+//! interleaves the workers.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use muse_obs::Metrics;
+
+/// Map `f` over `0..n_items` with up to `threads` scoped worker threads,
+/// returning the results in index order.
+///
+/// With `threads <= 1` (or fewer than two items) the closure runs inline
+/// on the caller's thread and no metrics are recorded — the serial path
+/// stays exactly the serial path. Parallel rounds record `par.rounds`,
+/// `par.workers`, `par.items` and `par.steal_ns` through `metrics`.
+///
+/// Panics in `f` propagate to the caller once every worker has joined
+/// (the guarantee of [`std::thread::scope`]).
+pub fn scope_map<T, F>(n_items: usize, threads: usize, metrics: &Metrics, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(n_items);
+    if workers <= 1 {
+        return (0..n_items).map(f).collect();
+    }
+    metrics.incr("par.rounds");
+    metrics.add("par.workers", workers as u64);
+    metrics.add("par.items", n_items as u64);
+    let steal_ns = metrics.counter("par.steal_ns");
+    let timed = metrics.is_enabled();
+
+    let cursor = AtomicUsize::new(0);
+    // One slot per item; each is locked exactly once (the cursor hands every
+    // index to exactly one worker), so the mutexes never contend.
+    let slots: Vec<Mutex<Option<T>>> = (0..n_items).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let start = timed.then(Instant::now);
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if let Some(t0) = start {
+                    steal_ns.add(t0.elapsed().as_nanos() as u64);
+                }
+                if i >= n_items {
+                    break;
+                }
+                let value = f(i);
+                let prev = slots[i].lock().expect("slot poisoned").replace(value);
+                debug_assert!(prev.is_none(), "item {i} claimed twice");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every claimed slot is filled")
+        })
+        .collect()
+}
+
+/// Split `0..len` into at most `parts` contiguous ranges of near-equal
+/// size (the first `len % parts` ranges are one longer). Used to chunk a
+/// mapping's bindings across workers; concatenating the ranges in order
+/// re-yields `0..len`, which is what keeps the parallel chase's merge
+/// deterministic.
+pub fn chunks(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_ordered() {
+        for threads in [1, 2, 4, 9] {
+            let out = scope_map(20, threads, &Metrics::disabled(), |i| i * i);
+            assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn serial_fallback_handles_empty_and_single() {
+        assert_eq!(
+            scope_map(0, 8, &Metrics::disabled(), |i| i),
+            Vec::<usize>::new()
+        );
+        assert_eq!(scope_map(1, 8, &Metrics::disabled(), |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn parallel_rounds_report_metrics() {
+        let m = Metrics::enabled();
+        let _ = scope_map(16, 4, &m, |i| i);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("par.rounds"), 1);
+        assert_eq!(snap.counter("par.workers"), 4);
+        assert_eq!(snap.counter("par.items"), 16);
+        // steal_ns was touched (it may legitimately be 0 on a fast clock,
+        // but the key must exist).
+        assert!(snap.counters.contains_key("par.steal_ns"));
+    }
+
+    #[test]
+    fn serial_rounds_report_nothing() {
+        let m = Metrics::enabled();
+        let _ = scope_map(16, 1, &m, |i| i);
+        assert_eq!(m.snapshot().counter("par.rounds"), 0);
+    }
+
+    #[test]
+    fn workers_share_the_load() {
+        // All items complete even with far more items than workers.
+        let sum: usize = scope_map(1000, 3, &Metrics::disabled(), |i| i).iter().sum();
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for (len, parts) in [(0, 4), (1, 4), (7, 3), (8, 3), (9, 3), (100, 7), (3, 10)] {
+            let cs = chunks(len, parts);
+            let mut covered = 0;
+            for (i, c) in cs.iter().enumerate() {
+                assert_eq!(c.start, covered, "len={len} parts={parts} chunk {i}");
+                covered = c.end;
+            }
+            assert_eq!(covered, len, "len={len} parts={parts}");
+            if len > 0 {
+                assert!(cs.len() <= parts.max(1));
+                let sizes: Vec<usize> = cs.iter().map(ExactSizeIterator::len).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "near-equal sizes: {sizes:?}");
+            }
+        }
+    }
+}

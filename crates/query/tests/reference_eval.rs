@@ -1,0 +1,275 @@
+//! Differential property test: the planned, index-accelerated [`evaluate`]
+//! must agree with a trivially-correct reference evaluator — a naive nested
+//! loop over the full cross product that checks every predicate only on
+//! complete rows. Instances and queries are generated from seeded SplitMix64
+//! streams, so every failure is reproducible from its seed.
+
+use muse_nr::{Field, Instance, InstanceBuilder, Schema, SetPath, Tuple, Ty, Value};
+use muse_obs::Rng;
+use muse_query::{evaluate, evaluate_all, Binding, Operand, Query};
+
+/// Small alphabets force collisions, so joins actually match.
+const TAGS: [&str; 3] = ["a", "b", "c"];
+const KEYS: i64 = 4;
+
+/// Roots `Items` (with a nested `Subs` set) and `Pairs`; every attribute the
+/// queries touch is atomic, as `Query::validate` requires.
+fn ref_schema() -> Schema {
+    Schema::new(
+        "RefDB",
+        vec![
+            Field::new(
+                "Items",
+                Ty::set_of(vec![
+                    Field::new("k", Ty::Int),
+                    Field::new("tag", Ty::Str),
+                    Field::new(
+                        "Subs",
+                        Ty::set_of(vec![Field::new("sk", Ty::Int), Field::new("stag", Ty::Str)]),
+                    ),
+                ]),
+            ),
+            Field::new(
+                "Pairs",
+                Ty::set_of(vec![Field::new("k", Ty::Int), Field::new("tag", Ty::Str)]),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+fn random_instance(schema: &Schema, rng: &mut Rng) -> Instance {
+    let mut b = InstanceBuilder::new(schema);
+    // 0..=4 items; group keys deliberately collide so some parents share a
+    // `Subs` set (a legal instance shape the evaluator must handle).
+    for _ in 0..rng.index(5) {
+        let sid = b.group("Items.Subs", vec![Value::int(rng.range(0, 3))]);
+        for _ in 0..rng.index(4) {
+            b.push(
+                sid,
+                vec![Value::int(rng.range(0, KEYS)), Value::str(*rng.pick(&TAGS))],
+            );
+        }
+        b.push_top(
+            "Items",
+            vec![
+                Value::int(rng.range(0, KEYS)),
+                Value::str(*rng.pick(&TAGS)),
+                Value::Set(sid),
+            ],
+        );
+    }
+    for _ in 0..rng.index(6) {
+        b.push_top(
+            "Pairs",
+            vec![Value::int(rng.range(0, KEYS)), Value::str(*rng.pick(&TAGS))],
+        );
+    }
+    b.finish().unwrap()
+}
+
+/// Which attribute of a variable's set carries each predicate type.
+#[derive(Clone, Copy)]
+enum VarKind {
+    Items,
+    Pairs,
+    Sub,
+}
+
+impl VarKind {
+    fn attr(self, int: bool) -> &'static str {
+        match (self, int) {
+            (VarKind::Items | VarKind::Pairs, true) => "k",
+            (VarKind::Items | VarKind::Pairs, false) => "tag",
+            (VarKind::Sub, true) => "sk",
+            (VarKind::Sub, false) => "stag",
+        }
+    }
+}
+
+/// A random conjunctive query: 1–3 top-level variables over `Items`/`Pairs`,
+/// sometimes a child variable over an item's `Subs`, and random equality /
+/// inequality predicates that are type-consistent (int with int, str with
+/// str) so they are satisfiable often enough to be interesting.
+fn random_query(rng: &mut Rng) -> Query {
+    let mut q = Query::new();
+    let mut kinds = Vec::new();
+    for v in 0..1 + rng.index(3) {
+        if rng.chance(0.5) {
+            q.var(format!("v{v}"), SetPath::parse("Items"));
+            kinds.push(VarKind::Items);
+        } else {
+            q.var(format!("v{v}"), SetPath::parse("Pairs"));
+            kinds.push(VarKind::Pairs);
+        }
+    }
+    let items: Vec<usize> = kinds
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| matches!(k, VarKind::Items))
+        .map(|(v, _)| v)
+        .collect();
+    if !items.is_empty() && rng.chance(0.6) {
+        let parent = *rng.pick(&items);
+        q.child_var("s", parent, "Subs");
+        kinds.push(VarKind::Sub);
+    }
+
+    let operand = |rng: &mut Rng, int: bool, kinds: &[VarKind]| -> Operand {
+        if rng.chance(0.7) {
+            let v = rng.index(kinds.len());
+            Operand::proj(v, kinds[v].attr(int))
+        } else if int {
+            Operand::Const(Value::int(rng.range(0, KEYS)))
+        } else {
+            Operand::Const(Value::str(*rng.pick(&TAGS)))
+        }
+    };
+    for _ in 0..rng.index(3) {
+        let int = rng.chance(0.5);
+        let (a, b) = (operand(rng, int, &kinds), operand(rng, int, &kinds));
+        q.add_eq(a, b);
+    }
+    for _ in 0..rng.index(2) {
+        let int = rng.chance(0.5);
+        let (a, b) = (operand(rng, int, &kinds), operand(rng, int, &kinds));
+        q.add_neq(a, b);
+    }
+    q
+}
+
+/// The reference: enumerate the full cross product in declaration order
+/// (parents precede children, so the parent tuple is always on the stack
+/// when a child variable is reached) and keep the rows where every equality
+/// holds and every inequality fails to hold. No plan, no indexes, no early
+/// predicate placement — nothing to get wrong.
+fn naive_eval(schema: &Schema, inst: &Instance, q: &Query) -> Vec<Binding> {
+    let parent_field: Vec<Option<(usize, usize)>> = q
+        .vars
+        .iter()
+        .map(|qv| {
+            qv.parent.as_ref().map(|(p, field)| {
+                let rcd = schema.element_record(&q.vars[*p].set).unwrap();
+                (*p, rcd.field_index(field).unwrap())
+            })
+        })
+        .collect();
+    let value_of = |row: &[Tuple], op: &Operand| -> Value {
+        match op {
+            Operand::Const(v) => v.clone(),
+            Operand::Proj { var, attr } => {
+                let idx = schema.attr_index(&q.vars[*var].set, attr).unwrap();
+                row[*var][idx].clone()
+            }
+        }
+    };
+    let keep = |row: &[Tuple]| {
+        q.eqs
+            .iter()
+            .all(|(a, b)| value_of(row, a) == value_of(row, b))
+            && q.neqs
+                .iter()
+                .all(|(a, b)| value_of(row, a) != value_of(row, b))
+    };
+
+    let mut out = Vec::new();
+    let mut stack: Vec<Tuple> = Vec::new();
+    descend(inst, q, &parent_field, &keep, &mut stack, &mut out);
+    out
+}
+
+fn descend(
+    inst: &Instance,
+    q: &Query,
+    parent_field: &[Option<(usize, usize)>],
+    keep: &dyn Fn(&[Tuple]) -> bool,
+    stack: &mut Vec<Tuple>,
+    out: &mut Vec<Binding>,
+) {
+    let v = stack.len();
+    if v == q.vars.len() {
+        if keep(stack) {
+            out.push(stack.clone());
+        }
+        return;
+    }
+    let candidates: Vec<Tuple> = match parent_field[v] {
+        Some((p, fidx)) => match stack[p].get(fidx) {
+            Some(Value::Set(sid)) => inst.tuples(*sid).cloned().collect(),
+            _ => Vec::new(),
+        },
+        None => inst
+            .tuples_of_path(&q.vars[v].set)
+            .map(|(_, t)| t.clone())
+            .collect(),
+    };
+    for t in candidates {
+        stack.push(t);
+        descend(inst, q, parent_field, keep, stack, out);
+        stack.pop();
+    }
+}
+
+fn sorted(mut rows: Vec<Binding>) -> Vec<Binding> {
+    rows.sort();
+    rows
+}
+
+/// The workhorse: across many seeds, the engine's full result set is exactly
+/// the reference's, as multisets. Covers equalities (proj–proj and
+/// proj–const), inequalities, joins, child variables, empty instances, and
+/// shared sub-sets — whatever each seed happens to draw.
+#[test]
+fn evaluate_agrees_with_naive_reference() {
+    let schema = ref_schema();
+    let (mut eq_preds, mut neq_preds, mut child_vars, mut nonempty) = (0, 0, 0, 0);
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let inst = random_instance(&schema, &mut rng);
+        let q = random_query(&mut rng);
+        q.validate(&schema).expect("generated query is valid");
+        eq_preds += q.eqs.len();
+        neq_preds += q.neqs.len();
+        child_vars += q.vars.iter().filter(|v| v.parent.is_some()).count();
+
+        let expect = sorted(naive_eval(&schema, &inst, &q));
+        let got = sorted(evaluate_all(&schema, &inst, &q).expect("evaluate"));
+        assert_eq!(got, expect, "seed {seed}: engine diverged from reference");
+        nonempty += usize::from(!expect.is_empty());
+    }
+    // The generator must actually exercise what this test claims to cover.
+    assert!(eq_preds > 10, "too few equality predicates: {eq_preds}");
+    assert!(neq_preds > 5, "too few inequality predicates: {neq_preds}");
+    assert!(child_vars > 5, "too few child variables: {child_vars}");
+    assert!(nonempty > 10, "too few non-empty results: {nonempty}");
+}
+
+/// Row limits: a limited evaluation is exactly a prefix of the engine's own
+/// deterministic unlimited order, and every returned row is a genuine
+/// answer (member of the reference result).
+#[test]
+fn row_limits_return_prefixes_of_the_full_result() {
+    let schema = ref_schema();
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed);
+        let inst = random_instance(&schema, &mut rng);
+        let q = random_query(&mut rng);
+
+        let full = evaluate_all(&schema, &inst, &q).expect("evaluate");
+        let reference = naive_eval(&schema, &inst, &q);
+        for limit in [0, 1, 2, 5, full.len() + 1] {
+            let limited = evaluate(&schema, &inst, &q, Some(limit)).expect("limited evaluate");
+            assert_eq!(
+                limited,
+                full[..limit.min(full.len())],
+                "seed {seed}, limit {limit}: not a prefix of the unlimited run"
+            );
+            for row in &limited {
+                assert!(
+                    reference.contains(row),
+                    "seed {seed}, limit {limit}: row not in the reference result"
+                );
+            }
+        }
+    }
+}

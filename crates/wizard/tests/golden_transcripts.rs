@@ -1,0 +1,288 @@
+//! Golden-transcript tests: scripted Muse-G and Muse-D sessions on the
+//! paper's running example (CompDB → OrgDB, Figs. 1–4), with every question
+//! rendered exactly as a designer would see it and every answer recorded.
+//! The transcripts are diffed byte-for-byte against the committed files in
+//! `tests/golden/` — any change to question wording, example construction,
+//! probe order, or chase output shows up as a readable diff.
+//!
+//! Regenerate after an *intended* change with:
+//!
+//! ```text
+//! MUSE_BLESS=1 cargo test -p muse-wizard --test golden_transcripts
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use muse_mapping::{parse_one, Mapping, PathRef};
+use muse_nr::{Constraints, Field, Key, Schema, SetPath, Ty};
+use muse_wizard::{
+    Designer, DisambiguationQuestion, GroupingQuestion, MuseD, MuseG, OracleDesigner,
+    ScenarioChoice, ScriptedDesigner, WizardError,
+};
+
+fn compdb() -> Schema {
+    Schema::new(
+        "CompDB",
+        vec![
+            Field::new(
+                "Companies",
+                Ty::set_of(vec![
+                    Field::new("cid", Ty::Int),
+                    Field::new("cname", Ty::Str),
+                    Field::new("location", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Projects",
+                Ty::set_of(vec![
+                    Field::new("pid", Ty::Str),
+                    Field::new("pname", Ty::Str),
+                    Field::new("cid", Ty::Int),
+                    Field::new("manager", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                    Field::new("contact", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+fn orgdb() -> Schema {
+    Schema::new(
+        "OrgDB",
+        vec![
+            Field::new(
+                "Orgs",
+                Ty::set_of(vec![
+                    Field::new("oname", Ty::Str),
+                    Field::new(
+                        "Projects",
+                        Ty::set_of(vec![
+                            Field::new("pname", Ty::Str),
+                            Field::new("manager", Ty::Str),
+                        ]),
+                    ),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+/// The paper's mapping m2 (Fig. 2), groupings defaulted.
+fn m2() -> Mapping {
+    let mut m = parse_one(
+        "m2: for c in CompDB.Companies, p in CompDB.Projects, e in CompDB.Employees
+             satisfy p.cid = c.cid and e.eid = p.manager
+             exists o in OrgDB.Orgs, p1 in o.Projects, e1 in OrgDB.Employees
+             satisfy p1.manager = e1.eid
+             where c.cname = o.oname and e.eid = e1.eid and e.ename = e1.ename
+               and p.pname = p1.pname",
+    )
+    .unwrap();
+    m.ensure_default_groupings(&orgdb(), &compdb()).unwrap();
+    m
+}
+
+fn keyed() -> Constraints {
+    Constraints {
+        keys: vec![
+            Key::new(SetPath::parse("Companies"), vec!["cid"]),
+            Key::new(SetPath::parse("Projects"), vec!["pid"]),
+            Key::new(SetPath::parse("Employees"), vec!["eid"]),
+        ],
+        fds: vec![],
+        fks: vec![],
+    }
+}
+
+/// A designer that records every question (rendered exactly as shown to a
+/// human) and every answer, delegating the decisions to `inner`.
+struct Recorder<'a, D> {
+    inner: D,
+    source: &'a Schema,
+    target: &'a Schema,
+    log: String,
+}
+
+impl<'a, D> Recorder<'a, D> {
+    fn new(inner: D, source: &'a Schema, target: &'a Schema) -> Self {
+        Recorder {
+            inner,
+            source,
+            target,
+            log: String::new(),
+        }
+    }
+}
+
+impl<D: Designer> Designer for Recorder<'_, D> {
+    fn pick_scenario(&mut self, q: &GroupingQuestion) -> Result<ScenarioChoice, WizardError> {
+        self.log.push_str(&q.render(self.source, self.target));
+        let answer = self.inner.pick_scenario(q)?;
+        let n = match answer {
+            ScenarioChoice::First => 1,
+            ScenarioChoice::Second => 2,
+        };
+        writeln!(self.log, "Answer: Scenario {n}\n").unwrap();
+        Ok(answer)
+    }
+
+    fn fill_choices(&mut self, q: &DisambiguationQuestion) -> Result<Vec<Vec<usize>>, WizardError> {
+        self.log.push_str(&q.render(self.source, self.target));
+        let picks = self.inner.fill_choices(q)?;
+        writeln!(self.log, "Answer: {picks:?}\n").unwrap();
+        Ok(picks)
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Diff `transcript` against the committed golden file, or rewrite the file
+/// when `MUSE_BLESS` is set.
+fn assert_golden(name: &str, transcript: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("MUSE_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, transcript).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); run with MUSE_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    if transcript != expected {
+        // Point at the first diverging line so the failure is actionable
+        // without rerunning under a diff tool.
+        let line = transcript
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, b)| a != b)
+            .map_or_else(
+                || transcript.lines().count().min(expected.lines().count()),
+                |i| i + 1,
+            );
+        panic!(
+            "transcript diverges from {} at line {line}:\n\
+             --- expected ---\n{expected}\n--- actual ---\n{transcript}\n\
+             (bless the new transcript with MUSE_BLESS=1 if the change is intended)",
+            path.display()
+        );
+    }
+}
+
+/// Muse-G on m2 with source keys: the designer holds SKProjs(cname) in
+/// mind, so the key probe (pid) is rejected and the seven remaining class
+/// representatives are probed — eight questions, exactly the Sec. III-B
+/// walkthrough. No real instance is attached, so every example is the
+/// deterministic synthetic one and the transcript is stable.
+#[test]
+fn museg_session_matches_golden_transcript() {
+    let (src, tgt) = (compdb(), orgdb());
+    let cons = keyed();
+    let g = MuseG::new(&src, &tgt, &cons);
+    let m = m2();
+    let sk = SetPath::parse("Orgs.Projects");
+
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intend_grouping("m2", sk.clone(), vec![PathRef::new(0, "cname")]);
+    let mut rec = Recorder::new(oracle, &src, &tgt);
+
+    writeln!(
+        rec.log,
+        "=== Muse-G session: mapping m2, set Orgs.Projects ===\n"
+    )
+    .unwrap();
+    let out = g.design_grouping(&m, &sk, &mut rec).unwrap();
+    let names: Vec<String> = out.grouping.iter().map(|r| m.source_ref_name(r)).collect();
+    writeln!(
+        rec.log,
+        "Inferred grouping: SKProjs({})\n\
+         Questions asked: {} (of {} candidate references; {} skipped as implied)",
+        names.join(", "),
+        out.questions,
+        out.poss_size,
+        out.skipped_implied
+    )
+    .unwrap();
+
+    assert_eq!(out.grouping, vec![PathRef::new(0, "cname")]);
+    assert_golden("museg_m2_cname.txt", &rec.log);
+}
+
+/// Muse-D on the Fig. 4-style ambiguous m2 (oname may map from cname or
+/// location): one question with a choice list, scripted to pick the first
+/// alternative. The synthetic example and the partial target with its
+/// labeled-null "blanks" are part of the golden transcript.
+#[test]
+fn mused_session_matches_golden_transcript() {
+    let (src, tgt) = (compdb(), orgdb());
+    let cons = keyed();
+    let mut m = m2();
+    m.wheres.remove(0);
+    m.or_group(
+        PathRef::new(0, "oname"),
+        vec![PathRef::new(0, "cname"), PathRef::new(0, "location")],
+    );
+    assert!(m.is_ambiguous());
+
+    let d = MuseD::new(&src, &tgt, &cons);
+    let mut scripted = ScriptedDesigner::default();
+    scripted.choices.push_back(vec![vec![0]]);
+    let mut rec = Recorder::new(scripted, &src, &tgt);
+
+    writeln!(rec.log, "=== Muse-D session: mapping m2 ===\n").unwrap();
+    let out = d.disambiguate(&m, &mut rec).unwrap();
+    writeln!(
+        rec.log,
+        "Interpretations encoded: {}\nSelected mappings: {}",
+        out.alternatives_encoded,
+        out.selected.len()
+    )
+    .unwrap();
+
+    assert_eq!(out.selected.len(), 1);
+    assert!(!out.selected[0].is_ambiguous());
+    assert_golden("mused_m2_oname.txt", &rec.log);
+}
+
+/// The transcripts really are reproducible: a second identical session
+/// yields byte-identical output (guards against nondeterminism sneaking
+/// into example construction or rendering).
+#[test]
+fn museg_transcript_is_deterministic() {
+    let (src, tgt) = (compdb(), orgdb());
+    let cons = keyed();
+    let g = MuseG::new(&src, &tgt, &cons);
+    let m = m2();
+    let sk = SetPath::parse("Orgs.Projects");
+    let run = || {
+        let mut oracle = OracleDesigner::new(&src, &tgt);
+        oracle.intend_grouping("m2", sk.clone(), vec![PathRef::new(0, "cname")]);
+        let mut rec = Recorder::new(oracle, &src, &tgt);
+        g.design_grouping(&m, &sk, &mut rec).unwrap();
+        rec.log
+    };
+    assert_eq!(run(), run());
+}
