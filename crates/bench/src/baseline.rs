@@ -247,6 +247,43 @@ pub fn mused_section(scale: f64, seed: u64, threads: usize) -> Json {
     section(scale, seed, threads, &driver, scenarios)
 }
 
+/// The `lint` section: per-scenario diagnostic tallies from the static
+/// analyzer plus its `lint.*` counters and the `lint.analysis_time` timer.
+/// Lint is instance-free, so there is no scale/seed; scenarios run
+/// concurrently on `threads` workers.
+pub fn lint_section(threads: usize) -> Json {
+    let driver = Metrics::enabled();
+    let all = muse_scenarios::all_scenarios();
+    let scenarios = scope_map(all.len(), threads, &driver, |i| {
+        let s = &all[i];
+        let metrics = Metrics::enabled();
+        let mappings = s.mappings().expect("scenario mappings generate");
+        let input = muse_lint::LintInput {
+            source_schema: &s.source_schema,
+            source_constraints: &s.source_constraints,
+            target_schema: &s.target_schema,
+            target_constraints: &s.target_constraints,
+            mappings: &mappings,
+        };
+        let report = muse_lint::lint_with(&input, &metrics);
+        (
+            s.name.to_string(),
+            Json::obj(vec![
+                ("mappings", Json::Int(mappings.len() as i64)),
+                ("errors", Json::Int(report.errors() as i64)),
+                ("warnings", Json::Int(report.warnings() as i64)),
+                ("infos", Json::Int(report.infos() as i64)),
+                ("metrics", metrics.snapshot().to_json()),
+            ]),
+        )
+    });
+    Json::obj(vec![
+        ("threads", Json::Int(threads as i64)),
+        ("driver", driver.snapshot().to_json()),
+        ("scenarios", Json::Obj(scenarios)),
+    ])
+}
+
 /// The `ablations` section: key-aware question savings, G2 real-example
 /// availability, and the Muse-D decisions-vs-instances counts. Scenarios
 /// run concurrently on `threads` workers.
@@ -274,7 +311,7 @@ pub fn ablations_section(scale: f64, seed: u64, threads: usize) -> Json {
         let mut instances = 0usize;
         for m in ms.iter().filter(|m| m.is_ambiguous()) {
             decisions += muse_mapping::ambiguity::or_groups(m).len();
-            instances += muse_mapping::ambiguity::alternatives_count(m);
+            instances += muse_lint::ambiguity::alternatives_count(m);
         }
         (
             s.name.to_string(),

@@ -70,7 +70,7 @@ fn main() {
         let mut instances = 0usize;
         for m in ms.iter().filter(|m| m.is_ambiguous()) {
             decisions += or_groups(m).len();
-            instances += muse_mapping::ambiguity::alternatives_count(m);
+            instances += muse_lint::ambiguity::alternatives_count(m);
         }
         if instances == 0 {
             continue;

@@ -1,0 +1,46 @@
+//! Benchmark the static analyzer (`muse-lint`) over the four evaluation
+//! scenarios: per-scenario diagnostic tallies and analysis time. Lint runs
+//! on schemas, constraints and mappings only — no instance is generated, so
+//! `MUSE_SCALE`/`MUSE_SEED` have no effect here.
+//!
+//! Usage: `cargo run --release -p muse-bench --bin lint_bench [-- --json] [--threads N]`
+//! (`--json` also merges a `lint` section into `BENCH_baseline.json`).
+
+use muse_bench::baseline;
+use muse_obs::Metrics;
+
+fn main() {
+    let threads = baseline::arg_threads();
+
+    println!("== muse-lint: diagnostics per scenario ==");
+    println!(
+        "{:<9} | {:>8} {:>6} {:>8} {:>5} | {:>12}",
+        "Scenario", "mappings", "errors", "warnings", "info", "analysis"
+    );
+    for scenario in muse_scenarios::all_scenarios() {
+        let metrics = Metrics::enabled();
+        let mappings = scenario.mappings().expect("scenario mappings generate");
+        let input = muse_lint::LintInput {
+            source_schema: &scenario.source_schema,
+            source_constraints: &scenario.source_constraints,
+            target_schema: &scenario.target_schema,
+            target_constraints: &scenario.target_constraints,
+            mappings: &mappings,
+        };
+        let report = muse_lint::lint_with(&input, &metrics);
+        let snap = metrics.snapshot();
+        println!(
+            "{:<9} | {:>8} {:>6} {:>8} {:>5} | {:>10.3}ms",
+            scenario.name,
+            mappings.len(),
+            report.errors(),
+            report.warnings(),
+            report.infos(),
+            snap.timer("lint.analysis_time").nanos as f64 / 1_000_000.0
+        );
+    }
+
+    if baseline::wants_json() {
+        baseline::emit("lint", baseline::lint_section(threads));
+    }
+}

@@ -16,7 +16,8 @@
 use std::time::Duration;
 
 use muse_cliogen::{desired_grouping, GroupingStrategy};
-use muse_mapping::ambiguity::{alternatives_count, or_groups};
+use muse_lint::ambiguity::alternatives_count;
+use muse_mapping::ambiguity::or_groups;
 use muse_mapping::Mapping;
 use muse_obs::Metrics;
 use muse_scenarios::Scenario;

@@ -30,6 +30,7 @@ struct Options {
     data: Option<PathBuf>,
     out: Option<PathBuf>,
     metrics: bool,
+    lint_deny: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -39,11 +40,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut data = None;
     let mut out = None;
     let mut metrics = false;
+    let mut lint_deny = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
         if flag == "--metrics" {
             metrics = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--lint-deny" {
+            lint_deny = true;
             i += 1;
             continue;
         }
@@ -67,6 +74,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         data,
         out,
         metrics,
+        lint_deny,
     })
 }
 
@@ -112,6 +120,14 @@ pub fn run(args: &[String]) -> i32 {
             correspondences: &correspondences,
         };
         let mappings = generate(&spec).map_err(|e| format!("mapping generation: {e}"))?;
+        let lint_input = muse_lint::LintInput {
+            source_schema: &source_schema,
+            source_constraints: &source_cons,
+            target_schema: &target_schema,
+            target_constraints: &target_cons,
+            mappings: &mappings,
+        };
+        crate::lint::preflight(&lint_input, opts.lint_deny)?;
         println!(
             "Generated {} candidate mappings ({} ambiguous).\n",
             mappings.len(),

@@ -1,0 +1,167 @@
+//! `muse lint <name|all>`: the static analyzer over a scenario's schemas,
+//! constraints, and Clio-generated candidate mappings. No instance is
+//! generated and no wizard runs — this is the preflight a designer (or CI)
+//! uses before spending questions on a broken bundle.
+//!
+//! ```text
+//! muse lint Mondial                 human-readable diagnostics
+//! muse lint all --json              stable JSON, keyed by scenario
+//! muse lint all --deny-warnings     exit 1 on warnings too (CI gate)
+//! ```
+
+use muse_lint::{lint, LintInput, LintReport};
+use muse_obs::Json;
+use muse_scenarios::Scenario;
+
+struct Options {
+    name: String,
+    json: bool,
+    deny_warnings: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        name: args.first().cloned().ok_or("missing scenario name")?,
+        json: false,
+        deny_warnings: false,
+    };
+    for arg in &args[1..] {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Lint one scenario's bundle: generate its candidate mappings and run the
+/// four analysis passes over them.
+fn lint_scenario(scenario: &Scenario) -> Result<LintReport, String> {
+    let mappings = scenario
+        .mappings()
+        .map_err(|e| format!("{}: mapping generation failed: {e}", scenario.name))?;
+    let input = LintInput {
+        source_schema: &scenario.source_schema,
+        source_constraints: &scenario.source_constraints,
+        target_schema: &scenario.target_schema,
+        target_constraints: &scenario.target_constraints,
+        mappings: &mappings,
+    };
+    Ok(lint(&input))
+}
+
+/// Preflight hook for `muse scenario` / `muse design`: run the analyzer
+/// before the wizard, surface warnings and errors on stderr, and abort on
+/// errors (always) or warnings (only with `--lint-deny`). Info-level
+/// findings stay quiet here — `muse lint` shows them.
+pub(crate) fn preflight(input: &LintInput, deny_warnings: bool) -> Result<(), String> {
+    let report = lint(input);
+    for d in &report.diagnostics {
+        if d.severity >= muse_lint::Severity::Warning {
+            eprintln!("{}", d.render());
+        }
+    }
+    if report.should_deny(deny_warnings) {
+        Err(format!(
+            "lint preflight failed: {} error(s), {} warning(s){} — \
+             run `muse lint` for the full report",
+            report.errors(),
+            report.warnings(),
+            if deny_warnings && report.errors() == 0 {
+                " (--lint-deny treats warnings as fatal)"
+            } else {
+                ""
+            }
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+pub fn run(args: &[String]) -> i32 {
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let scenarios = muse_scenarios::all_scenarios();
+    let selected: Vec<&Scenario> = if opts.name.eq_ignore_ascii_case("all") {
+        scenarios.iter().collect()
+    } else {
+        match scenarios
+            .iter()
+            .find(|s| s.name.eq_ignore_ascii_case(&opts.name))
+        {
+            Some(s) => vec![s],
+            None => {
+                eprintln!(
+                    "unknown scenario `{}` (try Mondial, DBLP, TPCH, Amalgam, all)",
+                    opts.name
+                );
+                return 2;
+            }
+        }
+    };
+
+    let mut denied = false;
+    let mut sections: Vec<(&str, Json)> = Vec::new();
+    for scenario in selected {
+        let report = match lint_scenario(scenario) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        if report.should_deny(opts.deny_warnings) {
+            denied = true;
+        }
+        if opts.json {
+            sections.push((scenario.name, report.to_json()));
+        } else {
+            println!("=== {} ===", scenario.name);
+            print!("{}", report.render());
+            println!();
+        }
+    }
+    if opts.json {
+        println!("{}", Json::obj(sections).render_pretty());
+    }
+    if denied {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse() {
+        let o = parse_args(&["all".into(), "--json".into(), "--deny-warnings".into()]).unwrap();
+        assert_eq!(o.name, "all");
+        assert!(o.json);
+        assert!(o.deny_warnings);
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["all".into(), "--nope".into()]).is_err());
+    }
+
+    #[test]
+    fn every_scenario_lints_without_errors() {
+        for s in muse_scenarios::all_scenarios() {
+            let report = lint_scenario(&s).unwrap();
+            assert!(
+                report.is_clean(),
+                "{}: {} errors\n{}",
+                s.name,
+                report.errors(),
+                report.render()
+            );
+        }
+    }
+}

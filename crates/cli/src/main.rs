@@ -6,6 +6,9 @@
 //! muse scenario <name> [options]     run the full wizard on an evaluation
 //!                                    scenario (Mondial|DBLP|TPCH|Amalgam, or
 //!                                    `all` with --strategy for every one)
+//! muse lint <name|all> [--json] [--deny-warnings]
+//!                                    static analysis over a scenario's
+//!                                    schemas, constraints and mappings
 //! muse design --source <file> --target <file> --corr <file>
 //!                                    the wizard on your own schemas (see
 //!                                    examples/schemas/)
@@ -21,6 +24,7 @@ use std::io::{stdin, stdout, Write};
 
 mod demo;
 mod design;
+mod lint;
 mod scenario;
 
 fn main() {
@@ -30,6 +34,7 @@ fn main() {
         Some("disambiguate") => demo::run_disambiguate(),
         Some("scenario") => scenario::run(&args[1..]),
         Some("design") => design::run(&args[1..]),
+        Some("lint") => lint::run(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             usage();
             0
@@ -51,6 +56,8 @@ fn usage() {
     println!("  muse disambiguate              resolve the ambiguous mapping of Fig. 4");
     println!("  muse scenario <name> [opts]    full wizard on Mondial|DBLP|TPCH|Amalgam");
     println!("                                 (`all` + --strategy runs every scenario)");
+    println!("  muse lint <name|all> [--json] [--deny-warnings]");
+    println!("                                 static analysis (diagnostics, no wizard)");
     println!("  muse design --source S --target T --corr C [--data DIR] [--out F]");
     println!("                                 full wizard on your own schema files");
     println!("      --strategy g1|g2|g3        answer with an oracle instead of interactively");
@@ -59,6 +66,8 @@ fn usage() {
     println!("      --threads <n>              workers for `scenario all` (0 = all cores,");
     println!("                                 default MUSE_THREADS or 1)");
     println!("      --metrics                  print stage counters/timings after the run");
+    println!("      --lint-deny                abort scenario/design runs on lint warnings");
+    println!("                                 (lint errors always abort)");
 }
 
 /// Shared stdin/stdout prompt helper.

@@ -21,6 +21,7 @@ struct Options {
     seed: u64,
     metrics: bool,
     threads: Option<usize>,
+    lint_deny: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -31,12 +32,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         seed: 1,
         metrics: false,
         threads: None,
+        lint_deny: false,
     };
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--metrics" => {
                 opts.metrics = true;
+                i += 1;
+            }
+            "--lint-deny" => {
+                opts.lint_deny = true;
                 i += 1;
             }
             "--strategy" => {
@@ -88,6 +94,11 @@ pub fn run(args: &[String]) -> i32 {
     let scenarios = muse_scenarios::all_scenarios();
 
     if opts.name.eq_ignore_ascii_case("all") {
+        for scenario in &scenarios {
+            if let Some(code) = preflight(scenario, opts.lint_deny) {
+                return code;
+            }
+        }
         let Some(strategy) = opts.strategy else {
             eprintln!(
                 "`muse scenario all` needs --strategy g1|g2|g3: \
@@ -130,6 +141,10 @@ pub fn run(args: &[String]) -> i32 {
         return 2;
     };
 
+    if let Some(code) = preflight(scenario, opts.lint_deny) {
+        return code;
+    }
+
     match opts.strategy {
         Some(strategy) => match run_oracle(scenario, strategy, &opts) {
             Ok(text) => {
@@ -142,6 +157,33 @@ pub fn run(args: &[String]) -> i32 {
             }
         },
         None => run_interactive(scenario, &opts),
+    }
+}
+
+/// Lint the scenario's bundle before spending any designer questions on
+/// it. Errors always abort; warnings abort only under `--lint-deny`.
+/// Returns the exit code to bail with, or `None` to proceed.
+fn preflight(scenario: &Scenario, lint_deny: bool) -> Option<i32> {
+    let mappings = match scenario.mappings() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{}: mapping generation failed: {e}", scenario.name);
+            return Some(1);
+        }
+    };
+    let input = muse_lint::LintInput {
+        source_schema: &scenario.source_schema,
+        source_constraints: &scenario.source_constraints,
+        target_schema: &scenario.target_schema,
+        target_constraints: &scenario.target_constraints,
+        mappings: &mappings,
+    };
+    match crate::lint::preflight(&input, lint_deny) {
+        Ok(()) => None,
+        Err(e) => {
+            eprintln!("{}: {e}", scenario.name);
+            Some(1)
+        }
     }
 }
 

@@ -374,7 +374,8 @@ mod tests {
         let ambiguous: Vec<&Mapping> = ms.iter().filter(|m| m.is_ambiguous()).collect();
         assert_eq!(ambiguous.len(), 1);
         let ma = ambiguous[0];
-        assert_eq!(muse_mapping::ambiguity::alternatives_count(ma), 4);
+        let groups = muse_mapping::ambiguity::or_groups(ma);
+        assert_eq!(groups.iter().map(|(_, a)| a.len()).product::<usize>(), 4);
         let groups = muse_mapping::ambiguity::or_groups(ma);
         assert_eq!(groups.len(), 2);
         assert!(groups.iter().all(|(_, alts)| alts.len() == 2));

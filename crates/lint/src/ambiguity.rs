@@ -1,0 +1,173 @@
+//! Pass 3 — ambiguity and question-budget analysis.
+//!
+//! Codes:
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | `MUSE-A001` | info | a target attribute with an `or`-group of n alternatives |
+//! | `MUSE-A002` | info / warning | worst-case alternative-target-instance count (warning past 64) |
+//! | `MUSE-A003` | info | Muse-G question budget per nested set, after key/FD pruning |
+//! | `MUSE-A004` | error | `poss` exceeds the 128-attribute FD engine |
+//! | `MUSE-A005` | error | non-key attributes determine key attributes (multi-key case) |
+//!
+//! `MUSE-A002` is the count the paper uses to motivate Muse-D (Sec. IV): an
+//! ambiguous mapping with or-groups of sizes `n1…nk` stands for `Πni`
+//! alternative target instances, and a naive tool would show them all. The
+//! question budget of `MUSE-A003` is computed in [`crate::budget`] by
+//! replaying Muse-G's pruning statically.
+
+use muse_mapping::{Mapping, WhereClause};
+
+use crate::budget;
+use crate::diag::Diagnostic;
+use crate::LintInput;
+
+/// Or-group choice counts above this are escalated from info to warning:
+/// past it, enumerating alternatives (what a designer without Muse-D would
+/// face) stops being reviewable.
+pub const ALTERNATIVES_WARN_LIMIT: usize = 64;
+
+/// Number of alternative interpretations (Sec. IV): the product of the
+/// or-group sizes. A mapping without or-groups has exactly one.
+///
+/// This subsumes the counting logic that used to live in
+/// `mapping::ambiguity`; the enumeration/selection machinery
+/// (`or_groups`, `select`, `interpretations`) remains there.
+pub fn alternatives_count(m: &Mapping) -> usize {
+    or_group_sizes(m).iter().map(|&(_, n)| n.max(1)).product()
+}
+
+/// The or-groups of `m` as `(where-clause index, alternative count)` pairs.
+pub fn or_group_sizes(m: &Mapping) -> Vec<(usize, usize)> {
+    m.wheres
+        .iter()
+        .enumerate()
+        .filter_map(|(i, w)| match w {
+            WhereClause::OrGroup { alternatives, .. } => Some((i, alternatives.len())),
+            WhereClause::Eq { .. } => None,
+        })
+        .collect()
+}
+
+/// Run the pass over every mapping.
+pub fn check(input: &LintInput, out: &mut Vec<Diagnostic>) {
+    for m in input.mappings {
+        check_or_groups(m, out);
+        budget::check(m, input, out);
+    }
+}
+
+fn check_or_groups(m: &Mapping, out: &mut Vec<Diagnostic>) {
+    let sizes = or_group_sizes(m);
+    for (i, n) in &sizes {
+        let target = m.wheres[*i].target();
+        let name = m
+            .target_vars
+            .get(target.var)
+            .map(|v| format!("{}.{}", v.name, target.attr))
+            .unwrap_or_else(|| format!("#{}.{}", target.var, target.attr));
+        out.push(Diagnostic::info(
+            "MUSE-A001",
+            format!("mappings/{}/where[{}]", m.name, i),
+            format!("target attribute {name} is ambiguous: {n} alternative source attributes"),
+        ));
+    }
+    if sizes.is_empty() {
+        return;
+    }
+    let total = alternatives_count(m);
+    let d = if total > ALTERNATIVES_WARN_LIMIT {
+        Diagnostic::warning(
+            "MUSE-A002",
+            format!("mappings/{}", m.name),
+            format!(
+                "mapping stands for {total} alternative target instances \
+                 (past the reviewable limit of {ALTERNATIVES_WARN_LIMIT})"
+            ),
+        )
+        .with_suggestion("run Muse-D: it disambiguates in at most ⌈log2⌉ questions per or-group")
+    } else {
+        Diagnostic::info(
+            "MUSE-A002",
+            format!("mappings/{}", m.name),
+            format!("mapping stands for {total} alternative target instances"),
+        )
+    };
+    out.push(d);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{self, OwnedInput};
+    use muse_mapping::PathRef;
+
+    fn diags(owned: &OwnedInput) -> Vec<Diagnostic> {
+        let input = owned.as_input();
+        let mut out = Vec::new();
+        check(&input, &mut out);
+        out
+    }
+
+    /// m2 with `o.oname` contested by cname and location (the paper's m1/m2
+    /// ambiguity, folded into one or-mapping).
+    fn ambiguous_m2() -> Mapping {
+        let mut m = fixtures::m2();
+        m.wheres.remove(0); // drop the plain cname = oname clause
+        m.or_group(
+            PathRef::new(0, "oname"),
+            vec![PathRef::new(0, "cname"), PathRef::new(0, "location")],
+        );
+        m
+    }
+
+    #[test]
+    fn count_matches_or_group_product() {
+        assert_eq!(alternatives_count(&fixtures::m2()), 1);
+        assert_eq!(alternatives_count(&ambiguous_m2()), 2);
+    }
+
+    #[test]
+    fn or_groups_report_a001_and_a002() {
+        let owned = OwnedInput::fig1(vec![ambiguous_m2()]);
+        let ds = diags(&owned);
+        let a1: Vec<_> = ds.iter().filter(|d| d.code == "MUSE-A001").collect();
+        assert_eq!(a1.len(), 1, "{ds:?}");
+        assert!(a1[0].message.contains("2 alternative"));
+        let a2: Vec<_> = ds.iter().filter(|d| d.code == "MUSE-A002").collect();
+        assert_eq!(a2.len(), 1);
+        assert_eq!(a2[0].severity, crate::Severity::Info);
+    }
+
+    #[test]
+    fn unambiguous_mapping_has_no_a002() {
+        let owned = OwnedInput::fig1(vec![fixtures::m2()]);
+        let ds = diags(&owned);
+        assert!(!ds.iter().any(|d| d.code == "MUSE-A002"), "{ds:?}");
+    }
+
+    #[test]
+    fn huge_products_escalate_to_warning() {
+        let mut m = fixtures::m2();
+        // Seven independent 3-way choices: 3^7 = 2187 > 64. The groups are
+        // artificial (conflicting targets are beside the point here).
+        for i in 0..7 {
+            m.or_group(
+                PathRef::new(1, format!("a{i}")),
+                vec![
+                    PathRef::new(0, "cid"),
+                    PathRef::new(0, "cname"),
+                    PathRef::new(0, "location"),
+                ],
+            );
+        }
+        assert_eq!(alternatives_count(&m), 2187);
+        let owned = OwnedInput::fig1(vec![m]);
+        let ds = diags(&owned);
+        let a2 = ds
+            .iter()
+            .find(|d| d.code == "MUSE-A002")
+            .expect("A002 emitted");
+        assert_eq!(a2.severity, crate::Severity::Warning);
+    }
+}

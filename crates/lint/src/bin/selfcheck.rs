@@ -1,0 +1,345 @@
+//! Workspace self-check: the repo's own panic-freedom lint.
+//!
+//! Scans every crate's library sources (`crates/*/src` plus the root
+//! `src/`) and enforces:
+//!
+//! * `SC001` — no `.unwrap()` in designer-reachable library code,
+//! * `SC002` — no `.expect("…")` (string-literal form only, so
+//!   user-defined `expect` methods like the mapping parser's stay legal),
+//! * `SC003` — no `panic!(` invocations,
+//! * `SC004` — no `todo!(` / `unimplemented!(` anywhere in lib code.
+//!
+//! SC001–SC003 apply to the crates whose code runs inside a designer
+//! session (`mapping`, `wizard`, `chase` and this crate); SC004 applies
+//! workspace-wide. Exempt: `bin/`, `tests/`, `benches/` directories,
+//! `tests.rs` files, `#[cfg(test)]` modules, comments and string literals.
+//! A finding is waived by `// lint:allow(SCxxx)` on the same or the
+//! preceding line, which by convention states the invariant making the
+//! site infallible.
+//!
+//! Zero dependencies, `std` only; exits non-zero listing `file:line` for
+//! every finding so CI output is directly clickable.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose library code must never panic (a designer session runs
+/// through them); SC004 applies to every scanned crate regardless.
+const NO_PANIC_CRATES: &[&str] = &["mapping", "wizard", "chase", "lint"];
+
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    code: &'static str,
+    what: String,
+}
+
+fn main() -> ExitCode {
+    // crates/lint/src/bin/selfcheck.rs → repo root is three levels up
+    // from the manifest dir.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up");
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(e) => {
+            eprintln!("selfcheck: cannot read {}: {e}", crates_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let no_panic = NO_PANIC_CRATES.contains(&name.as_str());
+        scan_dir(&dir.join("src"), no_panic, &mut findings, &mut scanned);
+    }
+    // The root muse-suite package's lib code.
+    scan_dir(&root.join("src"), false, &mut findings, &mut scanned);
+
+    if findings.is_empty() {
+        println!("selfcheck: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        for f in &findings {
+            println!("{}:{}: [{}] {}", f.file.display(), f.line, f.code, f.what);
+        }
+        println!(
+            "selfcheck: {} finding(s) in {scanned} files (waive provably-infallible \
+             sites with `// lint:allow(SCxxx)` and a one-line invariant)",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Recursively scan `.rs` files under `dir`, skipping exempt locations.
+fn scan_dir(dir: &Path, no_panic: bool, findings: &mut Vec<Finding>, scanned: &mut usize) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = rd.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            if matches!(name.as_deref(), Some("bin" | "tests" | "benches")) {
+                continue;
+            }
+            scan_dir(&path, no_panic, findings, scanned);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if path.file_name().is_some_and(|n| n == "tests.rs") {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            *scanned += 1;
+            scan_file(&path, &text, no_panic, findings);
+        }
+    }
+}
+
+fn scan_file(path: &Path, text: &str, no_panic: bool, findings: &mut Vec<Finding>) {
+    let code_only = strip_non_code(text);
+    let masked = mask_test_modules(&code_only);
+    let src_lines: Vec<&str> = text.lines().collect();
+
+    let mut checks: Vec<(&'static str, &'static str, &'static str)> = vec![
+        ("SC004", "todo!(", "todo! in library code"),
+        ("SC004", "unimplemented!(", "unimplemented! in library code"),
+    ];
+    if no_panic {
+        checks.push(("SC001", ".unwrap()", "unwrap() in designer-reachable code"));
+        checks.push(("SC002", ".expect(\"", "expect() in designer-reachable code"));
+        checks.push(("SC003", "panic!(", "panic! in designer-reachable code"));
+    }
+
+    for (lineno, line) in masked.lines().enumerate() {
+        for &(code, pat, what) in &checks {
+            if !line.contains(pat) {
+                continue;
+            }
+            let allow = format!("lint:allow({code})");
+            let waived = src_lines.get(lineno).is_some_and(|l| l.contains(&allow))
+                || (lineno > 0
+                    && src_lines
+                        .get(lineno - 1)
+                        .is_some_and(|l| l.contains(&allow)));
+            if !waived {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line: lineno + 1,
+                    code,
+                    what: what.to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Replace comments, string literals and char literals with spaces,
+/// preserving line structure, so pattern checks only see real code.
+fn strip_non_code(text: &str) -> String {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let b = text.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match st {
+            St::Code => match c {
+                b'/' if b.get(i + 1) == Some(&b'/') => {
+                    st = St::LineComment;
+                    out.push(b' ');
+                }
+                b'/' if b.get(i + 1) == Some(&b'*') => {
+                    st = St::BlockComment(1);
+                    out.push(b' ');
+                }
+                b'"' => {
+                    st = St::Str;
+                    // Keep the quote itself so `.expect("` keeps its shape.
+                    out.push(b'"');
+                }
+                b'r' if matches!(b.get(i + 1), Some(&b'"') | Some(&b'#')) => {
+                    // Possible raw string r"…" / r#"…"#.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') {
+                        st = St::RawStr(hashes);
+                        out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(c);
+                }
+                b'\'' => {
+                    // Char literal vs. lifetime: a lifetime is 'ident not
+                    // followed by a closing quote.
+                    let is_lifetime = b
+                        .get(i + 1)
+                        .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_')
+                        && b.get(i + 2) != Some(&b'\'');
+                    if is_lifetime {
+                        out.push(c);
+                    } else {
+                        st = St::Char;
+                        out.push(b' ');
+                    }
+                }
+                _ => out.push(c),
+            },
+            St::LineComment => {
+                if c == b'\n' {
+                    st = St::Code;
+                    out.push(c);
+                } else {
+                    out.push(b' ');
+                }
+            }
+            St::BlockComment(depth) => {
+                if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                    continue;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                    continue;
+                } else if c == b'\n' {
+                    out.push(c);
+                } else {
+                    out.push(b' ');
+                }
+            }
+            St::Str => match c {
+                b'\\' => {
+                    out.push(b' ');
+                    if b.get(i + 1).is_some() {
+                        out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
+                        i += 2;
+                        continue;
+                    }
+                }
+                b'"' => {
+                    st = St::Code;
+                    // Keep the closing quote so `.expect("` keeps its shape.
+                    out.push(b'"');
+                }
+                b'\n' => out.push(c),
+                _ => out.push(b' '),
+            },
+            St::RawStr(hashes) => {
+                if c == b'"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if b.get(i + 1 + k) != Some(&b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        st = St::Code;
+                        out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+                out.push(if c == b'\n' { b'\n' } else { b' ' });
+            }
+            St::Char => match c {
+                b'\\' => {
+                    out.push(b' ');
+                    if b.get(i + 1).is_some() {
+                        out.push(b' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                b'\'' => {
+                    st = St::Code;
+                    out.push(b' ');
+                }
+                _ => out.push(b' '),
+            },
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Blank out `#[cfg(test)]`-guarded items (test modules and helpers) by
+/// brace counting on comment/string-stripped text.
+fn mask_test_modules(code: &str) -> String {
+    let mut lines: Vec<String> = code.lines().map(str::to_owned).collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let trimmed = lines[i].trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            // Blank from here until the guarded item's braces balance.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                let line = std::mem::take(&mut lines[j]);
+                for ch in line.bytes() {
+                    match ch {
+                        b'{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                // A brace-less guarded item (`#[cfg(test)] use …;`) ends at
+                // its semicolon.
+                let ends_item = !opened && line.trim_end().ends_with(';');
+                j += 1;
+                if (opened && depth <= 0) || ends_item {
+                    break;
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    lines.join("\n")
+}

@@ -1,0 +1,426 @@
+//! Static Muse-G question budgets (`MUSE-A003`/`A004`/`A005`).
+//!
+//! Muse-G (paper Sec. III) designs one grouping function per nested target
+//! set by probing attributes of `poss(m, SK)` with yes/no data examples,
+//! pruning with the source keys/FDs: equality classes collapse to one
+//! representative, candidate keys short-circuit the probe order
+//! (Cor. 3.3), and FD-implied attributes are skipped (Thm. 3.2). This
+//! module replays that accounting *statically* — no instance, no designer —
+//! to bound the number of questions before a session starts:
+//!
+//! * **single candidate key** — the wizard probes the key's classes first.
+//!   Accepting them all closes the probe early (lower bound = |key|);
+//!   rejecting everything walks every class (upper bound = #classes).
+//! * **multiple candidate keys** — one scenario question decides key vs.
+//!   non-key grouping (lower bound = 1); the non-key branch then probes
+//!   every non-key class (upper bound = 1 + #non-key classes).
+//!
+//! The same analysis statically predicts the two wizard failure modes:
+//! `poss` wider than the 128-bit FD engine (`MUSE-A004` ↔
+//! `WizardError::TooManyAttributes`) and non-key attributes determining
+//! key attributes in the multi-key case (`MUSE-A005` ↔
+//! `WizardError::UnsupportedGrouping`).
+//!
+//! The class/FD structure here deliberately mirrors the wizard's
+//! `ClassSpace` (`muse-wizard` depends on this crate, so the replica lives
+//! on this side); `tests/lint_property.rs` in the root suite
+//! pins the two together.
+
+use std::collections::BTreeMap;
+
+use muse_mapping::poss::all_source_refs;
+use muse_mapping::{Mapping, PathRef};
+use muse_nr::constraints::fdset::{all_attrs, attrs, iter_attrs, AttrSet, FdSet};
+use muse_nr::{Constraints, Schema, SetPath};
+
+use crate::diag::Diagnostic;
+use crate::LintInput;
+
+/// Why a budget could not be computed — each variant maps to the
+/// `WizardError` the session would die with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetIssue {
+    /// `poss` has more than 128 references (`WizardError::TooManyAttributes`).
+    TooManyAttributes(usize),
+    /// Non-key attributes functionally determine key attributes
+    /// (`WizardError::UnsupportedGrouping`).
+    NonKeyDeterminesKey,
+    /// A source variable's set is unknown — reported by pass 1 already.
+    UnresolvedMapping,
+}
+
+/// The static question budget of one mapping (identical for every nested
+/// set the mapping fills: `poss` spans the whole `for` clause).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuestionBudget {
+    /// |poss(m, ·)|.
+    pub poss_size: usize,
+    /// Number of equality classes (probe candidates after class pruning).
+    pub classes: usize,
+    /// Number of canonical candidate keys of the poss FD engine.
+    pub candidate_keys: usize,
+    /// Fewest questions any designer-answer sequence can take.
+    pub lower: usize,
+    /// Most questions any designer-answer sequence can take.
+    pub upper: usize,
+}
+
+/// The class/FD structure of one mapping's source side: `poss`, the
+/// equality classes the `satisfy` clause induces, and the FD engine over
+/// poss indices. A designer-free replica of the wizard's `ClassSpace`.
+pub(crate) struct PossSpace {
+    /// `poss(m, ·)` in canonical order.
+    pub poss: Vec<PathRef>,
+    /// Class representative per poss index.
+    pub rep: Vec<usize>,
+    /// Per-variable keys/FDs plus equality classes as two-way FDs.
+    pub fdset: FdSet,
+}
+
+impl PossSpace {
+    /// Index of a reference in `poss`.
+    pub fn index_of(&self, r: &PathRef) -> Option<usize> {
+        self.poss.iter().position(|p| p == r)
+    }
+}
+
+/// Compute the Muse-G question budget for `m`.
+pub fn question_budget(
+    m: &Mapping,
+    source_schema: &Schema,
+    cons: &Constraints,
+) -> Result<QuestionBudget, BudgetIssue> {
+    let space = poss_space(m, source_schema, cons)?;
+    let n = space.poss.len();
+    if n == 0 {
+        return Ok(QuestionBudget {
+            poss_size: 0,
+            classes: 0,
+            candidate_keys: 0,
+            lower: 0,
+            upper: 0,
+        });
+    }
+    let rep = &space.rep;
+    let fdset = &space.fdset;
+
+    let reps: Vec<usize> = (0..n).filter(|&i| rep[i] == i).collect();
+
+    // Candidate keys canonicalized to class representatives, de-duplicated
+    // — the wizard's `canonical_keys`.
+    let keys: Vec<AttrSet> = {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for key in fdset.candidate_keys() {
+            let canon: AttrSet = iter_attrs(key)
+                .map(|i| attrs([rep[i]]))
+                .fold(0, |a, b| a | b);
+            if seen.insert(canon) {
+                out.push(canon);
+            }
+        }
+        out
+    };
+
+    let (lower, upper) = if keys.len() == 1 {
+        // Cor. 3.3: probe the key classes first. All-yes answers close the
+        // probe as soon as the key is chosen; all-no answers walk every
+        // class.
+        (iter_attrs(keys[0]).count(), reps.len())
+    } else {
+        // One scenario question decides key vs. non-key grouping; the
+        // non-key branch probes each non-key class.
+        let union_keys: AttrSet = keys.iter().fold(0, |a, k| a | k);
+        let non_key = all_attrs(n) & !union_keys;
+        if fdset.closure(non_key) & union_keys != 0 {
+            return Err(BudgetIssue::NonKeyDeterminesKey);
+        }
+        let non_key_reps = reps.iter().filter(|&&i| non_key & attrs([i]) != 0).count();
+        (1, 1 + non_key_reps)
+    };
+
+    Ok(QuestionBudget {
+        poss_size: n,
+        classes: reps.len(),
+        candidate_keys: keys.len(),
+        lower,
+        upper,
+    })
+}
+
+/// Build the [`PossSpace`] of `m` — the shared substrate of the question
+/// budget (`MUSE-A003`) and the grouping-redundancy check (`MUSE-G005`).
+pub(crate) fn poss_space(
+    m: &Mapping,
+    source_schema: &Schema,
+    cons: &Constraints,
+) -> Result<PossSpace, BudgetIssue> {
+    let Ok(poss) = all_source_refs(m, source_schema) else {
+        return Err(BudgetIssue::UnresolvedMapping);
+    };
+    let n = poss.len();
+    if n > 128 {
+        return Err(BudgetIssue::TooManyAttributes(n));
+    }
+
+    let mut index: BTreeMap<(usize, &str), usize> = BTreeMap::new();
+    for (i, r) in poss.iter().enumerate() {
+        index.insert((r.var, r.attr.as_str()), i);
+    }
+    let idx_of = |r: &PathRef| index.get(&(r.var, r.attr.as_str())).copied();
+
+    // Union-find over poss indices, seeded by the satisfy equalities —
+    // same structure as the wizard's ClassSpace.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    fn union(parent: &mut [usize], a: usize, b: usize) {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            parent[hi] = lo;
+        }
+    }
+    for (a, b) in &m.source_eqs {
+        if let (Some(ia), Some(ib)) = (idx_of(a), idx_of(b)) {
+            union(&mut parent, ia, ib);
+        }
+    }
+
+    // Per-set FDs (keys expanded to key → all attributes).
+    type SetFds = Vec<(Vec<String>, Vec<String>)>;
+    let mut per_set_fds: BTreeMap<&SetPath, SetFds> = BTreeMap::new();
+    for v in &m.source_vars {
+        if !per_set_fds.contains_key(&v.set) {
+            let Ok(fds) = cons.all_fds_of(source_schema, &v.set) else {
+                return Err(BudgetIssue::UnresolvedMapping);
+            };
+            per_set_fds.insert(&v.set, fds.into_iter().map(|f| (f.lhs, f.rhs)).collect());
+        }
+    }
+
+    // Inter-variable FD propagation: two variables over one set whose FD
+    // determinants are class-aligned must have the determined attributes
+    // merged too.
+    loop {
+        let mut changed = false;
+        for (vi, v) in m.source_vars.iter().enumerate() {
+            for (wi, w) in m.source_vars.iter().enumerate() {
+                if vi == wi || v.set != w.set {
+                    continue;
+                }
+                for (lhs, rhs) in &per_set_fds[&v.set] {
+                    let aligned = lhs.iter().all(|a| {
+                        match (
+                            idx_of(&PathRef::new(vi, a.clone())),
+                            idx_of(&PathRef::new(wi, a.clone())),
+                        ) {
+                            (Some(x), Some(y)) => find(&mut parent, x) == find(&mut parent, y),
+                            _ => false,
+                        }
+                    });
+                    if !aligned {
+                        continue;
+                    }
+                    for r in rhs {
+                        if let (Some(x), Some(y)) = (
+                            idx_of(&PathRef::new(vi, r.clone())),
+                            idx_of(&PathRef::new(wi, r.clone())),
+                        ) {
+                            if find(&mut parent, x) != find(&mut parent, y) {
+                                union(&mut parent, x, y);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let rep: Vec<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
+
+    // FD engine: per-variable FDs plus the equality classes as two-way FDs.
+    let mut fdset = FdSet::new(n);
+    for (vi, v) in m.source_vars.iter().enumerate() {
+        for (lhs, rhs) in &per_set_fds[&v.set] {
+            let l: Vec<usize> = lhs
+                .iter()
+                .filter_map(|a| idx_of(&PathRef::new(vi, a.clone())))
+                .collect();
+            let r: Vec<usize> = rhs
+                .iter()
+                .filter_map(|a| idx_of(&PathRef::new(vi, a.clone())))
+                .collect();
+            if l.len() == lhs.len() && !r.is_empty() {
+                fdset.add(attrs(l), attrs(r));
+            }
+        }
+    }
+    for (i, &r) in rep.iter().enumerate() {
+        if r != i {
+            fdset.add(attrs([i]), attrs([r]));
+            fdset.add(attrs([r]), attrs([i]));
+        }
+    }
+
+    Ok(PossSpace { poss, rep, fdset })
+}
+
+/// Emit A003/A004/A005 for one mapping.
+pub(crate) fn check(m: &Mapping, input: &LintInput, out: &mut Vec<Diagnostic>) {
+    let budget = match question_budget(m, input.source_schema, input.source_constraints) {
+        Ok(b) => b,
+        Err(BudgetIssue::TooManyAttributes(n)) => {
+            out.push(
+                Diagnostic::error(
+                    "MUSE-A004",
+                    format!("mappings/{}", m.name),
+                    format!(
+                        "poss(m, ·) has {n} source attribute references; the wizards' FD \
+                         engine caps at 128 (the session would fail with TooManyAttributes)"
+                    ),
+                )
+                .with_suggestion("split the mapping or drop unused source variables"),
+            );
+            return;
+        }
+        Err(BudgetIssue::NonKeyDeterminesKey) => {
+            out.push(
+                Diagnostic::error(
+                    "MUSE-A005",
+                    format!("mappings/{}", m.name),
+                    "non-key source attributes functionally determine key attributes; \
+                     Muse-G cannot build key-valid probe examples (UnsupportedGrouping)"
+                        .to_string(),
+                )
+                .with_suggestion(
+                    "revisit the declared FDs: a determinant of a key attribute \
+                                  should itself be part of a key",
+                ),
+            );
+            return;
+        }
+        // The source side doesn't resolve; pass 1 reported it.
+        Err(BudgetIssue::UnresolvedMapping) => return,
+    };
+    let Ok(filled) = m.filled_target_sets(input.target_schema) else {
+        return; // unresolved target side; pass 1 reported it
+    };
+    for sk in filled {
+        out.push(Diagnostic::info(
+            "MUSE-A003",
+            format!("mappings/{}/group/{}", m.name, sk),
+            format!(
+                "Muse-G will ask between {} and {} question(s) to design the grouping of {} \
+                 ({} poss references in {} equality classes, {} candidate key(s))",
+                budget.lower,
+                budget.upper,
+                sk,
+                budget.poss_size,
+                budget.classes,
+                budget.candidate_keys
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{self, OwnedInput};
+    use muse_nr::Key;
+
+    #[test]
+    fn fig1_budget_matches_the_paper() {
+        // m2: 10 poss references; key(Companies.cid) is the single
+        // candidate key; classes: p.cid≡c.cid and e.eid≡p.manager merge.
+        let b = question_budget(
+            &fixtures::m2(),
+            &fixtures::compdb(),
+            &fixtures::compdb_constraints(),
+        )
+        .expect("budget computes");
+        assert_eq!(b.poss_size, 10);
+        assert_eq!(b.classes, 8);
+        assert_eq!(b.candidate_keys, 1);
+        // The key spans 6 classes (cid determines cname and location);
+        // all-no answers probe all 8 classes.
+        assert_eq!(b.lower, 6);
+        assert_eq!(b.upper, 8);
+    }
+
+    #[test]
+    fn no_constraints_means_every_class_is_a_key_question() {
+        let b = question_budget(&fixtures::m2(), &fixtures::compdb(), &Constraints::none())
+            .expect("budget computes");
+        // Sole candidate key = all 8 classes.
+        assert_eq!(b.candidate_keys, 1);
+        assert_eq!(b.lower, 8);
+        assert_eq!(b.upper, 8);
+    }
+
+    #[test]
+    fn multi_key_budget_is_one_to_one_plus_non_key() {
+        // One variable over Companies with two declared candidate keys:
+        // one scenario question, then (at worst) the sole non-key class.
+        let mut m = Mapping::new("m_companies");
+        m.source_var("c", SetPath::parse("Companies"));
+        let mut cons = Constraints::none();
+        cons.keys
+            .push(Key::new(SetPath::parse("Companies"), vec!["cid"]));
+        cons.keys
+            .push(Key::new(SetPath::parse("Companies"), vec!["cname"]));
+        let b = question_budget(&m, &fixtures::compdb(), &cons).expect("budget computes");
+        assert_eq!(b.candidate_keys, 2);
+        assert_eq!(b.lower, 1);
+        assert_eq!(b.upper, 2);
+    }
+
+    #[test]
+    fn class_member_determining_a_key_is_a005() {
+        // Two candidate keys on Companies *and* a second variable equated
+        // with c.cid: the non-rep class member functionally determines a
+        // key attribute, which Muse-G rejects as UnsupportedGrouping.
+        let mut m = Mapping::new("m_pair");
+        let c = m.source_var("c", SetPath::parse("Companies"));
+        let p = m.source_var("p", SetPath::parse("Projects"));
+        m.source_eq(
+            muse_mapping::PathRef::new(p, "cid"),
+            muse_mapping::PathRef::new(c, "cid"),
+        );
+        let mut cons = fixtures::compdb_constraints();
+        cons.keys
+            .push(Key::new(SetPath::parse("Companies"), vec!["cname"]));
+        assert_eq!(
+            question_budget(&m, &fixtures::compdb(), &cons),
+            Err(BudgetIssue::NonKeyDeterminesKey)
+        );
+    }
+
+    #[test]
+    fn a003_emitted_per_filled_set() {
+        let owned = OwnedInput::fig1(vec![fixtures::m2()]);
+        let input = owned.as_input();
+        let mut out = Vec::new();
+        check(&fixtures::m2(), &input, &mut out);
+        let a3: Vec<_> = out.iter().filter(|d| d.code == "MUSE-A003").collect();
+        assert_eq!(a3.len(), 1, "{out:?}");
+        assert!(a3[0].path.ends_with("/group/Orgs.Projects"));
+    }
+
+    #[test]
+    fn empty_mapping_budget_is_zero() {
+        let m = Mapping::new("empty");
+        let b = question_budget(&m, &fixtures::compdb(), &Constraints::none())
+            .expect("budget computes");
+        assert_eq!((b.lower, b.upper), (0, 0));
+    }
+}

@@ -1,0 +1,429 @@
+//! Pass 2 — constraint analysis.
+//!
+//! Codes:
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | `MUSE-C001` | error | constraint names a set or attribute the schema doesn't have |
+//! | `MUSE-C002` | warning | FD implied by the closure of the other FDs and keys |
+//! | `MUSE-C003` | warning | key already implied by the declared FDs alone |
+//! | `MUSE-C004` | error | referential constraint whose endpoints don't type-check |
+//! | `MUSE-C005` | error | referential constraint with mismatched attribute arity |
+//! | `MUSE-C006` | warning | mapping not closed under the source referential constraints |
+//! | `MUSE-C007` | error | referential constraints form a cycle |
+//!
+//! Redundancy (C002/C003) is decided with the `u128`-bitset FD engine of
+//! `nr::constraints::fdset` — the same closure machinery the wizards use
+//! for key/FD pruning, so "redundant here" means "ignored there".
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use muse_mapping::closure::is_closed_under_source_constraints;
+use muse_nr::constraints::fdset::{attrs, AttrSet, FdSet};
+use muse_nr::{Constraints, Fd, Key, Schema, SetPath};
+
+use crate::diag::Diagnostic;
+use crate::LintInput;
+
+/// Run the pass over both constraint sets and every mapping.
+pub fn check(input: &LintInput, out: &mut Vec<Diagnostic>) {
+    check_side("source", input.source_schema, input.source_constraints, out);
+    check_side("target", input.target_schema, input.target_constraints, out);
+    for m in input.mappings {
+        match is_closed_under_source_constraints(m, input.source_schema, input.source_constraints) {
+            Ok(true) => {}
+            Ok(false) => out.push(
+                Diagnostic::warning(
+                    "MUSE-C006",
+                    format!("mappings/{}", m.name),
+                    "the for clause is not closed under the source referential constraints; \
+                     the chase will add variables the designer never sees"
+                        .to_string(),
+                )
+                .with_suggestion(
+                    "run mapping::closure::close_under_source_constraints before presenting it",
+                ),
+            ),
+            // Cyclic constraint sets are reported once, as MUSE-C007 below.
+            Err(_) => {}
+        }
+    }
+}
+
+fn check_side(side: &str, schema: &Schema, cons: &Constraints, out: &mut Vec<Diagnostic>) {
+    check_resolution(side, schema, cons, out);
+    check_fk_shapes(side, schema, cons, out);
+    check_fk_cycles(side, cons, out);
+    check_redundancy(side, schema, cons, out);
+}
+
+/// Does `set.attr` exist as an atomic attribute?
+fn resolves(schema: &Schema, set: &SetPath, attr: &str) -> bool {
+    schema.atomic_attr_index(set, attr).is_ok()
+}
+
+/// C001: every key/FD/FK names an existing set and existing atomic
+/// attributes. A per-constraint reimplementation of
+/// `Constraints::validate_against_schema`, which stops at the first defect.
+fn check_resolution(side: &str, schema: &Schema, cons: &Constraints, out: &mut Vec<Diagnostic>) {
+    let mut bad = |path: String, set: &SetPath, names: &[String]| {
+        if !schema.has_set(set) {
+            out.push(Diagnostic::error(
+                "MUSE-C001",
+                path,
+                format!("schema {} has no set {}", schema.name, set),
+            ));
+            return;
+        }
+        for a in names {
+            if !resolves(schema, set, a) {
+                out.push(Diagnostic::error(
+                    "MUSE-C001",
+                    path.clone(),
+                    format!("{set} has no atomic attribute {a}"),
+                ));
+            }
+        }
+    };
+    for (i, k) in cons.keys.iter().enumerate() {
+        bad(format!("constraints/{side}/key[{i}]"), &k.set, &k.attrs);
+    }
+    for (i, fd) in cons.fds.iter().enumerate() {
+        let path = format!("constraints/{side}/fd[{i}]");
+        let both: Vec<String> = fd.lhs.iter().chain(&fd.rhs).cloned().collect();
+        bad(path, &fd.set, &both);
+    }
+    for (i, fk) in cons.fks.iter().enumerate() {
+        let path = format!("constraints/{side}/fk[{i}]");
+        bad(path.clone(), &fk.from, &fk.from_attrs);
+        bad(path, &fk.to, &fk.to_attrs);
+    }
+}
+
+/// C004 + C005: referential constraints must align positionally and relate
+/// same-typed attributes.
+fn check_fk_shapes(side: &str, schema: &Schema, cons: &Constraints, out: &mut Vec<Diagnostic>) {
+    for (i, fk) in cons.fks.iter().enumerate() {
+        let path = format!("constraints/{side}/fk[{i}]");
+        if fk.from_attrs.len() != fk.to_attrs.len() {
+            out.push(Diagnostic::error(
+                "MUSE-C005",
+                path,
+                format!(
+                    "referential constraint relates {} attribute(s) of {} to {} of {}",
+                    fk.from_attrs.len(),
+                    fk.from,
+                    fk.to_attrs.len(),
+                    fk.to
+                ),
+            ));
+            continue;
+        }
+        let ty_of = |set: &SetPath, attr: &str| {
+            schema
+                .element_record(set)
+                .ok()
+                .and_then(|rcd| rcd.field(attr))
+                .map(|f| f.ty.clone())
+                .filter(|t| t.is_atomic())
+        };
+        for (a, b) in fk.from_attrs.iter().zip(&fk.to_attrs) {
+            let (Some(ta), Some(tb)) = (ty_of(&fk.from, a), ty_of(&fk.to, b)) else {
+                continue; // unresolved endpoints were reported as MUSE-C001
+            };
+            if ta != tb {
+                out.push(Diagnostic::error(
+                    "MUSE-C004",
+                    path.clone(),
+                    format!(
+                        "{}.{} : {:?} cannot reference {}.{} : {:?}",
+                        fk.from, a, ta, fk.to, b, tb
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// C007: the set-level referential graph must be acyclic, or the mapping
+/// closure (`mapping::closure`, capped at 64 rounds) may never converge.
+fn check_fk_cycles(side: &str, cons: &Constraints, out: &mut Vec<Diagnostic>) {
+    let mut edges: BTreeMap<&SetPath, BTreeSet<&SetPath>> = BTreeMap::new();
+    for fk in &cons.fks {
+        edges.entry(&fk.from).or_default().insert(&fk.to);
+    }
+    // Iterative DFS three-coloring over the (tiny) set graph.
+    let nodes: Vec<&SetPath> = edges.keys().copied().collect();
+    let mut state: BTreeMap<&SetPath, u8> = BTreeMap::new(); // 1 = open, 2 = done
+    for &start in &nodes {
+        if state.contains_key(start) {
+            continue;
+        }
+        let mut stack = vec![(start, false)];
+        while let Some((node, leaving)) = stack.pop() {
+            if leaving {
+                state.insert(node, 2);
+                continue;
+            }
+            match state.get(node) {
+                Some(2) => continue,
+                Some(1) => {
+                    out.push(Diagnostic::error(
+                        "MUSE-C007",
+                        format!("constraints/{side}"),
+                        format!("referential constraints form a cycle through {node}"),
+                    ));
+                    state.insert(node, 2);
+                    continue;
+                }
+                _ => {}
+            }
+            state.insert(node, 1);
+            stack.push((node, true));
+            for &next in edges.get(node).into_iter().flatten() {
+                stack.push((next, false));
+            }
+        }
+    }
+}
+
+/// The attribute-index map of one set, or `None` when the set is unknown
+/// or too wide for the `u128` engine.
+fn index_of(schema: &Schema, set: &SetPath) -> Option<BTreeMap<String, usize>> {
+    let names = schema.attributes(set).ok()?;
+    if names.len() > 128 {
+        return None;
+    }
+    Some(names.into_iter().enumerate().map(|(i, a)| (a, i)).collect())
+}
+
+fn mask(ix: &BTreeMap<String, usize>, names: &[String]) -> Option<AttrSet> {
+    names
+        .iter()
+        .map(|a| ix.get(a).copied())
+        .collect::<Option<Vec<_>>>()
+        .map(attrs)
+}
+
+/// C002 + C003: redundancy under closure, per constrained set.
+fn check_redundancy(side: &str, schema: &Schema, cons: &Constraints, out: &mut Vec<Diagnostic>) {
+    let mut sets: BTreeSet<&SetPath> = BTreeSet::new();
+    sets.extend(cons.keys.iter().map(|k| &k.set));
+    sets.extend(cons.fds.iter().map(|fd| &fd.set));
+    for set in sets {
+        let Some(ix) = index_of(schema, set) else {
+            continue; // unknown set (MUSE-C001) or > 128 attributes
+        };
+        let n = ix.len();
+        let keys: Vec<(usize, &Key, AttrSet)> = cons
+            .keys
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| &k.set == set)
+            .filter_map(|(i, k)| mask(&ix, &k.attrs).map(|m| (i, k, m)))
+            .collect();
+        let fds: Vec<(usize, &Fd, AttrSet, AttrSet)> = cons
+            .fds
+            .iter()
+            .enumerate()
+            .filter(|(_, fd)| &fd.set == set)
+            .filter_map(|(i, fd)| {
+                let lhs = mask(&ix, &fd.lhs)?;
+                let rhs = mask(&ix, &fd.rhs)?;
+                Some((i, fd, lhs, rhs))
+            })
+            .collect();
+
+        // C002: each FD against the closure of everything else.
+        for (i, fd, lhs, rhs) in &fds {
+            let mut rest = FdSet::new(n);
+            for (j, _, l, r) in &fds {
+                if j != i {
+                    rest.add(*l, *r);
+                }
+            }
+            for (_, _, k) in &keys {
+                rest.add_key(*k);
+            }
+            if rest.implies(*lhs, *rhs) {
+                out.push(
+                    Diagnostic::warning(
+                        "MUSE-C002",
+                        format!("constraints/{side}/fd[{i}]"),
+                        format!(
+                            "FD {} → {} on {} is implied by the other declared constraints",
+                            fd.lhs.join(","),
+                            fd.rhs.join(","),
+                            set
+                        ),
+                    )
+                    .with_suggestion("drop the FD; the closure already enforces it"),
+                );
+            }
+        }
+
+        // C003: each key against the declared FDs alone (not other keys,
+        // so legitimate multi-key sets stay silent).
+        if !fds.is_empty() {
+            let mut fd_only = FdSet::new(n);
+            for (_, _, l, r) in &fds {
+                fd_only.add(*l, *r);
+            }
+            for (i, key, kmask) in &keys {
+                if fd_only.is_superkey(*kmask) {
+                    out.push(
+                        Diagnostic::warning(
+                            "MUSE-C003",
+                            format!("constraints/{side}/key[{i}]"),
+                            format!(
+                                "key({}) on {} is implied by the declared FDs alone",
+                                key.attrs.join(","),
+                                set
+                            ),
+                        )
+                        .with_suggestion("the FDs already make these attributes a superkey"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{self, OwnedInput};
+    use muse_nr::ForeignKey;
+
+    fn diags(owned: &OwnedInput) -> Vec<Diagnostic> {
+        let input = owned.as_input();
+        let mut out = Vec::new();
+        check(&input, &mut out);
+        out
+    }
+
+    fn codes(ds: &[Diagnostic]) -> Vec<&'static str> {
+        ds.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn fig1_constraints_are_clean() {
+        let owned = OwnedInput::fig1(vec![fixtures::m2()]);
+        assert!(diags(&owned).is_empty(), "{:?}", diags(&owned));
+    }
+
+    #[test]
+    fn dangling_constraint_is_c001() {
+        let mut owned = OwnedInput::fig1(vec![]);
+        owned
+            .source_constraints
+            .keys
+            .push(Key::new(SetPath::parse("Companies"), vec!["ghost"]));
+        owned
+            .source_constraints
+            .fds
+            .push(Fd::new(SetPath::parse("Nowhere"), vec!["a"], vec!["b"]));
+        let ds = diags(&owned);
+        assert_eq!(
+            codes(&ds).iter().filter(|c| **c == "MUSE-C001").count(),
+            2,
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn redundant_fd_is_c002() {
+        let mut owned = OwnedInput::fig1(vec![]);
+        // key(Companies.cid) already implies cid → cname.
+        owned.source_constraints.fds.push(Fd::new(
+            SetPath::parse("Companies"),
+            vec!["cid"],
+            vec!["cname"],
+        ));
+        let ds = diags(&owned);
+        assert!(codes(&ds).contains(&"MUSE-C002"), "{ds:?}");
+    }
+
+    #[test]
+    fn fd_implied_key_is_c003() {
+        let mut owned = OwnedInput::fig1(vec![]);
+        owned.source_constraints.fds.push(Fd::new(
+            SetPath::parse("Employees"),
+            vec!["eid"],
+            vec!["ename", "contact"],
+        ));
+        owned
+            .source_constraints
+            .keys
+            .push(Key::new(SetPath::parse("Employees"), vec!["eid"]));
+        let ds = diags(&owned);
+        assert!(codes(&ds).contains(&"MUSE-C003"), "{ds:?}");
+    }
+
+    #[test]
+    fn two_candidate_keys_without_fds_are_silent() {
+        let mut owned = OwnedInput::fig1(vec![]);
+        owned
+            .source_constraints
+            .keys
+            .push(Key::new(SetPath::parse("Companies"), vec!["cname"]));
+        let ds = diags(&owned);
+        assert!(!codes(&ds).contains(&"MUSE-C003"), "{ds:?}");
+    }
+
+    #[test]
+    fn fk_type_mismatch_is_c004() {
+        let mut owned = OwnedInput::fig1(vec![]);
+        // Projects.pid : Str cannot reference Companies.cid : Int.
+        owned.source_constraints.fks.push(ForeignKey::new(
+            SetPath::parse("Projects"),
+            vec!["pid"],
+            SetPath::parse("Companies"),
+            vec!["cid"],
+        ));
+        let ds = diags(&owned);
+        assert!(codes(&ds).contains(&"MUSE-C004"), "{ds:?}");
+    }
+
+    #[test]
+    fn fk_arity_mismatch_is_c005() {
+        let mut owned = OwnedInput::fig1(vec![]);
+        owned.source_constraints.fks.push(ForeignKey {
+            from: SetPath::parse("Projects"),
+            from_attrs: vec!["cid".into(), "manager".into()],
+            to: SetPath::parse("Companies"),
+            to_attrs: vec!["cid".into()],
+        });
+        let ds = diags(&owned);
+        assert!(codes(&ds).contains(&"MUSE-C005"), "{ds:?}");
+    }
+
+    #[test]
+    fn fk_cycle_is_c007() {
+        let mut owned = OwnedInput::fig1(vec![]);
+        owned.source_constraints.fks.push(ForeignKey::new(
+            SetPath::parse("Companies"),
+            vec!["cid"],
+            SetPath::parse("Projects"),
+            vec!["cid"],
+        ));
+        let ds = diags(&owned);
+        assert!(codes(&ds).contains(&"MUSE-C007"), "{ds:?}");
+    }
+
+    #[test]
+    fn unclosed_mapping_is_c006() {
+        // A mapping over Projects alone: f1 and f2 require Companies and
+        // Employees variables, so the closure would extend it.
+        let mut m = muse_mapping::Mapping::new("m_open");
+        let p = m.source_var("p", SetPath::parse("Projects"));
+        let o = m.target_var("o", SetPath::parse("Orgs"));
+        m.where_eq(
+            muse_mapping::PathRef::new(p, "pname"),
+            muse_mapping::PathRef::new(o, "oname"),
+        );
+        let owned = OwnedInput::fig1(vec![m]);
+        let ds = diags(&owned);
+        assert!(codes(&ds).contains(&"MUSE-C006"), "{ds:?}");
+    }
+}

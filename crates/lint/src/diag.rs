@@ -1,0 +1,154 @@
+//! The diagnostic model: codes, severities, and the stable JSON form.
+//!
+//! Every finding of the analyzer is a [`Diagnostic`] — a stable machine
+//! code, a severity, a slash-separated *path* locating the finding inside
+//! the `(schemas, constraints, mappings)` bundle, a human message, and an
+//! optional suggestion. The JSON rendering is part of the tool's contract:
+//! golden tests pin it, and `muse lint --json` emits it for scripting.
+
+use muse_obs::Json;
+
+/// How bad a finding is.
+///
+/// `Error` findings make the bundle unusable (the chase or a wizard would
+/// fail or silently misbehave); `Warning` findings are suspicious but
+/// runnable; `Info` findings are analysis results (ambiguity counts,
+/// question budgets) with no judgement attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Analysis output, not a defect.
+    Info,
+    /// Suspicious but not fatal.
+    Warning,
+    /// The bundle is defective.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name used in JSON and the human renderer.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine code, e.g. `MUSE-W003` (see DESIGN.md for the table).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Where the finding lives, e.g. `mappings/m2/where[1]` or
+    /// `constraints/source/fd[0]`.
+    pub path: String,
+    /// Human-readable description.
+    pub message: String,
+    /// An actionable fix, when one is known.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    pub fn error(code: &'static str, path: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            path: path.into(),
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(
+        code: &'static str,
+        path: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, path, message)
+        }
+    }
+
+    /// An info-severity diagnostic.
+    pub fn info(code: &'static str, path: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Info,
+            ..Diagnostic::error(code, path, message)
+        }
+    }
+
+    /// Attach a suggestion.
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    /// The stable JSON object form.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("code", Json::str(self.code)),
+            ("severity", Json::str(self.severity.as_str())),
+            ("path", Json::str(&self.path)),
+            ("message", Json::str(&self.message)),
+        ];
+        if let Some(s) = &self.suggestion {
+            fields.push(("suggestion", Json::str(s)));
+        }
+        Json::obj(fields)
+    }
+
+    /// One-finding human rendering, `rustc`-style.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}[{}] {}: {}",
+            self.severity.as_str(),
+            self.code,
+            self.path,
+            self.message
+        );
+        if let Some(s) = &self.suggestion {
+            out.push_str("\n  help: ");
+            out.push_str(s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_names() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(Severity::Error.as_str(), "error");
+    }
+
+    #[test]
+    fn json_form_is_stable() {
+        let d = Diagnostic::warning("MUSE-W005", "mappings/m/for/x", "unused variable")
+            .with_suggestion("remove it");
+        assert_eq!(
+            d.to_json().render_pretty().replace(['\n', ' '], ""),
+            r#"{"code":"MUSE-W005","severity":"warning","path":"mappings/m/for/x","message":"unusedvariable","suggestion":"removeit"}"#
+        );
+        let bare = Diagnostic::info("MUSE-A001", "p", "m");
+        assert!(!bare.to_json().render_pretty().contains("suggestion"));
+    }
+
+    #[test]
+    fn render_includes_help() {
+        let d = Diagnostic::error("MUSE-W001", "mappings/m/for/x", "unknown set")
+            .with_suggestion("check the schema");
+        let text = d.render();
+        assert!(text.starts_with("error[MUSE-W001]"));
+        assert!(text.contains("help: check the schema"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Pass 4 — grouping (Skolem) function safety.
+//!
+//! Codes:
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | `MUSE-G001` | error | nested set the mapping fills but declares no grouping for |
+//! | `MUSE-G002` | error | grouping declared on a set the mapping does not fill |
+//! | `MUSE-G003` | error | grouping argument that is not a bound atomic source attribute |
+//! | `MUSE-G004` | info | empty argument list: one global group |
+//! | `MUSE-G005` | info | arguments implied by the others under the source FDs |
+//!
+//! A grouping function `SK(args…)` decides which nested set a target tuple
+//! lands in (paper Sec. III): its arguments must be attributes that are
+//! actually bound by the `for` clause at that nesting level, or the chase
+//! cannot evaluate the Skolem term — the static counterpart of
+//! `MappingError::MissingGrouping` / `UselessGrouping` / `BadGroupingArg`.
+
+use muse_nr::constraints::fdset::attrs;
+
+use crate::budget::poss_space;
+use crate::diag::Diagnostic;
+use crate::LintInput;
+
+/// Run the pass over every mapping.
+pub fn check(input: &LintInput, out: &mut Vec<Diagnostic>) {
+    for m in input.mappings {
+        let Ok(filled) = m.filled_target_sets(input.target_schema) else {
+            continue; // unresolved target side; pass 1 reported it
+        };
+
+        // G001: every filled nested set needs a grouping.
+        for sk in &filled {
+            if m.grouping(sk).is_none() {
+                out.push(
+                    Diagnostic::error(
+                        "MUSE-G001",
+                        format!("mappings/{}/group/{}", m.name, sk),
+                        format!(
+                            "mapping fills nested set {sk} but declares no grouping function \
+                             for it; the chase cannot form its SetIDs"
+                        ),
+                    )
+                    .with_suggestion("declare `group … by (…)` or call ensure_default_groupings"),
+                );
+            }
+        }
+
+        let space = poss_space(m, input.source_schema, input.source_constraints);
+        for (sk, g) in &m.groupings {
+            let path = format!("mappings/{}/group/{}", m.name, sk);
+            // G002: a grouping on an unfilled set designs nothing.
+            if !filled.contains(sk) {
+                out.push(
+                    Diagnostic::error(
+                        "MUSE-G002",
+                        path.clone(),
+                        format!("grouping declared on {sk}, which the mapping does not fill"),
+                    )
+                    .with_suggestion("remove it, or add target variables that fill the set"),
+                );
+                continue;
+            }
+            // G003: every argument must be a bound atomic source attribute
+            // — i.e. a member of poss(m, ·).
+            let mut indices = Vec::new();
+            let mut dangling = false;
+            for arg in &g.args {
+                let ix = space.as_ref().ok().and_then(|s| s.index_of(arg));
+                match ix {
+                    Some(i) => indices.push(i),
+                    None => {
+                        dangling = true;
+                        let var = m
+                            .source_vars
+                            .get(arg.var)
+                            .map(|v| v.name.clone())
+                            .unwrap_or_else(|| format!("#{}", arg.var));
+                        out.push(Diagnostic::error(
+                            "MUSE-G003",
+                            path.clone(),
+                            format!(
+                                "grouping argument {var}.{} is not an atomic attribute bound \
+                                 by the for clause",
+                                arg.attr
+                            ),
+                        ));
+                    }
+                }
+            }
+            if dangling {
+                continue;
+            }
+            // G004: no arguments at all — a legal but drastic choice.
+            if g.args.is_empty() {
+                out.push(Diagnostic::info(
+                    "MUSE-G004",
+                    path.clone(),
+                    format!("empty grouping: all tuples share one global {sk} set"),
+                ));
+                continue;
+            }
+            // G005: arguments the other arguments already determine.
+            if let Ok(space) = &space {
+                let all: u128 = attrs(indices.iter().copied());
+                let redundant = indices
+                    .iter()
+                    .filter(|&&i| {
+                        let others = all & !attrs([i]);
+                        space.fdset.closure(others) & attrs([i]) != 0
+                    })
+                    .count();
+                if redundant > 0 {
+                    out.push(Diagnostic::info(
+                        "MUSE-G005",
+                        path,
+                        format!(
+                            "{redundant} of {} grouping argument(s) are implied by the others \
+                             under the source constraints; the grouping is equivalent to the \
+                             reduced one",
+                            g.args.len()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{self, OwnedInput};
+    use muse_mapping::{Grouping, PathRef};
+    use muse_nr::SetPath;
+
+    fn diags(owned: &OwnedInput) -> Vec<Diagnostic> {
+        let input = owned.as_input();
+        let mut out = Vec::new();
+        check(&input, &mut out);
+        out
+    }
+
+    fn codes(ds: &[Diagnostic]) -> Vec<&'static str> {
+        ds.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn default_grouping_reports_redundant_args_only() {
+        // m2's default grouping takes all 10 poss attributes; cname and
+        // location (implied by cid) and the class twins are redundant.
+        let owned = OwnedInput::fig1(vec![fixtures::m2()]);
+        let ds = diags(&owned);
+        assert_eq!(codes(&ds), vec!["MUSE-G005"], "{ds:?}");
+    }
+
+    #[test]
+    fn missing_grouping_is_g001() {
+        let mut m = fixtures::m2();
+        m.groupings.clear();
+        let owned = OwnedInput::fig1(vec![m]);
+        let ds = diags(&owned);
+        assert!(codes(&ds).contains(&"MUSE-G001"), "{ds:?}");
+    }
+
+    #[test]
+    fn grouping_on_unfilled_set_is_g002() {
+        let mut m = fixtures::m2();
+        m.set_grouping(SetPath::parse("Nowhere.Nested"), Grouping::default());
+        let owned = OwnedInput::fig1(vec![m]);
+        let ds = diags(&owned);
+        assert!(codes(&ds).contains(&"MUSE-G002"), "{ds:?}");
+    }
+
+    #[test]
+    fn dangling_grouping_arg_is_g003() {
+        let mut m = fixtures::m2();
+        m.set_grouping(
+            SetPath::parse("Orgs.Projects"),
+            Grouping::new(vec![PathRef::new(0, "ghost")]),
+        );
+        let owned = OwnedInput::fig1(vec![m]);
+        let ds = diags(&owned);
+        assert!(codes(&ds).contains(&"MUSE-G003"), "{ds:?}");
+    }
+
+    #[test]
+    fn empty_grouping_is_g004() {
+        let mut m = fixtures::m2();
+        m.set_grouping(SetPath::parse("Orgs.Projects"), Grouping::default());
+        let owned = OwnedInput::fig1(vec![m]);
+        let ds = diags(&owned);
+        assert_eq!(codes(&ds), vec!["MUSE-G004"], "{ds:?}");
+    }
+
+    #[test]
+    fn irredundant_grouping_is_silent() {
+        let mut m = fixtures::m2();
+        // Group by the cid class representative alone.
+        m.set_grouping(
+            SetPath::parse("Orgs.Projects"),
+            Grouping::new(vec![PathRef::new(0, "cid"), PathRef::new(1, "pid")]),
+        );
+        let owned = OwnedInput::fig1(vec![m]);
+        let ds = diags(&owned);
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+}

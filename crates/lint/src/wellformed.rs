@@ -1,0 +1,526 @@
+//! Pass 1 — well-formedness of the mappings against the two schemas.
+//!
+//! Codes:
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | `MUSE-W001` | error | variable bound to a set the schema doesn't have |
+//! | `MUSE-W002` | error | nested variable whose parent binding is inconsistent |
+//! | `MUSE-W003` | error | dangling reference: unknown variable or unknown/non-atomic attribute |
+//! | `MUSE-W004` | error | type-incompatible equality (`Int` = `Str`) |
+//! | `MUSE-W005` | warning | source variable that constrains nothing |
+//! | `MUSE-W006` | warning | duplicate clause (same atom twice) |
+//! | `MUSE-W007` | error | two `where` clauses assign the same target attribute |
+//! | `MUSE-W008` | warning | degenerate `or`-group (fewer than two distinct alternatives) |
+
+use std::collections::BTreeMap;
+
+use muse_mapping::{Mapping, MappingVar, PathRef, WhereClause};
+use muse_nr::{Schema, Ty};
+
+use crate::diag::Diagnostic;
+use crate::LintInput;
+
+/// Run the pass over every mapping.
+pub fn check(input: &LintInput, out: &mut Vec<Diagnostic>) {
+    for m in input.mappings {
+        check_mapping(m, input.source_schema, input.target_schema, out);
+    }
+}
+
+/// Which variable space a reference lives in (the two index spaces are
+/// independent).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Space {
+    Source,
+    Target,
+}
+
+impl Space {
+    fn vars(self, m: &Mapping) -> &[MappingVar] {
+        match self {
+            Space::Source => &m.source_vars,
+            Space::Target => &m.target_vars,
+        }
+    }
+
+    fn schema<'a>(self, source: &'a Schema, target: &'a Schema) -> &'a Schema {
+        match self {
+            Space::Source => source,
+            Space::Target => target,
+        }
+    }
+}
+
+fn check_mapping(m: &Mapping, source: &Schema, target: &Schema, out: &mut Vec<Diagnostic>) {
+    check_vars(m, Space::Source, source, target, out);
+    check_vars(m, Space::Target, source, target, out);
+    check_refs(m, source, target, out);
+    check_all_eq_types(m, source, target, out);
+    check_unused_source_vars(m, out);
+    check_duplicates(m, out);
+    check_target_assignments(m, out);
+}
+
+/// W001 + W002: every variable binds an existing set, and nested bindings
+/// agree with the parent variable's set.
+fn check_vars(
+    m: &Mapping,
+    space: Space,
+    source: &Schema,
+    target: &Schema,
+    out: &mut Vec<Diagnostic>,
+) {
+    let vars = space.vars(m);
+    let schema = space.schema(source, target);
+    for v in vars {
+        let path = format!("mappings/{}/for/{}", m.name, v.name);
+        if !schema.has_set(&v.set) {
+            out.push(
+                Diagnostic::error(
+                    "MUSE-W001",
+                    path.clone(),
+                    format!(
+                        "variable {} ranges over {}, which schema {} does not define",
+                        v.name, v.set, schema.name
+                    ),
+                )
+                .with_suggestion(format!(
+                    "known sets: {}",
+                    schema
+                        .set_paths_bfs()
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )),
+            );
+            continue;
+        }
+        if let Some((parent_idx, field)) = &v.parent {
+            let ok = vars
+                .get(*parent_idx)
+                .is_some_and(|p| p.set.child(field.clone()) == v.set);
+            if !ok {
+                out.push(Diagnostic::error(
+                    "MUSE-W002",
+                    path,
+                    format!(
+                        "variable {} claims to range over field {} of its parent, \
+                         but the parent binding does not produce {}",
+                        v.name, field, v.set
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The atomic type of `set.attr`, if the attribute exists and is atomic.
+fn atomic_ty<'a>(schema: &'a Schema, var: &MappingVar, attr: &str) -> Option<&'a Ty> {
+    let rcd = schema.element_record(&var.set).ok()?;
+    let ty = &rcd.field(attr)?.ty;
+    ty.is_atomic().then_some(ty)
+}
+
+/// All references of the mapping, with the path of the clause that holds
+/// them and their space.
+fn all_refs(m: &Mapping) -> Vec<(String, Space, &PathRef)> {
+    let mut refs = Vec::new();
+    for (i, (a, b)) in m.source_eqs.iter().enumerate() {
+        let p = format!("mappings/{}/satisfy/source[{}]", m.name, i);
+        refs.push((p.clone(), Space::Source, a));
+        refs.push((p, Space::Source, b));
+    }
+    for (i, (a, b)) in m.target_eqs.iter().enumerate() {
+        let p = format!("mappings/{}/satisfy/target[{}]", m.name, i);
+        refs.push((p.clone(), Space::Target, a));
+        refs.push((p, Space::Target, b));
+    }
+    for (i, w) in m.wheres.iter().enumerate() {
+        let p = format!("mappings/{}/where[{}]", m.name, i);
+        match w {
+            WhereClause::Eq { source, target } => {
+                refs.push((p.clone(), Space::Source, source));
+                refs.push((p, Space::Target, target));
+            }
+            WhereClause::OrGroup {
+                target,
+                alternatives,
+            } => {
+                refs.push((p.clone(), Space::Target, target));
+                for alt in alternatives {
+                    refs.push((p.clone(), Space::Source, alt));
+                }
+            }
+        }
+    }
+    for (set, g) in &m.groupings {
+        let p = format!("mappings/{}/group/{}", m.name, set);
+        for arg in &g.args {
+            refs.push((p.clone(), Space::Source, arg));
+        }
+    }
+    refs
+}
+
+/// W003: every reference resolves to an atomic attribute of a bound
+/// variable's set.
+fn check_refs(m: &Mapping, source: &Schema, target: &Schema, out: &mut Vec<Diagnostic>) {
+    for (path, space, r) in all_refs(m) {
+        if path.contains("/group/") {
+            continue; // grouping arguments are pass 4's territory (MUSE-G003)
+        }
+        let vars = space.vars(m);
+        let Some(v) = vars.get(r.var) else {
+            out.push(Diagnostic::error(
+                "MUSE-W003",
+                path,
+                format!(
+                    "reference .{} names variable #{}, but the mapping binds only {} \
+                     variables in that space",
+                    r.attr,
+                    r.var,
+                    vars.len()
+                ),
+            ));
+            continue;
+        };
+        let schema = space.schema(source, target);
+        if !schema.has_set(&v.set) {
+            continue; // already reported as MUSE-W001
+        }
+        if atomic_ty(schema, v, &r.attr).is_none() {
+            out.push(
+                Diagnostic::error(
+                    "MUSE-W003",
+                    path,
+                    format!(
+                        "{}.{} is not an atomic attribute of {}",
+                        v.name, r.attr, v.set
+                    ),
+                )
+                .with_suggestion(format!(
+                    "atomic attributes of {}: {}",
+                    v.set,
+                    schema
+                        .element_record(&v.set)
+                        .map(|rcd| rcd.atomic_labels().join(", "))
+                        .unwrap_or_default()
+                )),
+            );
+        }
+    }
+}
+
+/// W004: equalities must connect same-typed atoms. Checked for
+/// source/target `satisfy` equalities and every `where` correspondence
+/// (including each alternative of an `or`-group).
+fn check_eq_types(
+    m: &Mapping,
+    path: &str,
+    a: (Space, &PathRef),
+    b: (Space, &PathRef),
+    source: &Schema,
+    target: &Schema,
+    out: &mut Vec<Diagnostic>,
+) {
+    let ty_of = |(space, r): (Space, &PathRef)| -> Option<(&Ty, String)> {
+        let v = space.vars(m).get(r.var)?;
+        let ty = atomic_ty(space.schema(source, target), v, &r.attr)?;
+        Some((ty, format!("{}.{}", v.name, r.attr)))
+    };
+    let (Some((ta, na)), Some((tb, nb))) = (ty_of(a), ty_of(b)) else {
+        return; // unresolved refs were reported by MUSE-W003
+    };
+    if ta != tb {
+        out.push(Diagnostic::error(
+            "MUSE-W004",
+            path.to_string(),
+            format!("equality {na} = {nb} relates incompatible types {ta:?} and {tb:?}"),
+        ));
+    }
+}
+
+fn check_unused_source_vars(m: &Mapping, out: &mut Vec<Diagnostic>) {
+    let mut used = vec![false; m.source_vars.len()];
+    for (_, space, r) in all_refs(m) {
+        if space == Space::Source {
+            if let Some(u) = used.get_mut(r.var) {
+                *u = true;
+            }
+        }
+    }
+    // A variable that only exists to parent another bound variable is used.
+    for v in &m.source_vars {
+        if let Some((parent, _)) = &v.parent {
+            if let Some(u) = used.get_mut(*parent) {
+                *u = true;
+            }
+        }
+    }
+    for (i, v) in m.source_vars.iter().enumerate() {
+        if !used[i] {
+            out.push(
+                Diagnostic::warning(
+                    "MUSE-W005",
+                    format!("mappings/{}/for/{}", m.name, v.name),
+                    format!(
+                        "source variable {} over {} constrains nothing: no equality, \
+                         correspondence or grouping argument mentions it",
+                        v.name, v.set
+                    ),
+                )
+                .with_suggestion("remove the variable or join it to the rest of the mapping"),
+            );
+        }
+    }
+}
+
+/// W006 + W008: duplicate atoms and degenerate `or`-groups.
+fn check_duplicates(m: &Mapping, out: &mut Vec<Diagnostic>) {
+    let mut seen_src: BTreeMap<(PathRef, PathRef), usize> = BTreeMap::new();
+    for (i, (a, b)) in m.source_eqs.iter().enumerate() {
+        let key = if a <= b {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        };
+        if let Some(first) = seen_src.insert(key, i) {
+            out.push(Diagnostic::warning(
+                "MUSE-W006",
+                format!("mappings/{}/satisfy/source[{}]", m.name, i),
+                format!("duplicate source equality (same atom as satisfy/source[{first}])"),
+            ));
+        }
+    }
+    let mut seen_where: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, w) in m.wheres.iter().enumerate() {
+        if let Some(first) = seen_where.insert(format!("{w:?}"), i) {
+            out.push(Diagnostic::warning(
+                "MUSE-W006",
+                format!("mappings/{}/where[{}]", m.name, i),
+                format!("duplicate where clause (same atom as where[{first}])"),
+            ));
+        }
+        if let WhereClause::OrGroup { alternatives, .. } = w {
+            let mut distinct = alternatives.clone();
+            distinct.sort();
+            distinct.dedup();
+            if distinct.len() < 2 {
+                out.push(
+                    Diagnostic::warning(
+                        "MUSE-W008",
+                        format!("mappings/{}/where[{}]", m.name, i),
+                        format!(
+                            "or-group with {} distinct alternative(s) is not a real choice",
+                            distinct.len()
+                        ),
+                    )
+                    .with_suggestion("collapse it to a plain correspondence"),
+                );
+            }
+        }
+    }
+}
+
+/// W007: at most one `where` clause may assign a given target attribute.
+fn check_target_assignments(m: &Mapping, out: &mut Vec<Diagnostic>) {
+    let mut seen: BTreeMap<&PathRef, usize> = BTreeMap::new();
+    for (i, w) in m.wheres.iter().enumerate() {
+        if let Some(first) = seen.insert(w.target(), i) {
+            let t = w.target();
+            let name = m
+                .target_vars
+                .get(t.var)
+                .map(|v| format!("{}.{}", v.name, t.attr))
+                .unwrap_or_else(|| format!("#{}.{}", t.var, t.attr));
+            out.push(
+                Diagnostic::error(
+                    "MUSE-W007",
+                    format!("mappings/{}/where[{}]", m.name, i),
+                    format!("target attribute {name} is already assigned by where[{first}]"),
+                )
+                .with_suggestion(
+                    "merge the clauses into one or-group if both sources are intended",
+                ),
+            );
+        }
+    }
+}
+
+/// Hook for W004 over every equality-shaped clause. Separated from
+/// [`check_refs`] so each equality is reported once, on its own path.
+fn check_all_eq_types(m: &Mapping, source: &Schema, target: &Schema, out: &mut Vec<Diagnostic>) {
+    for (i, (a, b)) in m.source_eqs.iter().enumerate() {
+        let p = format!("mappings/{}/satisfy/source[{}]", m.name, i);
+        check_eq_types(
+            m,
+            &p,
+            (Space::Source, a),
+            (Space::Source, b),
+            source,
+            target,
+            out,
+        );
+    }
+    for (i, (a, b)) in m.target_eqs.iter().enumerate() {
+        let p = format!("mappings/{}/satisfy/target[{}]", m.name, i);
+        check_eq_types(
+            m,
+            &p,
+            (Space::Target, a),
+            (Space::Target, b),
+            source,
+            target,
+            out,
+        );
+    }
+    for (i, w) in m.wheres.iter().enumerate() {
+        let p = format!("mappings/{}/where[{}]", m.name, i);
+        match w {
+            WhereClause::Eq {
+                source: s,
+                target: t,
+            } => {
+                check_eq_types(
+                    m,
+                    &p,
+                    (Space::Source, s),
+                    (Space::Target, t),
+                    source,
+                    target,
+                    out,
+                );
+            }
+            WhereClause::OrGroup {
+                target: t,
+                alternatives,
+            } => {
+                for alt in alternatives {
+                    check_eq_types(
+                        m,
+                        &p,
+                        (Space::Source, alt),
+                        (Space::Target, t),
+                        source,
+                        target,
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{self, OwnedInput};
+    use muse_nr::SetPath;
+
+    fn diags_for(m: Mapping) -> Vec<Diagnostic> {
+        let owned = OwnedInput::fig1(vec![m]);
+        let input = owned.as_input();
+        let mut out = Vec::new();
+        check(&input, &mut out);
+        out
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_mapping_has_no_findings() {
+        assert!(diags_for(fixtures::m2()).is_empty());
+    }
+
+    #[test]
+    fn unknown_set_is_w001() {
+        let mut m = fixtures::m2();
+        m.source_vars[0].set = SetPath::parse("Nowhere");
+        let diags = diags_for(m);
+        assert!(codes(&diags).contains(&"MUSE-W001"), "{diags:?}");
+    }
+
+    #[test]
+    fn bad_parent_binding_is_w002() {
+        let mut m = fixtures::m2();
+        // p1 ranges over Orgs.Projects via o; repoint its set elsewhere.
+        let p1 = m
+            .target_vars
+            .iter()
+            .position(|v| v.name == "p1")
+            .expect("fixture has p1");
+        m.target_vars[p1].set = SetPath::parse("Employees");
+        let diags = diags_for(m);
+        assert!(codes(&diags).contains(&"MUSE-W002"), "{diags:?}");
+    }
+
+    #[test]
+    fn dangling_attr_is_w003() {
+        let mut m = fixtures::m2();
+        m.where_eq(PathRef::new(0, "no_such_attr"), PathRef::new(0, "oname"));
+        let diags = diags_for(m);
+        assert!(codes(&diags).contains(&"MUSE-W003"), "{diags:?}");
+    }
+
+    #[test]
+    fn out_of_range_var_is_w003() {
+        let mut m = fixtures::m2();
+        m.where_eq(PathRef::new(99, "cname"), PathRef::new(0, "oname"));
+        let diags = diags_for(m);
+        assert!(codes(&diags).contains(&"MUSE-W003"), "{diags:?}");
+    }
+
+    #[test]
+    fn int_str_equality_is_w004() {
+        let mut m = fixtures::m2();
+        // Companies.cid is Int; Orgs.oname is Str.
+        m.where_eq(PathRef::new(0, "cid"), PathRef::new(0, "oname"));
+        let diags = diags_for(m);
+        assert!(codes(&diags).contains(&"MUSE-W004"), "{diags:?}");
+    }
+
+    #[test]
+    fn unused_source_var_is_w005() {
+        let mut m = fixtures::m2();
+        m.source_var("zzz", SetPath::parse("Employees"));
+        let diags = diags_for(m);
+        let w5: Vec<_> = diags.iter().filter(|d| d.code == "MUSE-W005").collect();
+        assert_eq!(w5.len(), 1, "{diags:?}");
+        assert!(w5[0].path.ends_with("/for/zzz"));
+    }
+
+    #[test]
+    fn duplicate_where_clause_is_w006() {
+        let mut m = fixtures::m2();
+        m.where_eq(PathRef::new(0, "cname"), PathRef::new(0, "oname"));
+        let diags = diags_for(m);
+        // The duplicated clause also re-assigns o.oname → W007 fires too.
+        assert!(codes(&diags).contains(&"MUSE-W006"), "{diags:?}");
+        assert!(codes(&diags).contains(&"MUSE-W007"), "{diags:?}");
+    }
+
+    #[test]
+    fn conflicting_assignment_is_w007() {
+        let mut m = fixtures::m2();
+        // location also claims o.oname, with a different source.
+        m.where_eq(PathRef::new(0, "location"), PathRef::new(0, "oname"));
+        let diags = diags_for(m);
+        assert!(codes(&diags).contains(&"MUSE-W007"), "{diags:?}");
+        assert!(!codes(&diags).contains(&"MUSE-W006"), "{diags:?}");
+    }
+
+    #[test]
+    fn degenerate_or_group_is_w008() {
+        let mut m = fixtures::m2();
+        m.or_group(
+            PathRef::new(2, "ename"),
+            vec![PathRef::new(2, "ename"), PathRef::new(2, "ename")],
+        );
+        let diags = diags_for(m);
+        assert!(codes(&diags).contains(&"MUSE-W008"), "{diags:?}");
+    }
+}

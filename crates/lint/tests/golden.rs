@@ -1,0 +1,100 @@
+//! Golden-diagnostic tests: the analyzer's full JSON report for each of the
+//! four evaluation scenarios, diffed byte-for-byte against the committed
+//! files in `tests/golden/`. Any change to a pass — new codes, reworded
+//! messages, different ordering — shows up as a readable diff here.
+//!
+//! Regenerate after an *intended* change with:
+//!
+//! ```text
+//! MUSE_BLESS=1 cargo test -p muse-lint --test golden
+//! ```
+
+use std::path::PathBuf;
+
+use muse_lint::{lint, LintInput};
+use muse_scenarios::Scenario;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Diff `actual` against the committed golden file, or rewrite the file
+/// when `MUSE_BLESS` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("MUSE_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); run with MUSE_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    if actual != expected {
+        let line = actual
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| actual.lines().count().min(expected.lines().count()) + 1);
+        panic!(
+            "{name} diverges from its golden file at line {line}; \
+             rerun with MUSE_BLESS=1 if the change is intended.\n\
+             --- actual line ---\n{}\n--- expected line ---\n{}",
+            actual.lines().nth(line - 1).unwrap_or("<eof>"),
+            expected.lines().nth(line - 1).unwrap_or("<eof>"),
+        );
+    }
+}
+
+fn check(scenario: &Scenario) {
+    let mappings = scenario.mappings().expect("scenario mappings generate");
+    let input = LintInput {
+        source_schema: &scenario.source_schema,
+        source_constraints: &scenario.source_constraints,
+        target_schema: &scenario.target_schema,
+        target_constraints: &scenario.target_constraints,
+        mappings: &mappings,
+    };
+    let report = lint(&input);
+    assert!(
+        report.is_clean(),
+        "{} has lint errors:\n{}",
+        scenario.name,
+        report.render()
+    );
+    let name = format!("{}.json", scenario.name.to_ascii_lowercase());
+    assert_golden(&name, &(report.to_json().render_pretty() + "\n"));
+}
+
+fn scenario(name: &str) -> Scenario {
+    muse_scenarios::all_scenarios()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("no scenario named {name}"))
+}
+
+#[test]
+fn mondial_diagnostics_are_stable() {
+    check(&scenario("Mondial"));
+}
+
+#[test]
+fn dblp_diagnostics_are_stable() {
+    check(&scenario("DBLP"));
+}
+
+#[test]
+fn tpch_diagnostics_are_stable() {
+    check(&scenario("TPCH"));
+}
+
+#[test]
+fn amalgam_diagnostics_are_stable() {
+    check(&scenario("Amalgam"));
+}

@@ -23,15 +23,6 @@ pub fn or_groups(m: &Mapping) -> Vec<(&PathRef, &[PathRef])> {
         .collect()
 }
 
-/// How many unambiguous mappings `m` encodes: the product of the or-group
-/// sizes (1 when `m` is unambiguous).
-pub fn alternatives_count(m: &Mapping) -> usize {
-    or_groups(m)
-        .iter()
-        .map(|(_, alts)| alts.len().max(1))
-        .product()
-}
-
 /// Resolve `m` to a single interpretation: `choices[i]` selects the
 /// alternative for the i-th or-group (in `where`-clause order). The result
 /// is unambiguous.
@@ -119,6 +110,8 @@ pub fn interpretations(m: &Mapping) -> Vec<Mapping> {
     }
     let sizes: Vec<usize> = groups.iter().map(|(_, alts)| alts.len()).collect();
     let all: Vec<Vec<usize>> = sizes.iter().map(|&s| (0..s).collect()).collect();
+    // `all` has one in-range index list per or-group by construction, so
+    // select_multi cannot return BadChoice/NotAmbiguous. lint:allow(SC002)
     select_multi(m, &all).expect("sizes are in range")
 }
 
@@ -170,16 +163,15 @@ pub fn merge_alternatives(ms: &[Mapping]) -> Option<Mapping> {
         .enumerate()
         .map(|(i, t)| {
             let alts = alternatives.remove(&i).unwrap_or_default();
-            if alts.len() == 1 {
-                WhereClause::Eq {
-                    source: alts.into_iter().next().unwrap(),
+            match <[PathRef; 1]>::try_from(alts) {
+                Ok([source]) => WhereClause::Eq {
+                    source,
                     target: (*t).clone(),
-                }
-            } else {
-                WhereClause::OrGroup {
+                },
+                Err(alts) => WhereClause::OrGroup {
                     target: (*t).clone(),
                     alternatives: alts,
-                }
+                },
             }
         })
         .collect();
@@ -190,6 +182,15 @@ pub fn merge_alternatives(ms: &[Mapping]) -> Option<Mapping> {
 mod tests {
     use super::*;
     use muse_nr::SetPath;
+
+    /// Product of the or-group sizes (`muse_lint::ambiguity` owns the
+    /// public counting API; this local copy keeps the crate cycle-free).
+    fn count(m: &Mapping) -> usize {
+        or_groups(m)
+            .iter()
+            .map(|(_, alts)| alts.len().max(1))
+            .product()
+    }
 
     /// The ambiguous mapping `ma` of Fig. 4(a): supervisor and email each
     /// have two alternatives (manager vs tech-lead).
@@ -218,7 +219,7 @@ mod tests {
         let m = ma();
         assert!(m.is_ambiguous());
         assert_eq!(or_groups(&m).len(), 2);
-        assert_eq!(alternatives_count(&m), 4);
+        assert_eq!(count(&m), 4);
     }
 
     #[test]
@@ -227,7 +228,7 @@ mod tests {
         let p = m.source_var("p", SetPath::parse("Projects"));
         let p1 = m.target_var("p1", SetPath::parse("Projects"));
         m.where_eq(PathRef::new(p, "pname"), PathRef::new(p1, "pname"));
-        assert_eq!(alternatives_count(&m), 1);
+        assert_eq!(count(&m), 1);
         assert_eq!(interpretations(&m).len(), 1);
         assert!(matches!(
             select(&m, &[]),
@@ -298,7 +299,7 @@ mod tests {
         let all = interpretations(&m);
         let merged = merge_alternatives(&all).expect("compatible alternatives");
         assert!(merged.is_ambiguous());
-        assert_eq!(alternatives_count(&merged), 4);
+        assert_eq!(count(&merged), 4);
         // The merged groups carry the original alternatives.
         let groups = or_groups(&merged);
         assert_eq!(groups.len(), 2);

@@ -60,9 +60,10 @@ pub fn parse(text: &str) -> Result<Vec<Mapping>, MappingError> {
 /// ```
 pub fn parse_one(text: &str) -> Result<Mapping, MappingError> {
     let ms = parse(text)?;
-    match ms.len() {
-        1 => Ok(ms.into_iter().next().unwrap()),
-        n => Err(MappingError::Parse {
+    let n = ms.len();
+    match <[Mapping; 1]>::try_from(ms) {
+        Ok([m]) => Ok(m),
+        Err(_) => Err(MappingError::Parse {
             line: 0,
             msg: format!("expected one mapping, found {n}"),
         }),
@@ -406,7 +407,10 @@ impl Parser {
                     }
                     alternatives.push(s);
                 }
-                m.or_group(target.expect("at least one disjunct"), alternatives);
+                let Some(target) = target else {
+                    return self.err("or-group has no disjuncts");
+                };
+                m.or_group(target, alternatives);
             } else {
                 let (a, b) = self.equality()?;
                 let (s, t) = classify(src, tgt, a, b)?;
@@ -553,7 +557,8 @@ mod tests {
         ";
         let m = parse_one(text).unwrap();
         assert!(m.is_ambiguous());
-        assert_eq!(crate::ambiguity::alternatives_count(&m), 4);
+        let groups = crate::ambiguity::or_groups(&m);
+        assert_eq!(groups.iter().map(|(_, a)| a.len()).product::<usize>(), 4);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::ast::{Mapping, MappingVar, PathRef, WhereClause};
 /// Print one mapping in concrete syntax (no schema qualifiers).
 pub fn print(m: &Mapping) -> String {
     let mut out = String::new();
-    write!(out, "{}: for ", m.name).unwrap();
+    let _ = write!(out, "{}: for ", m.name);
     out.push_str(&bindings(&m.source_vars));
     if !m.source_eqs.is_empty() {
         out.push_str("\n  satisfy ");
@@ -50,21 +50,18 @@ pub fn print(m: &Mapping) -> String {
     }
     for (set, g) in &m.groupings {
         // Find a target variable over the parent set to name the declaration.
-        let parent = set.parent().expect("groupings are on nested sets");
-        let owner = m
-            .target_vars
-            .iter()
-            .find(|v| v.set == parent)
+        let owner = set
+            .parent()
+            .and_then(|parent| m.target_vars.iter().find(|v| v.set == parent))
             .map(|v| v.name.as_str())
             .unwrap_or("?");
         let args: Vec<String> = g.args.iter().map(|r| m.source_ref_name(r)).collect();
-        write!(
+        let _ = write!(
             out,
             "\n  group {owner}.{} by ({})",
             set.label(),
             args.join(", ")
-        )
-        .unwrap();
+        );
     }
     out.push('\n');
     out

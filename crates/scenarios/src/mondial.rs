@@ -656,7 +656,7 @@ pub fn scenario() -> Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use muse_mapping::ambiguity::alternatives_count;
+    use muse_mapping::ambiguity::or_groups;
 
     #[test]
     fn profile_matches_the_paper() {
@@ -665,7 +665,15 @@ mod tests {
         assert_eq!(s.target_sets_with_grouping(), 8);
         let ms = s.mappings().unwrap();
         let ambiguous: Vec<_> = ms.iter().filter(|m| m.is_ambiguous()).collect();
-        let alts: usize = ambiguous.iter().map(|m| alternatives_count(m)).sum();
+        let alts: usize = ambiguous
+            .iter()
+            .map(|m| {
+                or_groups(m)
+                    .iter()
+                    .map(|(_, a)| a.len().max(1))
+                    .product::<usize>()
+            })
+            .sum();
         // Paper: 26 mappings, 7 ambiguous, encoding 208 alternatives.
         assert_eq!(
             ms.len(),

@@ -521,7 +521,7 @@ pub fn scenario() -> Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use muse_mapping::ambiguity::alternatives_count;
+    use muse_mapping::ambiguity::or_groups;
 
     #[test]
     fn profile_matches_the_paper() {
@@ -537,7 +537,11 @@ mod tests {
         );
         let ambiguous: Vec<_> = ms.iter().filter(|m| m.is_ambiguous()).collect();
         assert_eq!(ambiguous.len(), 1);
-        assert_eq!(alternatives_count(ambiguous[0]), 16);
+        let alts: usize = or_groups(ambiguous[0])
+            .iter()
+            .map(|(_, a)| a.len().max(1))
+            .product();
+        assert_eq!(alts, 16);
     }
 
     #[test]

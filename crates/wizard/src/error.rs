@@ -40,6 +40,9 @@ pub enum WizardError {
     },
     /// A scripted designer ran out of queued answers.
     ScriptExhausted(String),
+    /// A constructed example's instance does not have the shape the
+    /// mapping promised (missing root, non-record element, short row).
+    MalformedExample(String),
 }
 
 impl fmt::Display for WizardError {
@@ -65,6 +68,7 @@ impl fmt::Display for WizardError {
             WizardError::ScriptExhausted(what) => {
                 write!(f, "script exhausted ({what})")
             }
+            WizardError::MalformedExample(msg) => write!(f, "malformed example: {msg}"),
         }
     }
 }

@@ -344,8 +344,12 @@ fn synthetic_rows(
             let attrs_of = source_schema.attributes(&v.set).map_err(WizardError::Nr)?;
             let mut vals = Vec::with_capacity(attrs_of.len());
             for a in &attrs_of {
+                // poss is every attribute of every source variable
+                // (all_source_refs), and this loop walks exactly those,
+                // so the lookup cannot miss.
                 let i = space
                     .index_of(&PathRef::new(vi, a.clone()))
+                    // lint:allow(SC002)
                     .expect("poss covers all source attributes");
                 vals.push(value_for(i, copy));
             }
@@ -442,7 +446,12 @@ fn query_real(
             let rcd = source_schema
                 .element_record(&v.set)
                 .map_err(WizardError::Nr)?;
-            let fields = rcd.rcd_fields().expect("element record");
+            let Some(fields) = rcd.rcd_fields() else {
+                return Err(WizardError::MalformedExample(format!(
+                    "element of {} is not a record",
+                    v.set
+                )));
+            };
             let tuple = &binding[copy * n + vi];
             let vals: Vec<Value> = fields
                 .iter()
@@ -474,7 +483,12 @@ pub fn materialize(
             let rcd = source_schema
                 .element_record(&v.set)
                 .map_err(WizardError::Nr)?;
-            let fields = rcd.rcd_fields().expect("element record").to_vec();
+            let fields = rcd
+                .rcd_fields()
+                .ok_or_else(|| {
+                    WizardError::MalformedExample(format!("element of {} is not a record", v.set))
+                })?
+                .to_vec();
             // SetIDs for this tuple's set fields, keyed by atomic values.
             let mut my_sets = BTreeMap::new();
             for f in &fields {
@@ -490,13 +504,24 @@ pub fn materialize(
                 if f.ty.is_set() {
                     tuple.push(Value::Set(my_sets[&f.label]));
                 } else {
-                    tuple.push(atomic_iter.next().expect("row arity matches").clone());
+                    let Some(val) = atomic_iter.next() else {
+                        return Err(WizardError::MalformedExample(format!(
+                            "row for variable {} is shorter than its atomic fields",
+                            v.name
+                        )));
+                    };
+                    tuple.push(val.clone());
                 }
             }
             // Insert into root or into the parent's set.
             match &v.parent {
                 None => {
-                    let id = inst.root_id(v.set.label()).expect("root exists");
+                    let id = inst.root_id(v.set.label()).ok_or_else(|| {
+                        WizardError::MalformedExample(format!(
+                            "instance has no root set {}",
+                            v.set.label()
+                        ))
+                    })?;
                     inst.insert(id, tuple);
                 }
                 Some((p, field)) => {

@@ -196,7 +196,7 @@ impl MuseD<'_> {
                 .map_err(WizardError::Nr)?;
             let mut tuple = Vec::new();
             let mut ai = 0usize;
-            for f in rcd.rcd_fields().expect("element record") {
+            for f in rcd.rcd_fields().into_iter().flatten() {
                 if f.ty.is_set() {
                     let id = inst.group(core_set.child(&f.label), vec![Value::str("dangling")]);
                     tuple.push(Value::Set(id));

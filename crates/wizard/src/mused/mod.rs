@@ -15,7 +15,8 @@ pub mod joins;
 use std::time::Duration;
 
 use muse_chase::chase_with;
-use muse_mapping::ambiguity::{alternatives_count, or_groups, select_multi};
+use muse_lint::ambiguity::alternatives_count;
+use muse_mapping::ambiguity::{or_groups, select_multi};
 use muse_mapping::{Mapping, PathRef, WhereClause};
 use muse_nr::{Constraints, Instance, Schema, Value};
 use muse_obs::Metrics;
@@ -263,7 +264,7 @@ impl DisambiguationQuestion {
     pub fn render(&self, source_schema: &Schema, target_schema: &Schema) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        writeln!(
+        let _ = writeln!(
             out,
             "[Muse-D] mapping {} ({} example):",
             self.mapping,
@@ -272,8 +273,7 @@ impl DisambiguationQuestion {
             } else {
                 "synthetic"
             }
-        )
-        .unwrap();
+        );
         out.push_str("Example source:\n");
         out.push_str(&muse_nr::display::render(
             source_schema,
@@ -291,7 +291,7 @@ impl DisambiguationQuestion {
                 .iter()
                 .map(|v| self.example.instance.store().render_value(v))
                 .collect();
-            writeln!(out, "  {} ∈ {{ {} }}", c.target_display, vals.join(" | ")).unwrap();
+            let _ = writeln!(out, "  {} ∈ {{ {} }}", c.target_display, vals.join(" | "));
         }
         out
     }

@@ -238,15 +238,13 @@ impl<'a> MuseG<'a> {
                 real_budget: self.real_example_budget,
             };
             let first_key = keys[0];
-            let q = self.make_question(
-                m,
-                sk,
-                &space,
-                &req,
-                first_key,
-                0,
-                iter_attrs(first_key).next().unwrap(),
-            )?;
+            let Some(probed) = iter_attrs(first_key).next() else {
+                return Err(WizardError::UnsupportedGrouping(format!(
+                    "mapping {} has an empty candidate key",
+                    m.name
+                )));
+            };
+            let q = self.make_question(m, sk, &space, &req, first_key, 0, probed)?;
             self.record_example(&mut outcome, &q.example);
             outcome.questions += 1;
             self.metrics.incr("wizard.questions");
@@ -483,7 +481,7 @@ impl GroupingQuestion {
     pub fn render(&self, source_schema: &Schema, target_schema: &Schema) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        writeln!(
+        let _ = writeln!(
             out,
             "[Muse-G] mapping {}, designing SK{}, probing {} ({} example):",
             self.mapping,
@@ -494,8 +492,7 @@ impl GroupingQuestion {
             } else {
                 "synthetic"
             }
-        )
-        .unwrap();
+        );
         out.push_str("Example source:\n");
         out.push_str(&muse_nr::display::render(
             source_schema,

@@ -9,9 +9,9 @@ use crate::session::SessionReport;
 /// mappings in concrete syntax.
 pub fn render(report: &SessionReport) -> String {
     let mut out = String::new();
-    writeln!(out, "Session summary").unwrap();
-    writeln!(out, "===============").unwrap();
-    writeln!(out, "final mappings:        {}", report.mappings.len()).unwrap();
+    let _ = writeln!(out, "Session summary");
+    let _ = writeln!(out, "===============");
+    let _ = writeln!(out, "final mappings:        {}", report.mappings.len());
     if !report.disambiguations.is_empty() {
         let alts: usize = report
             .disambiguations
@@ -19,22 +19,20 @@ pub fn render(report: &SessionReport) -> String {
             .map(|d| d.alternatives_encoded)
             .sum();
         let real = report.disambiguations.iter().filter(|d| d.real).count();
-        writeln!(
+        let _ = writeln!(
             out,
             "Muse-D:                {} questions resolved {} interpretations ({} real examples)",
             report.disambiguations.len(),
             alts,
             real
-        )
-        .unwrap();
+        );
     }
     if report.join_questions > 0 {
-        writeln!(
+        let _ = writeln!(
             out,
             "join choices:          {} asked, {} outer companions added",
             report.join_questions, report.companions_added
-        )
-        .unwrap();
+        );
     }
     if !report.groupings.is_empty() {
         let questions: usize = report.groupings.iter().map(|(_, g)| g.questions).sum();
@@ -49,31 +47,28 @@ pub fn render(report: &SessionReport) -> String {
             .iter()
             .map(|(_, g)| g.skipped_implied)
             .sum();
-        writeln!(
+        let _ = writeln!(
             out,
             "Muse-G:                {} grouping functions, {} questions ({} skipped via keys/FDs)",
             report.groupings.len(),
             questions,
             skipped
-        )
-        .unwrap();
+        );
         let pct = (100 * real).checked_div(real + synth).unwrap_or(0);
-        writeln!(
+        let _ = writeln!(
             out,
             "examples:              {real} real / {synth} synthetic ({pct}% real)"
-        )
-        .unwrap();
+        );
     }
-    writeln!(out, "total questions:       {}", report.total_questions()).unwrap();
-    writeln!(
+    let _ = writeln!(out, "total questions:       {}", report.total_questions());
+    let _ = writeln!(
         out,
         "example time:          {:?}",
         report.total_example_time()
-    )
-    .unwrap();
-    writeln!(out).unwrap();
-    writeln!(out, "Designed mappings").unwrap();
-    writeln!(out, "-----------------").unwrap();
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Designed mappings");
+    let _ = writeln!(out, "-----------------");
     out.push_str(&muse_mapping::printer::print_all(&report.mappings));
     out
 }

@@ -60,7 +60,7 @@ fn main() {
     println!(
         "`ma` is ambiguous: {} or-groups encoding {} interpretations.\n",
         muse_suite::mapping::ambiguity::or_groups(&ma).len(),
-        muse_suite::mapping::ambiguity::alternatives_count(&ma),
+        muse_suite::lint::ambiguity::alternatives_count(&ma),
     );
 
     // The Fig. 4(b) source instance.

@@ -6,6 +6,7 @@
 
 pub use muse_chase as chase;
 pub use muse_cliogen as cliogen;
+pub use muse_lint as lint;
 pub use muse_mapping as mapping;
 pub use muse_nr as nr;
 pub use muse_query as query;

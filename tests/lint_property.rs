@@ -1,0 +1,141 @@
+//! The lint/wizard contract, checked empirically: a bundle the analyzer
+//! passes without errors really does chase and survive both wizards, and
+//! the Muse-G question counts the wizard reports stay inside the bounds
+//! pass 3 (`MUSE-A003`) predicted. Seeds come from the in-tree SplitMix64
+//! generator, so every run checks the same cases.
+
+use muse_obs::Rng;
+use muse_suite::chase::chase;
+use muse_suite::cliogen::{desired_grouping, GroupingStrategy};
+use muse_suite::lint::budget::question_budget;
+use muse_suite::lint::{lint, LintInput};
+use muse_suite::mapping::ambiguity::{or_groups, select_multi};
+use muse_suite::scenarios::Scenario;
+use muse_suite::wizard::{OracleDesigner, Session};
+
+fn lint_scenario(scenario: &Scenario) -> muse_suite::lint::LintReport {
+    let mappings = scenario.mappings().unwrap();
+    let input = LintInput {
+        source_schema: &scenario.source_schema,
+        source_constraints: &scenario.source_constraints,
+        target_schema: &scenario.target_schema,
+        target_constraints: &scenario.target_constraints,
+        mappings: &mappings,
+    };
+    lint(&input)
+}
+
+/// An oracle wanting `strategy` groupings and the first interpretation of
+/// every or-group — the same designer `muse scenario --strategy` simulates.
+fn oracle_for<'a>(scenario: &'a Scenario, strategy: GroupingStrategy) -> OracleDesigner<'a> {
+    let mappings = scenario.mappings().unwrap();
+    let mut oracle = OracleDesigner::new(&scenario.source_schema, &scenario.target_schema);
+    for m in &mappings {
+        let resolved = if m.is_ambiguous() {
+            let picks = vec![vec![0usize]; or_groups(m).len()];
+            oracle
+                .intended_choices
+                .insert(m.name.clone(), picks.clone());
+            select_multi(m, &picks).unwrap()
+        } else {
+            vec![m.clone()]
+        };
+        for sel in resolved {
+            for sk in sel.filled_target_sets(&scenario.target_schema).unwrap() {
+                let desired = desired_grouping(
+                    &sel,
+                    &sk,
+                    strategy,
+                    &scenario.source_schema,
+                    &scenario.target_schema,
+                )
+                .unwrap();
+                oracle.intend_grouping(sel.name.clone(), sk, desired);
+            }
+        }
+    }
+    oracle
+}
+
+/// Lint-clean bundles run end-to-end: no `WizardError`, a valid chased
+/// target, and per-set Muse-G question counts within the `MUSE-A003`
+/// budget computed on the resolved mapping.
+fn check_scenario(scenario: &Scenario, seed: u64, strategy: GroupingStrategy) {
+    let report = lint_scenario(scenario);
+    assert!(
+        report.is_clean(),
+        "{}: lint errors\n{}",
+        scenario.name,
+        report.render()
+    );
+
+    let instance = scenario.instance(scenario.default_scale * 0.02, seed);
+    let mappings = scenario.mappings().unwrap();
+    let mut oracle = oracle_for(scenario, strategy);
+    let session = Session::new(
+        &scenario.source_schema,
+        &scenario.target_schema,
+        &scenario.source_constraints,
+    )
+    .with_instance(&instance);
+    let out = session
+        .run(&mappings, &mut oracle)
+        .unwrap_or_else(|e| panic!("{} seed {seed}: wizard failed: {e}", scenario.name));
+
+    // The wizard never asks more than pass 3's worst case, nor fewer than
+    // its best case, for any grouping it actually designed.
+    for (mname, g) in &out.groupings {
+        let m = out
+            .mappings
+            .iter()
+            .find(|m| &m.name == mname)
+            .unwrap_or_else(|| panic!("{}: no final mapping named {mname}", scenario.name));
+        let budget = question_budget(m, &scenario.source_schema, &scenario.source_constraints)
+            .unwrap_or_else(|e| panic!("{}/{}: budget failed: {e:?}", scenario.name, mname));
+        assert!(
+            g.questions <= budget.upper,
+            "{}/{}/{}: {} questions > predicted upper bound {}",
+            scenario.name,
+            mname,
+            g.sk,
+            g.questions,
+            budget.upper
+        );
+        assert!(
+            g.questions >= budget.lower.min(1),
+            "{}/{}/{}: {} questions < predicted lower bound {}",
+            scenario.name,
+            mname,
+            g.sk,
+            g.questions,
+            budget.lower
+        );
+    }
+
+    let target = chase(
+        &scenario.source_schema,
+        &scenario.target_schema,
+        &instance,
+        &out.mappings,
+    )
+    .unwrap_or_else(|e| panic!("{} seed {seed}: chase failed: {e}", scenario.name));
+    target.validate(&scenario.target_schema).unwrap();
+}
+
+#[test]
+fn lint_clean_bundles_survive_the_wizards() {
+    let mut rng = Rng::new(0x4d55_5345); // "MUSE"
+    let strategies = [
+        GroupingStrategy::G1,
+        GroupingStrategy::G2,
+        GroupingStrategy::G3,
+    ];
+    for scenario in muse_suite::scenarios::all_scenarios() {
+        for round in 0..2u64 {
+            let seed = rng.next_u64();
+            let strategy = strategies[(rng.next_u64() % 3) as usize];
+            let _ = round;
+            check_scenario(&scenario, seed, strategy);
+        }
+    }
+}
