@@ -9,7 +9,11 @@
 //! * `chase.tuples_emitted` — tuples actually added to the target,
 //! * `chase.dedup_hits` — tuple insertions the target union deduplicated,
 //! * `chase.time` — wall-clock spans per chased mapping (serial path),
-//! * `chase.par_time` — wall-clock spans per parallel chase call.
+//! * `chase.par_time` — wall-clock spans per parallel chase call,
+//! * `chase.par_fallbacks` — parallel calls that degraded to the serial
+//!   path (a worker panicked or the budget tripped mid-flight),
+//! * `budget.*` — truncations recorded when a governed chase stops early
+//!   (see [`muse_obs::budget`]).
 //!
 //! # Parallel chase
 //!
@@ -35,14 +39,30 @@
 
 use std::collections::BTreeMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use muse_mapping::{Mapping, PathRef, WhereClause};
 use muse_nr::{Instance, NullId, Schema, SetId, SetPath, Tuple, Value};
-use muse_obs::{Counter, Metrics};
-use muse_par::{chunks, scope_map};
-use muse_query::{evaluate_deadline_with, Binding};
+use muse_obs::{faultpoints, Budget, Counter, Metrics, Outcome, TruncationReason};
+use muse_par::{chunks, try_scope_map};
+use muse_query::{evaluate_all_with, Binding};
 
 use crate::error::ChaseError;
+
+/// Translate a non-panic injected fault into the budget-truncation path
+/// the site would take organically.
+fn fault_reason(f: muse_fault::Fault) -> TruncationReason {
+    match f {
+        muse_fault::Fault::DeadlineExpiry => TruncationReason::DeadlineExpired,
+        muse_fault::Fault::TermCapExhaustion => TruncationReason::TermLimit,
+    }
+}
+
+/// Interned terms (SetIDs + labeled nulls) in `target`, the quantity the
+/// budget's `max_terms` axis caps.
+fn term_count(target: &Instance) -> u64 {
+    (target.store().set_count() + target.store().null_count()) as u64
+}
 
 /// Chase `source` with all of `mappings`, producing the canonical universal
 /// solution. Mappings must be unambiguous, validated and carry grouping
@@ -77,7 +97,9 @@ pub fn chase(
 }
 
 /// Like [`chase`], reporting counters and timings through `metrics` (see the
-/// module docs for the emitted keys).
+/// module docs for the emitted keys). Runs under the unlimited budget, so it
+/// only truncates when a fault plan injects a fault — in which case the
+/// (valid) partial result is returned as-is.
 pub fn chase_with(
     source_schema: &Schema,
     target_schema: &Schema,
@@ -85,20 +107,54 @@ pub fn chase_with(
     mappings: &[Mapping],
     metrics: &Metrics,
 ) -> Result<Instance, ChaseError> {
+    chase_budget_with(
+        source_schema,
+        target_schema,
+        source,
+        mappings,
+        Budget::unlimited_ref(),
+        metrics,
+    )
+    .map(Outcome::into_value)
+}
+
+/// The governed chase: like [`chase_with`] but bounded by `budget` — the
+/// wall-clock deadline and chase-step cap are checked in the binding loop,
+/// the interned-term cap after every firing, and the query evaluations
+/// enumerate bindings under the same budget. On exhaustion the chase stops
+/// cleanly and returns the target built so far as
+/// [`Outcome::Truncated`] — always a valid (validating) instance, just an
+/// incomplete one. Truncations are recorded under `budget.*`.
+pub fn chase_budget_with(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+    mappings: &[Mapping],
+    budget: &Budget,
+    metrics: &Metrics,
+) -> Result<Outcome<Instance>, ChaseError> {
     let mut target = Instance::new(target_schema);
     let timer = metrics.timer("chase.time");
+    let mut steps: u64 = 0;
     for m in mappings {
         let _span = timer.start();
-        chase_into(
+        if let Some(reason) = chase_into(
             source_schema,
             target_schema,
             source,
             m,
             &mut target,
+            &mut steps,
+            budget,
             metrics,
-        )?;
+        )? {
+            return Ok(Outcome::Truncated {
+                partial: target,
+                reason,
+            });
+        }
     }
-    Ok(target)
+    Ok(Outcome::Complete(target))
 }
 
 /// Chase with a single mapping.
@@ -133,6 +189,25 @@ pub fn chase_one_with(
     )
 }
 
+/// Governed single-mapping chase (the wizards' probe path).
+pub fn chase_one_budget_with(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+    mapping: &Mapping,
+    budget: &Budget,
+    metrics: &Metrics,
+) -> Result<Outcome<Instance>, ChaseError> {
+    chase_budget_with(
+        source_schema,
+        target_schema,
+        source,
+        std::slice::from_ref(mapping),
+        budget,
+        metrics,
+    )
+}
+
 /// Like [`chase`], but with the work partitioned across `threads` scoped
 /// worker threads. Produces exactly the serial result (see the module docs
 /// for the partitioning and merge scheme). `threads <= 1` falls back to the
@@ -155,7 +230,9 @@ pub fn chase_par(
 }
 
 /// Like [`chase_par`], reporting through `metrics`: the serial-chase keys
-/// plus `chase.par_time` and the pool's `par.*` keys.
+/// plus `chase.par_time` and the pool's `par.*` keys. Runs under the
+/// unlimited budget; see [`chase_par_budget_with`] for the degradation
+/// contract.
 pub fn chase_par_with(
     source_schema: &Schema,
     target_schema: &Schema,
@@ -164,32 +241,104 @@ pub fn chase_par_with(
     threads: usize,
     metrics: &Metrics,
 ) -> Result<Instance, ChaseError> {
+    chase_par_budget_with(
+        source_schema,
+        target_schema,
+        source,
+        mappings,
+        threads,
+        Budget::unlimited_ref(),
+        metrics,
+    )
+    .map(Outcome::into_value)
+}
+
+/// The governed parallel chase. The fast path runs the 4-phase parallel
+/// scheme; if any worker unit *panics* (caught by the pool's isolation
+/// wrapper, counted under `par.panics`) or any phase trips the budget, the
+/// partial parallel state is discarded and the whole call retries once as
+/// the serial [`chase_budget_with`] — so the output, complete or
+/// truncated, is always byte-identical to the serial chase's. Fallbacks
+/// are counted under `chase.par_fallbacks`.
+pub fn chase_par_budget_with(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+    mappings: &[Mapping],
+    threads: usize,
+    budget: &Budget,
+    metrics: &Metrics,
+) -> Result<Outcome<Instance>, ChaseError> {
     if threads <= 1 {
-        return chase_with(source_schema, target_schema, source, mappings, metrics);
+        return chase_budget_with(
+            source_schema,
+            target_schema,
+            source,
+            mappings,
+            budget,
+            metrics,
+        );
     }
     let timer = metrics.timer("chase.par_time");
     let _span = timer.start();
+    match chase_par_attempt(
+        source_schema,
+        target_schema,
+        source,
+        mappings,
+        threads,
+        budget,
+        metrics,
+    )? {
+        Some(target) => Ok(Outcome::Complete(target)),
+        None => {
+            // A unit panicked or the budget tripped mid-flight: discard the
+            // parallel partials and retry once, serially — the serial path
+            // truncates deterministically, so the degraded result is exactly
+            // what a serial caller would have seen.
+            metrics.incr("chase.par_fallbacks");
+            chase_budget_with(
+                source_schema,
+                target_schema,
+                source,
+                mappings,
+                budget,
+                metrics,
+            )
+        }
+    }
+}
 
+/// One parallel attempt. `Ok(None)` means "degrade to serial" (a worker
+/// panicked or the budget tripped); typed chase errors propagate.
+fn chase_par_attempt(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+    mappings: &[Mapping],
+    threads: usize,
+    budget: &Budget,
+    metrics: &Metrics,
+) -> Result<Option<Instance>, ChaseError> {
     // Phase 1: prepare every mapping and enumerate its bindings, in
-    // parallel across mappings.
-    let prepared = scope_map(mappings.len(), threads, metrics, |i| {
+    // parallel across mappings — each evaluation governed by the budget.
+    let prepared = try_scope_map(mappings.len(), threads, metrics, |i| {
         let m = &mappings[i];
         let p = prepare(source_schema, target_schema, m, metrics)?;
-        let (bindings, _) = evaluate_deadline_with(
-            source_schema,
-            source,
-            &m.source_query(),
-            None,
-            None,
-            metrics,
-        )?;
-        Ok::<_, ChaseError>((p, bindings))
+        let outcome = evaluate_all_with(source_schema, source, &m.source_query(), budget, metrics)?;
+        Ok::<_, ChaseError>(outcome.map(|bindings| (p, bindings)))
     });
     let mut preps: Vec<(Prepared<'_>, Vec<Binding>)> = Vec::with_capacity(mappings.len());
     for r in prepared {
-        let (p, bindings) = r?;
-        metrics.add("chase.bindings", bindings.len() as u64);
-        preps.push((p, bindings));
+        match r {
+            Err(_panic) => return Ok(None),
+            Ok(Err(e)) => return Err(e),
+            Ok(Ok(Outcome::Truncated { .. })) => return Ok(None),
+            Ok(Ok(Outcome::Complete((p, bindings)))) => {
+                metrics.add("chase.bindings", bindings.len() as u64);
+                preps.push((p, bindings));
+            }
+        }
     }
 
     // Phase 2: cut each mapping's bindings into contiguous chunks. The
@@ -204,9 +353,15 @@ pub fn chase_par_with(
     // Phase 3: fire each unit into a private instance with a private term
     // store (disjoint id ranges — no shared locks). Workers record only
     // within-unit dedup hits; emission is counted at merge time so the
-    // totals match the serial chase exactly.
+    // totals match the serial chase exactly. The step cap is enforced
+    // globally via a shared atomic; the term cap can only be measured on
+    // the merged store, so it is checked in phase 4.
     let dedup_hits = metrics.counter("chase.dedup_hits");
-    let partials = scope_map(units.len(), threads, metrics, |u| {
+    let steps = AtomicU64::new(0);
+    let partials = try_scope_map(units.len(), threads, metrics, |u| {
+        if let Some(f) = muse_fault::point(faultpoints::CHASE_FIRE_UNIT) {
+            return Ok(Err(fault_reason(f)));
+        }
         let (mi, range) = &units[u];
         let (p, bindings) = &preps[*mi];
         let mut partial = Instance::new(target_schema);
@@ -214,23 +369,48 @@ pub fn chase_par_with(
             emitted: Counter::default(),
             dedup_hits: dedup_hits.clone(),
         };
+        let mut fired: u64 = 0;
         for binding in &bindings[range.clone()] {
+            let total = steps.fetch_add(1, Ordering::Relaxed) + 1;
+            if budget.steps_exhausted(total) {
+                return Ok(Err(TruncationReason::ChaseStepLimit));
+            }
+            fired += 1;
+            if fired.is_multiple_of(64) && budget.deadline_expired() {
+                return Ok(Err(TruncationReason::DeadlineExpired));
+            }
             fire(p, &mut partial, binding, &emit)?;
         }
-        Ok::<_, ChaseError>(partial)
+        Ok::<Result<Instance, TruncationReason>, ChaseError>(Ok(partial))
     });
+    let mut fired_units: Vec<Instance> = Vec::with_capacity(units.len());
+    for r in partials {
+        match r {
+            Err(_panic) => return Ok(None),
+            Ok(Err(e)) => return Err(e),
+            Ok(Ok(Err(_reason))) => return Ok(None),
+            Ok(Ok(Ok(partial))) => fired_units.push(partial),
+        }
+    }
 
     // Phase 4: serial merge in unit order reproduces the serial interning
-    // order, so ids (and renderings) come out identical to `chase`.
+    // order, so ids (and renderings) come out identical to `chase`. The
+    // term cap and deadline are re-checked per merged unit.
     let mut target = Instance::new(target_schema);
     let emit = Emit {
         emitted: metrics.counter("chase.tuples_emitted"),
         dedup_hits,
     };
-    for partial in partials {
-        merge_into(&mut target, &partial?, &emit);
+    for partial in &fired_units {
+        if muse_fault::point(faultpoints::CHASE_MERGE).is_some() {
+            return Ok(None);
+        }
+        merge_into(&mut target, partial, &emit);
+        if budget.terms_exhausted(term_count(&target)) || budget.deadline_expired() {
+            return Ok(None);
+        }
     }
-    Ok(target)
+    Ok(Some(target))
 }
 
 /// Re-intern one partial instance into `target`. Walking the partial
@@ -362,32 +542,62 @@ struct Prepared<'m> {
     plans: Vec<TVarPlan>,
 }
 
+/// Chase one mapping into `target` under `budget`. Returns the truncation
+/// reason when the budget (or an injected fault) cut the work short —
+/// `target` then holds everything fired so far, still a valid instance.
+/// `steps` is the cross-mapping firing counter the step cap applies to.
+#[allow(clippy::too_many_arguments)]
 fn chase_into(
     source_schema: &Schema,
     target_schema: &Schema,
     source: &Instance,
     m: &Mapping,
     target: &mut Instance,
+    steps: &mut u64,
+    budget: &Budget,
     metrics: &Metrics,
-) -> Result<(), ChaseError> {
+) -> Result<Option<TruncationReason>, ChaseError> {
     let p = prepare(source_schema, target_schema, m, metrics)?;
-    let (bindings, _) = evaluate_deadline_with(
-        source_schema,
-        source,
-        &m.source_query(),
-        None,
-        None,
-        metrics,
-    )?;
+    let bindings =
+        match evaluate_all_with(source_schema, source, &m.source_query(), budget, metrics)? {
+            Outcome::Complete(b) => b,
+            // The enumeration itself was cut short (already recorded by the
+            // query layer); firing a truncated binding set would produce an
+            // unpredictable prefix, so stop before firing.
+            Outcome::Truncated { reason, .. } => return Ok(Some(reason)),
+        };
     metrics.add("chase.bindings", bindings.len() as u64);
     let emit = Emit {
         emitted: metrics.counter("chase.tuples_emitted"),
         dedup_hits: metrics.counter("chase.dedup_hits"),
     };
+    let check_terms = budget.max_terms.is_some();
     for binding in &bindings {
+        if let Some(f) = muse_fault::point(faultpoints::CHASE_BINDING) {
+            let reason = fault_reason(f);
+            reason.record(metrics);
+            return Ok(Some(reason));
+        }
+        *steps += 1;
+        if budget.steps_exhausted(*steps) {
+            let reason = TruncationReason::ChaseStepLimit;
+            reason.record(metrics);
+            return Ok(Some(reason));
+        }
+        // The deadline check reads the clock — amortize it over firings.
+        if steps.is_multiple_of(64) && budget.deadline_expired() {
+            let reason = TruncationReason::DeadlineExpired;
+            reason.record(metrics);
+            return Ok(Some(reason));
+        }
         fire(&p, target, binding, &emit)?;
+        if check_terms && budget.terms_exhausted(term_count(target)) {
+            let reason = TruncationReason::TermLimit;
+            reason.record(metrics);
+            return Ok(Some(reason));
+        }
     }
-    Ok(())
+    Ok(None)
 }
 
 /// Validate `m` and resolve its firing plan (equivalence classes, null
@@ -938,5 +1148,77 @@ mod tests {
         let src = Instance::new(&s);
         let out = chase(&s, &t, &src, &fig1_mappings()).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn step_cap_truncates_to_a_valid_prefix() {
+        let (s, t) = (compdb(), orgdb());
+        let src = fig2_source(&s);
+        let ms = fig1_mappings();
+        let m = Metrics::enabled();
+        let budget = Budget::unlimited().with_max_chase_steps(2);
+        let out = chase_budget_with(&s, &t, &src, &ms, &budget, &m).unwrap();
+        assert_eq!(out.reason(), Some(TruncationReason::ChaseStepLimit));
+        let partial = out.into_value();
+        partial.validate(&t).unwrap();
+        // Exactly the first two firings happened (m1's two company bindings).
+        let full = chase(&s, &t, &src, &ms).unwrap();
+        assert!(partial.total_tuples() < full.total_tuples());
+        assert!(partial.total_tuples() > 0);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("budget.step_limit_hits"), 1);
+        assert_eq!(snap.counter("budget.truncations"), 1);
+    }
+
+    #[test]
+    fn term_cap_truncates_to_a_valid_prefix() {
+        let (s, t) = (compdb(), orgdb());
+        let src = fig2_source(&s);
+        let ms = fig1_mappings();
+        let m = Metrics::enabled();
+        let budget = Budget::unlimited().with_max_terms(1);
+        let out = chase_budget_with(&s, &t, &src, &ms, &budget, &m).unwrap();
+        assert_eq!(out.reason(), Some(TruncationReason::TermLimit));
+        out.value().validate(&t).unwrap();
+        assert_eq!(m.snapshot().counter("budget.term_limit_hits"), 1);
+    }
+
+    #[test]
+    fn unlimited_budget_completes_identically() {
+        let (s, t) = (compdb(), orgdb());
+        let src = fig2_source(&s);
+        let ms = fig1_mappings();
+        let legacy = chase(&s, &t, &src, &ms).unwrap();
+        let governed = chase_budget_with(
+            &s,
+            &t,
+            &src,
+            &ms,
+            Budget::unlimited_ref(),
+            &Metrics::disabled(),
+        )
+        .unwrap();
+        assert!(governed.is_complete());
+        assert_eq!(
+            display::render(&t, &legacy),
+            display::render(&t, governed.value())
+        );
+    }
+
+    #[test]
+    fn par_budget_truncation_falls_back_to_serial_result() {
+        let (s, t) = (compdb(), orgdb());
+        let src = fig2_source(&s);
+        let ms = fig1_mappings();
+        let budget = Budget::unlimited().with_max_chase_steps(3);
+        let m = Metrics::enabled();
+        let serial = chase_budget_with(&s, &t, &src, &ms, &budget, &Metrics::disabled()).unwrap();
+        let par = chase_par_budget_with(&s, &t, &src, &ms, 4, &budget, &m).unwrap();
+        assert_eq!(serial.reason(), par.reason());
+        assert_eq!(
+            display::render(&t, serial.value()),
+            display::render(&t, par.value())
+        );
+        assert_eq!(m.snapshot().counter("chase.par_fallbacks"), 1);
     }
 }

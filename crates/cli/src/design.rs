@@ -17,10 +17,12 @@ use std::fs;
 use std::io::{stdin, stdout};
 use std::path::PathBuf;
 
+use std::time::Duration;
+
 use muse_cliogen::{generate, Correspondence, ScenarioSpec};
 use muse_nr::text::parse_schema;
 use muse_nr::tsv;
-use muse_obs::Metrics;
+use muse_obs::{Budget, Metrics};
 use muse_wizard::{InteractiveDesigner, Session};
 
 struct Options {
@@ -31,6 +33,25 @@ struct Options {
     out: Option<PathBuf>,
     metrics: bool,
     lint_deny: bool,
+    deadline_ms: Option<u64>,
+    max_rows: Option<u64>,
+    max_terms: Option<u64>,
+}
+
+impl Options {
+    fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_deadline_in(Duration::from_millis(ms));
+        }
+        if let Some(n) = self.max_rows {
+            b = b.with_max_rows(n);
+        }
+        if let Some(n) = self.max_terms {
+            b = b.with_max_terms(n);
+        }
+        b
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -41,6 +62,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut out = None;
     let mut metrics = false;
     let mut lint_deny = false;
+    let mut deadline_ms = None;
+    let mut max_rows = None;
+    let mut max_terms = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -57,12 +81,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
+        let number = || -> Result<u64, String> {
+            value.parse().map_err(|_| format!("{flag} needs a number"))
+        };
         match flag {
             "--source" => source = Some(PathBuf::from(value)),
             "--target" => target = Some(PathBuf::from(value)),
             "--corr" => corr = Some(PathBuf::from(value)),
             "--data" => data = Some(PathBuf::from(value)),
             "--out" => out = Some(PathBuf::from(value)),
+            "--deadline-ms" => deadline_ms = Some(number()?),
+            "--max-rows" => max_rows = Some(number()?),
+            "--max-terms" => max_terms = Some(number()?),
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 2;
@@ -75,6 +105,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         out,
         metrics,
         lint_deny,
+        deadline_ms,
+        max_rows,
+        max_terms,
     })
 }
 
@@ -154,8 +187,10 @@ pub fn run(args: &[String]) -> i32 {
         } else {
             Metrics::disabled()
         };
-        let mut session =
-            Session::new(&source_schema, &target_schema, &source_cons).with_metrics(&metrics);
+        let budget = opts.budget();
+        let mut session = Session::new(&source_schema, &target_schema, &source_cons)
+            .with_budget(&budget)
+            .with_metrics(&metrics);
         if let Some(inst) = &instance {
             session = session.with_instance(inst);
         }
@@ -169,6 +204,9 @@ pub fn run(args: &[String]) -> i32 {
         let report = session
             .run(&mappings, &mut designer)
             .map_err(|e| e.to_string())?;
+        for w in &report.warnings {
+            eprintln!("warning: {w}");
+        }
 
         let text = muse_mapping::printer::print_all(&report.mappings);
         match &opts.out {

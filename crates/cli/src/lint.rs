@@ -106,19 +106,32 @@ pub fn run(args: &[String]) -> i32 {
         }
     };
 
-    let mut denied = false;
+    // One row per scenario: PASS (clean under the deny policy), FAIL
+    // otherwise. A scenario whose mappings cannot even be generated is a
+    // FAIL, but the sweep continues over the rest.
+    let many = selected.len() > 1;
+    let mut rows: Vec<(&str, Option<String>)> = Vec::new();
     let mut sections: Vec<(&str, Json)> = Vec::new();
     for scenario in selected {
         let report = match lint_scenario(scenario) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("{e}");
-                return 1;
+                rows.push((scenario.name, Some(e)));
+                continue;
             }
         };
-        if report.should_deny(opts.deny_warnings) {
-            denied = true;
-        }
+        let fail = report.should_deny(opts.deny_warnings);
+        rows.push((
+            scenario.name,
+            fail.then(|| {
+                format!(
+                    "{} error(s), {} warning(s)",
+                    report.errors(),
+                    report.warnings()
+                )
+            }),
+        ));
         if opts.json {
             sections.push((scenario.name, report.to_json()));
         } else {
@@ -130,7 +143,21 @@ pub fn run(args: &[String]) -> i32 {
     if opts.json {
         println!("{}", Json::obj(sections).render_pretty());
     }
-    if denied {
+    if many {
+        println!("── summary ──────────────────────────────────");
+        for (name, fail) in &rows {
+            match fail {
+                None => println!("{name:<10} PASS"),
+                Some(why) => {
+                    println!(
+                        "{name:<10} FAIL: {}",
+                        why.lines().next().unwrap_or("failed")
+                    )
+                }
+            }
+        }
+    }
+    if rows.iter().any(|(_, fail)| fail.is_some()) {
         1
     } else {
         0

@@ -28,6 +28,13 @@ mod lint;
 mod scenario;
 
 fn main() {
+    // Deterministic fault injection (chaos testing): `MUSE_FAULTS=<spec>`
+    // arms a plan for the whole invocation. Libraries never read the
+    // environment themselves — arming is an entry-point decision.
+    if let Err(e) = muse_fault::arm_from_env() {
+        eprintln!("MUSE_FAULTS: {e}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("demo") => demo::run_demo(),
@@ -68,6 +75,13 @@ fn usage() {
     println!("      --metrics                  print stage counters/timings after the run");
     println!("      --lint-deny                abort scenario/design runs on lint warnings");
     println!("                                 (lint errors always abort)");
+    println!("      --deadline-ms <n>          wall-clock budget per session; questions the");
+    println!("                                 budget truncates are skipped with a warning");
+    println!("      --max-rows <n>             cap query result rows (graceful truncation)");
+    println!("      --max-terms <n>            cap interned terms per chased instance");
+    println!("      --faults <spec>            arm a fault-injection plan, e.g.");
+    println!("                                 `chase.fire_unit:panic@2;seed:7x3`");
+    println!("                                 (also via the MUSE_FAULTS env var)");
 }
 
 /// Shared stdin/stdout prompt helper.

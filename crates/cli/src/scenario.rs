@@ -6,10 +6,11 @@
 
 use std::fmt::Write as _;
 use std::io::{stdin, stdout};
+use std::time::Duration;
 
 use muse_cliogen::{desired_grouping, GroupingStrategy};
 use muse_mapping::ambiguity::{or_groups, select_multi};
-use muse_obs::Metrics;
+use muse_obs::{Budget, Metrics};
 use muse_par::scope_map;
 use muse_scenarios::Scenario;
 use muse_wizard::{InteractiveDesigner, OracleDesigner, Session};
@@ -22,6 +23,28 @@ struct Options {
     metrics: bool,
     threads: Option<usize>,
     lint_deny: bool,
+    deadline_ms: Option<u64>,
+    max_rows: Option<u64>,
+    max_terms: Option<u64>,
+    faults: Option<String>,
+}
+
+impl Options {
+    /// The execution budget for one session. Built per session so a
+    /// `--deadline-ms` clock starts when that session starts.
+    fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_deadline_in(Duration::from_millis(ms));
+        }
+        if let Some(n) = self.max_rows {
+            b = b.with_max_rows(n);
+        }
+        if let Some(n) = self.max_terms {
+            b = b.with_max_terms(n);
+        }
+        b
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -33,6 +56,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         metrics: false,
         threads: None,
         lint_deny: false,
+        deadline_ms: None,
+        max_rows: None,
+        max_terms: None,
+        faults: None,
     };
     let mut i = 1;
     while i < args.len() {
@@ -44,6 +71,38 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--lint-deny" => {
                 opts.lint_deny = true;
                 i += 1;
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--deadline-ms needs a number")?,
+                );
+                i += 2;
+            }
+            "--max-rows" => {
+                opts.max_rows = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-rows needs a number")?,
+                );
+                i += 2;
+            }
+            "--max-terms" => {
+                opts.max_terms = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-terms needs a number")?,
+                );
+                i += 2;
+            }
+            "--faults" => {
+                opts.faults = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .ok_or("--faults needs a spec, e.g. `chase.fire_unit:panic@2`")?,
+                );
+                i += 2;
             }
             "--strategy" => {
                 let v = args.get(i + 1).ok_or("--strategy needs a value")?;
@@ -83,6 +142,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Per-scenario result of a `scenario all` sweep.
+enum Status {
+    Pending,
+    Pass,
+    Truncated(usize),
+    Fail(String),
+}
+
 pub fn run(args: &[String]) -> i32 {
     let opts = match parse_args(args) {
         Ok(o) => o,
@@ -91,14 +158,18 @@ pub fn run(args: &[String]) -> i32 {
             return 2;
         }
     };
+    if let Some(spec) = &opts.faults {
+        match muse_fault::parse_spec(spec) {
+            Ok(plan) => muse_fault::arm(plan),
+            Err(e) => {
+                eprintln!("--faults: {e}");
+                return 2;
+            }
+        }
+    }
     let scenarios = muse_scenarios::all_scenarios();
 
     if opts.name.eq_ignore_ascii_case("all") {
-        for scenario in &scenarios {
-            if let Some(code) = preflight(scenario, opts.lint_deny) {
-                return code;
-            }
-        }
         let Some(strategy) = opts.strategy else {
             eprintln!(
                 "`muse scenario all` needs --strategy g1|g2|g3: \
@@ -106,6 +177,21 @@ pub fn run(args: &[String]) -> i32 {
             );
             return 2;
         };
+        // Preflight serially; a failing scenario is marked FAIL and skipped,
+        // the sweep continues over the rest.
+        let mut status: Vec<Status> = scenarios
+            .iter()
+            .map(|scenario| match preflight(scenario, opts.lint_deny) {
+                None => Status::Pending,
+                Some(_) => Status::Fail("lint preflight failed".into()),
+            })
+            .collect();
+        let runnable: Vec<usize> = status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Pending))
+            .map(|(i, _)| i)
+            .collect();
         let threads = muse_par::resolve_threads(opts.threads);
         println!(
             "Running all {} scenarios with strategy oracle on {} thread(s)…\n",
@@ -114,17 +200,39 @@ pub fn run(args: &[String]) -> i32 {
         );
         // Each session buffers its transcript; outputs print in scenario
         // order whatever the completion order was.
-        let outputs = scope_map(scenarios.len(), threads, &Metrics::disabled(), |i| {
-            run_oracle(&scenarios[i], strategy, &opts)
+        let outputs = scope_map(runnable.len(), threads, &Metrics::disabled(), |i| {
+            run_oracle(&scenarios[runnable[i]], strategy, &opts)
         });
-        let mut code = 0;
-        for out in outputs {
+        for (k, out) in outputs.into_iter().enumerate() {
             match out {
-                Ok(text) => print!("{text}"),
+                Ok((text, warnings)) => {
+                    print!("{text}");
+                    status[runnable[k]] = if warnings == 0 {
+                        Status::Pass
+                    } else {
+                        Status::Truncated(warnings)
+                    };
+                }
                 Err(e) => {
                     eprintln!("{e}");
+                    status[runnable[k]] = Status::Fail(e);
+                }
+            }
+        }
+        println!("── summary ──────────────────────────────────");
+        let mut code = 0;
+        for (scenario, st) in scenarios.iter().zip(&status) {
+            match st {
+                Status::Pass => println!("{:<10} PASS", scenario.name),
+                Status::Truncated(n) => {
+                    println!("{:<10} TRUNCATED ({n} warning(s))", scenario.name)
+                }
+                Status::Fail(e) => {
+                    let first = e.lines().next().unwrap_or("failed");
+                    println!("{:<10} FAIL: {first}", scenario.name);
                     code = 1;
                 }
+                Status::Pending => unreachable!("every runnable scenario produced an output"),
             }
         }
         return code;
@@ -147,7 +255,7 @@ pub fn run(args: &[String]) -> i32 {
 
     match opts.strategy {
         Some(strategy) => match run_oracle(scenario, strategy, &opts) {
-            Ok(text) => {
+            Ok((text, _warnings)) => {
                 print!("{text}");
                 0
             }
@@ -188,12 +296,13 @@ fn preflight(scenario: &Scenario, lint_deny: bool) -> Option<i32> {
 }
 
 /// One oracle-driven session, its whole transcript buffered so concurrent
-/// sessions do not interleave on stdout.
+/// sessions do not interleave on stdout. Returns the transcript plus the
+/// number of graceful-degradation warnings (0 = untruncated).
 fn run_oracle(
     scenario: &Scenario,
     strategy: GroupingStrategy,
     opts: &Options,
-) -> Result<String, String> {
+) -> Result<(String, usize), String> {
     let mut out = String::new();
     writeln!(
         out,
@@ -220,12 +329,14 @@ fn run_oracle(
     } else {
         Metrics::disabled()
     };
+    let budget = opts.budget();
     let session = Session::new(
         &scenario.source_schema,
         &scenario.target_schema,
         &scenario.source_constraints,
     )
     .with_instance(&instance)
+    .with_budget(&budget)
     .with_metrics(&metrics);
     let mut oracle = oracle_for(scenario, &mappings, strategy);
     let report = session
@@ -235,7 +346,7 @@ fn run_oracle(
     if metrics.is_enabled() {
         writeln!(out, "=== Metrics ===\n{}", metrics.snapshot().render()).unwrap();
     }
-    Ok(out)
+    Ok((out, report.warnings.len()))
 }
 
 fn run_interactive(scenario: &Scenario, opts: &Options) -> i32 {
@@ -264,12 +375,14 @@ fn run_interactive(scenario: &Scenario, opts: &Options) -> i32 {
     } else {
         Metrics::disabled()
     };
+    let budget = opts.budget();
     let session = Session::new(
         &scenario.source_schema,
         &scenario.target_schema,
         &scenario.source_constraints,
     )
     .with_instance(&instance)
+    .with_budget(&budget)
     .with_metrics(&metrics);
 
     let stdin = stdin();

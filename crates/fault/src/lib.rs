@@ -1,0 +1,475 @@
+//! **muse-fault** — deterministic fault injection for the governor.
+//!
+//! A [`FaultPlan`] is a list of one-shot faults, each naming a registered
+//! injection point (see [`muse_obs::faultpoints`]), a fault kind, and the
+//! 1-based hit at which it fires. Code under test calls
+//! [`point`]`("chase.fire_unit")` at each site; when no plan is armed the
+//! call is a single relaxed atomic load — effectively free — so the hooks
+//! stay compiled into release builds.
+//!
+//! Three fault kinds exist:
+//!
+//! * `panic` — the point panics with an [`InjectedPanic`] payload. Only
+//!   legal at panic-isolated points (`faultpoints::PANIC_ISOLATED`), so an
+//!   armed plan can never abort the process.
+//! * `deadline` — [`point`] returns [`Fault::DeadlineExpiry`]; the site
+//!   treats it exactly like an expired budget deadline.
+//! * `termcap` — [`point`] returns [`Fault::TermCapExhaustion`]; the site
+//!   treats it like a tripped interned-term cap.
+//!
+//! # Spec grammar (`MUSE_FAULTS` / `--faults`)
+//!
+//! ```text
+//! spec    := entry (';' entry)*
+//! entry   := point ':' kind ('@' hit)?      -- explicit fault, hit ≥ 1 (default 1)
+//!          | 'seed' ':' u64 ('x' count)?    -- seeded plan, count entries (default 3)
+//! kind    := 'panic' | 'deadline' | 'termcap'
+//! ```
+//!
+//! Examples: `chase.fire_unit:panic`, `query.eval:deadline@3`,
+//! `seed:42x5`, `par.worker:panic;chase.binding:termcap@2`.
+//!
+//! Every fault is **one-shot**: once fired it never fires again, which is
+//! what lets the parallel chase's serial-retry fallback succeed after an
+//! injected worker panic. Plans are armed process-globally ([`arm`] /
+//! [`disarm`] / [`arm_from_env`]); tests that arm plans must serialize.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use muse_obs::faultpoints;
+use muse_obs::Rng;
+
+/// A non-panic fault returned to the injection site for it to translate
+/// into its own budget-truncation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Behave as if the wall-clock deadline just expired.
+    DeadlineExpiry,
+    /// Behave as if the interned-term cap was just exceeded.
+    TermCapExhaustion,
+}
+
+/// The panic payload used for injected panics, distinguishable from
+/// organic panics when a pool reports a caught unwind.
+#[derive(Debug, Clone)]
+pub struct InjectedPanic {
+    /// The injection point that fired.
+    pub point: &'static str,
+}
+
+impl std::fmt::Display for InjectedPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected panic at {}", self.point)
+    }
+}
+
+/// What a plan entry does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic with an [`InjectedPanic`] payload (panic-isolated points only).
+    Panic,
+    /// Report [`Fault::DeadlineExpiry`].
+    Deadline,
+    /// Report [`Fault::TermCapExhaustion`].
+    TermCap,
+}
+
+impl FaultKind {
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Deadline => "deadline",
+            FaultKind::TermCap => "termcap",
+        }
+    }
+}
+
+/// One one-shot fault: fire `kind` at the `at_hit`-th call of `point`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEntry {
+    /// Registered injection-point name.
+    pub point: String,
+    /// What happens when it fires.
+    pub kind: FaultKind,
+    /// 1-based hit count at which it fires (then never again).
+    pub at_hit: u64,
+}
+
+/// A parsed, validated fault plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The one-shot faults, in spec order.
+    pub entries: Vec<FaultEntry>,
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(";")?;
+            }
+            write!(f, "{}:{}@{}", e.point, e.kind.name(), e.at_hit)?;
+        }
+        Ok(())
+    }
+}
+
+/// Parse and validate a fault spec (see the module docs for the grammar).
+pub fn parse_spec(spec: &str) -> Result<FaultPlan, String> {
+    let mut entries = Vec::new();
+    for raw in spec.split(';') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let Some((head, tail)) = raw.split_once(':') else {
+            return Err(format!(
+                "fault entry `{raw}`: expected `point:kind[@hit]` or `seed:<n>[x<count>]`"
+            ));
+        };
+        if head == "seed" {
+            let (seed_s, count_s) = match tail.split_once('x') {
+                Some((s, c)) => (s, Some(c)),
+                None => (tail, None),
+            };
+            let seed: u64 = seed_s
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault entry `{raw}`: bad seed `{seed_s}`"))?;
+            let count: usize = match count_s {
+                Some(c) => c
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("fault entry `{raw}`: bad count `{c}`"))?,
+                None => 3,
+            };
+            entries.extend(plan_from_seed(seed, count).entries);
+            continue;
+        }
+        let (kind_s, hit_s) = match tail.split_once('@') {
+            Some((k, h)) => (k, Some(h)),
+            None => (tail, None),
+        };
+        let kind = match kind_s.trim() {
+            "panic" => FaultKind::Panic,
+            "deadline" => FaultKind::Deadline,
+            "termcap" => FaultKind::TermCap,
+            other => {
+                return Err(format!(
+                    "fault entry `{raw}`: unknown kind `{other}` (panic|deadline|termcap)"
+                ))
+            }
+        };
+        let at_hit: u64 = match hit_s {
+            Some(h) => h
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault entry `{raw}`: bad hit `{h}`"))?,
+            None => 1,
+        };
+        if at_hit == 0 {
+            return Err(format!("fault entry `{raw}`: hit counts are 1-based"));
+        }
+        let point = head.trim().to_owned();
+        if !faultpoints::is_registered(&point) {
+            return Err(format!(
+                "fault entry `{raw}`: unknown point `{point}` (known: {})",
+                faultpoints::ALL.join(", ")
+            ));
+        }
+        if kind == FaultKind::Panic && !faultpoints::is_panic_isolated(&point) {
+            return Err(format!(
+                "fault entry `{raw}`: point `{point}` is not panic-isolated \
+                 (panic faults are legal at: {})",
+                faultpoints::PANIC_ISOLATED.join(", ")
+            ));
+        }
+        entries.push(FaultEntry {
+            point,
+            kind,
+            at_hit,
+        });
+    }
+    Ok(FaultPlan { entries })
+}
+
+/// Generate a deterministic `count`-entry plan from `seed`. Points are
+/// drawn from the registry; panic faults are only assigned to
+/// panic-isolated points, so a seeded plan is always valid.
+pub fn plan_from_seed(seed: u64, count: usize) -> FaultPlan {
+    let mut rng = Rng::new(seed ^ 0xFA17_FA17_FA17_FA17);
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let point = faultpoints::ALL[rng.below(faultpoints::ALL.len() as u64) as usize];
+        let kind = if faultpoints::is_panic_isolated(point) {
+            match rng.below(3) {
+                0 => FaultKind::Panic,
+                1 => FaultKind::Deadline,
+                _ => FaultKind::TermCap,
+            }
+        } else {
+            match rng.below(2) {
+                0 => FaultKind::Deadline,
+                _ => FaultKind::TermCap,
+            }
+        };
+        entries.push(FaultEntry {
+            point: point.to_owned(),
+            kind,
+            at_hit: 1 + rng.below(6),
+        });
+    }
+    FaultPlan { entries }
+}
+
+/// Snapshot of the armed plan's progress, for `fault.*` reporting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Point-name → number of [`point`] calls while armed.
+    pub hits: BTreeMap<String, u64>,
+    /// Total faults injected (fired entries).
+    pub injected: u64,
+    /// Entries in the armed plan.
+    pub planned: usize,
+    /// Entries that have fired.
+    pub fired: usize,
+}
+
+struct EntryState {
+    entry: FaultEntry,
+    fired: bool,
+}
+
+struct PlanState {
+    entries: Vec<EntryState>,
+    hits: BTreeMap<String, u64>,
+    injected: u64,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<PlanState>> = Mutex::new(None);
+
+fn lock_state() -> std::sync::MutexGuard<'static, Option<PlanState>> {
+    // A lock poisoned by an injected panic still holds consistent data.
+    STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arm `plan` process-globally, replacing any previous plan and resetting
+/// hit counters.
+pub fn arm(plan: FaultPlan) {
+    let mut guard = lock_state();
+    *guard = Some(PlanState {
+        entries: plan
+            .entries
+            .into_iter()
+            .map(|entry| EntryState {
+                entry,
+                fired: false,
+            })
+            .collect(),
+        hits: BTreeMap::new(),
+        injected: 0,
+    });
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm, returning the final stats of the plan that was armed (if any).
+pub fn disarm() -> Option<FaultStats> {
+    ARMED.store(false, Ordering::Release);
+    let mut guard = lock_state();
+    guard.take().map(|s| snapshot(&s))
+}
+
+/// Stats of the currently armed plan, if one is armed.
+pub fn stats() -> Option<FaultStats> {
+    let guard = lock_state();
+    guard.as_ref().map(snapshot)
+}
+
+fn snapshot(s: &PlanState) -> FaultStats {
+    FaultStats {
+        hits: s.hits.clone(),
+        injected: s.injected,
+        planned: s.entries.len(),
+        fired: s.entries.iter().filter(|e| e.fired).count(),
+    }
+}
+
+/// Is a plan currently armed?
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arm from the `MUSE_FAULTS` environment variable. Returns the parsed
+/// plan when one was armed, `None` when the variable is unset or empty.
+/// Libraries never call this — only binary entry points (the CLI, the
+/// chaos harness, the governor bench) opt in.
+pub fn arm_from_env() -> Result<Option<FaultPlan>, String> {
+    match std::env::var("MUSE_FAULTS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            let plan = parse_spec(&spec)?;
+            arm(plan.clone());
+            Ok(Some(plan))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// RAII guard that disarms on drop; use [`arm_scoped`] in tests.
+pub struct ArmGuard(());
+
+impl Drop for ArmGuard {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+/// Arm `plan` and return a guard that disarms when dropped.
+#[must_use = "the plan disarms when the guard drops"]
+pub fn arm_scoped(plan: FaultPlan) -> ArmGuard {
+    arm(plan);
+    ArmGuard(())
+}
+
+/// The injection hook. Sites call this with their registered point name;
+/// when disarmed this is one relaxed atomic load. When an armed one-shot
+/// entry matches this point at the current hit count it fires: `panic`
+/// entries unwind with an [`InjectedPanic`] payload, the other kinds are
+/// returned for the site to translate into its budget-truncation path.
+pub fn point(name: &'static str) -> Option<Fault> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    point_slow(name)
+}
+
+#[inline(never)]
+fn point_slow(name: &'static str) -> Option<Fault> {
+    let mut guard = lock_state();
+    let state = guard.as_mut()?;
+    let hit = state.hits.entry(name.to_owned()).or_insert(0);
+    *hit += 1;
+    let hit = *hit;
+    for e in state.entries.iter_mut() {
+        if !e.fired && e.entry.point == name && e.entry.at_hit == hit {
+            e.fired = true;
+            state.injected += 1;
+            let kind = e.entry.kind;
+            drop(guard);
+            return match kind {
+                FaultKind::Panic => {
+                    std::panic::panic_any(InjectedPanic { point: name });
+                }
+                FaultKind::Deadline => Some(Fault::DeadlineExpiry),
+                FaultKind::TermCap => Some(Fault::TermCapExhaustion),
+            };
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fault state is process-global; serialize the tests that arm plans.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_point_is_noop() {
+        let _s = serial();
+        disarm();
+        assert_eq!(point(faultpoints::QUERY_EVAL), None);
+        assert!(!armed());
+    }
+
+    #[test]
+    fn parse_explicit_entries() {
+        let plan = parse_spec("chase.fire_unit:panic; query.eval:deadline@3").unwrap();
+        assert_eq!(plan.entries.len(), 2);
+        assert_eq!(plan.entries[0].kind, FaultKind::Panic);
+        assert_eq!(plan.entries[0].at_hit, 1);
+        assert_eq!(plan.entries[1].point, "query.eval");
+        assert_eq!(plan.entries[1].at_hit, 3);
+        assert_eq!(
+            plan.to_string(),
+            "chase.fire_unit:panic@1;query.eval:deadline@3"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(parse_spec("nope.nope:panic").is_err());
+        assert!(
+            parse_spec("query.eval:panic").is_err(),
+            "not panic-isolated"
+        );
+        assert!(parse_spec("query.eval:explode").is_err());
+        assert!(parse_spec("query.eval:deadline@0").is_err());
+        assert!(parse_spec("garbage").is_err());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_valid() {
+        let a = plan_from_seed(42, 5);
+        let b = plan_from_seed(42, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, plan_from_seed(43, 5));
+        for e in &a.entries {
+            assert!(faultpoints::is_registered(&e.point));
+            if e.kind == FaultKind::Panic {
+                assert!(faultpoints::is_panic_isolated(&e.point));
+            }
+            assert!(e.at_hit >= 1);
+        }
+        // `seed:` entries expand inside a spec.
+        let via_spec = parse_spec("seed:42x5").unwrap();
+        assert_eq!(via_spec, a);
+    }
+
+    #[test]
+    fn one_shot_fault_fires_exactly_once_at_its_hit() {
+        let _s = serial();
+        let _g = arm_scoped(parse_spec("query.eval:deadline@2").unwrap());
+        assert_eq!(point(faultpoints::QUERY_EVAL), None);
+        assert_eq!(point(faultpoints::QUERY_EVAL), Some(Fault::DeadlineExpiry));
+        assert_eq!(point(faultpoints::QUERY_EVAL), None);
+        let st = stats().unwrap();
+        assert_eq!(st.injected, 1);
+        assert_eq!(st.fired, 1);
+        assert_eq!(st.hits.get("query.eval"), Some(&3));
+    }
+
+    #[test]
+    fn injected_panic_carries_typed_payload() {
+        let _s = serial();
+        let _g = arm_scoped(parse_spec("par.worker:panic").unwrap());
+        let caught = std::panic::catch_unwind(|| point(faultpoints::PAR_WORKER));
+        let payload = caught.expect_err("panic fault must unwind");
+        let injected = payload
+            .downcast_ref::<InjectedPanic>()
+            .expect("payload is InjectedPanic");
+        assert_eq!(injected.point, faultpoints::PAR_WORKER);
+    }
+
+    #[test]
+    fn disarm_returns_final_stats() {
+        let _s = serial();
+        arm(parse_spec("chase.binding:termcap").unwrap());
+        assert_eq!(
+            point(faultpoints::CHASE_BINDING),
+            Some(Fault::TermCapExhaustion)
+        );
+        let st = disarm().expect("was armed");
+        assert_eq!(st.injected, 1);
+        assert_eq!(st.planned, 1);
+        assert!(!armed());
+        assert_eq!(stats(), None);
+    }
+}

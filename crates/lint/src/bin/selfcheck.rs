@@ -7,11 +7,15 @@
 //! * `SC002` — no `.expect("…")` (string-literal form only, so
 //!   user-defined `expect` methods like the mapping parser's stay legal),
 //! * `SC003` — no `panic!(` invocations,
-//! * `SC004` — no `todo!(` / `unimplemented!(` anywhere in lib code.
+//! * `SC004` — no `todo!(` / `unimplemented!(` anywhere in lib code,
+//! * `SC005` — no bare `thread::spawn` (library parallelism must go
+//!   through `muse-par`'s panic-isolated scoped pool),
+//! * `SC006` — no `.join().unwrap()` (a panicking worker would take the
+//!   caller down with it; `muse_par::try_scope_map` isolates instead).
 //!
 //! SC001–SC003 apply to the crates whose code runs inside a designer
-//! session (`mapping`, `wizard`, `chase` and this crate); SC004 applies
-//! workspace-wide. Exempt: `bin/`, `tests/`, `benches/` directories,
+//! session (`mapping`, `wizard`, `chase` and this crate); SC004–SC006
+//! apply workspace-wide. Exempt: `bin/`, `tests/`, `benches/` directories,
 //! `tests.rs` files, `#[cfg(test)]` modules, comments and string literals.
 //! A finding is waived by `// lint:allow(SCxxx)` on the same or the
 //! preceding line, which by convention states the invariant making the
@@ -122,6 +126,16 @@ fn scan_file(path: &Path, text: &str, no_panic: bool, findings: &mut Vec<Finding
     let mut checks: Vec<(&'static str, &'static str, &'static str)> = vec![
         ("SC004", "todo!(", "todo! in library code"),
         ("SC004", "unimplemented!(", "unimplemented! in library code"),
+        (
+            "SC005",
+            "thread::spawn(",
+            "bare thread::spawn in library code (use muse-par's panic-isolated pool)",
+        ),
+        (
+            "SC006",
+            ".join().unwrap()",
+            "unwrapped join in library code (use muse_par::try_scope_map isolation)",
+        ),
     ];
     if no_panic {
         checks.push(("SC001", ".unwrap()", "unwrap() in designer-reachable code"));

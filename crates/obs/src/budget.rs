@@ -1,0 +1,294 @@
+//! Execution budgets and graceful-degradation outcomes.
+//!
+//! A [`Budget`] bounds one unit of interactive work — a query evaluation, a
+//! chase call, a whole wizard session — along four axes: a wall-clock
+//! deadline, a result-row cap, a chase-step (firing) cap, and a cap on
+//! interned terms (SetIDs + labeled nulls). Bounded operations return an
+//! [`Outcome`]: either `Complete(T)` or `Truncated { partial, reason }`,
+//! where `partial` is always a *valid* (just incomplete) result — never a
+//! corrupt one. The wizards downgrade a truncated probe to "skip this
+//! question with a warning" instead of failing the session, which is what
+//! keeps Muse interactive under sub-second latency pressure (the paper's
+//! Sec. V requirement).
+//!
+//! Truncations are observable through [`Metrics`] under the `budget.*`
+//! keys: `budget.truncations` plus one reason-specific counter per
+//! [`TruncationReason`].
+
+use std::time::{Duration, Instant};
+
+use crate::metrics::Metrics;
+
+/// Resource limits for one bounded operation. All axes default to
+/// unlimited; [`Budget::unlimited`] is the explicit no-op budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Wall-clock instant after which work is cut short.
+    pub deadline: Option<Instant>,
+    /// Maximum result rows a query evaluation may produce.
+    pub max_rows: Option<u64>,
+    /// Maximum chase steps (source-binding firings) per chase call.
+    pub max_chase_steps: Option<u64>,
+    /// Maximum interned terms (SetIDs + labeled nulls) in a produced
+    /// instance.
+    pub max_terms: Option<u64>,
+}
+
+impl Budget {
+    /// The no-limit budget: every check passes.
+    pub const fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            max_rows: None,
+            max_chase_steps: None,
+            max_terms: None,
+        }
+    }
+
+    /// A `'static` unlimited budget, for configuration structs that hold a
+    /// `&Budget` and need a default.
+    pub fn unlimited_ref() -> &'static Budget {
+        static UNLIMITED: Budget = Budget::unlimited();
+        &UNLIMITED
+    }
+
+    /// Set an absolute deadline.
+    pub fn with_deadline(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Set a deadline `d` from now.
+    pub fn with_deadline_in(self, d: Duration) -> Self {
+        self.with_deadline(Instant::now() + d)
+    }
+
+    /// Cap result rows.
+    pub fn with_max_rows(mut self, n: u64) -> Self {
+        self.max_rows = Some(n);
+        self
+    }
+
+    /// Cap chase steps (firings).
+    pub fn with_max_chase_steps(mut self, n: u64) -> Self {
+        self.max_chase_steps = Some(n);
+        self
+    }
+
+    /// Cap interned terms (SetIDs + nulls).
+    pub fn with_max_terms(mut self, n: u64) -> Self {
+        self.max_terms = Some(n);
+        self
+    }
+
+    /// True when no axis is limited.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_rows.is_none()
+            && self.max_chase_steps.is_none()
+            && self.max_terms.is_none()
+    }
+
+    /// Has the deadline passed? Reads the clock, so hot loops should call
+    /// this every N iterations, not every iteration.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time left until the deadline (`None` when no deadline is set; zero
+    /// when it already passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Is `rows` at or past the row cap?
+    pub fn rows_exhausted(&self, rows: u64) -> bool {
+        self.max_rows.is_some_and(|m| rows >= m)
+    }
+
+    /// Is `steps` past the chase-step cap?
+    pub fn steps_exhausted(&self, steps: u64) -> bool {
+        self.max_chase_steps.is_some_and(|m| steps > m)
+    }
+
+    /// Is `terms` past the interned-term cap?
+    pub fn terms_exhausted(&self, terms: u64) -> bool {
+        self.max_terms.is_some_and(|m| terms > m)
+    }
+}
+
+/// Why a bounded operation stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TruncationReason {
+    /// The wall-clock deadline passed.
+    DeadlineExpired,
+    /// The result-row cap was reached before the search finished.
+    RowLimit,
+    /// The chase-step (firing) cap was reached.
+    ChaseStepLimit,
+    /// The interned-term cap (SetIDs + nulls) was reached.
+    TermLimit,
+}
+
+impl TruncationReason {
+    /// The reason-specific `budget.*` metrics key.
+    pub fn metric_key(self) -> &'static str {
+        match self {
+            TruncationReason::DeadlineExpired => "budget.deadline_hits",
+            TruncationReason::RowLimit => "budget.row_limit_hits",
+            TruncationReason::ChaseStepLimit => "budget.step_limit_hits",
+            TruncationReason::TermLimit => "budget.term_limit_hits",
+        }
+    }
+
+    /// Record this truncation: `budget.truncations` plus the reason key.
+    pub fn record(self, metrics: &Metrics) {
+        metrics.incr("budget.truncations");
+        metrics.incr(self.metric_key());
+    }
+}
+
+impl std::fmt::Display for TruncationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TruncationReason::DeadlineExpired => "deadline expired",
+            TruncationReason::RowLimit => "row limit reached",
+            TruncationReason::ChaseStepLimit => "chase step limit reached",
+            TruncationReason::TermLimit => "interned-term limit reached",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The result of a budget-bounded operation: complete, or a valid partial
+/// result plus the reason work stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome<T> {
+    /// The operation ran to completion.
+    Complete(T),
+    /// The operation stopped early; `partial` is valid but incomplete.
+    Truncated {
+        /// The work finished before the budget ran out.
+        partial: T,
+        /// Which budget axis cut the operation short.
+        reason: TruncationReason,
+    },
+}
+
+impl<T> Outcome<T> {
+    /// True for [`Outcome::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Outcome::Complete(_))
+    }
+
+    /// The truncation reason, when truncated.
+    pub fn reason(&self) -> Option<TruncationReason> {
+        match self {
+            Outcome::Complete(_) => None,
+            Outcome::Truncated { reason, .. } => Some(*reason),
+        }
+    }
+
+    /// The carried value (complete or partial), consuming the outcome.
+    pub fn into_value(self) -> T {
+        match self {
+            Outcome::Complete(v) | Outcome::Truncated { partial: v, .. } => v,
+        }
+    }
+
+    /// The carried value (complete or partial), by reference.
+    pub fn value(&self) -> &T {
+        match self {
+            Outcome::Complete(v) | Outcome::Truncated { partial: v, .. } => v,
+        }
+    }
+
+    /// Map the carried value, keeping the truncation state.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Outcome<U> {
+        match self {
+            Outcome::Complete(v) => Outcome::Complete(f(v)),
+            Outcome::Truncated { partial, reason } => Outcome::Truncated {
+                partial: f(partial),
+                reason,
+            },
+        }
+    }
+
+    /// Split into `(value, Option<reason>)`.
+    pub fn into_parts(self) -> (T, Option<TruncationReason>) {
+        match self {
+            Outcome::Complete(v) => (v, None),
+            Outcome::Truncated { partial, reason } => (partial, Some(reason)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_passes_every_check() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(!b.deadline_expired());
+        assert!(!b.rows_exhausted(u64::MAX));
+        assert!(!b.steps_exhausted(u64::MAX));
+        assert!(!b.terms_exhausted(u64::MAX));
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    fn caps_trip_at_their_thresholds() {
+        let b = Budget::unlimited()
+            .with_max_rows(10)
+            .with_max_chase_steps(5)
+            .with_max_terms(3);
+        assert!(!b.rows_exhausted(9));
+        assert!(b.rows_exhausted(10));
+        assert!(!b.steps_exhausted(5));
+        assert!(b.steps_exhausted(6));
+        assert!(!b.terms_exhausted(3));
+        assert!(b.terms_exhausted(4));
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn past_deadline_expires() {
+        let b = Budget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(b.deadline_expired());
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+        let b = Budget::unlimited().with_deadline_in(Duration::from_secs(3600));
+        assert!(!b.deadline_expired());
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let c: Outcome<i32> = Outcome::Complete(7);
+        assert!(c.is_complete());
+        assert_eq!(c.reason(), None);
+        assert_eq!(*c.value(), 7);
+        assert_eq!(c.map(|v| v + 1).into_value(), 8);
+
+        let t: Outcome<i32> = Outcome::Truncated {
+            partial: 3,
+            reason: TruncationReason::TermLimit,
+        };
+        assert!(!t.is_complete());
+        assert_eq!(t.reason(), Some(TruncationReason::TermLimit));
+        let (v, r) = t.into_parts();
+        assert_eq!((v, r), (3, Some(TruncationReason::TermLimit)));
+    }
+
+    #[test]
+    fn truncations_record_metrics() {
+        let m = Metrics::enabled();
+        TruncationReason::DeadlineExpired.record(&m);
+        TruncationReason::RowLimit.record(&m);
+        let s = m.snapshot();
+        assert_eq!(s.counter("budget.truncations"), 2);
+        assert_eq!(s.counter("budget.deadline_hits"), 1);
+        assert_eq!(s.counter("budget.row_limit_hits"), 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Registry of named fault-injection points.
+//!
+//! The `muse-fault` crate injects panics, deadline expiry and term-cap
+//! exhaustion at *named points*; the names live here so that the crates
+//! hosting the points (`query`, `chase`, `par`, `wizard`) and the injector
+//! agree on a single vocabulary without a dependency cycle. A point name
+//! is `<stage>.<site>`, matching the metrics key convention.
+//!
+//! Panic faults may only be requested at [`PANIC_ISOLATED`] points — the
+//! sites wrapped in `catch_unwind` by the `muse-par` pool — so an armed
+//! fault plan can never abort the process. Deadline/term-cap faults are
+//! legal at any registered point; each site maps them onto its own budget
+//! truncation path.
+
+/// Query evaluation entry (`evaluate_budget_with`). Deadline faults only.
+pub const QUERY_EVAL: &str = "query.eval";
+
+/// The serial chase binding loop, checked once per firing.
+pub const CHASE_BINDING: &str = "chase.binding";
+
+/// One parallel chase unit firing into its private instance. Panic
+/// isolated: the pool catches the unwind and the chase falls back to the
+/// serial path.
+pub const CHASE_FIRE_UNIT: &str = "chase.fire_unit";
+
+/// The serial merge / re-intern loop after parallel unit firing.
+pub const CHASE_MERGE: &str = "chase.merge";
+
+/// Inside a `muse-par` worker, once per item. Panic isolated.
+pub const PAR_WORKER: &str = "par.worker";
+
+/// A wizard probe (example construction + probe chase) for one question.
+pub const WIZARD_PROBE: &str = "wizard.probe";
+
+/// Every registered injection point.
+pub const ALL: &[&str] = &[
+    QUERY_EVAL,
+    CHASE_BINDING,
+    CHASE_FIRE_UNIT,
+    CHASE_MERGE,
+    PAR_WORKER,
+    WIZARD_PROBE,
+];
+
+/// Points wrapped in panic isolation (`catch_unwind`); only these may
+/// receive injected panics.
+pub const PANIC_ISOLATED: &[&str] = &[CHASE_FIRE_UNIT, PAR_WORKER];
+
+/// Is `name` a registered point?
+pub fn is_registered(name: &str) -> bool {
+    ALL.contains(&name)
+}
+
+/// May `name` receive an injected panic?
+pub fn is_panic_isolated(name: &str) -> bool {
+    PANIC_ISOLATED.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent() {
+        assert!(is_registered(CHASE_FIRE_UNIT));
+        assert!(!is_registered("chase.nonsense"));
+        for p in PANIC_ISOLATED {
+            assert!(is_registered(p), "panic-isolated point {p} not in ALL");
+        }
+        assert!(is_panic_isolated(PAR_WORKER));
+        assert!(!is_panic_isolated(QUERY_EVAL));
+    }
+}

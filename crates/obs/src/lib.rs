@@ -15,11 +15,20 @@
 //!   `BENCH_baseline.json`.
 //! * [`rng`] — a deterministic SplitMix64 generator, used by the scenario
 //!   generators and the randomized property tests.
+//!
+//! The execution governor lives here too: [`budget`] defines the
+//! [`Budget`]/[`Outcome`] contract every bounded operation follows, and
+//! [`faultpoints`] is the registry of named fault-injection points the
+//! `muse-fault` crate arms (obs hosts only the *names*, so every crate can
+//! reference them without depending on the injector).
 
+pub mod budget;
+pub mod faultpoints;
 pub mod json;
 pub mod metrics;
 pub mod rng;
 
+pub use budget::{Budget, Outcome, TruncationReason};
 pub use json::Json;
 pub use metrics::{Counter, Metrics, Snapshot, Timer, TimerStat};
 pub use rng::Rng;

@@ -18,8 +18,14 @@
 //! 3. **Observability.** Runs report through [`muse_obs::Metrics`]:
 //!    `par.rounds` (parallel rounds executed), `par.workers` (worker
 //!    threads launched across rounds), `par.items` (work items processed
-//!    in parallel rounds) and `par.steal_ns` (nanoseconds workers spent
-//!    acquiring work from the shared cursor).
+//!    in parallel rounds), `par.steal_ns` (nanoseconds workers spent
+//!    acquiring work from the shared cursor) and `par.panics` (worker
+//!    panics caught by the isolation wrapper).
+//! 4. **Panic isolation.** [`try_scope_map`] catches a panicking item in
+//!    its own slot (`Err(WorkerPanic)`) instead of unwinding through the
+//!    pool, so a poisoned unit degrades the computation rather than
+//!    aborting the process; [`scope_map`] keeps the legacy
+//!    propagate-on-panic contract on top of it.
 //!
 //! Thread counts resolve through [`resolve_threads`]: an explicit request
 //! (a `--threads N` flag) beats the `MUSE_THREADS` environment variable,
@@ -28,7 +34,7 @@
 
 pub mod pool;
 
-pub use pool::{chunks, scope_map};
+pub use pool::{chunks, scope_map, try_scope_map, WorkerPanic};
 
 /// Thread count requested via the `MUSE_THREADS` environment variable, if
 /// set to something parseable.

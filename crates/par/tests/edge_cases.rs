@@ -1,0 +1,93 @@
+//! Pool edge cases: empty input, serial degeneration, more threads than
+//! items, and — the robustness contract — a panicking worker that no
+//! longer aborts the process.
+
+use muse_obs::Metrics;
+use muse_par::{scope_map, try_scope_map};
+
+#[test]
+fn empty_item_list_returns_empty() {
+    for threads in [0, 1, 4, 64] {
+        let out = scope_map(0, threads, &Metrics::disabled(), |i| i);
+        assert_eq!(out, Vec::<usize>::new());
+        let tried = try_scope_map(0, threads, &Metrics::disabled(), |i| i);
+        assert!(tried.is_empty());
+    }
+}
+
+#[test]
+fn single_thread_matches_serial_map() {
+    let out = scope_map(17, 1, &Metrics::disabled(), |i| i * 3);
+    assert_eq!(out, (0..17).map(|i| i * 3).collect::<Vec<_>>());
+}
+
+#[test]
+fn more_threads_than_items() {
+    // 64 requested workers over 5 items: the pool must clamp and still
+    // produce all results in index order.
+    let m = Metrics::enabled();
+    let out = scope_map(5, 64, &m, |i| i + 100);
+    assert_eq!(out, vec![100, 101, 102, 103, 104]);
+    let snap = m.snapshot();
+    assert!(snap.counter("par.workers") <= 5, "workers clamp to items");
+}
+
+#[test]
+fn panicking_worker_is_isolated_not_fatal() {
+    let m = Metrics::enabled();
+    let results = try_scope_map(8, 4, &m, |i| {
+        if i == 3 {
+            panic!("unit {i} poisoned");
+        }
+        i * 2
+    });
+    assert_eq!(results.len(), 8);
+    for (i, r) in results.iter().enumerate() {
+        if i == 3 {
+            let p = r.as_ref().expect_err("item 3 must be poisoned");
+            assert_eq!(p.item, 3);
+            assert!(
+                p.message().contains("unit 3 poisoned"),
+                "got: {}",
+                p.message()
+            );
+        } else {
+            assert_eq!(*r.as_ref().expect("healthy item"), i * 2);
+        }
+    }
+    assert_eq!(m.snapshot().counter("par.panics"), 1);
+}
+
+#[test]
+fn panicking_worker_isolated_even_single_threaded() {
+    let m = Metrics::enabled();
+    let results = try_scope_map(3, 1, &m, |i| {
+        if i == 1 {
+            panic!("inline poison");
+        }
+        i
+    });
+    assert!(results[0].is_ok() && results[2].is_ok());
+    assert!(results[1].is_err());
+    assert_eq!(m.snapshot().counter("par.panics"), 1);
+}
+
+#[test]
+fn scope_map_still_propagates_panics() {
+    // The legacy contract: scope_map re-raises after all workers join, so
+    // the panic payload (the lowest-index one) reaches the caller.
+    let caught = std::panic::catch_unwind(|| {
+        scope_map(6, 3, &Metrics::disabled(), |i| {
+            if i % 2 == 1 {
+                panic!("odd item {i}");
+            }
+            i
+        })
+    });
+    let payload = caught.expect_err("panic must propagate");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert_eq!(msg, "odd item 1", "lowest-index panic wins");
+}

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use muse_nr::{Instance, Schema, SetPath, Tuple, Value};
-use muse_obs::{Counter, Metrics};
+use muse_obs::{faultpoints, Budget, Counter, Metrics, Outcome, TruncationReason};
 
 use crate::ast::{Operand, QVar, Query};
 use crate::error::QueryError;
@@ -105,6 +105,74 @@ pub fn evaluate_all(
     query: &Query,
 ) -> Result<Vec<Binding>, QueryError> {
     evaluate(schema, inst, query, None)
+}
+
+/// Budget-governed [`evaluate_all`]: the variant multi-query callers (chase
+/// prepare, wizard probes) use so they stop bypassing the deadline path.
+/// Honors the budget's deadline and row cap; truncations are recorded under
+/// `budget.*` and returned as [`Outcome::Truncated`] with the rows found so
+/// far (always a valid prefix of the complete result).
+pub fn evaluate_all_with(
+    schema: &Schema,
+    inst: &Instance,
+    query: &Query,
+    budget: &Budget,
+    metrics: &Metrics,
+) -> Result<Outcome<Vec<Binding>>, QueryError> {
+    evaluate_budget_with(schema, inst, query, None, budget, metrics)
+}
+
+/// Budget-governed evaluation with an optional caller-side row `limit` on
+/// top. The caller's limit is *not* a truncation — asking for the first
+/// `l` rows and getting them is a complete answer; only the budget's own
+/// axes (deadline, `max_rows`) produce [`Outcome::Truncated`].
+pub fn evaluate_budget_with(
+    schema: &Schema,
+    inst: &Instance,
+    query: &Query,
+    limit: Option<usize>,
+    budget: &Budget,
+    metrics: &Metrics,
+) -> Result<Outcome<Vec<Binding>>, QueryError> {
+    if muse_fault::point(faultpoints::QUERY_EVAL).is_some() {
+        // Any injected fault here behaves as instantaneous deadline expiry.
+        let reason = TruncationReason::DeadlineExpired;
+        reason.record(metrics);
+        return Ok(Outcome::Truncated {
+            partial: Vec::new(),
+            reason,
+        });
+    }
+    let budget_rows = budget
+        .max_rows
+        .map(|n| usize::try_from(n).unwrap_or(usize::MAX));
+    let eff_limit = match (limit, budget_rows) {
+        (Some(l), Some(cap)) => Some(l.min(cap)),
+        (l, cap) => l.or(cap),
+    };
+    let (rows, timed_out) =
+        evaluate_deadline_with(schema, inst, query, eff_limit, budget.deadline, metrics)?;
+    if timed_out {
+        let reason = TruncationReason::DeadlineExpired;
+        reason.record(metrics);
+        return Ok(Outcome::Truncated {
+            partial: rows,
+            reason,
+        });
+    }
+    // The budget's cap (strictly tighter than any caller limit) stopped a
+    // search that might have produced more rows.
+    let budget_capped =
+        budget_rows.is_some_and(|cap| rows.len() >= cap && limit.is_none_or(|l| cap < l));
+    if budget_capped {
+        let reason = TruncationReason::RowLimit;
+        reason.record(metrics);
+        return Ok(Outcome::Truncated {
+            partial: rows,
+            reason,
+        });
+    }
+    Ok(Outcome::Complete(rows))
 }
 
 /// A predicate operand compiled to positional form.
@@ -713,5 +781,85 @@ mod tests {
         q.add_eq(Operand::proj(e, "eid"), Operand::proj(p, "manager"));
         let rows = evaluate_all(&s, &inst, &q).unwrap();
         assert_eq!(rows.len(), 500);
+    }
+
+    #[test]
+    fn budget_row_cap_truncates() {
+        let s = compdb();
+        let i = fig2(&s);
+        let mut q = Query::new();
+        q.var("e", SetPath::parse("Employees"));
+        let m = Metrics::enabled();
+        let budget = Budget::unlimited().with_max_rows(2);
+        let out = evaluate_all_with(&s, &i, &q, &budget, &m).unwrap();
+        assert_eq!(out.reason(), Some(TruncationReason::RowLimit));
+        assert_eq!(out.value().len(), 2);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("budget.truncations"), 1);
+        assert_eq!(snap.counter("budget.row_limit_hits"), 1);
+    }
+
+    #[test]
+    fn caller_limit_is_not_a_truncation() {
+        let s = compdb();
+        let i = fig2(&s);
+        let mut q = Query::new();
+        q.var("e", SetPath::parse("Employees"));
+        let m = Metrics::disabled();
+        // Caller asks for 2 rows under a looser (or equal) budget: complete.
+        for budget in [
+            Budget::unlimited(),
+            Budget::unlimited().with_max_rows(2),
+            Budget::unlimited().with_max_rows(10),
+        ] {
+            let out = evaluate_budget_with(&s, &i, &q, Some(2), &budget, &m).unwrap();
+            assert!(out.is_complete(), "budget {budget:?}");
+            assert_eq!(out.value().len(), 2);
+        }
+        // A tighter budget than the caller's ask is a truncation.
+        let tight = Budget::unlimited().with_max_rows(1);
+        let out = evaluate_budget_with(&s, &i, &q, Some(2), &tight, &m).unwrap();
+        assert_eq!(out.reason(), Some(TruncationReason::RowLimit));
+        assert_eq!(out.value().len(), 1);
+        // An exhaustive result below the cap is complete.
+        let out =
+            evaluate_all_with(&s, &i, &q, &Budget::unlimited().with_max_rows(50), &m).unwrap();
+        assert!(out.is_complete());
+        assert_eq!(out.value().len(), 3);
+    }
+
+    #[test]
+    fn budget_expired_deadline_truncates() {
+        let s = compdb();
+        let i = fig2(&s);
+        let mut q = Query::new();
+        let c1 = q.var("c1", SetPath::parse("Companies"));
+        let c2 = q.var("c2", SetPath::parse("Companies"));
+        q.add_neq(Operand::proj(c1, "cid"), Operand::proj(c2, "cid"));
+        let m = Metrics::enabled();
+        let budget =
+            Budget::unlimited().with_deadline(Instant::now() - std::time::Duration::from_secs(1));
+        let out = evaluate_all_with(&s, &i, &q, &budget, &m).unwrap();
+        // The deadline check fires every 1024 steps; this tiny search ends
+        // first, so completion is legal — what matters is that an actually
+        // cut-short search reports DeadlineExpired. Force it with a search
+        // big enough to cross the check boundary.
+        if !out.is_complete() {
+            assert_eq!(out.reason(), Some(TruncationReason::DeadlineExpired));
+        }
+        let mut b = InstanceBuilder::new(&s);
+        for i in 0..2000 {
+            b.push_top(
+                "Employees",
+                vec![Value::str(format!("e{i}")), Value::str("x")],
+            );
+        }
+        let big = b.finish().unwrap();
+        let mut q2 = Query::new();
+        q2.var("a", SetPath::parse("Employees"));
+        q2.var("b", SetPath::parse("Employees"));
+        let out = evaluate_all_with(&s, &big, &q2, &budget, &m).unwrap();
+        assert_eq!(out.reason(), Some(TruncationReason::DeadlineExpired));
+        assert!(m.snapshot().counter("budget.deadline_hits") >= 1);
     }
 }

@@ -19,5 +19,8 @@ pub mod explain;
 
 pub use ast::{Operand, QVar, Query};
 pub use error::QueryError;
-pub use eval::{evaluate, evaluate_all, evaluate_deadline, evaluate_deadline_with, Binding};
+pub use eval::{
+    evaluate, evaluate_all, evaluate_all_with, evaluate_budget_with, evaluate_deadline,
+    evaluate_deadline_with, Binding,
+};
 pub use explain::{explain, Explanation};

@@ -43,6 +43,10 @@ pub enum WizardError {
     /// A constructed example's instance does not have the shape the
     /// mapping promised (missing root, non-record element, short row).
     MalformedExample(String),
+    /// The execution budget truncated a direct question-construction call
+    /// (`MuseD::question`). Session-level paths never surface this: they
+    /// skip the question with a warning instead.
+    Truncated(String),
 }
 
 impl fmt::Display for WizardError {
@@ -69,6 +73,7 @@ impl fmt::Display for WizardError {
                 write!(f, "script exhausted ({what})")
             }
             WizardError::MalformedExample(msg) => write!(f, "malformed example: {msg}"),
+            WizardError::Truncated(msg) => write!(f, "budget truncated: {msg}"),
         }
     }
 }

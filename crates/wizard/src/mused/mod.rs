@@ -14,12 +14,12 @@ pub mod joins;
 
 use std::time::Duration;
 
-use muse_chase::chase_with;
+use muse_chase::chase_budget_with;
 use muse_lint::ambiguity::alternatives_count;
 use muse_mapping::ambiguity::{or_groups, select_multi};
 use muse_mapping::{Mapping, PathRef, WhereClause};
 use muse_nr::{Constraints, Instance, Schema, Value};
-use muse_obs::Metrics;
+use muse_obs::{faultpoints, Budget, Metrics, Outcome, TruncationReason};
 
 use crate::designer::Designer;
 use crate::error::WizardError;
@@ -38,6 +38,11 @@ pub struct MuseD<'a> {
     pub real_instance: Option<&'a Instance>,
     /// Time budget for the real-example search (Sec. VI).
     pub real_example_budget: Option<Duration>,
+    /// Execution budget for question construction. When it truncates the
+    /// example search or partial chase, [`MuseD::disambiguate`] skips the
+    /// question with a warning and defaults to the first alternative of
+    /// every or-group. Defaults to [`Budget::unlimited_ref`].
+    pub budget: &'a Budget,
     /// Instrumentation sink (`wizard.*`, plus the query/chase metrics of the
     /// question machinery). Defaults to the no-op handle.
     pub metrics: &'a Metrics,
@@ -87,6 +92,12 @@ pub struct DisambiguationOutcome {
     pub real: bool,
     /// Time to construct/retrieve the example.
     pub example_time: Duration,
+    /// True when the execution budget truncated question construction and
+    /// the wizard defaulted to the first alternative of every or-group
+    /// instead of asking (a warning is recorded alongside).
+    pub defaulted: bool,
+    /// Human-readable degradation warnings.
+    pub warnings: Vec<String>,
 }
 
 impl<'a> MuseD<'a> {
@@ -102,6 +113,7 @@ impl<'a> MuseD<'a> {
             source_constraints,
             real_instance: None,
             real_example_budget: Some(Duration::from_millis(750)),
+            budget: Budget::unlimited_ref(),
             metrics: Metrics::disabled_ref(),
         }
     }
@@ -112,6 +124,12 @@ impl<'a> MuseD<'a> {
         self
     }
 
+    /// Bound question construction with an execution budget.
+    pub fn with_budget(mut self, budget: &'a Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Record wizard/query/chase metrics into `metrics`.
     pub fn with_metrics(mut self, metrics: &'a Metrics) -> Self {
         self.metrics = metrics;
@@ -119,11 +137,34 @@ impl<'a> MuseD<'a> {
     }
 
     /// Build the question for an ambiguous mapping without consulting a
-    /// designer (used by interactive front-ends and the benchmarks).
+    /// designer (used by interactive front-ends and the benchmarks). Errors
+    /// with [`WizardError::Truncated`] when the execution budget cuts
+    /// question construction short; [`MuseD::disambiguate`] instead degrades
+    /// to a defaulted outcome.
     pub fn question(&self, m: &Mapping) -> Result<DisambiguationQuestion, WizardError> {
+        match self.try_question(m)? {
+            Some(q) => Ok(q),
+            None => Err(WizardError::Truncated(format!(
+                "disambiguation question for {} exceeded the execution budget",
+                m.name
+            ))),
+        }
+    }
+
+    /// Budget-aware question construction: `Ok(None)` means the budget (or
+    /// an injected `wizard.probe` fault) truncated the work.
+    fn try_question(&self, m: &Mapping) -> Result<Option<DisambiguationQuestion>, WizardError> {
         let groups = or_groups(m);
         if groups.is_empty() {
             return Err(WizardError::NotAmbiguous(m.name.clone()));
+        }
+        if let Some(f) = muse_fault::point(faultpoints::WIZARD_PROBE) {
+            crate::museg::fault_reason(f).record(self.metrics);
+            return Ok(None);
+        }
+        if self.budget.deadline_expired() {
+            TruncationReason::DeadlineExpired.record(self.metrics);
+            return Ok(None);
         }
         let space = ClassSpace::new(m, self.source_schema, self.source_constraints)?;
 
@@ -150,7 +191,11 @@ impl<'a> MuseD<'a> {
             agree: 0,
             differ: vec![],
             distinct,
-            real_budget: self.real_example_budget,
+            // The real-instance search may not outlive the session deadline.
+            real_budget: match (self.real_example_budget, self.budget.remaining()) {
+                (Some(b), Some(rem)) => Some(b.min(rem)),
+                (b, rem) => b.or(rem),
+            },
         };
         let example = build_example_with(
             m,
@@ -178,13 +223,17 @@ impl<'a> MuseD<'a> {
         common
             .wheres
             .retain(|w| matches!(w, WhereClause::Eq { .. }));
-        let partial_target = chase_with(
+        let Outcome::Complete(partial_target) = chase_budget_with(
             self.source_schema,
             self.target_schema,
             &example.instance,
             &[common],
+            self.budget,
             self.metrics,
-        )?;
+        )?
+        else {
+            return Ok(None);
+        };
 
         // Choice lists: the value each alternative takes on the example.
         let mut choices = Vec::with_capacity(groups.len());
@@ -210,21 +259,45 @@ impl<'a> MuseD<'a> {
             });
         }
 
-        Ok(DisambiguationQuestion {
+        Ok(Some(DisambiguationQuestion {
             mapping: m.name.clone(),
             example,
             partial_target,
             choices,
-        })
+        }))
     }
 
     /// Disambiguate `m` by asking the designer to fill in the choices.
+    ///
+    /// When the execution budget truncates question construction, the
+    /// question is skipped with a warning and the *first* alternative of
+    /// every or-group is selected — a deterministic default the designer
+    /// can revisit later (the outcome is marked `defaulted`).
     pub fn disambiguate(
         &self,
         m: &Mapping,
         designer: &mut dyn Designer,
     ) -> Result<DisambiguationOutcome, WizardError> {
-        let q = self.question(m)?;
+        let Some(q) = self.try_question(m)? else {
+            let groups = or_groups(m);
+            let picks = vec![vec![0usize]; groups.len()];
+            let selected = select_multi(m, &picks)?;
+            self.metrics.incr("wizard.skipped_questions");
+            return Ok(DisambiguationOutcome {
+                alternatives_encoded: alternatives_count(m),
+                num_choices: groups.len(),
+                example_tuples: 0,
+                real: false,
+                example_time: Duration::ZERO,
+                defaulted: true,
+                warnings: vec![format!(
+                    "{}: disambiguation question skipped (budget exceeded); \
+                     defaulted to the first alternative of every or-group",
+                    m.name
+                )],
+                selected,
+            });
+        };
         self.metrics.incr("wizard.questions");
         let picks = designer.fill_choices(&q)?;
         if picks.len() != q.choices.len() {
@@ -253,6 +326,8 @@ impl<'a> MuseD<'a> {
             example_tuples: q.example.instance.total_tuples(),
             real: q.example.real,
             example_time: q.example.elapsed,
+            defaulted: false,
+            warnings: Vec::new(),
             selected,
         })
     }

@@ -84,6 +84,8 @@ fn refine(
         real_search_timeouts: 0,
         example_time: std::time::Duration::ZERO,
         multi_key_assumption: false,
+        skipped_truncated: 0,
+        warnings: Vec::new(),
     };
     let chosen = g.probe_loop(m, sk, &space, order, chosen0, 0, designer, &mut outcome)?;
     outcome.grouping = refs_of(&space, chosen);

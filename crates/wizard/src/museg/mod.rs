@@ -21,11 +21,11 @@ pub mod instance_only;
 use std::collections::VecDeque;
 use std::time::Duration;
 
-use muse_chase::chase_one_with;
+use muse_chase::chase_one_budget_with;
 use muse_mapping::{Grouping, Mapping, PathRef};
 use muse_nr::constraints::fdset::{all_attrs, attrs, iter_attrs, AttrSet};
 use muse_nr::{Constraints, Instance, Schema, SetPath};
-use muse_obs::Metrics;
+use muse_obs::{faultpoints, Budget, Metrics, Outcome, TruncationReason};
 
 use crate::designer::{Designer, ScenarioChoice};
 use crate::error::WizardError;
@@ -50,6 +50,11 @@ pub struct MuseG<'a> {
     /// Time budget per probe for searching the real instance before falling
     /// back to a synthetic example (Sec. VI). `None` searches exhaustively.
     pub real_example_budget: Option<Duration>,
+    /// Execution budget for the whole design. A probe whose example search
+    /// or scenario chase exceeds it is *skipped with a warning* (the probed
+    /// attribute is left out of the grouping) rather than failing the
+    /// session. Defaults to [`Budget::unlimited_ref`].
+    pub budget: &'a Budget,
     /// Instrumentation sink (`wizard.*`, plus the query/chase/iso metrics of
     /// the probe machinery). Defaults to the no-op handle.
     pub metrics: &'a Metrics,
@@ -107,6 +112,11 @@ pub struct GroupingOutcome {
     /// (assumes the designer does not group by a proper key fragment — see
     /// DESIGN.md).
     pub multi_key_assumption: bool,
+    /// Probes skipped because the execution budget truncated their example
+    /// or scenario chase (each one also leaves a warning).
+    pub skipped_truncated: usize,
+    /// Human-readable degradation warnings ("probe of c.cid skipped: …").
+    pub warnings: Vec<String>,
 }
 
 impl<'a> MuseG<'a> {
@@ -123,6 +133,7 @@ impl<'a> MuseG<'a> {
             real_instance: None,
             instance_only: false,
             real_example_budget: Some(Duration::from_millis(750)),
+            budget: Budget::unlimited_ref(),
             metrics: Metrics::disabled_ref(),
         }
     }
@@ -130,6 +141,12 @@ impl<'a> MuseG<'a> {
     /// Use a real source instance for example retrieval.
     pub fn with_instance(mut self, inst: &'a Instance) -> Self {
         self.real_instance = Some(inst);
+        self
+    }
+
+    /// Bound the design with an execution budget (graceful degradation).
+    pub fn with_budget(mut self, budget: &'a Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -169,6 +186,8 @@ impl<'a> MuseG<'a> {
             real_search_timeouts: 0,
             example_time: Duration::ZERO,
             multi_key_assumption: false,
+            skipped_truncated: 0,
+            warnings: Vec::new(),
         };
         if n == 0 {
             return Ok(outcome);
@@ -244,35 +263,55 @@ impl<'a> MuseG<'a> {
                     m.name
                 )));
             };
-            let q = self.make_question(m, sk, &space, &req, first_key, 0, probed)?;
-            self.record_example(&mut outcome, &q.example);
-            outcome.questions += 1;
-            self.metrics.incr("wizard.questions");
-            match designer.pick_scenario(&q)? {
-                ScenarioChoice::First => {
-                    // Groups by a key: conclude with the first candidate key
-                    // (same effect as any other key or superset).
+            match self.make_question(m, sk, &space, &req, first_key, 0, probed)? {
+                None => {
+                    // Budget ran out before the question could be built.
+                    // Skip it with a warning and default to grouping by the
+                    // first candidate key — grouping by any key has the same
+                    // effect, and it asks nothing further of the designer.
+                    outcome.skipped_truncated += 1;
+                    outcome.warnings.push(format!(
+                        "{}: multi-key question for SK{} skipped (budget exceeded); \
+                         defaulted to grouping by a candidate key",
+                        m.name,
+                        sk.label()
+                    ));
+                    self.metrics.incr("wizard.skipped_probes");
                     outcome.multi_key_assumption = true;
                     outcome.grouping = refs_of(&space, first_key);
                 }
-                ScenarioChoice::Second => {
-                    // Groups by non-key attributes only: probe them.
-                    let order: Vec<usize> = reps
-                        .iter()
-                        .copied()
-                        .filter(|i| non_key & attrs([*i]) != 0)
-                        .collect();
-                    let chosen = self.probe_loop(
-                        m,
-                        sk,
-                        &space,
-                        order,
-                        0,
-                        inconsequential,
-                        designer,
-                        &mut outcome,
-                    )?;
-                    outcome.grouping = refs_of(&space, chosen);
+                Some(q) => {
+                    self.record_example(&mut outcome, &q.example);
+                    outcome.questions += 1;
+                    self.metrics.incr("wizard.questions");
+                    match designer.pick_scenario(&q)? {
+                        ScenarioChoice::First => {
+                            // Groups by a key: conclude with the first
+                            // candidate key (same effect as any other key or
+                            // superset).
+                            outcome.multi_key_assumption = true;
+                            outcome.grouping = refs_of(&space, first_key);
+                        }
+                        ScenarioChoice::Second => {
+                            // Groups by non-key attributes only: probe them.
+                            let order: Vec<usize> = reps
+                                .iter()
+                                .copied()
+                                .filter(|i| non_key & attrs([*i]) != 0)
+                                .collect();
+                            let chosen = self.probe_loop(
+                                m,
+                                sk,
+                                &space,
+                                order,
+                                0,
+                                inconsequential,
+                                designer,
+                                &mut outcome,
+                            )?;
+                            outcome.grouping = refs_of(&space, chosen);
+                        }
+                    }
                 }
             }
         }
@@ -359,7 +398,23 @@ impl<'a> MuseG<'a> {
                 distinct: vec![],
                 real_budget: self.real_example_budget,
             };
-            let q = self.make_question(m, sk, space, &req, chosen | a_bit, chosen, a)?;
+            let Some(q) = self.make_question(m, sk, space, &req, chosen | a_bit, chosen, a)? else {
+                // The budget truncated this probe's example search or
+                // scenario chase: skip the question with a warning. The
+                // probed attribute (and its equality class) is left out of
+                // the grouping — a deterministic, conservative default.
+                outcome.skipped_truncated += 1;
+                outcome.warnings.push(format!(
+                    "{}: probe of {} for SK{} skipped (budget exceeded); \
+                     attribute left out of the grouping",
+                    m.name,
+                    m.source_ref_name(&space.poss[a]),
+                    sk.label()
+                ));
+                self.metrics.incr("wizard.skipped_probes");
+                rejected_reps |= attrs([space.rep(a)]);
+                continue;
+            };
             self.record_example(outcome, &q.example);
             outcome.questions += 1;
             self.metrics.incr("wizard.questions");
@@ -377,7 +432,9 @@ impl<'a> MuseG<'a> {
     }
 
     /// Build a probe question: construct the example and chase it under the
-    /// two candidate groupings.
+    /// two candidate groupings. Returns `None` when the execution budget
+    /// (or an injected `wizard.probe` fault) truncates the work — the
+    /// caller skips the question with a warning instead of failing.
     #[allow(clippy::too_many_arguments)]
     fn make_question(
         &self,
@@ -388,7 +445,23 @@ impl<'a> MuseG<'a> {
         with_set: AttrSet,
         without_set: AttrSet,
         probed: usize,
-    ) -> Result<GroupingQuestion, WizardError> {
+    ) -> Result<Option<GroupingQuestion>, WizardError> {
+        if let Some(f) = muse_fault::point(faultpoints::WIZARD_PROBE) {
+            fault_reason(f).record(self.metrics);
+            return Ok(None);
+        }
+        if self.budget.deadline_expired() {
+            TruncationReason::DeadlineExpired.record(self.metrics);
+            return Ok(None);
+        }
+        // The real-instance search may not outlive the session deadline.
+        let req = &ExampleRequest {
+            real_budget: match (req.real_budget, self.budget.remaining()) {
+                (Some(b), Some(rem)) => Some(b.min(rem)),
+                (b, rem) => b.or(rem),
+            },
+            ..req.clone()
+        };
         let example = build_example_with(
             m,
             space,
@@ -402,23 +475,31 @@ impl<'a> MuseG<'a> {
         let mut d2 = m.clone();
         d2.set_grouping(sk.clone(), Grouping::new(refs_of(space, without_set)));
         let probe_chase = self.metrics.timer("wizard.probe_chase_time").start();
-        let scenario1 = chase_one_with(
+        let Outcome::Complete(scenario1) = chase_one_budget_with(
             self.source_schema,
             self.target_schema,
             &example.instance,
             &d1,
+            self.budget,
             self.metrics,
-        )?;
-        let scenario2 = chase_one_with(
+        )?
+        else {
+            return Ok(None);
+        };
+        let Outcome::Complete(scenario2) = chase_one_budget_with(
             self.source_schema,
             self.target_schema,
             &example.instance,
             &d2,
+            self.budget,
             self.metrics,
-        )?;
+        )?
+        else {
+            return Ok(None);
+        };
         drop(probe_chase);
         let probed_ref = space.poss[probed].clone();
-        Ok(GroupingQuestion {
+        Ok(Some(GroupingQuestion {
             mapping: m.name.clone(),
             sk: sk.clone(),
             probed_name: m.source_ref_name(&probed_ref),
@@ -428,7 +509,15 @@ impl<'a> MuseG<'a> {
             d2,
             scenario1,
             scenario2,
-        })
+        }))
+    }
+}
+
+/// Map an injected fault to the truncation reason it simulates.
+pub(crate) fn fault_reason(f: muse_fault::Fault) -> TruncationReason {
+    match f {
+        muse_fault::Fault::DeadlineExpiry => TruncationReason::DeadlineExpired,
+        muse_fault::Fault::TermCapExhaustion => TruncationReason::TermLimit,
     }
 }
 

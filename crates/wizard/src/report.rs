@@ -66,6 +66,16 @@ pub fn render(report: &SessionReport) -> String {
         "example time:          {:?}",
         report.total_example_time()
     );
+    if report.truncated() {
+        let _ = writeln!(
+            out,
+            "warnings:              {} question(s) skipped under the budget",
+            report.warnings.len()
+        );
+        for w in &report.warnings {
+            let _ = writeln!(out, "  ! {w}");
+        }
+    }
     let _ = writeln!(out);
     let _ = writeln!(out, "Designed mappings");
     let _ = writeln!(out, "-----------------");

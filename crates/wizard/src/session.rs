@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use muse_mapping::{Grouping, Mapping};
 use muse_nr::{Constraints, Instance, Schema};
-use muse_obs::Metrics;
+use muse_obs::{Budget, Metrics};
 
 use muse_mapping::WhereClause;
 
@@ -37,6 +37,11 @@ pub struct Session<'a> {
     /// source variable that feeds target elements on its own and is not
     /// already covered by another mapping in Σ.
     pub offer_join_options: bool,
+    /// Execution budget for the whole session, forwarded to both component
+    /// wizards. Questions the budget truncates are skipped with a warning
+    /// (collected in [`SessionReport::warnings`]) instead of failing the
+    /// session. Defaults to [`Budget::unlimited_ref`].
+    pub budget: &'a Budget,
     /// Instrumentation sink, forwarded to both component wizards. Defaults
     /// to the no-op handle.
     pub metrics: &'a Metrics,
@@ -55,6 +60,9 @@ pub struct SessionReport {
     pub join_questions: usize,
     /// Companion mappings added by outer choices (also in `mappings`).
     pub companions_added: usize,
+    /// Graceful-degradation warnings: one line per question the execution
+    /// budget truncated (the session still completed with defaults).
+    pub warnings: Vec<String>,
 }
 
 impl SessionReport {
@@ -68,6 +76,12 @@ impl SessionReport {
                 .iter()
                 .map(|(_, g)| g.questions)
                 .sum::<usize>()
+    }
+
+    /// True when the execution budget truncated at least one question — the
+    /// session completed, but with defaulted answers (see `warnings`).
+    pub fn truncated(&self) -> bool {
+        !self.warnings.is_empty()
     }
 
     /// Total time spent constructing/retrieving examples.
@@ -98,6 +112,7 @@ impl<'a> Session<'a> {
             real_instance: None,
             instance_only: false,
             offer_join_options: false,
+            budget: Budget::unlimited_ref(),
             metrics: Metrics::disabled_ref(),
         }
     }
@@ -105,6 +120,12 @@ impl<'a> Session<'a> {
     /// Use a real source instance.
     pub fn with_instance(mut self, inst: &'a Instance) -> Self {
         self.real_instance = Some(inst);
+        self
+    }
+
+    /// Bound the session with an execution budget (graceful degradation).
+    pub fn with_budget(mut self, budget: &'a Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -127,6 +148,7 @@ impl<'a> Session<'a> {
             self.source_constraints,
         );
         mused.real_instance = self.real_instance;
+        mused.budget = self.budget;
         mused.metrics = self.metrics;
         let mut museg = MuseG::new(
             self.source_schema,
@@ -135,6 +157,7 @@ impl<'a> Session<'a> {
         );
         museg.real_instance = self.real_instance;
         museg.instance_only = self.instance_only;
+        museg.budget = self.budget;
         museg.metrics = self.metrics;
 
         // Phase 1: Muse-D on every ambiguous mapping.
@@ -186,12 +209,21 @@ impl<'a> Session<'a> {
             }
         }
 
+        let mut warnings: Vec<String> = Vec::new();
+        for d in &disambiguations {
+            warnings.extend(d.warnings.iter().cloned());
+        }
+        for (_, g) in &groupings {
+            warnings.extend(g.warnings.iter().cloned());
+        }
+
         Ok(SessionReport {
             mappings: unambiguous,
             disambiguations,
             groupings,
             join_questions,
             companions_added: companions.len(),
+            warnings,
         })
     }
 }

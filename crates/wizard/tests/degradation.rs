@@ -1,0 +1,169 @@
+//! Graceful degradation of the wizards under an execution budget.
+//!
+//! A truncated question must *never* fail the session: Muse-D defaults to
+//! the first alternative of every or-group, Muse-G leaves the probed
+//! attribute out of the grouping, and both leave a warning in the report.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use muse_mapping::{parse, PathRef};
+use muse_nr::{Constraints, Field, Schema, SetPath, Ty};
+use muse_obs::{Budget, Metrics};
+use muse_wizard::designer::OracleDesigner;
+use muse_wizard::session::Session;
+
+/// Fault arming is process-global; serialize the tests that run wizard
+/// probes so one test's plan cannot fire in another's session.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn schemas() -> (Schema, Schema) {
+    let src = Schema::new(
+        "S",
+        vec![
+            Field::new(
+                "Projects",
+                Ty::set_of(vec![
+                    Field::new("pname", Ty::Str),
+                    Field::new("manager", Ty::Str),
+                    Field::new("tech-lead", Ty::Str),
+                ]),
+            ),
+            Field::new(
+                "Employees",
+                Ty::set_of(vec![
+                    Field::new("eid", Ty::Str),
+                    Field::new("ename", Ty::Str),
+                ]),
+            ),
+        ],
+    )
+    .unwrap();
+    let tgt = Schema::new(
+        "T",
+        vec![Field::new(
+            "Orgs",
+            Ty::set_of(vec![
+                Field::new("lead", Ty::Str),
+                Field::new("Projects", Ty::set_of(vec![Field::new("pname", Ty::Str)])),
+            ]),
+        )],
+    )
+    .unwrap();
+    (src, tgt)
+}
+
+fn ambiguous_mappings(src: &Schema, tgt: &Schema) -> Vec<muse_mapping::Mapping> {
+    let mut ms = parse(
+        "ma: for p in S.Projects, e1 in S.Employees, e2 in S.Employees
+             satisfy e1.eid = p.manager and e2.eid = p.tech-lead
+             exists o in T.Orgs, q in o.Projects
+             where p.pname = q.pname
+               and (e1.ename = o.lead or e2.ename = o.lead)
+             group o.Projects by ()",
+    )
+    .unwrap();
+    for m in &mut ms {
+        m.ensure_default_groupings(tgt, src).unwrap();
+    }
+    ms
+}
+
+#[test]
+fn expired_deadline_session_completes_with_defaults_and_warnings() {
+    let _g = lock();
+    let (src, tgt) = schemas();
+    let cons = Constraints::none();
+    let ms = ambiguous_mappings(&src, &tgt);
+
+    let metrics = Metrics::enabled();
+    let expired = Budget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1));
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    // The oracle has intentions, but the session never gets to ask: every
+    // question is budget-skipped.
+    oracle.intended_choices.insert("ma".into(), vec![vec![1]]);
+
+    let session = Session::new(&src, &tgt, &cons)
+        .with_budget(&expired)
+        .with_metrics(&metrics);
+    let report = session.run(&ms, &mut oracle).unwrap();
+
+    assert!(report.truncated(), "expired budget must leave warnings");
+    assert_eq!(report.disambiguations.len(), 1);
+    assert!(report.disambiguations[0].defaulted);
+    // Defaulted to the FIRST alternative (manager), not the intended one.
+    assert_eq!(report.mappings.len(), 1);
+    assert!(!report.mappings[0].is_ambiguous());
+    report.mappings[0].validate(&src, &tgt).unwrap();
+    // No grouping question was ever asked (every probe was skipped).
+    assert!(report.groupings.iter().all(|(_, g)| g.questions == 0));
+    assert!(report
+        .groupings
+        .iter()
+        .any(|(_, g)| g.skipped_truncated > 0 || g.poss_size == 0));
+    let s = metrics.snapshot();
+    assert!(s.counter("budget.truncations") >= 1);
+    assert!(s.counter("wizard.skipped_questions") >= 1);
+}
+
+#[test]
+fn injected_probe_fault_skips_one_question_only() {
+    let _g = lock();
+    let (src, tgt) = schemas();
+    let cons = Constraints::none();
+    let ms = ambiguous_mappings(&src, &tgt);
+
+    let metrics = Metrics::enabled();
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intended_choices.insert("ma".into(), vec![vec![1]]);
+    oracle.intend_grouping(
+        "ma#1",
+        SetPath::parse("Orgs.Projects"),
+        vec![PathRef::new(2, "ename")],
+    );
+
+    // The first wizard.probe hit (the Muse-D question) is faulted; the
+    // Muse-G probes that follow run clean.
+    let plan = muse_fault::parse_spec("wizard.probe:deadline@1").unwrap();
+    let guard = muse_fault::arm_scoped(plan);
+    let session = Session::new(&src, &tgt, &cons).with_metrics(&metrics);
+    let report = session.run(&ms, &mut oracle).unwrap();
+    drop(guard);
+
+    assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
+    assert!(report.disambiguations[0].defaulted);
+    // Muse-G still asked real questions after the skipped Muse-D one.
+    assert!(report.total_questions() >= 1);
+    for m in &report.mappings {
+        m.validate(&src, &tgt).unwrap();
+    }
+}
+
+#[test]
+fn unlimited_budget_session_is_unchanged() {
+    let _g = lock();
+    let (src, tgt) = schemas();
+    let cons = Constraints::none();
+    let ms = ambiguous_mappings(&src, &tgt);
+
+    let mut oracle = OracleDesigner::new(&src, &tgt);
+    oracle.intended_choices.insert("ma".into(), vec![vec![1]]);
+    oracle.intend_grouping(
+        "ma#1",
+        SetPath::parse("Orgs.Projects"),
+        vec![PathRef::new(2, "ename")],
+    );
+
+    let session = Session::new(&src, &tgt, &cons);
+    let report = session.run(&ms, &mut oracle).unwrap();
+    assert!(!report.truncated());
+    assert!(!report.disambiguations[0].defaulted);
+    let g = report.mappings[0]
+        .grouping(&SetPath::parse("Orgs.Projects"))
+        .unwrap();
+    assert_eq!(g.args, vec![PathRef::new(2, "ename")]);
+}

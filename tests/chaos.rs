@@ -1,0 +1,290 @@
+//! Chaos differential: the full pipeline under deterministic fault
+//! injection must either produce exactly the fault-free result or degrade
+//! cleanly (a truncated-but-valid result, or a typed error) — never panic
+//! the process, never emit a corrupt instance.
+//!
+//! Plans come from fixed seeds plus one spec-based plan per scenario, and
+//! CI additionally exports `MUSE_FAULTS` so the whole suite runs once with
+//! a plan armed from the environment (`muse_fault::arm_from_env`).
+
+use std::sync::Mutex;
+
+use muse_fault::{arm_scoped, parse_spec, plan_from_seed, FaultPlan};
+use muse_obs::{Budget, Metrics, Outcome};
+use muse_suite::chase::{chase_budget_with, chase_par_budget_with, chase_with, fingerprint};
+use muse_suite::cliogen::{desired_grouping, GroupingStrategy};
+use muse_suite::mapping::ambiguity::{or_groups, select_multi};
+use muse_suite::scenarios::Scenario;
+use muse_suite::wizard::{OracleDesigner, Session, WizardError};
+
+/// Fault arming is process-global: every test that touches instrumented
+/// points serializes on this lock (poisoning ignored — a failed test must
+/// not cascade).
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+struct PipelineResult {
+    /// Final mappings in concrete syntax.
+    mappings_text: String,
+    /// Fingerprint of the chased target (of the complete or partial value).
+    target_fp: u64,
+    /// Graceful-degradation warnings the session collected.
+    warnings: usize,
+    /// Whether the final chase truncated.
+    chase_truncated: bool,
+}
+
+/// One full wizard-plus-chase pipeline. Never panics: every failure mode is
+/// a `WizardError` or a truncated `Outcome`.
+fn run_pipeline(scenario: &Scenario, scale: f64) -> Result<PipelineResult, WizardError> {
+    let instance = scenario.instance(scale, 11);
+    let mappings = scenario.mappings().expect("scenario mappings generate");
+
+    let mut oracle = OracleDesigner::new(&scenario.source_schema, &scenario.target_schema);
+    let mut resolved = Vec::new();
+    for m in &mappings {
+        if m.is_ambiguous() {
+            let picks = vec![vec![0usize]; or_groups(m).len()];
+            oracle
+                .intended_choices
+                .insert(m.name.clone(), picks.clone());
+            resolved.extend(select_multi(m, &picks).expect("selection"));
+        } else {
+            resolved.push(m.clone());
+        }
+    }
+    for m in &resolved {
+        for sk in m
+            .filled_target_sets(&scenario.target_schema)
+            .expect("filled sets")
+        {
+            let desired = desired_grouping(
+                m,
+                &sk,
+                GroupingStrategy::G3,
+                &scenario.source_schema,
+                &scenario.target_schema,
+            )
+            .expect("strategy grouping");
+            oracle.intend_grouping(m.name.clone(), sk, desired);
+        }
+    }
+
+    let session = Session::new(
+        &scenario.source_schema,
+        &scenario.target_schema,
+        &scenario.source_constraints,
+    )
+    .with_instance(&instance);
+    let report = session.run(&mappings, &mut oracle)?;
+
+    // The finished mappings must be valid no matter what was injected.
+    for m in &report.mappings {
+        m.validate(&scenario.source_schema, &scenario.target_schema)
+            .unwrap_or_else(|e| panic!("{}/{}: invalid mapping: {e}", scenario.name, m.name));
+    }
+
+    let outcome = chase_budget_with(
+        &scenario.source_schema,
+        &scenario.target_schema,
+        &instance,
+        &report.mappings,
+        Budget::unlimited_ref(),
+        &Metrics::disabled(),
+    )
+    .map_err(WizardError::Chase)?;
+    let chase_truncated = !outcome.is_complete();
+    let target = outcome.into_value();
+    // Complete or truncated, the produced instance must be valid.
+    target
+        .validate(&scenario.target_schema)
+        .unwrap_or_else(|e| panic!("{}: corrupt chased instance: {e}", scenario.name));
+
+    Ok(PipelineResult {
+        mappings_text: muse_suite::mapping::printer::print_all(&report.mappings),
+        target_fp: fingerprint(&target),
+        warnings: report.warnings.len(),
+        chase_truncated,
+    })
+}
+
+/// A chase-ready Σ: every ambiguous mapping resolved to its first
+/// interpretation.
+fn resolved_mappings(scenario: &Scenario) -> Vec<muse_suite::mapping::Mapping> {
+    let mut out = Vec::new();
+    for m in scenario.mappings().unwrap() {
+        if m.is_ambiguous() {
+            let picks = vec![vec![0usize]; or_groups(&m).len()];
+            out.extend(select_multi(&m, &picks).unwrap());
+        } else {
+            out.push(m);
+        }
+    }
+    out
+}
+
+fn scenario_scale(name: &str) -> f64 {
+    match name {
+        "Mondial" => 0.02,
+        "DBLP" => 0.01,
+        "TPCH" => 0.01,
+        _ => 0.02,
+    }
+}
+
+/// Run the matrix: every scenario under every plan. Asserts the differential
+/// contract against a fault-free baseline per scenario.
+fn chaos_matrix(plans: &[(String, FaultPlan)]) {
+    let scenarios = muse_suite::scenarios::all_scenarios();
+    for scenario in &scenarios {
+        let scale = scenario_scale(scenario.name);
+        let baseline = run_pipeline(scenario, scale)
+            .unwrap_or_else(|e| panic!("{}: fault-free pipeline failed: {e}", scenario.name));
+        assert_eq!(baseline.warnings, 0, "{}: clean baseline", scenario.name);
+        assert!(!baseline.chase_truncated);
+
+        for (label, plan) in plans {
+            let guard = arm_scoped(plan.clone());
+            let result = run_pipeline(scenario, scale);
+            let stats = muse_fault::stats().expect("armed");
+            drop(guard);
+
+            match result {
+                Ok(r) => {
+                    if r.warnings == 0 && !r.chase_truncated && stats.injected == 0 {
+                        // Nothing fired (the plan targeted points this
+                        // pipeline never hit): byte-identical results.
+                        assert_eq!(
+                            r.mappings_text, baseline.mappings_text,
+                            "{}/{label}: identical mappings when no fault fired",
+                            scenario.name
+                        );
+                        assert_eq!(
+                            r.target_fp, baseline.target_fp,
+                            "{}/{label}: identical target when no fault fired",
+                            scenario.name
+                        );
+                    }
+                    // Faults fired: validity was already asserted inside
+                    // run_pipeline; truncated results need not match.
+                }
+                Err(e) => {
+                    // A typed error is an accepted degradation; a panic
+                    // would have aborted the test instead.
+                    eprintln!("{}/{label}: clean error under faults: {e}", scenario.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_fault_plans_degrade_cleanly() {
+    let _g = lock();
+    let mut plans: Vec<(String, FaultPlan)> = vec![
+        ("seed:7x3".into(), plan_from_seed(7, 3)),
+        ("seed:1042x2".into(), plan_from_seed(1042, 2)),
+        (
+            "probe+binding".into(),
+            parse_spec("wizard.probe:deadline@1;chase.binding:deadline@3").unwrap(),
+        ),
+    ];
+    // CI exports MUSE_FAULTS so the matrix also covers an env-armed plan.
+    if let Ok(spec) = std::env::var("MUSE_FAULTS") {
+        if !spec.trim().is_empty() {
+            plans.push((
+                format!("env:{spec}"),
+                parse_spec(&spec).expect("MUSE_FAULTS parses"),
+            ));
+        }
+    }
+    chaos_matrix(&plans);
+}
+
+#[test]
+fn injected_par_panic_falls_back_to_identical_serial_output() {
+    let _g = lock();
+    let scenarios = muse_suite::scenarios::all_scenarios();
+    let scenario = scenarios.iter().find(|s| s.name == "Mondial").unwrap();
+    let instance = scenario.instance(0.02, 11);
+    let mappings = resolved_mappings(scenario);
+
+    let serial = chase_with(
+        &scenario.source_schema,
+        &scenario.target_schema,
+        &instance,
+        &mappings,
+        &Metrics::disabled(),
+    )
+    .unwrap();
+
+    let metrics = Metrics::enabled();
+    let plan = parse_spec("chase.fire_unit:panic@1").unwrap();
+    let guard = arm_scoped(plan);
+    let outcome = chase_par_budget_with(
+        &scenario.source_schema,
+        &scenario.target_schema,
+        &instance,
+        &mappings,
+        4,
+        Budget::unlimited_ref(),
+        &metrics,
+    )
+    .unwrap();
+    let stats = muse_fault::stats().expect("armed");
+    drop(guard);
+
+    assert_eq!(stats.injected, 1, "the panic fired exactly once");
+    let Outcome::Complete(par_target) = outcome else {
+        panic!("one-shot panic must not truncate the retried chase");
+    };
+    assert_eq!(
+        fingerprint(&par_target),
+        fingerprint(&serial),
+        "serial fallback must be byte-identical to the serial chase"
+    );
+    let s = metrics.snapshot();
+    assert_eq!(s.counter("chase.par_fallbacks"), 1);
+    assert!(s.counter("par.panics") >= 1, "worker panic was isolated");
+}
+
+#[test]
+fn worker_panic_in_phase_one_also_falls_back() {
+    let _g = lock();
+    let scenarios = muse_suite::scenarios::all_scenarios();
+    let scenario = scenarios.iter().find(|s| s.name == "Amalgam").unwrap();
+    let instance = scenario.instance(0.02, 11);
+    let mappings = resolved_mappings(scenario);
+
+    let serial = chase_with(
+        &scenario.source_schema,
+        &scenario.target_schema,
+        &instance,
+        &mappings,
+        &Metrics::disabled(),
+    )
+    .unwrap();
+
+    let metrics = Metrics::enabled();
+    let guard = arm_scoped(parse_spec("par.worker:panic@1").unwrap());
+    let outcome = chase_par_budget_with(
+        &scenario.source_schema,
+        &scenario.target_schema,
+        &instance,
+        &mappings,
+        4,
+        Budget::unlimited_ref(),
+        &metrics,
+    )
+    .unwrap();
+    drop(guard);
+
+    let Outcome::Complete(par_target) = outcome else {
+        panic!("one-shot panic must not truncate the retried chase");
+    };
+    assert_eq!(fingerprint(&par_target), fingerprint(&serial));
+    assert_eq!(metrics.snapshot().counter("chase.par_fallbacks"), 1);
+}
