@@ -1,0 +1,214 @@
+//! `serve_bench` — load-test the session server (ISSUE 5, satellite 1).
+//!
+//! Spins an in-process `muse_serve::Server` on an ephemeral port with a
+//! WAL, opens `MUSE_SERVE_SESSIONS` (default 64) interactive sessions so
+//! they are all concurrently open, then drives every one to completion
+//! over HTTP from `--threads` client workers. The connection cap is set
+//! *below* the client concurrency on purpose: `503 + Retry-After`
+//! responses are expected (and counted) as soft backpressure, while any
+//! other failure is a hard failure and the bench exits non-zero. Finally
+//! the server is drained and a second server binds the same WAL, timing a
+//! full replay of every completed session.
+//!
+//! `--json` merges a `serve` section (throughput, handle p50/p99, replay
+//! time) into `BENCH_baseline.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use muse_bench::baseline;
+use muse_obs::{Json, Metrics};
+use muse_serve::{client, Client, Server, ServerConfig};
+
+const SCENARIO: &str = "DBLP";
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Scripted designer: scenario 2, first alternative, inner join.
+fn scripted_answer(question: &Json) -> Json {
+    match question.get("kind").and_then(Json::as_str) {
+        Some("scenario") => Json::obj(vec![
+            ("kind", Json::str("scenario")),
+            ("pick", Json::Int(2)),
+        ]),
+        Some("choices") => {
+            let n = question
+                .get("choices")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            Json::obj(vec![
+                ("kind", Json::str("choices")),
+                (
+                    "picks",
+                    Json::Arr((0..n).map(|_| Json::Arr(vec![Json::Int(0)])).collect()),
+                ),
+            ])
+        }
+        _ => Json::obj(vec![
+            ("kind", Json::str("join")),
+            ("pick", Json::str("inner")),
+        ]),
+    }
+}
+
+fn main() {
+    let sessions = env_usize("MUSE_SERVE_SESSIONS", 64);
+    let client_threads = baseline::arg_threads().max(8).min(sessions.max(1));
+    // Half as many server workers as clients, and a connection cap below
+    // the client fan-out: backpressure (503 + retry) is part of what this
+    // bench exercises.
+    let server_threads = (client_threads / 2).max(2);
+    let max_connections = server_threads + 2;
+    let dir = std::env::temp_dir().join(format!("muse_serve_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let wal = dir.join("sessions.wal");
+
+    let cfg = || ServerConfig {
+        threads: server_threads,
+        max_sessions: sessions * 2,
+        max_connections,
+        wal: Some(wal.clone()),
+        ..ServerConfig::default()
+    };
+
+    let server = Arc::new(Server::bind(cfg(), Metrics::enabled()).expect("bind"));
+    let addr = server.local_addr().expect("local addr").to_string();
+    let runner = Arc::clone(&server);
+    let run_thread = std::thread::spawn(move || runner.run().expect("server run"));
+    client::wait_ready(&addr, std::time::Duration::from_secs(10)).expect("ready");
+
+    let create_body = Json::obj(vec![
+        ("scenario", Json::str(SCENARIO)),
+        ("use_instance", Json::Bool(false)),
+    ]);
+
+    // Phase 1: open every session before answering anything, so all of
+    // them are concurrently resident and open.
+    let t_open = Instant::now();
+    let driver = Metrics::enabled();
+    let ids: Vec<(u64, Json)> = muse_par::scope_map(sessions, client_threads, &driver, |_| {
+        let http = mk_client(&addr);
+        let state = http.create_session(&create_body).expect("create session");
+        let id = state.get("session").and_then(Json::as_int).expect("id") as u64;
+        (id, state)
+    });
+    let open_time = t_open.elapsed();
+    let open_now = server.store().open_sessions();
+    assert_eq!(
+        open_now, sessions as u64,
+        "expected every session concurrently open"
+    );
+
+    // Phase 2: drive all of them to completion in parallel.
+    let questions_answered = AtomicU64::new(0);
+    let hard_failures = AtomicU64::new(0);
+    let t_drive = Instant::now();
+    muse_par::scope_map(sessions, client_threads, &driver, |i| {
+        let http = mk_client(&addr);
+        let (id, mut state) = ids[i].clone();
+        while state.get("status").and_then(Json::as_str) == Some("open") {
+            let question = state.get("question").expect("open question");
+            match http.answer(id, &scripted_answer(question)) {
+                Ok(next) => {
+                    questions_answered.fetch_add(1, Ordering::Relaxed);
+                    state = next;
+                }
+                Err(e) => {
+                    eprintln!("session {id}: hard failure: {e}");
+                    hard_failures.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        if let Err(e) = http.report(id) {
+            eprintln!("session {id}: report failed: {e}");
+            hard_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    let drive_time = t_drive.elapsed();
+
+    let answered = questions_answered.load(Ordering::Relaxed);
+    let hard = hard_failures.load(Ordering::Relaxed);
+    let requests = answered + 2 * sessions as u64; // + creates and reports
+    let snapshot = server.metrics().snapshot();
+    let rejects = snapshot.counter("serve.rejects");
+    let handle = mk_client(&addr)
+        .metrics()
+        .ok()
+        .and_then(|m| m.get("serve").and_then(|s| s.get("handle")).cloned())
+        .unwrap_or(Json::Null);
+
+    mk_client(&addr).shutdown().expect("shutdown");
+    run_thread.join().expect("server thread");
+
+    // Phase 3: bind a fresh server on the same WAL and time the replay of
+    // every completed session.
+    let t_replay = Instant::now();
+    let replayed = Server::bind(cfg(), Metrics::enabled()).expect("replay bind");
+    let replay_time = t_replay.elapsed();
+    assert_eq!(replayed.store().len(), sessions, "replay lost sessions");
+    assert_eq!(
+        replayed.store().open_sessions(),
+        0,
+        "completed sessions replayed as open"
+    );
+
+    let throughput = requests as f64 / drive_time.as_secs_f64().max(1e-9);
+    println!("serve_bench: {SCENARIO} x{sessions}, {client_threads} client threads");
+    println!(
+        "  open     {sessions} sessions in {:.2}s (all concurrently open)",
+        open_time.as_secs_f64()
+    );
+    println!(
+        "  drive    {answered} answers in {:.2}s  ({throughput:.0} req/s, {rejects} soft 503s, {hard} hard failures)",
+        drive_time.as_secs_f64()
+    );
+    println!("  handle   {}", handle.render());
+    println!(
+        "  replay   {sessions} sessions in {:.2}s",
+        replay_time.as_secs_f64()
+    );
+
+    if baseline::wants_json() {
+        let section = Json::obj(vec![
+            ("scenario", Json::str(SCENARIO)),
+            ("sessions", Json::Int(sessions as i64)),
+            ("client_threads", Json::Int(client_threads as i64)),
+            ("server_threads", Json::Int(server_threads as i64)),
+            ("max_connections", Json::Int(max_connections as i64)),
+            ("open_time_s", Json::Num(open_time.as_secs_f64())),
+            ("drive_time_s", Json::Num(drive_time.as_secs_f64())),
+            ("requests", Json::Int(requests as i64)),
+            ("questions_answered", Json::Int(answered as i64)),
+            ("throughput_rps", Json::Num(throughput)),
+            ("soft_rejects_503", Json::Int(rejects as i64)),
+            ("hard_failures", Json::Int(hard as i64)),
+            ("handle", handle),
+            ("replay_sessions", Json::Int(sessions as i64)),
+            ("replay_time_s", Json::Num(replay_time.as_secs_f64())),
+            ("server_metrics", snapshot.to_json()),
+        ]);
+        baseline::emit("serve", section);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    if hard > 0 {
+        eprintln!("serve_bench: {hard} hard failure(s)");
+        std::process::exit(1);
+    }
+}
+
+fn mk_client(addr: &str) -> Client {
+    let mut c = Client::new(addr.to_owned());
+    // Backpressure is expected at this fan-out; retry 503s for a long time
+    // rather than surfacing them as hard failures.
+    c.retries = 600;
+    c
+}

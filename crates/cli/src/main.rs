@@ -26,6 +26,7 @@ mod demo;
 mod design;
 mod lint;
 mod scenario;
+mod serve;
 
 fn main() {
     // Deterministic fault injection (chaos testing): `MUSE_FAULTS=<spec>`
@@ -42,6 +43,7 @@ fn main() {
         Some("scenario") => scenario::run(&args[1..]),
         Some("design") => design::run(&args[1..]),
         Some("lint") => lint::run(&args[1..]),
+        Some("serve") => serve::run(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             usage();
             0
@@ -67,6 +69,10 @@ fn usage() {
     println!("                                 static analysis (diagnostics, no wizard)");
     println!("  muse design --source S --target T --corr C [--data DIR] [--out F]");
     println!("                                 full wizard on your own schema files");
+    println!("  muse serve [--port P] [--wal FILE] [--threads N]");
+    println!("             [--max-sessions N] [--max-connections N]");
+    println!("                                 both wizards over HTTP: durable, resumable");
+    println!("                                 design sessions (see DESIGN.md)");
     println!("      --strategy g1|g2|g3        answer with an oracle instead of interactively");
     println!("      --scale <f>                instance scale (default 0.1)");
     println!("      --seed <n>                 generator seed (default 1)");

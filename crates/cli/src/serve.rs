@@ -1,0 +1,110 @@
+//! `muse serve` — the session server (see `crates/serve`).
+
+use muse_obs::Metrics;
+use muse_serve::{Server, ServerConfig};
+
+struct Options {
+    host: String,
+    port: u16,
+    cfg: ServerConfig,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        host: "127.0.0.1".to_owned(),
+        port: 7654,
+        cfg: ServerConfig::default(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--host" => opts.host = value("--host")?,
+            "--port" => {
+                opts.port = value("--port")?
+                    .parse()
+                    .map_err(|_| "--port needs a number in 0..=65535".to_owned())?;
+            }
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs a number".to_owned())?;
+                opts.cfg.threads = muse_par::resolve_threads(Some(n));
+            }
+            "--max-sessions" => {
+                opts.cfg.max_sessions = value("--max-sessions")?
+                    .parse()
+                    .map_err(|_| "--max-sessions needs a number".to_owned())?;
+            }
+            "--max-connections" => {
+                opts.cfg.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|_| "--max-connections needs a number".to_owned())?;
+            }
+            "--wal" => opts.cfg.wal = Some(value("--wal")?.into()),
+            other => return Err(format!("unknown flag `{other}` for muse serve")),
+        }
+        i += 1;
+    }
+    opts.cfg.addr = format!("{}:{}", opts.host, opts.port);
+    Ok(opts)
+}
+
+pub fn run(args: &[String]) -> i32 {
+    let opts = match parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("muse serve: {e}");
+            eprintln!(
+                "usage: muse serve [--host H] [--port P] [--threads N] \
+                 [--max-sessions N] [--max-connections N] [--wal FILE]"
+            );
+            return 2;
+        }
+    };
+    let wal_note = opts
+        .cfg
+        .wal
+        .as_ref()
+        .map_or("no wal (sessions are not durable)".to_owned(), |p| {
+            format!("wal {}", p.display())
+        });
+    let server = match Server::bind(opts.cfg, Metrics::enabled()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("muse serve: {e}");
+            return 1;
+        }
+    };
+    let Ok(addr) = server.local_addr() else {
+        eprintln!("muse serve: cannot read bound address");
+        return 1;
+    };
+    let replayed = server.store().len();
+    // Tests spawn `muse serve` with piped (block-buffered) stdout, wait for
+    // the listen line, and may close the pipe afterwards: write + flush
+    // explicitly and never panic on a broken stdout.
+    use std::io::Write as _;
+    let mut out = std::io::stdout();
+    let _ = writeln!(
+        out,
+        "listening on {addr} ({wal_note}, {replayed} session(s) replayed)"
+    );
+    let _ = out.flush();
+    match server.run() {
+        Ok(()) => {
+            let _ = writeln!(out, "drained after /admin/shutdown");
+            0
+        }
+        Err(e) => {
+            eprintln!("muse serve: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Shared harness for the `muse serve` subprocess tests: spawn the real
+//! binary, parse its listen line, and script sessions against it.
+//!
+//! Compiled into each integration-test binary separately, so not every
+//! helper is used by every binary.
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+
+use muse_obs::Json;
+use muse_serve::Client;
+
+/// A running `muse serve` child bound to an ephemeral port.
+pub struct ServeChild {
+    pub child: Child,
+    pub addr: String,
+}
+
+impl ServeChild {
+    /// Spawn `muse serve --port 0 --wal <wal>` and wait for its listen
+    /// line.
+    pub fn spawn(wal: &Path) -> ServeChild {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_muse"))
+            .args(["serve", "--port", "0", "--threads", "2", "--wal"])
+            .arg(wal)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn muse serve");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read listen line");
+        // "listening on 127.0.0.1:PORT (wal …, N session(s) replayed)"
+        let addr = line
+            .strip_prefix("listening on ")
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unexpected listen line: {line:?}"))
+            .to_owned();
+        ServeChild { child, addr }
+    }
+
+    pub fn client(&self) -> Client {
+        Client::new(self.addr.clone())
+    }
+
+    /// The number of replayed sessions announced on the listen line is
+    /// checked via /metrics instead (the line is consumed by `spawn`).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill(); // SIGKILL on unix: no drain, no flush
+        let _ = self.child.wait();
+    }
+
+    /// Graceful drain; asserts a clean exit.
+    pub fn shutdown(&mut self, client: &Client) {
+        client.shutdown().expect("shutdown request");
+        let status = self.child.wait().expect("wait");
+        assert!(status.success(), "muse serve exited with {status}");
+    }
+}
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Scripted interactive policy shared by the serve tests: scenario 2,
+/// first alternative, inner join.
+pub fn scripted_answer(question: &Json) -> Json {
+    match question.get("kind").and_then(Json::as_str) {
+        Some("scenario") => Json::obj(vec![
+            ("kind", Json::str("scenario")),
+            ("pick", Json::Int(2)),
+        ]),
+        Some("choices") => {
+            let n = question
+                .get("choices")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            Json::obj(vec![
+                ("kind", Json::str("choices")),
+                (
+                    "picks",
+                    Json::Arr((0..n).map(|_| Json::Arr(vec![Json::Int(0)])).collect()),
+                ),
+            ])
+        }
+        _ => Json::obj(vec![
+            ("kind", Json::str("join")),
+            ("pick", Json::str("inner")),
+        ]),
+    }
+}
+
+/// The uninterrupted offline reference for a scripted DBLP session: every
+/// question payload (wire encoding) and the stable report, produced by the
+/// same stepper the server uses, with no HTTP involved.
+pub fn offline_reference(cfg: &muse_serve::SessionCfg) -> (Vec<Json>, Json) {
+    let ctx = muse_serve::store::SessionCtx::build(cfg).expect("ctx");
+    let mut session = muse_wizard::Session::new(
+        &ctx.scenario.source_schema,
+        &ctx.scenario.target_schema,
+        &ctx.scenario.source_constraints,
+    )
+    .with_real_example_budget(None);
+    if let Some(inst) = &ctx.instance {
+        session = session.with_instance(inst);
+    }
+    session.instance_only = cfg.instance_only;
+    session.offer_join_options = cfg.join_options;
+
+    let mut questions = Vec::new();
+    let mut answers = Vec::new();
+    loop {
+        match session.step(&ctx.mappings, &answers).expect("offline step") {
+            muse_wizard::Step::Ask { seq, question } => {
+                let wire = muse_serve::proto::question_json(
+                    seq,
+                    &question,
+                    &ctx.scenario.source_schema,
+                    &ctx.scenario.target_schema,
+                );
+                answers.push(
+                    muse_serve::proto::answer_from_json(&scripted_answer(&wire))
+                        .expect("offline answer"),
+                );
+                questions.push(wire);
+            }
+            muse_wizard::Step::Done(report) => {
+                return (questions, muse_serve::proto::report_stable_json(&report));
+            }
+        }
+    }
+}

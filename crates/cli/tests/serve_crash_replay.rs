@@ -1,0 +1,85 @@
+//! The crash/replay differential (ISSUE 5, satellite 2): drive an
+//! HTTP session to question k against the real `muse serve` binary,
+//! SIGKILL the server mid-session, restart it on the same WAL, and verify
+//! the remaining transcript and the final report are byte-identical to an
+//! uninterrupted offline run of the same scripted designer.
+
+mod serve_common;
+
+use muse_obs::Json;
+use serve_common::{offline_reference, scripted_answer, ServeChild};
+
+#[test]
+fn killed_server_resumes_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("muse_crash_replay_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("sessions.wal");
+
+    let cfg = muse_serve::SessionCfg {
+        scenario: "DBLP".to_owned(),
+        use_instance: false,
+        ..muse_serve::SessionCfg::default()
+    };
+    let (questions, report) = offline_reference(&cfg);
+    let total = questions.len();
+    assert!(total >= 4, "reference session too short to interrupt");
+    let kill_at = total / 2;
+
+    // Life 1: drive to question `kill_at`, checking every question against
+    // the offline reference, then SIGKILL with the session open.
+    let mut server = ServeChild::spawn(&wal);
+    let client = server.client();
+    let mut state = client
+        .create_session(&Json::obj(vec![
+            ("scenario", Json::str("DBLP")),
+            ("use_instance", Json::Bool(false)),
+        ]))
+        .expect("create");
+    let id = state.get("session").and_then(Json::as_int).unwrap() as u64;
+    for expected in &questions[..kill_at] {
+        let question = state.get("question").expect("open question");
+        assert_eq!(question.render(), expected.render());
+        state = client
+            .answer(id, &scripted_answer(question))
+            .expect("answer");
+    }
+    server.kill();
+
+    // Life 2: same WAL. The session must resume at exactly question
+    // `kill_at` and the rest of the transcript must not diverge.
+    let mut server = ServeChild::spawn(&wal);
+    let client = server.client();
+    let mut state = client.question(id).expect("question after replay");
+    assert_eq!(
+        state.get("status").and_then(Json::as_str),
+        Some("open"),
+        "{}",
+        state.render()
+    );
+    for (seq, expected) in questions.iter().enumerate().skip(kill_at) {
+        let question = state.get("question").expect("open question");
+        assert_eq!(
+            question.render(),
+            expected.render(),
+            "question {seq} diverged after replay"
+        );
+        state = client
+            .answer(id, &scripted_answer(question))
+            .expect("answer");
+    }
+    assert_eq!(state.get("status").and_then(Json::as_str), Some("done"));
+
+    let served = client.report(id).expect("report");
+    assert_eq!(
+        served
+            .get("result")
+            .and_then(|r| r.get("report"))
+            .map(Json::render),
+        Some(report.render()),
+        "post-replay report != uninterrupted offline report"
+    );
+
+    server.shutdown(&client);
+    let _ = std::fs::remove_dir_all(&dir);
+}

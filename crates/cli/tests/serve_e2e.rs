@@ -1,0 +1,83 @@
+//! End-to-end `muse serve` binary tests (the CI `serve` job runs these):
+//! a scripted HTTP session whose report matches the offline wizard, an
+//! oracle-strategy session, and a graceful drain.
+
+mod serve_common;
+
+use muse_obs::Json;
+use serve_common::{offline_reference, scripted_answer, ServeChild};
+
+#[test]
+fn http_session_report_matches_offline_run() {
+    let dir = std::env::temp_dir().join(format!("muse_serve_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let cfg = muse_serve::SessionCfg {
+        scenario: "Amalgam".to_owned(),
+        use_instance: false,
+        ..muse_serve::SessionCfg::default()
+    };
+    let (questions, report) = offline_reference(&cfg);
+
+    let mut server = ServeChild::spawn(&dir.join("sessions.wal"));
+    let client = server.client();
+
+    // Scripted interactive session over HTTP.
+    let mut state = client
+        .create_session(&Json::obj(vec![
+            ("scenario", Json::str("Amalgam")),
+            ("use_instance", Json::Bool(false)),
+        ]))
+        .expect("create");
+    let id = state.get("session").and_then(Json::as_int).unwrap() as u64;
+    let mut asked = 0usize;
+    while state.get("status").and_then(Json::as_str) == Some("open") {
+        let question = state.get("question").expect("open question");
+        assert_eq!(
+            question.render(),
+            questions[asked].render(),
+            "question {asked}"
+        );
+        asked += 1;
+        state = client
+            .answer(id, &scripted_answer(question))
+            .expect("answer");
+    }
+    assert_eq!(asked, questions.len());
+
+    let served = client.report(id).expect("report");
+    assert_eq!(
+        served
+            .get("result")
+            .and_then(|r| r.get("report"))
+            .map(Json::render),
+        Some(report.render()),
+        "HTTP-driven report != offline report"
+    );
+
+    // Oracle session on the same server: one POST, immediately done.
+    let created = client
+        .create_session(&Json::obj(vec![
+            ("scenario", Json::str("DBLP")),
+            ("use_instance", Json::Bool(false)),
+            ("strategy", Json::str("g2")),
+        ]))
+        .expect("create oracle");
+    assert_eq!(created.get("status").and_then(Json::as_str), Some("done"));
+    let oracle_id = created.get("session").and_then(Json::as_int).unwrap() as u64;
+    let oracle_report = client.report(oracle_id).expect("oracle report");
+    assert!(oracle_report.get("answers").and_then(Json::as_int).unwrap() > 0);
+
+    // Metrics reflect both sessions; then drain gracefully (exit code 0).
+    let metrics = client.metrics().expect("metrics");
+    let completed = metrics
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("serve.sessions_completed"))
+        .and_then(Json::as_int);
+    assert_eq!(completed, Some(2), "{}", metrics.render());
+
+    server.shutdown(&client);
+    let _ = std::fs::remove_dir_all(&dir);
+}

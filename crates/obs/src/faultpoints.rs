@@ -32,6 +32,20 @@ pub const PAR_WORKER: &str = "par.worker";
 /// A wizard probe (example construction + probe chase) for one question.
 pub const WIZARD_PROBE: &str = "wizard.probe";
 
+/// The session server's accept loop, checked once per accepted connection.
+/// A non-panic fault rejects the connection with `503 + Retry-After`, the
+/// same path the connection cap takes.
+pub const SERVE_ACCEPT: &str = "serve.accept";
+
+/// One session-server request dispatch. A non-panic fault fails the
+/// request with `503` before it touches any session state.
+pub const SERVE_HANDLE: &str = "serve.handle";
+
+/// One write-ahead-log append in the session server. A non-panic fault
+/// fails the append, which fails the mutating request with `500` and
+/// leaves the in-memory session unchanged.
+pub const SERVE_WAL: &str = "serve.wal";
+
 /// Every registered injection point.
 pub const ALL: &[&str] = &[
     QUERY_EVAL,
@@ -40,6 +54,9 @@ pub const ALL: &[&str] = &[
     CHASE_MERGE,
     PAR_WORKER,
     WIZARD_PROBE,
+    SERVE_ACCEPT,
+    SERVE_HANDLE,
+    SERVE_WAL,
 ];
 
 /// Points wrapped in panic isolation (`catch_unwind`); only these may

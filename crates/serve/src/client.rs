@@ -1,0 +1,185 @@
+//! A minimal blocking HTTP client for the session protocol — used by the
+//! CLI tests, the crash/replay differential, and `serve_bench`. One TCP
+//! connection per request (the server speaks `Connection: close`), with
+//! optional retry on `503` backpressure.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use muse_obs::Json;
+
+/// A client bound to one server address.
+pub struct Client {
+    addr: String,
+    /// How many times a `503` is retried (with ~50 ms backoff) before it is
+    /// surfaced. Zero means every `503` is returned to the caller.
+    pub retries: u32,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `127.0.0.1:7654`) retrying `503`s a few
+    /// times.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            retries: 20,
+        }
+    }
+
+    /// Issue one request; returns `(status, body)`. `503` responses are
+    /// retried up to `self.retries` times with a small backoff — the
+    /// server's documented backpressure contract.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<(u16, Json), String> {
+        let mut attempt = 0u32;
+        loop {
+            let result = self.request_once(method, path, body);
+            match &result {
+                Ok((503, _)) if attempt < self.retries => {
+                    attempt += 1;
+                    thread::sleep(Duration::from_millis(50));
+                }
+                _ => return result,
+            }
+        }
+    }
+
+    fn request_once(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<(u16, Json), String> {
+        let mut stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+
+        let payload = body.map(|j| j.render()).unwrap_or_default();
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+            self.addr,
+            payload.len(),
+        );
+        stream
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("send {method} {path}: {e}"))?;
+
+        let mut raw = Vec::new();
+        stream
+            .read_to_end(&mut raw)
+            .map_err(|e| format!("recv {method} {path}: {e}"))?;
+        parse_response(&raw).map_err(|e| format!("{method} {path}: {e}"))
+    }
+
+    /// `POST /sessions`; returns the response body (`session`, `status`,
+    /// maybe `question`). Non-200 statuses become errors.
+    pub fn create_session(&self, cfg: &Json) -> Result<Json, String> {
+        self.expect_200("POST", "/sessions", Some(cfg))
+    }
+
+    /// `GET /sessions/{id}/question`.
+    pub fn question(&self, id: u64) -> Result<Json, String> {
+        self.expect_200("GET", &format!("/sessions/{id}/question"), None)
+    }
+
+    /// `POST /sessions/{id}/answer`.
+    pub fn answer(&self, id: u64, answer: &Json) -> Result<Json, String> {
+        self.expect_200("POST", &format!("/sessions/{id}/answer"), Some(answer))
+    }
+
+    /// `GET /sessions/{id}/report`.
+    pub fn report(&self, id: u64) -> Result<Json, String> {
+        self.expect_200("GET", &format!("/sessions/{id}/report"), None)
+    }
+
+    /// `GET /metrics`.
+    pub fn metrics(&self) -> Result<Json, String> {
+        self.expect_200("GET", "/metrics", None)
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(&self) -> Result<Json, String> {
+        self.expect_200("GET", "/healthz", None)
+    }
+
+    /// `POST /admin/shutdown` — begins the drain.
+    pub fn shutdown(&self) -> Result<Json, String> {
+        self.expect_200("POST", "/admin/shutdown", None)
+    }
+
+    fn expect_200(&self, method: &str, path: &str, body: Option<&Json>) -> Result<Json, String> {
+        let (status, body) = self.request(method, path, body)?;
+        if status == 200 {
+            Ok(body)
+        } else {
+            Err(format!("{method} {path}: HTTP {status}: {}", body.render()))
+        }
+    }
+}
+
+/// Poll `GET /healthz` until the server answers or `timeout` elapses.
+/// Spawned-server tests call this instead of sleeping.
+pub fn wait_ready(addr: &str, timeout: Duration) -> Result<(), String> {
+    let client = Client {
+        addr: addr.to_owned(),
+        retries: 0,
+    };
+    let deadline = Instant::now() + timeout;
+    loop {
+        match client.request_once("GET", "/healthz", None) {
+            Ok((200, _)) => return Ok(()),
+            Ok((status, _)) => return Err(format!("healthz returned HTTP {status}")),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(format!("server not ready after {timeout:?}: {e}"));
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn parse_response(raw: &[u8]) -> Result<(u16, Json), String> {
+    let text = std::str::from_utf8(raw).map_err(|_| "response is not UTF-8".to_owned())?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or("response has no header/body separator")?;
+    let status_line = head.lines().next().ok_or("empty response")?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line `{status_line}`"))?;
+    let body = if body.trim().is_empty() {
+        Json::obj(Vec::new())
+    } else {
+        Json::parse(body).map_err(|e| format!("bad response body: {e}"))?
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 12\r\n\r\n{\"error\":\"x\"}";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(body.get("error").and_then(Json::as_str), Some("x"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n{}").is_err());
+    }
+}

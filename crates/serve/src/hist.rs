@@ -1,0 +1,133 @@
+//! A lock-free log₂-bucketed latency histogram. `muse_obs::Timer` records
+//! count + total only; quantiles need a distribution, so the server keeps
+//! one of these per measured path. Bucket `i` covers `[2^(i-1), 2^i)` ns
+//! (bucket 0 is `0 ns`); a quantile reports its bucket's upper bound —
+//! at most 2× the true value, plenty for a p50/p99 trend line.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use muse_obs::Json;
+
+const BUCKETS: usize = 64;
+
+/// A concurrent histogram of durations.
+pub struct Hist {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    (64 - ns.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+fn upper_bound_ns(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << bucket.min(62)
+    }
+}
+
+impl Hist {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as a duration; zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((count as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen > rank {
+                return Duration::from_nanos(upper_bound_ns(i));
+            }
+        }
+        Duration::from_nanos(upper_bound_ns(BUCKETS - 1))
+    }
+
+    /// Mean observation; zero when empty.
+    pub fn mean(&self) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.total_ns.load(Ordering::Relaxed) / count)
+    }
+
+    /// `{count, mean_ms, p50_ms, p99_ms}` for `/metrics` and the bench.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::Int(self.count() as i64)),
+            ("mean_ms", Json::Num(self.mean().as_secs_f64() * 1e3)),
+            ("p50_ms", Json::Num(self.quantile(0.5).as_secs_f64() * 1e3)),
+            ("p99_ms", Json::Num(self.quantile(0.99).as_secs_f64() * 1e3)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let h = Hist::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // Upper bounds of log2 buckets: within 2x of the true value.
+        assert!(p50 >= Duration::from_millis(50) && p50 <= Duration::from_millis(128));
+        assert!(p99 >= Duration::from_millis(99) && p99 <= Duration::from_millis(256));
+        assert!(p50 <= p99);
+        assert_eq!(h.mean(), Duration::from_micros(50500));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Hist::new();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_durations_land_in_bucket_zero() {
+        let h = Hist::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::ZERO);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+    }
+}

@@ -1,0 +1,181 @@
+//! A deliberately small HTTP/1.1 subset: enough for a JSON request/response
+//! protocol over one-shot connections (`Connection: close`), nothing more.
+//! No chunked encoding, no keep-alive, no percent-decoding — the wire
+//! format is fixed by this crate's own client and documented in DESIGN.md.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use muse_obs::Json;
+
+/// Cap on the request head (request line + headers).
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Cap on the request body.
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// The request target, e.g. `/sessions/3/answer`.
+    pub path: String,
+    /// The raw body.
+    pub body: Vec<u8>,
+    /// Total bytes read off the socket for this request.
+    pub bytes_read: usize,
+}
+
+impl Request {
+    /// The path split into non-empty segments.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+fn malformed(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+fn find_blank_line(data: &[u8]) -> Option<usize> {
+    data.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Read and parse one request. Errors of kind `InvalidData` are protocol
+/// violations (respond 400); other kinds are transport failures.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut data: Vec<u8> = Vec::with_capacity(1024);
+    let mut buf = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_blank_line(&data) {
+            break pos;
+        }
+        if data.len() > MAX_HEAD {
+            return Err(malformed("request head exceeds 16 KiB"));
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(malformed("connection closed mid-request"));
+        }
+        data.extend_from_slice(&buf[..n]);
+    };
+
+    let head = std::str::from_utf8(&data[..head_end])
+        .map_err(|_| malformed("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(malformed("bad request line"));
+    };
+    if method.is_empty() || path.is_empty() {
+        return Err(malformed("bad request line"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| malformed("bad Content-Length"))?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(malformed("request body exceeds 4 MiB"));
+    }
+
+    let mut body = data[head_end + 4..].to_vec();
+    let mut bytes_read = data.len();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(malformed("connection closed mid-body"));
+        }
+        bytes_read += n;
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        body,
+        bytes_read,
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize a JSON body into a full response. Every response closes the
+/// connection: one request per connection keeps the worker pool small
+/// while still serving many concurrently *open* sessions.
+pub fn render_response(status: u16, extra_headers: &[(&str, String)], body: &Json) -> Vec<u8> {
+    let payload = body.render();
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        payload.len()
+    );
+    for (name, value) in extra_headers {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(payload.as_bytes());
+    bytes
+}
+
+/// Write a response; returns the bytes written.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &Json,
+) -> io::Result<usize> {
+    let bytes = render_response(status, extra_headers, body);
+    stream.write_all(&bytes)?;
+    stream.flush()?;
+    Ok(bytes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_has_content_length_and_close() {
+        let bytes = render_response(200, &[], &Json::obj(vec![("ok", Json::Bool(true))]));
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        assert!(text.contains(&format!("Content-Length: {}\r\n", body.len())));
+        assert_eq!(body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn extra_headers_are_emitted() {
+        let bytes = render_response(503, &[("Retry-After", "1".to_owned())], &Json::Null);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable"));
+    }
+}

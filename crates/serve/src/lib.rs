@@ -1,0 +1,44 @@
+//! **muse-serve** — the Muse wizards as a long-lived network service.
+//!
+//! The paper's wizard is interactive: a designer answers a short sequence
+//! of questions, each illustrated with a small data example. This crate
+//! serves that interaction over HTTP/1.1 (hand-rolled on
+//! `std::net::TcpListener` — the workspace is zero-dependency), holding
+//! many design sessions open at once:
+//!
+//! | Verb + path                   | Effect                                        |
+//! |-------------------------------|-----------------------------------------------|
+//! | `POST /sessions`              | create a session (scenario + knobs) → id      |
+//! | `GET /sessions/{id}/question` | the current question, example included        |
+//! | `POST /sessions/{id}/answer`  | answer it, advancing the state machine        |
+//! | `GET /sessions/{id}/report`   | the final [`muse_wizard::SessionReport`]      |
+//! | `GET /metrics`                | live `muse_obs` counters + server histograms  |
+//! | `GET /healthz`                | liveness                                      |
+//! | `POST /admin/shutdown`        | graceful drain                                |
+//!
+//! Durability: every session-mutating request is recorded in an
+//! append-only answer log ([`wal`]) *before* it is acknowledged, so a
+//! restarted server deterministically replays every session to its exact
+//! pre-crash question — the wizard refactored into a stepwise state
+//! machine ([`muse_wizard::Session::step`]) makes resumption the same code
+//! path as answering one more question.
+//!
+//! Concurrency: a bounded accept loop feeds a fixed `muse-par` worker pool
+//! through a queue with a connection cap; excess load is shed with
+//! `503 + Retry-After` ([`server`]). Request handling is panic-isolated,
+//! budgeted per session via `muse_obs::Budget`, and observable through
+//! `serve.*` metrics and the `serve.accept` / `serve.handle` / `serve.wal`
+//! fault points.
+
+pub mod client;
+pub mod hist;
+pub mod http;
+pub mod oracle;
+pub mod proto;
+pub mod server;
+pub mod store;
+pub mod wal;
+
+pub use client::Client;
+pub use server::{Server, ServerConfig};
+pub use store::SessionCfg;

@@ -1,0 +1,286 @@
+//! The wire protocol: JSON encodings of answers, questions, and reports.
+//!
+//! Determinism discipline: everything under a `"report"` or `"question"`
+//! key is a pure function of the session's inputs (scenario, scale, seed,
+//! knobs, answers) — golden transcripts and crash/replay differentials
+//! compare those bytes directly. Wall-clock measurements live only under
+//! `"timing"` keys, which [`strip_volatile`] removes before comparison.
+
+use muse_nr::Schema;
+use muse_obs::Json;
+use muse_wizard::{Answer, JoinChoice, PendingQuestion, ScenarioChoice, SessionReport};
+
+/// Encode an answer, e.g. `{"kind":"scenario","pick":2}`.
+pub fn answer_to_json(a: &Answer) -> Json {
+    match a {
+        Answer::Scenario(c) => Json::obj(vec![
+            ("kind", Json::str("scenario")),
+            (
+                "pick",
+                Json::Int(match c {
+                    ScenarioChoice::First => 1,
+                    ScenarioChoice::Second => 2,
+                }),
+            ),
+        ]),
+        Answer::Choices(picks) => Json::obj(vec![
+            ("kind", Json::str("choices")),
+            (
+                "picks",
+                Json::Arr(
+                    picks
+                        .iter()
+                        .map(|group| {
+                            Json::Arr(group.iter().map(|i| Json::Int(*i as i64)).collect())
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Answer::Join(c) => Json::obj(vec![
+            ("kind", Json::str("join")),
+            (
+                "pick",
+                Json::str(match c {
+                    JoinChoice::Inner => "inner",
+                    JoinChoice::Outer => "outer",
+                }),
+            ),
+        ]),
+    }
+}
+
+/// Decode an answer; errors name the offending field.
+pub fn answer_from_json(j: &Json) -> Result<Answer, String> {
+    let kind = j
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("answer needs a string `kind`")?;
+    match kind {
+        "scenario" => match j.get("pick").and_then(Json::as_int) {
+            Some(1) => Ok(Answer::Scenario(ScenarioChoice::First)),
+            Some(2) => Ok(Answer::Scenario(ScenarioChoice::Second)),
+            _ => Err("scenario answer needs `pick` of 1 or 2".to_owned()),
+        },
+        "choices" => {
+            let groups = j
+                .get("picks")
+                .and_then(Json::as_arr)
+                .ok_or("choices answer needs a `picks` array of arrays")?;
+            let mut picks = Vec::with_capacity(groups.len());
+            for group in groups {
+                let indices = group
+                    .as_arr()
+                    .ok_or("each element of `picks` must be an array of indices")?;
+                let mut out = Vec::with_capacity(indices.len());
+                for i in indices {
+                    let n = i
+                        .as_int()
+                        .filter(|n| *n >= 0)
+                        .ok_or("choice indices must be non-negative integers")?;
+                    out.push(n as usize);
+                }
+                picks.push(out);
+            }
+            Ok(Answer::Choices(picks))
+        }
+        "join" => match j.get("pick").and_then(Json::as_str) {
+            Some("inner") => Ok(Answer::Join(JoinChoice::Inner)),
+            Some("outer") => Ok(Answer::Join(JoinChoice::Outer)),
+            _ => Err("join answer needs `pick` of \"inner\" or \"outer\"".to_owned()),
+        },
+        other => Err(format!(
+            "unknown answer kind `{other}` (expected scenario|choices|join)"
+        )),
+    }
+}
+
+/// Encode the question a session is suspended on: structured metadata plus
+/// the full interactive prompt (schema-rendered example and scenarios).
+pub fn question_json(
+    seq: usize,
+    q: &PendingQuestion,
+    source_schema: &Schema,
+    target_schema: &Schema,
+) -> Json {
+    let mut fields = vec![
+        ("seq", Json::Int(seq as i64)),
+        ("kind", Json::str(q.kind())),
+        ("mapping", Json::str(q.mapping())),
+    ];
+    match q {
+        PendingQuestion::Grouping(g) => {
+            fields.push(("set", Json::str(g.sk.to_string())));
+            fields.push(("probed", Json::str(g.probed_name.clone())));
+            fields.push(("example_real", Json::Bool(g.example.real)));
+        }
+        PendingQuestion::Disambiguation(d) => {
+            fields.push(("example_real", Json::Bool(d.example.real)));
+            fields.push((
+                "choices",
+                Json::Arr(
+                    d.choices
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("target", Json::str(c.target_display.clone())),
+                                (
+                                    "values",
+                                    Json::Arr(
+                                        c.values
+                                            .iter()
+                                            .map(|v| {
+                                                Json::str(
+                                                    d.example.instance.store().render_value(v),
+                                                )
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        PendingQuestion::Join(jq) => {
+            fields.push(("dangling_var", Json::str(jq.dangling_var.clone())));
+        }
+    }
+    fields.push(("prompt", Json::str(q.render(source_schema, target_schema))));
+    Json::obj(fields)
+}
+
+/// Encode a finished report: the deterministic `"report"` object plus a
+/// volatile `"timing"` object.
+pub fn report_json(r: &SessionReport) -> Json {
+    Json::obj(vec![
+        ("report", report_stable_json(r)),
+        (
+            "timing",
+            Json::obj(vec![(
+                "example_time_s",
+                Json::Num(r.total_example_time().as_secs_f64()),
+            )]),
+        ),
+    ])
+}
+
+/// The deterministic part of a report — a pure function of the session's
+/// inputs and answers, byte-comparable across HTTP, replay, and offline
+/// runs.
+pub fn report_stable_json(r: &SessionReport) -> Json {
+    let groupings = r
+        .groupings
+        .iter()
+        .map(|(name, o)| {
+            // Render `PathRef`s through the mapping they belong to; the
+            // report's mappings carry the final (post-selection) names.
+            let owner = r.mappings.iter().find(|m| &m.name == name);
+            let grouping: Vec<Json> = o
+                .grouping
+                .iter()
+                .map(|p| {
+                    Json::str(match owner {
+                        Some(m) => m.source_ref_name(p),
+                        None => format!("var{}.{}", p.var, p.attr),
+                    })
+                })
+                .collect();
+            Json::obj(vec![
+                ("mapping", Json::str(name.clone())),
+                ("set", Json::str(o.sk.to_string())),
+                ("grouping", Json::Arr(grouping)),
+                ("poss", Json::Int(o.poss_size as i64)),
+                ("questions", Json::Int(o.questions as i64)),
+                ("skipped_implied", Json::Int(o.skipped_implied as i64)),
+                (
+                    "skipped_inconsequential",
+                    Json::Int(o.skipped_inconsequential as i64),
+                ),
+                ("real_examples", Json::Int(o.real_examples as i64)),
+                ("synthetic_examples", Json::Int(o.synthetic_examples as i64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("total_questions", Json::Int(r.total_questions() as i64)),
+        ("disambiguations", Json::Int(r.disambiguations.len() as i64)),
+        ("join_questions", Json::Int(r.join_questions as i64)),
+        ("companions_added", Json::Int(r.companions_added as i64)),
+        ("truncated", Json::Bool(r.truncated())),
+        ("groupings", Json::Arr(groupings)),
+        (
+            "warnings",
+            Json::Arr(r.warnings.iter().map(|w| Json::str(w.clone())).collect()),
+        ),
+        (
+            "mappings",
+            Json::str(muse_mapping::printer::print_all(&r.mappings)),
+        ),
+    ])
+}
+
+/// Remove every `"timing"` member, recursively — applied to wire payloads
+/// before byte comparison in golden and differential tests.
+pub fn strip_volatile(j: &mut Json) {
+    match j {
+        Json::Obj(fields) => {
+            fields.retain(|(k, _)| k != "timing");
+            for (_, v) in fields {
+                strip_volatile(v);
+            }
+        }
+        Json::Arr(items) => {
+            for v in items {
+                strip_volatile(v);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_round_trip() {
+        let answers = [
+            Answer::Scenario(ScenarioChoice::First),
+            Answer::Scenario(ScenarioChoice::Second),
+            Answer::Choices(vec![vec![0], vec![1, 2]]),
+            Answer::Join(JoinChoice::Outer),
+        ];
+        for a in &answers {
+            let j = answer_to_json(a);
+            let back = answer_from_json(&j).unwrap();
+            assert_eq!(&back, a, "{}", j.render());
+        }
+    }
+
+    #[test]
+    fn malformed_answers_are_rejected() {
+        for text in [
+            "{}",
+            "{\"kind\":\"scenario\",\"pick\":3}",
+            "{\"kind\":\"choices\",\"picks\":[[-1]]}",
+            "{\"kind\":\"choices\",\"picks\":[0]}",
+            "{\"kind\":\"join\",\"pick\":\"full\"}",
+            "{\"kind\":\"wat\"}",
+        ] {
+            let j = Json::parse(text).unwrap();
+            assert!(answer_from_json(&j).is_err(), "{text} should be rejected");
+        }
+    }
+
+    #[test]
+    fn strip_volatile_removes_timing_recursively() {
+        let mut j = Json::parse(
+            "{\"report\":{\"x\":1,\"timing\":{\"s\":2}},\"timing\":{\"s\":3},\"arr\":[{\"timing\":1}]}",
+        )
+        .unwrap();
+        strip_volatile(&mut j);
+        assert_eq!(j.render(), "{\"report\":{\"x\":1},\"arr\":[{}]}");
+    }
+}

@@ -1,0 +1,664 @@
+//! The session server: a bounded accept loop over the `muse-par` worker
+//! pool, a capped connection queue with `503 + Retry-After` backpressure,
+//! WAL-backed session durability, and a graceful drain.
+//!
+//! Threading model: `run` dedicates one pool item to the accept loop and
+//! `threads` items to request workers, all inside one
+//! `muse_par::try_scope_map` call — workers are panic-isolated exactly
+//! like chase units. Connections are one-request (`Connection: close`), so
+//! a small pool serves many concurrently *open* sessions: an idle session
+//! costs no thread.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use muse_obs::{faultpoints, Json, Metrics};
+
+use crate::hist::Hist;
+use crate::http::{self, Request};
+use crate::oracle::Intentions;
+use crate::proto;
+use crate::store::{SessionCfg, SessionCtx, SessionStatus, Store};
+use crate::wal::Wal;
+
+/// Server knobs, the `muse serve` flags.
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Request worker threads (the accept loop gets its own).
+    pub threads: usize,
+    /// Max resident sessions; creates beyond it are shed with 503.
+    pub max_sessions: usize,
+    /// Max connections queued + in flight; excess is shed with 503.
+    pub max_connections: usize,
+    /// Answer-log path; `None` runs without durability.
+    pub wal: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+            max_sessions: 1024,
+            max_connections: 256,
+            wal: None,
+        }
+    }
+}
+
+/// A typed routing failure, rendered as `{"error": …}` with its status.
+struct ApiError {
+    status: u16,
+    message: String,
+    retry_after: bool,
+}
+
+impl ApiError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        ApiError {
+            status,
+            message: message.into(),
+            retry_after: false,
+        }
+    }
+
+    fn unavailable(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 503,
+            message: message.into(),
+            retry_after: true,
+        }
+    }
+}
+
+type ApiResult = Result<(u16, Json), ApiError>;
+
+/// A bound (and, with a WAL, replayed) session server.
+pub struct Server {
+    cfg: ServerConfig,
+    listener: TcpListener,
+    store: Store,
+    wal: Option<Wal>,
+    metrics: Metrics,
+    handle_hist: Hist,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// Bind the listener, open the WAL, and replay every logged session to
+    /// its pre-crash state. Returns before accepting any connection, so
+    /// callers can read [`Server::local_addr`] first.
+    pub fn bind(cfg: ServerConfig, metrics: Metrics) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        let store = Store::new(cfg.max_sessions);
+        let wal = match &cfg.wal {
+            Some(path) => {
+                let (wal, records) =
+                    Wal::open(path).map_err(|e| format!("wal {}: {e}", path.display()))?;
+                let t0 = Instant::now();
+                replay(&store, &metrics, records)?;
+                metrics.timer("serve.replay_time").record(t0.elapsed());
+                Some(wal)
+            }
+            None => None,
+        };
+        Ok(Server {
+            cfg,
+            listener,
+            store,
+            wal,
+            metrics,
+            handle_hist: Hist::new(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The server's metrics sink.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The session store (tests and the bench introspect it directly).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Serve until `POST /admin/shutdown`: accept, enqueue, handle.
+    /// Drains on shutdown — queued connections are answered before workers
+    /// exit.
+    pub fn run(&self) -> Result<(), String> {
+        let queue: Mutex<std::collections::VecDeque<TcpStream>> =
+            Mutex::new(std::collections::VecDeque::new());
+        let available = Condvar::new();
+        let accept_done = AtomicBool::new(false);
+        let in_flight = AtomicUsize::new(0);
+        let workers = self.cfg.threads.max(1);
+
+        let results = muse_par::try_scope_map(workers + 1, workers + 1, &self.metrics, |i| {
+            if i == 0 {
+                self.accept_loop(&queue, &available, &accept_done, &in_flight);
+            } else {
+                self.worker_loop(&queue, &available, &accept_done, &in_flight);
+            }
+        });
+        let panics = results.iter().filter(|r| r.is_err()).count();
+        if panics > 0 {
+            return Err(format!("{panics} server thread(s) panicked"));
+        }
+        Ok(())
+    }
+
+    fn accept_loop(
+        &self,
+        queue: &Mutex<std::collections::VecDeque<TcpStream>>,
+        available: &Condvar,
+        accept_done: &AtomicBool,
+        in_flight: &AtomicUsize,
+    ) {
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        // The drain wake-up (or a late client); stop
+                        // accepting. Queued connections still drain.
+                        break;
+                    }
+                    self.metrics.incr("serve.accepts");
+                    let injected = muse_fault::point(faultpoints::SERVE_ACCEPT).is_some();
+                    let load = lock(queue).len() + in_flight.load(Ordering::Relaxed);
+                    if injected || load >= self.cfg.max_connections {
+                        self.metrics.incr("serve.rejects");
+                        // Drain the request before answering: closing with
+                        // unread input makes TCP reset the connection and
+                        // discard our 503. The timeout bounds how long a
+                        // slow client can stall the accept loop.
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                        let _ = http::read_request(&mut stream);
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                        let _ = http::respond(
+                            &mut stream,
+                            503,
+                            &[("Retry-After", "1".to_owned())],
+                            &Json::obj(vec![(
+                                "error",
+                                Json::str(if injected {
+                                    "injected serve.accept fault"
+                                } else {
+                                    "connection limit reached"
+                                }),
+                            )]),
+                        );
+                        continue;
+                    }
+                    lock(queue).push_back(stream);
+                    available.notify_one();
+                }
+                Err(_) if self.shutdown.load(Ordering::Acquire) => break,
+                Err(_) => {
+                    self.metrics.incr("serve.accept_errors");
+                }
+            }
+        }
+        accept_done.store(true, Ordering::Release);
+        available.notify_all();
+    }
+
+    fn worker_loop(
+        &self,
+        queue: &Mutex<std::collections::VecDeque<TcpStream>>,
+        available: &Condvar,
+        accept_done: &AtomicBool,
+        in_flight: &AtomicUsize,
+    ) {
+        loop {
+            let next = {
+                let mut q = lock(queue);
+                loop {
+                    if let Some(stream) = q.pop_front() {
+                        in_flight.fetch_add(1, Ordering::Relaxed);
+                        break Some(stream);
+                    }
+                    if accept_done.load(Ordering::Acquire) {
+                        break None;
+                    }
+                    q = available.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let Some(mut stream) = next else {
+                break;
+            };
+            let t0 = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.handle_connection(&mut stream)));
+            if outcome.is_err() {
+                self.metrics.incr("serve.panics");
+                let _ = http::respond(
+                    &mut stream,
+                    500,
+                    &[],
+                    &Json::obj(vec![("error", Json::str("request handler panicked"))]),
+                );
+            }
+            let elapsed = t0.elapsed();
+            self.handle_hist.record(elapsed);
+            self.metrics.timer("serve.handle_time").record(elapsed);
+            in_flight.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn handle_connection(&self, stream: &mut TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let request = match http::read_request(stream) {
+            Ok(r) => r,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                self.metrics.incr("serve.bad_requests");
+                let _ = http::respond(
+                    stream,
+                    400,
+                    &[],
+                    &Json::obj(vec![("error", Json::str(e.to_string()))]),
+                );
+                return;
+            }
+            Err(_) => {
+                self.metrics.incr("serve.transport_errors");
+                return;
+            }
+        };
+        self.metrics.incr("serve.requests");
+        self.metrics
+            .add("serve.bytes_in", request.bytes_read as u64);
+
+        let (status, headers, body) = if muse_fault::point(faultpoints::SERVE_HANDLE).is_some() {
+            (
+                503,
+                vec![("Retry-After", "1".to_owned())],
+                Json::obj(vec![("error", Json::str("injected serve.handle fault"))]),
+            )
+        } else {
+            match self.route(&request) {
+                Ok((status, body)) => (status, Vec::new(), body),
+                Err(e) => {
+                    let mut headers = Vec::new();
+                    if e.retry_after {
+                        headers.push(("Retry-After", "1".to_owned()));
+                    }
+                    (
+                        e.status,
+                        headers,
+                        Json::obj(vec![("error", Json::str(e.message))]),
+                    )
+                }
+            }
+        };
+        if let Ok(n) = http::respond(stream, status, &headers, &body) {
+            self.metrics.add("serve.bytes_out", n as u64);
+        }
+    }
+
+    fn route(&self, request: &Request) -> ApiResult {
+        let segments = request.segments();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => Ok((
+                200,
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    (
+                        "draining",
+                        Json::Bool(self.shutdown.load(Ordering::Acquire)),
+                    ),
+                ]),
+            )),
+            ("GET", ["metrics"]) => Ok((200, self.metrics_json())),
+            ("POST", ["admin", "shutdown"]) => self.initiate_shutdown(),
+            ("POST", ["sessions"]) => self.create_session(&request.body),
+            ("GET", ["sessions", id, "question"]) => self.session_question(parse_id(id)?),
+            ("POST", ["sessions", id, "answer"]) => {
+                self.session_answer(parse_id(id)?, &request.body)
+            }
+            ("GET", ["sessions", id, "report"]) => self.session_report(parse_id(id)?),
+            (_, ["healthz" | "metrics"]) | (_, ["admin", "shutdown"]) | (_, ["sessions", ..]) => {
+                Err(ApiError::new(405, "method not allowed for this path"))
+            }
+            _ => Err(ApiError::new(404, format!("no route for {}", request.path))),
+        }
+    }
+
+    fn metrics_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "serve",
+                Json::obj(vec![
+                    ("sessions", Json::Int(self.store.len() as i64)),
+                    (
+                        "open_sessions",
+                        Json::Int(self.store.open_sessions() as i64),
+                    ),
+                    ("handle", self.handle_hist.to_json()),
+                ]),
+            ),
+            ("metrics", self.metrics.snapshot().to_json()),
+        ])
+    }
+
+    fn initiate_shutdown(&self) -> ApiResult {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the accept loop so it observes the flag: connect once to
+        // ourselves. Failure is fine — any later connection wakes it too.
+        if let Ok(addr) = self.listener.local_addr() {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+        }
+        Ok((200, Json::obj(vec![("draining", Json::Bool(true))])))
+    }
+
+    fn wal_append(&self, record: &Json) -> Result<(), ApiError> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        match wal.append(record) {
+            Ok(bytes) => {
+                self.metrics.incr("serve.wal_records");
+                self.metrics.add("serve.wal_bytes", bytes);
+                Ok(())
+            }
+            Err(e) => {
+                self.metrics.incr("serve.wal_errors");
+                Err(ApiError::new(500, format!("answer log append failed: {e}")))
+            }
+        }
+    }
+
+    fn create_session(&self, body: &[u8]) -> ApiResult {
+        let text =
+            std::str::from_utf8(body).map_err(|_| ApiError::new(400, "body is not UTF-8"))?;
+        let parsed =
+            Json::parse(text).map_err(|e| ApiError::new(400, format!("bad JSON body: {e}")))?;
+        let cfg = SessionCfg::from_json(&parsed).map_err(|e| ApiError::new(400, e))?;
+        let ctx = SessionCtx::build(&cfg).map_err(|e| ApiError::new(400, e))?;
+        let strategy = cfg.strategy;
+
+        let entry = self.store.insert(cfg, ctx).map_err(ApiError::unavailable)?;
+        let mut entry = entry.lock().unwrap_or_else(|e| e.into_inner());
+        self.metrics.incr("serve.sessions_created");
+        self.wal_append(&Json::obj(vec![
+            ("rec", Json::str("create")),
+            ("session", Json::Int(entry.id as i64)),
+            ("cfg", entry.cfg.to_json()),
+        ]))?;
+
+        let step = entry
+            .advance(&self.metrics)
+            .map_err(|e| self.session_failed(&mut entry, e))?;
+
+        if let Some(strategy) = strategy {
+            // Oracle mode: answer every question server-side, logging each
+            // answer exactly like a client would have.
+            let intentions = Intentions::for_strategy(&entry.ctx, strategy)
+                .map_err(|e| ApiError::new(500, e))?;
+            let mut step = step;
+            loop {
+                let question = match &step {
+                    muse_wizard::Step::Done(_) => break,
+                    muse_wizard::Step::Ask { question, .. } => question,
+                };
+                let answer = intentions
+                    .answer(&entry.ctx, question)
+                    .map_err(|e| self.session_failed(&mut entry, e))?;
+                self.wal_append(&Json::obj(vec![
+                    ("rec", Json::str("answer")),
+                    ("session", Json::Int(entry.id as i64)),
+                    ("answer", proto::answer_to_json(&answer)),
+                ]))?;
+                entry.answers.push(answer);
+                self.metrics.incr("serve.answers");
+                step = entry
+                    .advance(&self.metrics)
+                    .map_err(|e| self.session_failed(&mut entry, e))?;
+            }
+        }
+
+        let mut fields = vec![("session", Json::Int(entry.id as i64))];
+        match &entry.status {
+            SessionStatus::Open { question, .. } => {
+                self.store.note_opened();
+                fields.push(("status", Json::str("open")));
+                fields.push(("question", question.clone()));
+            }
+            SessionStatus::Done { .. } => {
+                self.metrics.incr("serve.sessions_completed");
+                fields.push(("status", Json::str("done")));
+            }
+            SessionStatus::Failed { error } => {
+                return Err(ApiError::new(500, format!("wizard failed: {error}")));
+            }
+        }
+        Ok((200, Json::obj(fields)))
+    }
+
+    /// Record a wizard hard failure on the session and build the 500.
+    fn session_failed(
+        &self,
+        entry: &mut crate::store::SessionEntry,
+        e: muse_wizard::WizardError,
+    ) -> ApiError {
+        self.metrics.incr("serve.session_failures");
+        if matches!(entry.status, SessionStatus::Open { .. }) {
+            self.store.note_closed();
+        }
+        entry.status = SessionStatus::Failed {
+            error: e.to_string(),
+        };
+        ApiError::new(500, format!("wizard failed: {e}"))
+    }
+
+    fn session_question(&self, id: u64) -> ApiResult {
+        let entry = self
+            .store
+            .get(id)
+            .ok_or_else(|| ApiError::new(404, format!("no session {id}")))?;
+        let entry = entry.lock().unwrap_or_else(|e| e.into_inner());
+        match &entry.status {
+            SessionStatus::Open { question, .. } => Ok((
+                200,
+                Json::obj(vec![
+                    ("session", Json::Int(id as i64)),
+                    ("status", Json::str("open")),
+                    ("question", question.clone()),
+                ]),
+            )),
+            SessionStatus::Done { .. } => Ok((
+                200,
+                Json::obj(vec![
+                    ("session", Json::Int(id as i64)),
+                    ("status", Json::str("done")),
+                ]),
+            )),
+            SessionStatus::Failed { error } => {
+                Err(ApiError::new(500, format!("wizard failed: {error}")))
+            }
+        }
+    }
+
+    fn session_answer(&self, id: u64, body: &[u8]) -> ApiResult {
+        let text =
+            std::str::from_utf8(body).map_err(|_| ApiError::new(400, "body is not UTF-8"))?;
+        let parsed =
+            Json::parse(text).map_err(|e| ApiError::new(400, format!("bad JSON body: {e}")))?;
+        let answer = proto::answer_from_json(&parsed).map_err(|e| ApiError::new(400, e))?;
+
+        let entry = self
+            .store
+            .get(id)
+            .ok_or_else(|| ApiError::new(404, format!("no session {id}")))?;
+        let mut entry = entry.lock().unwrap_or_else(|e| e.into_inner());
+        match &entry.status {
+            SessionStatus::Open { .. } => {}
+            SessionStatus::Done { .. } => {
+                return Err(ApiError::new(409, "session is already complete"));
+            }
+            SessionStatus::Failed { error } => {
+                return Err(ApiError::new(500, format!("wizard failed: {error}")));
+            }
+        }
+
+        // Validate by stepping with the candidate answer appended; only an
+        // accepted answer reaches the WAL.
+        entry.answers.push(answer.clone());
+        match entry.advance(&self.metrics) {
+            Ok(_) => {}
+            Err(muse_wizard::WizardError::BadAnswer(msg)) => {
+                entry.answers.pop();
+                // Restore the cached question (state is derived, so this
+                // cannot fail differently than before).
+                let _ = entry.advance(&self.metrics);
+                return Err(ApiError::new(400, format!("rejected answer: {msg}")));
+            }
+            Err(e) => {
+                entry.answers.pop();
+                return Err(self.session_failed(&mut entry, e));
+            }
+        }
+        if let Err(e) = self.wal_append(&Json::obj(vec![
+            ("rec", Json::str("answer")),
+            ("session", Json::Int(id as i64)),
+            ("answer", proto::answer_to_json(&answer)),
+        ])) {
+            // Un-acknowledged answers must not survive in memory either:
+            // a restart would forget them, forking the session's history.
+            entry.answers.pop();
+            let _ = entry.advance(&self.metrics);
+            return Err(e);
+        }
+        self.metrics.incr("serve.answers");
+
+        let mut fields = vec![
+            ("session", Json::Int(id as i64)),
+            ("accepted", Json::Bool(true)),
+        ];
+        match &entry.status {
+            SessionStatus::Open { question, .. } => {
+                fields.push(("status", Json::str("open")));
+                fields.push(("question", question.clone()));
+            }
+            SessionStatus::Done { .. } => {
+                self.store.note_closed();
+                self.metrics.incr("serve.sessions_completed");
+                fields.push(("status", Json::str("done")));
+            }
+            SessionStatus::Failed { error } => {
+                return Err(ApiError::new(500, format!("wizard failed: {error}")));
+            }
+        }
+        Ok((200, Json::obj(fields)))
+    }
+
+    fn session_report(&self, id: u64) -> ApiResult {
+        let entry = self
+            .store
+            .get(id)
+            .ok_or_else(|| ApiError::new(404, format!("no session {id}")))?;
+        let entry = entry.lock().unwrap_or_else(|e| e.into_inner());
+        match &entry.status {
+            SessionStatus::Done { report } => Ok((
+                200,
+                Json::obj(vec![
+                    ("session", Json::Int(id as i64)),
+                    ("status", Json::str("done")),
+                    ("answers", Json::Int(entry.answers.len() as i64)),
+                    ("result", report.clone()),
+                ]),
+            )),
+            SessionStatus::Open { seq, .. } => Err(ApiError::new(
+                409,
+                format!("session still open at question {seq}"),
+            )),
+            SessionStatus::Failed { error } => {
+                Err(ApiError::new(500, format!("wizard failed: {error}")))
+            }
+        }
+    }
+}
+
+fn parse_id(segment: &str) -> Result<u64, ApiError> {
+    segment
+        .parse()
+        .map_err(|_| ApiError::new(400, format!("bad session id `{segment}`")))
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Rebuild every logged session: group records by id, reconstruct each
+/// context from its create record, push its answers, and step once to the
+/// exact pre-crash state. Unknown or malformed records fail the bind — a
+/// server must not silently drop acknowledged answers.
+fn replay(store: &Store, metrics: &Metrics, records: Vec<Json>) -> Result<(), String> {
+    for (n, record) in records.into_iter().enumerate() {
+        let kind = record
+            .get("rec")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("wal record {n}: missing `rec`"))?;
+        let id = record
+            .get("session")
+            .and_then(Json::as_int)
+            .filter(|i| *i > 0)
+            .ok_or_else(|| format!("wal record {n}: missing `session`"))? as u64;
+        match kind {
+            "create" => {
+                let cfg_json = record
+                    .get("cfg")
+                    .ok_or_else(|| format!("wal record {n}: create without `cfg`"))?;
+                let cfg =
+                    SessionCfg::from_json(cfg_json).map_err(|e| format!("wal record {n}: {e}"))?;
+                let ctx = SessionCtx::build(&cfg).map_err(|e| format!("wal record {n}: {e}"))?;
+                store.insert_replayed(id, cfg, ctx);
+            }
+            "answer" => {
+                let answer_json = record
+                    .get("answer")
+                    .ok_or_else(|| format!("wal record {n}: answer without `answer`"))?;
+                let answer = proto::answer_from_json(answer_json)
+                    .map_err(|e| format!("wal record {n}: {e}"))?;
+                let entry = store
+                    .get(id)
+                    .ok_or_else(|| format!("wal record {n}: answer for unknown session {id}"))?;
+                entry
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .answers
+                    .push(answer);
+            }
+            other => return Err(format!("wal record {n}: unknown kind `{other}`")),
+        }
+    }
+    // One step per session (not per answer): the stepper replays the whole
+    // answer list in a single wizard run.
+    for entry in store.all() {
+        let mut entry = entry.lock().unwrap_or_else(|e| e.into_inner());
+        metrics.incr("serve.replays");
+        match entry.advance(metrics) {
+            Ok(muse_wizard::Step::Ask { .. }) => store.note_opened(),
+            Ok(muse_wizard::Step::Done(_)) => {}
+            Err(e) => {
+                metrics.incr("serve.session_failures");
+                entry.status = SessionStatus::Failed {
+                    error: e.to_string(),
+                };
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,469 @@
+//! The in-memory session store: per-session state plus the stepping logic
+//! that drives `muse_wizard::Session::step` from a recorded answer list.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use muse_cliogen::GroupingStrategy;
+use muse_nr::Instance;
+use muse_obs::{Budget, Json, Metrics};
+use muse_scenarios::Scenario;
+use muse_wizard::{Answer, Session, Step, WizardError};
+
+use crate::oracle;
+use crate::proto;
+
+/// Everything a `POST /sessions` body may configure. Serialized verbatim
+/// into the WAL's create record, so a replayed session rebuilds the exact
+/// same deterministic context.
+#[derive(Debug, Clone)]
+pub struct SessionCfg {
+    /// Scenario name (Mondial, DBLP, TPCH, Amalgam; case-insensitive).
+    pub scenario: String,
+    /// When set, the server answers its own questions with the strategy
+    /// oracle (the `muse scenario --strategy` designer) and the session
+    /// arrives at `done` immediately.
+    pub strategy: Option<GroupingStrategy>,
+    /// Instance scale relative to the scenario default (CLI `--scale`).
+    pub scale: f64,
+    /// Instance generator seed.
+    pub seed: u64,
+    /// Generate and attach the real source instance (real examples via
+    /// `QIe`). Off = synthetic examples only, much cheaper.
+    pub use_instance: bool,
+    /// Sec. III-C instance-only pruning in Muse-G.
+    pub instance_only: bool,
+    /// Offer inner/outer join questions (Sec. IV "More options").
+    pub join_options: bool,
+    /// Budget: wall-clock deadline per request, in ms. Note a deadline
+    /// makes replay nondeterministic; prefer the count caps below for
+    /// durable sessions.
+    pub deadline_ms: Option<u64>,
+    /// Budget: max rows per query evaluation.
+    pub max_rows: Option<u64>,
+    /// Budget: max terms materialized per chase.
+    pub max_terms: Option<u64>,
+    /// Budget: max chase steps.
+    pub max_chase_steps: Option<u64>,
+}
+
+impl Default for SessionCfg {
+    fn default() -> Self {
+        SessionCfg {
+            scenario: String::new(),
+            strategy: None,
+            scale: 0.05,
+            seed: 1,
+            use_instance: true,
+            instance_only: false,
+            join_options: false,
+            deadline_ms: None,
+            max_rows: None,
+            max_terms: None,
+            max_chase_steps: None,
+        }
+    }
+}
+
+impl SessionCfg {
+    /// Parse a create-request body. Unknown scenario names are caught later
+    /// by [`SessionCtx::build`]; unknown *fields* are ignored.
+    pub fn from_json(j: &Json) -> Result<SessionCfg, String> {
+        let mut cfg = SessionCfg {
+            scenario: j
+                .get("scenario")
+                .and_then(Json::as_str)
+                .ok_or("create needs a string `scenario`")?
+                .to_owned(),
+            ..SessionCfg::default()
+        };
+        if let Some(s) = j.get("strategy") {
+            let name = s.as_str().ok_or("`strategy` must be a string")?;
+            cfg.strategy = Some(oracle::parse_strategy(name)?);
+        }
+        if let Some(v) = j.get("scale") {
+            cfg.scale = v
+                .as_f64()
+                .filter(|s| *s > 0.0)
+                .ok_or("`scale` must be > 0")?;
+        }
+        if let Some(v) = j.get("seed") {
+            cfg.seed = v
+                .as_int()
+                .filter(|s| *s >= 0)
+                .ok_or("`seed` must be >= 0")? as u64;
+        }
+        for (key, slot) in [
+            ("use_instance", &mut cfg.use_instance),
+            ("instance_only", &mut cfg.instance_only),
+            ("join_options", &mut cfg.join_options),
+        ] {
+            if let Some(v) = j.get(key) {
+                *slot = match v {
+                    Json::Bool(b) => *b,
+                    _ => return Err(format!("`{key}` must be a boolean")),
+                };
+            }
+        }
+        for (key, slot) in [
+            ("deadline_ms", &mut cfg.deadline_ms),
+            ("max_rows", &mut cfg.max_rows),
+            ("max_terms", &mut cfg.max_terms),
+            ("max_chase_steps", &mut cfg.max_chase_steps),
+        ] {
+            if let Some(v) = j.get(key) {
+                let n = v
+                    .as_int()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("`{key}` must be a positive integer"))?;
+                *slot = Some(n as u64);
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The WAL/create-record encoding; `from_json` of this value yields an
+    /// identical config.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("scenario", Json::str(self.scenario.clone())),
+            ("scale", Json::Num(self.scale)),
+            ("seed", Json::Int(self.seed as i64)),
+            ("use_instance", Json::Bool(self.use_instance)),
+            ("instance_only", Json::Bool(self.instance_only)),
+            ("join_options", Json::Bool(self.join_options)),
+        ];
+        if let Some(s) = self.strategy {
+            fields.insert(1, ("strategy", Json::str(oracle::strategy_name(s))));
+        }
+        for (key, value) in [
+            ("deadline_ms", self.deadline_ms),
+            ("max_rows", self.max_rows),
+            ("max_terms", self.max_terms),
+            ("max_chase_steps", self.max_chase_steps),
+        ] {
+            if let Some(n) = value {
+                fields.push((key, Json::Int(n as i64)));
+            }
+        }
+        Json::obj(fields)
+    }
+
+    /// The execution budget for one request against this session. Built
+    /// fresh per request so a deadline clock restarts each time.
+    pub fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_deadline_in(Duration::from_millis(ms));
+        }
+        if let Some(n) = self.max_rows {
+            b = b.with_max_rows(n);
+        }
+        if let Some(n) = self.max_terms {
+            b = b.with_max_terms(n);
+        }
+        if let Some(n) = self.max_chase_steps {
+            b = b.with_max_chase_steps(n);
+        }
+        b
+    }
+}
+
+/// The deterministic heavy state a session replays against: the scenario
+/// bundle, its generated instance, and the candidate mappings.
+pub struct SessionCtx {
+    /// The owned scenario (schemas, constraints, generator).
+    pub scenario: Scenario,
+    /// The generated source instance, when `use_instance`.
+    pub instance: Option<Instance>,
+    /// Candidate mappings from the correspondences (`muse_cliogen`).
+    pub mappings: Vec<muse_mapping::Mapping>,
+}
+
+impl SessionCtx {
+    /// Rebuild the context from a config — the same construction on every
+    /// server that replays the same create record.
+    pub fn build(cfg: &SessionCfg) -> Result<SessionCtx, String> {
+        let mut all = muse_scenarios::all_scenarios();
+        let Some(idx) = all
+            .iter()
+            .position(|s| s.name.eq_ignore_ascii_case(&cfg.scenario))
+        else {
+            return Err(format!(
+                "unknown scenario `{}` (try Mondial, DBLP, TPCH, Amalgam)",
+                cfg.scenario
+            ));
+        };
+        let scenario = all.swap_remove(idx);
+        let instance = cfg
+            .use_instance
+            .then(|| scenario.instance(scenario.default_scale * cfg.scale, cfg.seed));
+        let mappings = scenario
+            .mappings()
+            .map_err(|e| format!("{}: mapping generation failed: {e}", scenario.name))?;
+        Ok(SessionCtx {
+            scenario,
+            instance,
+            mappings,
+        })
+    }
+}
+
+/// Where a session currently stands, with its wire payload pre-rendered.
+pub enum SessionStatus {
+    /// Waiting on question `seq`.
+    Open {
+        /// Number of recorded answers == index of the open question.
+        seq: usize,
+        /// The cached `question_json` payload.
+        question: Json,
+    },
+    /// All questions answered.
+    Done {
+        /// The cached `report_json` payload.
+        report: Json,
+    },
+    /// The wizard failed outright (not a budget truncation — those degrade
+    /// into warnings). Surfaced as 500 on every endpoint.
+    Failed {
+        /// The wizard error, rendered.
+        error: String,
+    },
+}
+
+/// One session: config, context, the answer log mirror, and cached status.
+pub struct SessionEntry {
+    /// The server-assigned id.
+    pub id: u64,
+    /// The creation config.
+    pub cfg: SessionCfg,
+    /// The deterministic replay context.
+    pub ctx: SessionCtx,
+    /// Every accepted answer, in question order (mirrors the WAL).
+    pub answers: Vec<Answer>,
+    /// Cached current state.
+    pub status: SessionStatus,
+}
+
+impl SessionEntry {
+    /// Re-run the stepper over the recorded answers and refresh `status`.
+    /// Returns the step so callers (the oracle loop, the create handler)
+    /// can act on the typed question without re-parsing JSON.
+    pub fn advance(&mut self, metrics: &Metrics) -> Result<Step, WizardError> {
+        let budget = self.cfg.budget();
+        let mut session = Session::new(
+            &self.ctx.scenario.source_schema,
+            &self.ctx.scenario.target_schema,
+            &self.ctx.scenario.source_constraints,
+        )
+        .with_budget(&budget)
+        .with_metrics(metrics)
+        // Exhaustive real-example search: a wall-clock cap here would make
+        // replay nondeterministic (see DESIGN.md, replay invariant).
+        .with_real_example_budget(None);
+        if let Some(inst) = &self.ctx.instance {
+            session = session.with_instance(inst);
+        }
+        session.instance_only = self.cfg.instance_only;
+        session.offer_join_options = self.cfg.join_options;
+
+        let step = session.step(&self.ctx.mappings, &self.answers)?;
+        self.status = match &step {
+            Step::Ask { seq, question } => SessionStatus::Open {
+                seq: *seq,
+                question: proto::question_json(
+                    *seq,
+                    question,
+                    &self.ctx.scenario.source_schema,
+                    &self.ctx.scenario.target_schema,
+                ),
+            },
+            Step::Done(report) => SessionStatus::Done {
+                report: proto::report_json(report),
+            },
+        };
+        Ok(step)
+    }
+}
+
+/// The concurrent session map. Lock order: the map lock is never held
+/// while taking an entry lock's critical section beyond cloning the `Arc`.
+pub struct Store {
+    sessions: Mutex<BTreeMap<u64, Arc<Mutex<SessionEntry>>>>,
+    next_id: AtomicU64,
+    max_sessions: usize,
+    open: AtomicU64,
+}
+
+impl Store {
+    /// An empty store admitting at most `max_sessions` sessions.
+    pub fn new(max_sessions: usize) -> Self {
+        Store {
+            sessions: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            max_sessions,
+            open: AtomicU64::new(0),
+        }
+    }
+
+    fn map(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, Arc<Mutex<SessionEntry>>>> {
+        self.sessions.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Insert a fresh session under a new id; `Err` when at capacity.
+    pub fn insert(
+        &self,
+        cfg: SessionCfg,
+        ctx: SessionCtx,
+    ) -> Result<Arc<Mutex<SessionEntry>>, String> {
+        let mut map = self.map();
+        if map.len() >= self.max_sessions {
+            return Err(format!(
+                "session store at capacity ({} sessions)",
+                self.max_sessions
+            ));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(Mutex::new(SessionEntry {
+            id,
+            cfg,
+            ctx,
+            answers: Vec::new(),
+            status: SessionStatus::Failed {
+                error: "session not yet stepped".to_owned(),
+            },
+        }));
+        map.insert(id, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Insert a session under a WAL-recorded id (replay path); keeps
+    /// `next_id` above every replayed id.
+    pub fn insert_replayed(
+        &self,
+        id: u64,
+        cfg: SessionCfg,
+        ctx: SessionCtx,
+    ) -> Arc<Mutex<SessionEntry>> {
+        let entry = Arc::new(Mutex::new(SessionEntry {
+            id,
+            cfg,
+            ctx,
+            answers: Vec::new(),
+            status: SessionStatus::Failed {
+                error: "session not yet stepped".to_owned(),
+            },
+        }));
+        self.map().insert(id, Arc::clone(&entry));
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        entry
+    }
+
+    /// Look up a session.
+    pub fn get(&self, id: u64) -> Option<Arc<Mutex<SessionEntry>>> {
+        self.map().get(&id).cloned()
+    }
+
+    /// Every session, in id order (replay walks this once at bind time).
+    pub fn all(&self) -> Vec<Arc<Mutex<SessionEntry>>> {
+        self.map().values().cloned().collect()
+    }
+
+    /// Total sessions resident.
+    pub fn len(&self) -> usize {
+        self.map().len()
+    }
+
+    /// True when no session is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The open-sessions gauge (maintained by the server on status
+    /// transitions).
+    pub fn open_sessions(&self) -> u64 {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// Gauge bump on a session entering the open state.
+    pub fn note_opened(&self) {
+        self.open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Gauge drop on an open session completing or failing.
+    pub fn note_closed(&self) {
+        // Saturating: replays may close sessions the gauge never saw open.
+        let _ = self
+            .open
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_round_trips_through_json() {
+        let text = "{\"scenario\":\"DBLP\",\"strategy\":\"g2\",\"scale\":0.02,\"seed\":7,\
+                    \"use_instance\":false,\"join_options\":true,\"max_terms\":500}";
+        let cfg = SessionCfg::from_json(&Json::parse(text).unwrap()).unwrap();
+        assert_eq!(cfg.scenario, "DBLP");
+        assert_eq!(cfg.strategy, Some(GroupingStrategy::G2));
+        assert_eq!(cfg.seed, 7);
+        assert!(!cfg.use_instance);
+        assert!(cfg.join_options);
+        assert_eq!(cfg.max_terms, Some(500));
+        let back = SessionCfg::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(format!("{back:?}"), format!("{cfg:?}"));
+    }
+
+    #[test]
+    fn bad_cfg_fields_are_rejected() {
+        for text in [
+            "{}",
+            "{\"scenario\":\"DBLP\",\"scale\":0}",
+            "{\"scenario\":\"DBLP\",\"strategy\":\"g9\"}",
+            "{\"scenario\":\"DBLP\",\"max_rows\":-5}",
+            "{\"scenario\":\"DBLP\",\"use_instance\":1}",
+        ] {
+            let j = Json::parse(text).unwrap();
+            assert!(SessionCfg::from_json(&j).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn store_enforces_capacity() {
+        let store = Store::new(2);
+        let cfg = SessionCfg {
+            scenario: "DBLP".to_owned(),
+            use_instance: false,
+            ..SessionCfg::default()
+        };
+        for _ in 0..2 {
+            let ctx = SessionCtx::build(&cfg).unwrap();
+            store.insert(cfg.clone(), ctx).unwrap();
+        }
+        let ctx = SessionCtx::build(&cfg).unwrap();
+        assert!(store.insert(cfg.clone(), ctx).is_err());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn replayed_ids_advance_the_counter() {
+        let store = Store::new(16);
+        let cfg = SessionCfg {
+            scenario: "DBLP".to_owned(),
+            use_instance: false,
+            ..SessionCfg::default()
+        };
+        let ctx = SessionCtx::build(&cfg).unwrap();
+        store.insert_replayed(7, cfg.clone(), ctx);
+        let ctx = SessionCtx::build(&cfg).unwrap();
+        let fresh = store.insert(cfg, ctx).unwrap();
+        let id = fresh.lock().unwrap().id;
+        assert_eq!(id, 8);
+    }
+}

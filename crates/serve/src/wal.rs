@@ -1,0 +1,197 @@
+//! The append-only answer log (WAL) behind session durability.
+//!
+//! Record framing: `[len: u32 LE][fnv1a32(payload): u32 LE][payload]`,
+//! where the payload is one compact JSON object — either
+//! `{"rec":"create","session":N,"cfg":{…}}` or
+//! `{"rec":"answer","session":N,"answer":{…}}`. Records are appended and
+//! flushed *before* the mutating request is acknowledged, so every
+//! acknowledged answer survives a process kill. A torn or corrupt tail
+//! (partial frame, checksum mismatch, unparsable payload) marks the end of
+//! the log on replay — exactly the bytes an interrupted append could
+//! leave — and everything before it is replayed.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use muse_obs::{faultpoints, Json};
+
+/// FNV-1a, 32-bit: tiny, deterministic, good enough to reject torn tails.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for b in bytes {
+        hash ^= u32::from(*b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// An open write-ahead log.
+pub struct Wal {
+    file: Mutex<File>,
+}
+
+impl Wal {
+    /// Open `path` (creating it if absent) and decode every intact record
+    /// already present, in order. Stops at the first torn or corrupt
+    /// frame.
+    pub fn open(path: &Path) -> io::Result<(Wal, Vec<Json>)> {
+        let records = match std::fs::read(path) {
+            Ok(data) => decode_all(&data),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok((
+            Wal {
+                file: Mutex::new(file),
+            },
+            records,
+        ))
+    }
+
+    /// Append one record and flush it to the OS; returns the bytes
+    /// written. The `serve.wal` fault point injects an append failure.
+    pub fn append(&self, rec: &Json) -> io::Result<u64> {
+        if muse_fault::point(faultpoints::SERVE_WAL).is_some() {
+            return Err(io::Error::other("injected serve.wal fault"));
+        }
+        let payload = rec.render().into_bytes();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.write_all(&frame)?;
+        file.flush()?;
+        Ok(frame.len() as u64)
+    }
+}
+
+fn decode_all(data: &[u8]) -> Vec<Json> {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    while data.len().saturating_sub(off) >= 8 {
+        let Ok(len_bytes) = <[u8; 4]>::try_from(&data[off..off + 4]) else {
+            break;
+        };
+        let Ok(sum_bytes) = <[u8; 4]>::try_from(&data[off + 4..off + 8]) else {
+            break;
+        };
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        let sum = u32::from_le_bytes(sum_bytes);
+        let Some(end) = (off + 8).checked_add(len) else {
+            break;
+        };
+        if end > data.len() {
+            break; // torn tail: the append was interrupted
+        }
+        let payload = &data[off + 8..end];
+        if fnv1a32(payload) != sum {
+            break; // corrupt tail
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break;
+        };
+        let Ok(json) = Json::parse(text) else {
+            break;
+        };
+        records.push(json);
+        off = end;
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("muse_wal_test_{}_{name}", std::process::id()))
+    }
+
+    fn rec(n: i64) -> Json {
+        Json::obj(vec![
+            ("rec", Json::str("answer")),
+            ("session", Json::Int(n)),
+        ])
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (wal, existing) = Wal::open(&path).unwrap();
+            assert!(existing.is_empty());
+            for i in 0..5 {
+                wal.append(&rec(i)).unwrap();
+            }
+        }
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 5);
+        assert_eq!(replayed[3], rec(3));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (wal, _) = Wal::open(&path).unwrap();
+            wal.append(&rec(1)).unwrap();
+            wal.append(&rec(2)).unwrap();
+        }
+        // Simulate a crash mid-append: a frame header promising more bytes
+        // than were written.
+        let mut data = std::fs::read(&path).unwrap();
+        data.extend_from_slice(&1000u32.to_le_bytes());
+        data.extend_from_slice(&0u32.to_le_bytes());
+        data.extend_from_slice(b"partial");
+        std::fs::write(&path, &data).unwrap();
+
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_replay() {
+        let path = tmp("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (wal, _) = Wal::open(&path).unwrap();
+            wal.append(&rec(1)).unwrap();
+            wal.append(&rec(2)).unwrap();
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF; // flip a payload byte of the second record
+        std::fs::write(&path, &data).unwrap();
+
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0], rec(1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_reopens_after_replay() {
+        let path = tmp("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (wal, _) = Wal::open(&path).unwrap();
+            wal.append(&rec(1)).unwrap();
+        }
+        {
+            let (wal, replayed) = Wal::open(&path).unwrap();
+            assert_eq!(replayed.len(), 1);
+            wal.append(&rec(2)).unwrap();
+        }
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,175 @@
+//! Golden wire-protocol transcripts: one full HTTP session per scenario —
+//! create, every question/answer exchange, final report — captured off the
+//! wire of a live server and diffed byte-for-byte against the committed
+//! files in `tests/golden/`. Any change to the protocol encoding, question
+//! payloads, prompt rendering, or report shape shows up as a readable diff.
+//!
+//! Volatile `"timing"` members are stripped before comparison; everything
+//! else is a pure function of the scenario and the scripted answers.
+//!
+//! Regenerate after an *intended* change with:
+//!
+//! ```text
+//! MUSE_BLESS=1 cargo test -p muse-serve --test golden_wire
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use muse_obs::{Json, Metrics};
+use muse_serve::{client, proto, Client, Server, ServerConfig};
+
+/// Scripted default policy: scenario 2 (the designer's intended grouping in
+/// every scenario walkthrough), first alternative of each ambiguity, inner
+/// joins.
+fn scripted_answer(question: &Json) -> Json {
+    match question.get("kind").and_then(Json::as_str) {
+        Some("scenario") => Json::obj(vec![
+            ("kind", Json::str("scenario")),
+            ("pick", Json::Int(2)),
+        ]),
+        Some("choices") => {
+            let n = question
+                .get("choices")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            Json::obj(vec![
+                ("kind", Json::str("choices")),
+                (
+                    "picks",
+                    Json::Arr((0..n).map(|_| Json::Arr(vec![Json::Int(0)])).collect()),
+                ),
+            ])
+        }
+        _ => Json::obj(vec![
+            ("kind", Json::str("join")),
+            ("pick", Json::str("inner")),
+        ]),
+    }
+}
+
+/// Run one scripted session over HTTP and return the wire transcript.
+/// `max_exchanges = None` drives the session to `done` and includes the
+/// report; `Some(n)` records only the first `n` exchanges of an open
+/// session — the big scenarios (Mondial: 800+ questions) get bounded
+/// prefix transcripts so the golden files stay reviewable.
+fn wire_transcript(scenario: &str, max_exchanges: Option<usize>) -> Json {
+    let server = Arc::new(Server::bind(ServerConfig::default(), Metrics::enabled()).expect("bind"));
+    let addr = server.local_addr().expect("local addr").to_string();
+    let runner = Arc::clone(&server);
+    let handle = thread::spawn(move || runner.run().expect("server run"));
+    client::wait_ready(&addr, Duration::from_secs(10)).expect("ready");
+    let http = Client::new(addr);
+
+    // No instance: synthetic examples only, so the transcript is a pure
+    // function of the scenario definition.
+    let create_request = Json::obj(vec![
+        ("scenario", Json::str(scenario)),
+        ("use_instance", Json::Bool(false)),
+        ("join_options", Json::Bool(true)),
+    ]);
+    let mut state = http.create_session(&create_request).expect("create");
+    let id = state.get("session").and_then(Json::as_int).expect("id") as u64;
+    let create_response = state.clone();
+
+    let mut exchanges = Vec::new();
+    let mut report = None;
+    loop {
+        if max_exchanges.is_some_and(|n| exchanges.len() >= n) {
+            break;
+        }
+        if state.get("status").and_then(Json::as_str) != Some("open") {
+            report = Some(http.report(id).expect("report"));
+            break;
+        }
+        let question = state.get("question").expect("open without question");
+        let answer = scripted_answer(question);
+        state = http.answer(id, &answer).expect("answer");
+        exchanges.push(Json::obj(vec![
+            ("request", answer),
+            ("response", state.clone()),
+        ]));
+    }
+
+    http.shutdown().expect("shutdown");
+    handle.join().expect("join");
+
+    let mut fields = vec![
+        ("create_request", create_request),
+        ("create_response", create_response),
+        ("exchanges", Json::Arr(exchanges)),
+    ];
+    if let Some(report) = report {
+        fields.push(("report_response", report));
+    }
+    let mut transcript = Json::obj(fields);
+    proto::strip_volatile(&mut transcript);
+    transcript
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Diff `transcript` against the committed golden file, or rewrite the file
+/// when `MUSE_BLESS` is set.
+fn assert_golden(name: &str, transcript: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("MUSE_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, transcript).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); run with MUSE_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    if transcript != expected {
+        let line = transcript
+            .lines()
+            .zip(expected.lines())
+            .position(|(a, b)| a != b)
+            .map_or_else(
+                || transcript.lines().count().min(expected.lines().count()),
+                |i| i + 1,
+            );
+        panic!(
+            "wire transcript diverges from {} at line {line}\n\
+             (bless the new transcript with MUSE_BLESS=1 if the change is intended)",
+            path.display()
+        );
+    }
+}
+
+fn check(scenario: &str, file: &str, max_exchanges: Option<usize>) {
+    let transcript = wire_transcript(scenario, max_exchanges);
+    let mut text = transcript.render_pretty();
+    text.push('\n');
+    assert_golden(file, &text);
+}
+
+#[test]
+fn wire_transcript_mondial() {
+    check("Mondial", "wire_mondial.json", Some(8));
+}
+
+#[test]
+fn wire_transcript_dblp() {
+    check("DBLP", "wire_dblp.json", None);
+}
+
+#[test]
+fn wire_transcript_tpch() {
+    check("TPCH", "wire_tpch.json", Some(8));
+}
+
+#[test]
+fn wire_transcript_amalgam() {
+    check("Amalgam", "wire_amalgam.json", None);
+}

@@ -98,26 +98,8 @@ impl<R: BufRead, W: Write> Designer for InteractiveDesigner<R, W> {
     fn pick_join(&mut self, q: &JoinQuestion) -> Result<JoinChoice, WizardError> {
         let _ = writeln!(
             self.out,
-            "[Muse-D] mapping {}: should `{}` tuples that join with nothing still be exchanged?",
-            q.mapping, q.dangling_var
-        );
-        let _ = writeln!(self.out, "Example source (note the dangling tuple):");
-        let _ = writeln!(
-            self.out,
             "{}",
-            muse_nr::display::render(&self.source_schema, &q.example)
-        );
-        let _ = writeln!(self.out, "Scenario 1 (inner — dangling tuple dropped):");
-        let _ = writeln!(
-            self.out,
-            "{}",
-            muse_nr::display::render(&self.target_schema, &q.scenario_inner)
-        );
-        let _ = writeln!(self.out, "Scenario 2 (outer — dangling tuple exchanged):");
-        let _ = writeln!(
-            self.out,
-            "{}",
-            muse_nr::display::render(&self.target_schema, &q.scenario_outer)
+            q.render(&self.source_schema, &self.target_schema)
         );
         let _ = write!(self.out, "Which looks correct? [1/2] ");
         let _ = self.out.flush();

@@ -30,11 +30,14 @@ pub mod mused;
 pub mod museg;
 pub mod report;
 pub mod session;
+pub mod step;
 
 pub use designer::{Designer, JoinChoice, OracleDesigner, ScenarioChoice, ScriptedDesigner};
 pub use error::WizardError;
 pub use interactive::InteractiveDesigner;
+pub use mused::joins::JoinQuestion;
 pub use mused::{DisambiguationOutcome, DisambiguationQuestion, MuseD};
 pub use museg::{GroupingOutcome, GroupingQuestion, MuseG};
 pub use report::render as render_report;
 pub use session::{Session, SessionReport};
+pub use step::{Answer, PendingQuestion, Step};

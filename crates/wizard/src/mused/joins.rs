@@ -238,3 +238,40 @@ impl MuseD<'_> {
         }
     }
 }
+
+impl JoinQuestion {
+    /// The question as the interactive wizard presents it: the example
+    /// source with its dangling tuple and the two resulting targets.
+    pub fn render(
+        &self,
+        source_schema: &muse_nr::Schema,
+        target_schema: &muse_nr::Schema,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "[Muse-D] mapping {}: should `{}` tuples that join with nothing still be exchanged?",
+            self.mapping, self.dangling_var
+        );
+        let _ = writeln!(out, "Example source (note the dangling tuple):");
+        let _ = writeln!(
+            out,
+            "{}",
+            muse_nr::display::render(source_schema, &self.example)
+        );
+        let _ = writeln!(out, "Scenario 1 (inner — dangling tuple dropped):");
+        let _ = writeln!(
+            out,
+            "{}",
+            muse_nr::display::render(target_schema, &self.scenario_inner)
+        );
+        let _ = writeln!(out, "Scenario 2 (outer — dangling tuple exchanged):");
+        let _ = write!(
+            out,
+            "{}",
+            muse_nr::display::render(target_schema, &self.scenario_outer)
+        );
+        out
+    }
+}

@@ -45,6 +45,12 @@ pub struct Session<'a> {
     /// Instrumentation sink, forwarded to both component wizards. Defaults
     /// to the no-op handle.
     pub metrics: &'a Metrics,
+    /// Wall-clock cap for the real-instance example search (`QIe`),
+    /// forwarded to both component wizards. `None` searches exhaustively —
+    /// the setting replayable services need, because a timed-out search
+    /// falls back to a synthetic example nondeterministically. Defaults to
+    /// the wizards' own 750 ms cap.
+    pub real_example_budget: Option<Duration>,
 }
 
 /// What a session produced.
@@ -114,7 +120,14 @@ impl<'a> Session<'a> {
             offer_join_options: false,
             budget: Budget::unlimited_ref(),
             metrics: Metrics::disabled_ref(),
+            real_example_budget: Some(Duration::from_millis(750)),
         }
+    }
+
+    /// Cap (or, with `None`, uncap) the real-instance example search.
+    pub fn with_real_example_budget(mut self, budget: Option<Duration>) -> Self {
+        self.real_example_budget = budget;
+        self
     }
 
     /// Use a real source instance.
@@ -150,6 +163,7 @@ impl<'a> Session<'a> {
         mused.real_instance = self.real_instance;
         mused.budget = self.budget;
         mused.metrics = self.metrics;
+        mused.real_example_budget = self.real_example_budget;
         let mut museg = MuseG::new(
             self.source_schema,
             self.target_schema,
@@ -159,6 +173,7 @@ impl<'a> Session<'a> {
         museg.instance_only = self.instance_only;
         museg.budget = self.budget;
         museg.metrics = self.metrics;
+        museg.real_example_budget = self.real_example_budget;
 
         // Phase 1: Muse-D on every ambiguous mapping.
         let mut unambiguous: Vec<Mapping> = Vec::new();

@@ -1,0 +1,375 @@
+//! Stepwise, resumable session driving.
+//!
+//! [`Session::run`] is a run-to-completion callback loop: the wizard calls
+//! the [`Designer`] and blocks until every question is answered. A network
+//! service needs the opposite shape — suspend after each question, hand the
+//! question to a remote client, and resume when (or *if*) the answer comes
+//! back, possibly in a different process after a crash.
+//!
+//! [`Session::step`] provides that shape without forking the wizard logic:
+//! it replays the session against the ordered list of answers given so far
+//! using an internal replay designer. When the wizard asks question `k+1`
+//! after `k` recorded answers, the replay designer captures the question
+//! and aborts the run with the [`WizardError::Suspended`] sentinel, which
+//! `step` translates into [`Step::Ask`]. Once the answer list covers every
+//! question the wizard wants to ask, the run completes and `step` returns
+//! [`Step::Done`] with the same [`SessionReport`] a scripted
+//! run-to-completion session would have produced — byte for byte, because
+//! the wizard is deterministic in its inputs.
+//!
+//! The trade-off is quadratic replay: advancing a session of `k` answers
+//! re-runs the wizard prefix `k` times over the whole session. Muse
+//! sessions are short (tens of questions) and each prefix run is
+//! milliseconds at service scales, and in exchange resumption is *trivially
+//! correct*: resuming from a write-ahead answer log after a crash is the
+//! exact same code path as answering one more question. Determinism
+//! caveat: replay equality requires an exhaustive real-example search
+//! (`Session::with_real_example_budget(None)`) — the default wall-clock
+//! cap can time out on one run and not the next.
+
+use muse_mapping::Mapping;
+use muse_nr::Schema;
+
+use crate::designer::{Designer, JoinChoice, ScenarioChoice};
+use crate::error::WizardError;
+use crate::mused::joins::JoinQuestion;
+use crate::mused::DisambiguationQuestion;
+use crate::museg::GroupingQuestion;
+use crate::session::{Session, SessionReport};
+
+/// One recorded designer answer, in question order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Answer {
+    /// Answer to a Muse-G grouping probe.
+    Scenario(ScenarioChoice),
+    /// Answer to a Muse-D disambiguation (one pick list per or-group).
+    Choices(Vec<Vec<usize>>),
+    /// Answer to an inner/outer join question.
+    Join(JoinChoice),
+}
+
+impl Answer {
+    /// The answer's wire-protocol kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Answer::Scenario(_) => "scenario",
+            Answer::Choices(_) => "choices",
+            Answer::Join(_) => "join",
+        }
+    }
+}
+
+/// The question a suspended session is waiting on.
+///
+/// Always handed out boxed (see [`Step::Ask`]), so the variant size spread
+/// never lands on the stack.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum PendingQuestion {
+    /// A Muse-G grouping probe (answer with [`Answer::Scenario`]).
+    Grouping(GroupingQuestion),
+    /// A Muse-D disambiguation (answer with [`Answer::Choices`]).
+    Disambiguation(DisambiguationQuestion),
+    /// An inner/outer join question (answer with [`Answer::Join`]).
+    Join(JoinQuestion),
+}
+
+impl PendingQuestion {
+    /// The question's wire-protocol kind tag — equal to the `kind()` of the
+    /// [`Answer`] variant that answers it.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PendingQuestion::Grouping(_) => "scenario",
+            PendingQuestion::Disambiguation(_) => "choices",
+            PendingQuestion::Join(_) => "join",
+        }
+    }
+
+    /// Name of the mapping the question is about.
+    pub fn mapping(&self) -> &str {
+        match self {
+            PendingQuestion::Grouping(q) => &q.mapping,
+            PendingQuestion::Disambiguation(q) => &q.mapping,
+            PendingQuestion::Join(q) => &q.mapping,
+        }
+    }
+
+    /// The question rendered exactly as the interactive CLI shows it.
+    pub fn render(&self, source_schema: &Schema, target_schema: &Schema) -> String {
+        match self {
+            PendingQuestion::Grouping(q) => q.render(source_schema, target_schema),
+            PendingQuestion::Disambiguation(q) => q.render(source_schema, target_schema),
+            PendingQuestion::Join(q) => q.render(source_schema, target_schema),
+        }
+    }
+}
+
+/// What [`Session::step`] produced.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// The answers cover questions `0..seq`; question `seq` is open.
+    Ask {
+        /// Zero-based index of the question being asked — always equal to
+        /// the number of answers consumed so far.
+        seq: usize,
+        /// The question itself.
+        question: Box<PendingQuestion>,
+    },
+    /// Every question is answered; the session is complete.
+    Done(Box<SessionReport>),
+}
+
+/// The replay designer: pops recorded answers in order and captures the
+/// first unanswered question.
+struct StepDesigner<'s> {
+    answers: &'s [Answer],
+    next: usize,
+    pending: Option<PendingQuestion>,
+}
+
+impl StepDesigner<'_> {
+    fn take<T>(
+        &mut self,
+        expected: &'static str,
+        capture: impl FnOnce() -> PendingQuestion,
+        accept: impl FnOnce(&Answer) -> Option<T>,
+    ) -> Result<T, WizardError> {
+        match self.answers.get(self.next) {
+            None => {
+                self.pending = Some(capture());
+                Err(WizardError::Suspended)
+            }
+            Some(a) => match accept(a) {
+                Some(v) => {
+                    self.next += 1;
+                    Ok(v)
+                }
+                None => Err(WizardError::BadAnswer(format!(
+                    "answer #{} has kind `{}` but question #{} expects `{}` \
+                     (the answer log does not match this session's question sequence)",
+                    self.next,
+                    a.kind(),
+                    self.next,
+                    expected
+                ))),
+            },
+        }
+    }
+}
+
+impl Designer for StepDesigner<'_> {
+    fn pick_scenario(&mut self, q: &GroupingQuestion) -> Result<ScenarioChoice, WizardError> {
+        self.take(
+            "scenario",
+            || PendingQuestion::Grouping(q.clone()),
+            |a| match a {
+                Answer::Scenario(c) => Some(*c),
+                _ => None,
+            },
+        )
+    }
+
+    fn fill_choices(&mut self, q: &DisambiguationQuestion) -> Result<Vec<Vec<usize>>, WizardError> {
+        self.take(
+            "choices",
+            || PendingQuestion::Disambiguation(q.clone()),
+            |a| match a {
+                Answer::Choices(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    fn pick_join(&mut self, q: &JoinQuestion) -> Result<JoinChoice, WizardError> {
+        self.take(
+            "join",
+            || PendingQuestion::Join(q.clone()),
+            |a| match a {
+                Answer::Join(c) => Some(*c),
+                _ => None,
+            },
+        )
+    }
+}
+
+impl Session<'_> {
+    /// Advance the session as far as `answers` carries it: replay the
+    /// wizard against the recorded answers and either surface the first
+    /// unanswered question ([`Step::Ask`]) or the finished report
+    /// ([`Step::Done`]).
+    ///
+    /// Errors: [`WizardError::BadAnswer`] when an answer's kind does not
+    /// match its question or when answers remain after the session
+    /// completed (both indicate a corrupt or mismatched answer log);
+    /// otherwise whatever the underlying wizard run raises.
+    pub fn step(&self, mappings: &[Mapping], answers: &[Answer]) -> Result<Step, WizardError> {
+        let mut replay = StepDesigner {
+            answers,
+            next: 0,
+            pending: None,
+        };
+        match self.run(mappings, &mut replay) {
+            Ok(report) => {
+                if replay.next < answers.len() {
+                    return Err(WizardError::BadAnswer(format!(
+                        "session completed after {} answer(s) but {} were recorded",
+                        replay.next,
+                        answers.len()
+                    )));
+                }
+                Ok(Step::Done(Box::new(report)))
+            }
+            Err(WizardError::Suspended) => {
+                let seq = replay.next;
+                let Some(question) = replay.pending.take() else {
+                    return Err(WizardError::BadAnswer(
+                        "internal: session suspended without capturing a question".into(),
+                    ));
+                };
+                Ok(Step::Ask {
+                    seq,
+                    question: Box::new(question),
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designer::ScriptedDesigner;
+    use muse_nr::Constraints;
+
+    fn bundle() -> (muse_nr::Schema, muse_nr::Schema, Vec<Mapping>) {
+        let scenario = &muse_scenarios::all_scenarios()[1]; // DBLP
+        let mappings = scenario.mappings().unwrap();
+        (
+            scenario.source_schema.clone(),
+            scenario.target_schema.clone(),
+            mappings,
+        )
+    }
+
+    /// Drive a session question-by-question with a fixed answer policy and
+    /// compare the final report against the equivalent scripted
+    /// run-to-completion session.
+    #[test]
+    fn stepped_session_matches_scripted_run() {
+        let (src, tgt, mappings) = bundle();
+        let cons = Constraints::none();
+        let session = Session::new(&src, &tgt, &cons);
+
+        let mut answers: Vec<Answer> = Vec::new();
+        let stepped = loop {
+            match session.step(&mappings, &answers).unwrap() {
+                Step::Ask { seq, question } => {
+                    assert_eq!(seq, answers.len());
+                    answers.push(match *question {
+                        PendingQuestion::Grouping(_) => Answer::Scenario(ScenarioChoice::Second),
+                        PendingQuestion::Disambiguation(q) => {
+                            Answer::Choices(vec![vec![0]; q.choices.len()])
+                        }
+                        PendingQuestion::Join(_) => Answer::Join(JoinChoice::Inner),
+                    });
+                }
+                Step::Done(report) => break report,
+            }
+        };
+
+        // The scripted equivalent: replay the same answers in one run.
+        let mut scripted = ScriptedDesigner::default();
+        for a in &answers {
+            match a {
+                Answer::Scenario(c) => scripted.scenarios.push_back(*c),
+                Answer::Choices(c) => scripted.choices.push_back(c.clone()),
+                Answer::Join(c) => scripted.joins.push_back(*c),
+            }
+        }
+        let direct = session.run(&mappings, &mut scripted).unwrap();
+
+        assert_eq!(stepped.total_questions(), direct.total_questions());
+        assert_eq!(stepped.mappings.len(), direct.mappings.len());
+        let render = |r: &SessionReport| {
+            r.mappings
+                .iter()
+                .map(muse_mapping::printer::print)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(render(&stepped), render(&direct));
+    }
+
+    #[test]
+    fn resuming_from_a_prefix_reaches_the_same_question() {
+        let (src, tgt, mappings) = bundle();
+        let cons = Constraints::none();
+        let session = Session::new(&src, &tgt, &cons);
+
+        let mut answers: Vec<Answer> = Vec::new();
+        let mut transcript: Vec<String> = Vec::new();
+        while let Step::Ask { question, .. } = session.step(&mappings, &answers).unwrap() {
+            transcript.push(question.render(&src, &tgt));
+            answers.push(match *question {
+                PendingQuestion::Grouping(_) => Answer::Scenario(ScenarioChoice::First),
+                PendingQuestion::Disambiguation(q) => {
+                    Answer::Choices(vec![vec![0]; q.choices.len()])
+                }
+                PendingQuestion::Join(_) => Answer::Join(JoinChoice::Inner),
+            });
+        }
+        assert!(transcript.len() >= 2, "DBLP asks at least two questions");
+
+        // "Crash" after k answers: a fresh step from the recorded prefix
+        // must surface the exact question the live session saw next.
+        let k = transcript.len() / 2;
+        match session.step(&mappings, &answers[..k]).unwrap() {
+            Step::Ask { seq, question } => {
+                assert_eq!(seq, k);
+                assert_eq!(question.render(&src, &tgt), transcript[k]);
+            }
+            Step::Done(_) => panic!("prefix of {k} answers cannot complete the session"),
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_bad_answer() {
+        let (src, tgt, mappings) = bundle();
+        let cons = Constraints::none();
+        let session = Session::new(&src, &tgt, &cons);
+
+        // DBLP's first question is a grouping probe; answer it with a join
+        // choice instead.
+        let wrong = [Answer::Join(JoinChoice::Outer)];
+        match session.step(&mappings, &wrong) {
+            Err(WizardError::BadAnswer(msg)) => {
+                assert!(msg.contains("kind `join`"), "got: {msg}")
+            }
+            other => panic!("expected BadAnswer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leftover_answers_are_rejected() {
+        let (src, tgt, mappings) = bundle();
+        let cons = Constraints::none();
+        let session = Session::new(&src, &tgt, &cons);
+
+        let mut answers: Vec<Answer> = Vec::new();
+        while let Step::Ask { question, .. } = session.step(&mappings, &answers).unwrap() {
+            answers.push(match *question {
+                PendingQuestion::Grouping(_) => Answer::Scenario(ScenarioChoice::Second),
+                PendingQuestion::Disambiguation(q) => {
+                    Answer::Choices(vec![vec![0]; q.choices.len()])
+                }
+                PendingQuestion::Join(_) => Answer::Join(JoinChoice::Inner),
+            });
+        }
+        answers.push(Answer::Scenario(ScenarioChoice::First));
+        match session.step(&mappings, &answers) {
+            Err(WizardError::BadAnswer(msg)) => assert!(msg.contains("recorded"), "got: {msg}"),
+            other => panic!("expected BadAnswer, got {other:?}"),
+        }
+    }
+}
