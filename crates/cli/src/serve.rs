@@ -48,6 +48,32 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--max-connections needs a number".to_owned())?;
             }
             "--wal" => opts.cfg.wal = Some(value("--wal")?.into()),
+            "--snapshot-every" => {
+                opts.cfg.snapshot_every = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|_| "--snapshot-every needs a number (0 disables)".to_owned())?;
+            }
+            "--wal-compact-bytes" => {
+                opts.cfg.wal_compact_bytes = value("--wal-compact-bytes")?
+                    .parse()
+                    .map_err(|_| "--wal-compact-bytes needs a number".to_owned())?;
+            }
+            "--idle-timeout-ms" => {
+                opts.cfg.idle_timeout_ms = value("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--idle-timeout-ms needs a number".to_owned())?;
+            }
+            "--conn-requests" => {
+                opts.cfg.max_conn_requests = value("--conn-requests")?
+                    .parse()
+                    .map_err(|_| "--conn-requests needs a number".to_owned())?;
+            }
+            "--probe-cache" => {
+                opts.cfg.probe_cache_cap = value("--probe-cache")?
+                    .parse()
+                    .map_err(|_| "--probe-cache needs a number (0 disables)".to_owned())?;
+            }
+            "--no-keep-alive" => opts.cfg.keep_alive = false,
             other => return Err(format!("unknown flag `{other}` for muse serve")),
         }
         i += 1;
@@ -63,7 +89,10 @@ pub fn run(args: &[String]) -> i32 {
             eprintln!("muse serve: {e}");
             eprintln!(
                 "usage: muse serve [--host H] [--port P] [--threads N] \
-                 [--max-sessions N] [--max-connections N] [--wal FILE]"
+                 [--max-sessions N] [--max-connections N] [--wal FILE] \
+                 [--snapshot-every N] [--wal-compact-bytes N] \
+                 [--idle-timeout-ms N] [--conn-requests N] \
+                 [--probe-cache N] [--no-keep-alive]"
             );
             return 2;
         }

@@ -22,9 +22,15 @@ impl ServeChild {
     /// Spawn `muse serve --port 0 --wal <wal>` and wait for its listen
     /// line.
     pub fn spawn(wal: &Path) -> ServeChild {
+        Self::spawn_with(wal, &[])
+    }
+
+    /// Like [`ServeChild::spawn`] with extra `muse serve` flags appended.
+    pub fn spawn_with(wal: &Path, extra: &[&str]) -> ServeChild {
         let mut child = Command::new(env!("CARGO_BIN_EXE_muse"))
             .args(["serve", "--port", "0", "--threads", "2", "--wal"])
             .arg(wal)
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
             .spawn()

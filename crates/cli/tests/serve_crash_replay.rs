@@ -83,3 +83,120 @@ fn killed_server_resumes_byte_identically() {
     server.shutdown(&client);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The same differential under aggressive snapshotting and compaction:
+/// `--snapshot-every 2 --wal-compact-bytes 1` makes the server snapshot
+/// every other answer and compact the WAL after (nearly) every snapshot,
+/// so the SIGKILL lands with high probability between a compaction's
+/// tmp-write and rename, or right after a snapshot. The restarted server
+/// must still resume byte-identically — compaction must never lose a
+/// create or answer record, and a snapshot must restore the exact
+/// question the advance path would have produced.
+#[test]
+fn killed_server_resumes_byte_identically_under_compaction() {
+    let dir = std::env::temp_dir().join(format!("muse_crash_compact_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("sessions.wal");
+    let flags: &[&str] = &["--snapshot-every", "2", "--wal-compact-bytes", "1"];
+
+    let cfg = muse_serve::SessionCfg {
+        scenario: "DBLP".to_owned(),
+        use_instance: false,
+        ..muse_serve::SessionCfg::default()
+    };
+    let (questions, report) = offline_reference(&cfg);
+    let total = questions.len();
+    assert!(total >= 4, "reference session too short to interrupt");
+    let kill_at = total / 2;
+
+    let mut server = ServeChild::spawn_with(&wal, flags);
+    let client = server.client();
+    let mut state = client
+        .create_session(&Json::obj(vec![
+            ("scenario", Json::str("DBLP")),
+            ("use_instance", Json::Bool(false)),
+        ]))
+        .expect("create");
+    let id = state.get("session").and_then(Json::as_int).unwrap() as u64;
+    for expected in &questions[..kill_at] {
+        let question = state.get("question").expect("open question");
+        assert_eq!(question.render(), expected.render());
+        state = client
+            .answer(id, &scripted_answer(question))
+            .expect("answer");
+    }
+    // The aggressive settings must actually exercise the snapshot and
+    // compaction paths before the kill.
+    let metrics = client.metrics().expect("metrics");
+    let counter = |name: &str| {
+        metrics
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_int)
+            .unwrap_or(0)
+    };
+    assert!(counter("serve.snapshots") > 0, "{}", metrics.render());
+    assert!(counter("serve.wal_compactions") > 0, "{}", metrics.render());
+    server.kill();
+
+    let mut server = ServeChild::spawn_with(&wal, flags);
+    let client = server.client();
+    let mut state = client.question(id).expect("question after replay");
+    assert_eq!(
+        state.get("status").and_then(Json::as_str),
+        Some("open"),
+        "{}",
+        state.render()
+    );
+    for (seq, expected) in questions.iter().enumerate().skip(kill_at) {
+        let question = state.get("question").expect("open question");
+        assert_eq!(
+            question.render(),
+            expected.render(),
+            "question {seq} diverged after replay under compaction"
+        );
+        state = client
+            .answer(id, &scripted_answer(question))
+            .expect("answer");
+    }
+    assert_eq!(state.get("status").and_then(Json::as_str), Some("done"));
+
+    let served = client.report(id).expect("report");
+    assert_eq!(
+        served
+            .get("result")
+            .and_then(|r| r.get("report"))
+            .map(Json::render),
+        Some(report.render()),
+        "post-replay report != uninterrupted offline report"
+    );
+
+    // When the kill landed on an even answer count, the snapshot is
+    // current and the restart restored without a wizard replay; otherwise
+    // exactly one replay ran. Either way resume cost is O(snapshot
+    // interval), never O(total answers) wizard runs.
+    let metrics = client.metrics().expect("metrics");
+    let restores = metrics
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("serve.snapshot_restores"))
+        .and_then(Json::as_int)
+        .unwrap_or(0);
+    let replays = metrics
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("serve.replays"))
+        .and_then(Json::as_int)
+        .unwrap_or(0);
+    assert_eq!(
+        restores + replays,
+        1,
+        "exactly one session to bring back: {}",
+        metrics.render()
+    );
+
+    server.shutdown(&client);
+    let _ = std::fs::remove_dir_all(&dir);
+}

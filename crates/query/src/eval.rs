@@ -10,6 +10,7 @@
 //! * `query.eval_time` — wall-clock spans per evaluation.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::time::Instant;
 
 use muse_nr::{Instance, Schema, SetPath, Tuple, Value};
@@ -407,7 +408,9 @@ fn connectivity_score(v: usize, placed: &[bool], a: &Op, b: &Op) -> i64 {
     }
 }
 
-type AttrIndex<'a> = HashMap<Value, Vec<&'a Tuple>>;
+/// Match lists are shared behind an `Rc`: a probe hands out one pointer
+/// clone instead of copying the whole `Vec<&Tuple>` per lookup.
+type AttrIndex<'a> = HashMap<Value, Rc<Vec<&'a Tuple>>>;
 
 struct Search<'a, 'q, 'o> {
     inst: &'a Instance,
@@ -484,15 +487,20 @@ impl<'a, 'q, 'o> Search<'a, 'q, 'o> {
             return;
         }
         let v = self.plan.order[pos];
-        let qv = &self.query.vars[v];
+        // The instance and query outlive `self`; iterating them through
+        // local copies of the references keeps `&mut self` free for
+        // `try_tuple`, so none of the per-binding paths below has to
+        // collect or clone its candidate tuples.
+        let inst = self.inst;
+        let query = self.query;
+        let qv = &query.vars[v];
 
         if let Some((pvar, fidx)) = self.plan.parent_field_idx[v] {
             // Child variable: tuples of the parent's referenced set.
             let ppos = self.plan.pos_of[pvar];
             let parent_tuple = self.stack[ppos];
             if let Some(Value::Set(sid)) = parent_tuple.get(fidx) {
-                let tuples: Vec<&'a Tuple> = self.inst.tuples(*sid).collect();
-                for t in tuples {
+                for t in inst.tuples(*sid) {
                     self.try_tuple(pos, t);
                     if self.done() {
                         return;
@@ -510,32 +518,35 @@ impl<'a, 'q, 'o> Search<'a, 'q, 'o> {
                 self.index_hits.incr();
             } else {
                 self.index_misses.incr();
-                let mut index: AttrIndex<'a> = HashMap::new();
-                for (_, t) in self.inst.tuples_of_path(&qv.set) {
+                let mut index: HashMap<Value, Vec<&'a Tuple>> = HashMap::new();
+                for (_, t) in inst.tuples_of_path(&qv.set) {
                     if let Some(val) = t.get(*attr_idx) {
                         index.entry(val.clone()).or_default().push(t);
                     }
                 }
-                self.index_cache.insert(key.clone(), index);
+                self.index_cache.insert(
+                    key.clone(),
+                    index.into_iter().map(|(k, ts)| (k, Rc::new(ts))).collect(),
+                );
             }
-            let matches: Vec<&'a Tuple> = self
+            let matches: Option<Rc<Vec<&'a Tuple>>> = self
                 .index_cache
                 .get(&key)
                 .and_then(|ix| ix.get(&needle))
-                .cloned()
-                .unwrap_or_default();
-            for t in matches {
-                self.try_tuple(pos, t);
-                if self.done() {
-                    return;
+                .cloned();
+            if let Some(matches) = matches {
+                for &t in matches.iter() {
+                    self.try_tuple(pos, t);
+                    if self.done() {
+                        return;
+                    }
                 }
             }
             return;
         }
 
         // Full scan over every occurrence of the set path.
-        let tuples: Vec<&'a Tuple> = self.inst.tuples_of_path(&qv.set).map(|(_, t)| t).collect();
-        for t in tuples {
+        for (_, t) in inst.tuples_of_path(&qv.set) {
             self.try_tuple(pos, t);
             if self.done() {
                 return;

@@ -5,8 +5,8 @@
 //! streams, so every failure is reproducible from its seed.
 
 use muse_nr::{Field, Instance, InstanceBuilder, Schema, SetPath, Tuple, Ty, Value};
-use muse_obs::Rng;
-use muse_query::{evaluate, evaluate_all, Binding, Operand, Query};
+use muse_obs::{Metrics, Rng};
+use muse_query::{evaluate, evaluate_all, evaluate_deadline_with, Binding, Operand, Query};
 
 /// Small alphabets force collisions, so joins actually match.
 const TAGS: [&str; 3] = ["a", "b", "c"];
@@ -242,6 +242,49 @@ fn evaluate_agrees_with_naive_reference() {
     assert!(neq_preds > 5, "too few inequality predicates: {neq_preds}");
     assert!(child_vars > 5, "too few child variables: {child_vars}");
     assert!(nonempty > 10, "too few non-empty results: {nonempty}");
+}
+
+/// The per-binding hot paths (child descend, hash-index probe, full scan)
+/// borrow their candidate tuples instead of collecting/cloning them; this
+/// differential pins the observable contract of that rewrite: identical
+/// runs report identical `query.steps` / index-counter streams, and the
+/// counted run still agrees with the naive reference row for row.
+#[test]
+fn search_counters_are_deterministic_and_results_match_the_reference() {
+    let schema = ref_schema();
+    let counters = |m: &Metrics| {
+        let s = m.snapshot();
+        (
+            s.counter("query.steps"),
+            s.counter("query.index_hits"),
+            s.counter("query.index_misses"),
+        )
+    };
+    let mut total_steps = 0u64;
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed);
+        let inst = random_instance(&schema, &mut rng);
+        let q = random_query(&mut rng);
+
+        let run = || {
+            let m = Metrics::enabled();
+            let (rows, timed_out) =
+                evaluate_deadline_with(&schema, &inst, &q, None, None, &m).expect("evaluate");
+            assert!(!timed_out, "seed {seed}: no deadline, no timeout");
+            (rows, counters(&m))
+        };
+        let (rows1, counts1) = run();
+        let (rows2, counts2) = run();
+        assert_eq!(rows1, rows2, "seed {seed}: nondeterministic result order");
+        assert_eq!(counts1, counts2, "seed {seed}: nondeterministic counters");
+        assert_eq!(
+            sorted(rows1),
+            sorted(naive_eval(&schema, &inst, &q)),
+            "seed {seed}: counted run diverged from reference"
+        );
+        total_steps += counts1.0;
+    }
+    assert!(total_steps > 0, "the sweep must exercise the search loop");
 }
 
 /// Row limits: a limited evaluation is exactly a prefix of the engine's own

@@ -1,10 +1,13 @@
 //! A minimal blocking HTTP client for the session protocol — used by the
-//! CLI tests, the crash/replay differential, and `serve_bench`. One TCP
-//! connection per request (the server speaks `Connection: close`), with
-//! optional retry on `503` backpressure.
+//! CLI tests, the crash/replay differential, and `serve_bench`. The
+//! client keeps its TCP connection alive across requests (HTTP/1.1
+//! keep-alive) and falls back to a fresh connection when the server has
+//! closed the cached one — the server is free to drop parked connections
+//! at any time (idle timeout, per-connection request cap, drain).
 
-use std::io::{Read, Write};
+use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -16,6 +19,8 @@ pub struct Client {
     /// How many times a `503` is retried (with ~50 ms backoff) before it is
     /// surfaced. Zero means every `503` is returned to the caller.
     pub retries: u32,
+    /// The cached keep-alive connection, if the last exchange left one.
+    conn: Mutex<Option<TcpStream>>,
 }
 
 impl Client {
@@ -25,6 +30,7 @@ impl Client {
         Client {
             addr: addr.into(),
             retries: 20,
+            conn: Mutex::new(None),
         }
     }
 
@@ -50,32 +56,57 @@ impl Client {
         }
     }
 
-    fn request_once(
+    pub(crate) fn request_once(
         &self,
         method: &str,
         path: &str,
         body: Option<&Json>,
     ) -> Result<(u16, Json), String> {
+        let bytes = encode_request(method, path, &self.addr, body);
+
+        // First try the cached keep-alive connection. A transport failure
+        // here is the normal stale-connection race — the server closed the
+        // parked connection before reading our bytes, so the request was
+        // never processed and a retry on a fresh connection is safe. A
+        // protocol (`InvalidData`) failure is surfaced: the server *did*
+        // respond, and retrying could double-apply a mutation.
+        let cached = self.take_cached();
+        if let Some(mut stream) = cached {
+            match exchange(&mut stream, &bytes) {
+                Ok((status, body, close)) => {
+                    if !close {
+                        self.cache(stream);
+                    }
+                    return Ok((status, body));
+                }
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    return Err(format!("{method} {path}: {e}"));
+                }
+                Err(_) => {} // stale connection: fall through to a fresh one
+            }
+        }
+
         let mut stream =
             TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
         let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+        match exchange(&mut stream, &bytes) {
+            Ok((status, body, close)) => {
+                if !close {
+                    self.cache(stream);
+                }
+                Ok((status, body))
+            }
+            Err(e) => Err(format!("{method} {path}: {e}")),
+        }
+    }
 
-        let payload = body.map(|j| j.render()).unwrap_or_default();
-        let request = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
-            self.addr,
-            payload.len(),
-        );
-        stream
-            .write_all(request.as_bytes())
-            .map_err(|e| format!("send {method} {path}: {e}"))?;
+    fn take_cached(&self) -> Option<TcpStream> {
+        self.conn.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
 
-        let mut raw = Vec::new();
-        stream
-            .read_to_end(&mut raw)
-            .map_err(|e| format!("recv {method} {path}: {e}"))?;
-        parse_response(&raw).map_err(|e| format!("{method} {path}: {e}"))
+    fn cache(&self, stream: TcpStream) {
+        *self.conn.lock().unwrap_or_else(|e| e.into_inner()) = Some(stream);
     }
 
     /// `POST /sessions`; returns the response body (`session`, `status`,
@@ -130,6 +161,7 @@ pub fn wait_ready(addr: &str, timeout: Duration) -> Result<(), String> {
     let client = Client {
         addr: addr.to_owned(),
         retries: 0,
+        conn: Mutex::new(None),
     };
     let deadline = Instant::now() + timeout;
     loop {
@@ -146,23 +178,115 @@ pub fn wait_ready(addr: &str, timeout: Duration) -> Result<(), String> {
     }
 }
 
-fn parse_response(raw: &[u8]) -> Result<(u16, Json), String> {
-    let text = std::str::from_utf8(raw).map_err(|_| "response is not UTF-8".to_owned())?;
-    let (head, body) = text
-        .split_once("\r\n\r\n")
-        .ok_or("response has no header/body separator")?;
-    let status_line = head.lines().next().ok_or("empty response")?;
+fn encode_request(method: &str, path: &str, addr: &str, body: Option<&Json>) -> Vec<u8> {
+    let payload = body.map(|j| j.render()).unwrap_or_default();
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{payload}",
+        payload.len(),
+    )
+    .into_bytes()
+}
+
+fn protocol(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Write one request and read one response off `stream`. Returns
+/// `(status, body, close)` where `close` reports whether the server ended
+/// keep-alive (explicitly, or implicitly by omitting `Content-Length`).
+/// Transport failures keep their original `io::ErrorKind`; malformed
+/// responses are `InvalidData`.
+fn exchange(stream: &mut TcpStream, request: &[u8]) -> io::Result<(u16, Json, bool)> {
+    stream.write_all(request)?;
+    stream.flush()?;
+
+    // Read the head incrementally: under keep-alive we must not read past
+    // this response (there is no EOF delimiter any more).
+    let mut data = Vec::new();
+    let mut buf = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = data.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before a full response head",
+            ));
+        }
+        data.extend_from_slice(&buf[..n]);
+    };
+
+    let head = std::str::from_utf8(&data[..head_end])
+        .map_err(|_| protocol("response head is not UTF-8"))?;
+    let (status, content_length, mut close) = parse_head(head)?;
+
+    let body_start = head_end + 4;
+    let body = match content_length {
+        Some(len) => {
+            while data.len() < body_start + len {
+                let n = stream.read(&mut buf)?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-body",
+                    ));
+                }
+                data.extend_from_slice(&buf[..n]);
+            }
+            &data[body_start..body_start + len]
+        }
+        None => {
+            // No length: the body runs to EOF, which also ends keep-alive.
+            close = true;
+            let mut rest = data.split_off(body_start);
+            stream.read_to_end(&mut rest)?;
+            data.extend_from_slice(&rest);
+            &data[body_start..]
+        }
+    };
+    let text = std::str::from_utf8(body).map_err(|_| protocol("response body is not UTF-8"))?;
+    let json = if text.trim().is_empty() {
+        Json::obj(Vec::new())
+    } else {
+        Json::parse(text).map_err(|e| protocol(format!("bad response body: {e}")))?
+    };
+    Ok((status, json, close))
+}
+
+/// Parse a response head into `(status, content_length, close)`.
+fn parse_head(head: &str) -> io::Result<(u16, Option<usize>, bool)> {
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
     let status = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| format!("bad status line `{status_line}`"))?;
-    let body = if body.trim().is_empty() {
-        Json::obj(Vec::new())
-    } else {
-        Json::parse(body).map_err(|e| format!("bad response body: {e}"))?
-    };
-    Ok((status, body))
+        .ok_or_else(|| protocol(format!("bad status line `{status_line}`")))?;
+    let mut content_length = None;
+    let mut close = status_line.starts_with("HTTP/1.0");
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = Some(
+                value
+                    .trim()
+                    .parse()
+                    .map_err(|_| protocol("bad Content-Length"))?,
+            );
+        } else if name.eq_ignore_ascii_case("connection") {
+            let value = value.trim();
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        }
+    }
+    Ok((status, content_length, close))
 }
 
 #[cfg(test)]
@@ -170,16 +294,52 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_a_response() {
-        let raw = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 12\r\n\r\n{\"error\":\"x\"}";
-        let (status, body) = parse_response(raw).unwrap();
+    fn parses_a_head() {
+        let (status, len, close) =
+            parse_head("HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 13\r\nConnection: close")
+                .unwrap();
         assert_eq!(status, 503);
-        assert_eq!(body.get("error").and_then(Json::as_str), Some("x"));
+        assert_eq!(len, Some(13));
+        assert!(close);
+
+        let (status, len, close) =
+            parse_head("HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(len, Some(2));
+        assert!(!close);
     }
 
     #[test]
     fn rejects_garbage() {
-        assert!(parse_response(b"not http").is_err());
-        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n{}").is_err());
+        assert!(parse_head("not http").is_err());
+        assert!(parse_head("HTTP/1.1 abc").is_err());
+        assert!(parse_head("HTTP/1.1 200 OK\r\nContent-Length: x").is_err());
+    }
+
+    /// A loopback exchange: the client reads exactly one keep-alive
+    /// response and reports the connection reusable.
+    #[test]
+    fn exchange_reads_one_keepalive_response() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut peer, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = peer.read(&mut buf).unwrap();
+            peer.write_all(
+                b"HTTP/1.1 200 OK\r\nContent-Length: 11\r\nConnection: keep-alive\r\n\r\n{\"ok\":true}",
+            )
+            .unwrap();
+            // Keep the socket open so the client cannot rely on EOF.
+            std::thread::sleep(Duration::from_millis(100));
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let request = encode_request("GET", "/healthz", "test", None);
+        let (status, body, close) = exchange(&mut stream, &request).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.get("ok"), Some(&Json::Bool(true)));
+        assert!(!close, "keep-alive response must leave the conn reusable");
+        server.join().unwrap();
     }
 }

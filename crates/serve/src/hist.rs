@@ -130,4 +130,37 @@ mod tests {
         h.record(Duration::ZERO);
         assert_eq!(h.quantile(0.99), Duration::ZERO);
     }
+
+    /// A single sample reports the same bucket upper bound at every
+    /// quantile — p50 and p99 cannot disagree about one observation.
+    #[test]
+    fn single_sample_has_one_answer_for_every_quantile() {
+        let h = Hist::new();
+        h.record(Duration::from_nanos(1));
+        // 1 ns lands in bucket 1 ([1, 2) ns), upper bound 2 ns.
+        let expect = Duration::from_nanos(2);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), expect, "q={q}");
+        }
+    }
+
+    /// Exact powers of two sit at bucket *lower* edges: `2^k` falls in
+    /// bucket `k+1` (`[2^k, 2^(k+1))`), so the reported upper bound is
+    /// exactly `2 * value` — the worst case of the documented ≤2×
+    /// contract, never more.
+    #[test]
+    fn bucket_boundaries_stay_within_the_2x_contract() {
+        for k in [0u32, 1, 5, 10, 20, 30] {
+            let v = 1u64 << k;
+            let h = Hist::new();
+            h.record(Duration::from_nanos(v));
+            let got = h.quantile(0.5).as_nanos() as u64;
+            assert_eq!(got, 2 * v, "2^{k} must report its bucket's upper bound");
+        }
+        // One below a boundary stays in the lower bucket: reported bound
+        // is the boundary itself, within 2x of the value.
+        let h = Hist::new();
+        h.record(Duration::from_nanos((1u64 << 10) - 1));
+        assert_eq!(h.quantile(0.5).as_nanos() as u64, 1u64 << 10);
+    }
 }

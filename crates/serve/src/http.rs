@@ -1,7 +1,14 @@
 //! A deliberately small HTTP/1.1 subset: enough for a JSON request/response
-//! protocol over one-shot connections (`Connection: close`), nothing more.
-//! No chunked encoding, no keep-alive, no percent-decoding — the wire
-//! format is fixed by this crate's own client and documented in DESIGN.md.
+//! protocol over persistent (keep-alive) connections, nothing more. No
+//! chunked encoding, no percent-decoding — the wire format is fixed by
+//! this crate's own client and documented in DESIGN.md.
+//!
+//! Keep-alive follows HTTP/1.1 defaults: connections persist unless the
+//! request (or response) says `Connection: close`, or the request line
+//! speaks HTTP/1.0 without an explicit `Connection: keep-alive`. [`Conn`]
+//! carries the bytes read past the end of one request over to the next
+//! (pipelined requests are rare from our own client but must not be
+//! silently discarded).
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -13,6 +20,40 @@ pub const MAX_HEAD: usize = 16 * 1024;
 /// Cap on the request body.
 pub const MAX_BODY: usize = 4 * 1024 * 1024;
 
+/// One server-side connection: the stream plus any bytes already read past
+/// the previous request's body.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl Conn {
+    /// Wrap a freshly-accepted stream.
+    pub fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            carry: Vec::new(),
+        }
+    }
+
+    /// The underlying stream (for timeouts and polling).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Mutable access to the underlying stream (for writing responses).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// True when a pipelined request (or part of one) is already buffered —
+    /// the connection is readable without touching the socket.
+    pub fn has_buffered(&self) -> bool {
+        !self.carry.is_empty()
+    }
+}
+
 /// A parsed request.
 #[derive(Debug)]
 pub struct Request {
@@ -22,8 +63,11 @@ pub struct Request {
     pub path: String,
     /// The raw body.
     pub body: Vec<u8>,
-    /// Total bytes read off the socket for this request.
+    /// Bytes of this request (head + body) consumed off the connection.
     pub bytes_read: usize,
+    /// Whether the client allows the connection to persist after the
+    /// response (HTTP/1.1 semantics of the `Connection` header).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -41,10 +85,14 @@ fn find_blank_line(data: &[u8]) -> Option<usize> {
     data.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Read and parse one request. Errors of kind `InvalidData` are protocol
-/// violations (respond 400); other kinds are transport failures.
-pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
-    let mut data: Vec<u8> = Vec::with_capacity(1024);
+/// Read and parse one request off a persistent connection.
+///
+/// `Ok(None)` is a clean close: the peer shut the connection down between
+/// requests (the normal end of a keep-alive exchange). Errors of kind
+/// `InvalidData` are protocol violations (respond 400); other kinds are
+/// transport failures.
+pub fn read_request(conn: &mut Conn) -> io::Result<Option<Request>> {
+    let mut data = std::mem::take(&mut conn.carry);
     let mut buf = [0u8; 4096];
     let head_end = loop {
         if let Some(pos) = find_blank_line(&data) {
@@ -53,8 +101,11 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         if data.len() > MAX_HEAD {
             return Err(malformed("request head exceeds 16 KiB"));
         }
-        let n = stream.read(&mut buf)?;
+        let n = conn.stream.read(&mut buf)?;
         if n == 0 {
+            if data.is_empty() {
+                return Ok(None);
+            }
             return Err(malformed("connection closed mid-request"));
         }
         data.extend_from_slice(&buf[..n]);
@@ -71,9 +122,13 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     if method.is_empty() || path.is_empty() {
         return Err(malformed("bad request line"));
     }
+    let (method, path) = (method.to_owned(), path.to_owned());
+    let version = parts.next().unwrap_or("HTTP/1.1").to_owned();
+    let mut keep_alive = !version.eq_ignore_ascii_case("HTTP/1.0");
 
     let mut content_length = 0usize;
-    for line in lines {
+    let lines: Vec<String> = lines.map(str::to_owned).collect();
+    for line in &lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
@@ -82,30 +137,39 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
                 .trim()
                 .parse()
                 .map_err(|_| malformed("bad Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            let value = value.trim();
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
         }
     }
     if content_length > MAX_BODY {
         return Err(malformed("request body exceeds 4 MiB"));
     }
 
-    let mut body = data[head_end + 4..].to_vec();
-    let mut bytes_read = data.len();
-    while body.len() < content_length {
-        let n = stream.read(&mut buf)?;
+    let body_start = head_end + 4;
+    let body_end = body_start + content_length;
+    while data.len() < body_end {
+        let n = conn.stream.read(&mut buf)?;
         if n == 0 {
             return Err(malformed("connection closed mid-body"));
         }
-        bytes_read += n;
-        body.extend_from_slice(&buf[..n]);
+        data.extend_from_slice(&buf[..n]);
     }
-    body.truncate(content_length);
+    // Bytes past this request's body belong to the next one.
+    conn.carry = data.split_off(body_end);
+    let body = data.split_off(body_start);
 
-    Ok(Request {
+    Ok(Some(Request {
         method: method.to_owned(),
         path: path.to_owned(),
         body,
-        bytes_read,
-    })
+        bytes_read: body_end,
+        keep_alive,
+    }))
 }
 
 fn reason(status: u16) -> &'static str {
@@ -121,15 +185,22 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serialize a JSON body into a full response. Every response closes the
-/// connection: one request per connection keeps the worker pool small
-/// while still serving many concurrently *open* sessions.
-pub fn render_response(status: u16, extra_headers: &[(&str, String)], body: &Json) -> Vec<u8> {
+/// Serialize a JSON body into a full response. `close` selects the
+/// `Connection` header: the server closes after shedding, fatal errors,
+/// the per-connection request cap, and during shutdown drain; otherwise
+/// the connection persists.
+pub fn render_response(
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &Json,
+    close: bool,
+) -> Vec<u8> {
     let payload = body.render();
     let mut out = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         reason(status),
-        payload.len()
+        payload.len(),
+        if close { "close" } else { "keep-alive" },
     );
     for (name, value) in extra_headers {
         out.push_str(name);
@@ -149,8 +220,9 @@ pub fn respond(
     status: u16,
     extra_headers: &[(&str, String)],
     body: &Json,
+    close: bool,
 ) -> io::Result<usize> {
-    let bytes = render_response(status, extra_headers, body);
+    let bytes = render_response(status, extra_headers, body, close);
     stream.write_all(&bytes)?;
     stream.flush()?;
     Ok(bytes.len())
@@ -159,23 +231,82 @@ pub fn respond(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpListener;
 
     #[test]
-    fn response_has_content_length_and_close() {
-        let bytes = render_response(200, &[], &Json::obj(vec![("ok", Json::Bool(true))]));
+    fn response_has_content_length_and_connection_header() {
+        let bytes = render_response(200, &[], &Json::obj(vec![("ok", Json::Bool(true))]), true);
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         let body = text.split("\r\n\r\n").nth(1).unwrap();
         assert!(text.contains(&format!("Content-Length: {}\r\n", body.len())));
         assert_eq!(body, "{\"ok\":true}");
+
+        let bytes = render_response(200, &[], &Json::Null, false);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
     }
 
     #[test]
     fn extra_headers_are_emitted() {
-        let bytes = render_response(503, &[("Retry-After", "1".to_owned())], &Json::Null);
+        let bytes = render_response(503, &[("Retry-After", "1".to_owned())], &Json::Null, true);
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable"));
+    }
+
+    /// A loopback pair carrying two pipelined requests: the second must be
+    /// carried over intact, not discarded with the first read's surplus.
+    #[test]
+    fn pipelined_requests_are_carried_over() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut conn = Conn::new(server);
+
+        client
+            .write_all(
+                b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+                  POST /b HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+            )
+            .unwrap();
+        client.flush().unwrap();
+
+        let first = read_request(&mut conn).unwrap().expect("first request");
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"hi");
+        assert!(first.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(conn.has_buffered(), "second request must be carried over");
+
+        let second = read_request(&mut conn).unwrap().expect("second request");
+        assert_eq!(second.path, "/b");
+        assert!(!second.keep_alive, "Connection: close must be honored");
+    }
+
+    /// EOF before any request bytes is the clean end of a keep-alive
+    /// connection, not an error.
+    #[test]
+    fn clean_eof_between_requests_is_not_an_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut conn = Conn::new(server);
+        drop(client);
+        assert!(read_request(&mut conn).unwrap().is_none());
+    }
+
+    #[test]
+    fn http_1_0_defaults_to_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut conn = Conn::new(server);
+        client.write_all(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+        let req = read_request(&mut conn).unwrap().expect("request");
+        assert!(!req.keep_alive);
     }
 }

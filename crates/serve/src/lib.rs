@@ -21,14 +21,20 @@
 //! restarted server deterministically replays every session to its exact
 //! pre-crash question — the wizard refactored into a stepwise state
 //! machine ([`muse_wizard::Session::step`]) makes resumption the same code
-//! path as answering one more question.
+//! path as answering one more question. Periodic *snapshot* records keep
+//! resume cheap: a session whose latest snapshot covers all its answers
+//! restores in O(1), and WAL compaction drops superseded snapshots so the
+//! log stays bounded by the answer history.
 //!
-//! Concurrency: a bounded accept loop feeds a fixed `muse-par` worker pool
-//! through a queue with a connection cap; excess load is shed with
+//! Concurrency: a bounded accept loop feeds a fixed `muse-par` worker pool;
+//! connections are persistent (HTTP/1.1 keep-alive) and parked between
+//! requests on a dedicated poller thread, so an idle connection costs no
+//! worker. The *resident-connection* cap sheds excess load with
 //! `503 + Retry-After` ([`server`]). Request handling is panic-isolated,
 //! budgeted per session via `muse_obs::Budget`, and observable through
 //! `serve.*` metrics and the `serve.accept` / `serve.handle` / `serve.wal`
-//! fault points.
+//! fault points. Identical deterministic probes across sessions are
+//! memoized process-wide (`serve.cache_hits` / `serve.cache_misses`).
 
 pub mod client;
 pub mod hist;

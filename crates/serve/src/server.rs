@@ -1,43 +1,79 @@
 //! The session server: a bounded accept loop over the `muse-par` worker
-//! pool, a capped connection queue with `503 + Retry-After` backpressure,
-//! WAL-backed session durability, and a graceful drain.
+//! pool, persistent (keep-alive) connections with a dedicated idle poller,
+//! WAL-backed session durability with periodic snapshots and compaction,
+//! a process-wide probe/example memo shared across sessions, and a
+//! graceful drain.
 //!
-//! Threading model: `run` dedicates one pool item to the accept loop and
-//! `threads` items to request workers, all inside one
-//! `muse_par::try_scope_map` call — workers are panic-isolated exactly
-//! like chase units. Connections are one-request (`Connection: close`), so
-//! a small pool serves many concurrently *open* sessions: an idle session
-//! costs no thread.
+//! Threading model: `run` dedicates one pool item to the accept loop, one
+//! to the connection poller, and `threads` items to request workers, all
+//! inside one `muse_par::try_scope_map` call — workers are panic-isolated
+//! exactly like chase units. A worker handles *one* request per dequeue,
+//! then parks the connection; the poller promotes parked connections back
+//! to the ready queue the moment bytes arrive (or drops them on EOF /
+//! idle timeout). An idle keep-alive connection therefore costs no
+//! thread, and `serve.accepts` tracks connections, not requests.
+//!
+//! Hot-path cost model (the quadratic-resume fix):
+//! - every `snapshot_every` accepted answers the session's rendered state
+//!   is snapshotted into the WAL, so a restart restores sessions whose
+//!   snapshot is current in O(1) and replays the rest once;
+//! - identical deterministic probes across sessions hit the process-wide
+//!   [`ProbeCache`] (`serve.cache_hits` / `serve.cache_misses`), so N
+//!   identical-config sessions pay for each wizard question once;
+//! - identical configs share one [`SessionCtx`] via [`CtxCache`].
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use muse_obs::{faultpoints, Json, Metrics};
+use muse_wizard::ProbeCache;
 
 use crate::hist::Hist;
 use crate::http::{self, Request};
 use crate::oracle::Intentions;
 use crate::proto;
-use crate::store::{SessionCfg, SessionCtx, SessionStatus, Store};
+use crate::store::{CtxCache, SessionCfg, SessionStatus, Store};
 use crate::wal::Wal;
 
 /// Server knobs, the `muse serve` flags.
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Request worker threads (the accept loop gets its own).
+    /// Request worker threads (the accept loop and the connection poller
+    /// each get their own).
     pub threads: usize,
     /// Max resident sessions; creates beyond it are shed with 503.
     pub max_sessions: usize,
-    /// Max connections queued + in flight; excess is shed with 503.
+    /// Max resident connections (accepted and not yet closed — under
+    /// keep-alive a connection outlives many requests); excess is shed
+    /// with 503.
     pub max_connections: usize,
     /// Answer-log path; `None` runs without durability.
     pub wal: Option<PathBuf>,
+    /// Honor HTTP/1.1 keep-alive. Off forces `Connection: close` on every
+    /// response (the pre-keep-alive behavior).
+    pub keep_alive: bool,
+    /// Drop a parked keep-alive connection after this long without a new
+    /// request.
+    pub idle_timeout_ms: u64,
+    /// Close a connection after this many requests (bounds how long one
+    /// client can monopolize a connection slot).
+    pub max_conn_requests: usize,
+    /// Snapshot a session's rendered state into the WAL every this many
+    /// accepted answers (and always at `done`). 0 disables snapshots.
+    pub snapshot_every: usize,
+    /// Compact the WAL (dropping superseded snapshots) once it exceeds
+    /// this many bytes; afterwards the threshold doubles from the
+    /// compacted size so compaction cost stays amortized-constant.
+    pub wal_compact_bytes: u64,
+    /// Capacity of the cross-session probe/example memo. 0 disables it.
+    pub probe_cache_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +84,12 @@ impl Default for ServerConfig {
             max_sessions: 1024,
             max_connections: 256,
             wal: None,
+            keep_alive: true,
+            idle_timeout_ms: 5000,
+            max_conn_requests: 1000,
+            snapshot_every: 8,
+            wal_compact_bytes: 1 << 20,
+            probe_cache_cap: 1024,
         }
     }
 }
@@ -79,6 +121,30 @@ impl ApiError {
 
 type ApiResult = Result<(u16, Json), ApiError>;
 
+/// One live connection between requests.
+struct ConnState {
+    conn: http::Conn,
+    /// Requests served on this connection so far.
+    served: usize,
+    /// When the connection was last parked (for the idle timeout).
+    parked_at: Instant,
+}
+
+/// Everything the accept loop, poller, and workers share.
+struct ConnShared {
+    /// Connections with a request ready (or presumed imminent: fresh
+    /// accepts land here too — the first request follows the connect).
+    ready: Mutex<VecDeque<ConnState>>,
+    available: Condvar,
+    /// Connections idle between requests, owned by the poller.
+    parked: Mutex<Vec<ConnState>>,
+    accept_done: AtomicBool,
+    poller_done: AtomicBool,
+    in_flight: AtomicUsize,
+    /// Accepted and not yet closed (the `max_connections` gauge).
+    conn_count: AtomicUsize,
+}
+
 /// A bound (and, with a WAL, replayed) session server.
 pub struct Server {
     cfg: ServerConfig,
@@ -88,27 +154,39 @@ pub struct Server {
     metrics: Metrics,
     handle_hist: Hist,
     shutdown: AtomicBool,
+    probe_cache: ProbeCache,
+    ctx_cache: CtxCache,
+    /// WAL size that triggers the next compaction.
+    next_compact: AtomicU64,
 }
 
 impl Server {
     /// Bind the listener, open the WAL, and replay every logged session to
-    /// its pre-crash state. Returns before accepting any connection, so
-    /// callers can read [`Server::local_addr`] first.
+    /// its pre-crash state (restoring from a current snapshot where one
+    /// exists). Returns before accepting any connection, so callers can
+    /// read [`Server::local_addr`] first.
     pub fn bind(cfg: ServerConfig, metrics: Metrics) -> Result<Server, String> {
         let listener =
             TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
         let store = Store::new(cfg.max_sessions);
+        let ctx_cache = CtxCache::new(8);
+        let probe_cache = ProbeCache::new(cfg.probe_cache_cap)
+            .with_metric_keys("serve.cache_hits", "serve.cache_misses");
         let wal = match &cfg.wal {
             Some(path) => {
                 let (wal, records) =
                     Wal::open(path).map_err(|e| format!("wal {}: {e}", path.display()))?;
                 let t0 = Instant::now();
-                replay(&store, &metrics, records)?;
+                let probes = (cfg.probe_cache_cap > 0).then_some(&probe_cache);
+                replay(&store, &metrics, &ctx_cache, probes, records)?;
                 metrics.timer("serve.replay_time").record(t0.elapsed());
                 Some(wal)
             }
             None => None,
         };
+        let next_compact = cfg
+            .wal_compact_bytes
+            .max(wal.as_ref().map_or(0, |w| 2 * w.len()));
         Ok(Server {
             cfg,
             listener,
@@ -117,6 +195,9 @@ impl Server {
             metrics,
             handle_hist: Hist::new(),
             shutdown: AtomicBool::new(false),
+            probe_cache,
+            ctx_cache,
+            next_compact: AtomicU64::new(next_compact),
         })
     }
 
@@ -135,24 +216,33 @@ impl Server {
         &self.store
     }
 
-    /// Serve until `POST /admin/shutdown`: accept, enqueue, handle.
-    /// Drains on shutdown — queued connections are answered before workers
-    /// exit.
+    /// The cross-session probe memo, when enabled.
+    fn probes(&self) -> Option<&ProbeCache> {
+        (self.cfg.probe_cache_cap > 0).then_some(&self.probe_cache)
+    }
+
+    /// Serve until `POST /admin/shutdown`: accept, handle, park, repeat.
+    /// Drains on shutdown — parked connections with a request already in
+    /// flight are answered (with `Connection: close`) before workers exit;
+    /// idle ones are dropped.
     pub fn run(&self) -> Result<(), String> {
-        let queue: Mutex<std::collections::VecDeque<TcpStream>> =
-            Mutex::new(std::collections::VecDeque::new());
-        let available = Condvar::new();
-        let accept_done = AtomicBool::new(false);
-        let in_flight = AtomicUsize::new(0);
+        let shared = ConnShared {
+            ready: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            parked: Mutex::new(Vec::new()),
+            accept_done: AtomicBool::new(false),
+            poller_done: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            conn_count: AtomicUsize::new(0),
+        };
         let workers = self.cfg.threads.max(1);
 
-        let results = muse_par::try_scope_map(workers + 1, workers + 1, &self.metrics, |i| {
-            if i == 0 {
-                self.accept_loop(&queue, &available, &accept_done, &in_flight);
-            } else {
-                self.worker_loop(&queue, &available, &accept_done, &in_flight);
-            }
-        });
+        let results =
+            muse_par::try_scope_map(workers + 2, workers + 2, &self.metrics, |i| match i {
+                0 => self.accept_loop(&shared),
+                1 => self.poller_loop(&shared),
+                _ => self.worker_loop(&shared),
+            });
         let panics = results.iter().filter(|r| r.is_err()).count();
         if panics > 0 {
             return Err(format!("{panics} server thread(s) panicked"));
@@ -160,35 +250,33 @@ impl Server {
         Ok(())
     }
 
-    fn accept_loop(
-        &self,
-        queue: &Mutex<std::collections::VecDeque<TcpStream>>,
-        available: &Condvar,
-        accept_done: &AtomicBool,
-        in_flight: &AtomicUsize,
-    ) {
+    fn accept_loop(&self, shared: &ConnShared) {
         loop {
             match self.listener.accept() {
-                Ok((mut stream, _)) => {
+                Ok((stream, _)) => {
                     if self.shutdown.load(Ordering::Acquire) {
                         // The drain wake-up (or a late client); stop
-                        // accepting. Queued connections still drain.
+                        // accepting. Ready and in-flight requests still
+                        // drain.
                         break;
                     }
                     self.metrics.incr("serve.accepts");
                     let injected = muse_fault::point(faultpoints::SERVE_ACCEPT).is_some();
-                    let load = lock(queue).len() + in_flight.load(Ordering::Relaxed);
-                    if injected || load >= self.cfg.max_connections {
+                    let resident = shared.conn_count.load(Ordering::Relaxed);
+                    if injected || resident >= self.cfg.max_connections {
                         self.metrics.incr("serve.rejects");
                         // Drain the request before answering: closing with
                         // unread input makes TCP reset the connection and
                         // discard our 503. The timeout bounds how long a
                         // slow client can stall the accept loop.
                         let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-                        let _ = http::read_request(&mut stream);
-                        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                        let mut conn = http::Conn::new(stream);
+                        let _ = http::read_request(&mut conn);
+                        let _ = conn
+                            .stream()
+                            .set_write_timeout(Some(Duration::from_secs(2)));
                         let _ = http::respond(
-                            &mut stream,
+                            conn.stream_mut(),
                             503,
                             &[("Retry-After", "1".to_owned())],
                             &Json::obj(vec![(
@@ -199,11 +287,17 @@ impl Server {
                                     "connection limit reached"
                                 }),
                             )]),
+                            true,
                         );
                         continue;
                     }
-                    lock(queue).push_back(stream);
-                    available.notify_one();
+                    shared.conn_count.fetch_add(1, Ordering::Relaxed);
+                    lock(&shared.ready).push_back(ConnState {
+                        conn: http::Conn::new(stream),
+                        served: 0,
+                        parked_at: Instant::now(),
+                    });
+                    shared.available.notify_one();
                 }
                 Err(_) if self.shutdown.load(Ordering::Acquire) => break,
                 Err(_) => {
@@ -211,73 +305,174 @@ impl Server {
                 }
             }
         }
-        accept_done.store(true, Ordering::Release);
-        available.notify_all();
+        shared.accept_done.store(true, Ordering::Release);
+        shared.available.notify_all();
     }
 
-    fn worker_loop(
-        &self,
-        queue: &Mutex<std::collections::VecDeque<TcpStream>>,
-        available: &Condvar,
-        accept_done: &AtomicBool,
-        in_flight: &AtomicUsize,
-    ) {
+    /// Watch parked connections: promote the ones with bytes waiting,
+    /// drop the ones the peer closed or that idled out. During a drain,
+    /// parked connections with pending data are promoted so their last
+    /// request gets an answer; the rest are dropped.
+    fn poller_loop(&self, shared: &ConnShared) {
+        let idle_timeout = Duration::from_millis(self.cfg.idle_timeout_ms);
+        loop {
+            let draining = self.shutdown.load(Ordering::Acquire);
+            let batch: Vec<ConnState> = std::mem::take(&mut *lock(&shared.parked));
+            let mut keep = Vec::new();
+            let mut promoted = 0usize;
+            for state in batch {
+                let readable = if state.conn.has_buffered() {
+                    // A pipelined request is already in the carry buffer.
+                    Ok(1)
+                } else {
+                    let stream = state.conn.stream();
+                    let _ = stream.set_nonblocking(true);
+                    let mut byte = [0u8; 1];
+                    let r = stream.peek(&mut byte);
+                    let _ = stream.set_nonblocking(false);
+                    r
+                };
+                match readable {
+                    Ok(0) => {
+                        // Peer closed between requests: the clean end of a
+                        // keep-alive exchange.
+                        shared.conn_count.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    Ok(_) => {
+                        lock(&shared.ready).push_back(state);
+                        promoted += 1;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if draining || state.parked_at.elapsed() >= idle_timeout {
+                            self.metrics.incr("serve.idle_closes");
+                            shared.conn_count.fetch_sub(1, Ordering::Relaxed);
+                        } else {
+                            keep.push(state);
+                        }
+                    }
+                    Err(_) => {
+                        self.metrics.incr("serve.transport_errors");
+                        shared.conn_count.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            let parked_left = {
+                let mut parked = lock(&shared.parked);
+                parked.extend(keep);
+                parked.len()
+            };
+            if promoted > 0 {
+                shared.available.notify_all();
+            }
+            // Once the accept loop is done the server is draining: workers
+            // only close connections (never re-park), so an empty parked
+            // list stays empty.
+            if shared.accept_done.load(Ordering::Acquire) && parked_left == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        shared.poller_done.store(true, Ordering::Release);
+        shared.available.notify_all();
+    }
+
+    fn worker_loop(&self, shared: &ConnShared) {
         loop {
             let next = {
-                let mut q = lock(queue);
+                let mut q = lock(&shared.ready);
                 loop {
-                    if let Some(stream) = q.pop_front() {
-                        in_flight.fetch_add(1, Ordering::Relaxed);
-                        break Some(stream);
+                    if let Some(state) = q.pop_front() {
+                        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+                        break Some(state);
                     }
-                    if accept_done.load(Ordering::Acquire) {
+                    if shared.accept_done.load(Ordering::Acquire)
+                        && shared.poller_done.load(Ordering::Acquire)
+                    {
                         break None;
                     }
-                    q = available.wait(q).unwrap_or_else(|e| e.into_inner());
+                    // The timeout is belt-and-braces against a missed
+                    // notify during shutdown.
+                    let (guard, _) = shared
+                        .available
+                        .wait_timeout(q, Duration::from_millis(50))
+                        .unwrap_or_else(|e| e.into_inner());
+                    q = guard;
                 }
             };
-            let Some(mut stream) = next else {
+            let Some(mut state) = next else {
                 break;
             };
-            let t0 = Instant::now();
-            let outcome = catch_unwind(AssertUnwindSafe(|| self.handle_connection(&mut stream)));
-            if outcome.is_err() {
-                self.metrics.incr("serve.panics");
-                let _ = http::respond(
-                    &mut stream,
-                    500,
-                    &[],
-                    &Json::obj(vec![("error", Json::str("request handler panicked"))]),
-                );
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.handle_one(&mut state)));
+            let keep = match outcome {
+                Ok(keep) => keep,
+                Err(_) => {
+                    self.metrics.incr("serve.panics");
+                    let _ = http::respond(
+                        state.conn.stream_mut(),
+                        500,
+                        &[],
+                        &Json::obj(vec![("error", Json::str("request handler panicked"))]),
+                        true,
+                    );
+                    false
+                }
+            };
+            shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+            if keep && !self.shutdown.load(Ordering::Acquire) {
+                state.parked_at = Instant::now();
+                if state.conn.has_buffered() {
+                    // A pipelined request is already waiting: go straight
+                    // back to the ready queue.
+                    lock(&shared.ready).push_back(state);
+                    shared.available.notify_one();
+                } else {
+                    lock(&shared.parked).push(state);
+                }
+            } else {
+                shared.conn_count.fetch_sub(1, Ordering::Relaxed);
             }
-            let elapsed = t0.elapsed();
-            self.handle_hist.record(elapsed);
-            self.metrics.timer("serve.handle_time").record(elapsed);
-            in_flight.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
-    fn handle_connection(&self, stream: &mut TcpStream) {
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-        let request = match http::read_request(stream) {
-            Ok(r) => r,
+    /// Serve one request off a connection. Returns whether the connection
+    /// should be kept (parked) for the next request.
+    fn handle_one(&self, state: &mut ConnState) -> bool {
+        let _ = state
+            .conn
+            .stream()
+            .set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = state
+            .conn
+            .stream()
+            .set_write_timeout(Some(Duration::from_secs(10)));
+        let request = match http::read_request(&mut state.conn) {
+            Ok(Some(r)) => r,
+            Ok(None) => return false, // clean close between requests
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 self.metrics.incr("serve.bad_requests");
                 let _ = http::respond(
-                    stream,
+                    state.conn.stream_mut(),
                     400,
                     &[],
                     &Json::obj(vec![("error", Json::str(e.to_string()))]),
+                    true,
                 );
-                return;
+                return false;
             }
             Err(_) => {
                 self.metrics.incr("serve.transport_errors");
-                return;
+                return false;
             }
         };
+        // Timing starts after the read: the histogram measures request
+        // handling, not time spent waiting for a keep-alive client to
+        // send its next request.
+        let t0 = Instant::now();
         self.metrics.incr("serve.requests");
+        state.served += 1;
+        if state.served > 1 {
+            self.metrics.incr("serve.keepalive_reuses");
+        }
         self.metrics
             .add("serve.bytes_in", request.bytes_read as u64);
 
@@ -303,9 +498,19 @@ impl Server {
                 }
             }
         };
-        if let Ok(n) = http::respond(stream, status, &headers, &body) {
+        // Decided after routing so the /admin/shutdown response itself
+        // carries `Connection: close`.
+        let close = !self.cfg.keep_alive
+            || !request.keep_alive
+            || state.served >= self.cfg.max_conn_requests
+            || self.shutdown.load(Ordering::Acquire);
+        if let Ok(n) = http::respond(state.conn.stream_mut(), status, &headers, &body, close) {
             self.metrics.add("serve.bytes_out", n as u64);
         }
+        let elapsed = t0.elapsed();
+        self.handle_hist.record(elapsed);
+        self.metrics.timer("serve.handle_time").record(elapsed);
+        !close
     }
 
     fn route(&self, request: &Request) -> ApiResult {
@@ -346,6 +551,10 @@ impl Server {
                         "open_sessions",
                         Json::Int(self.store.open_sessions() as i64),
                     ),
+                    (
+                        "probe_cache_entries",
+                        Json::Int(self.probe_cache.len() as i64),
+                    ),
                     ("handle", self.handle_hist.to_json()),
                 ]),
             ),
@@ -380,13 +589,78 @@ impl Server {
         }
     }
 
+    /// Snapshot the session's rendered state into the WAL when due: at
+    /// creation, every `snapshot_every` accepted answers, and always at
+    /// `done`. Snapshot failures are non-fatal — a lost snapshot costs
+    /// replay time on the next restart, never an acknowledged answer.
+    fn maybe_snapshot(&self, entry: &crate::store::SessionEntry) {
+        let Some(wal) = &self.wal else {
+            return;
+        };
+        if self.cfg.snapshot_every == 0 {
+            return;
+        }
+        let (state, payload) = match &entry.status {
+            SessionStatus::Open { question, .. } => {
+                if !entry.answers.len().is_multiple_of(self.cfg.snapshot_every) {
+                    return;
+                }
+                ("open", question.clone())
+            }
+            SessionStatus::Done { report } => ("done", report.clone()),
+            SessionStatus::Failed { .. } => return,
+        };
+        let record = Json::obj(vec![
+            ("rec", Json::str("snapshot")),
+            ("session", Json::Int(entry.id as i64)),
+            ("answers", Json::Int(entry.answers.len() as i64)),
+            ("state", Json::str(state)),
+            ("payload", payload),
+        ]);
+        match wal.append(&record) {
+            Ok(bytes) => {
+                self.metrics.incr("serve.snapshots");
+                self.metrics.incr("serve.wal_records");
+                self.metrics.add("serve.wal_bytes", bytes);
+                self.maybe_compact(wal);
+            }
+            Err(_) => {
+                self.metrics.incr("serve.snapshot_errors");
+            }
+        }
+    }
+
+    /// Compact the WAL (drop superseded snapshots) once it crosses the
+    /// size threshold; the threshold then doubles from the compacted size
+    /// so total compaction work stays linear in bytes written.
+    fn maybe_compact(&self, wal: &Wal) {
+        if wal.len() < self.next_compact.load(Ordering::Relaxed) {
+            return;
+        }
+        match wal.compact(compact_records) {
+            Ok(new_len) => {
+                self.metrics.incr("serve.wal_compactions");
+                self.next_compact.store(
+                    self.cfg.wal_compact_bytes.max(2 * new_len),
+                    Ordering::Relaxed,
+                );
+            }
+            Err(_) => {
+                self.metrics.incr("serve.wal_errors");
+            }
+        }
+    }
+
     fn create_session(&self, body: &[u8]) -> ApiResult {
         let text =
             std::str::from_utf8(body).map_err(|_| ApiError::new(400, "body is not UTF-8"))?;
         let parsed =
             Json::parse(text).map_err(|e| ApiError::new(400, format!("bad JSON body: {e}")))?;
         let cfg = SessionCfg::from_json(&parsed).map_err(|e| ApiError::new(400, e))?;
-        let ctx = SessionCtx::build(&cfg).map_err(|e| ApiError::new(400, e))?;
+        let ctx = self
+            .ctx_cache
+            .get_or_build(&cfg, &self.metrics)
+            .map_err(|e| ApiError::new(400, e))?;
         let strategy = cfg.strategy;
 
         let entry = self.store.insert(cfg, ctx).map_err(ApiError::unavailable)?;
@@ -399,8 +673,9 @@ impl Server {
         ]))?;
 
         let step = entry
-            .advance(&self.metrics)
+            .advance(&self.metrics, self.probes())
             .map_err(|e| self.session_failed(&mut entry, e))?;
+        self.maybe_snapshot(&entry);
 
         if let Some(strategy) = strategy {
             // Oracle mode: answer every question server-side, logging each
@@ -424,8 +699,9 @@ impl Server {
                 entry.answers.push(answer);
                 self.metrics.incr("serve.answers");
                 step = entry
-                    .advance(&self.metrics)
+                    .advance(&self.metrics, self.probes())
                     .map_err(|e| self.session_failed(&mut entry, e))?;
+                self.maybe_snapshot(&entry);
             }
         }
 
@@ -516,13 +792,13 @@ impl Server {
         // Validate by stepping with the candidate answer appended; only an
         // accepted answer reaches the WAL.
         entry.answers.push(answer.clone());
-        match entry.advance(&self.metrics) {
+        match entry.advance(&self.metrics, self.probes()) {
             Ok(_) => {}
             Err(muse_wizard::WizardError::BadAnswer(msg)) => {
                 entry.answers.pop();
                 // Restore the cached question (state is derived, so this
                 // cannot fail differently than before).
-                let _ = entry.advance(&self.metrics);
+                let _ = entry.advance(&self.metrics, self.probes());
                 return Err(ApiError::new(400, format!("rejected answer: {msg}")));
             }
             Err(e) => {
@@ -538,10 +814,11 @@ impl Server {
             // Un-acknowledged answers must not survive in memory either:
             // a restart would forget them, forking the session's history.
             entry.answers.pop();
-            let _ = entry.advance(&self.metrics);
+            let _ = entry.advance(&self.metrics, self.probes());
             return Err(e);
         }
         self.metrics.incr("serve.answers");
+        self.maybe_snapshot(&entry);
 
         let mut fields = vec![
             ("session", Json::Int(id as i64)),
@@ -601,11 +878,55 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// The compaction rewrite: keep every create and answer record (they are
+/// the session history) and, per session, only the *latest* snapshot —
+/// earlier ones are superseded. Order is preserved, so a kept snapshot
+/// still follows its session's create record.
+fn compact_records(records: Vec<Json>) -> Vec<Json> {
+    use std::collections::HashMap;
+    let mut last_snapshot: HashMap<i64, usize> = HashMap::new();
+    for (i, rec) in records.iter().enumerate() {
+        if rec.get("rec").and_then(Json::as_str) == Some("snapshot") {
+            if let Some(id) = rec.get("session").and_then(Json::as_int) {
+                last_snapshot.insert(id, i);
+            }
+        }
+    }
+    records
+        .into_iter()
+        .enumerate()
+        .filter(|(i, rec)| {
+            if rec.get("rec").and_then(Json::as_str) != Some("snapshot") {
+                return true;
+            }
+            rec.get("session")
+                .and_then(Json::as_int)
+                .is_some_and(|id| last_snapshot.get(&id) == Some(i))
+        })
+        .map(|(_, rec)| rec)
+        .collect()
+}
+
 /// Rebuild every logged session: group records by id, reconstruct each
-/// context from its create record, push its answers, and step once to the
-/// exact pre-crash state. Unknown or malformed records fail the bind — a
-/// server must not silently drop acknowledged answers.
-fn replay(store: &Store, metrics: &Metrics, records: Vec<Json>) -> Result<(), String> {
+/// context from its create record (shared through the context cache),
+/// push its answers, and bring it to its pre-crash state. A session whose
+/// latest snapshot covers exactly its recorded answers is restored from
+/// the snapshot payload without running the wizard at all
+/// (`serve.snapshot_restores`); the rest advance once
+/// (`serve.replays`) — with the probe memo warm from earlier restores,
+/// replayed probes are cheap. Unknown or malformed create/answer records
+/// fail the bind — a server must not silently drop acknowledged answers;
+/// malformed *snapshot* records are skipped (they are an optimization,
+/// not history).
+fn replay(
+    store: &Store,
+    metrics: &Metrics,
+    ctx_cache: &CtxCache,
+    probes: Option<&ProbeCache>,
+    records: Vec<Json>,
+) -> Result<(), String> {
+    let mut snapshots: std::collections::HashMap<u64, (usize, String, Json)> =
+        std::collections::HashMap::new();
     for (n, record) in records.into_iter().enumerate() {
         let kind = record
             .get("rec")
@@ -623,7 +944,9 @@ fn replay(store: &Store, metrics: &Metrics, records: Vec<Json>) -> Result<(), St
                     .ok_or_else(|| format!("wal record {n}: create without `cfg`"))?;
                 let cfg =
                     SessionCfg::from_json(cfg_json).map_err(|e| format!("wal record {n}: {e}"))?;
-                let ctx = SessionCtx::build(&cfg).map_err(|e| format!("wal record {n}: {e}"))?;
+                let ctx = ctx_cache
+                    .get_or_build(&cfg, metrics)
+                    .map_err(|e| format!("wal record {n}: {e}"))?;
                 store.insert_replayed(id, cfg, ctx);
             }
             "answer" => {
@@ -641,22 +964,55 @@ fn replay(store: &Store, metrics: &Metrics, records: Vec<Json>) -> Result<(), St
                     .answers
                     .push(answer);
             }
+            "snapshot" => {
+                let answers = record
+                    .get("answers")
+                    .and_then(Json::as_int)
+                    .filter(|a| *a >= 0);
+                let state = record.get("state").and_then(Json::as_str);
+                let payload = record.get("payload");
+                if let (Some(answers), Some(state), Some(payload)) = (answers, state, payload) {
+                    // Later snapshots supersede earlier ones.
+                    snapshots.insert(id, (answers as usize, state.to_owned(), payload.clone()));
+                }
+            }
             other => return Err(format!("wal record {n}: unknown kind `{other}`")),
         }
     }
-    // One step per session (not per answer): the stepper replays the whole
-    // answer list in a single wizard run.
     for entry in store.all() {
         let mut entry = entry.lock().unwrap_or_else(|e| e.into_inner());
-        metrics.incr("serve.replays");
-        match entry.advance(metrics) {
-            Ok(muse_wizard::Step::Ask { .. }) => store.note_opened(),
-            Ok(muse_wizard::Step::Done(_)) => {}
-            Err(e) => {
-                metrics.incr("serve.session_failures");
-                entry.status = SessionStatus::Failed {
-                    error: e.to_string(),
+        let snap = snapshots
+            .get(&entry.id)
+            .filter(|(answers, _, _)| *answers == entry.answers.len());
+        match snap {
+            Some((answers, state, payload)) if state == "open" => {
+                metrics.incr("serve.snapshot_restores");
+                entry.status = SessionStatus::Open {
+                    seq: *answers,
+                    question: payload.clone(),
                 };
+                store.note_opened();
+            }
+            Some((_, state, payload)) if state == "done" => {
+                metrics.incr("serve.snapshot_restores");
+                entry.status = SessionStatus::Done {
+                    report: payload.clone(),
+                };
+            }
+            _ => {
+                // No current snapshot (answers arrived after the last one,
+                // or an unknown state tag): one full advance.
+                metrics.incr("serve.replays");
+                match entry.advance(metrics, probes) {
+                    Ok(muse_wizard::Step::Ask { .. }) => store.note_opened(),
+                    Ok(muse_wizard::Step::Done(_)) => {}
+                    Err(e) => {
+                        metrics.incr("serve.session_failures");
+                        entry.status = SessionStatus::Failed {
+                            error: e.to_string(),
+                        };
+                    }
+                }
             }
         }
     }

@@ -10,7 +10,7 @@ use muse_cliogen::GroupingStrategy;
 use muse_nr::Instance;
 use muse_obs::{Budget, Json, Metrics};
 use muse_scenarios::Scenario;
-use muse_wizard::{Answer, Session, Step, WizardError};
+use muse_wizard::{Answer, ProbeCache, Session, Step, WizardError};
 
 use crate::oracle;
 use crate::proto;
@@ -151,6 +151,22 @@ impl SessionCfg {
         Json::obj(fields)
     }
 
+    /// The key identifying this config's deterministic replay context —
+    /// exactly the fields [`SessionCtx::build`] reads. Two sessions with
+    /// equal keys share both a [`SessionCtx`] (via [`CtxCache`]) and a
+    /// probe-cache namespace: the wizard's questions are a pure function
+    /// of (context, mapping, probe state), so cross-session memo hits are
+    /// sound only within one key.
+    pub fn ctx_key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}",
+            self.scenario.to_lowercase(),
+            self.scale.to_bits(),
+            self.seed,
+            self.use_instance
+        )
+    }
+
     /// The execution budget for one request against this session. Built
     /// fresh per request so a deadline clock restarts each time.
     pub fn budget(&self) -> Budget {
@@ -211,6 +227,56 @@ impl SessionCtx {
     }
 }
 
+/// A small process-wide cache of built [`SessionCtx`]s, keyed by
+/// [`SessionCfg::ctx_key`]. Building a context is the expensive part of
+/// session creation (instance generation + mapping enumeration); serving N
+/// identical-config sessions should pay for it once. Contexts are built
+/// *outside* the cache lock — two racing builds of the same key are both
+/// correct (construction is deterministic) and the loser's copy is simply
+/// dropped.
+pub struct CtxCache {
+    cap: usize,
+    inner: Mutex<Vec<(String, Arc<SessionCtx>)>>,
+}
+
+impl CtxCache {
+    /// A cache holding at most `cap` contexts (FIFO eviction).
+    pub fn new(cap: usize) -> Self {
+        CtxCache {
+            cap,
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Return the shared context for `cfg`, building it on a miss.
+    pub fn get_or_build(
+        &self,
+        cfg: &SessionCfg,
+        metrics: &Metrics,
+    ) -> Result<Arc<SessionCtx>, String> {
+        let key = cfg.ctx_key();
+        {
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some((_, ctx)) = inner.iter().find(|(k, _)| *k == key) {
+                metrics.incr("serve.ctx_cache_hits");
+                return Ok(Arc::clone(ctx));
+            }
+        }
+        metrics.incr("serve.ctx_cache_misses");
+        let ctx = Arc::new(SessionCtx::build(cfg)?);
+        if self.cap > 0 {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if !inner.iter().any(|(k, _)| *k == key) {
+                while inner.len() >= self.cap {
+                    inner.remove(0);
+                }
+                inner.push((key, Arc::clone(&ctx)));
+            }
+        }
+        Ok(ctx)
+    }
+}
+
 /// Where a session currently stands, with its wire payload pre-rendered.
 pub enum SessionStatus {
     /// Waiting on question `seq`.
@@ -239,8 +305,11 @@ pub struct SessionEntry {
     pub id: u64,
     /// The creation config.
     pub cfg: SessionCfg,
-    /// The deterministic replay context.
-    pub ctx: SessionCtx,
+    /// The deterministic replay context, shared across sessions with the
+    /// same [`SessionCfg::ctx_key`] (see [`CtxCache`]).
+    pub ctx: Arc<SessionCtx>,
+    /// The probe-cache namespace ([`SessionCfg::ctx_key`], precomputed).
+    pub probe_ctx: String,
     /// Every accepted answer, in question order (mirrors the WAL).
     pub answers: Vec<Answer>,
     /// Cached current state.
@@ -251,7 +320,16 @@ impl SessionEntry {
     /// Re-run the stepper over the recorded answers and refresh `status`.
     /// Returns the step so callers (the oracle loop, the create handler)
     /// can act on the typed question without re-parsing JSON.
-    pub fn advance(&mut self, metrics: &Metrics) -> Result<Step, WizardError> {
+    ///
+    /// `probes` is the process-wide probe/example memo; it is attached
+    /// only when the budget is unlimited — under a deadline or count cap,
+    /// a cache hit would bypass the budget's accounting and change which
+    /// truncation warnings the wizard reports.
+    pub fn advance(
+        &mut self,
+        metrics: &Metrics,
+        probes: Option<&ProbeCache>,
+    ) -> Result<Step, WizardError> {
         let budget = self.cfg.budget();
         let mut session = Session::new(
             &self.ctx.scenario.source_schema,
@@ -263,6 +341,11 @@ impl SessionEntry {
         // Exhaustive real-example search: a wall-clock cap here would make
         // replay nondeterministic (see DESIGN.md, replay invariant).
         .with_real_example_budget(None);
+        if let Some(cache) = probes {
+            if budget.is_unlimited() {
+                session = session.with_probe_cache(cache, &self.probe_ctx);
+            }
+        }
         if let Some(inst) = &self.ctx.instance {
             session = session.with_instance(inst);
         }
@@ -316,7 +399,7 @@ impl Store {
     pub fn insert(
         &self,
         cfg: SessionCfg,
-        ctx: SessionCtx,
+        ctx: Arc<SessionCtx>,
     ) -> Result<Arc<Mutex<SessionEntry>>, String> {
         let mut map = self.map();
         if map.len() >= self.max_sessions {
@@ -326,10 +409,12 @@ impl Store {
             ));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let probe_ctx = cfg.ctx_key();
         let entry = Arc::new(Mutex::new(SessionEntry {
             id,
             cfg,
             ctx,
+            probe_ctx,
             answers: Vec::new(),
             status: SessionStatus::Failed {
                 error: "session not yet stepped".to_owned(),
@@ -345,12 +430,14 @@ impl Store {
         &self,
         id: u64,
         cfg: SessionCfg,
-        ctx: SessionCtx,
+        ctx: Arc<SessionCtx>,
     ) -> Arc<Mutex<SessionEntry>> {
+        let probe_ctx = cfg.ctx_key();
         let entry = Arc::new(Mutex::new(SessionEntry {
             id,
             cfg,
             ctx,
+            probe_ctx,
             answers: Vec::new(),
             status: SessionStatus::Failed {
                 error: "session not yet stepped".to_owned(),
@@ -443,12 +530,35 @@ mod tests {
             ..SessionCfg::default()
         };
         for _ in 0..2 {
-            let ctx = SessionCtx::build(&cfg).unwrap();
+            let ctx = Arc::new(SessionCtx::build(&cfg).unwrap());
             store.insert(cfg.clone(), ctx).unwrap();
         }
-        let ctx = SessionCtx::build(&cfg).unwrap();
+        let ctx = Arc::new(SessionCtx::build(&cfg).unwrap());
         assert!(store.insert(cfg.clone(), ctx).is_err());
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn ctx_cache_shares_contexts_by_key() {
+        let metrics = Metrics::enabled();
+        let cache = CtxCache::new(4);
+        let cfg = SessionCfg {
+            scenario: "DBLP".to_owned(),
+            use_instance: false,
+            ..SessionCfg::default()
+        };
+        let a = cache.get_or_build(&cfg, &metrics).unwrap();
+        let b = cache.get_or_build(&cfg, &metrics).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must share the context");
+        // A different seed is a different key only when the instance is
+        // used; with use_instance=false the seed still participates in the
+        // key (conservative), so this builds a second context.
+        let other = SessionCfg { seed: 9, ..cfg };
+        let c = cache.get_or_build(&other, &metrics).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("serve.ctx_cache_hits"), 1);
+        assert_eq!(snap.counter("serve.ctx_cache_misses"), 2);
     }
 
     #[test]
@@ -459,9 +569,8 @@ mod tests {
             use_instance: false,
             ..SessionCfg::default()
         };
-        let ctx = SessionCtx::build(&cfg).unwrap();
-        store.insert_replayed(7, cfg.clone(), ctx);
-        let ctx = SessionCtx::build(&cfg).unwrap();
+        let ctx = Arc::new(SessionCtx::build(&cfg).unwrap());
+        store.insert_replayed(7, cfg.clone(), Arc::clone(&ctx));
         let fresh = store.insert(cfg, ctx).unwrap();
         let id = fresh.lock().unwrap().id;
         assert_eq!(id, 8);

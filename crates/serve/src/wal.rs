@@ -12,7 +12,8 @@
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use muse_obs::{faultpoints, Json};
@@ -30,25 +31,52 @@ pub fn fnv1a32(bytes: &[u8]) -> u32 {
 /// An open write-ahead log.
 pub struct Wal {
     file: Mutex<File>,
+    path: PathBuf,
+    len: AtomicU64,
+}
+
+fn encode_frame(rec: &Json) -> Vec<u8> {
+    let payload = rec.render().into_bytes();
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
 }
 
 impl Wal {
     /// Open `path` (creating it if absent) and decode every intact record
     /// already present, in order. Stops at the first torn or corrupt
-    /// frame.
+    /// frame. A stray `<path>.tmp` left by a compaction interrupted before
+    /// its rename is dead weight, never the live log, and is removed.
     pub fn open(path: &Path) -> io::Result<(Wal, Vec<Json>)> {
+        let _ = std::fs::remove_file(tmp_path(path));
         let records = match std::fs::read(path) {
             Ok(data) => decode_all(&data),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(e),
         };
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let len = file.metadata()?.len();
         Ok((
             Wal {
                 file: Mutex::new(file),
+                path: path.to_owned(),
+                len: AtomicU64::new(len),
             },
             records,
         ))
+    }
+
+    /// Bytes currently in the log file (frames appended or kept by the
+    /// last compaction). Drives the compaction trigger.
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True when the log file holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Append one record and flush it to the OS; returns the bytes
@@ -57,16 +85,62 @@ impl Wal {
         if muse_fault::point(faultpoints::SERVE_WAL).is_some() {
             return Err(io::Error::other("injected serve.wal fault"));
         }
-        let payload = rec.render().into_bytes();
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
+        let frame = encode_frame(rec);
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
         file.write_all(&frame)?;
         file.flush()?;
+        self.len.fetch_add(frame.len() as u64, Ordering::Relaxed);
         Ok(frame.len() as u64)
     }
+
+    /// Rewrite the log as `rewrite(current records)`, atomically.
+    ///
+    /// The file mutex is held for the whole operation, so no append can
+    /// interleave. The new log is written to `<path>.tmp`, synced, and an
+    /// append handle to it is opened *before* the rename — the handle
+    /// tracks the inode, not the name, so once `rename(tmp, path)` lands
+    /// there is no window in which an append could go to a file about to
+    /// be discarded. A crash on either side of the rename leaves a valid
+    /// log: the old one (plus an ignorable `.tmp`) or the new one.
+    ///
+    /// Returns the new length in bytes.
+    pub fn compact(&self, rewrite: impl FnOnce(Vec<Json>) -> Vec<Json>) -> io::Result<u64> {
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let records = decode_all(&std::fs::read(&self.path)?);
+        let kept = rewrite(records);
+        let mut data = Vec::new();
+        for rec in &kept {
+            data.extend_from_slice(&encode_frame(rec));
+        }
+        let tmp = tmp_path(&self.path);
+        let result = (|| {
+            {
+                let mut out = File::create(&tmp)?;
+                out.write_all(&data)?;
+                out.sync_all()?;
+            }
+            let new_handle = OpenOptions::new().append(true).open(&tmp)?;
+            std::fs::rename(&tmp, &self.path)?;
+            Ok::<File, io::Error>(new_handle)
+        })();
+        match result {
+            Ok(new_handle) => {
+                *file = new_handle;
+                self.len.store(data.len() as u64, Ordering::Relaxed);
+                Ok(data.len() as u64)
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
 }
 
 fn decode_all(data: &[u8]) -> Vec<Json> {
@@ -174,6 +248,58 @@ mod tests {
         let (_, replayed) = Wal::open(&path).unwrap();
         assert_eq!(replayed.len(), 1);
         assert_eq!(replayed[0], rec(1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_rewrites_atomically_and_appends_continue() {
+        let path = tmp("compact");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (wal, _) = Wal::open(&path).unwrap();
+            for i in 0..6 {
+                wal.append(&rec(i)).unwrap();
+            }
+            let before = wal.len();
+            // Keep only the even records.
+            let after = wal
+                .compact(|recs| {
+                    recs.into_iter()
+                        .filter(|r| r.get("session").and_then(Json::as_int).unwrap() % 2 == 0)
+                        .collect()
+                })
+                .unwrap();
+            assert!(after < before, "compaction must shrink the log");
+            assert_eq!(wal.len(), after);
+            // The swapped handle must keep appending to the *live* file.
+            wal.append(&rec(100)).unwrap();
+        }
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(
+            replayed
+                .iter()
+                .map(|r| r.get("session").and_then(Json::as_int).unwrap())
+                .collect::<Vec<_>>(),
+            vec![0, 2, 4, 100]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stray_tmp_from_interrupted_compaction_is_ignored() {
+        let path = tmp("straytmp");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (wal, _) = Wal::open(&path).unwrap();
+            wal.append(&rec(1)).unwrap();
+        }
+        // Simulate a crash after writing the compacted tmp but before the
+        // rename: the tmp must not shadow or corrupt the live log.
+        let tmp_file = super::tmp_path(&path);
+        std::fs::write(&tmp_file, b"garbage left by a crash").unwrap();
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert!(!tmp_file.exists(), "open cleans up the stray tmp");
         let _ = std::fs::remove_file(&path);
     }
 

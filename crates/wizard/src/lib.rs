@@ -22,6 +22,7 @@
 //! playing designer in Sec. VI. [`session`] chains Muse-D and Muse-G into
 //! the full wizard of Sec. V.
 
+pub mod cache;
 pub mod designer;
 pub mod error;
 pub mod example;
@@ -32,6 +33,7 @@ pub mod report;
 pub mod session;
 pub mod step;
 
+pub use cache::ProbeCache;
 pub use designer::{Designer, JoinChoice, OracleDesigner, ScenarioChoice, ScriptedDesigner};
 pub use error::WizardError;
 pub use interactive::InteractiveDesigner;

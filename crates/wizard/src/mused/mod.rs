@@ -46,6 +46,12 @@ pub struct MuseD<'a> {
     /// Instrumentation sink (`wizard.*`, plus the query/chase metrics of the
     /// question machinery). Defaults to the no-op handle.
     pub metrics: &'a Metrics,
+    /// Optional shared probe-question memo plus the context key covering
+    /// everything outside the mapping that determines the question
+    /// (scenario and instance identity). Consulted only when `budget` is
+    /// unlimited and `real_example_budget` is `None` — see
+    /// [`crate::cache::ProbeCache`].
+    pub probe_cache: Option<(&'a crate::cache::ProbeCache, &'a str)>,
 }
 
 /// One choice list: the possible values for one ambiguous target attribute.
@@ -115,6 +121,7 @@ impl<'a> MuseD<'a> {
             real_example_budget: Some(Duration::from_millis(750)),
             budget: Budget::unlimited_ref(),
             metrics: Metrics::disabled_ref(),
+            probe_cache: None,
         }
     }
 
@@ -143,7 +150,9 @@ impl<'a> MuseD<'a> {
     /// to a defaulted outcome.
     pub fn question(&self, m: &Mapping) -> Result<DisambiguationQuestion, WizardError> {
         match self.try_question(m)? {
-            Some(q) => Ok(q),
+            // Unwrap the Arc without copying when the probe cache does not
+            // also hold the question (no cache, or a zero-cap one).
+            Some(q) => Ok(std::sync::Arc::try_unwrap(q).unwrap_or_else(|q| (*q).clone())),
             None => Err(WizardError::Truncated(format!(
                 "disambiguation question for {} exceeded the execution budget",
                 m.name
@@ -152,8 +161,13 @@ impl<'a> MuseD<'a> {
     }
 
     /// Budget-aware question construction: `Ok(None)` means the budget (or
-    /// an injected `wizard.probe` fault) truncated the work.
-    fn try_question(&self, m: &Mapping) -> Result<Option<DisambiguationQuestion>, WizardError> {
+    /// an injected `wizard.probe` fault) truncated the work. `Arc` so a
+    /// [`crate::cache::ProbeCache`] hit shares the cached question instead
+    /// of deep-copying its example instances.
+    fn try_question(
+        &self,
+        m: &Mapping,
+    ) -> Result<Option<std::sync::Arc<DisambiguationQuestion>>, WizardError> {
         let groups = or_groups(m);
         if groups.is_empty() {
             return Err(WizardError::NotAmbiguous(m.name.clone()));
@@ -166,6 +180,26 @@ impl<'a> MuseD<'a> {
             TruncationReason::DeadlineExpired.record(self.metrics);
             return Ok(None);
         }
+        // The memo is sound only when nothing time-dependent can alter the
+        // result: an unlimited budget (a hit bypasses budget accounting)
+        // and an uncapped, deterministic real-example search. On a hit the
+        // per-example observability counters (`wizard.real_examples` et
+        // al.) are not re-recorded — only the outcome fields, which come
+        // from the cached question, matter for the report.
+        let cached = match self.probe_cache {
+            Some((cache, ctx))
+                if self.budget.is_unlimited() && self.real_example_budget.is_none() =>
+            {
+                let key = crate::cache::disambiguation_key(ctx, m);
+                if let Some(q) = cache.get_disambiguation(&key) {
+                    self.metrics.incr(cache.hits_key());
+                    return Ok(Some(q));
+                }
+                self.metrics.incr(cache.misses_key());
+                Some((cache, key))
+            }
+            _ => None,
+        };
         let space = ClassSpace::new(m, self.source_schema, self.source_constraints)?;
 
         // All alternative values must be pairwise distinguishable — the
@@ -259,12 +293,16 @@ impl<'a> MuseD<'a> {
             });
         }
 
-        Ok(Some(DisambiguationQuestion {
+        let question = std::sync::Arc::new(DisambiguationQuestion {
             mapping: m.name.clone(),
             example,
             partial_target,
             choices,
-        }))
+        });
+        if let Some((cache, key)) = cached {
+            cache.put_disambiguation(key, &question);
+        }
+        Ok(Some(question))
     }
 
     /// Disambiguate `m` by asking the designer to fill in the choices.

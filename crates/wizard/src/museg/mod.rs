@@ -58,6 +58,12 @@ pub struct MuseG<'a> {
     /// Instrumentation sink (`wizard.*`, plus the query/chase/iso metrics of
     /// the probe machinery). Defaults to the no-op handle.
     pub metrics: &'a Metrics,
+    /// Optional shared probe-question memo plus the context key covering
+    /// everything outside the mapping/probe parameters that determines
+    /// probe results (scenario and instance identity). Consulted only when
+    /// `budget` is unlimited and `real_example_budget` is `None` — see
+    /// [`crate::cache::ProbeCache`].
+    pub probe_cache: Option<(&'a crate::cache::ProbeCache, &'a str)>,
 }
 
 /// One probe shown to the designer.
@@ -135,6 +141,7 @@ impl<'a> MuseG<'a> {
             real_example_budget: Some(Duration::from_millis(750)),
             budget: Budget::unlimited_ref(),
             metrics: Metrics::disabled_ref(),
+            probe_cache: None,
         }
     }
 
@@ -435,6 +442,8 @@ impl<'a> MuseG<'a> {
     /// two candidate groupings. Returns `None` when the execution budget
     /// (or an injected `wizard.probe` fault) truncates the work — the
     /// caller skips the question with a warning instead of failing.
+    /// `Arc` so a [`crate::cache::ProbeCache`] hit shares the cached
+    /// question instead of deep-copying its example instances.
     #[allow(clippy::too_many_arguments)]
     fn make_question(
         &self,
@@ -445,7 +454,7 @@ impl<'a> MuseG<'a> {
         with_set: AttrSet,
         without_set: AttrSet,
         probed: usize,
-    ) -> Result<Option<GroupingQuestion>, WizardError> {
+    ) -> Result<Option<std::sync::Arc<GroupingQuestion>>, WizardError> {
         if let Some(f) = muse_fault::point(faultpoints::WIZARD_PROBE) {
             fault_reason(f).record(self.metrics);
             return Ok(None);
@@ -454,6 +463,24 @@ impl<'a> MuseG<'a> {
             TruncationReason::DeadlineExpired.record(self.metrics);
             return Ok(None);
         }
+        // The memo is sound only when nothing time-dependent can alter the
+        // result: an unlimited budget (a hit bypasses budget accounting)
+        // and an uncapped, deterministic real-example search.
+        let cached = match self.probe_cache {
+            Some((cache, ctx))
+                if self.budget.is_unlimited() && self.real_example_budget.is_none() =>
+            {
+                let key =
+                    crate::cache::grouping_key(ctx, m, sk, req, with_set, without_set, probed);
+                if let Some(q) = cache.get_grouping(&key) {
+                    self.metrics.incr(cache.hits_key());
+                    return Ok(Some(q));
+                }
+                self.metrics.incr(cache.misses_key());
+                Some((cache, key))
+            }
+            _ => None,
+        };
         // The real-instance search may not outlive the session deadline.
         let req = &ExampleRequest {
             real_budget: match (req.real_budget, self.budget.remaining()) {
@@ -499,7 +526,7 @@ impl<'a> MuseG<'a> {
         };
         drop(probe_chase);
         let probed_ref = space.poss[probed].clone();
-        Ok(Some(GroupingQuestion {
+        let question = std::sync::Arc::new(GroupingQuestion {
             mapping: m.name.clone(),
             sk: sk.clone(),
             probed_name: m.source_ref_name(&probed_ref),
@@ -509,7 +536,11 @@ impl<'a> MuseG<'a> {
             d2,
             scenario1,
             scenario2,
-        }))
+        });
+        if let Some((cache, key)) = cached {
+            cache.put_grouping(key, &question);
+        }
+        Ok(Some(question))
     }
 }
 

@@ -51,6 +51,12 @@ pub struct Session<'a> {
     /// falls back to a synthetic example nondeterministically. Defaults to
     /// the wizards' own 750 ms cap.
     pub real_example_budget: Option<Duration>,
+    /// Optional shared probe-question memo plus the context key covering
+    /// everything outside the mappings that determines probe results
+    /// (scenario and instance identity). Forwarded to both component
+    /// wizards; consulted only when `budget` is unlimited and
+    /// `real_example_budget` is `None`. See [`crate::cache::ProbeCache`].
+    pub probe_cache: Option<(&'a crate::cache::ProbeCache, &'a str)>,
 }
 
 /// What a session produced.
@@ -121,6 +127,7 @@ impl<'a> Session<'a> {
             budget: Budget::unlimited_ref(),
             metrics: Metrics::disabled_ref(),
             real_example_budget: Some(Duration::from_millis(750)),
+            probe_cache: None,
         }
     }
 
@@ -148,6 +155,18 @@ impl<'a> Session<'a> {
         self
     }
 
+    /// Share a probe-question memo across sessions. `context` must name
+    /// everything outside the mappings that determines probe results —
+    /// typically the scenario plus the parameters of the source instance.
+    pub fn with_probe_cache(
+        mut self,
+        cache: &'a crate::cache::ProbeCache,
+        context: &'a str,
+    ) -> Self {
+        self.probe_cache = Some((cache, context));
+        self
+    }
+
     /// Run the wizard over `mappings` (e.g. the output of
     /// `muse_cliogen::generate`), interrogating `designer`.
     pub fn run(
@@ -164,6 +183,7 @@ impl<'a> Session<'a> {
         mused.budget = self.budget;
         mused.metrics = self.metrics;
         mused.real_example_budget = self.real_example_budget;
+        mused.probe_cache = self.probe_cache;
         let mut museg = MuseG::new(
             self.source_schema,
             self.target_schema,
@@ -174,6 +194,7 @@ impl<'a> Session<'a> {
         museg.budget = self.budget;
         museg.metrics = self.metrics;
         museg.real_example_budget = self.real_example_budget;
+        museg.probe_cache = self.probe_cache;
 
         // Phase 1: Muse-D on every ambiguous mapping.
         let mut unambiguous: Vec<Mapping> = Vec::new();

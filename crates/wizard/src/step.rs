@@ -333,6 +333,65 @@ mod tests {
         }
     }
 
+    /// The probe memo must be invisible in the transcript: a session
+    /// driven twice against a shared cache (cold, then fully warm) and a
+    /// session driven without any cache must render byte-identical
+    /// questions and produce byte-identical mappings.
+    #[test]
+    fn probe_cache_preserves_transcripts_byte_for_byte() {
+        let (src, tgt, mappings) = bundle();
+        let cons = Constraints::none();
+        let cache = crate::cache::ProbeCache::new(256);
+        let metrics = muse_obs::Metrics::enabled();
+
+        let drive = |session: &Session| {
+            let mut answers: Vec<Answer> = Vec::new();
+            let mut transcript: Vec<String> = Vec::new();
+            let report = loop {
+                match session.step(&mappings, &answers).unwrap() {
+                    Step::Ask { question, .. } => {
+                        transcript.push(question.render(&src, &tgt));
+                        answers.push(match *question {
+                            PendingQuestion::Grouping(_) => {
+                                Answer::Scenario(ScenarioChoice::Second)
+                            }
+                            PendingQuestion::Disambiguation(q) => {
+                                Answer::Choices(vec![vec![0]; q.choices.len()])
+                            }
+                            PendingQuestion::Join(_) => Answer::Join(JoinChoice::Inner),
+                        });
+                    }
+                    Step::Done(report) => break report,
+                }
+            };
+            let mappings_text = report
+                .mappings
+                .iter()
+                .map(muse_mapping::printer::print)
+                .collect::<Vec<_>>()
+                .join("\n");
+            (transcript, mappings_text)
+        };
+
+        let uncached = Session::new(&src, &tgt, &cons).with_real_example_budget(None);
+        let plain = drive(&uncached);
+
+        let cached_session = uncached
+            .with_metrics(&metrics)
+            .with_probe_cache(&cache, "dblp-test");
+        let cold = drive(&cached_session);
+        let warm = drive(&cached_session);
+
+        assert_eq!(plain, cold);
+        assert_eq!(plain, warm);
+        assert!(!cache.is_empty(), "the cold run must populate the cache");
+        let snapshot = metrics.snapshot();
+        assert!(
+            snapshot.counter("wizard.cache_hits") > 0,
+            "replay within a stepped session must already hit the memo"
+        );
+    }
+
     #[test]
     fn kind_mismatch_is_a_bad_answer() {
         let (src, tgt, mappings) = bundle();
