@@ -30,8 +30,13 @@ use std::path::{Path, PathBuf};
 use muse_cliogen::GroupingStrategy;
 use muse_obs::{Json, Metrics};
 use muse_par::scope_map;
+use muse_scenarios::synth::SynthCfg;
+use muse_scenarios::Scenario;
 
-use crate::{ablation_avg_questions, fig5_cell_with, mused_row_with, scenario_row, Fig5Row};
+use crate::{
+    ablation_avg_questions, chase_ready_mappings, fig5_cell_with, mused_row_with, scenario_row,
+    Fig5Row,
+};
 
 /// File the sections are merged into (in the current directory).
 pub const FILE: &str = "BENCH_baseline.json";
@@ -329,4 +334,147 @@ pub fn ablations_section(scale: f64, seed: u64, threads: usize) -> Json {
         )
     });
     section(scale, seed, threads, &driver, scenarios)
+}
+
+/// The sweep's shape axis: named fleet configs spanning the generator's
+/// knobs, from a flat wide scenario to a deep ambiguous one. Fixed seeds
+/// keep the curves comparable across checkouts.
+pub fn sweep_shapes() -> Vec<(&'static str, SynthCfg)> {
+    let base = SynthCfg {
+        seed: 0,
+        themes: 2,
+        depth: 1,
+        source_nested: false,
+        fillers: 1,
+        fd_pairs: 0,
+        fk_themes: 0,
+        or_fanout: 2,
+        base_rows: 48,
+    };
+    vec![
+        ("flat", base.clone()),
+        (
+            "nested",
+            SynthCfg {
+                seed: 1,
+                depth: 2,
+                source_nested: true,
+                fd_pairs: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "deep",
+            SynthCfg {
+                seed: 2,
+                depth: 3,
+                source_nested: true,
+                fd_pairs: 1,
+                fk_themes: 1,
+                or_fanout: 2,
+                ..base
+            },
+        ),
+    ]
+}
+
+fn cfg_json(cfg: &SynthCfg) -> Json {
+    Json::obj(vec![
+        ("themes", Json::Int(cfg.themes as i64)),
+        ("depth", Json::Int(cfg.depth as i64)),
+        ("source_nested", Json::Bool(cfg.source_nested)),
+        ("fillers", Json::Int(cfg.fillers as i64)),
+        ("fd_pairs", Json::Int(cfg.fd_pairs as i64)),
+        ("fk_themes", Json::Int(cfg.fk_themes as i64)),
+        ("or_fanout", Json::Int(cfg.or_fanout as i64)),
+        ("base_rows", Json::Int(cfg.base_rows as i64)),
+    ])
+}
+
+/// One sweep cell: generate, chase (serial), and run a G1 wizard pass over
+/// one synthetic scenario at one scale, recording the curve-relevant
+/// numbers plus the full metrics registry.
+pub fn synth_sweep_cell(cfg: &SynthCfg, scale: f64, seed: u64) -> Json {
+    let s = Scenario::synthetic(cfg.clone());
+    let metrics = Metrics::enabled();
+    let inst = metrics
+        .timer("bench.instance_time")
+        .time(|| s.instance(scale, seed));
+    let mappings = chase_ready_mappings(&s);
+    let target = metrics.timer("bench.chase_wall_time").time(|| {
+        muse_chase::chase_with(
+            &s.source_schema,
+            &s.target_schema,
+            &inst,
+            &mappings,
+            &metrics,
+        )
+        .expect("sweep chase")
+    });
+    let row = metrics
+        .timer("bench.wizard_wall_time")
+        .time(|| fig5_cell_with(&s, GroupingStrategy::G1, scale, seed, &metrics));
+    let snap = metrics.snapshot();
+    Json::obj(vec![
+        ("source_tuples", Json::Int(inst.total_tuples() as i64)),
+        (
+            "source_mb",
+            Json::Num(inst.approx_bytes() as f64 / 1_000_000.0),
+        ),
+        ("target_tuples", Json::Int(target.total_tuples() as i64)),
+        ("query_steps", Json::Int(snap.counter("query.steps") as i64)),
+        (
+            "chase_bindings",
+            Json::Int(snap.counter("chase.bindings") as i64),
+        ),
+        (
+            "chase_tuples_emitted",
+            Json::Int(snap.counter("chase.tuples_emitted") as i64),
+        ),
+        ("avg_questions", Json::Num(row.avg_questions)),
+        (
+            "chase_wall_s",
+            Json::Num(snap.timer("bench.chase_wall_time").nanos as f64 / 1e9),
+        ),
+        (
+            "wizard_wall_s",
+            Json::Num(snap.timer("bench.wizard_wall_time").nanos as f64 / 1e9),
+        ),
+        ("metrics", snap.to_json()),
+    ])
+}
+
+/// The `synth_sweep` section: the scale × shape grid of fleet curves the
+/// perf items (planner, semi-naive chase) are gated against. Cells run
+/// concurrently on `threads` workers.
+pub fn synth_sweep_section(scales: &[f64], seed: u64, threads: usize) -> Json {
+    let shapes = sweep_shapes();
+    let driver = Metrics::enabled();
+    let n = shapes.len() * scales.len();
+    let cells = scope_map(n, threads, &driver, |i| {
+        let (_, cfg) = &shapes[i / scales.len()];
+        let scale = scales[i % scales.len()];
+        synth_sweep_cell(cfg, scale, seed)
+    });
+    let mut shape_objs = Vec::new();
+    for (si, (name, cfg)) in shapes.iter().enumerate() {
+        let mut by_scale = Vec::new();
+        for (ki, scale) in scales.iter().enumerate() {
+            by_scale.push((format!("{scale}"), cells[si * scales.len() + ki].clone()));
+        }
+        shape_objs.push((
+            name.to_string(),
+            Json::obj(vec![("cfg", cfg_json(cfg)), ("cells", Json::Obj(by_scale))]),
+        ));
+    }
+    Json::obj(vec![
+        (
+            "scales",
+            Json::Arr(scales.iter().map(|s| Json::Num(*s)).collect()),
+        ),
+        ("seed", Json::Int(seed as i64)),
+        ("threads", Json::Int(threads as i64)),
+        ("driver", driver.snapshot().to_json()),
+        ("shapes", Json::Obj(shape_objs)),
+    ])
 }

@@ -1,0 +1,63 @@
+//! Sweep the synthetic fleet across a scale × shape grid: for each named
+//! generator shape (flat, nested, deep) and each scale, generate the
+//! instance, chase it serially, and run a full Muse-G pass, recording
+//! tuple counts, `query.steps`, `chase.*` counters and wall times. These
+//! are the curves the planner and chase perf items are gated against.
+//!
+//! Usage: `cargo run --release -p muse-bench --bin synth_sweep [-- --json] [--threads N]`
+//! (`--json` also merges a `synth_sweep` section into `BENCH_baseline.json`).
+//! `MUSE_SCALE` multiplies every grid scale; `MUSE_SEED` picks the
+//! instance seed (default 1).
+
+use muse_bench::baseline;
+
+fn main() {
+    let threads = baseline::arg_threads();
+    let mult: f64 = std::env::var("MUSE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let seed: u64 = std::env::var("MUSE_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let scales: Vec<f64> = [0.25, 1.0, 4.0].iter().map(|s| s * mult).collect();
+
+    println!("== synth_sweep: fleet curves over a scale x shape grid ==");
+    println!(
+        "{:<7} {:>6} | {:>9} {:>9} | {:>11} {:>13} | {:>9} {:>9}",
+        "shape",
+        "scale",
+        "src tup",
+        "tgt tup",
+        "query.steps",
+        "chase.emitted",
+        "chase(s)",
+        "wizard(s)"
+    );
+    for (name, cfg) in baseline::sweep_shapes() {
+        for scale in &scales {
+            let cell = baseline::synth_sweep_cell(&cfg, *scale, seed);
+            let get_i = |k: &str| cell.get(k).and_then(|j| j.as_int()).unwrap_or(0);
+            let get_f = |k: &str| cell.get(k).and_then(|j| j.as_f64()).unwrap_or(0.0);
+            println!(
+                "{:<7} {:>6} | {:>9} {:>9} | {:>11} {:>13} | {:>9.3} {:>9.3}",
+                name,
+                scale,
+                get_i("source_tuples"),
+                get_i("target_tuples"),
+                get_i("query_steps"),
+                get_i("chase_tuples_emitted"),
+                get_f("chase_wall_s"),
+                get_f("wizard_wall_s"),
+            );
+        }
+    }
+
+    if baseline::wants_json() {
+        baseline::emit(
+            "synth_sweep",
+            baseline::synth_sweep_section(&scales, seed, threads),
+        );
+    }
+}

@@ -29,7 +29,7 @@ pub mod baseline;
 #[derive(Debug, Clone)]
 pub struct ScenarioRow {
     /// Scenario name.
-    pub name: &'static str,
+    pub name: String,
     /// Approximate instance size in MB at the chosen scale.
     pub instance_mb: f64,
     /// Number of nested target sets (sets with grouping functions).
@@ -45,7 +45,7 @@ pub fn scenario_row(s: &Scenario, scale: f64, seed: u64) -> ScenarioRow {
     let inst = s.instance(s.default_scale * scale, seed);
     let ms = s.mappings().expect("scenario mappings generate");
     ScenarioRow {
-        name: s.name,
+        name: s.name.clone(),
         instance_mb: inst.approx_bytes() as f64 / 1_000_000.0,
         target_sets_with_grouping: s.target_sets_with_grouping(),
         mappings: ms.len(),
@@ -65,7 +65,7 @@ pub fn scenario_table(scale: f64, seed: u64) -> Vec<ScenarioRow> {
 #[derive(Debug, Clone)]
 pub struct Fig5Row {
     /// Scenario name.
-    pub scenario: &'static str,
+    pub scenario: String,
     /// Strategy the oracle designer had in mind.
     pub strategy: GroupingStrategy,
     /// Average `|poss(m, SK)|` over all designed grouping functions.
@@ -183,7 +183,7 @@ pub fn fig5_cell_with(
 
     let examples = (real + synthetic).max(1);
     Fig5Row {
-        scenario: scenario.name,
+        scenario: scenario.name.clone(),
         strategy,
         avg_poss: total_poss as f64 / designed.max(1) as f64,
         avg_questions: total_questions as f64 / designed.max(1) as f64,
@@ -197,7 +197,7 @@ pub fn fig5_cell_with(
 #[derive(Debug, Clone)]
 pub struct MuseDRow {
     /// Scenario name.
-    pub scenario: &'static str,
+    pub scenario: String,
     /// Total interpretations encoded by the ambiguous mappings.
     pub alternatives_encoded: usize,
     /// Number of questions (= number of ambiguous mappings).
@@ -239,7 +239,7 @@ pub fn mused_row_with(
     .with_metrics(metrics);
 
     let mut row = MuseDRow {
-        scenario: scenario.name,
+        scenario: scenario.name.clone(),
         alternatives_encoded: 0,
         questions: 0,
         example_tuples: (usize::MAX, 0),
@@ -355,7 +355,8 @@ mod tests {
     #[test]
     fn scenario_table_matches_paper_counts() {
         let rows = scenario_table(0.05, 1);
-        let by_name: std::collections::BTreeMap<_, _> = rows.iter().map(|r| (r.name, r)).collect();
+        let by_name: std::collections::BTreeMap<_, _> =
+            rows.iter().map(|r| (r.name.as_str(), r)).collect();
         assert_eq!(by_name["Mondial"].mappings, 26);
         assert_eq!(by_name["Mondial"].ambiguous, 7);
         assert_eq!(by_name["DBLP"].mappings, 4);

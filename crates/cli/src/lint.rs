@@ -7,6 +7,7 @@
 //! muse lint Mondial                 human-readable diagnostics
 //! muse lint all --json              stable JSON, keyed by scenario
 //! muse lint all --deny-warnings     exit 1 on warnings too (CI gate)
+//! muse lint all --synth 16x100      also lint 16 fleet scenarios, seeds 100..
 //! ```
 
 use muse_lint::{lint, LintInput, LintReport};
@@ -17,6 +18,7 @@ struct Options {
     name: String,
     json: bool,
     deny_warnings: bool,
+    synth: Option<(usize, u64)>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -24,11 +26,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         name: args.first().cloned().ok_or("missing scenario name")?,
         json: false,
         deny_warnings: false,
+        synth: None,
     };
-    for arg in &args[1..] {
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
+            "--synth" => {
+                let spec = it.next().ok_or("--synth needs <count>x<seed>")?;
+                opts.synth = Some(muse_scenarios::synth::parse_fleet_spec(spec)?);
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -87,7 +95,19 @@ pub fn run(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let scenarios = muse_scenarios::all_scenarios();
+    let mut scenarios = muse_scenarios::all_scenarios();
+    if let Some((count, seed0)) = opts.synth {
+        scenarios.extend(muse_scenarios::synth::fleet(count, seed0));
+    }
+    // A `Synth-<seed>` name picks a fleet member directly, listed or not.
+    if !scenarios
+        .iter()
+        .any(|s| s.name.eq_ignore_ascii_case(&opts.name))
+    {
+        if let Some(cfg) = muse_scenarios::synth::cfg_from_name(&opts.name) {
+            scenarios.push(Scenario::synthetic(cfg));
+        }
+    }
     let selected: Vec<&Scenario> = if opts.name.eq_ignore_ascii_case("all") {
         scenarios.iter().collect()
     } else {
@@ -98,7 +118,7 @@ pub fn run(args: &[String]) -> i32 {
             Some(s) => vec![s],
             None => {
                 eprintln!(
-                    "unknown scenario `{}` (try Mondial, DBLP, TPCH, Amalgam, all)",
+                    "unknown scenario `{}` (try Mondial, DBLP, TPCH, Amalgam, Synth-<seed>, all)",
                     opts.name
                 );
                 return 2;
@@ -117,13 +137,13 @@ pub fn run(args: &[String]) -> i32 {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("{e}");
-                rows.push((scenario.name, Some(e)));
+                rows.push((scenario.name.as_str(), Some(e)));
                 continue;
             }
         };
         let fail = report.should_deny(opts.deny_warnings);
         rows.push((
-            scenario.name,
+            scenario.name.as_str(),
             fail.then(|| {
                 format!(
                     "{} error(s), {} warning(s)",
@@ -133,7 +153,7 @@ pub fn run(args: &[String]) -> i32 {
             }),
         ));
         if opts.json {
-            sections.push((scenario.name, report.to_json()));
+            sections.push((scenario.name.as_str(), report.to_json()));
         } else {
             println!("=== {} ===", scenario.name);
             print!("{}", report.render());
@@ -176,6 +196,25 @@ mod tests {
         assert!(o.deny_warnings);
         assert!(parse_args(&[]).is_err());
         assert!(parse_args(&["all".into(), "--nope".into()]).is_err());
+
+        let o = parse_args(&["all".into(), "--synth".into(), "8x100".into()]).unwrap();
+        assert_eq!(o.synth, Some((8, 100)));
+        assert!(parse_args(&["all".into(), "--synth".into()]).is_err());
+        assert!(parse_args(&["all".into(), "--synth".into(), "zap".into()]).is_err());
+    }
+
+    #[test]
+    fn synthetic_scenarios_lint_without_errors() {
+        for s in muse_scenarios::synth::fleet(8, 0) {
+            let report = lint_scenario(&s).unwrap();
+            assert!(
+                report.is_clean(),
+                "{}: {} errors\n{}",
+                s.name,
+                report.errors(),
+                report.render()
+            );
+        }
     }
 
     #[test]

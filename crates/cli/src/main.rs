@@ -27,6 +27,7 @@ mod design;
 mod lint;
 mod scenario;
 mod serve;
+mod synth;
 
 fn main() {
     // Deterministic fault injection (chaos testing): `MUSE_FAULTS=<spec>`
@@ -44,6 +45,7 @@ fn main() {
         Some("design") => design::run(&args[1..]),
         Some("lint") => lint::run(&args[1..]),
         Some("serve") => serve::run(&args[1..]),
+        Some("synth") => synth::run(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             usage();
             0
@@ -67,6 +69,10 @@ fn usage() {
     println!("                                 (`all` + --strategy runs every scenario)");
     println!("  muse lint <name|all> [--json] [--deny-warnings]");
     println!("                                 static analysis (diagnostics, no wizard)");
+    println!("  muse synth list <count>x<seed> profile generated fleet scenarios");
+    println!("  muse synth dump <seed> [--scale F] [--inst-seed N]");
+    println!("                                 dump one Synth-<seed> bundle (schemas,");
+    println!("                                 mappings, instance) in text form");
     println!("  muse design --source S --target T --corr C [--data DIR] [--out F]");
     println!("                                 full wizard on your own schema files");
     println!("  muse serve [--port P] [--wal FILE] [--threads N]");
@@ -88,6 +94,8 @@ fn usage() {
     println!("      --faults <spec>            arm a fault-injection plan, e.g.");
     println!("                                 `chase.fire_unit:panic@2;seed:7x3`");
     println!("                                 (also via the MUSE_FAULTS env var)");
+    println!("      --synth <count>x<seed>     append generated fleet scenarios to");
+    println!("                                 `scenario all` / `lint all` runs");
 }
 
 /// Shared stdin/stdout prompt helper.

@@ -27,6 +27,7 @@ struct Options {
     max_rows: Option<u64>,
     max_terms: Option<u64>,
     faults: Option<String>,
+    synth: Option<(usize, u64)>,
 }
 
 impl Options {
@@ -60,6 +61,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         max_rows: None,
         max_terms: None,
         faults: None,
+        synth: None,
     };
     let mut i = 1;
     while i < args.len() {
@@ -102,6 +104,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .cloned()
                         .ok_or("--faults needs a spec, e.g. `chase.fire_unit:panic@2`")?,
                 );
+                i += 2;
+            }
+            "--synth" => {
+                let spec = args.get(i + 1).ok_or("--synth needs <count>x<seed>")?;
+                opts.synth = Some(muse_scenarios::synth::parse_fleet_spec(spec)?);
                 i += 2;
             }
             "--strategy" => {
@@ -167,7 +174,19 @@ pub fn run(args: &[String]) -> i32 {
             }
         }
     }
-    let scenarios = muse_scenarios::all_scenarios();
+    let mut scenarios = muse_scenarios::all_scenarios();
+    if let Some((count, seed0)) = opts.synth {
+        scenarios.extend(muse_scenarios::synth::fleet(count, seed0));
+    }
+    // A `Synth-<seed>` name picks a fleet member directly, listed or not.
+    if !scenarios
+        .iter()
+        .any(|s| s.name.eq_ignore_ascii_case(&opts.name))
+    {
+        if let Some(cfg) = muse_scenarios::synth::cfg_from_name(&opts.name) {
+            scenarios.push(Scenario::synthetic(cfg));
+        }
+    }
 
     if opts.name.eq_ignore_ascii_case("all") {
         let Some(strategy) = opts.strategy else {
@@ -243,7 +262,7 @@ pub fn run(args: &[String]) -> i32 {
         .find(|s| s.name.eq_ignore_ascii_case(&opts.name))
     else {
         eprintln!(
-            "unknown scenario `{}` (try Mondial, DBLP, TPCH, Amalgam, all)",
+            "unknown scenario `{}` (try Mondial, DBLP, TPCH, Amalgam, Synth-<seed>, all)",
             opts.name
         );
         return 2;

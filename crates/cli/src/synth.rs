@@ -1,0 +1,152 @@
+//! `muse synth`: inspect and dump fleet scenarios.
+//!
+//! ```text
+//! muse synth list 16x100             one profile row per generated scenario
+//! muse synth dump 7 [--scale F] [--inst-seed N]
+//!                                    the complete Synth-7 bundle in text form
+//! ```
+//!
+//! `dump` prints everything a scenario determines — both schemas with
+//! constraints, the generated candidate mappings, and the rendered instance
+//! — so two runs are byte-comparable. That is the cross-process determinism
+//! contract the fleet harnesses rely on, and `crates/cli/tests/
+//! synth_determinism.rs` enforces it by spawning this subcommand twice.
+
+use muse_nr::display::render;
+use muse_nr::text::print_schema;
+use muse_scenarios::synth::{self, SynthCfg};
+use muse_scenarios::Scenario;
+
+struct DumpOptions {
+    seed: u64,
+    scale: f64,
+    inst_seed: u64,
+}
+
+fn parse_dump(args: &[String]) -> Result<DumpOptions, String> {
+    let mut opts = DumpOptions {
+        seed: args
+            .first()
+            .ok_or("missing seed")?
+            .parse()
+            .map_err(|e| format!("bad seed: {e}"))?,
+        scale: 0.1,
+        inst_seed: 1,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                opts.scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--scale needs a number")?;
+                i += 2;
+            }
+            "--inst-seed" => {
+                opts.inst_seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--inst-seed needs a number")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn dump(args: &[String]) -> Result<(), String> {
+    let opts = parse_dump(args)?;
+    let cfg = SynthCfg::from_seed(opts.seed);
+    let s = Scenario::synthetic(cfg.clone());
+    println!("# {} — {cfg:?}", s.name);
+    println!("\n## source\n");
+    print!("{}", print_schema(&s.source_schema, &s.source_constraints));
+    println!("\n## target\n");
+    print!("{}", print_schema(&s.target_schema, &s.target_constraints));
+    println!("\n## correspondences\n");
+    for c in &s.correspondences {
+        println!("{c}");
+    }
+    let mappings = s
+        .mappings()
+        .map_err(|e| format!("{}: mapping generation failed: {e}", s.name))?;
+    println!("\n## mappings\n");
+    print!("{}", muse_mapping::printer::print_all(&mappings));
+    println!(
+        "\n## instance (scale {}, seed {})\n",
+        opts.scale, opts.inst_seed
+    );
+    let inst = s.instance(opts.scale, opts.inst_seed);
+    print!("{}", render(&s.source_schema, &inst));
+    Ok(())
+}
+
+fn list(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("missing <count>x<seed> spec")?;
+    let (count, seed0) = synth::parse_fleet_spec(spec)?;
+    println!(
+        "{:<12} {:>6} {:>5} {:>7} {:>8} {:>9} {:>10}",
+        "name", "themes", "depth", "nested", "mappings", "ambiguous", "grp. sets"
+    );
+    for i in 0..count as u64 {
+        let cfg = SynthCfg::from_seed(seed0.wrapping_add(i));
+        let s = Scenario::synthetic(cfg.clone());
+        let ms = s
+            .mappings()
+            .map_err(|e| format!("{}: mapping generation failed: {e}", s.name))?;
+        println!(
+            "{:<12} {:>6} {:>5} {:>7} {:>8} {:>9} {:>10}",
+            s.name,
+            cfg.themes,
+            cfg.depth,
+            cfg.source_nested,
+            ms.len(),
+            ms.iter().filter(|m| m.is_ambiguous()).count(),
+            s.target_sets_with_grouping(),
+        );
+    }
+    Ok(())
+}
+
+pub fn run(args: &[String]) -> i32 {
+    let result = match args.first().map(String::as_str) {
+        Some("dump") => dump(&args[1..]),
+        Some("list") => list(&args[1..]),
+        _ => Err(
+            "usage: muse synth dump <seed> [--scale F] [--inst-seed N] | \
+                  muse synth list <count>x<seed>"
+                .into(),
+        ),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("{e}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_flags_parse() {
+        let o = parse_dump(&[
+            "7".into(),
+            "--scale".into(),
+            "0.5".into(),
+            "--inst-seed".into(),
+            "9".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.inst_seed, 9);
+        assert!(parse_dump(&[]).is_err());
+        assert!(parse_dump(&["x".into()]).is_err());
+    }
+}

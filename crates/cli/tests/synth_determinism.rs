@@ -1,0 +1,60 @@
+//! Cross-process determinism of the scenario fleet: the same `SynthCfg`
+//! seed must produce byte-identical schemas, mappings, and rendered
+//! instances in two *fresh processes* — in-process determinism is not
+//! enough, because anything address- or hash-order-dependent (pointer
+//! maps, random hash seeds) would still pass an in-process comparison.
+//! `muse synth dump` prints the complete bundle, so comparing stdout bytes
+//! compares everything a scenario determines.
+
+use std::process::Command;
+
+fn dump(seed: &str, scale: &str, inst_seed: &str) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_muse"))
+        .args([
+            "synth",
+            "dump",
+            seed,
+            "--scale",
+            scale,
+            "--inst-seed",
+            inst_seed,
+        ])
+        .output()
+        .expect("spawn muse synth dump");
+    assert!(
+        out.status.success(),
+        "muse synth dump {seed} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!out.stdout.is_empty());
+    out.stdout
+}
+
+#[test]
+fn same_seed_is_byte_identical_across_processes() {
+    for seed in ["0", "7", "1042"] {
+        let a = dump(seed, "0.05", "3");
+        let b = dump(seed, "0.05", "3");
+        assert_eq!(a, b, "seed {seed}: two fresh processes disagreed");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(dump("1", "0.05", "3"), dump("2", "0.05", "3"));
+    // Same shape, different instance seed: schemas agree, instances differ.
+    assert_ne!(dump("1", "0.05", "3"), dump("1", "0.05", "4"));
+}
+
+#[test]
+fn fleet_list_is_deterministic_across_processes() {
+    let run = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_muse"))
+            .args(["synth", "list", "12x500"])
+            .output()
+            .expect("spawn muse synth list");
+        assert!(out.status.success());
+        out.stdout
+    };
+    assert_eq!(run(), run());
+}

@@ -90,7 +90,13 @@ pub fn parse_schema(text: &str) -> Result<(Schema, Constraints), NrError> {
                         lhs.push(w);
                     }
                     let mut rhs = Vec::new();
-                    while !p.at_end() && !p.peek_section() && !p.peek_path_attrs() {
+                    while !p.at_end()
+                        && !p.peek_section()
+                        && !p.peek_path_attrs()
+                        // A plain word followed by `:` starts the next FD's
+                        // set path, not another rhs attribute.
+                        && (rhs.is_empty() || !p.peek_fd_start())
+                    {
                         match p.try_plain_word() {
                             Some(w) => rhs.push(w),
                             None => break,
@@ -253,6 +259,11 @@ impl Parser {
     /// Lookahead: `word (`, the start of a `Set(attrs)` item.
     fn peek_path_attrs(&self) -> bool {
         self.tokens.get(self.pos + 1).map(String::as_str) == Some("(")
+    }
+
+    /// Lookahead: `word :`, the start of the next `Set: lhs -> rhs` FD.
+    fn peek_fd_start(&self) -> bool {
+        self.tokens.get(self.pos + 1).map(String::as_str) == Some(":")
     }
 
     fn word(&mut self) -> Result<String, NrError> {
@@ -430,6 +441,33 @@ mod tests {
         assert_eq!(cons.fds.len(), 1);
         assert_eq!(cons.fds[0].lhs, vec!["a", "b"]);
         assert_eq!(cons.fds[0].rhs, vec!["c"]);
+        let (s2, c2) = parse_schema(&print_schema(&schema, &cons)).unwrap();
+        assert_eq!(schema, s2);
+        assert_eq!(cons, c2);
+    }
+
+    #[test]
+    fn consecutive_fds_parse_and_round_trip() {
+        let text = "
+            schema S
+              R: set of {
+                a: string
+                b: string
+                c: string
+              }
+              T: set of {
+                x: string
+                y: string
+              }
+            fds
+              R: a -> b c
+              T: x -> y
+        ";
+        let (schema, cons) = parse_schema(text).unwrap();
+        assert_eq!(cons.fds.len(), 2);
+        assert_eq!(cons.fds[0].rhs, vec!["b", "c"]);
+        assert_eq!(cons.fds[1].set.to_string(), "T");
+        assert_eq!(cons.fds[1].rhs, vec!["y"]);
         let (s2, c2) = parse_schema(&print_schema(&schema, &cons)).unwrap();
         assert_eq!(schema, s2);
         assert_eq!(cons, c2);

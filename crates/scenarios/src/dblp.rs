@@ -243,14 +243,14 @@ fn generate(schema: &Schema, scale: f64, seed: u64) -> Instance {
 /// The DBLP scenario.
 pub fn scenario() -> Scenario {
     Scenario {
-        name: "DBLP",
+        name: "DBLP".into(),
         source_schema: source_schema(),
         source_constraints: source_constraints(),
         target_schema: target_schema(),
         target_constraints: Constraints::none(),
         correspondences: correspondences(),
         default_scale: 1.0,
-        generator: generate,
+        generator: std::sync::Arc::new(generate),
     }
 }
 

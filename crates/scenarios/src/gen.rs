@@ -57,8 +57,26 @@ impl Gen {
 }
 
 /// Scale a base count, keeping at least `min`.
+///
+/// The contract the fleet sweeps rely on: for a fixed `base`/`min` the
+/// result is monotone non-decreasing in `scale`, never drops below `min`
+/// (sub-`min` products clamp *to* `min`, they do not skip past it), equals
+/// `base.max(min)` exactly at `scale == 1.0`, and degenerate scales
+/// (non-finite, zero, negative) clamp to `min` instead of relying on the
+/// float-to-int cast. Oversized products saturate at `usize::MAX`.
 pub fn scaled(base: usize, scale: f64, min: usize) -> usize {
-    ((base as f64 * scale).round() as usize).max(min)
+    if scale.is_nan() || scale <= 0.0 {
+        return min;
+    }
+    let raw = (base as f64 * scale).round();
+    if raw.is_nan() {
+        // 0 * +inf
+        return min;
+    }
+    if raw >= usize::MAX as f64 {
+        return usize::MAX;
+    }
+    (raw as usize).max(min)
 }
 
 #[cfg(test)]
@@ -88,6 +106,37 @@ mod tests {
     fn scaled_respects_minimum() {
         assert_eq!(scaled(100, 0.5, 1), 50);
         assert_eq!(scaled(100, 0.0001, 3), 3);
+    }
+
+    #[test]
+    fn scaled_is_monotone_over_a_scale_grid() {
+        // Downsweeps (`scale < 1.0`) must shrink smoothly onto `min`:
+        // never below it, never non-monotone, exact at 1.0.
+        for &(base, min) in &[(100usize, 1usize), (9_000, 4), (40, 2), (7, 3), (2_500, 5)] {
+            let mut prev = usize::MAX;
+            for step in (0..=2_000u32).rev() {
+                let scale = f64::from(step) / 1_000.0;
+                let v = scaled(base, scale, min);
+                assert!(v >= min, "scaled({base}, {scale}, {min}) = {v} < min");
+                assert!(
+                    v <= prev,
+                    "scaled({base}, ·, {min}) not monotone: {v} at {scale} after {prev}"
+                );
+                prev = v;
+            }
+            assert_eq!(prev, min, "smallest scale must land exactly on min");
+            assert_eq!(scaled(base, 1.0, min), base.max(min));
+        }
+    }
+
+    #[test]
+    fn scaled_handles_degenerate_scales() {
+        assert_eq!(scaled(100, f64::NAN, 5), 5);
+        assert_eq!(scaled(100, f64::NEG_INFINITY, 5), 5);
+        assert_eq!(scaled(100, -1.0, 5), 5);
+        assert_eq!(scaled(100, 0.0, 5), 5);
+        assert_eq!(scaled(100, f64::INFINITY, 5), usize::MAX);
+        assert_eq!(scaled(usize::MAX, 2.0, 1), usize::MAX);
     }
 
     #[test]

@@ -16,16 +16,25 @@ pub mod amalgam;
 pub mod dblp;
 pub mod gen;
 pub mod mondial;
+pub mod synth;
 pub mod tpch;
+
+use std::sync::Arc;
 
 use muse_cliogen::{generate, Correspondence, ScenarioSpec};
 use muse_mapping::{Mapping, MappingError};
 use muse_nr::{Constraints, Instance, Schema};
 
+/// A seeded instance generator: `(schema, scale, seed) -> instance`.
+/// Shared (`Arc`) so cloning a scenario never clones a closure's captures.
+pub(crate) type GeneratorFn = Arc<dyn Fn(&Schema, f64, u64) -> Instance + Send + Sync>;
+
 /// A complete mapping scenario.
+#[derive(Clone)]
 pub struct Scenario {
-    /// Scenario name (`Mondial`, `DBLP`, `TPCH`, `Amalgam`).
-    pub name: &'static str,
+    /// Scenario name (`Mondial`, `DBLP`, `TPCH`, `Amalgam`, or a synthetic
+    /// `Synth-<seed>` fleet member).
+    pub name: String,
     /// Source schema.
     pub source_schema: Schema,
     /// Source constraints (every nested set has at most one key, as the
@@ -40,7 +49,7 @@ pub struct Scenario {
     /// Scale at which the generator approximates the paper's instance size
     /// (1 MB / 2.6 MB / 10 MB / 2 MB).
     pub default_scale: f64,
-    generator: fn(&Schema, f64, u64) -> Instance,
+    generator: GeneratorFn,
 }
 
 impl Scenario {

@@ -1,0 +1,575 @@
+//! Seeded synthetic scenario generation — the scenario fleet.
+//!
+//! The four hand-built scenarios of Sec. VI are a 4-point sample; this
+//! module turns them into a population. `SynthCfg` describes a scenario
+//! *shape* (theme count, target nesting depth, key/FD/FK density, or-group
+//! fan-out, base instance size) and [`Scenario::synthetic`] expands it into
+//! a complete bundle — source/target schemas, constraints, correspondences,
+//! and a deterministic scaled instance generator — indistinguishable, to
+//! every consumer, from a hand-built scenario.
+//!
+//! Bundles are **lint-clean by construction** because every structural
+//! element is one of the proven idioms of the hand-built four:
+//!
+//! - each *theme* is a flat source set with a single key (`k`), exactly the
+//!   paper's "at most one key per nested set" regime, feeding a strictly
+//!   alternating target chain of depth `depth` (the DBLP pattern — deeper
+//!   candidate pairs subsume shallow ones under implication pruning);
+//! - `source_nested` adds a child set (`Sub`) on both sides (the DBLP
+//!   `Authors` pattern), which yields a second, more-covering mapping per
+//!   theme rather than an ambiguity;
+//! - `fk_themes` themes carry `or_fanout` parallel foreign keys into a
+//!   private entity set (the Fig. 4 employee pattern): Clio closes the
+//!   source association over the FKs, the entity payload corresponds to one
+//!   contested target attribute, and an or-group with exactly `or_fanout`
+//!   alternatives appears — bounded well under `MUSE-A002`'s 64-alternative
+//!   warning and `MUSE-A004`'s 128-attribute error;
+//! - `fd_pairs` adds non-key FDs (`fa_i → fb_i`) whose instance values are
+//!   derived from a shared bucket index so the FD holds by construction and
+//!   is not key-implied (no `MUSE-C00x` redundancy, no `MUSE-A005`).
+//!
+//! Instances keep the hand-built value-diversity profile: unique keys,
+//! low-diversity payload values (so real differentiating examples exist),
+//! nested sets grouped by the parent key, and a small twin-row rate.
+//! `scale` multiplies every per-theme row count, so GB-class instances are
+//! one `instance(1e4, seed)` call away.
+//!
+//! Everything is a pure function of `(SynthCfg, seed)` over the in-tree
+//! SplitMix64 generator: two processes with the same inputs produce
+//! byte-identical schemas, mappings, and rendered instances, which is what
+//! makes seed-range sharding across CI workers sound.
+
+use std::sync::Arc;
+
+use muse_cliogen::Correspondence;
+use muse_nr::{Constraints, Fd, Field, ForeignKey, Instance, Key, Schema, SetPath, Ty, Value};
+use muse_obs::Rng;
+
+use crate::gen::{scaled, Gen};
+use crate::Scenario;
+
+/// Shape knobs for one synthetic scenario. All counts are clamped to
+/// lint-safe ranges by [`SynthCfg::clamped`] before use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthCfg {
+    /// Seed naming the scenario (`Synth-<seed>`) and driving every shape
+    /// and value decision.
+    pub seed: u64,
+    /// Independent source-set → target-chain themes (source fan-out).
+    pub themes: usize,
+    /// Nesting depth of each target chain (1 = flat).
+    pub depth: usize,
+    /// Give each theme a nested `Sub` child set on both sides.
+    pub source_nested: bool,
+    /// Unmapped filler attributes per source set.
+    pub fillers: usize,
+    /// Non-key `fa_i → fb_i` FD pairs per source set (FD density).
+    pub fd_pairs: usize,
+    /// How many themes carry foreign keys into an entity set (FK density).
+    pub fk_themes: usize,
+    /// Parallel FKs per FK theme — the or-group fan-out (alternatives per
+    /// ambiguous mapping).
+    pub or_fanout: usize,
+    /// Source rows per theme at `scale == 1.0`.
+    pub base_rows: usize,
+}
+
+impl Default for SynthCfg {
+    fn default() -> Self {
+        SynthCfg {
+            seed: 0,
+            themes: 2,
+            depth: 2,
+            source_nested: true,
+            fillers: 1,
+            fd_pairs: 1,
+            fk_themes: 1,
+            or_fanout: 2,
+            base_rows: 64,
+        }
+    }
+}
+
+impl SynthCfg {
+    /// Derive a full shape from a single seed — the unit of fleet sharding.
+    /// Distinct seeds cover the knob grid; every knob stays in the clamped
+    /// (lint-safe) range by construction.
+    pub fn from_seed(seed: u64) -> Self {
+        // Decorrelate the shape stream from the instance-value stream that
+        // reuses the raw seed.
+        let mut r = Rng::new(seed ^ 0x5EED_5CEA_011F_1EE7);
+        let themes = 1 + r.index(3);
+        SynthCfg {
+            seed,
+            themes,
+            depth: 1 + r.index(3),
+            source_nested: r.chance(0.6),
+            fillers: r.index(3),
+            fd_pairs: r.index(2),
+            fk_themes: r.index(themes + 1),
+            or_fanout: 2 + r.index(2),
+            base_rows: 48 + 16 * r.index(4),
+        }
+    }
+
+    /// Clamp every knob into the range the lint-clean argument covers.
+    /// Idempotent; called by [`Scenario::synthetic`].
+    pub fn clamped(mut self) -> Self {
+        self.themes = self.themes.clamp(1, 8);
+        self.depth = self.depth.clamp(1, 6);
+        self.fillers = self.fillers.min(8);
+        self.fd_pairs = self.fd_pairs.min(4);
+        self.fk_themes = self.fk_themes.min(self.themes);
+        // 1 FK is a plain lookup (no or-group); ≥2 makes an or-group. 6 keeps
+        // the alternative product well under the MUSE-A002 warning limit.
+        self.or_fanout = self.or_fanout.clamp(1, 6);
+        self.base_rows = self.base_rows.max(4);
+        self
+    }
+
+    fn is_fk_theme(&self, t: usize) -> bool {
+        t < self.fk_themes
+    }
+
+    fn level_ty(j: usize) -> Ty {
+        if j % 2 == 1 {
+            Ty::Int
+        } else {
+            Ty::Str
+        }
+    }
+
+    /// Dotted target path of chain level `j` for theme `t`:
+    /// `Top<t>.L1.….L<j>`.
+    fn level_path(&self, t: usize, j: usize) -> String {
+        let mut p = format!("Top{t}");
+        for l in 1..=j {
+            p.push_str(&format!(".L{l}"));
+        }
+        p
+    }
+
+    fn leaf_path(&self, t: usize) -> String {
+        self.level_path(t, self.depth - 1)
+    }
+}
+
+fn set(fields: Vec<Field>) -> Ty {
+    Ty::set_of(fields)
+}
+
+fn f(label: &str, ty: Ty) -> Field {
+    Field::new(label, ty)
+}
+
+fn source_schema(cfg: &SynthCfg) -> Schema {
+    let mut roots = Vec::new();
+    for t in 0..cfg.themes {
+        let mut fields = vec![f("k", Ty::Str)];
+        for j in 0..cfg.depth {
+            fields.push(f(&format!("lv{j}"), SynthCfg::level_ty(j)));
+        }
+        for i in 0..cfg.fillers {
+            fields.push(f(&format!("f{i}"), Ty::Str));
+        }
+        for i in 0..cfg.fd_pairs {
+            fields.push(f(&format!("fa{i}"), Ty::Str));
+            fields.push(f(&format!("fb{i}"), Ty::Str));
+        }
+        if cfg.is_fk_theme(t) {
+            for i in 0..cfg.or_fanout {
+                fields.push(f(&format!("r{i}"), Ty::Str));
+            }
+        }
+        if cfg.source_nested {
+            fields.push(f("Sub", set(vec![f("sv", Ty::Str)])));
+        }
+        roots.push(f(&format!("src{t}"), set(fields)));
+        if cfg.is_fk_theme(t) {
+            roots.push(f(
+                &format!("ent{t}"),
+                set(vec![f("ek", Ty::Str), f("payload", Ty::Str)]),
+            ));
+        }
+    }
+    Schema::new("SynthSrc", roots).expect("synthetic source schema is valid by construction")
+}
+
+fn source_constraints(cfg: &SynthCfg) -> Constraints {
+    let mut cons = Constraints::none();
+    for t in 0..cfg.themes {
+        let src = SetPath::parse(&format!("src{t}"));
+        cons.keys.push(Key::new(src.clone(), vec!["k"]));
+        for i in 0..cfg.fd_pairs {
+            let (fa, fb) = (format!("fa{i}"), format!("fb{i}"));
+            cons.fds.push(Fd::new(src.clone(), vec![&fa], vec![&fb]));
+        }
+        if cfg.is_fk_theme(t) {
+            let ent = SetPath::parse(&format!("ent{t}"));
+            cons.keys.push(Key::new(ent.clone(), vec!["ek"]));
+            for i in 0..cfg.or_fanout {
+                let r = format!("r{i}");
+                cons.fks.push(ForeignKey::new(
+                    src.clone(),
+                    vec![&r],
+                    ent.clone(),
+                    vec!["ek"],
+                ));
+            }
+        }
+    }
+    cons
+}
+
+fn target_level_fields(cfg: &SynthCfg, t: usize, j: usize) -> Vec<Field> {
+    let mut fields = vec![f(&format!("a{j}"), SynthCfg::level_ty(j))];
+    if j + 1 < cfg.depth {
+        fields.push(f(
+            &format!("L{}", j + 1),
+            set(target_level_fields(cfg, t, j + 1)),
+        ));
+    } else {
+        fields.push(f("key", Ty::Str));
+        if cfg.is_fk_theme(t) {
+            fields.push(f("refp", Ty::Str));
+        }
+        if cfg.source_nested {
+            fields.push(f("Sub", set(vec![f("sv", Ty::Str)])));
+        }
+    }
+    fields
+}
+
+fn target_schema(cfg: &SynthCfg) -> Schema {
+    let roots = (0..cfg.themes)
+        .map(|t| f(&format!("Top{t}"), set(target_level_fields(cfg, t, 0))))
+        .collect();
+    Schema::new("SynthTgt", roots).expect("synthetic target schema is valid by construction")
+}
+
+fn correspondences(cfg: &SynthCfg) -> Vec<Correspondence> {
+    let mut corrs = Vec::new();
+    for t in 0..cfg.themes {
+        for j in 0..cfg.depth {
+            corrs.push(Correspondence::new(
+                &format!("src{t}.lv{j}"),
+                &format!("{}.a{j}", cfg.level_path(t, j)),
+            ));
+        }
+        let leaf = cfg.leaf_path(t);
+        corrs.push(Correspondence::new(
+            &format!("src{t}.k"),
+            &format!("{leaf}.key"),
+        ));
+        if cfg.is_fk_theme(t) {
+            corrs.push(Correspondence::new(
+                &format!("ent{t}.payload"),
+                &format!("{leaf}.refp"),
+            ));
+        }
+        if cfg.source_nested {
+            corrs.push(Correspondence::new(
+                &format!("src{t}.Sub.sv"),
+                &format!("{leaf}.Sub.sv"),
+            ));
+        }
+    }
+    corrs
+}
+
+fn generate(cfg: &SynthCfg, schema: &Schema, scale: f64, seed: u64) -> Instance {
+    let mut g = Gen::new(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(cfg.seed),
+    );
+    let mut inst = Instance::new(schema);
+
+    for t in 0..cfg.themes {
+        // Entity pool first, so FK values always resolve.
+        let mut ent_keys: Vec<String> = Vec::new();
+        if cfg.is_fk_theme(t) {
+            let ents = inst.root_id(&format!("ent{t}")).unwrap();
+            for i in 0..scaled(cfg.base_rows / 4 + 4, scale, 2) {
+                let ek = format!("e{t}-{i}");
+                inst.insert(
+                    ents,
+                    vec![Value::str(&ek), g.shared(&format!("pay{t}-"), 7)],
+                );
+                ent_keys.push(ek);
+            }
+        }
+
+        let src = inst.root_id(&format!("src{t}")).unwrap();
+        let n = scaled(cfg.base_rows, scale, 2);
+        for i in 0..n {
+            let key = format!("s{t}-{i}");
+            // Low-diversity payloads and bucketed ints keep the hand-built
+            // value profile: duplicates exist, so real differentiating
+            // examples are findable.
+            let levels: Vec<Value> = (0..cfg.depth)
+                .map(|j| {
+                    if j % 2 == 1 {
+                        g.bucketed(10, 5 + j as i64)
+                    } else {
+                        g.shared(&format!("v{t}x{j}-"), 3 + j)
+                    }
+                })
+                .collect();
+            let mut tuple = vec![Value::str(&key)];
+            tuple.extend(levels.iter().cloned());
+            for _ in 0..cfg.fillers {
+                tuple.push(g.shared(&format!("fill{t}-"), 9));
+            }
+            for _ in 0..cfg.fd_pairs {
+                // Both sides derive from one bucket index, so fa → fb holds
+                // in every generated instance.
+                let b = g.index(4);
+                tuple.push(Value::str(format!("A{b}")));
+                tuple.push(Value::str(format!("B{b}")));
+            }
+            if cfg.is_fk_theme(t) {
+                for _ in 0..cfg.or_fanout {
+                    tuple.push(Value::str(g.pick(&ent_keys)));
+                }
+            }
+            if cfg.source_nested {
+                let sub = inst.group(
+                    SetPath::parse(&format!("src{t}.Sub")),
+                    vec![Value::str(&key)],
+                );
+                for _ in 0..g.range(1, 3) {
+                    inst.insert(sub, vec![g.shared(&format!("sub{t}-"), 11)]);
+                }
+                tuple.push(Value::Set(sub));
+            }
+            inst.insert(src, tuple.clone());
+
+            // A ~10% twin rate: same payloads under a fresh key, the DBLP
+            // duplicate-entry trick that surfaces real examples.
+            if g.chance(0.10) {
+                let twin_key = format!("s{t}-{i}bis");
+                let mut twin = tuple;
+                twin[0] = Value::str(&twin_key);
+                if cfg.source_nested {
+                    let sub = inst.group(
+                        SetPath::parse(&format!("src{t}.Sub")),
+                        vec![Value::str(&twin_key)],
+                    );
+                    inst.insert(sub, vec![g.shared(&format!("sub{t}-"), 11)]);
+                    let last = twin.len() - 1;
+                    twin[last] = Value::Set(sub);
+                }
+                inst.insert(src, twin);
+            }
+        }
+    }
+    inst
+}
+
+impl Scenario {
+    /// A complete synthetic scenario bundle for `cfg` (clamped), behaving
+    /// exactly like a hand-built scenario everywhere a [`Scenario`] is
+    /// accepted.
+    pub fn synthetic(cfg: SynthCfg) -> Scenario {
+        let cfg = cfg.clamped();
+        let name = format!("Synth-{}", cfg.seed);
+        let source_schema = source_schema(&cfg);
+        let source_constraints = source_constraints(&cfg);
+        let target_schema = target_schema(&cfg);
+        let correspondences = correspondences(&cfg);
+        Scenario {
+            name,
+            source_schema,
+            source_constraints,
+            target_schema,
+            target_constraints: Constraints::none(),
+            correspondences,
+            default_scale: 1.0,
+            generator: Arc::new(move |schema, scale, seed| generate(&cfg, schema, scale, seed)),
+        }
+    }
+}
+
+/// `count` fleet scenarios derived from consecutive seeds starting at
+/// `seed0` — the shard a CI worker runs.
+pub fn fleet(count: usize, seed0: u64) -> Vec<Scenario> {
+    (0..count as u64)
+        .map(|i| Scenario::synthetic(SynthCfg::from_seed(seed0.wrapping_add(i))))
+        .collect()
+}
+
+/// Parse a `<count>x<seed>` fleet spec (as taken by `--synth`), e.g.
+/// `16x100` = 16 scenarios seeded 100..116.
+pub fn parse_fleet_spec(spec: &str) -> Result<(usize, u64), String> {
+    let (count, seed) = spec
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("bad fleet spec {spec:?}: expected <count>x<seed>, e.g. 16x100"))?;
+    let count: usize = count
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad fleet count {count:?}: {e}"))?;
+    if count == 0 {
+        return Err(format!("bad fleet spec {spec:?}: count must be >= 1"));
+    }
+    let seed: u64 = seed
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad fleet seed {seed:?}: {e}"))?;
+    Ok((count, seed))
+}
+
+/// Parse a `Synth-<seed>` scenario name back into its config, so synthetic
+/// scenarios can be resolved by name (serve WAL replay, CLI selection).
+pub fn cfg_from_name(name: &str) -> Option<SynthCfg> {
+    let seed = name
+        .strip_prefix("Synth-")
+        .or_else(|| name.strip_prefix("synth-"))?;
+    seed.parse().ok().map(SynthCfg::from_seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_nr::display::render;
+    use muse_nr::text::{parse_schema, print_schema};
+
+    fn knob_grid() -> Vec<SynthCfg> {
+        let mut grid = Vec::new();
+        for depth in 1..=3 {
+            for &source_nested in &[false, true] {
+                for &fk_themes in &[0usize, 1] {
+                    grid.push(SynthCfg {
+                        seed: (depth * 100 + usize::from(source_nested) * 10 + fk_themes) as u64,
+                        themes: 2,
+                        depth,
+                        source_nested,
+                        fillers: 1,
+                        fd_pairs: 1,
+                        fk_themes,
+                        or_fanout: 2,
+                        base_rows: 24,
+                    });
+                }
+            }
+        }
+        grid
+    }
+
+    #[test]
+    fn knob_grid_bundles_are_well_formed() {
+        for cfg in knob_grid() {
+            let s = Scenario::synthetic(cfg.clone());
+            assert!(s.source_schema.is_strictly_alternating(), "{}", s.name);
+            assert!(s.target_schema.is_strictly_alternating(), "{}", s.name);
+            s.source_constraints
+                .validate_against_schema(&s.source_schema)
+                .unwrap_or_else(|e| panic!("{:?}: {e}", cfg));
+            for c in &s.correspondences {
+                c.validate(&s.source_schema, &s.target_schema)
+                    .unwrap_or_else(|e| panic!("{:?}: {c}: {e}", cfg));
+            }
+            let ms = s.mappings().unwrap_or_else(|e| panic!("{:?}: {e}", cfg));
+            assert!(!ms.is_empty(), "{:?}", cfg);
+            for m in &ms {
+                m.validate(&s.source_schema, &s.target_schema)
+                    .unwrap_or_else(|e| panic!("{:?}/{}: {e}", cfg, m.name));
+            }
+            // FK themes are what make or-groups: fan-out ≥ 2 ⇒ ambiguity.
+            let ambiguous = ms.iter().filter(|m| m.is_ambiguous()).count();
+            if cfg.fk_themes > 0 && cfg.or_fanout >= 2 {
+                assert!(ambiguous > 0, "{:?}: expected an or-group", cfg);
+            } else {
+                assert_eq!(ambiguous, 0, "{:?}: unexpected ambiguity", cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn knob_grid_instances_satisfy_all_constraints() {
+        for cfg in knob_grid() {
+            let s = Scenario::synthetic(cfg.clone());
+            let inst = s.instance(0.5, 42);
+            inst.validate(&s.source_schema)
+                .unwrap_or_else(|e| panic!("{:?}: {e}", cfg));
+            s.source_constraints
+                .validate_instance(&s.source_schema, &inst)
+                .unwrap_or_else(|e| panic!("{:?}: {e}", cfg));
+            assert!(inst.total_tuples() > 0);
+        }
+    }
+
+    #[test]
+    fn schemas_round_trip_through_the_text_format() {
+        for seed in [0u64, 1, 7, 1042] {
+            let s = Scenario::synthetic(SynthCfg::from_seed(seed));
+            for (schema, cons) in [
+                (&s.source_schema, &s.source_constraints),
+                (&s.target_schema, &s.target_constraints),
+            ] {
+                let text = print_schema(schema, cons);
+                let (schema2, cons2) =
+                    parse_schema(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", s.name));
+                assert_eq!(schema, &schema2, "{}", s.name);
+                assert_eq!(cons, &cons2, "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical_in_process() {
+        for seed in [3u64, 99] {
+            let a = Scenario::synthetic(SynthCfg::from_seed(seed));
+            let b = Scenario::synthetic(SynthCfg::from_seed(seed));
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.source_schema, b.source_schema);
+            assert_eq!(a.target_schema, b.target_schema);
+            assert_eq!(
+                render(&a.source_schema, &a.instance(0.2, 5)),
+                render(&b.source_schema, &b.instance(0.2, 5))
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_cover_the_shape_space() {
+        let cfgs: Vec<SynthCfg> = (0..64).map(SynthCfg::from_seed).collect();
+        let depths: std::collections::BTreeSet<usize> = cfgs.iter().map(|c| c.depth).collect();
+        let themes: std::collections::BTreeSet<usize> = cfgs.iter().map(|c| c.themes).collect();
+        assert_eq!(depths.len(), 3, "depth knob unexplored: {depths:?}");
+        assert_eq!(themes.len(), 3, "themes knob unexplored: {themes:?}");
+        assert!(cfgs.iter().any(|c| c.fk_themes > 0));
+        assert!(cfgs.iter().any(|c| c.fk_themes == 0));
+        assert!(cfgs.iter().any(|c| c.source_nested));
+        assert!(cfgs.iter().any(|c| !c.source_nested));
+    }
+
+    #[test]
+    fn fleet_spec_parses() {
+        assert_eq!(parse_fleet_spec("16x100").unwrap(), (16, 100));
+        assert_eq!(parse_fleet_spec("1x0").unwrap(), (1, 0));
+        assert!(parse_fleet_spec("16").is_err());
+        assert!(parse_fleet_spec("0x5").is_err());
+        assert!(parse_fleet_spec("x5").is_err());
+        assert_eq!(fleet(3, 10).len(), 3);
+        assert_eq!(fleet(2, 7)[1].name, "Synth-8");
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let cfg = SynthCfg::from_seed(42);
+        let s = Scenario::synthetic(cfg.clone());
+        assert_eq!(cfg_from_name(&s.name), Some(cfg));
+        assert_eq!(cfg_from_name("Mondial"), None);
+    }
+
+    #[test]
+    fn scale_sweeps_grow_monotonically() {
+        let s = Scenario::synthetic(SynthCfg::from_seed(11));
+        let mut prev = 0;
+        for scale in [0.05, 0.25, 1.0, 2.0] {
+            let n = s.instance(scale, 1).total_tuples();
+            assert!(n >= prev, "fleet instance shrank at scale {scale}");
+            prev = n;
+        }
+    }
+}

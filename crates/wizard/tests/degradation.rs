@@ -143,6 +143,88 @@ fn injected_probe_fault_skips_one_question_only() {
     }
 }
 
+/// A deep-nesting fleet member under a tight budget: the session must
+/// degrade exactly like a hand-built scenario — deterministic report,
+/// warnings, never a panic. The shape is deliberately nasty: depth-5
+/// target chains, nested `Sub` sets on both sides, and 3-way or-groups.
+fn deep_synthetic() -> muse_scenarios::Scenario {
+    muse_scenarios::Scenario::synthetic(muse_scenarios::synth::SynthCfg {
+        seed: 4242,
+        themes: 2,
+        depth: 5,
+        source_nested: true,
+        fillers: 1,
+        fd_pairs: 1,
+        fk_themes: 1,
+        or_fanout: 3,
+        base_rows: 32,
+    })
+}
+
+#[test]
+fn expired_deadline_on_synthetic_deep_nesting_is_deterministic() {
+    let _g = lock();
+    let s = deep_synthetic();
+    let inst = s.instance(0.5, 7);
+    let ms = s.mappings().unwrap();
+    assert!(ms.iter().any(|m| m.is_ambiguous()));
+
+    let run_once = || {
+        let metrics = Metrics::enabled();
+        let expired = Budget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1));
+        let mut oracle = OracleDesigner::new(&s.source_schema, &s.target_schema);
+        let session = Session::new(&s.source_schema, &s.target_schema, &s.source_constraints)
+            .with_instance(&inst)
+            .with_budget(&expired)
+            .with_metrics(&metrics);
+        let report = session
+            .run(&ms, &mut oracle)
+            .expect("budget exhaustion degrades, it does not error");
+        assert!(report.truncated(), "expired budget must leave warnings");
+        assert!(!report.warnings.is_empty());
+        for m in &report.mappings {
+            m.validate(&s.source_schema, &s.target_schema).unwrap();
+        }
+        assert!(metrics.snapshot().counter("wizard.skipped_questions") >= 1);
+        muse_wizard::render_report(&report)
+    };
+    assert_eq!(
+        run_once(),
+        run_once(),
+        "two budget-truncated sessions diverged"
+    );
+}
+
+#[test]
+fn row_capped_synthetic_session_degrades_deterministically() {
+    let _g = lock();
+    let s = deep_synthetic();
+    let inst = s.instance(0.5, 7);
+    let ms = s.mappings().unwrap();
+
+    let run_once = || {
+        // One result row per probe query: enough to start every question,
+        // never enough to finish one.
+        let capped = Budget::unlimited().with_max_rows(1);
+        let metrics = Metrics::disabled();
+        let mut oracle = OracleDesigner::new(&s.source_schema, &s.target_schema);
+        let session = Session::new(&s.source_schema, &s.target_schema, &s.source_constraints)
+            .with_instance(&inst)
+            .with_budget(&capped)
+            .with_metrics(&metrics);
+        let report = session
+            .run(&ms, &mut oracle)
+            .expect("row cap degrades, it does not error");
+        for m in &report.mappings {
+            m.validate(&s.source_schema, &s.target_schema).unwrap();
+        }
+        (muse_wizard::render_report(&report), report.warnings.len())
+    };
+    let (a, warnings) = run_once();
+    assert_eq!((a, warnings), run_once(), "row-capped sessions diverged");
+    assert!(warnings >= 1, "a 1-row cap must truncate some question");
+}
+
 #[test]
 fn unlimited_budget_session_is_unchanged() {
     let _g = lock();

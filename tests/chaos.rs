@@ -131,16 +131,20 @@ fn scenario_scale(name: &str) -> f64 {
         "Mondial" => 0.02,
         "DBLP" => 0.01,
         "TPCH" => 0.01,
+        s if s.starts_with("Synth-") => 0.25,
         _ => 0.02,
     }
 }
 
-/// Run the matrix: every scenario under every plan. Asserts the differential
+/// Run the matrix: every scenario under every plan — the four hand-built
+/// scenarios plus a couple of fleet members, so injected faults also hit
+/// generated shapes (or-groups, deep chains). Asserts the differential
 /// contract against a fault-free baseline per scenario.
 fn chaos_matrix(plans: &[(String, FaultPlan)]) {
-    let scenarios = muse_suite::scenarios::all_scenarios();
+    let mut scenarios = muse_suite::scenarios::all_scenarios();
+    scenarios.extend(muse_suite::scenarios::synth::fleet(2, 40));
     for scenario in &scenarios {
-        let scale = scenario_scale(scenario.name);
+        let scale = scenario_scale(&scenario.name);
         let baseline = run_pipeline(scenario, scale)
             .unwrap_or_else(|e| panic!("{}: fault-free pipeline failed: {e}", scenario.name));
         assert_eq!(baseline.warnings, 0, "{}: clean baseline", scenario.name);

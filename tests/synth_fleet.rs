@@ -1,0 +1,257 @@
+//! The fleet harness: every seeded synthetic scenario must clear the same
+//! bars the four hand-built scenarios clear, per scenario —
+//!
+//! 1. **lint**: zero errors (the generator's lint-clean-by-construction
+//!    claim, checked empirically seed by seed);
+//! 2. **differential**: the parallel chase agrees with the serial chase —
+//!    isomorphic, render-identical, and `chase.*` counter-identical;
+//! 3. **wizard property**: a G1/G2/G3 oracle session terminates without
+//!    error, stays within the `MUSE-A003` question bounds for every
+//!    grouping it designs, and its final mappings chase to a valid target.
+//!
+//! The seed range is sharded across CI workers via `MUSE_FLEET_SEEDS=lo..hi`
+//! (default `0..16`, so the tier-1 run stays fast); the CI `fleet` job's
+//! shards sum to ≥1000 distinct seeds. `MUSE_FLEET_SCALE` scales the
+//! generated instances (default 0.25).
+
+use muse_obs::Metrics;
+use muse_suite::chase::{chase, chase_par_with, chase_with, isomorphic};
+use muse_suite::cliogen::{desired_grouping, GroupingStrategy};
+use muse_suite::lint::budget::question_budget;
+use muse_suite::lint::{lint, LintInput};
+use muse_suite::mapping::ambiguity::{self, or_groups, select_multi};
+use muse_suite::mapping::Mapping;
+use muse_suite::nr::display;
+use muse_suite::scenarios::synth::SynthCfg;
+use muse_suite::scenarios::Scenario;
+use muse_suite::wizard::{OracleDesigner, Session};
+
+fn seed_range() -> std::ops::Range<u64> {
+    let spec = std::env::var("MUSE_FLEET_SEEDS").unwrap_or_else(|_| "0..16".into());
+    let (lo, hi) = spec
+        .split_once("..")
+        .unwrap_or_else(|| panic!("MUSE_FLEET_SEEDS={spec:?}: expected lo..hi"));
+    let lo: u64 = lo.trim().parse().expect("MUSE_FLEET_SEEDS lower bound");
+    let hi: u64 = hi.trim().parse().expect("MUSE_FLEET_SEEDS upper bound");
+    assert!(lo < hi, "MUSE_FLEET_SEEDS={spec:?}: empty range");
+    lo..hi
+}
+
+fn fleet_scale() -> f64 {
+    std::env::var("MUSE_FLEET_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25)
+}
+
+/// The injective homomorphism search recurses once per target tuple; give
+/// the whole fleet loop a roomy stack.
+fn with_big_stack(f: impl FnOnce() + Send + 'static) {
+    std::thread::Builder::new()
+        .stack_size(256 * 1024 * 1024)
+        .spawn(f)
+        .expect("spawn big-stack thread")
+        .join()
+        .expect("fleet body panicked");
+}
+
+/// Chase-ready mappings: first interpretation of every or-group, default
+/// groupings filled in.
+fn ready_mappings(s: &Scenario) -> Vec<Mapping> {
+    s.mappings()
+        .expect("scenario mappings generate")
+        .iter()
+        .map(|m| {
+            let mut m = if m.is_ambiguous() {
+                let picks = vec![0usize; ambiguity::or_groups(m).len()];
+                ambiguity::select(m, &picks).expect("first interpretation")
+            } else {
+                m.clone()
+            };
+            m.ensure_default_groupings(&s.target_schema, &s.source_schema)
+                .expect("default groupings");
+            m
+        })
+        .collect()
+}
+
+/// An oracle wanting `strategy` groupings and the first interpretation of
+/// every or-group — the designer `muse scenario --strategy` simulates.
+fn oracle_for<'a>(scenario: &'a Scenario, strategy: GroupingStrategy) -> OracleDesigner<'a> {
+    let mappings = scenario.mappings().unwrap();
+    let mut oracle = OracleDesigner::new(&scenario.source_schema, &scenario.target_schema);
+    for m in &mappings {
+        let resolved = if m.is_ambiguous() {
+            let picks = vec![vec![0usize]; or_groups(m).len()];
+            oracle
+                .intended_choices
+                .insert(m.name.clone(), picks.clone());
+            select_multi(m, &picks).unwrap()
+        } else {
+            vec![m.clone()]
+        };
+        for sel in resolved {
+            for sk in sel.filled_target_sets(&scenario.target_schema).unwrap() {
+                let desired = desired_grouping(
+                    &sel,
+                    &sk,
+                    strategy,
+                    &scenario.source_schema,
+                    &scenario.target_schema,
+                )
+                .unwrap();
+                oracle.intend_grouping(sel.name.clone(), sk, desired);
+            }
+        }
+    }
+    oracle
+}
+
+fn check_lint(s: &Scenario) {
+    let mappings = s.mappings().unwrap();
+    let report = lint(&LintInput {
+        source_schema: &s.source_schema,
+        source_constraints: &s.source_constraints,
+        target_schema: &s.target_schema,
+        target_constraints: &s.target_constraints,
+        mappings: &mappings,
+    });
+    assert!(
+        report.is_clean(),
+        "{}: lint errors\n{}",
+        s.name,
+        report.render()
+    );
+}
+
+fn check_differential(s: &Scenario, scale: f64, seed: u64) {
+    let source = s.instance(scale, seed);
+    source
+        .validate(&s.source_schema)
+        .unwrap_or_else(|e| panic!("{}: invalid source instance: {e}", s.name));
+    s.source_constraints
+        .validate_instance(&s.source_schema, &source)
+        .unwrap_or_else(|e| panic!("{}: source constraints violated: {e}", s.name));
+
+    let mappings = ready_mappings(s);
+    let serial_m = Metrics::enabled();
+    let serial = chase_with(
+        &s.source_schema,
+        &s.target_schema,
+        &source,
+        &mappings,
+        &serial_m,
+    )
+    .unwrap_or_else(|e| panic!("{}: serial chase: {e}", s.name));
+    assert!(!serial.is_empty(), "{}: chased an empty instance", s.name);
+
+    let par_m = Metrics::enabled();
+    let par = chase_par_with(
+        &s.source_schema,
+        &s.target_schema,
+        &source,
+        &mappings,
+        4,
+        &par_m,
+    )
+    .unwrap_or_else(|e| panic!("{}: parallel chase: {e}", s.name));
+
+    assert_eq!(
+        display::render(&s.target_schema, &serial),
+        display::render(&s.target_schema, &par),
+        "{}: parallel render differs from serial",
+        s.name
+    );
+    assert!(
+        isomorphic(&serial, &par),
+        "{}: parallel result not isomorphic to serial",
+        s.name
+    );
+    let (sm, pm) = (serial_m.snapshot(), par_m.snapshot());
+    for key in [
+        "chase.mappings",
+        "chase.bindings",
+        "chase.tuples_emitted",
+        "chase.dedup_hits",
+    ] {
+        assert_eq!(
+            sm.counter(key),
+            pm.counter(key),
+            "{}: counter {key} diverged",
+            s.name
+        );
+    }
+}
+
+fn check_wizard_property(s: &Scenario, scale: f64, seed: u64, strategy: GroupingStrategy) {
+    let instance = s.instance(scale, seed);
+    let mappings = s.mappings().unwrap();
+    let mut oracle = oracle_for(s, strategy);
+    let session = Session::new(&s.source_schema, &s.target_schema, &s.source_constraints)
+        .with_instance(&instance);
+    let out = session
+        .run(&mappings, &mut oracle)
+        .unwrap_or_else(|e| panic!("{} ({strategy:?}): wizard failed: {e}", s.name));
+    assert!(
+        out.warnings.is_empty(),
+        "{}: unbudgeted session degraded: {:?}",
+        s.name,
+        out.warnings
+    );
+
+    for (mname, g) in &out.groupings {
+        let m = out
+            .mappings
+            .iter()
+            .find(|m| &m.name == mname)
+            .unwrap_or_else(|| panic!("{}: no final mapping named {mname}", s.name));
+        let budget = question_budget(m, &s.source_schema, &s.source_constraints)
+            .unwrap_or_else(|e| panic!("{}/{mname}: budget failed: {e:?}", s.name));
+        assert!(
+            g.questions <= budget.upper,
+            "{}/{}/{}: {} questions > predicted upper bound {}",
+            s.name,
+            mname,
+            g.sk,
+            g.questions,
+            budget.upper
+        );
+        assert!(
+            g.questions >= budget.lower.min(1),
+            "{}/{}/{}: {} questions < predicted lower bound {}",
+            s.name,
+            mname,
+            g.sk,
+            g.questions,
+            budget.lower
+        );
+    }
+
+    let target = chase(&s.source_schema, &s.target_schema, &instance, &out.mappings)
+        .unwrap_or_else(|e| panic!("{}: final chase failed: {e}", s.name));
+    target
+        .validate(&s.target_schema)
+        .unwrap_or_else(|e| panic!("{}: corrupt chased target: {e}", s.name));
+}
+
+#[test]
+fn fleet_passes_lint_differential_and_wizard_property() {
+    let range = seed_range();
+    let scale = fleet_scale();
+    with_big_stack(move || {
+        let strategies = [
+            GroupingStrategy::G1,
+            GroupingStrategy::G2,
+            GroupingStrategy::G3,
+        ];
+        let mut checked = 0u64;
+        for seed in range {
+            let s = Scenario::synthetic(SynthCfg::from_seed(seed));
+            check_lint(&s);
+            check_differential(&s, scale, seed);
+            check_wizard_property(&s, scale, seed, strategies[(seed % 3) as usize]);
+            checked += 1;
+        }
+        eprintln!("fleet: {checked} scenarios passed lint + differential + wizard property");
+    });
+}
