@@ -124,7 +124,9 @@ pub fn fig5_cell(
 }
 
 /// [`fig5_cell`] with the wizard's `query.*`/`chase.*`/`wizard.*` counters
-/// and timers recorded into `metrics`.
+/// and timers recorded into `metrics`. Runs plan-driven (the default
+/// everywhere: joins ordered and probed per the static plans derived from
+/// the scenario's source constraints).
 pub fn fig5_cell_with(
     scenario: &Scenario,
     strategy: GroupingStrategy,
@@ -132,14 +134,58 @@ pub fn fig5_cell_with(
     seed: u64,
     metrics: &Metrics,
 ) -> Fig5Row {
+    fig5_cell_plan(scenario, strategy, scale, seed, metrics, true)
+}
+
+/// [`fig5_cell_with`] with the plan-driven evaluation path switchable:
+/// `planned = false` runs the evaluator's own greedy order with
+/// single-attribute probes (the pre-planner behavior) — the before/after
+/// knob `plan_bench` measures with. Results are identical either way; only
+/// the `query.*` work counters move.
+pub fn fig5_cell_plan(
+    scenario: &Scenario,
+    strategy: GroupingStrategy,
+    scale: f64,
+    seed: u64,
+    metrics: &Metrics,
+    planned: bool,
+) -> Fig5Row {
+    fig5_cell_plan_budget(scenario, strategy, scale, seed, metrics, planned, false)
+}
+
+/// [`fig5_cell_plan`] with the wizard's wall-clock real-example budget
+/// switchable off (`exhaustive = true`). The default 750 ms deadline makes
+/// `query.steps` load-dependent — a slow machine truncates more searches
+/// and counts fewer steps — so `plan_bench`'s legacy/planned comparison
+/// runs exhaustive for deterministic counts.
+#[allow(clippy::too_many_arguments)]
+pub fn fig5_cell_plan_budget(
+    scenario: &Scenario,
+    strategy: GroupingStrategy,
+    scale: f64,
+    seed: u64,
+    metrics: &Metrics,
+    planned: bool,
+    exhaustive: bool,
+) -> Fig5Row {
     let instance = scenario.instance(scenario.default_scale * scale, seed);
-    let museg = MuseG::new(
+    let hints = muse_query::SelectivityHints::from_constraints(
+        &scenario.source_schema,
+        &scenario.source_constraints,
+    );
+    let mut museg = MuseG::new(
         &scenario.source_schema,
         &scenario.target_schema,
         &scenario.source_constraints,
     )
     .with_instance(&instance)
     .with_metrics(metrics);
+    if planned {
+        museg = museg.with_plan_hints(&hints);
+    }
+    if exhaustive {
+        museg.real_example_budget = None;
+    }
 
     let mut total_poss = 0usize;
     let mut total_questions = 0usize;
@@ -230,13 +276,18 @@ pub fn mused_row_with(
         return None;
     }
     let instance = scenario.instance(scenario.default_scale * scale, seed);
+    let hints = muse_query::SelectivityHints::from_constraints(
+        &scenario.source_schema,
+        &scenario.source_constraints,
+    );
     let mused = MuseD::new(
         &scenario.source_schema,
         &scenario.target_schema,
         &scenario.source_constraints,
     )
     .with_instance(&instance)
-    .with_metrics(metrics);
+    .with_metrics(metrics)
+    .with_plan_hints(&hints);
 
     let mut row = MuseDRow {
         scenario: scenario.name.clone(),

@@ -6,6 +6,9 @@
 //!
 //! * `chase.mappings` — mappings chased,
 //! * `chase.bindings` — source bindings enumerated across mappings,
+//! * `chase.steps` — chase steps attempted (one per enumerated binding;
+//!   the observable the static bound of `muse-lint`'s termination pass
+//!   caps from above),
 //! * `chase.tuples_emitted` — tuples actually added to the target,
 //! * `chase.dedup_hits` — tuple insertions the target union deduplicated,
 //! * `chase.time` — wall-clock spans per chased mapping (serial path),
@@ -45,7 +48,7 @@ use muse_mapping::{Mapping, PathRef, WhereClause};
 use muse_nr::{Instance, NullId, Schema, SetId, SetPath, Tuple, Value};
 use muse_obs::{faultpoints, Budget, Counter, Metrics, Outcome, TruncationReason};
 use muse_par::{chunks, try_scope_map};
-use muse_query::{evaluate_all_with, Binding};
+use muse_query::{evaluate_all_planned_with, plan_query, Binding, EvalPlan, SelectivityHints};
 
 use crate::error::ChaseError;
 
@@ -133,6 +136,31 @@ pub fn chase_budget_with(
     budget: &Budget,
     metrics: &Metrics,
 ) -> Result<Outcome<Instance>, ChaseError> {
+    chase_budget_planned_with(
+        source_schema,
+        target_schema,
+        source,
+        mappings,
+        None,
+        budget,
+        metrics,
+    )
+}
+
+/// Plan-driven [`chase_budget_with`]: when `hints` is given, every
+/// mapping's `for`-clause enumeration runs under a static
+/// [`EvalPlan`] derived from the source constraints (key-aware join order
+/// and composite hash probes — identical bindings, identical target, far
+/// fewer `query.steps`; see [`muse_query::plan`]).
+pub fn chase_budget_planned_with(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+    mappings: &[Mapping],
+    hints: Option<&SelectivityHints>,
+    budget: &Budget,
+    metrics: &Metrics,
+) -> Result<Outcome<Instance>, ChaseError> {
     let mut target = Instance::new(target_schema);
     let timer = metrics.timer("chase.time");
     let mut steps: u64 = 0;
@@ -143,6 +171,7 @@ pub fn chase_budget_with(
             target_schema,
             source,
             m,
+            hints,
             &mut target,
             &mut steps,
             budget,
@@ -203,6 +232,28 @@ pub fn chase_one_budget_with(
         target_schema,
         source,
         std::slice::from_ref(mapping),
+        budget,
+        metrics,
+    )
+}
+
+/// Plan-driven [`chase_one_budget_with`] (see
+/// [`chase_budget_planned_with`]).
+pub fn chase_one_budget_planned_with(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+    mapping: &Mapping,
+    hints: Option<&SelectivityHints>,
+    budget: &Budget,
+    metrics: &Metrics,
+) -> Result<Outcome<Instance>, ChaseError> {
+    chase_budget_planned_with(
+        source_schema,
+        target_schema,
+        source,
+        std::slice::from_ref(mapping),
+        hints,
         budget,
         metrics,
     )
@@ -269,12 +320,40 @@ pub fn chase_par_budget_with(
     budget: &Budget,
     metrics: &Metrics,
 ) -> Result<Outcome<Instance>, ChaseError> {
+    chase_par_budget_planned_with(
+        source_schema,
+        target_schema,
+        source,
+        mappings,
+        None,
+        threads,
+        budget,
+        metrics,
+    )
+}
+
+/// Plan-driven [`chase_par_budget_with`] (see
+/// [`chase_budget_planned_with`]). The hints only steer phase-1 binding
+/// enumeration; the serial fallback chases under the same hints, so the
+/// parallel/serial equivalence guarantee is unchanged.
+#[allow(clippy::too_many_arguments)]
+pub fn chase_par_budget_planned_with(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+    mappings: &[Mapping],
+    hints: Option<&SelectivityHints>,
+    threads: usize,
+    budget: &Budget,
+    metrics: &Metrics,
+) -> Result<Outcome<Instance>, ChaseError> {
     if threads <= 1 {
-        return chase_budget_with(
+        return chase_budget_planned_with(
             source_schema,
             target_schema,
             source,
             mappings,
+            hints,
             budget,
             metrics,
         );
@@ -286,6 +365,7 @@ pub fn chase_par_budget_with(
         target_schema,
         source,
         mappings,
+        hints,
         threads,
         budget,
         metrics,
@@ -297,11 +377,12 @@ pub fn chase_par_budget_with(
             // truncates deterministically, so the degraded result is exactly
             // what a serial caller would have seen.
             metrics.incr("chase.par_fallbacks");
-            chase_budget_with(
+            chase_budget_planned_with(
                 source_schema,
                 target_schema,
                 source,
                 mappings,
+                hints,
                 budget,
                 metrics,
             )
@@ -309,13 +390,27 @@ pub fn chase_par_budget_with(
     }
 }
 
+/// Resolve the static evaluation plan for one mapping's `for`-clause, if
+/// selectivity hints are available. Planning failures are deliberately
+/// swallowed (`None` → the evaluator's own greedy order): a plan is an
+/// optimization, never a prerequisite.
+fn mapping_plan(
+    source_schema: &Schema,
+    q: &muse_query::Query,
+    hints: Option<&SelectivityHints>,
+) -> Option<EvalPlan> {
+    hints.and_then(|h| plan_query(source_schema, q, Some(h)).ok())
+}
+
 /// One parallel attempt. `Ok(None)` means "degrade to serial" (a worker
 /// panicked or the budget tripped); typed chase errors propagate.
+#[allow(clippy::too_many_arguments)]
 fn chase_par_attempt(
     source_schema: &Schema,
     target_schema: &Schema,
     source: &Instance,
     mappings: &[Mapping],
+    hints: Option<&SelectivityHints>,
     threads: usize,
     budget: &Budget,
     metrics: &Metrics,
@@ -325,7 +420,10 @@ fn chase_par_attempt(
     let prepared = try_scope_map(mappings.len(), threads, metrics, |i| {
         let m = &mappings[i];
         let p = prepare(source_schema, target_schema, m, metrics)?;
-        let outcome = evaluate_all_with(source_schema, source, &m.source_query(), budget, metrics)?;
+        let q = m.source_query();
+        let plan = mapping_plan(source_schema, &q, hints);
+        let outcome =
+            evaluate_all_planned_with(source_schema, source, &q, plan.as_ref(), budget, metrics)?;
         Ok::<_, ChaseError>(outcome.map(|bindings| (p, bindings)))
     });
     let mut preps: Vec<(Prepared<'_>, Vec<Binding>)> = Vec::with_capacity(mappings.len());
@@ -336,6 +434,7 @@ fn chase_par_attempt(
             Ok(Ok(Outcome::Truncated { .. })) => return Ok(None),
             Ok(Ok(Outcome::Complete((p, bindings)))) => {
                 metrics.add("chase.bindings", bindings.len() as u64);
+                metrics.add("chase.steps", bindings.len() as u64);
                 preps.push((p, bindings));
             }
         }
@@ -552,14 +651,18 @@ fn chase_into(
     target_schema: &Schema,
     source: &Instance,
     m: &Mapping,
+    hints: Option<&SelectivityHints>,
     target: &mut Instance,
     steps: &mut u64,
     budget: &Budget,
     metrics: &Metrics,
 ) -> Result<Option<TruncationReason>, ChaseError> {
     let p = prepare(source_schema, target_schema, m, metrics)?;
+    let q = m.source_query();
+    let plan = mapping_plan(source_schema, &q, hints);
     let bindings =
-        match evaluate_all_with(source_schema, source, &m.source_query(), budget, metrics)? {
+        match evaluate_all_planned_with(source_schema, source, &q, plan.as_ref(), budget, metrics)?
+        {
             Outcome::Complete(b) => b,
             // The enumeration itself was cut short (already recorded by the
             // query layer); firing a truncated binding set would produce an
@@ -567,6 +670,7 @@ fn chase_into(
             Outcome::Truncated { reason, .. } => return Ok(Some(reason)),
         };
     metrics.add("chase.bindings", bindings.len() as u64);
+    metrics.add("chase.steps", bindings.len() as u64);
     let emit = Emit {
         emitted: metrics.counter("chase.tuples_emitted"),
         dedup_hits: metrics.counter("chase.dedup_hits"),

@@ -36,6 +36,7 @@ struct Options {
     deadline_ms: Option<u64>,
     max_rows: Option<u64>,
     max_terms: Option<u64>,
+    auto_chase_budget: bool,
 }
 
 impl Options {
@@ -49,6 +50,9 @@ impl Options {
         }
         if let Some(n) = self.max_terms {
             b = b.with_max_terms(n);
+        }
+        if self.auto_chase_budget {
+            b = b.with_auto_chase_steps();
         }
         b
     }
@@ -65,6 +69,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut deadline_ms = None;
     let mut max_rows = None;
     let mut max_terms = None;
+    let mut auto_chase_budget = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -75,6 +80,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
         if flag == "--lint-deny" {
             lint_deny = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--auto-chase-budget" {
+            auto_chase_budget = true;
             i += 1;
             continue;
         }
@@ -108,6 +118,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         deadline_ms,
         max_rows,
         max_terms,
+        auto_chase_budget,
     })
 }
 
@@ -187,7 +198,23 @@ pub fn run(args: &[String]) -> i32 {
         } else {
             Metrics::disabled()
         };
-        let budget = opts.budget();
+        let mut budget = opts.budget();
+        if budget.auto_chase_steps {
+            // `--auto-chase-budget`: cap the chase at the termination
+            // analyzer's static step bound over the loaded instance. With
+            // no `--data` instance there is nothing to bound; the request
+            // stays unresolved (no cap).
+            if let Some(inst) = &instance {
+                let sizes = muse_lint::termination::path_sizes(&source_schema, inst);
+                let bound = muse_lint::termination::chase_step_bound(
+                    &source_schema,
+                    &source_cons,
+                    &mappings,
+                    &sizes,
+                );
+                budget.resolve_auto_chase_steps(bound);
+            }
+        }
         let mut session = Session::new(&source_schema, &target_schema, &source_cons)
             .with_budget(&budget)
             .with_metrics(&metrics);

@@ -8,6 +8,8 @@
 //! muse lint all --json              stable JSON, keyed by scenario
 //! muse lint all --deny-warnings     exit 1 on warnings too (CI gate)
 //! muse lint all --synth 16x100      also lint 16 fleet scenarios, seeds 100..
+//! muse lint Mondial --plans         per-mapping join-plan artifacts (JSON)
+//! muse lint --explain MUSE-P001     what a diagnostic code means + the fix
 //! ```
 
 use muse_lint::{lint, LintInput, LintReport};
@@ -18,34 +20,50 @@ struct Options {
     name: String,
     json: bool,
     deny_warnings: bool,
+    plans: bool,
     synth: Option<(usize, u64)>,
+    explain: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
-        name: args.first().cloned().ok_or("missing scenario name")?,
+        name: String::new(),
         json: false,
         deny_warnings: false,
+        plans: false,
         synth: None,
+        explain: None,
     };
-    let mut it = args[1..].iter();
+    let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
+            "--plans" => opts.plans = true,
             "--synth" => {
                 let spec = it.next().ok_or("--synth needs <count>x<seed>")?;
                 opts.synth = Some(muse_scenarios::synth::parse_fleet_spec(spec)?);
             }
+            "--explain" => {
+                let code = it.next().ok_or("--explain needs a code (e.g. MUSE-P001)")?;
+                opts.explain = Some(code.clone());
+            }
+            other if !other.starts_with('-') && opts.name.is_empty() => {
+                opts.name = other.to_owned();
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
+    }
+    if opts.explain.is_none() && opts.name.is_empty() {
+        return Err("missing scenario name".to_owned());
     }
     Ok(opts)
 }
 
 /// Lint one scenario's bundle: generate its candidate mappings and run the
-/// four analysis passes over them.
-fn lint_scenario(scenario: &Scenario) -> Result<LintReport, String> {
+/// analysis passes over them. With `want_plans`, also emit the serialized
+/// per-mapping join-plan artifacts.
+fn lint_scenario(scenario: &Scenario, want_plans: bool) -> Result<(LintReport, Json), String> {
     let mappings = scenario
         .mappings()
         .map_err(|e| format!("{}: mapping generation failed: {e}", scenario.name))?;
@@ -56,7 +74,12 @@ fn lint_scenario(scenario: &Scenario) -> Result<LintReport, String> {
         target_constraints: &scenario.target_constraints,
         mappings: &mappings,
     };
-    Ok(lint(&input))
+    let plans = if want_plans {
+        muse_lint::plan::plans(&input)
+    } else {
+        Json::Null
+    };
+    Ok((lint(&input), plans))
 }
 
 /// Preflight hook for `muse scenario` / `muse design`: run the analyzer
@@ -95,6 +118,21 @@ pub fn run(args: &[String]) -> i32 {
             return 2;
         }
     };
+    if let Some(code) = &opts.explain {
+        return match muse_lint::explain::lookup(code) {
+            Some(e) => {
+                print!("{}", muse_lint::explain::render(e));
+                0
+            }
+            None => {
+                eprintln!(
+                    "unknown diagnostic code `{code}` — codes are MUSE-W/C/A/G/P/T \
+                     followed by a number, e.g. MUSE-P001"
+                );
+                2
+            }
+        };
+    }
     let mut scenarios = muse_scenarios::all_scenarios();
     if let Some((count, seed0)) = opts.synth {
         scenarios.extend(muse_scenarios::synth::fleet(count, seed0));
@@ -133,7 +171,7 @@ pub fn run(args: &[String]) -> i32 {
     let mut rows: Vec<(&str, Option<String>)> = Vec::new();
     let mut sections: Vec<(&str, Json)> = Vec::new();
     for scenario in selected {
-        let report = match lint_scenario(scenario) {
+        let (report, plans) = match lint_scenario(scenario, opts.plans) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("{e}");
@@ -152,7 +190,16 @@ pub fn run(args: &[String]) -> i32 {
                 )
             }),
         ));
-        if opts.json {
+        if opts.plans {
+            // The plan artifact is JSON in either mode; `--json` batches
+            // all scenarios into one object instead of one per header.
+            if opts.json {
+                sections.push((scenario.name.as_str(), plans));
+            } else {
+                println!("=== {} ===", scenario.name);
+                println!("{}", plans.render_pretty());
+            }
+        } else if opts.json {
             sections.push((scenario.name.as_str(), report.to_json()));
         } else {
             println!("=== {} ===", scenario.name);
@@ -201,12 +248,44 @@ mod tests {
         assert_eq!(o.synth, Some((8, 100)));
         assert!(parse_args(&["all".into(), "--synth".into()]).is_err());
         assert!(parse_args(&["all".into(), "--synth".into(), "zap".into()]).is_err());
+
+        let o = parse_args(&["--explain".into(), "MUSE-P001".into()]).unwrap();
+        assert_eq!(o.explain.as_deref(), Some("MUSE-P001"));
+        assert!(parse_args(&["--explain".into()]).is_err());
+
+        let o = parse_args(&["Mondial".into(), "--plans".into()]).unwrap();
+        assert!(o.plans);
+    }
+
+    #[test]
+    fn explain_resolves_every_registered_code() {
+        for e in muse_lint::explain::REGISTRY {
+            let found = muse_lint::explain::lookup(e.code).unwrap();
+            let text = muse_lint::explain::render(found);
+            assert!(text.contains(e.code), "{}", e.code);
+            assert!(text.contains(e.fix), "{}", e.code);
+        }
+        assert!(muse_lint::explain::lookup("MUSE-Z999").is_none());
+    }
+
+    #[test]
+    fn plans_artifact_covers_every_mapping() {
+        for s in muse_scenarios::all_scenarios() {
+            let (_, plans) = lint_scenario(&s, true).unwrap();
+            let n = s.mappings().unwrap().len();
+            let text = plans.render();
+            assert!(
+                (0..n).all(|i| text.contains(&format!("\"m{}\"", i + 1))),
+                "{}: plan artifact misses a mapping\n{text}",
+                s.name
+            );
+        }
     }
 
     #[test]
     fn synthetic_scenarios_lint_without_errors() {
         for s in muse_scenarios::synth::fleet(8, 0) {
-            let report = lint_scenario(&s).unwrap();
+            let (report, _) = lint_scenario(&s, false).unwrap();
             assert!(
                 report.is_clean(),
                 "{}: {} errors\n{}",
@@ -220,7 +299,7 @@ mod tests {
     #[test]
     fn every_scenario_lints_without_errors() {
         for s in muse_scenarios::all_scenarios() {
-            let report = lint_scenario(&s).unwrap();
+            let (report, _) = lint_scenario(&s, false).unwrap();
             assert!(
                 report.is_clean(),
                 "{}: {} errors\n{}",

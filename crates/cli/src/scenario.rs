@@ -26,6 +26,7 @@ struct Options {
     deadline_ms: Option<u64>,
     max_rows: Option<u64>,
     max_terms: Option<u64>,
+    auto_chase_budget: bool,
     faults: Option<String>,
     synth: Option<(usize, u64)>,
 }
@@ -44,8 +45,33 @@ impl Options {
         if let Some(n) = self.max_terms {
             b = b.with_max_terms(n);
         }
+        if self.auto_chase_budget {
+            b = b.with_auto_chase_steps();
+        }
         b
     }
+}
+
+/// Resolve a `--auto-chase-budget` request: install the termination
+/// analyzer's static chase-step bound over this instance as the budget's
+/// `max_chase_steps` (a no-op unless auto mode was requested).
+fn resolve_auto_budget(
+    budget: &mut Budget,
+    scenario: &Scenario,
+    instance: &muse_nr::Instance,
+    mappings: &[muse_mapping::Mapping],
+) {
+    if !budget.auto_chase_steps {
+        return;
+    }
+    let sizes = muse_lint::termination::path_sizes(&scenario.source_schema, instance);
+    let bound = muse_lint::termination::chase_step_bound(
+        &scenario.source_schema,
+        &scenario.source_constraints,
+        mappings,
+        &sizes,
+    );
+    budget.resolve_auto_chase_steps(bound);
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -60,6 +86,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         deadline_ms: None,
         max_rows: None,
         max_terms: None,
+        auto_chase_budget: false,
         faults: None,
         synth: None,
     };
@@ -72,6 +99,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--lint-deny" => {
                 opts.lint_deny = true;
+                i += 1;
+            }
+            "--auto-chase-budget" => {
+                opts.auto_chase_budget = true;
                 i += 1;
             }
             "--deadline-ms" => {
@@ -348,7 +379,8 @@ fn run_oracle(
     } else {
         Metrics::disabled()
     };
-    let budget = opts.budget();
+    let mut budget = opts.budget();
+    resolve_auto_budget(&mut budget, scenario, &instance, &mappings);
     let session = Session::new(
         &scenario.source_schema,
         &scenario.target_schema,
@@ -394,7 +426,8 @@ fn run_interactive(scenario: &Scenario, opts: &Options) -> i32 {
     } else {
         Metrics::disabled()
     };
-    let budget = opts.budget();
+    let mut budget = opts.budget();
+    resolve_auto_budget(&mut budget, scenario, &instance, &mappings);
     let session = Session::new(
         &scenario.source_schema,
         &scenario.target_schema,

@@ -11,11 +11,17 @@
 //! * `SC005` — no bare `thread::spawn` (library parallelism must go
 //!   through `muse-par`'s panic-isolated scoped pool),
 //! * `SC006` — no `.join().unwrap()` (a panicking worker would take the
-//!   caller down with it; `muse_par::try_scope_map` isolates instead).
+//!   caller down with it; `muse_par::try_scope_map` isolates instead),
+//! * `SC007` — no iteration over a `HashMap`/`HashSet` in designer-
+//!   reachable code (`.iter()`, `.keys()`, `.values()`, `.into_iter()`,
+//!   `for … in`): hash order is nondeterministic per process, so anything
+//!   it feeds — transcripts, diagnostics, WAL records — would differ
+//!   between byte-identical runs. Iterate a `BTreeMap`/`BTreeSet`, or
+//!   sort before use and waive the site.
 //!
-//! SC001–SC003 apply to the crates whose code runs inside a designer
-//! session (`mapping`, `wizard`, `chase` and this crate); SC004–SC006
-//! apply workspace-wide. Exempt: `bin/`, `tests/`, `benches/` directories,
+//! SC001–SC003 and SC007 apply to the crates whose code runs inside a
+//! designer session (`mapping`, `wizard`, `chase` and this crate);
+//! SC004–SC006 apply workspace-wide. Exempt: `bin/`, `tests/`, `benches/` directories,
 //! `tests.rs` files, `#[cfg(test)]` modules, comments and string literals.
 //! A finding is waived by `// lint:allow(SCxxx)` on the same or the
 //! preceding line, which by convention states the invariant making the
@@ -143,6 +149,12 @@ fn scan_file(path: &Path, text: &str, no_panic: bool, findings: &mut Vec<Finding
         checks.push(("SC003", "panic!(", "panic! in designer-reachable code"));
     }
 
+    let hash_names = if no_panic {
+        hash_idents(&masked)
+    } else {
+        Vec::new()
+    };
+
     for (lineno, line) in masked.lines().enumerate() {
         for &(code, pat, what) in &checks {
             if !line.contains(pat) {
@@ -163,7 +175,113 @@ fn scan_file(path: &Path, text: &str, no_panic: bool, findings: &mut Vec<Finding
                 });
             }
         }
+        if let Some(name) = hash_iteration(line, &hash_names) {
+            let waived = ["lint:allow(SC007)"].iter().any(|allow| {
+                src_lines.get(lineno).is_some_and(|l| l.contains(allow))
+                    || (lineno > 0 && src_lines.get(lineno - 1).is_some_and(|l| l.contains(allow)))
+            });
+            if !waived {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line: lineno + 1,
+                    code: "SC007",
+                    what: format!(
+                        "iteration over hash collection `{name}` in designer-reachable \
+                         code (hash order is nondeterministic; use a BTree collection \
+                         or sort before use)"
+                    ),
+                });
+            }
+        }
     }
+}
+
+/// Identifiers declared as `HashMap`/`HashSet` in this file. A declaration
+/// is the identifier immediately left of a `: HashMap…` type annotation
+/// (struct fields, fn parameters, `let` with annotation) or of an
+/// `= HashMap::new()`-style initializer. Single-line heuristic — Muse code
+/// declares hash collections with the type on the binding line. Uses on
+/// `self.name` / `x.name` still match, the iteration patterns are
+/// substring searches on the bare name.
+fn hash_idents(masked: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in masked.lines() {
+        for pat in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(at) = line[from..].find(pat) {
+                let abs = from + at;
+                from = abs + pat.len();
+                // Walk left over the type-position syntax to the declared
+                // identifier: `name: Hash…`, `name: &Hash…`, `name = Hash…`.
+                let before = line[..abs].trim_end();
+                let before = before
+                    .trim_end_matches(['&', ' '])
+                    .trim_end_matches("mut")
+                    .trim_end();
+                let Some(pre) = before
+                    .strip_suffix(':')
+                    .or_else(|| before.strip_suffix('='))
+                else {
+                    continue;
+                };
+                // `use std::collections::HashMap` leaves a trailing `:`.
+                let pre = pre.trim_end();
+                if pre.ends_with(':') {
+                    continue;
+                }
+                let name: String = pre
+                    .chars()
+                    .rev()
+                    .take_while(|ch| ch.is_ascii_alphanumeric() || *ch == '_')
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect();
+                if !name.is_empty()
+                    && !name.starts_with(|c: char| c.is_ascii_digit())
+                    && !names.contains(&name)
+                {
+                    names.push(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Does `line` iterate one of `names` (order-sensitive hash traversal)?
+/// Returns the offending identifier.
+fn hash_iteration(line: &str, names: &[String]) -> Option<String> {
+    for name in names {
+        for suffix in [
+            ".iter()",
+            ".keys()",
+            ".values()",
+            ".into_iter()",
+            ".drain()",
+        ] {
+            let pat = format!("{name}{suffix}");
+            if let Some(at) = line.find(&pat) {
+                let boundary = at == 0
+                    || !line.as_bytes()[at - 1].is_ascii_alphanumeric()
+                        && line.as_bytes()[at - 1] != b'_';
+                if boundary {
+                    return Some(name.clone());
+                }
+            }
+        }
+        for pat in [
+            format!(" in &{name} "),
+            format!(" in &{name} {{"),
+            format!(" in &mut {name} {{"),
+            format!(" in {name} {{"),
+        ] {
+            if line.contains(&pat) {
+                return Some(name.clone());
+            }
+        }
+    }
+    None
 }
 
 /// Replace comments, string literals and char literals with spaces,
@@ -356,4 +474,56 @@ fn mask_test_modules(code: &str) -> String {
         }
     }
     lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_in(src: &str, no_panic: bool) -> Vec<(&'static str, usize)> {
+        let mut out = Vec::new();
+        scan_file(Path::new("test.rs"), src, no_panic, &mut out);
+        out.into_iter().map(|f| (f.code, f.line)).collect()
+    }
+
+    #[test]
+    fn sc007_flags_hash_iteration_in_no_panic_code() {
+        let src = "fn f() {\n\
+                   \x20   let mut seen: HashMap<String, u32> = HashMap::new();\n\
+                   \x20   for (k, v) in seen.iter() {\n\
+                   \x20       emit(k, v);\n\
+                   \x20   }\n\
+                   }\n";
+        assert_eq!(findings_in(src, true), vec![("SC007", 3)]);
+        // The same code outside a no-panic crate is not scanned for SC007.
+        assert_eq!(findings_in(src, false), vec![]);
+    }
+
+    #[test]
+    fn sc007_covers_fields_keys_values_and_for_loops() {
+        let src = "struct S { pub index: HashSet<u32> }\n\
+                   fn f(s: &S, m: HashMap<u32, u32>) {\n\
+                   \x20   for x in s.index.keys() {}\n\
+                   \x20   for v in m.values() {}\n\
+                   \x20   for x in &m {}\n\
+                   }\n";
+        let hits = findings_in(src, true);
+        assert!(hits.contains(&("SC007", 3)), "{hits:?}");
+        assert!(hits.contains(&("SC007", 4)), "{hits:?}");
+        assert!(hits.contains(&("SC007", 5)), "{hits:?}");
+    }
+
+    #[test]
+    fn sc007_ignores_lookups_waivers_and_other_idents() {
+        let src = "fn f() {\n\
+                   \x20   let cache: HashMap<String, u32> = HashMap::new();\n\
+                   \x20   let hit = cache.get(\"k\");\n\
+                   \x20   // lint:allow(SC007) sorted right below\n\
+                   \x20   let mut all: Vec<_> = cache.iter().collect();\n\
+                   \x20   let rows: Vec<u32> = Vec::new();\n\
+                   \x20   for r in rows.iter() {}\n\
+                   \x20   my_cache.iter();\n\
+                   }\n";
+        assert_eq!(findings_in(src, true), vec![]);
+    }
 }

@@ -1,0 +1,369 @@
+//! `--explain`: the diagnostic-code registry.
+//!
+//! Every `MUSE-XXXX` code any pass can emit has an entry here — a one-line
+//! summary, a longer explanation of what the finding means and why it
+//! matters, and the usual fix. `muse lint --explain MUSE-XXXX` prints the
+//! entry; the registry test (and a workspace-source scan in the CLI tests)
+//! fails the build when a pass invents a code without documenting it.
+
+/// One registry entry.
+#[derive(Debug, Clone, Copy)]
+pub struct Explanation {
+    /// The stable code, e.g. `MUSE-P001`.
+    pub code: &'static str,
+    /// Default severity, as emitted (`error` / `warning` / `info`; a few
+    /// codes escalate, noted in the text).
+    pub severity: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// What it means and why it matters.
+    pub detail: &'static str,
+    /// The usual fix.
+    pub fix: &'static str,
+}
+
+/// All documented diagnostic codes, in pass order.
+pub const REGISTRY: &[Explanation] = &[
+    // Pass 1 — well-formedness (MUSE-W…).
+    Explanation {
+        code: "MUSE-W001",
+        severity: "error",
+        summary: "variable bound to a set the schema doesn't have",
+        detail: "A for/exists variable names a set path that does not resolve in its \
+                 schema. Nothing downstream (chase, wizards) can evaluate the mapping.",
+        fix: "fix the set path, or add the set to the schema",
+    },
+    Explanation {
+        code: "MUSE-W002",
+        severity: "error",
+        summary: "nested variable whose parent binding is inconsistent",
+        detail: "A child variable ('q in o.Projects') names a parent variable or field \
+                 that doesn't exist, isn't set-typed, or is declared after the child.",
+        fix: "declare the parent first and bind the child through one of its set fields",
+    },
+    Explanation {
+        code: "MUSE-W003",
+        severity: "error",
+        summary: "dangling reference: unknown variable or unknown/non-atomic attribute",
+        detail: "An equality or grouping argument projects an attribute that the \
+                 variable's element record does not have (or that is itself a set).",
+        fix: "fix the attribute name; only atomic attributes can be compared or grouped on",
+    },
+    Explanation {
+        code: "MUSE-W004",
+        severity: "error",
+        summary: "type-incompatible equality",
+        detail: "The two sides of an equality have different atomic types (Int vs Str): \
+                 it can never hold, so the mapping never fires.",
+        fix: "compare attributes of the same type, or fix the schema types",
+    },
+    Explanation {
+        code: "MUSE-W005",
+        severity: "warning",
+        summary: "source variable that constrains nothing",
+        detail: "A for variable appears in no equality, no where clause, and no grouping: \
+                 it only multiplies the enumeration (a hidden cartesian factor).",
+        fix: "remove the variable, or relate it to the rest of the mapping",
+    },
+    Explanation {
+        code: "MUSE-W006",
+        severity: "warning",
+        summary: "duplicate clause (same atom twice)",
+        detail: "The same equality or binding is stated twice; the duplicate is dead \
+                 weight and usually a copy-paste slip.",
+        fix: "remove the duplicate clause",
+    },
+    Explanation {
+        code: "MUSE-W007",
+        severity: "error",
+        summary: "two where clauses assign the same target attribute",
+        detail: "Conflicting assignments to one target attribute make the mapping's \
+                 output ill-defined (the chase would have to pick one arbitrarily).",
+        fix: "keep one assignment, or split into two mappings",
+    },
+    Explanation {
+        code: "MUSE-W008",
+        severity: "warning",
+        summary: "degenerate or-group",
+        detail: "An or-group with fewer than two distinct alternatives encodes no real \
+                 choice — it is either redundant or a generator artifact.",
+        fix: "collapse the group to a plain equality",
+    },
+    // Pass 2 — constraints (MUSE-C…).
+    Explanation {
+        code: "MUSE-C001",
+        severity: "error",
+        summary: "constraint names a set or attribute the schema doesn't have",
+        detail: "A key, FD, or referential constraint points at a path that does not \
+                 resolve; the constraint engine would silently ignore it.",
+        fix: "fix the constraint's paths",
+    },
+    Explanation {
+        code: "MUSE-C002",
+        severity: "warning",
+        summary: "FD implied by the closure of the other FDs and keys",
+        detail: "The FD adds nothing: it already follows from the rest of the constraint \
+                 set under Armstrong closure.",
+        fix: "drop the redundant FD",
+    },
+    Explanation {
+        code: "MUSE-C003",
+        severity: "warning",
+        summary: "key already implied by the declared FDs alone",
+        detail: "The declared key is derivable from the FDs; declaring it twice invites \
+                 drift between the two declarations.",
+        fix: "drop the key or the implying FDs",
+    },
+    Explanation {
+        code: "MUSE-C004",
+        severity: "error",
+        summary: "referential constraint whose endpoints don't type-check",
+        detail: "The from/to attribute lists of a foreign key have incompatible types, \
+                 so the inclusion can never be checked meaningfully.",
+        fix: "align the attribute types on both endpoints",
+    },
+    Explanation {
+        code: "MUSE-C005",
+        severity: "error",
+        summary: "referential constraint with mismatched attribute arity",
+        detail: "A foreign key lists a different number of from- and to-attributes.",
+        fix: "make both attribute lists the same length",
+    },
+    Explanation {
+        code: "MUSE-C006",
+        severity: "warning",
+        summary: "mapping not closed under the source referential constraints",
+        detail: "The mapping joins through attributes covered by a foreign key but does \
+                 not include the referenced set, so semantically related tuples are \
+                 exchanged without their context (Sec. II's association completeness).",
+        fix: "extend the for clause along the foreign key, or accept the narrower exchange",
+    },
+    Explanation {
+        code: "MUSE-C007",
+        severity: "error",
+        summary: "referential constraints form a cycle",
+        detail: "The source foreign keys are cyclic, so chase-based association expansion \
+                 would not terminate.",
+        fix: "break the cycle (drop or reorient one constraint)",
+    },
+    // Pass 3 — ambiguity (MUSE-A…).
+    Explanation {
+        code: "MUSE-A001",
+        severity: "info",
+        summary: "a target attribute with an or-group of n alternatives",
+        detail: "Generated mappings encode attribute-level ambiguity as or-groups; this \
+                 reports each group's fan-out — the raw material of Muse-D.",
+        fix: "run Muse-D (or muse design) to resolve the choice",
+    },
+    Explanation {
+        code: "MUSE-A002",
+        severity: "info",
+        summary: "worst-case alternative-target-instance count (warning past 64)",
+        detail: "The product of all or-group fan-outs: how many distinct target \
+                 instances the ambiguous mapping set encodes. Past 64 it escalates to a \
+                 warning — enumeration-based tooling will not scale there.",
+        fix: "disambiguate with Muse-D before chasing",
+    },
+    Explanation {
+        code: "MUSE-A003",
+        severity: "info",
+        summary: "Muse-G question budget per nested set, after key/FD pruning",
+        detail: "Bounds on how many designer questions Muse-G needs for each grouping \
+                 function, given the declared keys and FDs (paper Sec. III).",
+        fix: "nothing to fix; add keys/FDs to shrink the budget",
+    },
+    Explanation {
+        code: "MUSE-A004",
+        severity: "error",
+        summary: "poss exceeds the 128-attribute FD engine",
+        detail: "The candidate-argument space of a grouping function has more than 128 \
+                 attributes — beyond the bitset FD engine's capacity.",
+        fix: "narrow the mapping (fewer bound attributes per nesting level)",
+    },
+    Explanation {
+        code: "MUSE-A005",
+        severity: "error",
+        summary: "non-key attributes determine key attributes (multi-key case)",
+        detail: "The declared constraints make a non-key set of attributes determine a \
+                 key, which breaks the pruning lattice Muse-G's question strategy relies \
+                 on.",
+        fix: "review the declared keys/FDs; one of them is wrong",
+    },
+    // Pass 4 — grouping (MUSE-G…).
+    Explanation {
+        code: "MUSE-G001",
+        severity: "error",
+        summary: "nested set the mapping fills but declares no grouping for",
+        detail: "Without a grouping (Skolem) function the chase cannot decide which \
+                 nested set a tuple lands in.",
+        fix: "declare `group … by (…)`, or call ensure_default_groupings",
+    },
+    Explanation {
+        code: "MUSE-G002",
+        severity: "error",
+        summary: "grouping declared on a set the mapping does not fill",
+        detail: "The grouping designs nothing: no target variable of the mapping feeds \
+                 that nested set.",
+        fix: "remove it, or add target variables that fill the set",
+    },
+    Explanation {
+        code: "MUSE-G003",
+        severity: "error",
+        summary: "grouping argument that is not a bound atomic source attribute",
+        detail: "Skolem arguments must be attributes the for clause actually binds at \
+                 that nesting level, or the chase cannot evaluate the term.",
+        fix: "use attributes from poss(m, SK)",
+    },
+    Explanation {
+        code: "MUSE-G004",
+        severity: "info",
+        summary: "empty argument list: one global group",
+        detail: "A legal but drastic choice — every tuple shares a single nested set.",
+        fix: "confirm it is intended (Muse-G's scenario pair will show the difference)",
+    },
+    Explanation {
+        code: "MUSE-G005",
+        severity: "info",
+        summary: "arguments implied by the others under the source FDs",
+        detail: "Some grouping arguments are functionally determined by the rest: the \
+                 grouping is equivalent to the reduced one.",
+        fix: "drop the implied arguments (purely cosmetic)",
+    },
+    // Pass 5 — plans (MUSE-P…).
+    Explanation {
+        code: "MUSE-P001",
+        severity: "warning",
+        summary: "disconnected join graph: the for clause enumerates a cartesian product",
+        detail: "No equality or parent binding relates one group of variables to the \
+                 rest, so the enumeration multiplies unrelated sets — quadratic or worse \
+                 chase and wizard work, and usually a missing satisfy clause.",
+        fix: "add a satisfy equality relating the groups, or split the mapping",
+    },
+    Explanation {
+        code: "MUSE-P002",
+        severity: "warning",
+        summary: "trivial self-equality: always true, dead predicate",
+        detail: "Both sides of the equality are the same reference (x.a = x.a); the \
+                 predicate filters nothing and usually marks a typo.",
+        fix: "drop the predicate, or fix the intended reference",
+    },
+    Explanation {
+        code: "MUSE-P003",
+        severity: "error",
+        summary: "always-empty predicate: the mapping can never fire",
+        detail: "The predicate is unsatisfiable (x.a ≠ x.a, or an equality between two \
+                 distinct constants), so the mapping's binding set is provably empty.",
+        fix: "remove the mapping or repair the predicate",
+    },
+    Explanation {
+        code: "MUSE-P004",
+        severity: "info",
+        summary: "plan step that full-scans its set mid-join",
+        detail: "The static evaluation plan binds this variable with neither a parent \
+                 nor a probe attribute: every tuple of its set is enumerated under every \
+                 combination of the variables before it.",
+        fix: "add an equality the planner can probe on (often a key attribute)",
+    },
+    // Pass 6 — termination (MUSE-T…).
+    Explanation {
+        code: "MUSE-T001",
+        severity: "warning",
+        summary: "not weakly acyclic: special-edge cycle in the position graph",
+        detail: "A cycle through a special (existential) edge means a value-inventing \
+                 chase can feed itself forever: no static step bound exists (Fagin et \
+                 al.'s weak-acyclicity test fails).",
+        fix: "assign the existential attribute from a source position, or drop the \
+              circular referential constraint",
+    },
+    Explanation {
+        code: "MUSE-T002",
+        severity: "info",
+        summary: "weakly acyclic: every chase sequence terminates",
+        detail: "The position dependency graph has no special-edge cycle, so the chase \
+                 terminates on every instance and a static chase-step bound is \
+                 computable — Budget::auto (muse serve preflight, --auto-chase-budget) \
+                 installs it as max_chase_steps.",
+        fix: "nothing to fix; this is the good case",
+    },
+];
+
+/// Look up a code (case-insensitive, `MUSE-` prefix optional).
+pub fn lookup(code: &str) -> Option<&'static Explanation> {
+    let norm = code.trim().to_ascii_uppercase();
+    let norm = if norm.starts_with("MUSE-") {
+        norm
+    } else {
+        format!("MUSE-{norm}")
+    };
+    REGISTRY.iter().find(|e| e.code == norm)
+}
+
+/// Render one entry the way `muse lint --explain` prints it.
+pub fn render(e: &Explanation) -> String {
+    format!(
+        "{} ({})\n  {}\n\n  {}\n\n  fix: {}\n",
+        e.code, e.severity, e.summary, e.detail, e.fix
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn lookup_is_forgiving() {
+        assert_eq!(lookup("MUSE-P001").unwrap().code, "MUSE-P001");
+        assert_eq!(lookup("p001").unwrap().code, "MUSE-P001");
+        assert_eq!(lookup(" muse-t002 ").unwrap().code, "MUSE-T002");
+        assert!(lookup("MUSE-Z999").is_none());
+    }
+
+    #[test]
+    fn registry_has_no_duplicates_and_valid_severities() {
+        let mut seen = BTreeSet::new();
+        for e in REGISTRY {
+            assert!(seen.insert(e.code), "duplicate registry entry {}", e.code);
+            assert!(
+                ["error", "warning", "info"].contains(&e.severity),
+                "{}: bad severity {}",
+                e.code,
+                e.severity
+            );
+            assert!(!e.summary.is_empty() && !e.detail.is_empty() && !e.fix.is_empty());
+        }
+    }
+
+    /// Every code the passes can emit is documented: scan this crate's pass
+    /// sources for `"MUSE-XXXX"` literals and demand a registry entry.
+    #[test]
+    fn every_emitted_code_is_documented() {
+        let sources = [
+            include_str!("wellformed.rs"),
+            include_str!("constraints.rs"),
+            include_str!("ambiguity.rs"),
+            include_str!("grouping.rs"),
+            include_str!("plan.rs"),
+            include_str!("termination.rs"),
+        ];
+        let mut emitted = BTreeSet::new();
+        for src in sources {
+            for (i, _) in src.match_indices("\"MUSE-") {
+                let rest = &src[i + 1..];
+                if let Some(end) = rest.find('"') {
+                    let code = &rest[..end];
+                    if code.len() == 9 {
+                        emitted.insert(code.to_string());
+                    }
+                }
+            }
+        }
+        assert!(!emitted.is_empty(), "scan found no codes — broken test?");
+        for code in &emitted {
+            assert!(
+                lookup(code).is_some(),
+                "{code} is emitted but has no --explain entry (add it to explain::REGISTRY)"
+            );
+        }
+    }
+}

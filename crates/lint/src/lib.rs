@@ -7,7 +7,7 @@
 //! runtime `WizardError`s; this crate turns them into first-class
 //! [`Diagnostic`]s a designer (or CI) can act on without running anything.
 //!
-//! Four passes, run in order over a [`LintInput`]:
+//! Six passes, run in order over a [`LintInput`]:
 //!
 //! 1. [`wellformed`] — unbound/unused mapping variables, dangling schema
 //!    paths, type-incompatible equalities, duplicate atoms (`MUSE-W…`);
@@ -19,7 +19,13 @@
 //!    and upper/lower bounds on Muse-G questions after key/FD pruning
 //!    (`MUSE-A…`);
 //! 4. [`grouping`] — grouping/Skolem safety: missing, misplaced, or
-//!    ill-argumented grouping functions (`MUSE-G…`).
+//!    ill-argumented grouping functions (`MUSE-G…`);
+//! 5. [`plan`] — join-graph shape (cartesian products, dead or
+//!    always-false predicates) and each mapping's static evaluation plan
+//!    (`MUSE-P…`);
+//! 6. [`termination`] — weak acyclicity of the position dependency graph
+//!    and static chase-step bounds (`MUSE-T…`), the source of
+//!    `Budget::auto` chase budgets.
 //!
 //! The crate also ships the workspace *self-check* binary
 //! (`src/bin/selfcheck.rs`): a zero-dependency scanner enforcing the repo
@@ -31,7 +37,10 @@ pub mod ambiguity;
 pub mod budget;
 pub mod constraints;
 pub mod diag;
+pub mod explain;
 pub mod grouping;
+pub mod plan;
+pub mod termination;
 pub mod wellformed;
 
 pub use diag::{Diagnostic, Severity};
@@ -146,6 +155,8 @@ pub fn lint_with(input: &LintInput, metrics: &Metrics) -> LintReport {
         constraints::check(input, &mut report.diagnostics);
         ambiguity::check(input, &mut report.diagnostics);
         grouping::check(input, &mut report.diagnostics);
+        plan::check(input, &mut report.diagnostics);
+        termination::check(input, &mut report.diagnostics);
     }
     metrics.incr("lint.runs");
     metrics.add("lint.diagnostics", report.diagnostics.len() as u64);

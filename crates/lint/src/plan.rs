@@ -1,0 +1,226 @@
+//! Pass 5 — join-graph shape and static evaluation plans.
+//!
+//! Codes:
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | `MUSE-P001` | warning | disconnected join graph: the `for` clause enumerates a cartesian product |
+//! | `MUSE-P002` | warning | trivial self-equality (`x.a = x.a`): always true, dead predicate |
+//! | `MUSE-P003` | error | always-empty predicate (`x.a ≠ x.a`, or an equality between two distinct constants): the mapping can never fire |
+//! | `MUSE-P004` | info | plan step that full-scans its set mid-join (no parent, no probe attribute) |
+//!
+//! The *join graph* of a mapping's source query has one node per `for`
+//! variable and an edge for every equality relating two variables and every
+//! parent–child binding. A disconnected graph means the enumeration
+//! multiplies unrelated sets — almost always a missing `satisfy` clause,
+//! and quadratic (or worse) chase work even when intended.
+//!
+//! The pass also derives each mapping's static evaluation plan
+//! ([`muse_query::plan_query`] under the source constraints' selectivity
+//! hints) — both to flag mid-join full scans (`MUSE-P004`) and to publish
+//! the plans as a machine-readable artifact ([`plans`], surfaced by
+//! `muse lint --plans`). The published plan is exactly the one the chase
+//! and the wizards execute, so the artifact doubles as an explain output.
+
+use muse_obs::Json;
+use muse_query::{plan_query, SelectivityHints};
+
+use crate::diag::Diagnostic;
+use crate::LintInput;
+
+/// Run the pass over every mapping.
+pub fn check(input: &LintInput, out: &mut Vec<Diagnostic>) {
+    let hints = SelectivityHints::from_constraints(input.source_schema, input.source_constraints);
+    for m in input.mappings {
+        let q = m.source_query();
+        let path = format!("mappings/{}/for", m.name);
+
+        // Join graph connectivity (P001) over eq edges + parent edges.
+        let n = q.vars.len();
+        if n > 1 {
+            let mut uf: Vec<usize> = (0..n).collect();
+            for (i, v) in q.vars.iter().enumerate() {
+                if let Some((p, _)) = &v.parent {
+                    union(&mut uf, i, *p);
+                }
+            }
+            for (a, b) in &q.eqs {
+                if let (Some(va), Some(vb)) = (a.var(), b.var()) {
+                    union(&mut uf, va, vb);
+                }
+            }
+            let mut components: Vec<usize> = (0..n).map(|i| find(&mut uf, i)).collect();
+            components.sort_unstable();
+            components.dedup();
+            if components.len() > 1 {
+                let groups: Vec<String> = components
+                    .iter()
+                    .map(|&root| {
+                        let members: Vec<&str> = (0..n)
+                            .filter(|&i| find(&mut uf, i) == root)
+                            .map(|i| q.vars[i].name.as_str())
+                            .collect();
+                        format!("{{{}}}", members.join(", "))
+                    })
+                    .collect();
+                out.push(
+                    Diagnostic::warning(
+                        "MUSE-P001",
+                        path.clone(),
+                        format!(
+                            "join graph is disconnected ({}): the for clause enumerates a \
+                             cartesian product",
+                            groups.join(" × ")
+                        ),
+                    )
+                    .with_suggestion(
+                        "add a satisfy equality relating the groups, or split the mapping",
+                    ),
+                );
+            }
+        }
+
+        // Predicate triviality (P002/P003).
+        for (i, (a, b)) in q.eqs.iter().enumerate() {
+            if a == b {
+                out.push(
+                    Diagnostic::warning(
+                        "MUSE-P002",
+                        format!("mappings/{}/satisfy[{i}]", m.name),
+                        "trivial self-equality: both sides are the same reference",
+                    )
+                    .with_suggestion("drop the predicate, or fix a copy-paste typo"),
+                );
+            }
+            if let (muse_query::Operand::Const(x), muse_query::Operand::Const(y)) = (a, b) {
+                if x != y {
+                    out.push(Diagnostic::error(
+                        "MUSE-P003",
+                        format!("mappings/{}/satisfy[{i}]", m.name),
+                        format!(
+                            "equality between distinct constants ({x:?} = {y:?}) is always \
+                                 false: the mapping can never fire"
+                        ),
+                    ));
+                }
+            }
+        }
+        for (i, (a, b)) in q.neqs.iter().enumerate() {
+            if a == b {
+                out.push(Diagnostic::error(
+                    "MUSE-P003",
+                    format!("mappings/{}/satisfy[{i}]", m.name),
+                    "inequality of a reference with itself is always false: the mapping can \
+                     never fire",
+                ));
+            }
+        }
+
+        // Plan-shape notes (P004): mid-join full scans.
+        if let Ok(plan) = plan_query(input.source_schema, &q, Some(&hints)) {
+            for (pos, step) in plan.steps.iter().enumerate().skip(1) {
+                let v = &q.vars[step.var];
+                if v.parent.is_none() && step.probe_attrs.is_empty() {
+                    out.push(Diagnostic::info(
+                        "MUSE-P004",
+                        path.clone(),
+                        format!(
+                            "plan step {pos} full-scans {} for variable {}: no equality \
+                             connects it to the variables bound before it",
+                            v.set, v.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The serialized static evaluation plans, one per mapping — the artifact
+/// `muse lint --plans` prints. Unplannable mappings (reported by the other
+/// passes) map to `null`.
+pub fn plans(input: &LintInput) -> Json {
+    let hints = SelectivityHints::from_constraints(input.source_schema, input.source_constraints);
+    Json::Obj(
+        input
+            .mappings
+            .iter()
+            .map(|m| {
+                let q = m.source_query();
+                let body = plan_query(input.source_schema, &q, Some(&hints))
+                    .map(|p| p.to_json(input.source_schema, &q))
+                    .unwrap_or(Json::Null);
+                (m.name.clone(), body)
+            })
+            .collect(),
+    )
+}
+
+fn find(uf: &mut [usize], mut x: usize) -> usize {
+    while uf[x] != x {
+        uf[x] = uf[uf[x]];
+        x = uf[x];
+    }
+    x
+}
+
+fn union(uf: &mut [usize], a: usize, b: usize) {
+    let (ra, rb) = (find(uf, a), find(uf, b));
+    if ra != rb {
+        uf[ra.max(rb)] = ra.min(rb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{m2, OwnedInput};
+    use muse_mapping::{Mapping, PathRef};
+    use muse_nr::SetPath;
+
+    #[test]
+    fn fig1_is_plan_clean() {
+        let owned = OwnedInput::fig1(vec![m2()]);
+        let mut out = Vec::new();
+        check(&owned.as_input(), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn cartesian_product_trips_p001_and_p004() {
+        let mut m = Mapping::new("cart");
+        m.source_var("c", SetPath::parse("Companies"));
+        m.source_var("e", SetPath::parse("Employees"));
+        let o = m.target_var("o", SetPath::parse("Orgs"));
+        m.where_eq(PathRef::new(0, "cname"), PathRef::new(o, "oname"));
+        let owned = OwnedInput::fig1(vec![m]);
+        let mut out = Vec::new();
+        check(&owned.as_input(), &mut out);
+        assert!(out.iter().any(|d| d.code == "MUSE-P001"), "{out:?}");
+        assert!(out.iter().any(|d| d.code == "MUSE-P004"), "{out:?}");
+        let p1 = out.iter().find(|d| d.code == "MUSE-P001").unwrap();
+        assert!(p1.message.contains("{c}"), "{}", p1.message);
+        assert!(p1.message.contains("{e}"), "{}", p1.message);
+    }
+
+    #[test]
+    fn self_equality_trips_p002() {
+        let mut m = m2();
+        m.source_eq(PathRef::new(0, "cname"), PathRef::new(0, "cname"));
+        let owned = OwnedInput::fig1(vec![m]);
+        let mut out = Vec::new();
+        check(&owned.as_input(), &mut out);
+        let codes: Vec<&str> = out.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"MUSE-P002"), "{out:?}");
+        assert!(!codes.contains(&"MUSE-P001"), "{out:?}");
+    }
+
+    #[test]
+    fn plans_artifact_names_every_mapping() {
+        let owned = OwnedInput::fig1(vec![m2()]);
+        let json = plans(&owned.as_input()).render();
+        assert!(json.contains("\"m2\""), "{json}");
+        assert!(json.contains("\"access\":\"probe\""), "{json}");
+        assert!(json.contains("\"key_covered\""), "{json}");
+    }
+}

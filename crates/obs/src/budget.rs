@@ -32,6 +32,12 @@ pub struct Budget {
     /// Maximum interned terms (SetIDs + labeled nulls) in a produced
     /// instance.
     pub max_terms: Option<u64>,
+    /// Derive `max_chase_steps` from static analysis: a holder that knows
+    /// the scenario's chase-step bound (the `MUSE-T` termination pass)
+    /// resolves this flag via [`Budget::resolve_auto_chase_steps`] before
+    /// running. Unresolved, the flag caps nothing — it is a request, not a
+    /// limit.
+    pub auto_chase_steps: bool,
 }
 
 impl Budget {
@@ -42,6 +48,7 @@ impl Budget {
             max_rows: None,
             max_chase_steps: None,
             max_terms: None,
+            auto_chase_steps: false,
         }
     }
 
@@ -79,6 +86,33 @@ impl Budget {
     pub fn with_max_terms(mut self, n: u64) -> Self {
         self.max_terms = Some(n);
         self
+    }
+
+    /// Request an automatic chase-step cap: whoever runs the chase computes
+    /// the scenario's static step bound (`muse-lint`'s termination pass)
+    /// and installs it with [`Budget::resolve_auto_chase_steps`].
+    pub fn with_auto_chase_steps(mut self) -> Self {
+        self.auto_chase_steps = true;
+        self
+    }
+
+    /// Resolve a pending [`Budget::with_auto_chase_steps`] request against
+    /// the statically computed step bound: installs `bound` as
+    /// `max_chase_steps` (tightening, never loosening, an explicit cap) and
+    /// clears the flag. No-op when auto mode was not requested.
+    ///
+    /// The bound is an over-approximation of the steps any chase of the
+    /// scenario can take, so resolving it never truncates a well-behaved
+    /// run — it only stops runaway ones.
+    pub fn resolve_auto_chase_steps(&mut self, bound: u64) {
+        if !self.auto_chase_steps {
+            return;
+        }
+        self.auto_chase_steps = false;
+        self.max_chase_steps = Some(match self.max_chase_steps {
+            Some(existing) => existing.min(bound),
+            None => bound,
+        });
     }
 
     /// True when no axis is limited.
@@ -252,6 +286,40 @@ mod tests {
         assert!(!b.terms_exhausted(3));
         assert!(b.terms_exhausted(4));
         assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn auto_chase_steps_resolves_to_the_bound() {
+        let mut b = Budget::unlimited().with_auto_chase_steps();
+        assert!(b.auto_chase_steps);
+        assert!(b.is_unlimited(), "unresolved auto caps nothing");
+        b.resolve_auto_chase_steps(42);
+        assert!(!b.auto_chase_steps);
+        assert_eq!(b.max_chase_steps, Some(42));
+        assert!(b.steps_exhausted(43));
+    }
+
+    #[test]
+    fn auto_chase_steps_never_loosens_an_explicit_cap() {
+        let mut b = Budget::unlimited()
+            .with_max_chase_steps(5)
+            .with_auto_chase_steps();
+        b.resolve_auto_chase_steps(1000);
+        assert_eq!(b.max_chase_steps, Some(5));
+
+        let mut b = Budget::unlimited()
+            .with_max_chase_steps(1000)
+            .with_auto_chase_steps();
+        b.resolve_auto_chase_steps(5);
+        assert_eq!(b.max_chase_steps, Some(5));
+    }
+
+    #[test]
+    fn resolve_without_auto_request_is_a_noop() {
+        let mut b = Budget::unlimited();
+        b.resolve_auto_chase_steps(7);
+        assert_eq!(b.max_chase_steps, None);
+        assert!(b.is_unlimited());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use muse_obs::{faultpoints, Budget, Counter, Metrics, Outcome, TruncationReason}
 use crate::ast::{Operand, QVar, Query};
 use crate::error::QueryError;
 use crate::explain::{Access, Explanation, Step};
+use crate::plan::EvalPlan;
 
 /// One result row: a tuple per query variable, in variable order.
 pub type Binding = Vec<Tuple>;
@@ -59,6 +60,32 @@ pub fn evaluate_deadline_with(
     deadline: Option<Instant>,
     metrics: &Metrics,
 ) -> Result<(Vec<Binding>, bool), QueryError> {
+    evaluate_planned_with(schema, inst, query, None, limit, deadline, metrics)
+}
+
+/// Like [`evaluate_deadline_with`], optionally driven by a static
+/// [`EvalPlan`] (see [`crate::plan`]). A plan changes *how* the search
+/// runs, never *what* it returns:
+///
+/// * at every position the search probes a composite hash index on all
+///   equality attributes bound at that point (the plan-less path probes a
+///   single attribute) — an order-preserving refinement, so limited and
+///   deadlined searches return the exact prefix the plan-less search would;
+/// * for complete enumerations (no limit, no deadline) the search binds
+///   variables in plan order, and emitted rows are restored to the
+///   plan-less emission order by rank-sorting before returning.
+///
+/// A plan that does not fit `query` (wrong arity, not a permutation,
+/// children before parents) is ignored.
+pub fn evaluate_planned_with(
+    schema: &Schema,
+    inst: &Instance,
+    query: &Query,
+    ext_plan: Option<&EvalPlan>,
+    limit: Option<usize>,
+    deadline: Option<Instant>,
+    metrics: &Metrics,
+) -> Result<(Vec<Binding>, bool), QueryError> {
     let _span = metrics.timer("query.eval_time").start();
     metrics.incr("query.evals");
     query.validate(schema)?;
@@ -66,7 +93,16 @@ pub fn evaluate_deadline_with(
         // The empty conjunction has exactly one (empty) binding.
         return Ok((vec![Vec::new()], false));
     }
-    let plan = Plan::build(schema, query)?;
+    // Plan order is only safe when the search is exhaustive: a limited or
+    // deadlined search must keep the legacy order so its result prefix is
+    // byte-identical.
+    let use_ext_order = ext_plan.is_some() && limit.is_none() && deadline.is_none();
+    let plan = Plan::build_ext(schema, query, ext_plan, use_ext_order)?;
+    let reorder = plan.emit_order.clone().map(|emit_order| Reorder {
+        emit_order,
+        rank_maps: HashMap::new(),
+        keys: Vec::new(),
+    });
     let mut out = Vec::new();
     let mut search = Search {
         inst,
@@ -79,13 +115,29 @@ pub fn evaluate_deadline_with(
         deadline,
         steps: 0,
         timed_out: false,
+        reorder,
         index_hits: metrics.counter("query.index_hits"),
         index_misses: metrics.counter("query.index_misses"),
     };
     search.descend(0);
     let (steps, raw_timed_out) = (search.steps, search.timed_out);
+    let reorder = search.reorder.take();
     drop(search);
     metrics.add("query.steps", steps);
+    if limit.is_some() {
+        // The limited share of the step total: these searches keep the
+        // legacy binding order (prefix identity), so only composite probes
+        // — not plan order — can shrink them.
+        metrics.add("query.steps_limited", steps);
+    }
+    if let Some(re) = reorder {
+        // Restore the legacy emission order: sort rows by their tuples'
+        // global enumeration ranks, compared in legacy binding order. Keys
+        // are unique (identical key ⇒ identical row), so the order is total.
+        let mut paired: Vec<(Vec<u32>, Binding)> = re.keys.into_iter().zip(out).collect();
+        paired.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out = paired.into_iter().map(|(_, row)| row).collect();
+    }
     // Consistency guard: a search that already produced its full `limit` of
     // bindings is complete for the caller's purposes, even if the deadline
     // check happened to fire on the same step. (`done()` tests the limit
@@ -123,6 +175,20 @@ pub fn evaluate_all_with(
     evaluate_budget_with(schema, inst, query, None, budget, metrics)
 }
 
+/// Plan-driven [`evaluate_all_with`]: same contract, with the search driven
+/// by `plan` when given (see [`evaluate_planned_with`] for the identical-
+/// results guarantee).
+pub fn evaluate_all_planned_with(
+    schema: &Schema,
+    inst: &Instance,
+    query: &Query,
+    plan: Option<&EvalPlan>,
+    budget: &Budget,
+    metrics: &Metrics,
+) -> Result<Outcome<Vec<Binding>>, QueryError> {
+    evaluate_budget_planned_with(schema, inst, query, plan, None, budget, metrics)
+}
+
 /// Budget-governed evaluation with an optional caller-side row `limit` on
 /// top. The caller's limit is *not* a truncation — asking for the first
 /// `l` rows and getting them is a complete answer; only the budget's own
@@ -131,6 +197,19 @@ pub fn evaluate_budget_with(
     schema: &Schema,
     inst: &Instance,
     query: &Query,
+    limit: Option<usize>,
+    budget: &Budget,
+    metrics: &Metrics,
+) -> Result<Outcome<Vec<Binding>>, QueryError> {
+    evaluate_budget_planned_with(schema, inst, query, None, limit, budget, metrics)
+}
+
+/// Plan-driven [`evaluate_budget_with`].
+pub fn evaluate_budget_planned_with(
+    schema: &Schema,
+    inst: &Instance,
+    query: &Query,
+    plan: Option<&EvalPlan>,
     limit: Option<usize>,
     budget: &Budget,
     metrics: &Metrics,
@@ -151,8 +230,15 @@ pub fn evaluate_budget_with(
         (Some(l), Some(cap)) => Some(l.min(cap)),
         (l, cap) => l.or(cap),
     };
-    let (rows, timed_out) =
-        evaluate_deadline_with(schema, inst, query, eff_limit, budget.deadline, metrics)?;
+    let (rows, timed_out) = evaluate_planned_with(
+        schema,
+        inst,
+        query,
+        plan,
+        eff_limit,
+        budget.deadline,
+        metrics,
+    )?;
     if timed_out {
         let reason = TruncationReason::DeadlineExpired;
         reason.record(metrics);
@@ -216,15 +302,55 @@ struct Plan {
     pos_of: Vec<usize>,
     /// Predicates (eq, then neq flag) that become checkable at each position.
     checks_at: Vec<Vec<(Op, Op, bool)>>,
-    /// For each position (top-level vars only): a usable index lookup — the
+    /// For each position (top-level vars only): usable index lookups — the
     /// attribute index on the new variable and the already-bound other side.
-    lookup_at: Vec<Option<(usize, Op)>>,
+    /// Without an external plan at most one entry (the legacy single-probe
+    /// choice); with one, every bound equality participates (composite key).
+    lookup_at: Vec<Vec<(usize, Op)>>,
     /// Field index of the parent's set-typed field, per variable.
     parent_field_idx: Vec<Option<(usize, usize)>>,
+    /// When `order` came from an external plan and differs from the greedy
+    /// order: the greedy order, for restoring the legacy emission order.
+    emit_order: Option<Vec<usize>>,
+}
+
+/// Does `ext` fit `query`: one step per variable, a permutation, parents
+/// placed before children?
+fn ext_order_fits(query: &Query, ext: &EvalPlan) -> bool {
+    let n = query.vars.len();
+    if ext.steps.len() != n {
+        return false;
+    }
+    let mut placed = vec![false; n];
+    for s in &ext.steps {
+        if s.var >= n || placed[s.var] {
+            return false;
+        }
+        if let Some((p, _)) = &query.vars[s.var].parent {
+            if !placed[*p] {
+                return false;
+            }
+        }
+        placed[s.var] = true;
+    }
+    true
 }
 
 impl Plan {
     fn build(schema: &Schema, query: &Query) -> Result<Plan, QueryError> {
+        Plan::build_ext(schema, query, None, false)
+    }
+
+    /// Build the runtime plan. `ext` (when present) switches every position
+    /// to composite probing; `use_ext_order` additionally takes the binding
+    /// order from it (recording the greedy order in `emit_order` when the
+    /// two differ, so the caller can restore legacy emission order).
+    fn build_ext(
+        schema: &Schema,
+        query: &Query,
+        ext: Option<&EvalPlan>,
+        use_ext_order: bool,
+    ) -> Result<Plan, QueryError> {
         let n = query.vars.len();
         let eqs: Vec<(Op, Op)> = query
             .eqs
@@ -281,6 +407,20 @@ impl Plan {
             order.push(v);
         }
 
+        // Swap in the external order for exhaustive searches; remember the
+        // greedy order so emission order can be restored.
+        let mut emit_order = None;
+        if use_ext_order {
+            if let Some(ext) = ext {
+                if ext_order_fits(query, ext) {
+                    let ext_order: Vec<usize> = ext.order().collect();
+                    if ext_order != order {
+                        emit_order = Some(std::mem::replace(&mut order, ext_order));
+                    }
+                }
+            }
+        }
+
         let mut pos_of = vec![0usize; n];
         for (pos, &v) in order.iter().enumerate() {
             pos_of[v] = pos;
@@ -304,27 +444,45 @@ impl Plan {
         }
 
         // Index-lookup opportunities: for a top-level variable at position p,
-        // find an equality `newvar.attr = other` where `other` is bound
-        // before p.
-        let mut lookup_at: Vec<Option<(usize, Op)>> = vec![None; n];
+        // equalities `newvar.attr = other` where `other` is bound before p.
+        // The legacy path keeps exactly the first such equality; with an
+        // external plan, all of them form one composite probe key.
+        let mut lookup_at: Vec<Vec<(usize, Op)>> = (0..n).map(|_| Vec::new()).collect();
         for (pos, &v) in order.iter().enumerate() {
             if query.vars[v].parent.is_some() {
                 continue;
             }
-            for (a, b, is_neq) in &checks_at[pos] {
-                if *is_neq {
-                    continue;
-                }
-                for (this, other) in [(a, b), (b, a)] {
-                    if let Op::Proj { var, idx } = this {
-                        if *var == v && other.max_var().is_none_or(|o| pos_of[o] < pos) {
-                            lookup_at[pos] = Some((*idx, other.clone()));
+            if ext.is_some() {
+                for (a, b, is_neq) in &checks_at[pos] {
+                    if *is_neq {
+                        continue;
+                    }
+                    for (this, other) in [(a, b), (b, a)] {
+                        if let Op::Proj { var, idx } = this {
+                            if *var == v && other.max_var().is_none_or(|o| pos_of[o] < pos) {
+                                lookup_at[pos].push((*idx, other.clone()));
+                            }
                         }
                     }
                 }
-                if lookup_at[pos].is_some() {
-                    break;
+            } else {
+                let mut chosen: Option<(usize, Op)> = None;
+                for (a, b, is_neq) in &checks_at[pos] {
+                    if *is_neq {
+                        continue;
+                    }
+                    for (this, other) in [(a, b), (b, a)] {
+                        if let Op::Proj { var, idx } = this {
+                            if *var == v && other.max_var().is_none_or(|o| pos_of[o] < pos) {
+                                chosen = Some((*idx, other.clone()));
+                            }
+                        }
+                    }
+                    if chosen.is_some() {
+                        break;
+                    }
                 }
+                lookup_at[pos].extend(chosen);
             }
         }
 
@@ -352,6 +510,7 @@ impl Plan {
             checks_at,
             lookup_at,
             parent_field_idx,
+            emit_order,
         })
     }
 }
@@ -372,7 +531,7 @@ pub(crate) fn plan_summary(schema: &Schema, query: &Query) -> Result<Explanation
                     .1
                     .clone(),
             }
-        } else if let Some((attr_idx, _)) = &plan.lookup_at[pos] {
+        } else if let Some((attr_idx, _)) = plan.lookup_at[pos].first() {
             let rcd = schema
                 .element_record(&qv.set)
                 .map_err(|_| QueryError::UnknownSet(qv.set.to_string()))?;
@@ -409,8 +568,47 @@ fn connectivity_score(v: usize, placed: &[bool], a: &Op, b: &Op) -> i64 {
 }
 
 /// Match lists are shared behind an `Rc`: a probe hands out one pointer
-/// clone instead of copying the whole `Vec<&Tuple>` per lookup.
-type AttrIndex<'a> = HashMap<Value, Rc<Vec<&'a Tuple>>>;
+/// clone instead of copying the whole `Vec<&Tuple>` per lookup. The index
+/// key is the probed attribute list — a singleton on the legacy path, the
+/// full composite probe key under an external plan.
+type AttrIndex<'a> = HashMap<Vec<Value>, Rc<Vec<&'a Tuple>>>;
+
+/// Rank bookkeeping for restoring the legacy emission order after a
+/// plan-ordered exhaustive search (see [`evaluate_planned_with`]).
+struct Reorder {
+    /// The greedy (legacy) binding order whose emission order we restore.
+    emit_order: Vec<usize>,
+    /// Per set path: tuple address → global `tuples_of_path` enumeration
+    /// rank. Addresses are stable for the duration of one evaluation, and
+    /// every candidate a search binds (full scan, index bucket, parent-set
+    /// iteration) is a tuple of its variable's path, so each bound tuple
+    /// has exactly one rank.
+    rank_maps: HashMap<SetPath, HashMap<usize, u32>>,
+    /// One key per emitted row: ranks in legacy binding order.
+    keys: Vec<Vec<u32>>,
+}
+
+impl Reorder {
+    fn push_key(&mut self, inst: &Instance, query: &Query, pos_of: &[usize], stack: &[&Tuple]) {
+        let mut key = Vec::with_capacity(self.emit_order.len());
+        for &v in &self.emit_order {
+            let t = stack[pos_of[v]];
+            let path = &query.vars[v].set;
+            let map = self.rank_maps.entry(path.clone()).or_insert_with(|| {
+                inst.tuples_of_path(path)
+                    .enumerate()
+                    .map(|(i, (_, t))| (std::ptr::from_ref(t) as usize, i as u32))
+                    .collect()
+            });
+            key.push(
+                map.get(&(std::ptr::from_ref(t) as usize))
+                    .copied()
+                    .unwrap_or(u32::MAX),
+            );
+        }
+        self.keys.push(key);
+    }
+}
 
 struct Search<'a, 'q, 'o> {
     inst: &'a Instance,
@@ -419,12 +617,13 @@ struct Search<'a, 'q, 'o> {
     /// Bound tuples, indexed by *variable index* (entries for unbound
     /// variables are placeholders until their position is reached).
     stack: Vec<&'a Tuple>,
-    index_cache: HashMap<(SetPath, usize), AttrIndex<'a>>,
+    index_cache: HashMap<(SetPath, Vec<usize>), AttrIndex<'a>>,
     out: &'o mut Vec<Binding>,
     limit: Option<usize>,
     deadline: Option<Instant>,
     steps: u64,
     timed_out: bool,
+    reorder: Option<Reorder>,
     index_hits: Counter,
     index_misses: Counter,
 }
@@ -483,6 +682,10 @@ impl<'a, 'q, 'o> Search<'a, 'q, 'o> {
             for (p, &v) in self.plan.order.iter().enumerate() {
                 row[v] = self.stack[p].clone();
             }
+            let (inst, query, plan, stack) = (self.inst, self.query, self.plan, &self.stack);
+            if let Some(re) = self.reorder.as_mut() {
+                re.push_key(inst, query, &plan.pos_of, stack);
+            }
             self.out.push(row);
             return;
         }
@@ -510,18 +713,25 @@ impl<'a, 'q, 'o> Search<'a, 'q, 'o> {
             return;
         }
 
-        if let Some((attr_idx, other)) = &self.plan.lookup_at[pos] {
-            // Hash-index lookup on (set path, attribute).
-            let needle = self.eval_op(other);
-            let key = (qv.set.clone(), *attr_idx);
+        let lookups = &self.plan.lookup_at[pos];
+        if !lookups.is_empty() {
+            // Hash-index lookup on (set path, probed attribute list).
+            let needle: Vec<Value> = lookups
+                .iter()
+                .map(|(_, other)| self.eval_op(other))
+                .collect();
+            let attrs: Vec<usize> = lookups.iter().map(|(idx, _)| *idx).collect();
+            let key = (qv.set.clone(), attrs);
             if self.index_cache.contains_key(&key) {
                 self.index_hits.incr();
             } else {
                 self.index_misses.incr();
-                let mut index: HashMap<Value, Vec<&'a Tuple>> = HashMap::new();
+                let mut index: HashMap<Vec<Value>, Vec<&'a Tuple>> = HashMap::new();
                 for (_, t) in inst.tuples_of_path(&qv.set) {
-                    if let Some(val) = t.get(*attr_idx) {
-                        index.entry(val.clone()).or_default().push(t);
+                    let vals: Option<Vec<Value>> =
+                        key.1.iter().map(|&i| t.get(i).cloned()).collect();
+                    if let Some(vals) = vals {
+                        index.entry(vals).or_default().push(t);
                     }
                 }
                 self.index_cache.insert(
@@ -792,6 +1002,125 @@ mod tests {
         q.add_eq(Operand::proj(e, "eid"), Operand::proj(p, "manager"));
         let rows = evaluate_all(&s, &inst, &q).unwrap();
         assert_eq!(rows.len(), 500);
+    }
+
+    #[test]
+    fn planned_eval_matches_reference_byte_for_byte() {
+        use crate::plan::{EvalPlan, PlanStep};
+
+        let s = compdb();
+        let mut b = InstanceBuilder::new(&s);
+        for i in 0..40 {
+            b.push_top(
+                "Companies",
+                vec![
+                    Value::int(i % 7),
+                    Value::str(format!("c{}", i % 5)),
+                    Value::str("X"),
+                ],
+            );
+            b.push_top(
+                "Projects",
+                vec![
+                    Value::str(format!("p{}", i % 3)),
+                    Value::int(i % 7),
+                    Value::str(format!("e{}", i % 4)),
+                ],
+            );
+            b.push_top(
+                "Employees",
+                vec![Value::str(format!("e{}", i % 4)), Value::str("n")],
+            );
+        }
+        let inst = b.finish().unwrap();
+        let mut q = Query::new();
+        let c = q.var("c", SetPath::parse("Companies"));
+        let p = q.var("p", SetPath::parse("Projects"));
+        let e = q.var("e", SetPath::parse("Employees"));
+        q.add_eq(Operand::proj(p, "cid"), Operand::proj(c, "cid"));
+        q.add_eq(Operand::proj(e, "eid"), Operand::proj(p, "manager"));
+        q.add_neq(Operand::proj(c, "cname"), Operand::Const(Value::str("c0")));
+
+        let reference = evaluate_all(&s, &inst, &q).unwrap();
+        // Every parent-respecting permutation must reproduce the reference
+        // rows in the reference order.
+        for order in [[c, p, e], [e, p, c], [p, c, e], [p, e, c], [c, e, p]] {
+            let plan = EvalPlan {
+                steps: order
+                    .iter()
+                    .map(|&v| PlanStep {
+                        var: v,
+                        probe_attrs: vec![],
+                        key_covered: false,
+                    })
+                    .collect(),
+            };
+            let m = Metrics::disabled();
+            let (rows, timed_out) =
+                evaluate_planned_with(&s, &inst, &q, Some(&plan), None, None, &m).unwrap();
+            assert!(!timed_out);
+            assert_eq!(rows, reference, "order {order:?} diverged");
+        }
+        // Limited searches keep the legacy order: identical prefixes.
+        let plan = crate::plan::plan_query(&s, &q, None).unwrap();
+        for limit in [1, 3, 7] {
+            let m = Metrics::disabled();
+            let (rows, _) =
+                evaluate_planned_with(&s, &inst, &q, Some(&plan), Some(limit), None, &m).unwrap();
+            assert_eq!(rows.as_slice(), &reference[..limit.min(reference.len())]);
+        }
+    }
+
+    #[test]
+    fn composite_probes_cut_steps() {
+        // Two equalities against the new variable: the legacy path probes
+        // one attribute and filters the rest per candidate; the planned
+        // path probes both at once. Same rows, strictly fewer steps.
+        let s = compdb();
+        let mut b = InstanceBuilder::new(&s);
+        for i in 0..300 {
+            b.push_top(
+                "Companies",
+                vec![
+                    Value::int(i % 2),
+                    Value::str(format!("c{i}")),
+                    Value::str("X"),
+                ],
+            );
+            b.push_top(
+                "Projects",
+                vec![
+                    Value::str("p"),
+                    Value::int(i % 2),
+                    Value::str(format!("c{i}")),
+                ],
+            );
+        }
+        let inst = b.finish().unwrap();
+        let mut q = Query::new();
+        let c = q.var("c", SetPath::parse("Companies"));
+        let p = q.var("p", SetPath::parse("Projects"));
+        q.add_eq(Operand::proj(p, "cid"), Operand::proj(c, "cid"));
+        q.add_eq(Operand::proj(p, "manager"), Operand::proj(c, "cname"));
+
+        let m_ref = Metrics::enabled();
+        let reference = evaluate_deadline_with(&s, &inst, &q, None, None, &m_ref)
+            .unwrap()
+            .0;
+        let plan = crate::plan::plan_query(&s, &q, None).unwrap();
+        let m_plan = Metrics::enabled();
+        let rows = evaluate_planned_with(&s, &inst, &q, Some(&plan), None, None, &m_plan)
+            .unwrap()
+            .0;
+        assert_eq!(rows, reference);
+        let (ref_steps, plan_steps) = (
+            m_ref.snapshot().counter("query.steps"),
+            m_plan.snapshot().counter("query.steps"),
+        );
+        assert!(
+            plan_steps * 10 < ref_steps,
+            "composite probe did not pay off: {plan_steps} vs {ref_steps}"
+        );
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Key/FD selectivity hints: the constraint-derived facts the static query
+//! planner consumes.
+//!
+//! A [`SelectivityHints`] digests a [`Constraints`] set into per-set-path
+//! attribute-index form: declared keys as index sets, plus an [`FdSet`]
+//! closure engine over the path's record attributes. The planner
+//! ([`crate::plan`]) asks one question of it — [`covers_unique`]: does
+//! binding *these* attributes pin down at most one tuple? — which decides
+//! both the bound-variable-propagation join order and the `factor = 1`
+//! terms of the static chase-step bound in `muse-lint`.
+//!
+//! [`covers_unique`]: SelectivityHints::covers_unique
+
+use std::collections::HashMap;
+
+use muse_nr::constraints::fdset::{attrs, AttrSet, FdSet};
+use muse_nr::{Constraints, Schema, SetPath};
+
+/// Per-path key/FD facts, indexed the same way the evaluator indexes
+/// attributes (field position within the element record).
+#[derive(Debug, Clone, Default)]
+pub struct SelectivityHints {
+    per_path: HashMap<SetPath, PathHints>,
+}
+
+#[derive(Debug, Clone)]
+struct PathHints {
+    /// Declared keys, as attribute-index bitsets.
+    keys: Vec<AttrSet>,
+    /// Closure engine over the path's attributes: every declared key as
+    /// `key → all`, plus the declared FDs.
+    fds: FdSet,
+}
+
+impl SelectivityHints {
+    /// Digest `constraints` against `schema`. Constraints naming unknown
+    /// paths or attributes are skipped (the lint `MUSE-C` pass reports
+    /// those); paths with more than 128 attributes fall outside the
+    /// [`FdSet`] engine and get no hints.
+    pub fn from_constraints(schema: &Schema, constraints: &Constraints) -> SelectivityHints {
+        let mut per_path: HashMap<SetPath, PathHints> = HashMap::new();
+        for key in &constraints.keys {
+            let Some(ix) = attr_indices(schema, &key.set, &key.attrs) else {
+                continue;
+            };
+            if let Some(h) = hints_for(schema, &mut per_path, &key.set) {
+                h.keys.push(ix);
+                h.fds.add_key(ix);
+            }
+        }
+        for fd in &constraints.fds {
+            let (Some(lhs), Some(rhs)) = (
+                attr_indices(schema, &fd.set, &fd.lhs),
+                attr_indices(schema, &fd.set, &fd.rhs),
+            ) else {
+                continue;
+            };
+            if let Some(h) = hints_for(schema, &mut per_path, &fd.set) {
+                h.fds.add(lhs, rhs);
+            }
+        }
+        SelectivityHints { per_path }
+    }
+
+    /// Does binding the attributes at `bound` (record field indices) pin
+    /// down at most one tuple of `path`? True iff the FD closure of the
+    /// bound set covers some *declared* key — with no declared key the
+    /// answer is always `false` (sets may hold many all-attribute-equal
+    /// nested tuples across occurrences).
+    pub fn covers_unique(&self, path: &SetPath, bound: &[usize]) -> bool {
+        let Some(h) = self.per_path.get(path) else {
+            return false;
+        };
+        let closure = h.fds.closure(attrs(bound.iter().copied()));
+        h.keys.iter().any(|&k| closure | k == closure)
+    }
+
+    /// Does `path` carry any declared key at all?
+    pub fn has_key(&self, path: &SetPath) -> bool {
+        self.per_path.get(path).is_some_and(|h| !h.keys.is_empty())
+    }
+}
+
+/// The (lazily created) hint slot for `path`; `None` when the path is
+/// unknown or too wide for the [`FdSet`] engine.
+fn hints_for<'m>(
+    schema: &Schema,
+    per_path: &'m mut HashMap<SetPath, PathHints>,
+    path: &SetPath,
+) -> Option<&'m mut PathHints> {
+    if !per_path.contains_key(path) {
+        let n = schema.attributes(path).ok()?.len();
+        if n > 128 {
+            return None;
+        }
+        per_path.insert(
+            path.clone(),
+            PathHints {
+                keys: Vec::new(),
+                fds: FdSet::new(n),
+            },
+        );
+    }
+    per_path.get_mut(path)
+}
+
+/// Resolve attribute labels to record field indices; `None` if any label
+/// (or the path itself) is unknown.
+fn attr_indices(schema: &Schema, path: &SetPath, labels: &[String]) -> Option<AttrSet> {
+    let mut out: AttrSet = 0;
+    for label in labels {
+        let idx = schema.attr_index(path, label).ok()?;
+        if idx >= 128 {
+            return None;
+        }
+        out |= 1u128 << idx;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muse_nr::{Fd, Field, Key, Ty};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "S",
+            vec![Field::new(
+                "Companies",
+                Ty::set_of(vec![
+                    Field::new("cid", Ty::Int),
+                    Field::new("cname", Ty::Str),
+                    Field::new("location", Ty::Str),
+                ]),
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn key_and_fd_closure_cover_unique() {
+        let s = schema();
+        let c = Constraints {
+            keys: vec![Key::new(SetPath::parse("Companies"), vec!["cid"])],
+            fds: vec![Fd::new(
+                SetPath::parse("Companies"),
+                vec!["cname"],
+                vec!["cid"],
+            )],
+            fks: vec![],
+        };
+        let h = SelectivityHints::from_constraints(&s, &c);
+        let path = SetPath::parse("Companies");
+        assert!(h.has_key(&path));
+        assert!(h.covers_unique(&path, &[0])); // cid is the key
+        assert!(h.covers_unique(&path, &[1])); // cname → cid via the FD
+        assert!(!h.covers_unique(&path, &[2])); // location determines nothing
+        assert!(!h.covers_unique(&path, &[]));
+    }
+
+    #[test]
+    fn no_declared_key_is_never_unique() {
+        let s = schema();
+        let h = SelectivityHints::from_constraints(&s, &Constraints::none());
+        let path = SetPath::parse("Companies");
+        assert!(!h.has_key(&path));
+        assert!(!h.covers_unique(&path, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn unknown_paths_and_attrs_are_skipped() {
+        let s = schema();
+        let c = Constraints {
+            keys: vec![
+                Key::new(SetPath::parse("Nope"), vec!["x"]),
+                Key::new(SetPath::parse("Companies"), vec!["ghost"]),
+            ],
+            fds: vec![],
+            fks: vec![],
+        };
+        let h = SelectivityHints::from_constraints(&s, &c);
+        assert!(!h.has_key(&SetPath::parse("Companies")));
+        assert!(!h.has_key(&SetPath::parse("Nope")));
+    }
+}

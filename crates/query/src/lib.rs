@@ -16,11 +16,16 @@ pub mod ast;
 pub mod error;
 pub mod eval;
 pub mod explain;
+pub mod hints;
+pub mod plan;
 
 pub use ast::{Operand, QVar, Query};
 pub use error::QueryError;
 pub use eval::{
-    evaluate, evaluate_all, evaluate_all_with, evaluate_budget_with, evaluate_deadline,
-    evaluate_deadline_with, Binding,
+    evaluate, evaluate_all, evaluate_all_planned_with, evaluate_all_with,
+    evaluate_budget_planned_with, evaluate_budget_with, evaluate_deadline, evaluate_deadline_with,
+    evaluate_planned_with, Binding,
 };
 pub use explain::{explain, Explanation};
+pub use hints::SelectivityHints;
+pub use plan::{plan_query, EvalPlan, PlanStep};

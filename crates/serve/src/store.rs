@@ -47,6 +47,10 @@ pub struct SessionCfg {
     pub max_terms: Option<u64>,
     /// Budget: max chase steps.
     pub max_chase_steps: Option<u64>,
+    /// Budget: derive the chase-step cap from the termination analyzer's
+    /// static bound (`muse-lint` T-pass), computed once per context at
+    /// build time. Tightens, never loosens, an explicit `max_chase_steps`.
+    pub auto_chase_steps: bool,
 }
 
 impl Default for SessionCfg {
@@ -63,6 +67,7 @@ impl Default for SessionCfg {
             max_rows: None,
             max_terms: None,
             max_chase_steps: None,
+            auto_chase_steps: false,
         }
     }
 }
@@ -99,6 +104,7 @@ impl SessionCfg {
             ("use_instance", &mut cfg.use_instance),
             ("instance_only", &mut cfg.instance_only),
             ("join_options", &mut cfg.join_options),
+            ("auto_chase_steps", &mut cfg.auto_chase_steps),
         ] {
             if let Some(v) = j.get(key) {
                 *slot = match v {
@@ -148,6 +154,9 @@ impl SessionCfg {
                 fields.push((key, Json::Int(n as i64)));
             }
         }
+        if self.auto_chase_steps {
+            fields.push(("auto_chase_steps", Json::Bool(true)));
+        }
         Json::obj(fields)
     }
 
@@ -183,6 +192,9 @@ impl SessionCfg {
         if let Some(n) = self.max_chase_steps {
             b = b.with_max_chase_steps(n);
         }
+        if self.auto_chase_steps {
+            b = b.with_auto_chase_steps();
+        }
         b
     }
 }
@@ -196,6 +208,10 @@ pub struct SessionCtx {
     pub instance: Option<Instance>,
     /// Candidate mappings from the correspondences (`muse_cliogen`).
     pub mappings: Vec<muse_mapping::Mapping>,
+    /// Static chase-step bound over `instance` (termination-analyzer
+    /// preflight); `None` without an instance. Resolves a session's
+    /// [`Budget::resolve_auto_chase_steps`] request.
+    pub chase_step_bound: Option<u64>,
 }
 
 impl SessionCtx {
@@ -227,10 +243,20 @@ impl SessionCtx {
         let mappings = scenario
             .mappings()
             .map_err(|e| format!("{}: mapping generation failed: {e}", scenario.name))?;
+        let chase_step_bound = instance.as_ref().map(|inst| {
+            let sizes = muse_lint::termination::path_sizes(&scenario.source_schema, inst);
+            muse_lint::termination::chase_step_bound(
+                &scenario.source_schema,
+                &scenario.source_constraints,
+                &mappings,
+                &sizes,
+            )
+        });
         Ok(SessionCtx {
             scenario,
             instance,
             mappings,
+            chase_step_bound,
         })
     }
 }
@@ -338,7 +364,10 @@ impl SessionEntry {
         metrics: &Metrics,
         probes: Option<&ProbeCache>,
     ) -> Result<Step, WizardError> {
-        let budget = self.cfg.budget();
+        let mut budget = self.cfg.budget();
+        if let Some(bound) = self.ctx.chase_step_bound {
+            budget.resolve_auto_chase_steps(bound);
+        }
         let mut session = Session::new(
             &self.ctx.scenario.source_schema,
             &self.ctx.scenario.target_schema,
@@ -549,6 +578,36 @@ mod tests {
             ..SessionCfg::default()
         };
         assert!(SessionCtx::build(&bad).is_err());
+    }
+
+    #[test]
+    fn auto_chase_steps_preflight_caps_the_budget() {
+        let cfg = SessionCfg {
+            scenario: "DBLP".to_owned(),
+            scale: 0.02,
+            auto_chase_steps: true,
+            ..SessionCfg::default()
+        };
+        // Round-trips through the WAL encoding.
+        let back = SessionCfg::from_json(&cfg.to_json()).unwrap();
+        assert!(back.auto_chase_steps);
+
+        let ctx = SessionCtx::build(&cfg).unwrap();
+        let bound = ctx.chase_step_bound.expect("instance implies a bound");
+        assert!(bound > 0);
+        let mut budget = cfg.budget();
+        assert!(budget.auto_chase_steps);
+        budget.resolve_auto_chase_steps(bound);
+        assert_eq!(budget.max_chase_steps, Some(bound));
+
+        // Without an instance there is nothing to bound: the request stays
+        // unresolved and the budget caps nothing.
+        let no_inst = SessionCfg {
+            use_instance: false,
+            ..cfg
+        };
+        let ctx = SessionCtx::build(&no_inst).unwrap();
+        assert_eq!(ctx.chase_step_bound, None);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use muse_mapping::{Mapping, PathRef};
 use muse_nr::constraints::fdset::{attrs, AttrSet, FdSet};
 use muse_nr::{Constraints, Instance, Schema, SetPath, Tuple, Ty, Value};
 use muse_obs::Metrics;
-use muse_query::{evaluate_deadline_with, Operand, Query};
+use muse_query::{evaluate_planned_with, plan_query, Operand, Query, SelectivityHints};
 
 use crate::error::WizardError;
 
@@ -269,25 +269,31 @@ pub fn build_example(
         req,
         source_schema,
         real_instance,
+        None,
         &Metrics::disabled(),
     )
 }
 
 /// [`build_example`] with the real-instance search (`QIe`) instrumented
-/// through `metrics` (the `query.*` keys).
+/// through `metrics` (the `query.*` keys) and, when `hints` is given,
+/// driven by a static plan (composite key-aware hash probes — identical
+/// results, far fewer `query.steps`; see [`muse_query::plan`]).
+#[allow(clippy::too_many_arguments)]
 pub fn build_example_with(
     m: &Mapping,
     space: &ClassSpace,
     req: &ExampleRequest,
     source_schema: &Schema,
     real_instance: Option<&Instance>,
+    hints: Option<&SelectivityHints>,
     metrics: &Metrics,
 ) -> Result<Example, WizardError> {
     let start = Instant::now();
     let mut timed_out = false;
     if let Some(real) = real_instance {
         let deadline = req.real_budget.map(|b| start + b);
-        let (rows, cut_short) = query_real(m, space, req, source_schema, real, deadline, metrics)?;
+        let (rows, cut_short) =
+            query_real(m, space, req, source_schema, real, hints, deadline, metrics)?;
         timed_out = cut_short;
         if let Some(rows) = rows {
             let instance = materialize(m, source_schema, &rows)?;
@@ -373,6 +379,7 @@ fn query_real(
     req: &ExampleRequest,
     source_schema: &Schema,
     real: &Instance,
+    hints: Option<&SelectivityHints>,
     deadline: Option<Instant>,
     metrics: &Metrics,
 ) -> Result<(Option<Rows>, bool), WizardError> {
@@ -433,8 +440,19 @@ fn query_real(
         }
     }
 
-    let (result, timed_out) =
-        evaluate_deadline_with(source_schema, real, &q, Some(1), deadline, metrics)?;
+    // With hints, hand the evaluator a static plan: the first-match search
+    // keeps the legacy binding order (identical transcript bytes) but
+    // probes composite hash keys instead of single attributes.
+    let plan = hints.and_then(|h| plan_query(source_schema, &q, Some(h)).ok());
+    let (result, timed_out) = evaluate_planned_with(
+        source_schema,
+        real,
+        &q,
+        plan.as_ref(),
+        Some(1),
+        deadline,
+        metrics,
+    )?;
     let Some(binding) = result.into_iter().next() else {
         return Ok((None, timed_out));
     };

@@ -14,7 +14,7 @@ pub mod joins;
 
 use std::time::Duration;
 
-use muse_chase::chase_budget_with;
+use muse_chase::chase_budget_planned_with;
 use muse_lint::ambiguity::alternatives_count;
 use muse_mapping::ambiguity::{or_groups, select_multi};
 use muse_mapping::{Mapping, PathRef, WhereClause};
@@ -52,6 +52,11 @@ pub struct MuseD<'a> {
     /// unlimited and `real_example_budget` is `None` — see
     /// [`crate::cache::ProbeCache`].
     pub probe_cache: Option<(&'a crate::cache::ProbeCache, &'a str)>,
+    /// Key/FD selectivity hints over the source schema: when set, `QIe`
+    /// example searches and the partial chase run plan-driven (identical
+    /// results, far fewer `query.steps`). [`crate::Session`] derives these
+    /// from `source_constraints` automatically.
+    pub plan_hints: Option<&'a muse_query::SelectivityHints>,
 }
 
 /// One choice list: the possible values for one ambiguous target attribute.
@@ -122,12 +127,19 @@ impl<'a> MuseD<'a> {
             budget: Budget::unlimited_ref(),
             metrics: Metrics::disabled_ref(),
             probe_cache: None,
+            plan_hints: None,
         }
     }
 
     /// Use a real source instance for example retrieval.
     pub fn with_instance(mut self, inst: &'a Instance) -> Self {
         self.real_instance = Some(inst);
+        self
+    }
+
+    /// Drive question evaluation with static plans derived from `hints`.
+    pub fn with_plan_hints(mut self, hints: &'a muse_query::SelectivityHints) -> Self {
+        self.plan_hints = Some(hints);
         self
     }
 
@@ -237,6 +249,7 @@ impl<'a> MuseD<'a> {
             &req,
             self.source_schema,
             self.real_instance,
+            self.plan_hints,
             self.metrics,
         )?;
         if example.real {
@@ -257,11 +270,12 @@ impl<'a> MuseD<'a> {
         common
             .wheres
             .retain(|w| matches!(w, WhereClause::Eq { .. }));
-        let Outcome::Complete(partial_target) = chase_budget_with(
+        let Outcome::Complete(partial_target) = chase_budget_planned_with(
             self.source_schema,
             self.target_schema,
             &example.instance,
             &[common],
+            self.plan_hints,
             self.budget,
             self.metrics,
         )?

@@ -21,7 +21,7 @@ pub mod instance_only;
 use std::collections::VecDeque;
 use std::time::Duration;
 
-use muse_chase::chase_one_budget_with;
+use muse_chase::chase_one_budget_planned_with;
 use muse_mapping::{Grouping, Mapping, PathRef};
 use muse_nr::constraints::fdset::{all_attrs, attrs, iter_attrs, AttrSet};
 use muse_nr::{Constraints, Instance, Schema, SetPath};
@@ -64,6 +64,11 @@ pub struct MuseG<'a> {
     /// `budget` is unlimited and `real_example_budget` is `None` — see
     /// [`crate::cache::ProbeCache`].
     pub probe_cache: Option<(&'a crate::cache::ProbeCache, &'a str)>,
+    /// Key/FD selectivity hints over the source schema: when set, `QIe`
+    /// example searches and probe chases run plan-driven (identical
+    /// results, far fewer `query.steps`). [`crate::Session`] derives these
+    /// from `source_constraints` automatically.
+    pub plan_hints: Option<&'a muse_query::SelectivityHints>,
 }
 
 /// One probe shown to the designer.
@@ -142,12 +147,19 @@ impl<'a> MuseG<'a> {
             budget: Budget::unlimited_ref(),
             metrics: Metrics::disabled_ref(),
             probe_cache: None,
+            plan_hints: None,
         }
     }
 
     /// Use a real source instance for example retrieval.
     pub fn with_instance(mut self, inst: &'a Instance) -> Self {
         self.real_instance = Some(inst);
+        self
+    }
+
+    /// Drive probe evaluation with static plans derived from `hints`.
+    pub fn with_plan_hints(mut self, hints: &'a muse_query::SelectivityHints) -> Self {
+        self.plan_hints = Some(hints);
         self
     }
 
@@ -495,6 +507,7 @@ impl<'a> MuseG<'a> {
             req,
             self.source_schema,
             self.real_instance,
+            self.plan_hints,
             self.metrics,
         )?;
         let mut d1 = m.clone();
@@ -502,22 +515,24 @@ impl<'a> MuseG<'a> {
         let mut d2 = m.clone();
         d2.set_grouping(sk.clone(), Grouping::new(refs_of(space, without_set)));
         let probe_chase = self.metrics.timer("wizard.probe_chase_time").start();
-        let Outcome::Complete(scenario1) = chase_one_budget_with(
+        let Outcome::Complete(scenario1) = chase_one_budget_planned_with(
             self.source_schema,
             self.target_schema,
             &example.instance,
             &d1,
+            self.plan_hints,
             self.budget,
             self.metrics,
         )?
         else {
             return Ok(None);
         };
-        let Outcome::Complete(scenario2) = chase_one_budget_with(
+        let Outcome::Complete(scenario2) = chase_one_budget_planned_with(
             self.source_schema,
             self.target_schema,
             &example.instance,
             &d2,
+            self.plan_hints,
             self.budget,
             self.metrics,
         )?

@@ -174,6 +174,13 @@ impl<'a> Session<'a> {
         mappings: &[Mapping],
         designer: &mut dyn Designer,
     ) -> Result<SessionReport, WizardError> {
+        // Static selectivity hints from the declared source constraints:
+        // both wizards plan their chase/QIe joins with them (same answers,
+        // fewer query steps). Borrowed by the wizards for the whole run.
+        let hints = muse_query::SelectivityHints::from_constraints(
+            self.source_schema,
+            self.source_constraints,
+        );
         let mut mused = MuseD::new(
             self.source_schema,
             self.target_schema,
@@ -184,6 +191,7 @@ impl<'a> Session<'a> {
         mused.metrics = self.metrics;
         mused.real_example_budget = self.real_example_budget;
         mused.probe_cache = self.probe_cache;
+        mused.plan_hints = Some(&hints);
         let mut museg = MuseG::new(
             self.source_schema,
             self.target_schema,
@@ -195,6 +203,7 @@ impl<'a> Session<'a> {
         museg.metrics = self.metrics;
         museg.real_example_budget = self.real_example_budget;
         museg.probe_cache = self.probe_cache;
+        museg.plan_hints = Some(&hints);
 
         // Phase 1: Muse-D on every ambiguous mapping.
         let mut unambiguous: Vec<Mapping> = Vec::new();

@@ -1,10 +1,13 @@
 //! The fleet harness: every seeded synthetic scenario must clear the same
 //! bars the four hand-built scenarios clear, per scenario —
 //!
-//! 1. **lint**: zero errors (the generator's lint-clean-by-construction
-//!    claim, checked empirically seed by seed);
+//! 1. **lint**: zero errors, and clean under the plan (`MUSE-P`) and
+//!    termination (`MUSE-T`) passes — synthetic scenarios are weakly
+//!    acyclic and cartesian-free by construction, checked seed by seed;
 //! 2. **differential**: the parallel chase agrees with the serial chase —
-//!    isomorphic, render-identical, and `chase.*` counter-identical;
+//!    isomorphic, render-identical, and `chase.*` counter-identical; and
+//!    (seeds 0..64) plan-driven evaluation returns byte-identical rows to
+//!    the reference evaluator for every mapping query;
 //! 3. **wizard property**: a G1/G2/G3 oracle session terminates without
 //!    error, stays within the `MUSE-A003` question bounds for every
 //!    grouping it designs, and its final mappings chase to a valid target.
@@ -122,6 +125,51 @@ fn check_lint(s: &Scenario) {
         s.name,
         report.render()
     );
+    // P/T-clean: the generator never emits cartesian products, dead joins,
+    // or non-weakly-acyclic constraint graphs, so the plan and termination
+    // passes must stay below warning severity on every seed.
+    for d in &report.diagnostics {
+        let plan_or_term = d.code.starts_with("MUSE-P") || d.code.starts_with("MUSE-T");
+        assert!(
+            !(plan_or_term && d.severity >= muse_suite::lint::Severity::Warning),
+            "{}: plan/termination pass not clean\n{}",
+            s.name,
+            d.render()
+        );
+    }
+}
+
+/// Plan-driven evaluation must return byte-identical rows to the reference
+/// evaluator — on every mapping query of the scenario, over the generated
+/// instance.
+fn check_plan_differential(s: &Scenario, scale: f64, seed: u64) {
+    let source = s.instance(scale, seed);
+    let hints = muse_suite::query::SelectivityHints::from_constraints(
+        &s.source_schema,
+        &s.source_constraints,
+    );
+    for m in ready_mappings(s) {
+        let q = m.source_query();
+        let reference = muse_suite::query::evaluate_all(&s.source_schema, &source, &q)
+            .unwrap_or_else(|e| panic!("{}/{}: reference eval: {e}", s.name, m.name));
+        let plan = muse_suite::query::plan_query(&s.source_schema, &q, Some(&hints))
+            .unwrap_or_else(|e| panic!("{}/{}: plan: {e}", s.name, m.name));
+        let planned = muse_suite::query::evaluate_all_planned_with(
+            &s.source_schema,
+            &source,
+            &q,
+            Some(&plan),
+            muse_obs::Budget::unlimited_ref(),
+            Metrics::disabled_ref(),
+        )
+        .unwrap_or_else(|e| panic!("{}/{}: planned eval: {e}", s.name, m.name))
+        .into_value();
+        assert_eq!(
+            reference, planned,
+            "{}/{}: plan-driven rows differ from the reference evaluator",
+            s.name, m.name
+        );
+    }
 }
 
 fn check_differential(s: &Scenario, scale: f64, seed: u64) {
@@ -171,6 +219,7 @@ fn check_differential(s: &Scenario, scale: f64, seed: u64) {
     for key in [
         "chase.mappings",
         "chase.bindings",
+        "chase.steps",
         "chase.tuples_emitted",
         "chase.dedup_hits",
     ] {
@@ -249,6 +298,9 @@ fn fleet_passes_lint_differential_and_wizard_property() {
             let s = Scenario::synthetic(SynthCfg::from_seed(seed));
             check_lint(&s);
             check_differential(&s, scale, seed);
+            if seed < 64 {
+                check_plan_differential(&s, scale, seed);
+            }
             check_wizard_property(&s, scale, seed, strategies[(seed % 3) as usize]);
             checked += 1;
         }
