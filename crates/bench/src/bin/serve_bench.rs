@@ -21,8 +21,14 @@
 //! own handle histogram deliberately oversubscribes the box, so it
 //! measures queueing; the serial drive measures the hot path.)
 //!
+//! Two robustness phases ride along (ISSUE 9): a sticky `serve.wal.append`
+//! IO fault is armed to count degraded-mode sheds and time the recovery
+//! back to `healthy` after it clears, and one mid-file WAL byte is flipped
+//! to time the salvage scan + atomic repair on the final log.
+//!
 //! `--json` merges a `serve` section (throughput, handle p50/p99, cache
-//! and keep-alive counters, replay time) into `BENCH_baseline.json`.
+//! and keep-alive counters, replay time, shed counts, salvage timing)
+//! into `BENCH_baseline.json`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -87,6 +93,9 @@ fn main() {
         max_sessions: sessions * 2,
         max_connections,
         wal: Some(wal.clone()),
+        // Fast probes so the degraded-mode phase measures recovery, not
+        // the probe interval.
+        recovery_probe_ms: 50,
         ..ServerConfig::default()
     };
 
@@ -207,6 +216,56 @@ fn main() {
         "no WAL snapshots written across {sessions} sessions"
     );
 
+    // Phase 2.75: degraded mode. A sticky WAL append fault trips the
+    // health state machine; mutations are shed with 503 while the server
+    // stays up, then the fault clears and the jittered recovery probe
+    // restores `healthy` — the time from disarm to healthy is recorded.
+    let sheds_before = server.metrics().snapshot().counter("serve.degraded_sheds");
+    muse_fault::arm(muse_fault::parse_spec("serve.wal.append:iox*").expect("degraded fault spec"));
+    let shed_http = {
+        let mut c = Client::new(addr.clone());
+        c.retries = 0; // surface every 503: this phase *counts* sheds
+        c
+    };
+    let (status, _) = shed_http
+        .request("POST", "/sessions", Some(&create_body))
+        .expect("tripping create");
+    assert_eq!(status, 503, "append fault must shed the mutation");
+    const SHED_ATTEMPTS: u64 = 50;
+    for _ in 0..SHED_ATTEMPTS {
+        let (status, _) = shed_http
+            .request("POST", "/sessions", Some(&create_body))
+            .expect("shed create");
+        assert_eq!(status, 503, "degraded server must shed mutations");
+    }
+    let degraded_state = shed_http
+        .healthz()
+        .expect("healthz while degraded")
+        .get("state")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_owned();
+    assert_eq!(degraded_state, "degraded");
+    // Reads keep flowing while mutations shed.
+    shed_http.metrics().expect("metrics while degraded");
+    let degraded_sheds = server.metrics().snapshot().counter("serve.degraded_sheds") - sheds_before;
+    assert!(degraded_sheds >= SHED_ATTEMPTS, "sheds not counted");
+
+    muse_fault::disarm();
+    let t_recover = Instant::now();
+    loop {
+        let state = shed_http.healthz().expect("healthz during recovery");
+        if state.get("state").and_then(Json::as_str) == Some("healthy") {
+            break;
+        }
+        assert!(
+            t_recover.elapsed() < std::time::Duration::from_secs(30),
+            "server never recovered after the fault cleared"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let recovery_time = t_recover.elapsed();
+
     mk_client(&addr).shutdown().expect("shutdown");
     run_thread.join().expect("server thread");
 
@@ -234,6 +293,42 @@ fn main() {
         "every completed session must restore from its snapshot \
          ({} wizard replays ran)",
         replay_snapshot.counter("serve.replays")
+    );
+
+    // Phase 4: salvage timing. Flip one payload byte mid-file in the
+    // final WAL and time the salvage scan + atomic repair + quarantine.
+    drop(replayed);
+    let mut data = std::fs::read(&wal).expect("read wal");
+    let mut bounds = Vec::new();
+    let mut off = 0usize;
+    while off + 8 <= data.len() {
+        let len =
+            u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]) as usize;
+        let end = off + 8 + len;
+        if end > data.len() {
+            break;
+        }
+        bounds.push((off, end));
+        off = end;
+    }
+    assert!(bounds.len() >= 3, "final WAL too small to corrupt mid-file");
+    let (victim_start, victim_end) = bounds[bounds.len() / 2];
+    data[victim_start + 9] ^= 0xFF;
+    std::fs::write(&wal, &data).expect("corrupt wal");
+    let t_salvage = Instant::now();
+    let (_wal_handle, salvaged_records, salvage_report) =
+        muse_serve::wal::Wal::open(&wal).expect("salvage open");
+    let salvage_time = t_salvage.elapsed();
+    assert!(!salvage_report.is_clean(), "corruption went unnoticed");
+    assert_eq!(
+        salvage_report.quarantined_bytes,
+        (victim_end - victim_start) as u64,
+        "exactly the corrupted frame is quarantined"
+    );
+    assert_eq!(
+        salvaged_records.len(),
+        bounds.len() - 1,
+        "salvage must recover every other frame"
     );
 
     // CI regression gate (opt-in so unconstrained local runs don't flake):
@@ -270,6 +365,16 @@ fn main() {
         "  replay   {total_sessions} sessions in {:.2}s ({snapshot_restores} snapshot restores)",
         replay_time.as_secs_f64()
     );
+    println!(
+        "  degraded {degraded_sheds} mutations shed; healthy again {:.3}s after the fault cleared",
+        recovery_time.as_secs_f64()
+    );
+    println!(
+        "  salvage  {} frames around {} quarantined bytes in {:.4}s",
+        salvaged_records.len(),
+        salvage_report.quarantined_bytes,
+        salvage_time.as_secs_f64()
+    );
 
     if baseline::wants_json() {
         let section = Json::obj(vec![
@@ -297,6 +402,20 @@ fn main() {
             ("replay_sessions", Json::Int(total_sessions as i64)),
             ("replay_time_s", Json::Num(replay_time.as_secs_f64())),
             ("snapshot_restores", Json::Int(snapshot_restores as i64)),
+            ("degraded_sheds", Json::Int(degraded_sheds as i64)),
+            (
+                "degraded_recovery_s",
+                Json::Num(recovery_time.as_secs_f64()),
+            ),
+            ("salvage_time_s", Json::Num(salvage_time.as_secs_f64())),
+            (
+                "salvaged_frames",
+                Json::Int(salvage_report.salvaged_frames as i64),
+            ),
+            (
+                "quarantined_bytes",
+                Json::Int(salvage_report.quarantined_bytes as i64),
+            ),
             ("server_metrics", snapshot.to_json()),
         ]);
         baseline::emit("serve", section);

@@ -73,6 +73,20 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--probe-cache needs a number (0 disables)".to_owned())?;
             }
+            "--panic-quarantine" => {
+                opts.cfg.panic_quarantine = value("--panic-quarantine")?
+                    .parse()
+                    .map_err(|_| "--panic-quarantine needs a number (0 disables)".to_owned())?;
+            }
+            "--recovery-probe-ms" => {
+                let ms: u64 = value("--recovery-probe-ms")?
+                    .parse()
+                    .map_err(|_| "--recovery-probe-ms needs a number".to_owned())?;
+                if ms == 0 {
+                    return Err("--recovery-probe-ms must be at least 1".to_owned());
+                }
+                opts.cfg.recovery_probe_ms = ms;
+            }
             "--no-keep-alive" => opts.cfg.keep_alive = false,
             other => return Err(format!("unknown flag `{other}` for muse serve")),
         }
@@ -92,7 +106,8 @@ pub fn run(args: &[String]) -> i32 {
                  [--max-sessions N] [--max-connections N] [--wal FILE] \
                  [--snapshot-every N] [--wal-compact-bytes N] \
                  [--idle-timeout-ms N] [--conn-requests N] \
-                 [--probe-cache N] [--no-keep-alive]"
+                 [--probe-cache N] [--panic-quarantine N] \
+                 [--recovery-probe-ms N] [--no-keep-alive]"
             );
             return 2;
         }

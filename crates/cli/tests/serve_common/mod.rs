@@ -31,6 +31,13 @@ impl ServeChild {
             .args(["serve", "--port", "0", "--threads", "2", "--wal"])
             .arg(wal)
             .args(extra)
+            // These tests are differentials against a fault-free offline
+            // reference computed in *this* process — an env-armed fault
+            // plan in the child (e.g. CI's full-suite MUSE_FAULTS run)
+            // would make byte-identity impossible by construction. The
+            // serve fault paths get dedicated coverage in the degraded
+            // e2e and chaos suites instead.
+            .env_remove("MUSE_FAULTS")
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
             .spawn()

@@ -1,0 +1,263 @@
+//! The crash-storm torture harness (ISSUE 9 tentpole): repeatedly drive
+//! seeded concurrent traffic against the real `muse serve` binary,
+//! SIGKILL it at a random point, and restart it on the same WAL. After
+//! every restart each session must resume at (or past) its last
+//! acknowledged answer with a byte-identical question, completed sessions
+//! must produce reports byte-identical to the uninterrupted offline
+//! reference, and a pure kill storm must never trip the corruption
+//! salvage path (a torn tail is the *only* damage SIGKILL can do).
+//!
+//! Iteration count: `MUSE_TORTURE_ITERS` (default 25).
+
+mod serve_common;
+
+use std::time::Duration;
+
+use muse_obs::{Json, Rng};
+use muse_serve::Client;
+use serve_common::{offline_reference, scripted_answer, ServeChild};
+
+/// One concurrent session slot, rolled over to a fresh session whenever
+/// the previous one completes (so every storm cycle has live traffic).
+struct Slot {
+    id: Option<u64>,
+    /// Answers the *client* saw acknowledged. The server may be ahead by
+    /// one (ack lost to the kill) but must never be behind.
+    acked: usize,
+    done: bool,
+    /// Sessions completed and report-verified in this slot.
+    completed: u64,
+}
+
+const SLOTS: usize = 3;
+
+fn iters() -> u64 {
+    std::env::var("MUSE_TORTURE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25)
+}
+
+fn session_cfg() -> Json {
+    Json::obj(vec![
+        ("scenario", Json::str("DBLP")),
+        ("use_instance", Json::Bool(false)),
+    ])
+}
+
+fn counter(metrics: &Json, name: &str) -> i64 {
+    metrics
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_int)
+        .unwrap_or(0)
+}
+
+fn question_seq(state: &Json) -> usize {
+    state
+        .get("question")
+        .and_then(|q| q.get("seq"))
+        .and_then(Json::as_int)
+        .unwrap_or_else(|| panic!("open state without seq: {}", state.render())) as usize
+}
+
+/// Verify a completed slot's report against the offline reference, then
+/// reset the slot for a fresh session.
+fn finish_slot(client: &Client, slot: &mut Slot, reference: &Json, total: usize) {
+    let id = slot.id.expect("finished slot without id");
+    let report = client.report(id).expect("report");
+    assert_eq!(
+        report
+            .get("result")
+            .and_then(|r| r.get("report"))
+            .map(Json::render),
+        Some(reference.render()),
+        "session {id}: post-storm report != offline reference"
+    );
+    assert_eq!(
+        report.get("answers").and_then(Json::as_int),
+        Some(total as i64),
+        "session {id}: answer count off"
+    );
+    slot.completed += 1;
+    slot.id = None;
+    slot.acked = 0;
+    slot.done = false;
+}
+
+/// Bring a slot in line with a freshly restarted server: create its
+/// session if needed, or check the resumed question against the offline
+/// transcript and the client's acked watermark.
+fn resync_slot(client: &Client, slot: &mut Slot, questions: &[Json], reference: &Json) {
+    if slot.done {
+        finish_slot(client, slot, reference, questions.len());
+    }
+    let Some(id) = slot.id else {
+        let created = client.create_session(&session_cfg()).expect("create");
+        slot.id = Some(created.get("session").and_then(Json::as_int).unwrap() as u64);
+        slot.acked = 0;
+        assert_eq!(created.get("status").and_then(Json::as_str), Some("open"));
+        assert_eq!(
+            created.get("question").map(Json::render),
+            Some(questions[0].render())
+        );
+        return;
+    };
+    let state = client.question(id).expect("resync question");
+    match state.get("status").and_then(Json::as_str) {
+        Some("done") => {
+            slot.done = true;
+            finish_slot(client, slot, reference, questions.len());
+        }
+        Some("open") => {
+            let seq = question_seq(&state);
+            assert!(
+                seq >= slot.acked,
+                "session {id}: resumed at question {seq} but {} answers were acked — \
+                 an acknowledged answer was lost to the crash",
+                slot.acked
+            );
+            assert_eq!(
+                state.get("question").map(Json::render),
+                Some(questions[seq].render()),
+                "session {id}: question {seq} diverged after replay"
+            );
+            slot.acked = seq;
+        }
+        other => panic!("session {id}: unexpected status {other:?}"),
+    }
+}
+
+/// Drive one slot until the session completes, a request fails (the kill
+/// landed), or the server is gone. Updates the acked watermark on every
+/// acknowledged answer.
+fn drive_slot(addr: &str, slot: &mut Slot, rng_seed: u64) {
+    let client = Client::new(addr.to_owned());
+    let mut rng = Rng::new(rng_seed);
+    let Some(id) = slot.id else { return };
+    let mut state = match client.question(id) {
+        Ok(state) => state,
+        Err(_) => return,
+    };
+    loop {
+        match state.get("status").and_then(Json::as_str) {
+            Some("done") => {
+                slot.done = true;
+                return;
+            }
+            Some("open") => {}
+            _ => return,
+        }
+        // A small jittered pause spreads the SIGKILL across request
+        // boundaries, mid-flight writes, and idle keep-alive parks.
+        std::thread::sleep(Duration::from_millis(rng.below(20)));
+        let question = state.get("question").expect("open without question");
+        let seq = question_seq(&state);
+        match client.answer(id, &scripted_answer(question)) {
+            Ok(next) => {
+                assert_eq!(next.get("accepted"), Some(&Json::Bool(true)));
+                slot.acked = seq + 1;
+                state = next;
+            }
+            Err(_) => return, // the kill (or a shed) landed: resync next life
+        }
+    }
+}
+
+#[test]
+fn crash_storm_loses_no_acked_answer_and_reports_stay_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("muse_torture_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("sessions.wal");
+
+    let cfg = muse_serve::SessionCfg {
+        scenario: "DBLP".to_owned(),
+        use_instance: false,
+        ..muse_serve::SessionCfg::default()
+    };
+    let (questions, reference) = offline_reference(&cfg);
+    assert!(questions.len() >= 4, "reference too short to torture");
+
+    let mut slots: Vec<Slot> = (0..SLOTS)
+        .map(|_| Slot {
+            id: None,
+            acked: 0,
+            done: false,
+            completed: 0,
+        })
+        .collect();
+    let mut rng = Rng::new(0xD15C_0DE5);
+    let storm = iters();
+
+    for iteration in 0..storm {
+        let mut server = ServeChild::spawn(&wal);
+        let client = server.client();
+        for slot in slots.iter_mut() {
+            resync_slot(&client, slot, &questions, &reference);
+        }
+        // Drive all slots concurrently while the main thread aims the kill.
+        let addr = server.addr.clone();
+        let nap = rng.below(240) + 10;
+        let seed = rng.below(u64::MAX);
+        std::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let addr = &addr;
+                scope.spawn(move || {
+                    drive_slot(addr, slot, seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+                });
+            }
+            std::thread::sleep(Duration::from_millis(nap));
+            server.kill(); // SIGKILL: no drain, no flush
+        });
+        // Drop any keep-alive socket to the dead server before respawning.
+        drop(client);
+        let _ = iteration;
+    }
+
+    // Final life: no kill — every surviving session must run to done and
+    // match the offline reference byte-for-byte.
+    let mut server = ServeChild::spawn(&wal);
+    let client = server.client();
+    for slot in slots.iter_mut() {
+        resync_slot(&client, slot, &questions, &reference);
+        let id = slot.id.expect("slot without session in final life");
+        let mut state = client.question(id).expect("final question");
+        while state.get("status").and_then(Json::as_str) == Some("open") {
+            let question = state.get("question").expect("open without question");
+            let seq = question_seq(&state);
+            assert_eq!(question.render(), questions[seq].render());
+            state = client
+                .answer(id, &scripted_answer(question))
+                .expect("answer");
+            slot.acked = seq + 1;
+        }
+        slot.done = true;
+        finish_slot(&client, slot, &reference, questions.len());
+    }
+    let completed: u64 = slots.iter().map(|s| s.completed).sum();
+    assert!(
+        completed >= SLOTS as u64,
+        "storm completed {completed} sessions"
+    );
+
+    // Counters reconcile: a SIGKILL storm leaves torn tails at worst —
+    // the corruption salvage path must never have fired, and nothing may
+    // have been quarantined.
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(
+        counter(&metrics, "serve.wal_salvaged_frames"),
+        0,
+        "SIGKILL produced salvage: {}",
+        metrics.render()
+    );
+    assert_eq!(counter(&metrics, "serve.wal_quarantined_bytes"), 0);
+    assert!(
+        !muse_serve::wal::quarantine_path(&wal).exists(),
+        "kill storm must not quarantine bytes"
+    );
+
+    server.shutdown(&client);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,13 +1,13 @@
 //! **muse-fault** — deterministic fault injection for the governor.
 //!
-//! A [`FaultPlan`] is a list of one-shot faults, each naming a registered
-//! injection point (see [`muse_obs::faultpoints`]), a fault kind, and the
-//! 1-based hit at which it fires. Code under test calls
-//! [`point`]`("chase.fire_unit")` at each site; when no plan is armed the
-//! call is a single relaxed atomic load — effectively free — so the hooks
-//! stay compiled into release builds.
+//! A [`FaultPlan`] is a list of faults, each naming a registered
+//! injection point (see [`muse_obs::faultpoints`]), a fault kind, the
+//! 1-based hit at which it starts firing, and a repetition count. Code
+//! under test calls [`point`]`("chase.fire_unit")` at each site; when no
+//! plan is armed the call is a single relaxed atomic load — effectively
+//! free — so the hooks stay compiled into release builds.
 //!
-//! Three fault kinds exist:
+//! Four fault kinds exist:
 //!
 //! * `panic` — the point panics with an [`InjectedPanic`] payload. Only
 //!   legal at panic-isolated points (`faultpoints::PANIC_ISOLATED`), so an
@@ -16,23 +16,34 @@
 //!   treats it exactly like an expired budget deadline.
 //! * `termcap` — [`point`] returns [`Fault::TermCapExhaustion`]; the site
 //!   treats it like a tripped interned-term cap.
+//! * `io` — [`point`] returns [`Fault::IoError`]; only legal at
+//!   IO-capable points (`faultpoints::IO_CAPABLE`), whose sites translate
+//!   it into an `io::Error` on their own fail-degraded path.
 //!
 //! # Spec grammar (`MUSE_FAULTS` / `--faults`)
 //!
 //! ```text
 //! spec    := entry (';' entry)*
-//! entry   := point ':' kind ('@' hit)?      -- explicit fault, hit ≥ 1 (default 1)
+//! entry   := point ':' kind ('@' hit)? ('x' count)?
 //!          | 'seed' ':' u64 ('x' count)?    -- seeded plan, count entries (default 3)
-//! kind    := 'panic' | 'deadline' | 'termcap'
+//! kind    := 'panic' | 'deadline' | 'termcap' | 'io'
+//! count   := u64 | '*'                      -- '*' = sticky (fires forever)
 //! ```
 //!
-//! Examples: `chase.fire_unit:panic`, `query.eval:deadline@3`,
-//! `seed:42x5`, `par.worker:panic;chase.binding:termcap@2`.
+//! An explicit entry starts firing at its `hit` (1-based, default 1) and
+//! keeps firing on every subsequent hit of its point until `count` total
+//! firings (default 1 — one-shot). `x*` makes the fault **sticky**: it
+//! never stops firing, which is how a permanently-dead disk is modeled
+//! (`serve.wal.append:io@1x*`).
 //!
-//! Every fault is **one-shot**: once fired it never fires again, which is
-//! what lets the parallel chase's serial-retry fallback succeed after an
-//! injected worker panic. Plans are armed process-globally ([`arm`] /
-//! [`disarm`] / [`arm_from_env`]); tests that arm plans must serialize.
+//! Examples: `chase.fire_unit:panic`, `query.eval:deadline@3`,
+//! `serve.wal.append:io x*`, `seed:42x5`,
+//! `par.worker:panic;chase.binding:termcap@2x4`.
+//!
+//! The default one-shot behaviour is what lets the parallel chase's
+//! serial-retry fallback succeed after an injected worker panic. Plans
+//! are armed process-globally ([`arm`] / [`disarm`] / [`arm_from_env`]);
+//! tests that arm plans must serialize.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -49,6 +60,9 @@ pub enum Fault {
     DeadlineExpiry,
     /// Behave as if the interned-term cap was just exceeded.
     TermCapExhaustion,
+    /// Behave as if the underlying storage operation failed with an
+    /// `io::Error` (IO-capable points only).
+    IoError,
 }
 
 /// The panic payload used for injected panics, distinguishable from
@@ -74,6 +88,8 @@ pub enum FaultKind {
     Deadline,
     /// Report [`Fault::TermCapExhaustion`].
     TermCap,
+    /// Report [`Fault::IoError`] (IO-capable points only).
+    Io,
 }
 
 impl FaultKind {
@@ -82,19 +98,40 @@ impl FaultKind {
             FaultKind::Panic => "panic",
             FaultKind::Deadline => "deadline",
             FaultKind::TermCap => "termcap",
+            FaultKind::Io => "io",
         }
     }
 }
 
-/// One one-shot fault: fire `kind` at the `at_hit`-th call of `point`.
+/// How many times an entry fires once its `at_hit` is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Repeat {
+    /// Fire on `n` consecutive matching hits, then never again. The
+    /// default is `Times(1)` — one-shot.
+    Times(u64),
+    /// Fire on every matching hit forever (`x*` in the spec) — a
+    /// persistently failing resource.
+    Sticky,
+}
+
+impl Default for Repeat {
+    fn default() -> Self {
+        Repeat::Times(1)
+    }
+}
+
+/// One fault: fire `kind` starting at the `at_hit`-th call of `point`,
+/// for `repeat` firings.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultEntry {
     /// Registered injection-point name.
     pub point: String,
     /// What happens when it fires.
     pub kind: FaultKind,
-    /// 1-based hit count at which it fires (then never again).
+    /// 1-based hit count at which it starts firing.
     pub at_hit: u64,
+    /// How many firings before the entry is spent.
+    pub repeat: Repeat,
 }
 
 /// A parsed, validated fault plan.
@@ -111,6 +148,11 @@ impl std::fmt::Display for FaultPlan {
                 f.write_str(";")?;
             }
             write!(f, "{}:{}@{}", e.point, e.kind.name(), e.at_hit)?;
+            match e.repeat {
+                Repeat::Times(1) => {}
+                Repeat::Times(n) => write!(f, "x{n}")?,
+                Repeat::Sticky => f.write_str("x*")?,
+            }
         }
         Ok(())
     }
@@ -148,17 +190,25 @@ pub fn parse_spec(spec: &str) -> Result<FaultPlan, String> {
             entries.extend(plan_from_seed(seed, count).entries);
             continue;
         }
-        let (kind_s, hit_s) = match tail.split_once('@') {
-            Some((k, h)) => (k, Some(h)),
+        // entry := kind ('@' hit)? ('x' count)? after the point. The `x`
+        // suffix binds to whichever segment it trails (no kind name
+        // contains an `x`, so splitting the kind token is unambiguous).
+        let (kind_and_hit, count_s) = match tail.split_once('x') {
+            Some((kh, c)) => (kh, Some(c)),
             None => (tail, None),
+        };
+        let (kind_s, hit_s) = match kind_and_hit.split_once('@') {
+            Some((k, h)) => (k, Some(h)),
+            None => (kind_and_hit, None),
         };
         let kind = match kind_s.trim() {
             "panic" => FaultKind::Panic,
             "deadline" => FaultKind::Deadline,
             "termcap" => FaultKind::TermCap,
+            "io" => FaultKind::Io,
             other => {
                 return Err(format!(
-                    "fault entry `{raw}`: unknown kind `{other}` (panic|deadline|termcap)"
+                    "fault entry `{raw}`: unknown kind `{other}` (panic|deadline|termcap|io)"
                 ))
             }
         };
@@ -172,6 +222,21 @@ pub fn parse_spec(spec: &str) -> Result<FaultPlan, String> {
         if at_hit == 0 {
             return Err(format!("fault entry `{raw}`: hit counts are 1-based"));
         }
+        let repeat = match count_s.map(str::trim) {
+            None => Repeat::Times(1),
+            Some("*") => Repeat::Sticky,
+            Some(c) => {
+                let n: u64 = c
+                    .parse()
+                    .map_err(|_| format!("fault entry `{raw}`: bad count `{c}` (u64 or `*`)"))?;
+                if n == 0 {
+                    return Err(format!(
+                        "fault entry `{raw}`: count must be >= 1 (or `*` for sticky)"
+                    ));
+                }
+                Repeat::Times(n)
+            }
+        };
         let point = head.trim().to_owned();
         if !faultpoints::is_registered(&point) {
             return Err(format!(
@@ -186,10 +251,18 @@ pub fn parse_spec(spec: &str) -> Result<FaultPlan, String> {
                 faultpoints::PANIC_ISOLATED.join(", ")
             ));
         }
+        if kind == FaultKind::Io && !faultpoints::is_io_capable(&point) {
+            return Err(format!(
+                "fault entry `{raw}`: point `{point}` is not IO-capable \
+                 (io faults are legal at: {})",
+                faultpoints::IO_CAPABLE.join(", ")
+            ));
+        }
         entries.push(FaultEntry {
             point,
             kind,
             at_hit,
+            repeat,
         });
     }
     Ok(FaultPlan { entries })
@@ -197,7 +270,10 @@ pub fn parse_spec(spec: &str) -> Result<FaultPlan, String> {
 
 /// Generate a deterministic `count`-entry plan from `seed`. Points are
 /// drawn from the registry; panic faults are only assigned to
-/// panic-isolated points, so a seeded plan is always valid.
+/// panic-isolated points and io faults to IO-capable points, so a seeded
+/// plan is always valid. Seeded entries are always one-shot — sticky
+/// faults wedge a resource permanently and are only ever requested
+/// explicitly.
 pub fn plan_from_seed(seed: u64, count: usize) -> FaultPlan {
     let mut rng = Rng::new(seed ^ 0xFA17_FA17_FA17_FA17);
     let mut entries = Vec::with_capacity(count);
@@ -206,6 +282,12 @@ pub fn plan_from_seed(seed: u64, count: usize) -> FaultPlan {
         let kind = if faultpoints::is_panic_isolated(point) {
             match rng.below(3) {
                 0 => FaultKind::Panic,
+                1 => FaultKind::Deadline,
+                _ => FaultKind::TermCap,
+            }
+        } else if faultpoints::is_io_capable(point) {
+            match rng.below(3) {
+                0 => FaultKind::Io,
                 1 => FaultKind::Deadline,
                 _ => FaultKind::TermCap,
             }
@@ -219,6 +301,7 @@ pub fn plan_from_seed(seed: u64, count: usize) -> FaultPlan {
             point: point.to_owned(),
             kind,
             at_hit: 1 + rng.below(6),
+            repeat: Repeat::Times(1),
         });
     }
     FaultPlan { entries }
@@ -239,7 +322,17 @@ pub struct FaultStats {
 
 struct EntryState {
     entry: FaultEntry,
-    fired: bool,
+    /// Firings so far; a `Times(n)` entry is spent once this reaches `n`.
+    fired: u64,
+}
+
+impl EntryState {
+    fn spent(&self) -> bool {
+        match self.entry.repeat {
+            Repeat::Times(n) => self.fired >= n,
+            Repeat::Sticky => false,
+        }
+    }
 }
 
 struct PlanState {
@@ -264,10 +357,7 @@ pub fn arm(plan: FaultPlan) {
         entries: plan
             .entries
             .into_iter()
-            .map(|entry| EntryState {
-                entry,
-                fired: false,
-            })
+            .map(|entry| EntryState { entry, fired: 0 })
             .collect(),
         hits: BTreeMap::new(),
         injected: 0,
@@ -293,7 +383,7 @@ fn snapshot(s: &PlanState) -> FaultStats {
         hits: s.hits.clone(),
         injected: s.injected,
         planned: s.entries.len(),
-        fired: s.entries.iter().filter(|e| e.fired).count(),
+        fired: s.entries.iter().filter(|e| e.fired > 0).count(),
     }
 }
 
@@ -334,10 +424,11 @@ pub fn arm_scoped(plan: FaultPlan) -> ArmGuard {
 }
 
 /// The injection hook. Sites call this with their registered point name;
-/// when disarmed this is one relaxed atomic load. When an armed one-shot
-/// entry matches this point at the current hit count it fires: `panic`
-/// entries unwind with an [`InjectedPanic`] payload, the other kinds are
-/// returned for the site to translate into its budget-truncation path.
+/// when disarmed this is one relaxed atomic load. When an armed entry
+/// matches this point at (or, while it has firings left, past) its hit
+/// count it fires: `panic` entries unwind with an [`InjectedPanic`]
+/// payload, the other kinds are returned for the site to translate into
+/// its own degradation path.
 pub fn point(name: &'static str) -> Option<Fault> {
     if !ARMED.load(Ordering::Relaxed) {
         return None;
@@ -353,8 +444,8 @@ fn point_slow(name: &'static str) -> Option<Fault> {
     *hit += 1;
     let hit = *hit;
     for e in state.entries.iter_mut() {
-        if !e.fired && e.entry.point == name && e.entry.at_hit == hit {
-            e.fired = true;
+        if !e.spent() && e.entry.point == name && hit >= e.entry.at_hit {
+            e.fired += 1;
             state.injected += 1;
             let kind = e.entry.kind;
             drop(guard);
@@ -364,6 +455,7 @@ fn point_slow(name: &'static str) -> Option<Fault> {
                 }
                 FaultKind::Deadline => Some(Fault::DeadlineExpiry),
                 FaultKind::TermCap => Some(Fault::TermCapExhaustion),
+                FaultKind::Io => Some(Fault::IoError),
             };
         }
     }
@@ -413,6 +505,65 @@ mod tests {
         assert!(parse_spec("query.eval:explode").is_err());
         assert!(parse_spec("query.eval:deadline@0").is_err());
         assert!(parse_spec("garbage").is_err());
+        assert!(parse_spec("query.eval:io").is_err(), "not IO-capable");
+        assert!(parse_spec("serve.wal.append:io@1x0").is_err(), "zero count");
+        assert!(parse_spec("serve.wal.append:io@1xbogus").is_err());
+        assert!(parse_spec("serve.wal.append:io@x*").is_err(), "empty hit");
+    }
+
+    #[test]
+    fn parse_repetition_round_trips() {
+        // Every shape of the grammar renders back to a canonical spec
+        // that re-parses to the same plan.
+        let cases = [
+            ("serve.wal.append:io@1x*", "serve.wal.append:io@1x*"),
+            ("serve.wal.fsync:iox*", "serve.wal.fsync:io@1x*"),
+            ("serve.wal.compact:io@2x4", "serve.wal.compact:io@2x4"),
+            ("query.eval:deadline@3x1", "query.eval:deadline@3"),
+            ("chase.fire_unit:panic", "chase.fire_unit:panic@1"),
+            (
+                "serve.wal.open:io ; par.worker:panic@2",
+                "serve.wal.open:io@1;par.worker:panic@2",
+            ),
+        ];
+        for (spec, canonical) in cases {
+            let plan = parse_spec(spec).unwrap_or_else(|e| panic!("`{spec}`: {e}"));
+            assert_eq!(plan.to_string(), canonical, "render of `{spec}`");
+            let again = parse_spec(&plan.to_string()).unwrap();
+            assert_eq!(again, plan, "round-trip of `{spec}`");
+        }
+        let sticky = parse_spec("serve.wal.append:io@2x*").unwrap();
+        assert_eq!(sticky.entries[0].repeat, Repeat::Sticky);
+        assert_eq!(sticky.entries[0].at_hit, 2);
+        assert_eq!(sticky.entries[0].kind, FaultKind::Io);
+    }
+
+    #[test]
+    fn sticky_fault_fires_forever_from_its_hit() {
+        let _s = serial();
+        let _g = arm_scoped(parse_spec("serve.wal.append:io@2x*").unwrap());
+        assert_eq!(point(faultpoints::SERVE_WAL_APPEND), None);
+        for _ in 0..10 {
+            assert_eq!(point(faultpoints::SERVE_WAL_APPEND), Some(Fault::IoError));
+        }
+        let st = stats().unwrap();
+        assert_eq!(st.injected, 10);
+        assert_eq!(st.fired, 1);
+        assert_eq!(st.hits.get(faultpoints::SERVE_WAL_APPEND), Some(&11));
+    }
+
+    #[test]
+    fn counted_fault_fires_exactly_n_times() {
+        let _s = serial();
+        let _g = arm_scoped(parse_spec("query.eval:deadline@2x3").unwrap());
+        assert_eq!(point(faultpoints::QUERY_EVAL), None);
+        for _ in 0..3 {
+            assert_eq!(point(faultpoints::QUERY_EVAL), Some(Fault::DeadlineExpiry));
+        }
+        assert_eq!(point(faultpoints::QUERY_EVAL), None);
+        assert_eq!(point(faultpoints::QUERY_EVAL), None);
+        let st = stats().unwrap();
+        assert_eq!(st.injected, 3);
     }
 
     #[test]

@@ -11,14 +11,24 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use muse_obs::Json;
+use muse_obs::{Json, Rng};
+
+/// The floor for the `503` retry backoff, in milliseconds.
+const RETRY_FLOOR_MS: u64 = 50;
 
 /// A client bound to one server address.
 pub struct Client {
     addr: String,
-    /// How many times a `503` is retried (with ~50 ms backoff) before it is
+    /// How many times a `503` is retried (with backoff) before it is
     /// surfaced. Zero means every `503` is returned to the caller.
     pub retries: u32,
+    /// The cap on the per-attempt `503` backoff, in milliseconds. The
+    /// server's `Retry-After` header (seconds) is honored up to this cap;
+    /// without a header the backoff is the [`RETRY_FLOOR_MS`] floor.
+    pub retry_cap_ms: u64,
+    /// Jitter source for the retry backoff — desynchronizes clients that
+    /// were all shed by the same degraded server.
+    jitter: Mutex<Rng>,
     /// The cached keep-alive connection, if the last exchange left one.
     conn: Mutex<Option<TcpStream>>,
 }
@@ -27,16 +37,27 @@ impl Client {
     /// A client for `addr` (e.g. `127.0.0.1:7654`) retrying `503`s a few
     /// times.
     pub fn new(addr: impl Into<String>) -> Client {
+        let addr = addr.into();
+        // Seed the jitter from the address so two clients hitting different
+        // servers do not march in lockstep; determinism per-address keeps
+        // test runs reproducible.
+        let seed = addr.bytes().fold(0xC11E_4751u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3)
+        });
         Client {
-            addr: addr.into(),
+            addr,
             retries: 20,
+            retry_cap_ms: 250,
+            jitter: Mutex::new(Rng::new(seed)),
             conn: Mutex::new(None),
         }
     }
 
     /// Issue one request; returns `(status, body)`. `503` responses are
-    /// retried up to `self.retries` times with a small backoff — the
-    /// server's documented backpressure contract.
+    /// retried up to `self.retries` times, sleeping a jittered backoff that
+    /// honors the server's `Retry-After` header (capped at
+    /// [`Client::retry_cap_ms`]) — the server's documented backpressure
+    /// contract.
     pub fn request(
         &self,
         method: &str,
@@ -45,15 +66,32 @@ impl Client {
     ) -> Result<(u16, Json), String> {
         let mut attempt = 0u32;
         loop {
-            let result = self.request_once(method, path, body);
-            match &result {
-                Ok((503, _)) if attempt < self.retries => {
+            match self.request_once(method, path, body) {
+                Ok((503, _, retry_after)) if attempt < self.retries => {
                     attempt += 1;
-                    thread::sleep(Duration::from_millis(50));
+                    thread::sleep(Duration::from_millis(self.backoff_ms(retry_after)));
                 }
-                _ => return result,
+                Ok((status, body, _)) => return Ok((status, body)),
+                Err(e) => return Err(e),
             }
         }
+    }
+
+    /// The sleep before the next `503` retry: the server's `Retry-After`
+    /// (seconds), clamped to `[RETRY_FLOOR_MS, retry_cap_ms]`, then jittered
+    /// down to somewhere in `[base/2, base]`.
+    fn backoff_ms(&self, retry_after_secs: Option<u64>) -> u64 {
+        let cap = self.retry_cap_ms.max(RETRY_FLOOR_MS);
+        let base = match retry_after_secs {
+            Some(secs) => secs.saturating_mul(1000).clamp(RETRY_FLOOR_MS, cap),
+            None => RETRY_FLOOR_MS,
+        };
+        let jitter = self
+            .jitter
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .below(base / 2 + 1);
+        base / 2 + jitter
     }
 
     pub(crate) fn request_once(
@@ -61,7 +99,7 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&Json>,
-    ) -> Result<(u16, Json), String> {
+    ) -> Result<(u16, Json, Option<u64>), String> {
         let bytes = encode_request(method, path, &self.addr, body);
 
         // First try the cached keep-alive connection. A transport failure
@@ -73,11 +111,11 @@ impl Client {
         let cached = self.take_cached();
         if let Some(mut stream) = cached {
             match exchange(&mut stream, &bytes) {
-                Ok((status, body, close)) => {
+                Ok((status, body, close, retry_after)) => {
                     if !close {
                         self.cache(stream);
                     }
-                    return Ok((status, body));
+                    return Ok((status, body, retry_after));
                 }
                 Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                     return Err(format!("{method} {path}: {e}"));
@@ -91,11 +129,11 @@ impl Client {
         let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
         match exchange(&mut stream, &bytes) {
-            Ok((status, body, close)) => {
+            Ok((status, body, close, retry_after)) => {
                 if !close {
                     self.cache(stream);
                 }
-                Ok((status, body))
+                Ok((status, body, retry_after))
             }
             Err(e) => Err(format!("{method} {path}: {e}")),
         }
@@ -161,13 +199,15 @@ pub fn wait_ready(addr: &str, timeout: Duration) -> Result<(), String> {
     let client = Client {
         addr: addr.to_owned(),
         retries: 0,
+        retry_cap_ms: 250,
+        jitter: Mutex::new(Rng::new(0xC11E_4751)),
         conn: Mutex::new(None),
     };
     let deadline = Instant::now() + timeout;
     loop {
         match client.request_once("GET", "/healthz", None) {
-            Ok((200, _)) => return Ok(()),
-            Ok((status, _)) => return Err(format!("healthz returned HTTP {status}")),
+            Ok((200, _, _)) => return Ok(()),
+            Ok((status, _, _)) => return Err(format!("healthz returned HTTP {status}")),
             Err(e) => {
                 if Instant::now() >= deadline {
                     return Err(format!("server not ready after {timeout:?}: {e}"));
@@ -192,11 +232,12 @@ fn protocol(msg: impl Into<String>) -> io::Error {
 }
 
 /// Write one request and read one response off `stream`. Returns
-/// `(status, body, close)` where `close` reports whether the server ended
-/// keep-alive (explicitly, or implicitly by omitting `Content-Length`).
-/// Transport failures keep their original `io::ErrorKind`; malformed
-/// responses are `InvalidData`.
-fn exchange(stream: &mut TcpStream, request: &[u8]) -> io::Result<(u16, Json, bool)> {
+/// `(status, body, close, retry_after)` where `close` reports whether the
+/// server ended keep-alive (explicitly, or implicitly by omitting
+/// `Content-Length`) and `retry_after` is the `Retry-After` header in
+/// seconds, if present. Transport failures keep their original
+/// `io::ErrorKind`; malformed responses are `InvalidData`.
+fn exchange(stream: &mut TcpStream, request: &[u8]) -> io::Result<(u16, Json, bool, Option<u64>)> {
     stream.write_all(request)?;
     stream.flush()?;
 
@@ -220,7 +261,7 @@ fn exchange(stream: &mut TcpStream, request: &[u8]) -> io::Result<(u16, Json, bo
 
     let head = std::str::from_utf8(&data[..head_end])
         .map_err(|_| protocol("response head is not UTF-8"))?;
-    let (status, content_length, mut close) = parse_head(head)?;
+    let (status, content_length, mut close, retry_after) = parse_head(head)?;
 
     let body_start = head_end + 4;
     let body = match content_length {
@@ -252,11 +293,11 @@ fn exchange(stream: &mut TcpStream, request: &[u8]) -> io::Result<(u16, Json, bo
     } else {
         Json::parse(text).map_err(|e| protocol(format!("bad response body: {e}")))?
     };
-    Ok((status, json, close))
+    Ok((status, json, close, retry_after))
 }
 
-/// Parse a response head into `(status, content_length, close)`.
-fn parse_head(head: &str) -> io::Result<(u16, Option<usize>, bool)> {
+/// Parse a response head into `(status, content_length, close, retry_after)`.
+fn parse_head(head: &str) -> io::Result<(u16, Option<usize>, bool, Option<u64>)> {
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or("");
     let status = status_line
@@ -266,6 +307,7 @@ fn parse_head(head: &str) -> io::Result<(u16, Option<usize>, bool)> {
         .ok_or_else(|| protocol(format!("bad status line `{status_line}`")))?;
     let mut content_length = None;
     let mut close = status_line.starts_with("HTTP/1.0");
+    let mut retry_after = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -284,9 +326,12 @@ fn parse_head(head: &str) -> io::Result<(u16, Option<usize>, bool)> {
             } else if value.eq_ignore_ascii_case("keep-alive") {
                 close = false;
             }
+        } else if name.eq_ignore_ascii_case("retry-after") {
+            // Advisory only — a malformed value falls back to the floor.
+            retry_after = value.trim().parse().ok();
         }
     }
-    Ok((status, content_length, close))
+    Ok((status, content_length, close, retry_after))
 }
 
 #[cfg(test)]
@@ -295,18 +340,51 @@ mod tests {
 
     #[test]
     fn parses_a_head() {
-        let (status, len, close) =
+        let (status, len, close, retry_after) =
             parse_head("HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 13\r\nConnection: close")
                 .unwrap();
         assert_eq!(status, 503);
         assert_eq!(len, Some(13));
         assert!(close);
+        assert_eq!(retry_after, Some(1));
 
-        let (status, len, close) =
+        let (status, len, close, retry_after) =
             parse_head("HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive").unwrap();
         assert_eq!(status, 200);
         assert_eq!(len, Some(2));
         assert!(!close);
+        assert_eq!(retry_after, None);
+    }
+
+    #[test]
+    fn malformed_retry_after_is_ignored() {
+        let (status, _, _, retry_after) = parse_head(
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: soon\r\nContent-Length: 0",
+        )
+        .unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(retry_after, None);
+    }
+
+    /// The backoff honors `Retry-After` but stays within
+    /// `[RETRY_FLOOR_MS/2, retry_cap_ms]` whatever the server claims.
+    #[test]
+    fn backoff_is_capped_and_jittered() {
+        let client = Client::new("127.0.0.1:1");
+        for _ in 0..64 {
+            // No header: the floor applies.
+            let ms = client.backoff_ms(None);
+            assert!((RETRY_FLOOR_MS / 2..=RETRY_FLOOR_MS).contains(&ms), "{ms}");
+            // Header of 1s: capped at retry_cap_ms (250), jittered down.
+            let ms = client.backoff_ms(Some(1));
+            assert!((125..=250).contains(&ms), "{ms}");
+            // Absurd header: still capped.
+            let ms = client.backoff_ms(Some(3600));
+            assert!((125..=250).contains(&ms), "{ms}");
+        }
+        // The jitter actually varies.
+        let samples: Vec<u64> = (0..32).map(|_| client.backoff_ms(Some(1))).collect();
+        assert!(samples.iter().any(|&s| s != samples[0]), "no jitter");
     }
 
     #[test]
@@ -336,7 +414,7 @@ mod tests {
         });
         let mut stream = TcpStream::connect(addr).unwrap();
         let request = encode_request("GET", "/healthz", "test", None);
-        let (status, body, close) = exchange(&mut stream, &request).unwrap();
+        let (status, body, close, _) = exchange(&mut stream, &request).unwrap();
         assert_eq!(status, 200);
         assert_eq!(body.get("ok"), Some(&Json::Bool(true)));
         assert!(!close, "keep-alive response must leave the conn reusable");

@@ -13,7 +13,7 @@
 //! | `POST /sessions/{id}/answer`  | answer it, advancing the state machine        |
 //! | `GET /sessions/{id}/report`   | the final [`muse_wizard::SessionReport`]      |
 //! | `GET /metrics`                | live `muse_obs` counters + server histograms  |
-//! | `GET /healthz`                | liveness                                      |
+//! | `GET /healthz`                | liveness + health state (`healthy` / `degraded` / `recovering`) |
 //! | `POST /admin/shutdown`        | graceful drain                                |
 //!
 //! Durability: every session-mutating request is recorded in an
@@ -24,7 +24,20 @@
 //! path as answering one more question. Periodic *snapshot* records keep
 //! resume cheap: a session whose latest snapshot covers all its answers
 //! restores in O(1), and WAL compaction drops superseded snapshots so the
-//! log stays bounded by the answer history.
+//! log stays bounded by the answer history. A corrupt WAL never takes the
+//! server down: open *salvages* it — a clean torn tail is dropped
+//! silently, any other damage is scanned past frame-by-frame, the skipped
+//! bytes are quarantined to `<wal>.quarantine`, and every record before
+//! the corruption survives ([`wal`]).
+//!
+//! Disk trouble at runtime degrades the service instead of killing it:
+//! the store runs a Healthy → Degraded → Recovering state machine — while
+//! degraded, mutations are shed with `503 + Retry-After` (the bundled
+//! [`client`] honors it with capped, jittered backoff), reads are served
+//! from memory, and a background probe re-verifies the WAL until two
+//! consecutive successes restore Healthy. Sessions whose step panics
+//! repeatedly are quarantined individually (structured 500) without
+//! affecting their neighbors.
 //!
 //! Concurrency: a bounded accept loop feeds a fixed `muse-par` worker pool;
 //! connections are persistent (HTTP/1.1 keep-alive) and parked between
@@ -32,9 +45,12 @@
 //! worker. The *resident-connection* cap sheds excess load with
 //! `503 + Retry-After` ([`server`]). Request handling is panic-isolated,
 //! budgeted per session via `muse_obs::Budget`, and observable through
-//! `serve.*` metrics and the `serve.accept` / `serve.handle` / `serve.wal`
-//! fault points. Identical deterministic probes across sessions are
-//! memoized process-wide (`serve.cache_hits` / `serve.cache_misses`).
+//! `serve.*` metrics and the `serve.accept` / `serve.handle` /
+//! `serve.wal.{open,append,fsync,compact}` / `serve.session.step` fault
+//! points (the storage points accept sticky `io` faults — `x*` in the
+//! plan grammar — which is how the degraded-mode paths are exercised).
+//! Identical deterministic probes across sessions are memoized
+//! process-wide (`serve.cache_hits` / `serve.cache_misses`).
 
 pub mod client;
 pub mod hist;

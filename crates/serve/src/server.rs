@@ -21,17 +21,27 @@
 //!   [`ProbeCache`] (`serve.cache_hits` / `serve.cache_misses`), so N
 //!   identical-config sessions pay for each wizard question once;
 //! - identical configs share one [`SessionCtx`] via [`CtxCache`].
+//!
+//! Storage failure narrows the service instead of killing it: a failed
+//! WAL append flips the server [`Health::Degraded`] — mutating endpoints
+//! shed with `503 + Retry-After` while reads (`question`, `report`,
+//! `/metrics`, `/healthz`) keep serving from memory — and a dedicated
+//! recovery-probe pool item re-attempts an append under jittered backoff,
+//! walking `Degraded → Recovering → Healthy` on two consecutive
+//! successes. Sessions whose `step` panics repeatedly are quarantined
+//! (see [`SessionStatus::Quarantined`]) so a poisoned replay can't burn a
+//! worker per retry.
 
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use muse_obs::{faultpoints, Json, Metrics};
+use muse_obs::{faultpoints, Json, Metrics, Rng};
 use muse_wizard::ProbeCache;
 
 use crate::hist::Hist;
@@ -74,6 +84,12 @@ pub struct ServerConfig {
     pub wal_compact_bytes: u64,
     /// Capacity of the cross-session probe/example memo. 0 disables it.
     pub probe_cache_cap: usize,
+    /// Quarantine a session after this many consecutive `step` panics
+    /// (0 disables quarantine).
+    pub panic_quarantine: u32,
+    /// Base interval of the degraded-mode recovery probe, in ms. Each
+    /// failed probe doubles the wait (jittered, capped at 16x base).
+    pub recovery_probe_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +106,42 @@ impl Default for ServerConfig {
             snapshot_every: 8,
             wal_compact_bytes: 1 << 20,
             probe_cache_cap: 1024,
+            panic_quarantine: 3,
+            recovery_probe_ms: 200,
+        }
+    }
+}
+
+/// The storage-health state machine. `Healthy` is the only state that
+/// accepts mutations; the other two shed them with `503 + Retry-After`
+/// while reads keep serving from memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// WAL appends are succeeding (or no WAL is configured).
+    Healthy,
+    /// A WAL append failed; mutations shed until the recovery probe
+    /// succeeds.
+    Degraded,
+    /// One recovery probe landed; one more restores `Healthy`. Mutations
+    /// still shed — the extra probe is hysteresis against a flapping disk.
+    Recovering,
+}
+
+impl Health {
+    /// The `/healthz` wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Recovering => "recovering",
+        }
+    }
+
+    fn from_u8(v: u8) -> Health {
+        match v {
+            1 => Health::Degraded,
+            2 => Health::Recovering,
+            _ => Health::Healthy,
         }
     }
 }
@@ -99,6 +151,10 @@ struct ApiError {
     status: u16,
     message: String,
     retry_after: bool,
+    /// Marks a quarantined-session failure: the body carries
+    /// `"quarantined": true` so clients can tell a poisoned session from
+    /// a transient 500 and stop retrying.
+    quarantined: bool,
 }
 
 impl ApiError {
@@ -107,6 +163,7 @@ impl ApiError {
             status,
             message: message.into(),
             retry_after: false,
+            quarantined: false,
         }
     }
 
@@ -115,6 +172,16 @@ impl ApiError {
             status: 503,
             message: message.into(),
             retry_after: true,
+            quarantined: false,
+        }
+    }
+
+    fn quarantined(reason: &str) -> Self {
+        ApiError {
+            status: 500,
+            message: format!("session quarantined: {reason}"),
+            retry_after: false,
+            quarantined: true,
         }
     }
 }
@@ -158,6 +225,8 @@ pub struct Server {
     ctx_cache: CtxCache,
     /// WAL size that triggers the next compaction.
     next_compact: AtomicU64,
+    /// The storage [`Health`] state (`Health::from_u8` encoding).
+    health: AtomicU8,
 }
 
 impl Server {
@@ -174,8 +243,19 @@ impl Server {
             .with_metric_keys("serve.cache_hits", "serve.cache_misses");
         let wal = match &cfg.wal {
             Some(path) => {
-                let (wal, records) =
+                let (wal, records, salvage) =
                     Wal::open(path).map_err(|e| format!("wal {}: {e}", path.display()))?;
+                if !salvage.is_clean() {
+                    metrics.add("serve.wal_salvaged_frames", salvage.salvaged_frames);
+                    metrics.add("serve.wal_quarantined_bytes", salvage.quarantined_bytes);
+                    eprintln!(
+                        "serve: wal salvage on {}: {} frame(s) recovered past corruption, \
+                         {} byte(s) quarantined",
+                        path.display(),
+                        salvage.salvaged_frames,
+                        salvage.quarantined_bytes
+                    );
+                }
                 let t0 = Instant::now();
                 let probes = (cfg.probe_cache_cap > 0).then_some(&probe_cache);
                 replay(&store, &metrics, &ctx_cache, probes, records)?;
@@ -198,6 +278,7 @@ impl Server {
             probe_cache,
             ctx_cache,
             next_compact: AtomicU64::new(next_compact),
+            health: AtomicU8::new(0),
         })
     }
 
@@ -221,6 +302,37 @@ impl Server {
         (self.cfg.probe_cache_cap > 0).then_some(&self.probe_cache)
     }
 
+    /// Current storage health.
+    pub fn health(&self) -> Health {
+        Health::from_u8(self.health.load(Ordering::Acquire))
+    }
+
+    /// Move the health state machine, logging and counting once per edge
+    /// (never per request — a storm of failing appends is one
+    /// transition).
+    fn set_health(&self, to: Health) {
+        let from = self.health.swap(to as u8, Ordering::AcqRel);
+        if from != to as u8 {
+            self.metrics.incr("serve.health_transitions");
+            eprintln!(
+                "serve: health {} -> {}",
+                Health::from_u8(from).name(),
+                to.name()
+            );
+        }
+    }
+
+    /// Shed mutations while storage is degraded or still proving itself.
+    fn shed_if_degraded(&self) -> Result<(), ApiError> {
+        if self.wal.is_some() && self.health() != Health::Healthy {
+            self.metrics.incr("serve.degraded_sheds");
+            return Err(ApiError::unavailable(
+                "storage degraded; mutation shed (retry after recovery)",
+            ));
+        }
+        Ok(())
+    }
+
     /// Serve until `POST /admin/shutdown`: accept, handle, park, repeat.
     /// Drains on shutdown — parked connections with a request already in
     /// flight are answered (with `Connection: close`) before workers exit;
@@ -238,9 +350,10 @@ impl Server {
         let workers = self.cfg.threads.max(1);
 
         let results =
-            muse_par::try_scope_map(workers + 2, workers + 2, &self.metrics, |i| match i {
+            muse_par::try_scope_map(workers + 3, workers + 3, &self.metrics, |i| match i {
                 0 => self.accept_loop(&shared),
                 1 => self.poller_loop(&shared),
+                2 => self.recovery_loop(&shared),
                 _ => self.worker_loop(&shared),
             });
         let panics = results.iter().filter(|r| r.is_err()).count();
@@ -376,6 +489,69 @@ impl Server {
         shared.available.notify_all();
     }
 
+    /// The degraded-mode recovery probe: while the server is not
+    /// `Healthy`, periodically append a `{"rec":"noop"}` record to the
+    /// WAL under jittered exponential backoff. One success moves
+    /// `Degraded → Recovering`; a second consecutive success restores
+    /// `Healthy` (hysteresis against a flapping disk); any failure drops
+    /// back to `Degraded` and doubles the wait (capped at 16x base).
+    /// Noop records are skipped by replay and dropped by compaction.
+    fn recovery_loop(&self, shared: &ConnShared) {
+        let Some(wal) = &self.wal else {
+            return; // no storage, nothing to recover
+        };
+        let base = self.cfg.recovery_probe_ms.max(10);
+        let mut rng = Rng::new(0x5EC0_4E2C ^ base);
+        let mut backoff = base;
+        let mut consecutive_ok = 0u32;
+        let done = |shared: &ConnShared| {
+            shared.accept_done.load(Ordering::Acquire) && shared.poller_done.load(Ordering::Acquire)
+        };
+        // Sleep in small slices so a drain never waits out a long backoff.
+        let nap = |ms: u64, shared: &ConnShared| {
+            let mut left = ms;
+            while left > 0 && !done(shared) {
+                let slice = left.min(25);
+                std::thread::sleep(Duration::from_millis(slice));
+                left -= slice;
+            }
+        };
+        while !done(shared) {
+            if self.health() == Health::Healthy {
+                consecutive_ok = 0;
+                backoff = base;
+                nap(25, shared);
+                continue;
+            }
+            // Jitter in [backoff/2, backoff]: concurrent restarting
+            // servers must not probe a shared, struggling disk in phase.
+            let wait = backoff / 2 + rng.below(backoff / 2 + 1);
+            nap(wait, shared);
+            if done(shared) || self.health() == Health::Healthy {
+                continue;
+            }
+            self.metrics.incr("serve.recovery_probes");
+            match wal.append(&Json::obj(vec![("rec", Json::str("noop"))])) {
+                Ok(_) => {
+                    consecutive_ok += 1;
+                    backoff = base;
+                    if consecutive_ok >= 2 {
+                        self.metrics.incr("serve.recoveries");
+                        self.set_health(Health::Healthy);
+                        consecutive_ok = 0;
+                    } else {
+                        self.set_health(Health::Recovering);
+                    }
+                }
+                Err(_) => {
+                    consecutive_ok = 0;
+                    self.set_health(Health::Degraded);
+                    backoff = (backoff * 2).min(base * 16);
+                }
+            }
+        }
+    }
+
     fn worker_loop(&self, shared: &ConnShared) {
         loop {
             let next = {
@@ -490,11 +666,11 @@ impl Server {
                     if e.retry_after {
                         headers.push(("Retry-After", "1".to_owned()));
                     }
-                    (
-                        e.status,
-                        headers,
-                        Json::obj(vec![("error", Json::str(e.message))]),
-                    )
+                    let mut fields = vec![("error", Json::str(e.message))];
+                    if e.quarantined {
+                        fields.push(("quarantined", Json::Bool(true)));
+                    }
+                    (e.status, headers, Json::obj(fields))
                 }
             }
         };
@@ -520,6 +696,7 @@ impl Server {
                 200,
                 Json::obj(vec![
                     ("ok", Json::Bool(true)),
+                    ("state", Json::str(self.health().name())),
                     (
                         "draining",
                         Json::Bool(self.shutdown.load(Ordering::Acquire)),
@@ -528,9 +705,13 @@ impl Server {
             )),
             ("GET", ["metrics"]) => Ok((200, self.metrics_json())),
             ("POST", ["admin", "shutdown"]) => self.initiate_shutdown(),
-            ("POST", ["sessions"]) => self.create_session(&request.body),
+            ("POST", ["sessions"]) => {
+                self.shed_if_degraded()?;
+                self.create_session(&request.body)
+            }
             ("GET", ["sessions", id, "question"]) => self.session_question(parse_id(id)?),
             ("POST", ["sessions", id, "answer"]) => {
+                self.shed_if_degraded()?;
                 self.session_answer(parse_id(id)?, &request.body)
             }
             ("GET", ["sessions", id, "report"]) => self.session_report(parse_id(id)?),
@@ -583,8 +764,15 @@ impl Server {
                 Ok(())
             }
             Err(e) => {
+                // The disk just failed under us: degrade so every further
+                // mutation sheds up front, and shed this one. The caller
+                // rolls its in-memory state back, so nothing
+                // unacknowledged survives.
                 self.metrics.incr("serve.wal_errors");
-                Err(ApiError::new(500, format!("answer log append failed: {e}")))
+                self.set_health(Health::Degraded);
+                Err(ApiError::unavailable(format!(
+                    "answer log append failed: {e}"
+                )))
             }
         }
     }
@@ -608,7 +796,7 @@ impl Server {
                 ("open", question.clone())
             }
             SessionStatus::Done { report } => ("done", report.clone()),
-            SessionStatus::Failed { .. } => return,
+            SessionStatus::Failed { .. } | SessionStatus::Quarantined { .. } => return,
         };
         let record = Json::obj(vec![
             ("rec", Json::str("snapshot")),
@@ -625,7 +813,10 @@ impl Server {
                 self.maybe_compact(wal);
             }
             Err(_) => {
+                // Non-fatal for the request (the answer was already
+                // durable) but the disk is clearly failing: degrade.
                 self.metrics.incr("serve.snapshot_errors");
+                self.set_health(Health::Degraded);
             }
         }
     }
@@ -651,6 +842,63 @@ impl Server {
         }
     }
 
+    /// Run `entry.advance` under panic isolation and the
+    /// `serve.session.step` fault point. The outer `Err` is a fully-built
+    /// response (step panicked, or the session is already quarantined);
+    /// the inner result is the organic wizard outcome for the caller to
+    /// interpret (`BadAnswer` vs hard failure).
+    ///
+    /// A panic counts toward the session's quarantine threshold
+    /// (`panic_quarantine` consecutive panics poison it); a successful
+    /// step resets the count.
+    fn step_entry(
+        &self,
+        entry: &mut crate::store::SessionEntry,
+    ) -> Result<Result<muse_wizard::Step, muse_wizard::WizardError>, ApiError> {
+        if let SessionStatus::Quarantined { reason } = &entry.status {
+            return Err(ApiError::quarantined(reason));
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // A `panic` fault here unwinds into this catch; non-panic
+            // kinds are no-ops (the server has no truncation path of its
+            // own — budgets live inside the step).
+            let _ = muse_fault::point(faultpoints::SERVE_SESSION_STEP);
+            entry.advance(&self.metrics, self.probes())
+        }));
+        match outcome {
+            Ok(result) => {
+                if result.is_ok() {
+                    entry.panics = 0;
+                }
+                Ok(result)
+            }
+            Err(_) => {
+                self.metrics.incr("serve.step_panics");
+                entry.panics += 1;
+                let threshold = self.cfg.panic_quarantine;
+                if threshold > 0 && entry.panics >= threshold {
+                    let reason = format!(
+                        "step panicked {} time(s) in a row (threshold {threshold})",
+                        entry.panics
+                    );
+                    if matches!(entry.status, SessionStatus::Open { .. }) {
+                        self.store.note_closed();
+                    }
+                    entry.status = SessionStatus::Quarantined {
+                        reason: reason.clone(),
+                    };
+                    self.metrics.incr("serve.sessions_quarantined");
+                    Err(ApiError::quarantined(&reason))
+                } else {
+                    Err(ApiError::new(
+                        500,
+                        format!("session step panicked (attempt {})", entry.panics),
+                    ))
+                }
+            }
+        }
+    }
+
     fn create_session(&self, body: &[u8]) -> ApiResult {
         let text =
             std::str::from_utf8(body).map_err(|_| ApiError::new(400, "body is not UTF-8"))?;
@@ -663,17 +911,25 @@ impl Server {
             .map_err(|e| ApiError::new(400, e))?;
         let strategy = cfg.strategy;
 
-        let entry = self.store.insert(cfg, ctx).map_err(ApiError::unavailable)?;
-        let mut entry = entry.lock().unwrap_or_else(|e| e.into_inner());
+        let entry_arc = self.store.insert(cfg, ctx).map_err(ApiError::unavailable)?;
+        let mut entry = entry_arc.lock().unwrap_or_else(|e| e.into_inner());
         self.metrics.incr("serve.sessions_created");
-        self.wal_append(&Json::obj(vec![
+        if let Err(e) = self.wal_append(&Json::obj(vec![
             ("rec", Json::str("create")),
             ("session", Json::Int(entry.id as i64)),
             ("cfg", entry.cfg.to_json()),
-        ]))?;
+        ])) {
+            // Never acknowledged, never logged: the session must not
+            // linger in memory either, or a restart would forget it while
+            // clients still see its id.
+            let id = entry.id;
+            drop(entry);
+            self.store.remove(id);
+            return Err(e);
+        }
 
-        let step = entry
-            .advance(&self.metrics, self.probes())
+        let step = self
+            .step_entry(&mut entry)?
             .map_err(|e| self.session_failed(&mut entry, e))?;
         self.maybe_snapshot(&entry);
 
@@ -698,8 +954,8 @@ impl Server {
                 ]))?;
                 entry.answers.push(answer);
                 self.metrics.incr("serve.answers");
-                step = entry
-                    .advance(&self.metrics, self.probes())
+                step = self
+                    .step_entry(&mut entry)?
                     .map_err(|e| self.session_failed(&mut entry, e))?;
                 self.maybe_snapshot(&entry);
             }
@@ -718,6 +974,9 @@ impl Server {
             }
             SessionStatus::Failed { error } => {
                 return Err(ApiError::new(500, format!("wizard failed: {error}")));
+            }
+            SessionStatus::Quarantined { reason } => {
+                return Err(ApiError::quarantined(reason));
             }
         }
         Ok((200, Json::obj(fields)))
@@ -764,6 +1023,7 @@ impl Server {
             SessionStatus::Failed { error } => {
                 Err(ApiError::new(500, format!("wizard failed: {error}")))
             }
+            SessionStatus::Quarantined { reason } => Err(ApiError::quarantined(reason)),
         }
     }
 
@@ -787,23 +1047,32 @@ impl Server {
             SessionStatus::Failed { error } => {
                 return Err(ApiError::new(500, format!("wizard failed: {error}")));
             }
+            SessionStatus::Quarantined { reason } => {
+                return Err(ApiError::quarantined(reason));
+            }
         }
 
         // Validate by stepping with the candidate answer appended; only an
         // accepted answer reaches the WAL.
         entry.answers.push(answer.clone());
-        match entry.advance(&self.metrics, self.probes()) {
-            Ok(_) => {}
-            Err(muse_wizard::WizardError::BadAnswer(msg)) => {
+        match self.step_entry(&mut entry) {
+            Ok(Ok(_)) => {}
+            Ok(Err(muse_wizard::WizardError::BadAnswer(msg))) => {
                 entry.answers.pop();
                 // Restore the cached question (state is derived, so this
                 // cannot fail differently than before).
-                let _ = entry.advance(&self.metrics, self.probes());
+                let _ = self.step_entry(&mut entry);
                 return Err(ApiError::new(400, format!("rejected answer: {msg}")));
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 entry.answers.pop();
                 return Err(self.session_failed(&mut entry, e));
+            }
+            Err(api) => {
+                // The step panicked (or the session is quarantined): the
+                // candidate answer was never accepted.
+                entry.answers.pop();
+                return Err(api);
             }
         }
         if let Err(e) = self.wal_append(&Json::obj(vec![
@@ -814,7 +1083,7 @@ impl Server {
             // Un-acknowledged answers must not survive in memory either:
             // a restart would forget them, forking the session's history.
             entry.answers.pop();
-            let _ = entry.advance(&self.metrics, self.probes());
+            let _ = self.step_entry(&mut entry);
             return Err(e);
         }
         self.metrics.incr("serve.answers");
@@ -836,6 +1105,9 @@ impl Server {
             }
             SessionStatus::Failed { error } => {
                 return Err(ApiError::new(500, format!("wizard failed: {error}")));
+            }
+            SessionStatus::Quarantined { reason } => {
+                return Err(ApiError::quarantined(reason));
             }
         }
         Ok((200, Json::obj(fields)))
@@ -864,6 +1136,7 @@ impl Server {
             SessionStatus::Failed { error } => {
                 Err(ApiError::new(500, format!("wizard failed: {error}")))
             }
+            SessionStatus::Quarantined { reason } => Err(ApiError::quarantined(reason)),
         }
     }
 }
@@ -880,8 +1153,9 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
 
 /// The compaction rewrite: keep every create and answer record (they are
 /// the session history) and, per session, only the *latest* snapshot —
-/// earlier ones are superseded. Order is preserved, so a kept snapshot
-/// still follows its session's create record.
+/// earlier ones are superseded. Recovery-probe `noop` records carry no
+/// state and are dropped. Order is preserved, so a kept snapshot still
+/// follows its session's create record.
 fn compact_records(records: Vec<Json>) -> Vec<Json> {
     use std::collections::HashMap;
     let mut last_snapshot: HashMap<i64, usize> = HashMap::new();
@@ -895,13 +1169,13 @@ fn compact_records(records: Vec<Json>) -> Vec<Json> {
     records
         .into_iter()
         .enumerate()
-        .filter(|(i, rec)| {
-            if rec.get("rec").and_then(Json::as_str) != Some("snapshot") {
-                return true;
-            }
-            rec.get("session")
+        .filter(|(i, rec)| match rec.get("rec").and_then(Json::as_str) {
+            Some("noop") => false,
+            Some("snapshot") => rec
+                .get("session")
                 .and_then(Json::as_int)
-                .is_some_and(|id| last_snapshot.get(&id) == Some(i))
+                .is_some_and(|id| last_snapshot.get(&id) == Some(i)),
+            _ => true,
         })
         .map(|(_, rec)| rec)
         .collect()
@@ -932,6 +1206,11 @@ fn replay(
             .get("rec")
             .and_then(Json::as_str)
             .ok_or_else(|| format!("wal record {n}: missing `rec`"))?;
+        if kind == "noop" {
+            // A recovery-probe heartbeat: proves the disk wrote, carries
+            // no session state.
+            continue;
+        }
         let id = record
             .get("session")
             .and_then(Json::as_int)
@@ -1001,15 +1280,26 @@ fn replay(
             }
             _ => {
                 // No current snapshot (answers arrived after the last one,
-                // or an unknown state tag): one full advance.
+                // or an unknown state tag): one full advance, panic
+                // isolated — one poisoned session must not take down the
+                // bind, it gets quarantined instead.
                 metrics.incr("serve.replays");
-                match entry.advance(metrics, probes) {
-                    Ok(muse_wizard::Step::Ask { .. }) => store.note_opened(),
-                    Ok(muse_wizard::Step::Done(_)) => {}
-                    Err(e) => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| entry.advance(metrics, probes)));
+                match outcome {
+                    Ok(Ok(muse_wizard::Step::Ask { .. })) => store.note_opened(),
+                    Ok(Ok(muse_wizard::Step::Done(_))) => {}
+                    Ok(Err(e)) => {
                         metrics.incr("serve.session_failures");
                         entry.status = SessionStatus::Failed {
                             error: e.to_string(),
+                        };
+                    }
+                    Err(_) => {
+                        metrics.incr("serve.step_panics");
+                        metrics.incr("serve.sessions_quarantined");
+                        entry.panics += 1;
+                        entry.status = SessionStatus::Quarantined {
+                            reason: "step panicked during WAL replay".to_owned(),
                         };
                     }
                 }

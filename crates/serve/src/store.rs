@@ -331,6 +331,15 @@ pub enum SessionStatus {
         /// The wizard error, rendered.
         error: String,
     },
+    /// The session's `step` panicked repeatedly (the `panic_quarantine`
+    /// threshold) and was poisoned: every subsequent request gets a
+    /// structured 500 with this reason instead of burning a worker on
+    /// another doomed replay. Runtime-only — a restart replays the
+    /// session from its WAL history and gives it a fresh chance.
+    Quarantined {
+        /// Why the session was poisoned.
+        reason: String,
+    },
 }
 
 /// One session: config, context, the answer log mirror, and cached status.
@@ -348,6 +357,10 @@ pub struct SessionEntry {
     pub answers: Vec<Answer>,
     /// Cached current state.
     pub status: SessionStatus,
+    /// Consecutive `step` panics observed by the server; at the
+    /// `panic_quarantine` threshold the session is poisoned. Reset by a
+    /// successful step.
+    pub panics: u32,
 }
 
 impl SessionEntry {
@@ -456,6 +469,7 @@ impl Store {
             status: SessionStatus::Failed {
                 error: "session not yet stepped".to_owned(),
             },
+            panics: 0,
         }));
         map.insert(id, Arc::clone(&entry));
         Ok(entry)
@@ -479,6 +493,7 @@ impl Store {
             status: SessionStatus::Failed {
                 error: "session not yet stepped".to_owned(),
             },
+            panics: 0,
         }));
         self.map().insert(id, Arc::clone(&entry));
         self.next_id.fetch_max(id + 1, Ordering::Relaxed);
@@ -488,6 +503,12 @@ impl Store {
     /// Look up a session.
     pub fn get(&self, id: u64) -> Option<Arc<Mutex<SessionEntry>>> {
         self.map().get(&id).cloned()
+    }
+
+    /// Drop a session (the create-append-failed rollback: the id was
+    /// never acknowledged or logged, so it must not linger in memory).
+    pub fn remove(&self, id: u64) -> Option<Arc<Mutex<SessionEntry>>> {
+        self.map().remove(&id)
     }
 
     /// Every session, in id order (replay walks this once at bind time).

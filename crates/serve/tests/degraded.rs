@@ -1,0 +1,291 @@
+//! Degraded-mode e2e (ISSUE 9): a live in-process server under injected
+//! storage faults. Sticky WAL append faults must shed mutations with
+//! `503` while reads keep serving from memory, `/healthz` must report the
+//! state machine, clearing the fault must restore `healthy` without a
+//! restart, repeated step panics must quarantine the session, and a
+//! salvaged WAL must surface its counters in `/metrics`.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use muse_obs::{Json, Metrics};
+use muse_serve::{client, Client, Server, ServerConfig};
+
+/// Fault plans are process-global; tests that arm one are serialized.
+static FAULTS: Mutex<()> = Mutex::new(());
+
+fn fault_lock() -> MutexGuard<'static, ()> {
+    FAULTS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Bind + run a server on an ephemeral port; returns (client, server,
+/// join handle). Callers must `client.shutdown()` and join.
+fn spawn(cfg: ServerConfig) -> (Client, Arc<Server>, thread::JoinHandle<()>) {
+    let server = Arc::new(Server::bind(cfg, Metrics::enabled()).expect("bind"));
+    let addr = server.local_addr().expect("local addr").to_string();
+    let runner = Arc::clone(&server);
+    let handle = thread::spawn(move || runner.run().expect("server run"));
+    client::wait_ready(&addr, Duration::from_secs(10)).expect("ready");
+    (Client::new(addr), server, handle)
+}
+
+fn dblp_cfg() -> Json {
+    Json::obj(vec![
+        ("scenario", Json::str("DBLP")),
+        ("use_instance", Json::Bool(false)),
+    ])
+}
+
+fn counter(metrics: &Json, name: &str) -> i64 {
+    metrics
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_int)
+        .unwrap_or(0)
+}
+
+fn healthz_state(client: &Client) -> String {
+    let health = client.healthz().expect("healthz");
+    health
+        .get("state")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("healthz without state: {}", health.render()))
+        .to_owned()
+}
+
+fn wait_for_state(client: &Client, want: &str, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let state = healthz_state(client);
+        if state == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server stuck in `{state}`, wanted `{want}`"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn temp_wal(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("muse_degraded_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("sessions.wal")
+}
+
+/// The tentpole acceptance scenario: a sticky `serve.wal.append:io` fault
+/// sheds mutations with `503`, reads and `/healthz` keep answering,
+/// and clearing the fault restores `healthy` without a restart.
+#[test]
+fn sticky_append_fault_degrades_and_recovers_without_restart() {
+    let _serial = fault_lock();
+    let wal = temp_wal("sticky");
+    let (client, server, handle) = spawn(ServerConfig {
+        wal: Some(wal.clone()),
+        recovery_probe_ms: 25,
+        ..ServerConfig::default()
+    });
+
+    // Healthy: the session opens and healthz says so.
+    assert_eq!(healthz_state(&client), "healthy");
+    let created = client.create_session(&dblp_cfg()).expect("create");
+    let id = created.get("session").and_then(Json::as_int).unwrap() as u64;
+    let question = created.get("question").expect("open question").clone();
+
+    // Disk goes bad: every append fails from now on.
+    muse_fault::arm(muse_fault::parse_spec("serve.wal.append:iox*").unwrap());
+
+    let mut impatient = Client::new(server.local_addr().unwrap().to_string());
+    impatient.retries = 0;
+    let answer = Json::obj(vec![
+        ("kind", Json::str("scenario")),
+        ("pick", Json::Int(2)),
+    ]);
+
+    // First mutation trips the failure and is not acknowledged.
+    let (status, body) = impatient
+        .request("POST", &format!("/sessions/{id}/answer"), Some(&answer))
+        .expect("answer request");
+    assert_eq!(status, 503, "{}", body.render());
+    assert_eq!(healthz_state(&impatient), "degraded");
+
+    // Subsequent mutations are shed up front; creates are shed too.
+    let (status, _) = impatient
+        .request("POST", &format!("/sessions/{id}/answer"), Some(&answer))
+        .expect("shed answer");
+    assert_eq!(status, 503);
+    let (status, _) = impatient
+        .request("POST", "/sessions", Some(&dblp_cfg()))
+        .expect("shed create");
+    assert_eq!(status, 503);
+
+    // Reads keep serving from memory: the un-acked answer did not land.
+    let state = impatient.question(id).expect("question while degraded");
+    assert_eq!(state.get("status").and_then(Json::as_str), Some("open"));
+    assert_eq!(
+        state.get("question").map(Json::render),
+        Some(question.render()),
+        "failed mutation must not advance the session"
+    );
+    impatient.metrics().expect("metrics while degraded");
+
+    // The disk heals: the recovery probe restores `healthy`, no restart.
+    muse_fault::disarm();
+    wait_for_state(&impatient, "healthy", Duration::from_secs(10));
+
+    // The retried mutation now succeeds and the session advances.
+    let state = impatient
+        .answer(id, &answer)
+        .expect("answer after recovery");
+    assert_eq!(state.get("accepted"), Some(&Json::Bool(true)));
+    assert_ne!(
+        state.get("question").map(Json::render),
+        Some(question.render())
+    );
+
+    let metrics = impatient.metrics().expect("metrics");
+    assert!(
+        counter(&metrics, "serve.wal_errors") >= 1,
+        "{}",
+        metrics.render()
+    );
+    assert!(
+        counter(&metrics, "serve.degraded_sheds") >= 2,
+        "{}",
+        metrics.render()
+    );
+    assert!(
+        counter(&metrics, "serve.recoveries") >= 1,
+        "{}",
+        metrics.render()
+    );
+    assert!(
+        counter(&metrics, "serve.health_transitions") >= 2,
+        "{}",
+        metrics.render()
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(wal.parent().unwrap());
+}
+
+/// A session whose step panics repeatedly is quarantined with a
+/// structured 500, and the quarantine outlives the fault (until restart).
+#[test]
+fn repeated_step_panics_quarantine_the_session() {
+    let _serial = fault_lock();
+    let (client, server, handle) = spawn(ServerConfig::default());
+
+    let created = client.create_session(&dblp_cfg()).expect("create");
+    let id = created.get("session").and_then(Json::as_int).unwrap() as u64;
+
+    muse_fault::arm(muse_fault::parse_spec("serve.session.step:panicx*").unwrap());
+
+    let answer = Json::obj(vec![
+        ("kind", Json::str("scenario")),
+        ("pick", Json::Int(2)),
+    ]);
+    let mut impatient = Client::new(server.local_addr().unwrap().to_string());
+    impatient.retries = 0;
+    for attempt in 1..=3u32 {
+        let (status, body) = impatient
+            .request("POST", &format!("/sessions/{id}/answer"), Some(&answer))
+            .expect("answer request");
+        assert_eq!(status, 500, "attempt {attempt}: {}", body.render());
+        if attempt == 3 {
+            assert_eq!(
+                body.get("quarantined"),
+                Some(&Json::Bool(true)),
+                "attempt {attempt}: {}",
+                body.render()
+            );
+        }
+    }
+
+    // Quarantine is sticky even after the fault clears.
+    muse_fault::disarm();
+    let (status, body) = impatient
+        .request("GET", &format!("/sessions/{id}/question"), None)
+        .expect("question");
+    assert_eq!(status, 500, "{}", body.render());
+    assert_eq!(body.get("quarantined"), Some(&Json::Bool(true)));
+
+    let metrics = impatient.metrics().expect("metrics");
+    assert_eq!(
+        counter(&metrics, "serve.sessions_quarantined"),
+        1,
+        "{}",
+        metrics.render()
+    );
+    assert!(
+        counter(&metrics, "serve.step_panics") >= 3,
+        "{}",
+        metrics.render()
+    );
+
+    // Other sessions are unaffected by the quarantine.
+    let fresh = impatient.create_session(&dblp_cfg()).expect("create");
+    assert_eq!(fresh.get("status").and_then(Json::as_str), Some("open"));
+
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap();
+}
+
+/// A server binding to a corrupted WAL salvages what survives and surfaces
+/// the salvage counters in `/metrics`.
+#[test]
+fn salvage_counters_are_visible_in_metrics() {
+    let _serial = fault_lock();
+    let wal = temp_wal("salvage");
+
+    // Seed the log with noop frames (replay skips them), then corrupt one
+    // payload byte of the second frame.
+    {
+        let (log, _, _) = muse_serve::wal::Wal::open(&wal).expect("seed wal");
+        for _ in 0..5 {
+            log.append(&Json::obj(vec![("rec", Json::str("noop"))]))
+                .expect("seed append");
+        }
+    }
+    let mut data = std::fs::read(&wal).unwrap();
+    let frame_len = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize + 8;
+    data[frame_len + 10] ^= 0xFF;
+    std::fs::write(&wal, &data).unwrap();
+
+    let (client, _server, handle) = spawn(ServerConfig {
+        wal: Some(wal.clone()),
+        ..ServerConfig::default()
+    });
+
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(
+        counter(&metrics, "serve.wal_salvaged_frames"),
+        3,
+        "{}",
+        metrics.render()
+    );
+    assert_eq!(
+        counter(&metrics, "serve.wal_quarantined_bytes"),
+        frame_len as i64,
+        "{}",
+        metrics.render()
+    );
+    let quarantine = muse_serve::wal::quarantine_path(&wal);
+    assert_eq!(
+        std::fs::read(&quarantine).expect("quarantine file").len(),
+        frame_len,
+        "quarantined bytes preserved for post-mortem"
+    );
+
+    // The salvaged server still takes new sessions.
+    client.create_session(&dblp_cfg()).expect("create");
+
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(wal.parent().unwrap());
+}

@@ -1,0 +1,174 @@
+//! Seeded WAL corruption fuzz (ISSUE 9, satellite): flip a bit at every
+//! byte offset of a small multi-session log, and truncate it at every
+//! length. Salvage must never panic or fail the open, must always
+//! recover the full prefix of frames preceding the first corrupted byte,
+//! and the repair must be idempotent (a second open is clean and loses
+//! nothing more).
+
+use std::path::{Path, PathBuf};
+
+use muse_obs::Json;
+use muse_serve::wal::{quarantine_path, Wal};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("muse_wal_fuzz_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn cleanup(path: &Path) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(quarantine_path(path));
+}
+
+/// A small multi-session log: create/answer/snapshot records of varying
+/// size across three interleaved sessions, like a real serve WAL.
+fn build_reference(path: &Path) -> Vec<Json> {
+    cleanup(path);
+    let mut records = Vec::new();
+    for i in 0..4i64 {
+        for session in 0..3i64 {
+            let rec = if i == 0 {
+                Json::obj(vec![
+                    ("rec", Json::str("create")),
+                    ("session", Json::Int(session)),
+                    ("cfg", Json::obj(vec![("scenario", Json::str("DBLP"))])),
+                ])
+            } else {
+                Json::obj(vec![
+                    ("rec", Json::str("answer")),
+                    ("session", Json::Int(session)),
+                    (
+                        "answer",
+                        Json::obj(vec![
+                            ("kind", Json::str("join")),
+                            ("pick", Json::str("inner")),
+                            ("seq", Json::Int(i)),
+                        ]),
+                    ),
+                ])
+            };
+            records.push(rec);
+        }
+    }
+    let (wal, existing, report) = Wal::open(path).expect("seed open");
+    assert!(existing.is_empty() && report.is_clean());
+    for rec in &records {
+        wal.append(rec).expect("seed append");
+    }
+    records
+}
+
+/// Byte ranges `[start, end)` of each frame in a clean log image.
+fn frame_bounds(data: &[u8]) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::new();
+    let mut off = 0usize;
+    while off < data.len() {
+        let len =
+            u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]) as usize;
+        let end = off + 8 + len;
+        assert!(end <= data.len(), "reference log is not clean");
+        bounds.push((off, end));
+        off = end;
+    }
+    bounds
+}
+
+fn renders(records: &[Json]) -> Vec<String> {
+    records.iter().map(Json::render).collect()
+}
+
+#[test]
+fn bit_flip_at_every_offset_never_loses_the_preceding_prefix() {
+    let reference_path = scratch("flip_reference.wal");
+    let records = build_reference(&reference_path);
+    let clean = std::fs::read(&reference_path).unwrap();
+    let bounds = frame_bounds(&clean);
+    assert_eq!(bounds.len(), records.len());
+    let expected = renders(&records);
+    cleanup(&reference_path);
+
+    let victim = scratch("flip_victim.wal");
+    for offset in 0..clean.len() {
+        cleanup(&victim);
+        let mut data = clean.clone();
+        data[offset] ^= 1 << (offset % 8);
+        std::fs::write(&victim, &data).unwrap();
+
+        // The index of the frame the flip landed in: everything before it
+        // is an acked prefix that salvage must preserve verbatim.
+        let intact = bounds.iter().take_while(|(_, end)| *end <= offset).count();
+
+        let (wal, recovered, report) = Wal::open(&victim)
+            .unwrap_or_else(|e| panic!("open failed at flip offset {offset}: {e}"));
+        assert!(
+            recovered.len() >= intact,
+            "flip at {offset}: {} recovered, prefix is {intact}",
+            recovered.len()
+        );
+        assert_eq!(
+            renders(&recovered[..intact]),
+            expected[..intact],
+            "flip at {offset} corrupted the pre-corruption prefix"
+        );
+        // A single flipped payload bit fails the checksum, so the frame it
+        // landed in never resurfaces with altered content *as that frame* —
+        // either it is quarantined or (header flips) merged into a skip
+        // region. Salvaged later frames are counted, never silently kept.
+        if !report.is_clean() {
+            assert!(report.quarantined_bytes > 0 || report.salvaged_frames > 0);
+        }
+        drop(wal);
+
+        // Repair idempotence: the rewritten log opens clean and holds
+        // exactly what the salvage pass recovered.
+        let (_, again, report2) = Wal::open(&victim)
+            .unwrap_or_else(|e| panic!("re-open failed at flip offset {offset}: {e}"));
+        assert!(
+            report2.is_clean(),
+            "flip at {offset}: repaired log still dirty"
+        );
+        assert_eq!(
+            renders(&again),
+            renders(&recovered),
+            "flip at {offset}: repair lost or invented frames"
+        );
+    }
+    cleanup(&victim);
+}
+
+#[test]
+fn truncation_at_every_length_keeps_exactly_the_whole_frames() {
+    let reference_path = scratch("trunc_reference.wal");
+    let records = build_reference(&reference_path);
+    let clean = std::fs::read(&reference_path).unwrap();
+    let bounds = frame_bounds(&clean);
+    let expected = renders(&records);
+    cleanup(&reference_path);
+
+    let victim = scratch("trunc_victim.wal");
+    for cut in 0..=clean.len() {
+        cleanup(&victim);
+        std::fs::write(&victim, &clean[..cut]).unwrap();
+
+        let whole = bounds.iter().take_while(|(_, end)| *end <= cut).count();
+        let (_, recovered, report) =
+            Wal::open(&victim).unwrap_or_else(|e| panic!("open failed at cut {cut}: {e}"));
+        assert_eq!(
+            renders(&recovered),
+            expected[..whole],
+            "cut at {cut}: recovered frames diverge from the intact prefix"
+        );
+        // A truncation is the torn-tail crash shape: silently dropped,
+        // never quarantined.
+        assert!(
+            report.is_clean(),
+            "cut at {cut}: torn tail was misclassified as corruption"
+        );
+        assert!(
+            !quarantine_path(&victim).exists(),
+            "cut at {cut}: torn tail produced a quarantine file"
+        );
+    }
+    cleanup(&victim);
+}

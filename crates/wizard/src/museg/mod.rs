@@ -564,6 +564,9 @@ pub(crate) fn fault_reason(f: muse_fault::Fault) -> TruncationReason {
     match f {
         muse_fault::Fault::DeadlineExpiry => TruncationReason::DeadlineExpired,
         muse_fault::Fault::TermCapExhaustion => TruncationReason::TermLimit,
+        // Wizards own no storage; an io fault (only legal at serve.wal
+        // points, which never reach here) degrades like a deadline.
+        muse_fault::Fault::IoError => TruncationReason::DeadlineExpired,
     }
 }
 

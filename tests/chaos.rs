@@ -195,6 +195,16 @@ fn seeded_fault_plans_degrade_cleanly() {
             "probe+binding".into(),
             parse_spec("wizard.probe:deadline@1;chase.binding:deadline@3").unwrap(),
         ),
+        // Sticky storage faults: the offline pipeline owns no storage, so
+        // none of these may ever fire — the run must stay byte-identical.
+        // (The serve crate's own degraded-mode tests cover the firing side.)
+        (
+            "sticky-wal-io".into(),
+            parse_spec(
+                "serve.wal.append:iox*;serve.wal.fsync:iox*;serve.wal.compact:iox*;serve.wal.open:iox*",
+            )
+            .unwrap(),
+        ),
     ];
     // CI exports MUSE_FAULTS so the matrix also covers an env-armed plan.
     if let Ok(spec) = std::env::var("MUSE_FAULTS") {
