@@ -1,0 +1,253 @@
+//! Measures what the incremental chase engine buys: per scenario, the
+//! `chase.steps` a full Muse-G wizard pass (strategies G1–G3) spends from
+//! scratch vs routed through one shared [`muse_chase::DeltaStore`] — same
+//! rows, same transcripts, the saved steps reappear as `chase.rederived` —
+//! plus the serial-vs-parallel wall time of the store's canonical re-fire
+//! on the Mondial chase.
+//!
+//! Usage: `cargo run --release -p muse-bench --bin delta_bench [-- --json]
+//! [--threads N] [--only <scenario>]` (`MUSE_SCALE`/`MUSE_SEED` as usual;
+//! `--json` merges the `delta` section into `BENCH_baseline.json`;
+//! `MUSE_GATE=1` additionally enforces the engine's headline win — ≥3x
+//! fewer chase steps on the Mondial pass). Step counts are measured
+//! exhaustively (real-example deadline disabled) so they are
+//! deterministic; the TPC-H row (combinatorial exhaustive QIe search)
+//! runs under the default deadline instead, marked `~`.
+
+use muse_bench::{baseline, chase_ready_mappings, env_scale, env_seed, fig5_cell_delta};
+use muse_chase::DeltaStore;
+use muse_cliogen::GroupingStrategy;
+use muse_obs::{Json, Metrics};
+use muse_par::scope_map;
+
+struct Row {
+    scenario: String,
+    scratch_steps: u64,
+    incr_steps: u64,
+    rederived: u64,
+    delta_hits: u64,
+    fallbacks: u64,
+    exhaustive: bool,
+}
+
+/// One full wizard pass (all three strategies); returns the Fig. 5 row
+/// fingerprints so the caller can assert the store changed nothing.
+fn wizard_pass(
+    s: &muse_scenarios::Scenario,
+    scale: f64,
+    seed: u64,
+    exhaustive: bool,
+    delta: Option<&DeltaStore>,
+    metrics: &Metrics,
+) -> Vec<String> {
+    let mut rows = Vec::new();
+    for strategy in [
+        GroupingStrategy::G1,
+        GroupingStrategy::G2,
+        GroupingStrategy::G3,
+    ] {
+        let r = fig5_cell_delta(s, strategy, scale, seed, metrics, true, exhaustive, delta);
+        rows.push(format!(
+            "{}/{:?}: poss={:.3} q={:.3} real={:.3} designed={}",
+            r.scenario,
+            r.strategy,
+            r.avg_poss,
+            r.avg_questions,
+            r.real_fraction,
+            r.grouping_functions
+        ));
+    }
+    rows
+}
+
+fn measure(s: &muse_scenarios::Scenario, scale: f64, seed: u64) -> Row {
+    // Same determinism split as plan_bench: exhaustive QIe search
+    // everywhere but TPC-H.
+    let exhaustive = s.name != "TPCH";
+    let t = std::time::Instant::now();
+    let scratch_metrics = Metrics::enabled();
+    let scratch_rows = wizard_pass(s, scale, seed, exhaustive, None, &scratch_metrics);
+    let scratch_steps = scratch_metrics.snapshot().counter("chase.steps");
+    eprintln!(
+        "  [{:>8.1}s] {}: scratch pass done ({scratch_steps} steps)",
+        t.elapsed().as_secs_f64(),
+        s.name
+    );
+    let store = DeltaStore::new();
+    let incr_metrics = Metrics::enabled();
+    let incr_rows = wizard_pass(s, scale, seed, exhaustive, Some(&store), &incr_metrics);
+    let snap = incr_metrics.snapshot();
+    let incr_steps = snap.counter("chase.steps");
+    eprintln!(
+        "  [{:>8.1}s] {}: incremental pass done ({incr_steps} steps)",
+        t.elapsed().as_secs_f64(),
+        s.name
+    );
+    assert_eq!(
+        scratch_rows, incr_rows,
+        "{}: the incremental pass changed a Fig. 5 row",
+        s.name
+    );
+    let fallbacks = snap.counter("chase.delta_fallbacks");
+    let rederived = snap.counter("chase.rederived");
+    if fallbacks == 0 && exhaustive {
+        // Counter reconciliation: every scratch step is either still a
+        // step or a rederivation — nothing is silently skipped.
+        assert_eq!(
+            incr_steps + rederived,
+            scratch_steps,
+            "{}: steps + rederived must reconcile with the scratch pass",
+            s.name
+        );
+    }
+    Row {
+        scenario: s.name.clone(),
+        scratch_steps,
+        incr_steps,
+        rederived,
+        delta_hits: snap.counter("chase.delta_hits"),
+        fallbacks,
+        exhaustive,
+    }
+}
+
+/// Serial-vs-parallel re-fire: materialize the full Mondial chase in the
+/// store once per mapping, then time the pure-rederive second chase with 1
+/// thread vs `threads`. Wall-clock only — the instances are byte-identical
+/// by construction (the parallel merge preserves interning order).
+fn refire_timing(scale: f64, seed: u64, threads: usize) -> (f64, f64) {
+    let scenarios = muse_scenarios::all_scenarios();
+    let s = scenarios
+        .iter()
+        .find(|s| s.name == "Mondial")
+        .expect("Mondial scenario");
+    let inst = s.instance(s.default_scale * scale, seed);
+    let mappings = chase_ready_mappings(s);
+    let hints =
+        muse_query::SelectivityHints::from_constraints(&s.source_schema, &s.source_constraints);
+    let mut out = [0.0f64; 2];
+    for (i, t) in [1usize, threads].into_iter().enumerate() {
+        let store = DeltaStore::with_threads(t);
+        let metrics = Metrics::enabled();
+        let chase_all = |m: &Metrics| {
+            for mapping in &mappings {
+                store
+                    .chase_one(
+                        &s.source_schema,
+                        &s.target_schema,
+                        &inst,
+                        mapping,
+                        Some(&hints),
+                        muse_obs::Budget::unlimited_ref(),
+                        m,
+                    )
+                    .expect("chase");
+            }
+        };
+        chase_all(&metrics); // materialize
+        let t0 = std::time::Instant::now();
+        chase_all(&metrics); // pure rederive + re-fire
+        out[i] = t0.elapsed().as_secs_f64();
+    }
+    (out[0], out[1])
+}
+
+fn main() {
+    let scale = env_scale();
+    let seed = env_seed();
+    let threads = baseline::arg_threads();
+    println!("Incremental chase payoff — scale factor {scale}, {threads} thread(s)");
+    println!(
+        "{:<9} {:>14} {:>13} {:>7} {:>11} {:>6} {:>10}",
+        "Scenario", "steps(scratch)", "steps(incr)", "ratio", "rederived", "hits", "fallbacks"
+    );
+    let mut scenarios = muse_scenarios::all_scenarios();
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--only") {
+        let name = args.get(i + 1).expect("--only needs a scenario name");
+        scenarios.retain(|s| &s.name == name);
+        assert!(!scenarios.is_empty(), "--only {name}: no such scenario");
+    }
+    let rows = scope_map(scenarios.len(), threads, &Metrics::disabled(), |i| {
+        measure(&scenarios[i], scale, seed)
+    });
+    let mut sections = Vec::new();
+    let mut any_approx = false;
+    for r in &rows {
+        let ratio = r.scratch_steps as f64 / r.incr_steps.max(1) as f64;
+        any_approx |= !r.exhaustive;
+        println!(
+            "{:<9} {:>14} {:>13} {:>5.1}x{} {:>11} {:>6} {:>10}",
+            r.scenario,
+            r.scratch_steps,
+            r.incr_steps,
+            ratio,
+            if r.exhaustive { " " } else { "~" },
+            r.rederived,
+            r.delta_hits,
+            r.fallbacks
+        );
+        sections.push((
+            r.scenario.clone(),
+            Json::obj(vec![
+                ("chase_steps_scratch", Json::Int(r.scratch_steps as i64)),
+                ("chase_steps_incremental", Json::Int(r.incr_steps as i64)),
+                ("speedup", Json::Num(ratio)),
+                ("rederived", Json::Int(r.rederived as i64)),
+                ("delta_hits", Json::Int(r.delta_hits as i64)),
+                ("delta_fallbacks", Json::Int(r.fallbacks as i64)),
+                ("exhaustive", Json::Bool(r.exhaustive)),
+            ]),
+        ));
+    }
+    if any_approx {
+        println!("(~ measured under the default real-example deadline; counts approximate)");
+    }
+    let (serial_s, par_s) = refire_timing(scale, seed, threads);
+    let par_ratio = serial_s / par_s.max(1e-9);
+    println!(
+        "re-fire (Mondial chase, rederive pass): serial {serial_s:.3}s, \
+         {threads} thread(s) {par_s:.3}s ({par_ratio:.2}x)"
+    );
+    if std::env::var("MUSE_GATE").is_ok() {
+        let mondial = rows
+            .iter()
+            .find(|r| r.scenario == "Mondial")
+            .expect("Mondial row");
+        assert!(mondial.exhaustive, "the gate row must be deterministic");
+        assert!(
+            mondial.incr_steps * 3 <= mondial.scratch_steps,
+            "delta gate: the Mondial wizard pass must spend >=3x fewer chase steps \
+             (scratch {}, incremental {})",
+            mondial.scratch_steps,
+            mondial.incr_steps
+        );
+        println!(
+            "gate ok: Mondial {:.1}x >= 3x",
+            mondial.scratch_steps as f64 / mondial.incr_steps.max(1) as f64
+        );
+    }
+    if baseline::wants_json() {
+        baseline::emit(
+            "delta",
+            Json::obj(vec![
+                ("scale", Json::Num(scale)),
+                ("seed", Json::Int(seed as i64)),
+                ("threads", Json::Int(threads as i64)),
+                (
+                    "hw_threads",
+                    Json::Int(muse_par::available_parallelism() as i64),
+                ),
+                ("scenarios", Json::Obj(sections)),
+                (
+                    "refire",
+                    Json::obj(vec![
+                        ("serial_seconds", Json::Num(serial_s)),
+                        ("parallel_seconds", Json::Num(par_s)),
+                        ("speedup", Json::Num(par_ratio)),
+                    ]),
+                ),
+            ]),
+        );
+    }
+}

@@ -168,6 +168,28 @@ pub fn fig5_cell_plan_budget(
     planned: bool,
     exhaustive: bool,
 ) -> Fig5Row {
+    fig5_cell_delta(
+        scenario, strategy, scale, seed, metrics, planned, exhaustive, None,
+    )
+}
+
+/// [`fig5_cell_plan_budget`] with an optional incremental chase store:
+/// probe chases rederive unchanged bindings from `delta`'s materialized
+/// state instead of re-chasing from scratch. Rows (and every question
+/// transcript) are identical either way; only `chase.steps` vs
+/// `chase.rederived` move. Share one store across strategies to measure
+/// the full cross-probe payoff (`delta_bench` does).
+#[allow(clippy::too_many_arguments)]
+pub fn fig5_cell_delta(
+    scenario: &Scenario,
+    strategy: GroupingStrategy,
+    scale: f64,
+    seed: u64,
+    metrics: &Metrics,
+    planned: bool,
+    exhaustive: bool,
+    delta: Option<&muse_chase::DeltaStore>,
+) -> Fig5Row {
     let instance = scenario.instance(scenario.default_scale * scale, seed);
     let hints = muse_query::SelectivityHints::from_constraints(
         &scenario.source_schema,
@@ -185,6 +207,9 @@ pub fn fig5_cell_plan_budget(
     }
     if exhaustive {
         museg.real_example_budget = None;
+    }
+    if let Some(store) = delta {
+        museg = museg.with_delta(store);
     }
 
     let mut total_poss = 0usize;

@@ -66,7 +66,7 @@ fn fault_reason(f: muse_fault::Fault) -> TruncationReason {
 
 /// Interned terms (SetIDs + labeled nulls) in `target`, the quantity the
 /// budget's `max_terms` axis caps.
-fn term_count(target: &Instance) -> u64 {
+pub(crate) fn term_count(target: &Instance) -> u64 {
     (target.store().set_count() + target.store().null_count()) as u64
 }
 
@@ -397,7 +397,7 @@ pub fn chase_par_budget_planned_with(
 /// selectivity hints are available. Planning failures are deliberately
 /// swallowed (`None` → the evaluator's own greedy order): a plan is an
 /// optimization, never a prerequisite.
-fn mapping_plan(
+pub(crate) fn mapping_plan(
     source_schema: &Schema,
     q: &muse_query::Query,
     hints: Option<&SelectivityHints>,
@@ -518,7 +518,7 @@ fn chase_par_attempt(
 /// Re-intern one partial instance into `target`. Walking the partial
 /// store's ids in ascending order replays its first-use order; called in
 /// unit order this reproduces the global serial interning order.
-fn merge_into(target: &mut Instance, partial: &Instance, emit: &Emit) {
+pub(crate) fn merge_into(target: &mut Instance, partial: &Instance, emit: &Emit) {
     let store = partial.store();
     let mut null_map: Vec<NullId> = Vec::with_capacity(store.null_count());
     for nid in store.all_null_ids() {
@@ -632,7 +632,7 @@ struct SetSlot {
 /// Everything [`fire`] needs about one mapping, resolved once per chase
 /// call. Borrowed pieces only — cheap to build, safe to share across
 /// worker threads.
-struct Prepared<'m> {
+pub(crate) struct Prepared<'m> {
     m: &'m Mapping,
     slots: Vec<SetSlot>,
     /// Per slot: `(source var, attr index)` of each grouping argument.
@@ -709,7 +709,7 @@ fn chase_into(
 
 /// Validate `m` and resolve its firing plan (equivalence classes, null
 /// tags, set slots, per-target-variable field plans, projection indices).
-fn prepare<'m>(
+pub(crate) fn prepare<'m>(
     source_schema: &Schema,
     target_schema: &Schema,
     m: &'m Mapping,
@@ -836,9 +836,9 @@ fn prepare<'m>(
 }
 
 /// Emission counters resolved once per mapping, bumped once per tuple.
-struct Emit {
-    emitted: Counter,
-    dedup_hits: Counter,
+pub(crate) struct Emit {
+    pub(crate) emitted: Counter,
+    pub(crate) dedup_hits: Counter,
 }
 
 impl Emit {
@@ -876,7 +876,7 @@ fn project(
 }
 
 /// Instantiate one source binding's `exists` clause into `target`.
-fn fire(
+pub(crate) fn fire(
     p: &Prepared<'_>,
     target: &mut Instance,
     binding: &[Tuple],

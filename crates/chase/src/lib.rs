@@ -13,12 +13,14 @@
 //! Muse-G's differentiating scenarios — and the *same effect* relation of
 //! Def. 3.1 ([`effect`]).
 
+pub mod delta;
 pub mod effect;
 pub mod engine;
 pub mod error;
 pub mod fingerprint;
 pub mod hom;
 
+pub use delta::DeltaStore;
 pub use effect::same_effect_on;
 pub use engine::{
     chase, chase_budget_planned_with, chase_budget_with, chase_one, chase_one_budget_planned_with,

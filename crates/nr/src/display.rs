@@ -71,6 +71,34 @@ fn render_set(
     }
 }
 
+/// A byte-identity-faithful canonical dump: every interned term in id
+/// order, every set's tuples in value order, then the roots. Two instances
+/// dump equal **iff** their full state — including `TermStore` null/SetID
+/// numbering — is equal. `Debug` cannot serve here: the store's term index
+/// is a `HashMap`, whose formatting order varies per instance.
+pub fn dump(inst: &Instance) -> String {
+    let mut out = String::new();
+    let store = inst.store();
+    for id in store.all_set_ids() {
+        let t = store.set_term(id);
+        writeln!(out, "set#{} {} {:?}", id.index(), t.set, t.args).unwrap();
+    }
+    for id in store.all_null_ids() {
+        let t = store.null_term(id);
+        writeln!(out, "null#{} {} {:?}", id.index(), t.tag, t.args).unwrap();
+    }
+    for id in inst.set_ids() {
+        writeln!(out, "tuples#{}:", id.index()).unwrap();
+        for tuple in inst.tuples(id) {
+            writeln!(out, "  {tuple:?}").unwrap();
+        }
+    }
+    for (label, id) in inst.roots() {
+        writeln!(out, "root {label} -> {}", id.index()).unwrap();
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

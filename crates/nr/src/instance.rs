@@ -126,6 +126,13 @@ impl Instance {
         self.sets.entry(id).or_default().insert(tuple)
     }
 
+    /// Remove a tuple from the set identified by `id`. Returns `true` if
+    /// the tuple was present. The set (and its SetID) stay registered —
+    /// removal perturbs contents, never term identity.
+    pub fn remove(&mut self, id: SetId, tuple: &Tuple) -> bool {
+        self.sets.get_mut(&id).is_some_and(|s| s.remove(tuple))
+    }
+
     /// The tuples of a set (empty if the id is unknown).
     pub fn tuples(&self, id: SetId) -> impl Iterator<Item = &Tuple> {
         self.sets.get(&id).into_iter().flatten()

@@ -262,6 +262,18 @@ pub fn evaluate_budget_planned_with(
     Ok(Outcome::Complete(rows))
 }
 
+/// The greedy binding order the evaluator uses for `query` — the order in
+/// which emitted bindings are lexicographically sorted by per-variable
+/// enumeration rank (even under an external [`EvalPlan`], whose reorder pass
+/// restores exactly this order). The score is purely structural (predicates,
+/// parent placement, declaration order), never instance data, so the order
+/// is identical across all instances of the same query — which is what lets
+/// the incremental chase reconstruct the evaluator's emission order from a
+/// materialized binding set without re-running the search.
+pub fn greedy_order(schema: &Schema, query: &Query) -> Result<Vec<usize>, QueryError> {
+    Ok(Plan::build(schema, query)?.order)
+}
+
 /// A predicate operand compiled to positional form.
 #[derive(Debug, Clone)]
 enum Op {

@@ -24,7 +24,7 @@ pub use error::QueryError;
 pub use eval::{
     evaluate, evaluate_all, evaluate_all_planned_with, evaluate_all_with,
     evaluate_budget_planned_with, evaluate_budget_with, evaluate_deadline, evaluate_deadline_with,
-    evaluate_planned_with, Binding,
+    evaluate_planned_with, greedy_order, Binding,
 };
 pub use explain::{explain, Explanation};
 pub use hints::SelectivityHints;

@@ -804,6 +804,10 @@ impl Server {
             ("answers", Json::Int(entry.answers.len() as i64)),
             ("state", Json::str(state)),
             ("payload", payload),
+            // Materialized incremental-chase state: a restart restores it
+            // warm, so the post-restore replay rederives instead of
+            // re-chasing. Optional on read — old WALs lack it.
+            ("delta", entry.delta.export_json()),
         ]);
         match wal.append(&record) {
             Ok(bytes) => {
@@ -1201,6 +1205,7 @@ fn replay(
 ) -> Result<(), String> {
     let mut snapshots: std::collections::HashMap<u64, (usize, String, Json)> =
         std::collections::HashMap::new();
+    let mut deltas: std::collections::HashMap<u64, Json> = std::collections::HashMap::new();
     for (n, record) in records.into_iter().enumerate() {
         let kind = record
             .get("rec")
@@ -1254,12 +1259,28 @@ fn replay(
                     // Later snapshots supersede earlier ones.
                     snapshots.insert(id, (answers as usize, state.to_owned(), payload.clone()));
                 }
+                // The delta blob is useful even when the snapshot itself is
+                // stale (answers arrived after it): the store diffs against
+                // whatever state it holds, so a warm restore only speeds up
+                // the replay chase — it can never change its output.
+                if let Some(d) = record.get("delta") {
+                    deltas.insert(id, d.clone());
+                }
             }
             other => return Err(format!("wal record {n}: unknown kind `{other}`")),
         }
     }
     for entry in store.all() {
         let mut entry = entry.lock().unwrap_or_else(|e| e.into_inner());
+        // Restore the materialized incremental-chase state first, so a
+        // session that must replay (stale snapshot) chases warm. Malformed
+        // blobs are rejected wholesale by `import_json` — the store stays
+        // empty and the replay simply chases from scratch.
+        if let Some(d) = deltas.get(&entry.id) {
+            if entry.delta.import_json(d) {
+                metrics.incr("serve.delta_restores");
+            }
+        }
         let snap = snapshots
             .get(&entry.id)
             .filter(|(answers, _, _)| *answers == entry.answers.len());

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use muse_chase::DeltaStore;
 use muse_cliogen::GroupingStrategy;
 use muse_nr::Instance;
 use muse_obs::{Budget, Json, Metrics};
@@ -361,6 +362,12 @@ pub struct SessionEntry {
     /// `panic_quarantine` threshold the session is poisoned. Reset by a
     /// successful step.
     pub panics: u32,
+    /// The session's incremental chase store: probe chases across the
+    /// quadratic replay rederive unchanged bindings from materialized
+    /// state instead of re-chasing from scratch. Byte-invisible in every
+    /// response (scratch fallback under budgets/faults); serialized into
+    /// WAL snapshot records so a restart restores it warm.
+    pub delta: Arc<DeltaStore>,
 }
 
 impl SessionEntry {
@@ -390,7 +397,10 @@ impl SessionEntry {
         .with_metrics(metrics)
         // Exhaustive real-example search: a wall-clock cap here would make
         // replay nondeterministic (see DESIGN.md, replay invariant).
-        .with_real_example_budget(None);
+        .with_real_example_budget(None)
+        // Safe under any budget: the store itself falls back to a scratch
+        // chase (`chase.delta_fallbacks`) whenever the budget is limited.
+        .with_delta(&self.delta);
         if let Some(cache) = probes {
             if budget.is_unlimited() {
                 session = session.with_probe_cache(cache, &self.probe_ctx);
@@ -470,6 +480,7 @@ impl Store {
                 error: "session not yet stepped".to_owned(),
             },
             panics: 0,
+            delta: Arc::new(DeltaStore::new()),
         }));
         map.insert(id, Arc::clone(&entry));
         Ok(entry)
@@ -494,6 +505,7 @@ impl Store {
                 error: "session not yet stepped".to_owned(),
             },
             panics: 0,
+            delta: Arc::new(DeltaStore::new()),
         }));
         self.map().insert(id, Arc::clone(&entry));
         self.next_id.fetch_max(id + 1, Ordering::Relaxed);

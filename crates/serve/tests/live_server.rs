@@ -298,3 +298,64 @@ fn restart_on_the_same_wal_replays_open_sessions() {
     handle.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// WAL snapshots carry the session's materialized incremental-chase state;
+/// a restart restores it warm (serve.delta_restores) and the resumed
+/// session continues at the identical question.
+#[test]
+fn restart_restores_the_incremental_chase_state() {
+    let dir = std::env::temp_dir().join(format!("muse_serve_delta_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("sessions.wal");
+
+    let cfg = || ServerConfig {
+        wal: Some(wal.clone()),
+        // Snapshot after every answer so the delta blob is always current.
+        snapshot_every: 1,
+        ..ServerConfig::default()
+    };
+
+    // First life: Mondial (flat source queries — delta-eligible), one
+    // answered question, then shutdown. The probe chases must have
+    // materialized state into the session's store.
+    let (client, server, handle) = spawn(cfg());
+    let created = client
+        .create_session(&small_cfg("Mondial"))
+        .expect("create");
+    let id = created.get("session").and_then(Json::as_int).unwrap() as u64;
+    let state = client
+        .answer(id, &default_answer(created.get("question").unwrap()))
+        .expect("answer");
+    let q1 = state.get("question").expect("still open").render();
+    let entry = server.store().get(id).expect("entry");
+    let materialized = entry.lock().unwrap().delta.len();
+    assert!(materialized > 0, "Mondial probes must materialize state");
+    drop(entry);
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap();
+
+    // Second life: the store comes back warm and the session resumes at
+    // the same question.
+    let (client, server, handle) = spawn(cfg());
+    let entry = server.store().get(id).expect("replayed entry");
+    assert_eq!(
+        entry.lock().unwrap().delta.len(),
+        materialized,
+        "restored store must hold the snapshotted state"
+    );
+    drop(entry);
+    let resumed = client.question(id).expect("question");
+    assert_eq!(resumed.get("question").map(Json::render), Some(q1));
+    let metrics = client.metrics().expect("metrics");
+    let restores = metrics
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("serve.delta_restores"))
+        .and_then(Json::as_int);
+    assert_eq!(restores, Some(1), "{}", metrics.render());
+
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -57,6 +57,10 @@ pub struct MuseD<'a> {
     /// results, far fewer `query.steps`). [`crate::Session`] derives these
     /// from `source_constraints` automatically.
     pub plan_hints: Option<&'a muse_query::SelectivityHints>,
+    /// Incremental chase store: when set, the partial-target chase routes
+    /// through [`muse_chase::DeltaStore::chase_one`] (byte-identical
+    /// output; scratch fallback under budgets/faults).
+    pub delta: Option<&'a muse_chase::DeltaStore>,
 }
 
 /// One choice list: the possible values for one ambiguous target attribute.
@@ -128,12 +132,19 @@ impl<'a> MuseD<'a> {
             metrics: Metrics::disabled_ref(),
             probe_cache: None,
             plan_hints: None,
+            delta: None,
         }
     }
 
     /// Use a real source instance for example retrieval.
     pub fn with_instance(mut self, inst: &'a Instance) -> Self {
         self.real_instance = Some(inst);
+        self
+    }
+
+    /// Route the partial-target chase through an incremental chase store.
+    pub fn with_delta(mut self, delta: &'a muse_chase::DeltaStore) -> Self {
+        self.delta = Some(delta);
         self
     }
 
@@ -270,16 +281,27 @@ impl<'a> MuseD<'a> {
         common
             .wheres
             .retain(|w| matches!(w, WhereClause::Eq { .. }));
-        let Outcome::Complete(partial_target) = chase_budget_planned_with(
-            self.source_schema,
-            self.target_schema,
-            &example.instance,
-            &[common],
-            self.plan_hints,
-            self.budget,
-            self.metrics,
-        )?
-        else {
+        let partial = match self.delta {
+            Some(store) => store.chase_one(
+                self.source_schema,
+                self.target_schema,
+                &example.instance,
+                &common,
+                self.plan_hints,
+                self.budget,
+                self.metrics,
+            )?,
+            None => chase_budget_planned_with(
+                self.source_schema,
+                self.target_schema,
+                &example.instance,
+                &[common],
+                self.plan_hints,
+                self.budget,
+                self.metrics,
+            )?,
+        };
+        let Outcome::Complete(partial_target) = partial else {
             return Ok(None);
         };
 

@@ -69,6 +69,11 @@ pub struct MuseG<'a> {
     /// results, far fewer `query.steps`). [`crate::Session`] derives these
     /// from `source_constraints` automatically.
     pub plan_hints: Option<&'a muse_query::SelectivityHints>,
+    /// Incremental chase store: when set, probe chases route through
+    /// [`muse_chase::DeltaStore::chase_one`], which rederives unchanged
+    /// bindings from materialized state instead of re-chasing from scratch
+    /// (byte-identical output; scratch fallback under budgets/faults).
+    pub delta: Option<&'a muse_chase::DeltaStore>,
 }
 
 /// One probe shown to the designer.
@@ -148,12 +153,19 @@ impl<'a> MuseG<'a> {
             metrics: Metrics::disabled_ref(),
             probe_cache: None,
             plan_hints: None,
+            delta: None,
         }
     }
 
     /// Use a real source instance for example retrieval.
     pub fn with_instance(mut self, inst: &'a Instance) -> Self {
         self.real_instance = Some(inst);
+        self
+    }
+
+    /// Route probe chases through an incremental chase store.
+    pub fn with_delta(mut self, delta: &'a muse_chase::DeltaStore) -> Self {
+        self.delta = Some(delta);
         self
     }
 
@@ -515,28 +527,32 @@ impl<'a> MuseG<'a> {
         let mut d2 = m.clone();
         d2.set_grouping(sk.clone(), Grouping::new(refs_of(space, without_set)));
         let probe_chase = self.metrics.timer("wizard.probe_chase_time").start();
-        let Outcome::Complete(scenario1) = chase_one_budget_planned_with(
-            self.source_schema,
-            self.target_schema,
-            &example.instance,
-            &d1,
-            self.plan_hints,
-            self.budget,
-            self.metrics,
-        )?
-        else {
+        // d1 and d2 share the probe's source query, so with a delta store
+        // the second chase is a pure rederivation of the first's bindings.
+        let probe = |m: &Mapping| match self.delta {
+            Some(store) => store.chase_one(
+                self.source_schema,
+                self.target_schema,
+                &example.instance,
+                m,
+                self.plan_hints,
+                self.budget,
+                self.metrics,
+            ),
+            None => chase_one_budget_planned_with(
+                self.source_schema,
+                self.target_schema,
+                &example.instance,
+                m,
+                self.plan_hints,
+                self.budget,
+                self.metrics,
+            ),
+        };
+        let Outcome::Complete(scenario1) = probe(&d1)? else {
             return Ok(None);
         };
-        let Outcome::Complete(scenario2) = chase_one_budget_planned_with(
-            self.source_schema,
-            self.target_schema,
-            &example.instance,
-            &d2,
-            self.plan_hints,
-            self.budget,
-            self.metrics,
-        )?
-        else {
+        let Outcome::Complete(scenario2) = probe(&d2)? else {
             return Ok(None);
         };
         drop(probe_chase);

@@ -57,6 +57,12 @@ pub struct Session<'a> {
     /// wizards; consulted only when `budget` is unlimited and
     /// `real_example_budget` is `None`. See [`crate::cache::ProbeCache`].
     pub probe_cache: Option<(&'a crate::cache::ProbeCache, &'a str)>,
+    /// Incremental chase store, forwarded to both component wizards: probe
+    /// and partial-target chases rederive unchanged bindings from
+    /// materialized state instead of re-chasing from scratch. Output stays
+    /// byte-identical (scratch fallback under budgets/faults). See
+    /// [`muse_chase::DeltaStore`].
+    pub delta: Option<&'a muse_chase::DeltaStore>,
 }
 
 /// What a session produced.
@@ -128,7 +134,14 @@ impl<'a> Session<'a> {
             metrics: Metrics::disabled_ref(),
             real_example_budget: Some(Duration::from_millis(750)),
             probe_cache: None,
+            delta: None,
         }
+    }
+
+    /// Route wizard chases through an incremental chase store.
+    pub fn with_delta(mut self, delta: &'a muse_chase::DeltaStore) -> Self {
+        self.delta = Some(delta);
+        self
     }
 
     /// Cap (or, with `None`, uncap) the real-instance example search.
@@ -192,6 +205,7 @@ impl<'a> Session<'a> {
         mused.real_example_budget = self.real_example_budget;
         mused.probe_cache = self.probe_cache;
         mused.plan_hints = Some(&hints);
+        mused.delta = self.delta;
         let mut museg = MuseG::new(
             self.source_schema,
             self.target_schema,
@@ -204,6 +218,7 @@ impl<'a> Session<'a> {
         museg.real_example_budget = self.real_example_budget;
         museg.probe_cache = self.probe_cache;
         museg.plan_hints = Some(&hints);
+        museg.delta = self.delta;
 
         // Phase 1: Muse-D on every ambiguous mapping.
         let mut unambiguous: Vec<Mapping> = Vec::new();
